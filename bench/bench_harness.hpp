@@ -1,0 +1,55 @@
+// Shared helpers for the experiment harness binaries (E2–E8): a tiny table
+// printer that produces the paper-style rows, and pipeline assembly
+// shortcuts used by several experiments.
+#pragma once
+
+#include <cstdarg>
+#include <cstdio>
+#include <string>
+
+#include "core/brisk_manager.hpp"
+#include "core/brisk_node.hpp"
+
+namespace brisk::bench {
+
+inline void heading(const char* experiment, const char* paper_claim) {
+  std::printf("\n================================================================\n");
+  std::printf("%s\n", experiment);
+  std::printf("paper: %s\n", paper_claim);
+  std::printf("================================================================\n");
+}
+
+inline void row(const char* format, ...) {
+  va_list args;
+  va_start(args, format);
+  std::vprintf(format, args);
+  va_end(args);
+  std::printf("\n");
+  std::fflush(stdout);
+}
+
+/// Manager config tuned for loopback experiments: short select timeouts so
+/// seconds-long runs drive plenty of cycles.
+inline ManagerConfig bench_manager_config() {
+  ManagerConfig config;
+  config.ism.select_timeout_us = 2'000;
+  config.ism.sorter.initial_frame_us = 5'000;
+  config.ism.sorter.min_frame_us = 1'000;
+  config.ism.enable_sync = false;
+  config.output_ring_capacity = 8u << 20;
+  return config;
+}
+
+inline NodeConfig bench_node_config(NodeId node) {
+  NodeConfig config;
+  config.node = node;
+  config.ring_capacity = 4u << 20;
+  config.exs.select_timeout_us = 2'000;
+  config.exs.batch_max_age_us = 2'000;
+  config.exs.batch_max_records = 512;
+  config.exs.batch_max_bytes = 64 * 1024;
+  config.exs.drain_burst = 4096;
+  return config;
+}
+
+}  // namespace brisk::bench

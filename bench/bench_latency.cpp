@@ -1,0 +1,86 @@
+// E4 — Event delivery latency and its select()-timeout floor.
+//
+// Paper: "the worst-case lower bound was found to depend on waiting select
+// system calls, which can delay an event record for up to 40 ms."
+//
+// Setup: a single event is injected at a random phase relative to the
+// EXS/ISM select cycles; latency = NOTICE call → record visible to the
+// consumer. Sweeping the select timeout shows the worst case tracking it,
+// exactly the paper's mechanism (the 40 ms row uses the paper's timeout).
+#include <random>
+#include <thread>
+
+#include "bench_harness.hpp"
+#include "common/time_util.hpp"
+
+int main() {
+  using namespace brisk;  // NOLINT
+  bench::heading("E4: single-event delivery latency vs select() timeout",
+                 "worst case bounded by waiting select calls: up to 40 ms");
+
+  bench::row("%18s %12s %12s %12s", "select_timeout(ms)", "min(ms)", "avg(ms)", "max(ms)");
+
+  std::mt19937_64 rng(7);
+  for (TimeMicros select_timeout : {2'000, 10'000, 20'000, 40'000}) {
+    auto manager_config = bench::bench_manager_config();
+    manager_config.ism.select_timeout_us = select_timeout;
+    manager_config.ism.sorter.initial_frame_us = 0;
+    manager_config.ism.sorter.min_frame_us = 0;
+    manager_config.ism.sorter.adaptive = false;
+    auto manager = BriskManager::create(manager_config);
+    if (!manager) return 1;
+    auto consumer = manager.value()->make_consumer();
+    if (!consumer) return 1;
+
+    auto node_config = bench::bench_node_config(1);
+    node_config.exs.select_timeout_us = select_timeout;
+    node_config.exs.batch_max_age_us = 0;  // latency-critical setting
+    auto node = BriskNode::create(node_config);
+    if (!node) return 1;
+    auto sensor = node.value()->make_sensor();
+    if (!sensor) return 1;
+    auto exs = node.value()->connect_exs("127.0.0.1", manager.value()->port());
+    if (!exs) return 1;
+
+    constexpr int kSamples = 40;
+    const TimeMicros run_budget =
+        static_cast<TimeMicros>(kSamples + 5) * (select_timeout * 3 + 30'000);
+    std::thread ism_thread([&] { (void)manager.value()->run_for(run_budget); });
+    std::thread exs_thread([&] { (void)exs.value()->run_for(run_budget); });
+
+    TimeMicros min_latency = 0;
+    TimeMicros max_latency = 0;
+    double total = 0;
+    int collected = 0;
+    std::uniform_int_distribution<TimeMicros> phase(0, select_timeout);
+    for (int i = 0; i < kSamples; ++i) {
+      sleep_micros(phase(rng));  // random phase vs the select cycles
+      const TimeMicros sent = monotonic_micros();
+      if (!sensor.value().notice(1, sensors::x_i32(i))) continue;
+      // Busy-poll the consumer for this one record.
+      for (;;) {
+        auto polled = consumer.value().poll();
+        if (!polled.is_ok()) break;
+        if (polled.value().has_value()) break;
+        if (monotonic_micros() - sent > select_timeout * 4 + 500'000) break;
+        sleep_micros(100);
+      }
+      const TimeMicros latency = monotonic_micros() - sent;
+      if (collected == 0 || latency < min_latency) min_latency = latency;
+      if (latency > max_latency) max_latency = latency;
+      total += static_cast<double>(latency);
+      ++collected;
+    }
+    exs.value()->stop();
+    manager.value()->stop();
+    exs_thread.join();
+    ism_thread.join();
+
+    bench::row("%18.1f %12.2f %12.2f %12.2f", static_cast<double>(select_timeout) / 1e3,
+               static_cast<double>(min_latency) / 1e3,
+               collected == 0 ? 0.0 : total / collected / 1e3,
+               static_cast<double>(max_latency) / 1e3);
+  }
+  bench::row("shape check: worst-case latency tracks the select timeout");
+  return 0;
+}

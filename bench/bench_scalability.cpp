@@ -1,0 +1,105 @@
+// E5 — Distributed operation: aggregate throughput vs number of EXS nodes.
+//
+// Paper: "The CPU demand by the ISM was the bottleneck for achieving high
+// event throughput, but the ISM was able to maintain the maximum aggregate
+// event throughput almost constant with up to 8 EXS nodes."
+//
+// Setup: N forked node processes (per the reproduction plan, local
+// processes emulate the paper's workstations), each running a saturating
+// looping application thread plus its external sensor, all shipping to one
+// ISM in the parent. Report aggregate delivered events/s and the ISM
+// process CPU share.
+#include <sys/wait.h>
+#include <unistd.h>
+
+#include <thread>
+
+#include "bench_harness.hpp"
+#include "common/time_util.hpp"
+#include "sim/workload.hpp"
+
+namespace {
+
+using namespace brisk;  // NOLINT
+
+constexpr TimeMicros kDuration = 1'200'000;
+// Offered load per node. The paper ran one workstation per node plus a
+// dedicated ISM host; on a single-CPU reproduction an all-out saturating
+// producer per node would starve the ISM of cycles the paper's testbed gave
+// it for free. A fixed paced rate per node (well below one core, far above
+// 1/8 of the ISM's capacity) keeps nodes cheap — like remote machines — so
+// the ISM is the genuine bottleneck as N grows.
+constexpr double kOfferedPerNode = 200'000.0;
+
+/// Child process body: one complete LIS (application + EXS).
+[[noreturn]] void run_node(NodeId node_id, std::uint16_t ism_port) {
+  auto node = BriskNode::create(bench::bench_node_config(node_id));
+  if (!node) _exit(10);
+  auto sensor = node.value()->make_sensor();
+  if (!sensor) _exit(11);
+  auto exs = node.value()->connect_exs("127.0.0.1", ism_port);
+  if (!exs) _exit(12);
+
+  std::thread app([&] {
+    sim::WorkloadConfig config;
+    config.events_per_sec = kOfferedPerNode;
+    config.duration_us = kDuration;
+    (void)sim::run_looping_workload(sensor.value(), config);
+  });
+  (void)exs.value()->run_for(kDuration + 200'000);
+  app.join();
+  (void)exs.value()->core().flush();
+  _exit(0);
+}
+
+}  // namespace
+
+int main() {
+  bench::heading("E5: aggregate throughput vs number of EXS nodes (forked processes, paced offered load)",
+                 "ISM CPU is the bottleneck; aggregate ~constant up to 8 nodes");
+  bench::row("%6s %16s %18s %14s %16s", "nodes", "offered(ev/s)", "aggregate(ev/s)", "ism_cpu(%)", "ev/ism_cpu_ms");
+
+  for (int nodes : {1, 2, 4, 8}) {
+    auto manager_config = bench::bench_manager_config();
+    manager_config.ism.sorter.max_pending = 1u << 22;
+    auto manager = BriskManager::create(manager_config);
+    if (!manager) {
+      std::fprintf(stderr, "manager: %s\n", manager.status().to_string().c_str());
+      return 1;
+    }
+
+    std::vector<pid_t> children;
+    for (int n = 0; n < nodes; ++n) {
+      const pid_t pid = ::fork();
+      if (pid < 0) return 1;
+      if (pid == 0) run_node(static_cast<NodeId>(n + 1), manager.value()->port());
+      children.push_back(pid);
+    }
+
+    const TimeMicros cpu_before = process_cpu_micros();
+    const TimeMicros wall_before = monotonic_micros();
+    (void)manager.value()->run_for(kDuration + 600'000);
+    const TimeMicros ism_cpu = process_cpu_micros() - cpu_before;
+    // Production lasts kDuration; the extra 600 ms only drains the tail, so
+    // rate is records over the production window.
+    const double wall_s = static_cast<double>(kDuration) / 1e6;
+    manager.value()->stop();
+
+    for (pid_t pid : children) {
+      int status = 0;
+      ::waitpid(pid, &status, 0);
+    }
+
+    const auto& stats = manager.value()->ism().stats();
+    const double aggregate = static_cast<double>(stats.records_received) / wall_s;
+    const double cpu_pct =
+        100.0 * static_cast<double>(ism_cpu) / static_cast<double>(monotonic_micros() - wall_before);
+    const double per_cpu_ms =
+        ism_cpu == 0 ? 0.0
+                     : static_cast<double>(stats.records_received) /
+                           (static_cast<double>(ism_cpu) / 1e3);
+    bench::row("%6d %16.0f %18.0f %14.1f %16.1f", nodes, kOfferedPerNode * nodes, aggregate, cpu_pct, per_cpu_ms);
+  }
+  bench::row("shape check: aggregate roughly flat as nodes grow; ISM CPU saturates");
+  return 0;
+}

@@ -1,0 +1,86 @@
+// Quickstart: the smallest complete BRISK deployment, all in one process.
+//
+//   1. Start the ISM (BriskManager) on an ephemeral port.
+//   2. Create a node (BriskNode), claim a sensor, connect its EXS.
+//   3. Instrument a toy loop with BRISK_NOTICE.
+//   4. Read the ordered records back from the ISM's shared-memory output
+//      and print them as PICL strings.
+//
+// Build & run:  ./examples/quickstart
+#include <cstdio>
+#include <thread>
+
+#include "common/time_util.hpp"
+#include "core/brisk_manager.hpp"
+#include "core/brisk_node.hpp"
+
+int main() {
+  using namespace brisk;           // NOLINT
+  using namespace brisk::sensors;  // NOLINT
+
+  // --- 1. the manager (ISM + shared-memory output buffer) -------------------
+  ManagerConfig manager_config;
+  manager_config.ism.select_timeout_us = 2'000;
+  manager_config.ism.enable_sync = false;  // one node, nothing to synchronize
+  auto manager = BriskManager::create(manager_config);
+  if (!manager) {
+    std::fprintf(stderr, "manager: %s\n", manager.status().to_string().c_str());
+    return 1;
+  }
+  std::printf("ISM listening on 127.0.0.1:%u\n", manager.value()->port());
+
+  // --- 2. a node: sensors + external sensor ---------------------------------
+  NodeConfig node_config;
+  node_config.node = 1;
+  node_config.exs.select_timeout_us = 2'000;
+  node_config.exs.batch_max_age_us = 1'000;
+  auto node = BriskNode::create(node_config);
+  if (!node) return 1;
+  auto sensor = node.value()->make_sensor();
+  if (!sensor) return 1;
+  auto exs = node.value()->connect_exs("127.0.0.1", manager.value()->port());
+  if (!exs) {
+    std::fprintf(stderr, "exs: %s\n", exs.status().to_string().c_str());
+    return 1;
+  }
+
+  // ISM and EXS each run their select() loop; here simply in threads.
+  std::thread ism_thread([&] { (void)manager.value()->run_for(1'500'000); });
+  std::thread exs_thread([&] { (void)exs.value()->run_for(1'500'000); });
+
+  // --- 3. the instrumented "application" ------------------------------------
+  constexpr SensorId kIterationEvent = 1;
+  constexpr SensorId kPhaseEvent = 2;
+  for (int i = 0; i < 10; ++i) {
+    BRISK_NOTICE(sensor.value(), kIterationEvent, x_i32(i), x_f64(i * 0.5));
+    if (i % 5 == 0) {
+      BRISK_NOTICE(sensor.value(), kPhaseEvent, x_str("phase boundary"), x_ts());
+    }
+    sleep_micros(10'000);
+  }
+
+  // --- 4. consume ordered records --------------------------------------------
+  auto consumer = manager.value()->make_consumer();
+  if (!consumer) return 1;
+  picl::PiclOptions picl_options;
+  picl_options.mode = picl::TimestampMode::utc_micros;
+  int received = 0;
+  const TimeMicros deadline = monotonic_micros() + 2'000'000;
+  while (received < 12 && monotonic_micros() < deadline) {
+    auto line = consumer.value().poll_picl(picl_options);
+    if (!line) break;
+    if (!line.value().has_value()) {
+      sleep_micros(1'000);
+      continue;
+    }
+    std::printf("PICL: %s\n", line.value()->c_str());
+    ++received;
+  }
+
+  exs.value()->stop();
+  manager.value()->stop();
+  exs_thread.join();
+  ism_thread.join();
+  std::printf("received %d records; done.\n", received);
+  return received == 12 ? 0 : 1;
+}

@@ -1,0 +1,100 @@
+// brisk_consume: an instrumentation-data consumer tool. Attaches to the
+// ISM's named shared-memory output buffer ("which is then read by
+// instrumentation data consumer tools") and either streams PICL lines to
+// stdout or accumulates summary statistics.
+//
+// Usage:
+//   brisk_consume --shm /brisk-out [--mode picl|stats] [--max-records N]
+//                 [--idle-exit-ms 2000] [--picl-utc]
+//
+// Exits after --max-records records, or when no record arrived for
+// --idle-exit-ms (0 = run until SIGINT).
+#include <csignal>
+#include <cstdio>
+
+#include "apps/flag_parser.hpp"
+#include "common/time_util.hpp"
+#include "clock/clock.hpp"
+#include "consumers/shm_consumer.hpp"
+#include "consumers/trace_stats.hpp"
+#include "core/version.hpp"
+#include "shm/shared_region.hpp"
+
+namespace {
+
+volatile std::sig_atomic_t g_stop = 0;
+void handle_signal(int) { g_stop = 1; }
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace brisk;  // NOLINT
+  apps::FlagParser flags(argc, argv);
+  const std::string shm_name = flags.get_string("shm", "");
+  const std::string mode = flags.get_string("mode", "picl");
+  const long long max_records = flags.get_int("max-records", 0);
+  const long long idle_exit_ms = flags.get_int("idle-exit-ms", 2'000);
+  picl::PiclOptions picl_options;
+  if (flags.get_bool("picl-utc", true)) {
+    picl_options.mode = picl::TimestampMode::utc_micros;
+  } else {
+    picl_options.mode = picl::TimestampMode::seconds_from_epoch;
+    picl_options.epoch_us = clk::SystemClock::instance().now();
+  }
+  flags.reject_unknown();
+
+  if (shm_name.empty()) {
+    std::fprintf(stderr, "brisk_consume: --shm /name is required\n");
+    return 2;
+  }
+  if (mode != "picl" && mode != "stats") {
+    std::fprintf(stderr, "brisk_consume: --mode must be picl or stats\n");
+    return 2;
+  }
+
+  auto region = shm::SharedRegion::open_named(shm_name);
+  if (!region) {
+    std::fprintf(stderr, "brisk_consume: %s\n", region.status().to_string().c_str());
+    return 1;
+  }
+  auto ring = shm::RingBuffer::attach(region.value().data(), region.value().size());
+  if (!ring) {
+    std::fprintf(stderr, "brisk_consume: %s\n", ring.status().to_string().c_str());
+    return 1;
+  }
+  consumers::ShmConsumer consumer(ring.value());
+  consumers::TraceStats stats;
+
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+  std::fprintf(stderr, "brisk_consume %s attached to %s (%s mode)\n", version_string(),
+               shm_name.c_str(), mode.c_str());
+
+  long long received = 0;
+  TimeMicros last_record_at = monotonic_micros();
+  while (g_stop == 0) {
+    auto record = consumer.poll();
+    if (!record) {
+      std::fprintf(stderr, "brisk_consume: %s\n", record.status().to_string().c_str());
+      return 1;
+    }
+    if (!record.value().has_value()) {
+      if (idle_exit_ms > 0 &&
+          monotonic_micros() - last_record_at > idle_exit_ms * 1'000) {
+        break;
+      }
+      sleep_micros(1'000);
+      continue;
+    }
+    last_record_at = monotonic_micros();
+    ++received;
+    if (mode == "picl") {
+      std::printf("%s\n", picl::to_picl_line(*record.value(), picl_options).c_str());
+    }
+    stats.add(*record.value());
+    if (max_records > 0 && received >= max_records) break;
+  }
+
+  std::fprintf(stderr, "--- summary ---\n%s", stats.report().c_str());
+  return 0;
+}

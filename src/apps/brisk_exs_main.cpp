@@ -1,0 +1,95 @@
+// brisk_exs: the external sensor executable (the other of the paper's "two
+// executables").
+//
+// Creates (or attaches to) the node's named shared-memory ring directory,
+// connects to the ISM, and runs the drain/batch/sync loop — "another
+// process on the same node [that] may be assigned a lower priority" (see
+// --nice).
+//
+// Usage:
+//   brisk_exs --node 1 --shm /brisk-node1 --ism-host 127.0.0.1 --ism-port 7411
+//             --slots 8 --ring-bytes 1048576 --nice 10
+#include <sys/resource.h>
+
+#include <csignal>
+#include <cstdio>
+
+#include "apps/flag_parser.hpp"
+#include "common/logging.hpp"
+#include "core/brisk_node.hpp"
+#include "core/version.hpp"
+
+namespace {
+
+brisk::lis::ExternalSensor* g_exs = nullptr;
+
+void handle_signal(int) {
+  if (g_exs != nullptr) g_exs->stop();
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace brisk;
+  apps::FlagParser flags(argc, argv);
+
+  NodeConfig config;
+  config.node = static_cast<NodeId>(flags.get_int("node", 0));
+  config.shm_name = flags.get_string("shm", "");
+  config.sensor_slots = static_cast<std::uint32_t>(flags.get_int("slots", 8));
+  config.ring_capacity = static_cast<std::uint32_t>(flags.get_int("ring-bytes", 1 << 20));
+  config.exs.batch_max_records =
+      static_cast<std::uint32_t>(flags.get_int("batch-records", 256));
+  config.exs.batch_max_bytes = static_cast<std::uint32_t>(flags.get_int("batch-bytes", 32768));
+  config.exs.batch_max_age_us = flags.get_int("batch-age-us", 20'000);
+  config.exs.select_timeout_us = flags.get_int("select-timeout-us", 40'000);
+  const std::string ism_host = flags.get_string("ism-host", "127.0.0.1");
+  const auto ism_port = static_cast<std::uint16_t>(flags.get_int("ism-port", 0));
+  const int nice_delta = static_cast<int>(flags.get_int("nice", 0));
+  const bool attach = flags.get_bool("attach", false);
+  if (flags.get_bool("verbose", false)) Logging::set_level(LogLevel::info);
+  flags.reject_unknown();
+
+  if (config.shm_name.empty()) {
+    std::fprintf(stderr, "brisk_exs: --shm /name is required\n");
+    return 2;
+  }
+  if (ism_port == 0) {
+    std::fprintf(stderr, "brisk_exs: --ism-port is required\n");
+    return 2;
+  }
+  if (nice_delta != 0 && ::setpriority(PRIO_PROCESS, 0, nice_delta) != 0) {
+    std::fprintf(stderr, "brisk_exs: warning: setpriority failed\n");
+  }
+
+  auto node = attach ? BriskNode::attach(config) : BriskNode::create(config);
+  if (!node) {
+    std::fprintf(stderr, "brisk_exs: %s\n", node.status().to_string().c_str());
+    return 1;
+  }
+  auto exs = node.value()->connect_exs(ism_host, ism_port);
+  if (!exs) {
+    std::fprintf(stderr, "brisk_exs: %s\n", exs.status().to_string().c_str());
+    return 1;
+  }
+  g_exs = exs.value().get();
+  std::signal(SIGINT, handle_signal);
+  std::signal(SIGTERM, handle_signal);
+
+  std::printf("brisk_exs %s node %u, rings at %s, ISM %s:%u\n", version_string(), config.node,
+              config.shm_name.c_str(), ism_host.c_str(), ism_port);
+  std::fflush(stdout);
+
+  Status st = exs.value()->run();
+  (void)exs.value()->core().flush();
+  if (!st && st.code() != Errc::closed) {
+    std::fprintf(stderr, "brisk_exs: %s\n", st.to_string().c_str());
+    return 1;
+  }
+  const auto stats = exs.value()->core().stats();
+  std::printf("forwarded %llu records in %llu batches (%llu ring drops)\n",
+              static_cast<unsigned long long>(stats.records_forwarded),
+              static_cast<unsigned long long>(stats.batches_sent),
+              static_cast<unsigned long long>(stats.ring_drops_seen));
+  return 0;
+}

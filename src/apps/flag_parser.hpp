@@ -1,0 +1,91 @@
+// Minimal --key=value / --key value flag parser shared by the BRISK
+// executables. No external dependencies, fails loudly on unknown flags.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+#include <map>
+#include <optional>
+#include <string>
+
+#include "common/string_util.hpp"
+
+namespace brisk::apps {
+
+class FlagParser {
+ public:
+  FlagParser(int argc, char** argv) {
+    for (int i = 1; i < argc; ++i) {
+      std::string arg = argv[i];
+      if (arg.rfind("--", 0) != 0) {
+        std::fprintf(stderr, "unexpected argument: %s\n", arg.c_str());
+        std::exit(2);
+      }
+      arg = arg.substr(2);
+      const std::size_t eq = arg.find('=');
+      if (eq != std::string::npos) {
+        values_[arg.substr(0, eq)] = arg.substr(eq + 1);
+      } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+        values_[arg] = argv[++i];
+      } else {
+        values_[arg] = "true";  // bare boolean flag
+      }
+    }
+  }
+
+  [[nodiscard]] std::optional<std::string> get(const std::string& key) {
+    auto it = values_.find(key);
+    if (it == values_.end()) return std::nullopt;
+    consumed_.insert({key, true});
+    return it->second;
+  }
+
+  [[nodiscard]] std::string get_string(const std::string& key, const std::string& fallback) {
+    auto v = get(key);
+    return v.has_value() ? *v : fallback;
+  }
+
+  [[nodiscard]] long long get_int(const std::string& key, long long fallback) {
+    auto v = get(key);
+    if (!v.has_value()) return fallback;
+    auto parsed = parse_int(*v);
+    if (!parsed) {
+      std::fprintf(stderr, "flag --%s expects an integer, got '%s'\n", key.c_str(), v->c_str());
+      std::exit(2);
+    }
+    return *parsed;
+  }
+
+  [[nodiscard]] double get_double(const std::string& key, double fallback) {
+    auto v = get(key);
+    if (!v.has_value()) return fallback;
+    auto parsed = parse_double(*v);
+    if (!parsed) {
+      std::fprintf(stderr, "flag --%s expects a number, got '%s'\n", key.c_str(), v->c_str());
+      std::exit(2);
+    }
+    return *parsed;
+  }
+
+  [[nodiscard]] bool get_bool(const std::string& key, bool fallback) {
+    auto v = get(key);
+    if (!v.has_value()) return fallback;
+    return *v == "true" || *v == "1" || *v == "yes";
+  }
+
+  /// Exits with an error if any provided flag was never consumed.
+  void reject_unknown() {
+    for (const auto& [key, value] : values_) {
+      if (consumed_.find(key) == consumed_.end()) {
+        std::fprintf(stderr, "unknown flag: --%s\n", key.c_str());
+        std::exit(2);
+      }
+    }
+  }
+
+ private:
+  std::map<std::string, std::string> values_;
+  std::map<std::string, bool> consumed_;
+};
+
+}  // namespace brisk::apps

@@ -1,0 +1,71 @@
+#include "clock/brisk_sync.hpp"
+
+namespace brisk::clk {
+
+Result<RoundReport> BriskSync::run_round(SyncTransport& transport) {
+  RoundReport report;
+  const std::size_t n = transport.slave_count();
+  report.slaves.reserve(n);
+
+  // Phase 1: estimate every slave's skew relative to the master clock —
+  // the master is only a common reference point here.
+  for (std::size_t i = 0; i < n; ++i) {
+    SlaveRoundReport slave;
+    slave.slave = i;
+    auto estimate = estimate_skew(transport, i, config_.polls_per_round);
+    if (estimate) {
+      slave.polled_ok = true;
+      slave.estimated_skew = estimate.value().skew;
+      slave.best_rtt = estimate.value().best_rtt;
+    }
+    report.slaves.push_back(slave);
+  }
+
+  // Phase 2: elect the most-ahead clock as the reference.
+  int ref = -1;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!report.slaves[i].polled_ok) continue;
+    if (ref < 0 ||
+        report.slaves[i].estimated_skew > report.slaves[static_cast<std::size_t>(ref)].estimated_skew) {
+      ref = static_cast<int>(i);
+    }
+  }
+  if (ref < 0) return Status(Errc::io_error, "no slave reachable this round");
+  report.reference_slave = ref;
+  const TimeMicros ref_skew = report.slaves[static_cast<std::size_t>(ref)].estimated_skew;
+
+  // Phase 3: relative skews of the other clocks behind the reference, and
+  // their average.
+  TimeMicros total_rel = 0;
+  std::size_t counted = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (!report.slaves[i].polled_ok || static_cast<int>(i) == ref) continue;
+    total_rel += ref_skew - report.slaves[i].estimated_skew;
+    ++counted;
+  }
+  if (counted == 0) return report;  // nothing to synchronize against
+  const TimeMicros avg_rel = total_rel / static_cast<TimeMicros>(counted);
+
+  // Phase 4: advance only the clocks whose relative skew is at or above the
+  // average — full correction above the threshold, a conservative fraction
+  // below it. ("At or above" rather than the paper's strict "above": with
+  // two slaves the lone laggard IS the average and a strict comparison
+  // would never converge; ties at the average are exactly as safe to move
+  // as skews just over it.)
+  for (std::size_t i = 0; i < n; ++i) {
+    SlaveRoundReport& slave = report.slaves[i];
+    if (!slave.polled_ok || static_cast<int>(i) == ref) continue;
+    const TimeMicros rel = ref_skew - slave.estimated_skew;
+    if (rel < avg_rel || rel <= 0) continue;
+    const TimeMicros correction =
+        avg_rel > config_.avg_threshold_us
+            ? rel
+            : static_cast<TimeMicros>(config_.conservative_fraction * static_cast<double>(rel));
+    if (correction <= 0) continue;
+    Status st = transport.adjust(i, correction);
+    if (st) slave.correction = correction;
+  }
+  return report;
+}
+
+}  // namespace brisk::clk

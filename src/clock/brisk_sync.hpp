@@ -1,0 +1,50 @@
+// BRISK's modified Cristian synchronization (Section 3.3 of the paper).
+//
+// Differences from the baseline:
+//  * The master (ISM) clock is only a *common reference point* for
+//    computing relative skews — EXS clocks are synchronized to each other,
+//    not to the ISM. ("it is important that the EXS clocks be as close to
+//    each other as possible, while it is not necessary for them to be close
+//    to the ISM clock")
+//  * The EXS clock with the maximum positive skew relative to the ISM (the
+//    most-ahead clock) is elected as the reference; every other clock's
+//    relative skew is its (absolute) distance behind the reference.
+//  * Only clocks whose relative skew is ABOVE the average are advanced —
+//    conservative against network noise, so a noisy estimate cannot
+//    erroneously promote another clock as the fastest.
+//  * Correction value: the full relative skew when the average skew is
+//    above a small threshold; otherwise a fixed fraction of it (0.7 in the
+//    paper's implementation) — again conservative, since the clocks can
+//    never be perfectly synchronized. The price is potentially slower
+//    convergence; the gain is no overshoot (clocks only ever move forward,
+//    at the cost of a small positive drift of the ensemble).
+#pragma once
+
+#include "clock/cristian_sync.hpp"
+#include "clock/skew_estimator.hpp"
+
+namespace brisk::clk {
+
+struct BriskSyncConfig {
+  std::size_t polls_per_round = 4;
+  /// The "small threshold" on the average relative skew.
+  TimeMicros avg_threshold_us = 100;
+  /// The "fixed portion" applied below the threshold.
+  double conservative_fraction = 0.7;
+};
+
+class BriskSync {
+ public:
+  explicit BriskSync(BriskSyncConfig config) : config_(config) {}
+
+  /// One synchronization round. Reports the elected reference slave, the
+  /// per-slave relative skews and the corrections applied.
+  Result<RoundReport> run_round(SyncTransport& transport);
+
+  [[nodiscard]] const BriskSyncConfig& config() const noexcept { return config_; }
+
+ private:
+  BriskSyncConfig config_;
+};
+
+}  // namespace brisk::clk

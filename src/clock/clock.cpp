@@ -1,0 +1,14 @@
+#include "clock/clock.hpp"
+
+#include "common/time_util.hpp"
+
+namespace brisk::clk {
+
+TimeMicros SystemClock::now() noexcept { return wall_time_micros(); }
+
+SystemClock& SystemClock::instance() noexcept {
+  static SystemClock clock;
+  return clock;
+}
+
+}  // namespace brisk::clk

@@ -1,0 +1,41 @@
+// Clock abstraction. Every BRISK component that reads time does so through
+// Clock so that tests and the clock-synchronization experiments can run on
+// simulated clocks with controlled drift (see sim_clock.hpp) while
+// production uses the realtime clock, exactly as the paper's sensors use
+// gettimeofday.
+#pragma once
+
+#include "common/types.hpp"
+
+namespace brisk::clk {
+
+class Clock {
+ public:
+  virtual ~Clock() = default;
+  /// Current time in microseconds of UTC (for SimClock: of its own skewed
+  /// timebase).
+  virtual TimeMicros now() noexcept = 0;
+};
+
+/// The realtime clock (CLOCK_REALTIME; the paper's gettimeofday).
+class SystemClock final : public Clock {
+ public:
+  TimeMicros now() noexcept override;
+  /// Process-wide instance, for call sites without injection plumbing.
+  static SystemClock& instance() noexcept;
+};
+
+/// A clock advanced explicitly by the test/simulation driver. Determinism
+/// anchor for every time-dependent unit test.
+class ManualClock final : public Clock {
+ public:
+  explicit ManualClock(TimeMicros start = 0) noexcept : now_(start) {}
+  TimeMicros now() noexcept override { return now_; }
+  void set(TimeMicros t) noexcept { now_ = t; }
+  void advance(TimeMicros delta) noexcept { now_ += delta; }
+
+ private:
+  TimeMicros now_;
+};
+
+}  // namespace brisk::clk

@@ -1,0 +1,30 @@
+#include "clock/cristian_sync.hpp"
+
+#include <cstdlib>
+
+namespace brisk::clk {
+
+Result<RoundReport> CristianSync::run_round(SyncTransport& transport) {
+  RoundReport report;
+  const std::size_t n = transport.slave_count();
+  report.slaves.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    SlaveRoundReport slave;
+    slave.slave = i;
+    auto estimate = estimate_skew(transport, i, config_.polls_per_round);
+    if (estimate) {
+      slave.polled_ok = true;
+      slave.estimated_skew = estimate.value().skew;
+      slave.best_rtt = estimate.value().best_rtt;
+      if (std::llabs(slave.estimated_skew) > config_.deadband_us) {
+        slave.correction = -slave.estimated_skew;
+        Status st = transport.adjust(i, slave.correction);
+        if (!st) slave.correction = 0;
+      }
+    }
+    report.slaves.push_back(slave);
+  }
+  return report;
+}
+
+}  // namespace brisk::clk

@@ -1,0 +1,53 @@
+// Baseline: Cristian's centralized (probabilistic) clock synchronization.
+//
+// "In the Cristian's algorithm, a master polls slaves periodically, in
+// so-called rounds. In each round, it queries each slave for its current
+// time ... This is repeated a number of times for each slave to average the
+// results. At the end of each round, the master sends the time differences
+// to the slaves to adjust their clocks."
+//
+// Here every slave is driven toward the *master* clock: after a round, a
+// slave whose estimated skew is s is adjusted by −s. This is the comparator
+// the paper's modified algorithm (brisk_sync.hpp) is evaluated against.
+#pragma once
+
+#include <vector>
+
+#include "clock/skew_estimator.hpp"
+
+namespace brisk::clk {
+
+struct CristianConfig {
+  std::size_t polls_per_round = 4;
+  /// Skews at or below this magnitude are left alone (avoids chasing noise).
+  TimeMicros deadband_us = 0;
+};
+
+struct SlaveRoundReport {
+  std::size_t slave = 0;
+  TimeMicros estimated_skew = 0;
+  TimeMicros best_rtt = 0;
+  TimeMicros correction = 0;  // what was applied to the slave clock
+  bool polled_ok = false;
+};
+
+struct RoundReport {
+  std::vector<SlaveRoundReport> slaves;
+  /// Index into `slaves` of the elected reference clock (BRISK algorithm
+  /// only; -1 for Cristian).
+  int reference_slave = -1;
+};
+
+class CristianSync {
+ public:
+  explicit CristianSync(CristianConfig config) : config_(config) {}
+
+  /// Runs one round over all slaves; returns per-slave estimates and the
+  /// corrections applied.
+  Result<RoundReport> run_round(SyncTransport& transport);
+
+ private:
+  CristianConfig config_;
+};
+
+}  // namespace brisk::clk

@@ -1,0 +1,27 @@
+#include "clock/sim_clock.hpp"
+
+namespace brisk::clk {
+
+SimClock::SimClock(Clock& reference, const SimClockConfig& config)
+    : reference_(reference), config_(config), epoch_(reference.now()), rng_(config.seed) {}
+
+TimeMicros SimClock::skew_at(TimeMicros true_now) const noexcept {
+  const TimeMicros elapsed = true_now - epoch_;
+  const auto drift = static_cast<TimeMicros>(config_.drift_ppm * static_cast<double>(elapsed) / 1e6);
+  return config_.initial_offset_us + drift + adjustment_;
+}
+
+TimeMicros SimClock::now() noexcept {
+  const TimeMicros true_now = reference_.now();
+  TimeMicros jitter = 0;
+  if (config_.read_jitter_us > 0) {
+    std::uniform_int_distribution<TimeMicros> dist(-config_.read_jitter_us,
+                                                   config_.read_jitter_us);
+    jitter = dist(rng_);
+  }
+  return true_now + skew_at(true_now) + jitter;
+}
+
+TimeMicros SimClock::true_skew() noexcept { return skew_at(reference_.now()); }
+
+}  // namespace brisk::clk

@@ -1,0 +1,57 @@
+// Simulated node clock with configurable initial offset, frequency drift
+// and read jitter.
+//
+// The paper evaluates clock synchronization on eight Sun workstations whose
+// oscillators drift apart over a 10-minute run. We cannot assume a fleet of
+// drifting machines, so SimClock reproduces the phenomenon: it derives its
+// reading from a reference ("true time") clock, applies
+//     reading = true + offset + drift_ppm * elapsed / 1e6 + jitter
+// and exposes the ground-truth skew so experiments can score sync quality
+// exactly rather than estimate it.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "clock/clock.hpp"
+
+namespace brisk::clk {
+
+struct SimClockConfig {
+  TimeMicros initial_offset_us = 0;  // reading minus true time at epoch
+  double drift_ppm = 0.0;            // microseconds gained per second, /1e6
+  TimeMicros read_jitter_us = 0;     // uniform ±jitter added per reading
+  std::uint64_t seed = 1;            // jitter RNG seed
+};
+
+class SimClock final : public Clock {
+ public:
+  /// `reference` supplies true time and must outlive the SimClock.
+  SimClock(Clock& reference, const SimClockConfig& config);
+
+  /// Reading of this (skewed) clock.
+  TimeMicros now() noexcept override;
+
+  /// Applies a synchronization correction: all subsequent readings shift by
+  /// `delta`. (On a slave node this models updating the EXS correction
+  /// value.)
+  void adjust(TimeMicros delta) noexcept { adjustment_ += delta; }
+
+  /// Ground truth: reading − true time at the current reference instant,
+  /// excluding read jitter. Only the evaluation harness looks at this.
+  [[nodiscard]] TimeMicros true_skew() noexcept;
+
+  [[nodiscard]] TimeMicros total_adjustment() const noexcept { return adjustment_; }
+  [[nodiscard]] const SimClockConfig& config() const noexcept { return config_; }
+
+ private:
+  [[nodiscard]] TimeMicros skew_at(TimeMicros true_now) const noexcept;
+
+  Clock& reference_;
+  SimClockConfig config_;
+  TimeMicros epoch_;            // reference time at construction
+  TimeMicros adjustment_ = 0;   // cumulative sync corrections
+  std::mt19937_64 rng_;
+};
+
+}  // namespace brisk::clk

@@ -1,0 +1,29 @@
+#include "clock/skew_estimator.hpp"
+
+namespace brisk::clk {
+
+Result<SkewEstimate> estimate_skew(SyncTransport& transport, std::size_t slave,
+                                   std::size_t polls_per_round) {
+  if (polls_per_round == 0) return Status(Errc::invalid_argument, "polls_per_round == 0");
+  SkewEstimate best;
+  Status last_error = Status::ok();
+  for (std::size_t i = 0; i < polls_per_round; ++i) {
+    auto sample = transport.poll(slave);
+    if (!sample) {
+      last_error = sample.status();
+      continue;
+    }
+    const PollSample& s = sample.value();
+    if (best.samples == 0 || s.round_trip() < best.best_rtt) {
+      best.skew = s.skew_estimate();
+      best.best_rtt = s.round_trip();
+    }
+    ++best.samples;
+  }
+  if (best.samples == 0) {
+    return last_error.is_ok() ? Status(Errc::io_error, "all polls failed") : last_error;
+  }
+  return best;
+}
+
+}  // namespace brisk::clk

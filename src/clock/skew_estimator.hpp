@@ -1,0 +1,59 @@
+// Skew estimation from poll samples — the measurement primitive both
+// synchronization algorithms (Cristian baseline and the BRISK modification)
+// are built on.
+#pragma once
+
+#include <cstddef>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace brisk::clk {
+
+/// One master→slave time poll: the master records its clock when the query
+/// leaves (`local_send`) and when the answer returns (`local_recv`); the
+/// slave reports its clock reading `remote_time` taken while serving the
+/// query.
+struct PollSample {
+  TimeMicros local_send = 0;
+  TimeMicros remote_time = 0;
+  TimeMicros local_recv = 0;
+
+  [[nodiscard]] TimeMicros round_trip() const noexcept { return local_recv - local_send; }
+
+  /// Cristian's estimate of (slave clock − master clock), assuming the
+  /// reply took half the round trip: remote_time − (local_send + rtt/2).
+  [[nodiscard]] TimeMicros skew_estimate() const noexcept {
+    return remote_time - (local_send + round_trip() / 2);
+  }
+};
+
+/// How the master abstracts "poll slave i / adjust slave i". Implemented
+/// over real sockets by ism::Ism + the transfer protocol, and over
+/// simulated clocks + latency models by sim::SimSyncTransport.
+class SyncTransport {
+ public:
+  virtual ~SyncTransport() = default;
+  [[nodiscard]] virtual std::size_t slave_count() const noexcept = 0;
+  /// One time poll of slave `index`.
+  virtual Result<PollSample> poll(std::size_t index) = 0;
+  /// Tells slave `index` to shift its clock (its correction value) by
+  /// `delta` microseconds (positive = advance).
+  virtual Status adjust(std::size_t index, TimeMicros delta) = 0;
+};
+
+/// Combines `polls_per_round` samples into one skew estimate. Following
+/// Cristian's probabilistic argument, the sample with the smallest round
+/// trip bounds the error tightest, so we take the minimum-RTT sample's
+/// estimate (not a plain average, which LAN noise would corrupt).
+struct SkewEstimate {
+  TimeMicros skew = 0;        // estimated slave − master clock difference
+  TimeMicros best_rtt = 0;    // round trip of the chosen sample
+  std::size_t samples = 0;    // samples that succeeded
+};
+
+Result<SkewEstimate> estimate_skew(SyncTransport& transport, std::size_t slave,
+                                   std::size_t polls_per_round);
+
+}  // namespace brisk::clk

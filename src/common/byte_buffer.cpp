@@ -1,0 +1,46 @@
+#include "common/byte_buffer.hpp"
+
+#include <cstring>
+
+namespace brisk {
+
+Status ByteBuffer::overwrite(std::size_t offset, ByteSpan bytes) {
+  if (offset + bytes.size() > data_.size()) {
+    return Status(Errc::out_of_range, "overwrite past end of buffer");
+  }
+  std::memcpy(data_.data() + offset, bytes.data(), bytes.size());
+  return Status::ok();
+}
+
+Status ByteBuffer::read(void* out, std::size_t len) noexcept {
+  if (remaining() < len) return Status(Errc::truncated);
+  std::memcpy(out, data_.data() + read_pos_, len);
+  read_pos_ += len;
+  return Status::ok();
+}
+
+Result<ByteSpan> ByteBuffer::read_view(std::size_t len) noexcept {
+  if (remaining() < len) return Status(Errc::truncated);
+  ByteSpan view{data_.data() + read_pos_, len};
+  read_pos_ += len;
+  return view;
+}
+
+Status ByteBuffer::skip(std::size_t len) noexcept {
+  if (remaining() < len) return Status(Errc::truncated);
+  read_pos_ += len;
+  return Status::ok();
+}
+
+std::string ByteBuffer::hex() const {
+  static const char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(data_.size() * 2);
+  for (std::uint8_t b : data_) {
+    out.push_back(kDigits[b >> 4]);
+    out.push_back(kDigits[b & 0xf]);
+  }
+  return out;
+}
+
+}  // namespace brisk

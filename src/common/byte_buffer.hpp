@@ -1,0 +1,74 @@
+// Growable byte buffer with a separate read cursor. The XDR codec and the
+// transfer protocol build and parse messages through this type.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+
+namespace brisk {
+
+using ByteSpan = std::span<const std::uint8_t>;
+using MutableByteSpan = std::span<std::uint8_t>;
+
+class ByteBuffer {
+ public:
+  ByteBuffer() = default;
+  explicit ByteBuffer(std::size_t reserve_bytes) { data_.reserve(reserve_bytes); }
+  explicit ByteBuffer(ByteSpan initial) : data_(initial.begin(), initial.end()) {}
+
+  // ---- write side -------------------------------------------------------
+
+  void append(ByteSpan bytes) { data_.insert(data_.end(), bytes.begin(), bytes.end()); }
+  void append(const void* bytes, std::size_t len) {
+    const auto* p = static_cast<const std::uint8_t*>(bytes);
+    data_.insert(data_.end(), p, p + len);
+  }
+  void push_back(std::uint8_t byte) { data_.push_back(byte); }
+  /// Appends `count` zero bytes (XDR padding).
+  void append_zeros(std::size_t count) { data_.insert(data_.end(), count, 0); }
+
+  /// Overwrites bytes at an absolute offset (for back-patching length
+  /// fields). The range must already exist.
+  Status overwrite(std::size_t offset, ByteSpan bytes);
+
+  void clear() noexcept {
+    data_.clear();
+    read_pos_ = 0;
+  }
+
+  // ---- read side --------------------------------------------------------
+
+  /// Bytes remaining between the read cursor and the end.
+  [[nodiscard]] std::size_t remaining() const noexcept { return data_.size() - read_pos_; }
+  [[nodiscard]] std::size_t read_position() const noexcept { return read_pos_; }
+  void seek(std::size_t pos) noexcept { read_pos_ = pos < data_.size() ? pos : data_.size(); }
+
+  /// Copies `len` bytes into `out` and advances the cursor.
+  Status read(void* out, std::size_t len) noexcept;
+  /// Returns a view of the next `len` bytes and advances the cursor. The
+  /// view is invalidated by any write to the buffer.
+  Result<ByteSpan> read_view(std::size_t len) noexcept;
+  Status skip(std::size_t len) noexcept;
+
+  // ---- whole-buffer access ----------------------------------------------
+
+  [[nodiscard]] std::size_t size() const noexcept { return data_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return data_.empty(); }
+  [[nodiscard]] const std::uint8_t* data() const noexcept { return data_.data(); }
+  [[nodiscard]] ByteSpan view() const noexcept { return {data_.data(), data_.size()}; }
+  [[nodiscard]] std::vector<std::uint8_t> take() && noexcept { return std::move(data_); }
+
+  /// Hex dump (for diagnostics and golden tests).
+  [[nodiscard]] std::string hex() const;
+
+ private:
+  std::vector<std::uint8_t> data_;
+  std::size_t read_pos_ = 0;
+};
+
+}  // namespace brisk

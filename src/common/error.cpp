@@ -1,0 +1,36 @@
+#include "common/error.hpp"
+
+namespace brisk {
+
+const char* errc_name(Errc code) noexcept {
+  switch (code) {
+    case Errc::ok: return "ok";
+    case Errc::invalid_argument: return "invalid_argument";
+    case Errc::out_of_range: return "out_of_range";
+    case Errc::buffer_full: return "buffer_full";
+    case Errc::buffer_empty: return "buffer_empty";
+    case Errc::truncated: return "truncated";
+    case Errc::malformed: return "malformed";
+    case Errc::type_mismatch: return "type_mismatch";
+    case Errc::io_error: return "io_error";
+    case Errc::would_block: return "would_block";
+    case Errc::closed: return "closed";
+    case Errc::timeout: return "timeout";
+    case Errc::not_found: return "not_found";
+    case Errc::already_exists: return "already_exists";
+    case Errc::unsupported: return "unsupported";
+    case Errc::internal: return "internal";
+  }
+  return "unknown";
+}
+
+std::string Status::to_string() const {
+  std::string out = errc_name(code_);
+  if (!message_.empty()) {
+    out += ": ";
+    out += message_;
+  }
+  return out;
+}
+
+}  // namespace brisk

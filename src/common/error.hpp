@@ -1,0 +1,88 @@
+// Error handling substrate: a small status/result vocabulary used instead of
+// exceptions on hot instrumentation paths (sensors must never throw into the
+// target application).
+#pragma once
+
+#include <string>
+#include <utility>
+#include <variant>
+
+namespace brisk {
+
+enum class Errc {
+  ok = 0,
+  invalid_argument,
+  out_of_range,
+  buffer_full,
+  buffer_empty,
+  truncated,        // decode ran off the end of the input
+  malformed,        // structurally invalid wire data
+  type_mismatch,    // field decoded with an unexpected type tag
+  io_error,         // OS-level I/O failure (errno preserved in message)
+  would_block,
+  closed,           // peer or resource already shut down
+  timeout,
+  not_found,
+  already_exists,
+  unsupported,
+  internal,
+};
+
+/// Human-readable name of an error code (stable, for logs and tests).
+const char* errc_name(Errc code) noexcept;
+
+/// A status: an error code plus optional context message. `ok()` statuses
+/// carry no message and are cheap to copy.
+class Status {
+ public:
+  Status() noexcept = default;
+  Status(Errc code, std::string message) : code_(code), message_(std::move(message)) {}
+  explicit Status(Errc code) : code_(code) {}
+
+  static Status ok() noexcept { return {}; }
+
+  [[nodiscard]] bool is_ok() const noexcept { return code_ == Errc::ok; }
+  explicit operator bool() const noexcept { return is_ok(); }
+
+  [[nodiscard]] Errc code() const noexcept { return code_; }
+  [[nodiscard]] const std::string& message() const noexcept { return message_; }
+
+  /// "code: message" rendering for logs.
+  [[nodiscard]] std::string to_string() const;
+
+ private:
+  Errc code_ = Errc::ok;
+  std::string message_;
+};
+
+/// Result<T>: either a value or a Status describing why there is none.
+/// A minimal std::expected stand-in (the toolchain's libstdc++ predates it).
+template <typename T>
+class Result {
+ public:
+  Result(T value) : storage_(std::move(value)) {}  // NOLINT(google-explicit-constructor)
+  Result(Status status) : storage_(std::move(status)) {}  // NOLINT(google-explicit-constructor)
+  Result(Errc code, std::string message) : storage_(Status(code, std::move(message))) {}
+
+  [[nodiscard]] bool is_ok() const noexcept { return std::holds_alternative<T>(storage_); }
+  explicit operator bool() const noexcept { return is_ok(); }
+
+  [[nodiscard]] T& value() & { return std::get<T>(storage_); }
+  [[nodiscard]] const T& value() const& { return std::get<T>(storage_); }
+  [[nodiscard]] T&& value() && { return std::get<T>(std::move(storage_)); }
+
+  [[nodiscard]] const Status& status() const {
+    static const Status kOk{};
+    if (is_ok()) return kOk;
+    return std::get<Status>(storage_);
+  }
+
+  [[nodiscard]] T value_or(T fallback) const& {
+    return is_ok() ? std::get<T>(storage_) : std::move(fallback);
+  }
+
+ private:
+  std::variant<T, Status> storage_;
+};
+
+}  // namespace brisk

@@ -1,0 +1,52 @@
+#include "common/logging.hpp"
+
+#include <atomic>
+#include <cstdio>
+#include <mutex>
+
+namespace brisk {
+namespace {
+
+std::atomic<LogLevel> g_level{LogLevel::warn};
+std::mutex g_sink_mutex;
+LogSink& sink_slot() {
+  static LogSink sink;
+  return sink;
+}
+
+void default_sink(LogLevel level, const std::string& message) {
+  std::fprintf(stderr, "[brisk %s] %s\n", log_level_name(level), message.c_str());
+}
+
+}  // namespace
+
+const char* log_level_name(LogLevel level) noexcept {
+  switch (level) {
+    case LogLevel::debug: return "debug";
+    case LogLevel::info: return "info";
+    case LogLevel::warn: return "warn";
+    case LogLevel::error: return "error";
+    case LogLevel::off: return "off";
+  }
+  return "?";
+}
+
+void Logging::set_level(LogLevel level) noexcept { g_level.store(level, std::memory_order_relaxed); }
+
+LogLevel Logging::level() noexcept { return g_level.load(std::memory_order_relaxed); }
+
+void Logging::set_sink(LogSink sink) {
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  sink_slot() = std::move(sink);
+}
+
+void Logging::emit(LogLevel level, const std::string& message) {
+  std::lock_guard<std::mutex> lock(g_sink_mutex);
+  if (sink_slot()) {
+    sink_slot()(level, message);
+  } else {
+    default_sink(level, message);
+  }
+}
+
+}  // namespace brisk

@@ -1,0 +1,59 @@
+// Minimal leveled logger. BRISK daemons (EXS, ISM) log to stderr by default;
+// tests install a capturing sink. Logging is deliberately kept off the
+// sensor fast path — internal sensors never log.
+#pragma once
+
+#include <functional>
+#include <sstream>
+#include <string>
+
+namespace brisk {
+
+enum class LogLevel { debug = 0, info = 1, warn = 2, error = 3, off = 4 };
+
+const char* log_level_name(LogLevel level) noexcept;
+
+using LogSink = std::function<void(LogLevel, const std::string&)>;
+
+/// Process-wide logging configuration. Not thread-safe to reconfigure while
+/// other threads log; configure once at startup (tests serialize this).
+class Logging {
+ public:
+  static void set_level(LogLevel level) noexcept;
+  static LogLevel level() noexcept;
+  /// Replaces the sink; pass nullptr to restore the stderr default.
+  static void set_sink(LogSink sink);
+  static void emit(LogLevel level, const std::string& message);
+};
+
+namespace detail {
+
+class LogStatement {
+ public:
+  explicit LogStatement(LogLevel level) : level_(level) {}
+  ~LogStatement() { Logging::emit(level_, stream_.str()); }
+  LogStatement(const LogStatement&) = delete;
+  LogStatement& operator=(const LogStatement&) = delete;
+
+  template <typename T>
+  LogStatement& operator<<(const T& value) {
+    stream_ << value;
+    return *this;
+  }
+
+ private:
+  LogLevel level_;
+  std::ostringstream stream_;
+};
+
+}  // namespace detail
+}  // namespace brisk
+
+#define BRISK_LOG(severity)                                       \
+  if (::brisk::LogLevel::severity < ::brisk::Logging::level()) {} \
+  else ::brisk::detail::LogStatement(::brisk::LogLevel::severity)
+
+#define BRISK_LOG_DEBUG BRISK_LOG(debug)
+#define BRISK_LOG_INFO BRISK_LOG(info)
+#define BRISK_LOG_WARN BRISK_LOG(warn)
+#define BRISK_LOG_ERROR BRISK_LOG(error)

@@ -1,0 +1,136 @@
+#include "common/string_util.hpp"
+
+#include <cctype>
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+namespace brisk {
+
+std::vector<std::string> split(std::string_view text, char separator) {
+  std::vector<std::string> out;
+  std::size_t start = 0;
+  while (true) {
+    std::size_t pos = text.find(separator, start);
+    if (pos == std::string_view::npos) {
+      out.emplace_back(text.substr(start));
+      return out;
+    }
+    out.emplace_back(text.substr(start, pos - start));
+    start = pos + 1;
+  }
+}
+
+std::string_view trim(std::string_view text) noexcept {
+  std::size_t begin = 0;
+  std::size_t end = text.size();
+  while (begin < end && std::isspace(static_cast<unsigned char>(text[begin])) != 0) ++begin;
+  while (end > begin && std::isspace(static_cast<unsigned char>(text[end - 1])) != 0) --end;
+  return text.substr(begin, end - begin);
+}
+
+std::string join(const std::vector<std::string>& items, std::string_view separator) {
+  std::string out;
+  for (std::size_t i = 0; i < items.size(); ++i) {
+    if (i != 0) out += separator;
+    out += items[i];
+  }
+  return out;
+}
+
+std::optional<long long> parse_int(std::string_view text) noexcept {
+  if (text.empty() || text.size() >= 32) return std::nullopt;
+  char buf[32];
+  std::memcpy(buf, text.data(), text.size());
+  buf[text.size()] = '\0';
+  errno = 0;
+  char* end = nullptr;
+  long long value = std::strtoll(buf, &end, 10);
+  if (errno != 0 || end != buf + text.size()) return std::nullopt;
+  return value;
+}
+
+std::optional<double> parse_double(std::string_view text) noexcept {
+  if (text.empty() || text.size() >= 64) return std::nullopt;
+  char buf[64];
+  std::memcpy(buf, text.data(), text.size());
+  buf[text.size()] = '\0';
+  errno = 0;
+  char* end = nullptr;
+  double value = std::strtod(buf, &end);
+  if (errno != 0 || end != buf + text.size()) return std::nullopt;
+  return value;
+}
+
+bool starts_with(std::string_view text, std::string_view prefix) noexcept {
+  return text.size() >= prefix.size() && text.substr(0, prefix.size()) == prefix;
+}
+
+std::string escape_ascii(std::string_view text) {
+  static const char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(text.size());
+  for (char c : text) {
+    const auto u = static_cast<unsigned char>(c);
+    switch (c) {
+      case '\\': out += "\\\\"; break;
+      case '"': out += "\\\""; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (u < 0x20 || u == 0x7f) {
+          out += "\\x";
+          out.push_back(kDigits[u >> 4]);
+          out.push_back(kDigits[u & 0xf]);
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+namespace {
+
+int hex_digit(char c) noexcept {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  return -1;
+}
+
+}  // namespace
+
+std::optional<std::string> unescape_ascii(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (std::size_t i = 0; i < text.size(); ++i) {
+    if (text[i] != '\\') {
+      out.push_back(text[i]);
+      continue;
+    }
+    if (i + 1 >= text.size()) return std::nullopt;
+    char next = text[++i];
+    switch (next) {
+      case '\\': out.push_back('\\'); break;
+      case '"': out.push_back('"'); break;
+      case 'n': out.push_back('\n'); break;
+      case 't': out.push_back('\t'); break;
+      case 'r': out.push_back('\r'); break;
+      case 'x': {
+        if (i + 2 >= text.size()) return std::nullopt;
+        int hi = hex_digit(text[i + 1]);
+        int lo = hex_digit(text[i + 2]);
+        if (hi < 0 || lo < 0) return std::nullopt;
+        out.push_back(static_cast<char>(hi * 16 + lo));
+        i += 2;
+        break;
+      }
+      default: return std::nullopt;
+    }
+  }
+  return out;
+}
+
+}  // namespace brisk

@@ -1,0 +1,36 @@
+// Small string helpers used by the PICL writer, the mknotice generator and
+// diagnostics. No locale dependence anywhere.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace brisk {
+
+/// Splits on a single character; empty tokens are preserved.
+std::vector<std::string> split(std::string_view text, char separator);
+
+/// Trims ASCII whitespace from both ends.
+std::string_view trim(std::string_view text) noexcept;
+
+/// Joins items with a separator.
+std::string join(const std::vector<std::string>& items, std::string_view separator);
+
+/// Strict decimal parse of a signed 64-bit integer (whole string must match).
+std::optional<long long> parse_int(std::string_view text) noexcept;
+
+/// Strict parse of a double (whole string must match).
+std::optional<double> parse_double(std::string_view text) noexcept;
+
+bool starts_with(std::string_view text, std::string_view prefix) noexcept;
+
+/// Escapes a string for embedding in PICL ASCII records: backslash, quote,
+/// and control characters become \xNN or standard escapes.
+std::string escape_ascii(std::string_view text);
+
+/// Inverse of escape_ascii. Returns nullopt on malformed escapes.
+std::optional<std::string> unescape_ascii(std::string_view text);
+
+}  // namespace brisk

@@ -1,0 +1,48 @@
+#include "common/time_util.hpp"
+
+#include <time.h>
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace brisk {
+namespace {
+
+TimeMicros from_timespec(const timespec& ts) noexcept {
+  return static_cast<TimeMicros>(ts.tv_sec) * 1'000'000 + ts.tv_nsec / 1'000;
+}
+
+TimeMicros read_clock(clockid_t id) noexcept {
+  timespec ts{};
+  clock_gettime(id, &ts);
+  return from_timespec(ts);
+}
+
+}  // namespace
+
+TimeMicros wall_time_micros() noexcept { return read_clock(CLOCK_REALTIME); }
+
+TimeMicros monotonic_micros() noexcept { return read_clock(CLOCK_MONOTONIC); }
+
+TimeMicros process_cpu_micros() noexcept { return read_clock(CLOCK_PROCESS_CPUTIME_ID); }
+
+TimeMicros thread_cpu_micros() noexcept { return read_clock(CLOCK_THREAD_CPUTIME_ID); }
+
+void sleep_micros(TimeMicros duration) noexcept {
+  if (duration <= 0) return;
+  timespec ts{};
+  ts.tv_sec = duration / 1'000'000;
+  ts.tv_nsec = (duration % 1'000'000) * 1'000;
+  nanosleep(&ts, nullptr);
+}
+
+std::string format_micros(TimeMicros t) {
+  const bool negative = t < 0;
+  if (negative) t = -t;
+  char buf[48];
+  std::snprintf(buf, sizeof buf, "%s%" PRId64 ".%06" PRId64, negative ? "-" : "",
+                t / 1'000'000, t % 1'000'000);
+  return buf;
+}
+
+}  // namespace brisk

@@ -1,0 +1,27 @@
+// Basic type aliases shared across every BRISK module.
+#pragma once
+
+#include <cstdint>
+
+namespace brisk {
+
+/// Microseconds of Universal Coordinated Time. The paper embeds timestamps
+/// as an "eight-byte longlong_t, representing the number of microseconds of
+/// UTC"; we keep the same width and unit everywhere.
+using TimeMicros = std::int64_t;
+
+/// Identifies one node of the target system (one LIS / external sensor).
+using NodeId = std::uint32_t;
+
+/// Identifies one internal sensor (one NOTICE site) within a node.
+using SensorId = std::uint32_t;
+
+/// Identifier carried by X_REASON / X_CONSEQ fields ("the user supplies
+/// u_long identifiers ... determining which consequence events must follow
+/// respective reason events").
+using CausalId = std::uint32_t;
+
+/// Monotonic per-node record sequence number, used to detect ring drops.
+using SequenceNo = std::uint64_t;
+
+}  // namespace brisk

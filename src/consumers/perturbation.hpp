@@ -1,0 +1,52 @@
+// Perturbation (degree-of-intrusion) analysis.
+//
+// The paper's first design objective: "The overhead should be predictable
+// and must not change the order and timing of critical events ... so that
+// perturbation analyses can be performed to investigate the degree of
+// intrusion." This module does the accounting: calibrate the per-NOTICE
+// cost on the target machine, then combine it with the sensor counters the
+// fast path already maintains to estimate how much CPU time instrumentation
+// stole from the application.
+#pragma once
+
+#include <string>
+
+#include "clock/clock.hpp"
+#include "sensors/sensor.hpp"
+
+namespace brisk::consumers {
+
+struct NoticeCalibration {
+  /// Measured CPU cost of one accepted NOTICE (ring push included).
+  double per_notice_us = 0.0;
+  /// Measured CPU cost of a NOTICE that is dropped at a full ring (cheaper:
+  /// no payload copy survives, but the formatting still happened).
+  double per_dropped_us = 0.0;
+  std::uint64_t calibration_iterations = 0;
+};
+
+/// Measures NOTICE cost on a scratch ring with the paper's 6-int workload
+/// record. Runs `iterations` notices twice (accepted and ring-full) under
+/// the thread CPU clock.
+NoticeCalibration calibrate_notice_cost(std::uint64_t iterations = 200'000);
+
+struct PerturbationReport {
+  std::uint64_t notices = 0;
+  std::uint64_t accepted = 0;
+  std::uint64_t dropped = 0;
+  double estimated_overhead_us = 0.0;
+
+  /// Overhead as a fraction of the application CPU time it perturbs.
+  [[nodiscard]] double overhead_fraction(TimeMicros app_cpu_us) const noexcept {
+    return app_cpu_us <= 0 ? 0.0
+                           : estimated_overhead_us / static_cast<double>(app_cpu_us);
+  }
+
+  [[nodiscard]] std::string to_string() const;
+};
+
+/// Applies a calibration to the counters of one sensor.
+PerturbationReport estimate_perturbation(const sensors::SensorStats& stats,
+                                         const NoticeCalibration& calibration);
+
+}  // namespace brisk::consumers

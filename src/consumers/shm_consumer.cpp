@@ -1,0 +1,33 @@
+#include "consumers/shm_consumer.hpp"
+
+#include "ism/output.hpp"
+
+namespace brisk::consumers {
+
+Result<std::optional<sensors::Record>> ShmConsumer::poll() {
+  scratch_.clear();
+  if (!ring_.try_pop(scratch_)) return std::optional<sensors::Record>{};
+  auto record = ism::decode_output_record(ByteSpan{scratch_.data(), scratch_.size()});
+  if (!record) return record.status();
+  ++consumed_;
+  return std::optional<sensors::Record>{std::move(record).value()};
+}
+
+Result<std::vector<sensors::Record>> ShmConsumer::poll_all() {
+  std::vector<sensors::Record> out;
+  for (;;) {
+    auto record = poll();
+    if (!record) return record.status();
+    if (!record.value().has_value()) return out;
+    out.push_back(std::move(*record.value()));
+  }
+}
+
+Result<std::optional<std::string>> ShmConsumer::poll_picl(const picl::PiclOptions& options) {
+  auto record = poll();
+  if (!record) return record.status();
+  if (!record.value().has_value()) return std::optional<std::string>{};
+  return std::optional<std::string>{picl::to_picl_line(*record.value(), options)};
+}
+
+}  // namespace brisk::consumers

@@ -1,0 +1,40 @@
+// Consumer-tool side of the ISM's default output: reads native records
+// from the ISM's shared-memory output ring ("which is then read by
+// instrumentation data consumer tools"), with an optional PICL-string
+// adapter ("other consumers can read the ISM's memory buffer, e.g., using
+// supplied code that creates PICL strings").
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "picl/picl_record.hpp"
+#include "sensors/record.hpp"
+#include "shm/ring_buffer.hpp"
+
+namespace brisk::consumers {
+
+class ShmConsumer {
+ public:
+  /// `ring` is the ISM's output ring (attached from the consumer process).
+  explicit ShmConsumer(shm::RingBuffer ring) : ring_(ring) {}
+
+  /// Next record, or nullopt when the ring is currently empty.
+  Result<std::optional<sensors::Record>> poll();
+
+  /// Drains everything currently available.
+  Result<std::vector<sensors::Record>> poll_all();
+
+  /// Next record rendered as a PICL string (the supplied adapter code).
+  Result<std::optional<std::string>> poll_picl(const picl::PiclOptions& options);
+
+  [[nodiscard]] std::uint64_t records_consumed() const noexcept { return consumed_; }
+
+ private:
+  shm::RingBuffer ring_;
+  std::vector<std::uint8_t> scratch_;
+  std::uint64_t consumed_ = 0;
+};
+
+}  // namespace brisk::consumers

@@ -1,0 +1,53 @@
+#include "consumers/trace_stats.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace brisk::consumers {
+
+void TraceStats::add(const sensors::Record& record) {
+  TraceSummary& s = summary_;
+  ++s.records;
+  ++s.per_node[record.node];
+  ++s.per_sensor[record.sensor];
+  if (!any_) {
+    s.first_ts = record.timestamp;
+    s.last_ts = record.timestamp;
+    any_ = true;
+  } else {
+    if (record.timestamp < prev_ts_) {
+      ++s.out_of_order;
+      const TimeMicros backstep = prev_ts_ - record.timestamp;
+      if (backstep > s.max_backstep_us) s.max_backstep_us = backstep;
+    }
+    if (record.timestamp > s.last_ts) s.last_ts = record.timestamp;
+    if (record.timestamp < s.first_ts) s.first_ts = record.timestamp;
+  }
+  prev_ts_ = record.timestamp;
+}
+
+std::string TraceStats::report() const {
+  const TraceSummary& s = summary_;
+  char buf[256];
+  std::string out;
+  std::snprintf(buf, sizeof buf,
+                "records: %" PRIu64 "\nduration: %.6f s\nrate: %.1f ev/s\n"
+                "out-of-order: %" PRIu64 " (%.4f%%)\nmax backstep: %" PRId64 " us\n",
+                s.records, s.duration_seconds(), s.event_rate_per_sec(), s.out_of_order,
+                100.0 * s.out_of_order_fraction(), s.max_backstep_us);
+  out += buf;
+  out += "per-node:";
+  for (const auto& [node, count] : s.per_node) {
+    std::snprintf(buf, sizeof buf, " %u=%" PRIu64, node, count);
+    out += buf;
+  }
+  out += "\nper-sensor:";
+  for (const auto& [sensor, count] : s.per_sensor) {
+    std::snprintf(buf, sizeof buf, " %u=%" PRIu64, sensor, count);
+    out += buf;
+  }
+  out += '\n';
+  return out;
+}
+
+}  // namespace brisk::consumers

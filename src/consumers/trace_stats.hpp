@@ -1,0 +1,52 @@
+// Trace analysis: summary statistics over a stream of records — what a
+// downstream performance-analysis tool computes first, and what the
+// evaluation harness uses to score ordering quality.
+#pragma once
+
+#include <cstdint>
+#include <map>
+
+#include "sensors/record.hpp"
+
+namespace brisk::consumers {
+
+struct TraceSummary {
+  std::uint64_t records = 0;
+  std::map<NodeId, std::uint64_t> per_node;
+  std::map<SensorId, std::uint64_t> per_sensor;
+  TimeMicros first_ts = 0;
+  TimeMicros last_ts = 0;
+  /// Records whose timestamp was smaller than the previous record's — the
+  /// out-of-order fraction is the on-line sorter's quality metric.
+  std::uint64_t out_of_order = 0;
+  TimeMicros max_backstep_us = 0;  // largest observed timestamp regression
+
+  [[nodiscard]] double duration_seconds() const noexcept {
+    return records < 2 ? 0.0 : static_cast<double>(last_ts - first_ts) / 1e6;
+  }
+  [[nodiscard]] double event_rate_per_sec() const noexcept {
+    const double d = duration_seconds();
+    return d <= 0 ? 0.0 : static_cast<double>(records) / d;
+  }
+  [[nodiscard]] double out_of_order_fraction() const noexcept {
+    return records == 0 ? 0.0
+                        : static_cast<double>(out_of_order) / static_cast<double>(records);
+  }
+};
+
+/// Streaming accumulator: feed records in delivery order.
+class TraceStats {
+ public:
+  void add(const sensors::Record& record);
+
+  [[nodiscard]] const TraceSummary& summary() const noexcept { return summary_; }
+  /// Multi-line human-readable report.
+  [[nodiscard]] std::string report() const;
+
+ private:
+  TraceSummary summary_;
+  TimeMicros prev_ts_ = 0;
+  bool any_ = false;
+};
+
+}  // namespace brisk::consumers

@@ -1,0 +1,41 @@
+#include "core/brisk_manager.hpp"
+
+namespace brisk {
+
+Result<std::unique_ptr<BriskManager>> BriskManager::create(const ManagerConfig& config,
+                                                           clk::Clock& clock) {
+  Status valid = config.validate();
+  if (!valid) return valid;
+
+  const std::size_t bytes = shm::RingBuffer::region_size(config.output_ring_capacity);
+  auto region = config.output_shm_name.empty()
+                    ? shm::SharedRegion::create_anonymous(bytes)
+                    : shm::SharedRegion::create_named(config.output_shm_name, bytes);
+  if (!region) return region.status();
+  auto ring = shm::RingBuffer::init(region.value().data(), config.output_ring_capacity);
+  if (!ring) return ring.status();
+
+  auto fan_out = std::make_shared<ism::FanOut>();
+  fan_out->add(std::make_shared<ism::ShmOutputSink>(ring.value()));
+  if (!config.picl_trace_path.empty()) {
+    auto writer = picl::PiclWriter::open(config.picl_trace_path, config.picl_options);
+    if (!writer) return writer.status();
+    fan_out->add(std::make_shared<ism::PiclFileSink>(std::move(writer).value()));
+  }
+
+  auto manager = std::unique_ptr<BriskManager>(
+      new BriskManager(config, std::move(region).value(), ring.value(), fan_out));
+  auto ism = ism::Ism::start(config.ism, clock, manager->fan_out_);
+  if (!ism) return ism.status();
+  manager->ism_ = std::move(ism).value();
+  return manager;
+}
+
+Result<consumers::ShmConsumer> BriskManager::make_consumer() {
+  // Re-attach so the consumer has its own cursor view... the ring is SPSC:
+  // the single consumer is whoever reads; multiple consumers would race.
+  // Hand out the one ring; callers coordinate (typically exactly one tool).
+  return consumers::ShmConsumer(output_ring_);
+}
+
+}  // namespace brisk

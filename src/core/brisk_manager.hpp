@@ -1,0 +1,58 @@
+// BriskManager: the manager-side facade of the public API.
+//
+// Owns the ISM, its shared-memory output ring, and the optional PICL trace
+// sink; hands out consumers attached to the output ring.
+//
+//   brisk::ManagerConfig cfg;
+//   auto manager = brisk::BriskManager::create(cfg);
+//   std::uint16_t port = manager.value()->port();   // give this to the EXSes
+//   auto consumer = manager.value()->make_consumer();
+//   ... manager.value()->run() in the ISM process/thread ...
+#pragma once
+
+#include <memory>
+
+#include "consumers/shm_consumer.hpp"
+#include "core/knobs.hpp"
+#include "ism/ism.hpp"
+#include "shm/shared_region.hpp"
+
+namespace brisk {
+
+class BriskManager {
+ public:
+  static Result<std::unique_ptr<BriskManager>> create(
+      const ManagerConfig& config, clk::Clock& clock = clk::SystemClock::instance());
+
+  /// Adds an extra output sink (e.g. a vo::VoSink) before records flow.
+  void add_sink(std::shared_ptr<ism::OutputSink> sink) { fan_out_->add(std::move(sink)); }
+
+  [[nodiscard]] std::uint16_t port() const noexcept { return ism_->port(); }
+  [[nodiscard]] ism::Ism& ism() noexcept { return *ism_; }
+
+  /// A consumer attached to the shared-memory output ring.
+  Result<consumers::ShmConsumer> make_consumer();
+
+  Status run() { return ism_->run(); }
+  Status run_for(TimeMicros duration) { return ism_->run_for(duration); }
+  void stop() noexcept { ism_->stop(); }
+  Status drain() { return ism_->drain(); }
+
+  [[nodiscard]] const ManagerConfig& config() const noexcept { return config_; }
+
+ private:
+  BriskManager(ManagerConfig config, shm::SharedRegion output_region,
+               shm::RingBuffer output_ring, std::shared_ptr<ism::FanOut> fan_out)
+      : config_(std::move(config)),
+        output_region_(std::move(output_region)),
+        output_ring_(output_ring),
+        fan_out_(std::move(fan_out)) {}
+
+  ManagerConfig config_;
+  shm::SharedRegion output_region_;
+  shm::RingBuffer output_ring_;
+  std::shared_ptr<ism::FanOut> fan_out_;
+  std::unique_ptr<ism::Ism> ism_;
+};
+
+}  // namespace brisk

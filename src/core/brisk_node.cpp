@@ -1,0 +1,48 @@
+#include "core/brisk_node.hpp"
+
+namespace brisk {
+
+Result<std::unique_ptr<BriskNode>> BriskNode::create(const NodeConfig& config,
+                                                     clk::Clock& clock) {
+  Status valid = config.validate();
+  if (!valid) return valid;
+  const std::size_t bytes =
+      shm::MultiRing::region_size(config.sensor_slots, config.ring_capacity);
+  auto region = config.shm_name.empty()
+                    ? shm::SharedRegion::create_anonymous(bytes)
+                    : shm::SharedRegion::create_named(config.shm_name, bytes);
+  if (!region) return region.status();
+  auto rings =
+      shm::MultiRing::init(region.value().data(), config.sensor_slots, config.ring_capacity);
+  if (!rings) return rings.status();
+  return std::unique_ptr<BriskNode>(
+      new BriskNode(config, clock, std::move(region).value(), rings.value()));
+}
+
+Result<std::unique_ptr<BriskNode>> BriskNode::attach(const NodeConfig& config,
+                                                     clk::Clock& clock) {
+  if (config.shm_name.empty()) {
+    return Status(Errc::invalid_argument, "attach requires a named shm region");
+  }
+  auto region = shm::SharedRegion::open_named(config.shm_name);
+  if (!region) return region.status();
+  auto rings = shm::MultiRing::attach(region.value().data(), region.value().size());
+  if (!rings) return rings.status();
+  return std::unique_ptr<BriskNode>(
+      new BriskNode(config, clock, std::move(region).value(), rings.value()));
+}
+
+Result<sensors::Sensor> BriskNode::make_sensor() {
+  auto ring = rings_.claim_slot();
+  if (!ring) return ring.status();
+  return sensors::Sensor(ring.value(), clock_);
+}
+
+Result<std::unique_ptr<lis::ExternalSensor>> BriskNode::connect_exs(const std::string& ism_host,
+                                                                    std::uint16_t ism_port) {
+  lis::ExsConfig exs_config = config_.exs;
+  exs_config.node = config_.node;
+  return lis::ExternalSensor::connect(exs_config, rings_, clock_, ism_host, ism_port);
+}
+
+}  // namespace brisk

@@ -1,0 +1,64 @@
+// BriskNode: the node-side facade of the public API.
+//
+// One BriskNode per node of the target system. It owns the shared-memory
+// ring directory, hands out internal sensors to application code, and
+// starts the external sensor that ships everything to the ISM:
+//
+//   brisk::NodeConfig cfg;            // knobs
+//   auto node = brisk::BriskNode::create(cfg);
+//   auto sensor = node.value()->make_sensor();
+//   BRISK_NOTICE(sensor.value(), kMyEvent, brisk::sensors::x_i32(v));
+//   auto exs = node.value()->connect_exs("127.0.0.1", ism_port);
+//   ... exs.value()->run() in the EXS process/thread ...
+#pragma once
+
+#include <memory>
+
+#include "clock/clock.hpp"
+#include "core/knobs.hpp"
+#include "lis/external_sensor.hpp"
+#include "sensors/sensor.hpp"
+#include "shm/multi_ring.hpp"
+#include "shm/shared_region.hpp"
+
+namespace brisk {
+
+class BriskNode {
+ public:
+  /// Creates the node's shared region (named if config.shm_name is set,
+  /// anonymous otherwise) and formats the ring directory in it.
+  static Result<std::unique_ptr<BriskNode>> create(const NodeConfig& config,
+                                                   clk::Clock& clock = clk::SystemClock::instance());
+
+  /// Attaches to an existing named node region from another process (the
+  /// instrumented application attaching to the region brisk_exs created).
+  static Result<std::unique_ptr<BriskNode>> attach(const NodeConfig& config,
+                                                   clk::Clock& clock = clk::SystemClock::instance());
+
+  /// Claims a producer slot and binds a Sensor to it. One per producer
+  /// (process or thread); at most config.sensor_slots total.
+  Result<sensors::Sensor> make_sensor();
+
+  /// Connects the external sensor to the ISM. Call from the process that
+  /// will run the EXS loop.
+  Result<std::unique_ptr<lis::ExternalSensor>> connect_exs(const std::string& ism_host,
+                                                           std::uint16_t ism_port);
+
+  [[nodiscard]] shm::MultiRing& rings() noexcept { return rings_; }
+  [[nodiscard]] const NodeConfig& config() const noexcept { return config_; }
+  [[nodiscard]] clk::Clock& clock() noexcept { return clock_; }
+
+ private:
+  BriskNode(NodeConfig config, clk::Clock& clock, shm::SharedRegion region, shm::MultiRing rings)
+      : config_(std::move(config)),
+        clock_(clock),
+        region_(std::move(region)),
+        rings_(rings) {}
+
+  NodeConfig config_;
+  clk::Clock& clock_;
+  shm::SharedRegion region_;
+  shm::MultiRing rings_;
+};
+
+}  // namespace brisk

@@ -1,0 +1,89 @@
+#include "core/knobs.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace brisk {
+namespace {
+
+void line(std::string& out, const char* key, long long value) {
+  char buf[128];
+  std::snprintf(buf, sizeof buf, "%s = %lld\n", key, value);
+  out += buf;
+}
+
+void line(std::string& out, const char* key, double value) {
+  char buf[128];
+  std::snprintf(buf, sizeof buf, "%s = %g\n", key, value);
+  out += buf;
+}
+
+void line(std::string& out, const char* key, const std::string& value) {
+  out += key;
+  out += " = \"";
+  out += value;
+  out += "\"\n";
+}
+
+}  // namespace
+
+Status NodeConfig::validate() const {
+  if (sensor_slots == 0) return Status(Errc::invalid_argument, "sensor_slots == 0");
+  if (ring_capacity < 1024) return Status(Errc::invalid_argument, "ring_capacity < 1024");
+  return exs.validate();
+}
+
+Status ManagerConfig::validate() const {
+  if (output_ring_capacity < 1024) {
+    return Status(Errc::invalid_argument, "output_ring_capacity < 1024");
+  }
+  if (ism.select_timeout_us <= 0) {
+    return Status(Errc::invalid_argument, "ism.select_timeout_us <= 0");
+  }
+  if (ism.sorter.min_frame_us < 0 || ism.sorter.max_frame_us < ism.sorter.min_frame_us) {
+    return Status(Errc::invalid_argument, "sorter frame bounds inverted");
+  }
+  return Status::ok();
+}
+
+std::string describe(const NodeConfig& config) {
+  std::string out = "[brisk.node]\n";
+  line(out, "node", static_cast<long long>(config.node));
+  line(out, "sensor_slots", static_cast<long long>(config.sensor_slots));
+  line(out, "ring_capacity", static_cast<long long>(config.ring_capacity));
+  line(out, "shm_name", config.shm_name);
+  line(out, "exs.batch_max_records", static_cast<long long>(config.exs.batch_max_records));
+  line(out, "exs.batch_max_bytes", static_cast<long long>(config.exs.batch_max_bytes));
+  line(out, "exs.batch_max_age_us", static_cast<long long>(config.exs.batch_max_age_us));
+  line(out, "exs.drain_burst", static_cast<long long>(config.exs.drain_burst));
+  line(out, "exs.select_timeout_us", static_cast<long long>(config.exs.select_timeout_us));
+  return out;
+}
+
+std::string describe(const ManagerConfig& config) {
+  std::string out = "[brisk.manager]\n";
+  line(out, "ism.port", static_cast<long long>(config.ism.port));
+  line(out, "ism.select_timeout_us", static_cast<long long>(config.ism.select_timeout_us));
+  line(out, "sorter.initial_frame_us", static_cast<long long>(config.ism.sorter.initial_frame_us));
+  line(out, "sorter.min_frame_us", static_cast<long long>(config.ism.sorter.min_frame_us));
+  line(out, "sorter.max_frame_us", static_cast<long long>(config.ism.sorter.max_frame_us));
+  line(out, "sorter.decay_half_life_s", config.ism.sorter.decay_half_life_s);
+  line(out, "sorter.adaptive", static_cast<long long>(config.ism.sorter.adaptive ? 1 : 0));
+  line(out, "sorter.max_pending", static_cast<long long>(config.ism.sorter.max_pending));
+  line(out, "cre.hold_timeout_us", static_cast<long long>(config.ism.cre.hold_timeout_us));
+  line(out, "sync.enable", static_cast<long long>(config.ism.enable_sync ? 1 : 0));
+  line(out, "sync.period_us", static_cast<long long>(config.ism.sync.period_us));
+  line(out, "sync.algorithm",
+       std::string(config.ism.sync.algorithm == clk::SyncAlgorithm::brisk ? "brisk" : "cristian"));
+  line(out, "sync.brisk.polls_per_round",
+       static_cast<long long>(config.ism.sync.brisk.polls_per_round));
+  line(out, "sync.brisk.avg_threshold_us",
+       static_cast<long long>(config.ism.sync.brisk.avg_threshold_us));
+  line(out, "sync.brisk.conservative_fraction", config.ism.sync.brisk.conservative_fraction);
+  line(out, "output_ring_capacity", static_cast<long long>(config.output_ring_capacity));
+  line(out, "output_shm_name", config.output_shm_name);
+  line(out, "picl_trace_path", config.picl_trace_path);
+  return out;
+}
+
+}  // namespace brisk

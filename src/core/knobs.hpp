@@ -1,0 +1,49 @@
+// The collected tuning knobs of a BRISK deployment.
+//
+// "we added tuning knobs to many of BRISK's subsystems, so that users can
+// trade-off among the various simple and complex IS performance metrics" —
+// NodeConfig gathers the LIS-side knobs, ManagerConfig the ISM-side ones,
+// and describe() renders any configuration for logs and experiment records.
+#pragma once
+
+#include <string>
+
+#include "clock/sync_service.hpp"
+#include "ism/ism.hpp"
+#include "lis/exs_config.hpp"
+
+namespace brisk {
+
+struct NodeConfig {
+  NodeId node = 0;
+  /// Producer slots in the node's ring directory (max concurrent user
+  /// processes/threads using internal sensors on this node).
+  std::uint32_t sensor_slots = 8;
+  /// Data bytes per producer ring.
+  std::uint32_t ring_capacity = 1u << 20;
+  /// Name for a POSIX shm segment ("/brisk-node-3") so independently
+  /// started executables can attach; empty = anonymous (fork-shared).
+  std::string shm_name;
+  lis::ExsConfig exs;
+
+  [[nodiscard]] Status validate() const;
+};
+
+struct ManagerConfig {
+  ism::IsmConfig ism;
+  /// Data bytes of the shared-memory output ring consumers read.
+  std::uint32_t output_ring_capacity = 1u << 20;
+  /// Name for the output shm segment; empty = anonymous (fork-shared).
+  std::string output_shm_name;
+  /// Optional PICL ASCII trace file ("" = disabled).
+  std::string picl_trace_path;
+  picl::PiclOptions picl_options;
+
+  [[nodiscard]] Status validate() const;
+};
+
+/// Human-readable knob dump (one "key = value" per line).
+std::string describe(const NodeConfig& config);
+std::string describe(const ManagerConfig& config);
+
+}  // namespace brisk

@@ -1,0 +1,14 @@
+// Library version, mirroring the paper's "first public version ...
+// BRISK-1.0" lineage.
+#pragma once
+
+namespace brisk {
+
+inline constexpr int kVersionMajor = 1;
+inline constexpr int kVersionMinor = 0;
+inline constexpr int kVersionPatch = 0;
+
+/// "1.0.0"
+const char* version_string() noexcept;
+
+}  // namespace brisk

@@ -1,0 +1,82 @@
+#include "ism/cre_matcher.hpp"
+
+#include <utility>
+
+namespace brisk::ism {
+
+CreMatcher::CreMatcher(const CreConfig& config, clk::Clock& clock,
+                       std::function<void()> on_tachyon)
+    : config_(config), clock_(clock), on_tachyon_(std::move(on_tachyon)) {}
+
+void CreMatcher::repair(sensors::Record& conseq, TimeMicros reason_ts) {
+  conseq.timestamp = reason_ts + config_.repair_margin_us;
+  ++stats_.tachyons_repaired;
+  ++stats_.extra_sync_requests;
+  if (on_tachyon_) on_tachyon_();
+}
+
+void CreMatcher::process(sensors::Record record, std::vector<sensors::Record>& out) {
+  const auto reason_id = record.reason_id();
+  const auto conseq_id = record.conseq_id();
+
+  if (reason_id.has_value()) {
+    ++stats_.reasons_seen;
+    const TimeMicros reason_ts = record.timestamp;
+    reasons_[*reason_id] = {reason_ts, clock_.now()};
+
+    // Release every consequence waiting on this reason, repairing tachyons.
+    auto [begin, end] = waiting_conseqs_.equal_range(*reason_id);
+    for (auto it = begin; it != end; ++it) {
+      sensors::Record conseq = std::move(it->second.record);
+      ++stats_.matched;
+      if (conseq.timestamp <= reason_ts) repair(conseq, reason_ts);
+      out.push_back(std::move(conseq));
+    }
+    waiting_conseqs_.erase(begin, end);
+    // The reason record itself continues immediately (it is an event too).
+    out.push_back(std::move(record));
+    return;
+  }
+
+  if (conseq_id.has_value()) {
+    ++stats_.conseqs_seen;
+    auto it = reasons_.find(*conseq_id);
+    if (it != reasons_.end()) {
+      ++stats_.matched;
+      if (record.timestamp <= it->second.timestamp) repair(record, it->second.timestamp);
+      out.push_back(std::move(record));
+      return;
+    }
+    // No reason yet: hold until it arrives or the timeout expires.
+    ++stats_.conseqs_held;
+    waiting_conseqs_.emplace(*conseq_id, HeldConseq{std::move(record), clock_.now()});
+    return;
+  }
+
+  // Unmarked record: straight through.
+  out.push_back(std::move(record));
+}
+
+void CreMatcher::service(std::vector<sensors::Record>& out) {
+  const TimeMicros now = clock_.now();
+
+  for (auto it = waiting_conseqs_.begin(); it != waiting_conseqs_.end();) {
+    if (now - it->second.held_at >= config_.hold_timeout_us) {
+      ++stats_.hold_timeouts;
+      out.push_back(std::move(it->second.record));
+      it = waiting_conseqs_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+
+  for (auto it = reasons_.begin(); it != reasons_.end();) {
+    if (now - it->second.seen_at >= config_.hold_timeout_us) {
+      it = reasons_.erase(it);
+    } else {
+      ++it;
+    }
+  }
+}
+
+}  // namespace brisk::ism

@@ -1,0 +1,85 @@
+// Causally-related event (CRE) matching and tachyon repair (Sections 3.2 &
+// 3.6 of the paper).
+//
+// Events marked X_REASON / X_CONSEQ with the same user-supplied identifier
+// are causally related: the consequence must never be ordered before its
+// reason. The ISM matches them through a hash table:
+//  * a consequence with no reason yet seen is held in memory until the
+//    reason arrives — bounded by a timeout, "because its peer may have been
+//    dropped";
+//  * when a reason arrives and a waiting consequence has a *smaller*
+//    timestamp (a tachyon — the clocks were clearly out of sync), the
+//    consequence's timestamp "is overridden by a larger value" and "an
+//    extra round of the clock synchronization algorithm is invoked
+//    immediately";
+//  * a consequence that arrives after its reason with a smaller timestamp
+//    is repaired the same way.
+#pragma once
+
+#include <functional>
+#include <unordered_map>
+#include <vector>
+
+#include "clock/clock.hpp"
+#include "sensors/record.hpp"
+
+namespace brisk::ism {
+
+struct CreConfig {
+  /// How long a causally-marked record (reason entry or held consequence)
+  /// may stay in memory.
+  TimeMicros hold_timeout_us = 1'000'000;
+  /// Timestamp override: conseq.ts = reason.ts + this margin.
+  TimeMicros repair_margin_us = 1;
+};
+
+struct CreStats {
+  std::uint64_t reasons_seen = 0;
+  std::uint64_t conseqs_seen = 0;
+  std::uint64_t matched = 0;
+  std::uint64_t tachyons_repaired = 0;
+  std::uint64_t conseqs_held = 0;          // consequences that had to wait
+  std::uint64_t hold_timeouts = 0;         // released by timeout, unmatched
+  std::uint64_t extra_sync_requests = 0;
+};
+
+class CreMatcher {
+ public:
+  /// `on_tachyon` is the hook into the sync service (request_extra_round).
+  CreMatcher(const CreConfig& config, clk::Clock& clock, std::function<void()> on_tachyon);
+
+  /// Routes one record through the matcher. Appends to `out` every record
+  /// ready to continue into the on-line sorter (the input itself, possibly
+  /// repaired, and/or previously held consequences it released). Records
+  /// with no causal marking pass straight through.
+  void process(sensors::Record record, std::vector<sensors::Record>& out);
+
+  /// Purges timed-out state; appends timed-out held consequences to `out`
+  /// (released unrepaired — better late than silently dropped).
+  void service(std::vector<sensors::Record>& out);
+
+  [[nodiscard]] std::size_t held_count() const noexcept { return waiting_conseqs_.size(); }
+  [[nodiscard]] std::size_t reason_table_size() const noexcept { return reasons_.size(); }
+  [[nodiscard]] const CreStats& stats() const noexcept { return stats_; }
+
+ private:
+  struct ReasonEntry {
+    TimeMicros timestamp = 0;
+    TimeMicros seen_at = 0;
+  };
+  struct HeldConseq {
+    sensors::Record record;
+    TimeMicros held_at = 0;
+  };
+
+  void repair(sensors::Record& conseq, TimeMicros reason_ts);
+
+  CreConfig config_;
+  clk::Clock& clock_;
+  std::function<void()> on_tachyon_;
+  std::unordered_map<CausalId, ReasonEntry> reasons_;
+  std::unordered_multimap<CausalId, HeldConseq> waiting_conseqs_;
+  CreStats stats_;
+};
+
+}  // namespace brisk::ism

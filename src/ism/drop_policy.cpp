@@ -1,0 +1,2 @@
+// TokenBucket and DropAccounting are header-only; see drop_policy.hpp.
+#include "ism/drop_policy.hpp"

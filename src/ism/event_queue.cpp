@@ -1,0 +1,2 @@
+// EventQueue is header-only; see event_queue.hpp.
+#include "ism/event_queue.hpp"

@@ -1,0 +1,62 @@
+// Per-EXS event queues. "When the ISM receives a data batch from an
+// external sensor, it stores it in the corresponding queue; the in-order
+// arrival of these batches is guaranteed by the socket stream protocol."
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "sensors/record.hpp"
+
+namespace brisk::ism {
+
+/// A record waiting in the ISM with its arrival bookkeeping.
+struct QueuedRecord {
+  sensors::Record record;
+  TimeMicros arrived_at = 0;  // ISM clock when the batch was decoded
+};
+
+class EventQueue {
+ public:
+  explicit EventQueue(NodeId node) : node_(node) {}
+
+  void push(sensors::Record record, TimeMicros arrived_at) {
+    queue_.push_back({std::move(record), arrived_at});
+    ++total_received_;
+  }
+
+  [[nodiscard]] bool empty() const noexcept { return queue_.empty(); }
+  [[nodiscard]] std::size_t size() const noexcept { return queue_.size(); }
+  [[nodiscard]] const QueuedRecord& front() const { return queue_.front(); }
+
+  QueuedRecord pop() {
+    QueuedRecord out = std::move(queue_.front());
+    queue_.pop_front();
+    return out;
+  }
+
+  [[nodiscard]] NodeId node() const noexcept { return node_; }
+  [[nodiscard]] std::uint64_t total_received() const noexcept { return total_received_; }
+
+  /// Cumulative ring drops the EXS has reported for this node.
+  void set_reported_drops(std::uint64_t drops) noexcept { reported_drops_ = drops; }
+  [[nodiscard]] std::uint64_t reported_drops() const noexcept { return reported_drops_; }
+
+  /// Batch continuity check: returns false when `batch_seq` is not the
+  /// expected next value (a gap means frames were lost or reordered, which
+  /// the TCP stream should make impossible).
+  bool accept_batch_seq(std::uint32_t batch_seq) noexcept {
+    const bool ok = batch_seq == next_batch_seq_;
+    next_batch_seq_ = batch_seq + 1;
+    return ok;
+  }
+
+ private:
+  NodeId node_;
+  std::deque<QueuedRecord> queue_;
+  std::uint64_t total_received_ = 0;
+  std::uint64_t reported_drops_ = 0;
+  std::uint32_t next_batch_seq_ = 0;
+};
+
+}  // namespace brisk::ism

@@ -1,0 +1,341 @@
+#include "ism/ism.hpp"
+
+#include <sys/select.h>
+
+#include "common/logging.hpp"
+#include "common/time_util.hpp"
+#include "xdr/xdr_decoder.hpp"
+#include "xdr/xdr_encoder.hpp"
+
+namespace brisk::ism {
+
+Ism::Ism(const IsmConfig& config, clk::Clock& clock, std::shared_ptr<OutputSink> output,
+         net::TcpListener listener)
+    : config_(config),
+      clock_(clock),
+      output_(std::move(output)),
+      listener_(std::move(listener)),
+      cre_(config.cre, clock,
+           [this] {
+             if (sync_service_) sync_service_->request_extra_round();
+           }),
+      sorter_(config.sorter, clock,
+              [this](const sensors::Record& record) {
+                Status st = output_->deliver(record);
+                if (!st && st.code() != Errc::buffer_full) {
+                  BRISK_LOG_WARN << "output sink failed: " << st.to_string();
+                }
+              }),
+      sync_transport_(*this) {
+  if (config_.enable_sync) {
+    sync_service_ = std::make_unique<clk::SyncService>(config_.sync, sync_transport_, clock_);
+  }
+}
+
+Ism::~Ism() = default;
+
+Result<std::unique_ptr<Ism>> Ism::start(const IsmConfig& config, clk::Clock& clock,
+                                        std::shared_ptr<OutputSink> output) {
+  if (!output) return Status(Errc::invalid_argument, "null output sink");
+  auto listener = net::TcpListener::listen(config.port);
+  if (!listener) return listener.status();
+  Status st = listener.value().set_nonblocking(true);
+  if (!st) return st;
+
+  auto ism = std::unique_ptr<Ism>(
+      new Ism(config, clock, std::move(output), std::move(listener).value()));
+  Ism* raw = ism.get();
+  st = ism->loop_.watch(ism->listener_.fd(), [raw](int) { raw->on_listener_readable(); });
+  if (!st) return st;
+  ism->loop_.set_idle([raw] { raw->idle_work(); });
+  return ism;
+}
+
+void Ism::on_listener_readable() {
+  for (;;) {
+    auto client = listener_.accept();
+    if (!client) {
+      if (client.status().code() != Errc::would_block) {
+        BRISK_LOG_WARN << "accept failed: " << client.status().to_string();
+      }
+      return;
+    }
+    net::TcpSocket socket = std::move(client).value();
+    (void)socket.set_nodelay(true);
+    if (!socket.set_nonblocking(true)) continue;
+    const int fd = socket.fd();
+    Connection conn;
+    conn.socket = std::move(socket);
+    auto [it, inserted] = connections_.emplace(fd, std::move(conn));
+    if (!inserted) continue;
+    Status st = loop_.watch(fd, [this](int ready_fd) { on_connection_readable(ready_fd); });
+    if (!st) {
+      connections_.erase(fd);
+      continue;
+    }
+    ++stats_.connections_accepted;
+    stats_.active_connections = connections_.size();
+  }
+}
+
+void Ism::on_connection_readable(int fd) {
+  auto it = connections_.find(fd);
+  if (it == connections_.end()) return;
+  Connection& conn = it->second;
+
+  std::uint8_t chunk[64 * 1024];
+  for (;;) {
+    auto n = conn.socket.read_some(MutableByteSpan{chunk, sizeof chunk});
+    if (!n) {
+      if (n.status().code() == Errc::would_block) break;
+      close_connection(fd);
+      return;
+    }
+    if (n.value() == 0) {  // orderly close
+      close_connection(fd);
+      return;
+    }
+    stats_.bytes_received += n.value();
+    conn.reader.feed(ByteSpan{chunk, n.value()});
+    for (;;) {
+      auto frame = conn.reader.next();
+      if (!frame) {
+        ++stats_.protocol_errors;
+        close_connection(fd);
+        return;
+      }
+      if (!frame.value().has_value()) break;
+      Status st = dispatch_frame(conn, frame.value()->view());
+      if (!st) {
+        if (st.code() != Errc::closed) {
+          ++stats_.protocol_errors;
+          BRISK_LOG_WARN << "frame dispatch failed: " << st.to_string();
+        }
+        close_connection(fd);
+        return;
+      }
+    }
+  }
+}
+
+Status Ism::dispatch_frame(Connection& conn, ByteSpan payload) {
+  xdr::Decoder decoder(payload);
+  auto type = tp::peek_type(decoder);
+  if (!type) return type.status();
+  switch (type.value()) {
+    case tp::MsgType::hello: {
+      auto hello = tp::decode_hello(decoder);
+      if (!hello) return hello.status();
+      if (hello.value().version != tp::kProtocolVersion) {
+        return Status(Errc::unsupported, "protocol version mismatch");
+      }
+      if (nodes_.count(hello.value().node) != 0) {
+        return Status(Errc::already_exists, "node id already connected");
+      }
+      conn.node = hello.value().node;
+      conn.hello_seen = true;
+      if (config_.flow_control_rate_per_sec > 0.0) {
+        conn.flow_control = std::make_unique<TokenBucket>(config_.flow_control_rate_per_sec,
+                                                          config_.flow_control_burst);
+      }
+      nodes_[conn.node] = conn.socket.fd();
+      BRISK_LOG_INFO << "node " << conn.node << " connected";
+      return Status::ok();
+    }
+    case tp::MsgType::data_batch: {
+      if (!conn.hello_seen) return Status(Errc::malformed, "batch before hello");
+      auto batch = tp::decode_batch(decoder);
+      if (!batch) return batch.status();
+      handle_batch(conn, std::move(batch).value());
+      return Status::ok();
+    }
+    case tp::MsgType::time_resp: {
+      auto resp = tp::decode_time_resp(decoder);
+      if (!resp) return resp.status();
+      if (pending_poll_request_ != 0 && resp.value().request_id == pending_poll_request_) {
+        pending_poll_answered_ = true;
+        pending_poll_slave_time_ = resp.value().slave_time;
+      } else {
+        BRISK_LOG_DEBUG << "stale time_resp " << resp.value().request_id;
+      }
+      return Status::ok();
+    }
+    case tp::MsgType::bye:
+      return Status(Errc::closed, "EXS said bye");
+    default:
+      return Status(Errc::malformed, "unexpected message type at ISM");
+  }
+}
+
+void Ism::handle_batch(Connection& conn, tp::Batch batch) {
+  ++stats_.batches_received;
+  stats_.records_received += batch.records.size();
+  if (batch.header.batch_seq != conn.next_batch_seq) {
+    ++stats_.batch_seq_gaps;
+    BRISK_LOG_WARN << "node " << conn.node << " batch seq gap: expected "
+                   << conn.next_batch_seq << ", got " << batch.header.batch_seq;
+  }
+  conn.next_batch_seq = batch.header.batch_seq + 1;
+  if (batch.header.ring_dropped_total >= conn.ring_dropped_total) {
+    stats_.ring_drops_reported += batch.header.ring_dropped_total - conn.ring_dropped_total;
+    conn.ring_dropped_total = batch.header.ring_dropped_total;
+  }
+  for (sensors::Record& record : batch.records) {
+    if (conn.flow_control && !conn.flow_control->admit(clock_.now())) {
+      ++stats_.flow_control_drops;
+      continue;
+    }
+    record.node = conn.node;
+    route_record(std::move(record));
+  }
+}
+
+void Ism::route_record(sensors::Record record) {
+  route_scratch_.clear();
+  cre_.process(std::move(record), route_scratch_);
+  for (sensors::Record& ready : route_scratch_) {
+    Status st = sorter_.push(std::move(ready));
+    if (!st) {
+      BRISK_LOG_WARN << "sorter push failed: " << st.to_string();
+    }
+  }
+}
+
+void Ism::idle_work() {
+  route_scratch_.clear();
+  cre_.service(route_scratch_);
+  for (sensors::Record& timed_out : route_scratch_) {
+    Status st = sorter_.push(std::move(timed_out));
+    if (!st) {
+      BRISK_LOG_WARN << "sorter push failed: " << st.to_string();
+    }
+  }
+  sorter_.service();
+  if (sync_service_) sync_service_->maybe_run_round();
+  (void)output_->flush();
+}
+
+void Ism::close_connection(int fd) {
+  auto it = connections_.find(fd);
+  if (it == connections_.end()) return;
+  if (it->second.hello_seen) nodes_.erase(it->second.node);
+  (void)loop_.unwatch(fd);
+  connections_.erase(it);
+  stats_.active_connections = connections_.size();
+}
+
+int Ism::node_fd_by_index(std::size_t index) const {
+  std::size_t i = 0;
+  for (const auto& [node, fd] : nodes_) {
+    if (i == index) return fd;
+    ++i;
+  }
+  return -1;
+}
+
+Status Ism::run() { return loop_.run(config_.select_timeout_us); }
+
+Status Ism::run_for(TimeMicros duration) {
+  const TimeMicros deadline = monotonic_micros() + duration;
+  while (monotonic_micros() < deadline && !loop_.stopped()) {
+    auto polled = loop_.poll_once(config_.select_timeout_us);
+    if (!polled) return polled.status();
+  }
+  return Status::ok();
+}
+
+Status Ism::cycle() {
+  auto polled = loop_.poll_once(config_.select_timeout_us);
+  if (!polled) return polled.status();
+  return Status::ok();
+}
+
+Status Ism::drain() {
+  route_scratch_.clear();
+  cre_.service(route_scratch_);
+  for (sensors::Record& r : route_scratch_) {
+    Status st = sorter_.push(std::move(r));
+    if (!st) return st;
+  }
+  sorter_.flush_all();
+  return output_->flush();
+}
+
+// ---- SocketSyncTransport ----------------------------------------------------
+
+std::size_t Ism::SocketSyncTransport::slave_count() const noexcept {
+  return ism_.nodes_.size();
+}
+
+Result<clk::PollSample> Ism::SocketSyncTransport::poll(std::size_t index) {
+  const int fd = ism_.node_fd_by_index(index);
+  if (fd < 0) return Status(Errc::not_found, "no such slave");
+  auto it = ism_.connections_.find(fd);
+  if (it == ism_.connections_.end()) return Status(Errc::not_found, "connection gone");
+  Connection& conn = it->second;
+
+  const std::uint32_t request_id = ism_.next_request_id_++;
+  if (ism_.next_request_id_ == 0) ism_.next_request_id_ = 1;
+
+  ByteBuffer out;
+  xdr::Encoder enc(out);
+  tp::put_type(tp::MsgType::time_req, enc);
+  tp::encode_time_req({request_id}, enc);
+
+  clk::PollSample sample;
+  sample.local_send = ism_.clock_.now();
+  Status st = net::write_frame(conn.socket, out.view());
+  if (!st) return st;
+
+  // Wait for the matching TIME_RESP on this connection, dispatching any
+  // data frames that precede it in the stream.
+  ism_.pending_poll_request_ = request_id;
+  ism_.pending_poll_answered_ = false;
+  const TimeMicros deadline = monotonic_micros() + ism_.config_.sync_poll_timeout_us;
+  Status wait_status = Status::ok();
+  while (!ism_.pending_poll_answered_) {
+    const TimeMicros remaining = deadline - monotonic_micros();
+    if (remaining <= 0) {
+      wait_status = Status(Errc::timeout, "time poll timed out");
+      break;
+    }
+    fd_set read_set;
+    FD_ZERO(&read_set);
+    FD_SET(fd, &read_set);
+    timeval tv{};
+    tv.tv_sec = remaining / 1'000'000;
+    tv.tv_usec = remaining % 1'000'000;
+    const int ready = ::select(fd + 1, &read_set, nullptr, nullptr, &tv);
+    if (ready < 0) {
+      if (errno == EINTR) continue;
+      wait_status = Status(Errc::io_error, "select during time poll");
+      break;
+    }
+    if (ready == 0) continue;  // recheck deadline
+    ism_.on_connection_readable(fd);
+    if (ism_.connections_.find(fd) == ism_.connections_.end()) {
+      wait_status = Status(Errc::closed, "connection died during poll");
+      break;
+    }
+  }
+  ism_.pending_poll_request_ = 0;
+  if (!wait_status) return wait_status;
+
+  sample.local_recv = ism_.clock_.now();
+  sample.remote_time = ism_.pending_poll_slave_time_;
+  return sample;
+}
+
+Status Ism::SocketSyncTransport::adjust(std::size_t index, TimeMicros delta) {
+  const int fd = ism_.node_fd_by_index(index);
+  if (fd < 0) return Status(Errc::not_found, "no such slave");
+  auto it = ism_.connections_.find(fd);
+  if (it == ism_.connections_.end()) return Status(Errc::not_found, "connection gone");
+  ByteBuffer out;
+  xdr::Encoder enc(out);
+  tp::put_type(tp::MsgType::adjust, enc);
+  tp::encode_adjust({delta}, enc);
+  return net::write_frame(it->second.socket, out.view());
+}
+
+}  // namespace brisk::ism

@@ -1,0 +1,145 @@
+// The instrumentation system manager (ISM): BRISK's central daemon.
+//
+// Fig. 1 pipeline, all in one single-threaded select() loop:
+//   batches arrive per-EXS (TCP order preserved) → batch queue →
+//   CRE switch (hash matching, tachyon repair) → per-EXS event queues →
+//   timestamp heap / on-line sorting → output fan-out (shared memory,
+//   PICL trace file, visual objects), with the clock-sync master loop
+//   polling the EXSes between cycles.
+#pragma once
+
+#include <map>
+#include <memory>
+
+#include "clock/sync_service.hpp"
+#include "ism/cre_matcher.hpp"
+#include "ism/drop_policy.hpp"
+#include "ism/online_sorter.hpp"
+#include "ism/output.hpp"
+#include "net/event_loop.hpp"
+#include "net/frame.hpp"
+#include "net/socket.hpp"
+#include "tp/batch.hpp"
+
+namespace brisk::ism {
+
+struct IsmConfig {
+  std::uint16_t port = 0;  // 0 = ephemeral, see Ism::port()
+  /// select() timeout of the main loop (the latency-floor knob).
+  TimeMicros select_timeout_us = 40'000;
+  SorterConfig sorter;
+  CreConfig cre;
+  bool enable_sync = true;
+  clk::SyncServiceConfig sync;
+  /// How long the master waits for one TIME_RESP.
+  TimeMicros sync_poll_timeout_us = 250'000;
+  /// Per-connection admission rate (token bucket), the "data flow control"
+  /// of Fig. 1: records beyond the budget are dropped at the ISM ingress
+  /// and accounted, so a runaway node cannot monopolize IS resources.
+  /// 0 disables flow control.
+  double flow_control_rate_per_sec = 0.0;
+  double flow_control_burst = 10'000.0;
+};
+
+struct IsmStats {
+  std::uint64_t connections_accepted = 0;
+  std::uint64_t active_connections = 0;
+  std::uint64_t batches_received = 0;
+  std::uint64_t records_received = 0;
+  std::uint64_t bytes_received = 0;
+  std::uint64_t protocol_errors = 0;
+  std::uint64_t ring_drops_reported = 0;  // sum over nodes of EXS drop counters
+  std::uint64_t flow_control_drops = 0;   // records rejected by the token bucket
+  /// Batch sequence gaps. The TCP stream makes these impossible in a
+  /// healthy deployment; a nonzero count means frames were lost or an EXS
+  /// restarted mid-session.
+  std::uint64_t batch_seq_gaps = 0;
+};
+
+class Ism {
+ public:
+  /// Binds the listener and wires the pipeline. `output` receives sorted
+  /// records; `clock` is the ISM clock (SystemClock in production).
+  static Result<std::unique_ptr<Ism>> start(const IsmConfig& config, clk::Clock& clock,
+                                            std::shared_ptr<OutputSink> output);
+
+  ~Ism();
+  Ism(const Ism&) = delete;
+  Ism& operator=(const Ism&) = delete;
+
+  [[nodiscard]] std::uint16_t port() const noexcept { return listener_.port(); }
+
+  /// Runs the select() loop until stop().
+  Status run();
+  /// Runs for at most `duration` of monotonic time (tests and benches).
+  Status run_for(TimeMicros duration);
+  /// One loop cycle (accept/read/idle work) with the configured timeout.
+  Status cycle();
+  void stop() noexcept { loop_.stop(); }
+
+  /// Emits everything still delayed and flushes sinks (shutdown path).
+  Status drain();
+
+  [[nodiscard]] const IsmStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] OnlineSorter& sorter() noexcept { return sorter_; }
+  [[nodiscard]] CreMatcher& cre() noexcept { return cre_; }
+  [[nodiscard]] clk::SyncService* sync() noexcept { return sync_service_.get(); }
+  [[nodiscard]] std::size_t connected_nodes() const noexcept { return nodes_.size(); }
+
+ private:
+  struct Connection {
+    net::TcpSocket socket;
+    net::FrameReader reader;
+    NodeId node = 0;
+    bool hello_seen = false;
+    std::uint64_t ring_dropped_total = 0;
+    std::uint32_t next_batch_seq = 0;
+    std::unique_ptr<TokenBucket> flow_control;  // null when disabled
+  };
+
+  /// The master side of clock sync over the live connections.
+  class SocketSyncTransport final : public clk::SyncTransport {
+   public:
+    explicit SocketSyncTransport(Ism& ism) : ism_(ism) {}
+    [[nodiscard]] std::size_t slave_count() const noexcept override;
+    Result<clk::PollSample> poll(std::size_t index) override;
+    Status adjust(std::size_t index, TimeMicros delta) override;
+
+   private:
+    Ism& ism_;
+  };
+
+  Ism(const IsmConfig& config, clk::Clock& clock, std::shared_ptr<OutputSink> output,
+      net::TcpListener listener);
+
+  void on_listener_readable();
+  void on_connection_readable(int fd);
+  Status dispatch_frame(Connection& conn, ByteSpan payload);
+  void handle_batch(Connection& conn, tp::Batch batch);
+  void route_record(sensors::Record record);
+  void idle_work();
+  void close_connection(int fd);
+  /// fd of the index-th connected node (ordered by node id), or -1.
+  int node_fd_by_index(std::size_t index) const;
+
+  IsmConfig config_;
+  clk::Clock& clock_;
+  std::shared_ptr<OutputSink> output_;
+  net::TcpListener listener_;
+  net::EventLoop loop_;
+  std::map<int, Connection> connections_;
+  std::map<NodeId, int> nodes_;  // node id → fd
+  CreMatcher cre_;
+  OnlineSorter sorter_;
+  SocketSyncTransport sync_transport_;
+  std::unique_ptr<clk::SyncService> sync_service_;
+  IsmStats stats_;
+  std::uint32_t next_request_id_ = 1;
+  // Set while a sync poll is waiting for this (request id, value) pair.
+  std::uint32_t pending_poll_request_ = 0;
+  bool pending_poll_answered_ = false;
+  TimeMicros pending_poll_slave_time_ = 0;
+  std::vector<sensors::Record> route_scratch_;
+};
+
+}  // namespace brisk::ism

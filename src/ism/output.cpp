@@ -1,0 +1,56 @@
+#include "ism/output.hpp"
+
+#include <cstring>
+
+#include "common/logging.hpp"
+
+namespace brisk::ism {
+
+Result<ByteBuffer> encode_output_record(const sensors::Record& record) {
+  auto native = sensors::encode_native(record);
+  if (!native) return native.status();
+  ByteBuffer out;
+  std::uint8_t node_prefix[4];
+  std::memcpy(node_prefix, &record.node, 4);
+  out.append(node_prefix, 4);
+  out.append(native.value().view());
+  return out;
+}
+
+Result<sensors::Record> decode_output_record(ByteSpan bytes) {
+  if (bytes.size() < 4) return Status(Errc::truncated, "node prefix");
+  NodeId node = 0;
+  std::memcpy(&node, bytes.data(), 4);
+  return sensors::decode_native(bytes.subspan(4), node);
+}
+
+Status ShmOutputSink::deliver(const sensors::Record& record) {
+  auto encoded = encode_output_record(record);
+  if (!encoded) return encoded.status();
+  if (!ring_.try_push(encoded.value().view())) {
+    ++dropped_;
+    return Status(Errc::buffer_full, "output ring full");
+  }
+  ++delivered_;
+  return Status::ok();
+}
+
+Status FanOut::deliver(const sensors::Record& record) {
+  Status first_error = Status::ok();
+  for (auto& sink : sinks_) {
+    Status st = sink->deliver(record);
+    if (!st && first_error.is_ok()) first_error = st;
+  }
+  return first_error;
+}
+
+Status FanOut::flush() {
+  Status first_error = Status::ok();
+  for (auto& sink : sinks_) {
+    Status st = sink->flush();
+    if (!st && first_error.is_ok()) first_error = st;
+  }
+  return first_error;
+}
+
+}  // namespace brisk::ism

@@ -1,0 +1,97 @@
+// ISM output stage: where sorted records go.
+//
+// "The default output mode of the ISM is writing to a memory [buffer],
+// which is then read by instrumentation data consumer tools. Besides
+// writing to memory, the BRISK ISM may log instrumentation data to trace
+// files in the PICL ASCII format, or it may pass instrumentation data to a
+// list of CORBA-enabled visual objects." OutputSink is the abstraction;
+// FanOut delivers to any combination.
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <vector>
+
+#include "picl/picl_writer.hpp"
+#include "sensors/record.hpp"
+#include "sensors/record_codec.hpp"
+#include "shm/ring_buffer.hpp"
+
+namespace brisk::ism {
+
+class OutputSink {
+ public:
+  virtual ~OutputSink() = default;
+  virtual Status deliver(const sensors::Record& record) = 0;
+  virtual Status flush() { return Status::ok(); }
+};
+
+/// Default output: native-encoded records into a shared-memory ring that
+/// consumer tools read ("using the same binary structure used by the NOTICE
+/// macros"). Node ids are preserved by prefixing each payload with the
+/// 4-byte node id.
+class ShmOutputSink final : public OutputSink {
+ public:
+  explicit ShmOutputSink(shm::RingBuffer ring) : ring_(ring) {}
+
+  Status deliver(const sensors::Record& record) override;
+
+  [[nodiscard]] std::uint64_t delivered() const noexcept { return delivered_; }
+  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+
+ private:
+  shm::RingBuffer ring_;
+  std::uint64_t delivered_ = 0;
+  std::uint64_t dropped_ = 0;
+};
+
+/// PICL ASCII trace file output.
+class PiclFileSink final : public OutputSink {
+ public:
+  explicit PiclFileSink(picl::PiclWriter writer) : writer_(std::move(writer)) {}
+
+  Status deliver(const sensors::Record& record) override { return writer_.write(record); }
+  Status flush() override { return writer_.flush(); }
+
+  [[nodiscard]] picl::PiclWriter& writer() noexcept { return writer_; }
+
+ private:
+  picl::PiclWriter writer_;
+};
+
+/// In-process consumer callback (tests, embedded consumers).
+class CallbackSink final : public OutputSink {
+ public:
+  using Fn = std::function<void(const sensors::Record&)>;
+  explicit CallbackSink(Fn fn) : fn_(std::move(fn)) {}
+
+  Status deliver(const sensors::Record& record) override {
+    fn_(record);
+    return Status::ok();
+  }
+
+ private:
+  Fn fn_;
+};
+
+/// Delivers to every attached sink; a failing sink is reported but does not
+/// stop delivery to the others.
+class FanOut final : public OutputSink {
+ public:
+  void add(std::shared_ptr<OutputSink> sink) { sinks_.push_back(std::move(sink)); }
+
+  Status deliver(const sensors::Record& record) override;
+  Status flush() override;
+
+  [[nodiscard]] std::size_t sink_count() const noexcept { return sinks_.size(); }
+
+ private:
+  std::vector<std::shared_ptr<OutputSink>> sinks_;
+};
+
+/// Encodes a record (with its node id prefix) as placed in the output ring.
+Result<ByteBuffer> encode_output_record(const sensors::Record& record);
+/// Decodes one output-ring payload back into a record.
+Result<sensors::Record> decode_output_record(ByteSpan bytes);
+
+}  // namespace brisk::ism

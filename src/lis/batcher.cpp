@@ -1,0 +1,40 @@
+#include "lis/batcher.hpp"
+
+namespace brisk::lis {
+
+Batcher::Batcher(const ExsConfig& config, clk::Clock& clock, BatchSink sink)
+    : config_(config), clock_(clock), sink_(std::move(sink)), builder_(config.node) {}
+
+Status Batcher::add_native_record(ByteSpan native, TimeMicros ts_delta) {
+  // A record that would blow the byte limit ships the current batch first.
+  if (!builder_.empty() &&
+      builder_.payload_bytes() + native.size() > config_.batch_max_bytes) {
+    Status st = flush();
+    if (!st) return st;
+  }
+  if (builder_.empty()) oldest_record_at_ = clock_.now();
+  Status st = builder_.add_native_record(native, ts_delta);
+  if (!st) return st;
+  if (builder_.record_count() >= config_.batch_max_records) return flush();
+  return Status::ok();
+}
+
+Status Batcher::maybe_flush() {
+  if (builder_.empty()) return Status::ok();
+  if (clock_.now() - oldest_record_at_ >= config_.batch_max_age_us) return flush();
+  return Status::ok();
+}
+
+Status Batcher::flush() {
+  if (builder_.empty()) return Status::ok();
+  builder_.set_ring_dropped_total(ring_dropped_total_);
+  ByteBuffer payload = builder_.finish();
+  const std::size_t bytes = payload.size();
+  Status st = sink_(std::move(payload));
+  if (!st) return st;
+  ++batches_sent_;
+  bytes_sent_ += bytes;
+  return Status::ok();
+}
+
+}  // namespace brisk::lis

@@ -1,0 +1,51 @@
+// Batching with latency control (the "batching, latency control" box of the
+// EXS in Fig. 1). Wraps a tp::BatchBuilder with the flush policy: a batch
+// goes out when it reaches the record/byte limits or when its oldest record
+// exceeds the age limit.
+#pragma once
+
+#include <functional>
+
+#include "clock/clock.hpp"
+#include "lis/exs_config.hpp"
+#include "tp/batch.hpp"
+
+namespace brisk::lis {
+
+/// Receives finished batch frame payloads (the socket writer in production,
+/// a capture vector in tests).
+using BatchSink = std::function<Status(ByteBuffer batch_payload)>;
+
+class Batcher {
+ public:
+  Batcher(const ExsConfig& config, clk::Clock& clock, BatchSink sink);
+
+  /// Adds one native record (with the current clock correction applied).
+  /// Flushes first if the record would overflow the byte limit, and after
+  /// if the record limit is reached.
+  Status add_native_record(ByteSpan native, TimeMicros ts_delta);
+
+  /// Flushes if the age/size policy says so. Call once per loop cycle.
+  Status maybe_flush();
+
+  /// Unconditional flush of a non-empty batch.
+  Status flush();
+
+  void set_ring_dropped_total(std::uint64_t total) noexcept { ring_dropped_total_ = total; }
+
+  [[nodiscard]] std::uint32_t pending_records() const noexcept { return builder_.record_count(); }
+  [[nodiscard]] std::uint64_t batches_sent() const noexcept { return batches_sent_; }
+  [[nodiscard]] std::uint64_t bytes_sent() const noexcept { return bytes_sent_; }
+
+ private:
+  ExsConfig config_;
+  clk::Clock& clock_;
+  BatchSink sink_;
+  tp::BatchBuilder builder_;
+  TimeMicros oldest_record_at_ = 0;  // clock time the current batch started
+  std::uint64_t ring_dropped_total_ = 0;
+  std::uint64_t batches_sent_ = 0;
+  std::uint64_t bytes_sent_ = 0;
+};
+
+}  // namespace brisk::lis

@@ -1,0 +1,14 @@
+#include "lis/exs_config.hpp"
+
+namespace brisk::lis {
+
+Status ExsConfig::validate() const {
+  if (batch_max_records == 0) return Status(Errc::invalid_argument, "batch_max_records == 0");
+  if (batch_max_bytes < 64) return Status(Errc::invalid_argument, "batch_max_bytes < 64");
+  if (batch_max_age_us < 0) return Status(Errc::invalid_argument, "negative batch_max_age_us");
+  if (drain_burst == 0) return Status(Errc::invalid_argument, "drain_burst == 0");
+  if (select_timeout_us <= 0) return Status(Errc::invalid_argument, "select_timeout_us <= 0");
+  return Status::ok();
+}
+
+}  // namespace brisk::lis

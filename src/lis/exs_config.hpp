@@ -1,0 +1,55 @@
+// Tuning knobs of the external sensor. The paper: "we added tuning knobs to
+// many of BRISK's subsystems, so that users can trade-off among the various
+// simple and complex IS performance metrics in a specific working
+// environment" — these are the LIS-side knobs (batching vs latency, ring
+// polling, the select timeout that sets the latency floor).
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace brisk::lis {
+
+struct ExsConfig {
+  NodeId node = 0;
+
+  // --- batching / latency control -----------------------------------------
+  /// Flush the current batch at this many records...
+  std::uint32_t batch_max_records = 256;
+  /// ...or at this many payload bytes...
+  std::uint32_t batch_max_bytes = 32 * 1024;
+  /// ...or when its oldest record is this old. 0 = flush every cycle
+  /// (lowest latency, lowest throughput).
+  TimeMicros batch_max_age_us = 20'000;
+
+  // --- ring draining --------------------------------------------------------
+  /// Records drained from the rings per loop cycle (bounds EXS CPU bursts;
+  /// the EXS "may be assigned a lower priority").
+  std::uint32_t drain_burst = 1024;
+
+  // --- event loop ------------------------------------------------------------
+  /// select() timeout; the paper observed this bounds worst-case record
+  /// latency ("up to 40 ms").
+  TimeMicros select_timeout_us = 40'000;
+
+  /// Validates knob consistency.
+  [[nodiscard]] Status validate() const;
+};
+
+/// Counters the EXS exports for perturbation analysis and the evaluation
+/// harness.
+struct ExsStats {
+  std::uint64_t records_forwarded = 0;
+  std::uint64_t batches_sent = 0;
+  std::uint64_t bytes_sent = 0;
+  std::uint64_t ring_drops_seen = 0;      // cumulative drops reported by rings
+  std::uint64_t transcode_errors = 0;
+  std::uint64_t sync_polls_answered = 0;
+  std::uint64_t sync_adjustments = 0;
+  TimeMicros correction_us = 0;           // current clock correction value
+};
+
+}  // namespace brisk::lis

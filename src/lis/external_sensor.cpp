@@ -1,0 +1,185 @@
+#include "lis/external_sensor.hpp"
+
+#include "common/logging.hpp"
+#include "common/time_util.hpp"
+#include "sensors/record_codec.hpp"
+#include "tp/wire.hpp"
+#include "xdr/xdr_decoder.hpp"
+#include "xdr/xdr_encoder.hpp"
+
+namespace brisk::lis {
+
+ExsCore::ExsCore(const ExsConfig& config, shm::MultiRing rings, clk::Clock& clock,
+                 FrameSink sink)
+    : config_(config),
+      rings_(rings),
+      clock_(clock),
+      sink_(std::move(sink)),
+      batcher_(config, clock,
+               [this](ByteBuffer payload) { return sink_(std::move(payload)); }) {
+  drain_scratch_.reserve(sensors::kMaxNativeRecordBytes);
+}
+
+Result<std::size_t> ExsCore::drain_rings() {
+  std::size_t drained = 0;
+  const std::uint32_t slots = rings_.claimed_slots();
+  // Round-robin across slots so one chatty producer cannot starve others.
+  bool progress = true;
+  while (progress && drained < config_.drain_burst) {
+    progress = false;
+    for (std::uint32_t i = 0; i < slots && drained < config_.drain_burst; ++i) {
+      auto ring = rings_.slot(i);
+      if (!ring) continue;
+      drain_scratch_.clear();
+      if (!ring.value().try_pop(drain_scratch_)) continue;
+      progress = true;
+      ++drained;
+      batcher_.set_ring_dropped_total(rings_.total_stats().dropped);
+      Status st = batcher_.add_native_record(
+          ByteSpan{drain_scratch_.data(), drain_scratch_.size()}, correction_);
+      if (!st) {
+        ++transcode_errors_;
+        BRISK_LOG_WARN << "EXS transcode failed: " << st.to_string();
+      } else {
+        ++records_forwarded_;
+      }
+    }
+  }
+  return drained;
+}
+
+Status ExsCore::handle_frame(ByteSpan payload) {
+  xdr::Decoder decoder(payload);
+  auto type = tp::peek_type(decoder);
+  if (!type) return type.status();
+  switch (type.value()) {
+    case tp::MsgType::time_req: {
+      auto req = tp::decode_time_req(decoder);
+      if (!req) return req.status();
+      ByteBuffer out;
+      xdr::Encoder enc(out);
+      tp::put_type(tp::MsgType::time_resp, enc);
+      tp::encode_time_resp({req.value().request_id, corrected_now()}, enc);
+      ++sync_polls_answered_;
+      return sink_(std::move(out));
+    }
+    case tp::MsgType::adjust: {
+      auto adj = tp::decode_adjust(decoder);
+      if (!adj) return adj.status();
+      correction_ += adj.value().delta;
+      ++sync_adjustments_;
+      return Status::ok();
+    }
+    case tp::MsgType::bye:
+      return Status(Errc::closed, "ISM said bye");
+    default:
+      return Status(Errc::malformed, "unexpected message type at EXS");
+  }
+}
+
+Status ExsCore::send_hello() {
+  ByteBuffer out;
+  xdr::Encoder enc(out);
+  tp::put_type(tp::MsgType::hello, enc);
+  tp::encode_hello({config_.node, tp::kProtocolVersion}, enc);
+  return sink_(std::move(out));
+}
+
+ExsStats ExsCore::stats() const noexcept {
+  ExsStats s;
+  s.records_forwarded = records_forwarded_;
+  s.batches_sent = batcher_.batches_sent();
+  s.bytes_sent = batcher_.bytes_sent();
+  s.ring_drops_seen = const_cast<shm::MultiRing&>(rings_).total_stats().dropped;
+  s.transcode_errors = transcode_errors_;
+  s.sync_polls_answered = sync_polls_answered_;
+  s.sync_adjustments = sync_adjustments_;
+  s.correction_us = correction_;
+  return s;
+}
+
+// ---- ExternalSensor ---------------------------------------------------------
+
+ExternalSensor::ExternalSensor(const ExsConfig& config, net::TcpSocket socket)
+    : config_(config), socket_(std::move(socket)) {}
+
+Result<std::unique_ptr<ExternalSensor>> ExternalSensor::connect(
+    const ExsConfig& config, shm::MultiRing rings, clk::Clock& clock,
+    const std::string& ism_host, std::uint16_t ism_port) {
+  Status valid = config.validate();
+  if (!valid) return valid;
+  auto socket = net::TcpSocket::connect(ism_host, ism_port);
+  if (!socket) return socket.status();
+  Status st = socket.value().set_nodelay(true);
+  if (!st) return st;
+
+  auto exs = std::unique_ptr<ExternalSensor>(
+      new ExternalSensor(config, std::move(socket).value()));
+  ExternalSensor* raw = exs.get();
+  exs->core_ = std::make_unique<ExsCore>(
+      config, rings, clock, [raw](ByteBuffer payload) {
+        return net::write_frame(raw->socket_, payload.view());
+      });
+  st = exs->core_->send_hello();
+  if (!st) return st;
+
+  st = exs->socket_.set_nonblocking(true);
+  if (!st) return st;
+  st = exs->loop_.watch(exs->socket_.fd(), [raw](int) {
+    Status pump = raw->pump_socket();
+    if (!pump && pump.code() != Errc::would_block) {
+      raw->peer_closed_ = true;
+      raw->loop_.stop();
+    }
+  });
+  if (!st) return st;
+  exs->loop_.set_idle([raw] {
+    Status cy = raw->cycle();
+    if (!cy) {
+      BRISK_LOG_ERROR << "EXS cycle failed: " << cy.to_string();
+      raw->loop_.stop();
+    }
+  });
+  return exs;
+}
+
+Status ExternalSensor::pump_socket() {
+  std::uint8_t chunk[16 * 1024];
+  for (;;) {
+    auto n = socket_.read_some(MutableByteSpan{chunk, sizeof chunk});
+    if (!n) {
+      if (n.status().code() == Errc::would_block) return Status::ok();
+      return n.status();
+    }
+    if (n.value() == 0) return Status(Errc::closed, "ISM closed connection");
+    frame_reader_.feed(ByteSpan{chunk, n.value()});
+    for (;;) {
+      auto frame = frame_reader_.next();
+      if (!frame) return frame.status();
+      if (!frame.value().has_value()) break;
+      Status st = core_->handle_frame(frame.value()->view());
+      if (!st) return st;
+    }
+  }
+}
+
+Status ExternalSensor::cycle() {
+  auto drained = core_->drain_rings();
+  if (!drained) return drained.status();
+  return core_->maybe_flush();
+}
+
+Status ExternalSensor::run() {
+  return loop_.run(config_.select_timeout_us);
+}
+
+Status ExternalSensor::run_for(TimeMicros duration) {
+  const TimeMicros deadline = monotonic_micros() + duration;
+  while (monotonic_micros() < deadline && !loop_.stopped() && !peer_closed_) {
+    auto polled = loop_.poll_once(config_.select_timeout_us);
+    if (!polled) return polled.status();
+  }
+  return Status::ok();
+}
+
+}  // namespace brisk::lis

@@ -1,0 +1,111 @@
+// The external sensor (EXS): the daemon half of the LIS.
+//
+// "The memory is read by an external sensor, which runs as another process
+// on the same node and may be assigned a lower priority. Both the internal
+// sensors and the external sensor form an LIS that sends instrumentation
+// data to the ISM."
+//
+// Split in two layers:
+//  * ExsCore — all protocol logic, deterministic and socket-free: drains
+//    rings, applies the clock correction, batches, answers sync polls,
+//    folds ADJUST deltas into the correction value. Tests drive it directly.
+//  * ExternalSensor — binds ExsCore to a real TCP connection and the
+//    select() loop; this is what the brisk_exs executable runs.
+#pragma once
+
+#include <functional>
+#include <memory>
+
+#include "clock/clock.hpp"
+#include "lis/batcher.hpp"
+#include "lis/exs_config.hpp"
+#include "net/event_loop.hpp"
+#include "net/frame.hpp"
+#include "net/socket.hpp"
+#include "shm/multi_ring.hpp"
+
+namespace brisk::lis {
+
+/// Sends a frame payload to the ISM.
+using FrameSink = std::function<Status(ByteBuffer payload)>;
+
+class ExsCore {
+ public:
+  /// `rings` is the node's sensor ring directory; `clock` is the node
+  /// clock; `sink` carries frames to the ISM.
+  ExsCore(const ExsConfig& config, shm::MultiRing rings, clk::Clock& clock, FrameSink sink);
+
+  /// Drains up to config.drain_burst records across all claimed rings into
+  /// the batcher. Returns the number of records drained.
+  Result<std::size_t> drain_rings();
+
+  /// Age-based flush; call once per loop cycle.
+  Status maybe_flush() { return batcher_.maybe_flush(); }
+  Status flush() { return batcher_.flush(); }
+
+  /// Handles one frame from the ISM (TIME_REQ, ADJUST, BYE).
+  /// Returns Errc::closed for BYE.
+  Status handle_frame(ByteSpan payload);
+
+  /// Sends the HELLO that opens the session.
+  Status send_hello();
+
+  /// The clock correction the sync protocol has accumulated; added to every
+  /// record timestamp on its way out ("the raw local time ... is added to a
+  /// correction value maintained by the EXS, before sending the record to
+  /// the ISM").
+  [[nodiscard]] TimeMicros correction() const noexcept { return correction_; }
+  /// The node clock as the sync protocol sees it (raw + correction).
+  [[nodiscard]] TimeMicros corrected_now() noexcept { return clock_.now() + correction_; }
+
+  [[nodiscard]] ExsStats stats() const noexcept;
+  [[nodiscard]] const ExsConfig& config() const noexcept { return config_; }
+  [[nodiscard]] shm::MultiRing& rings() noexcept { return rings_; }
+
+ private:
+  ExsConfig config_;
+  shm::MultiRing rings_;
+  clk::Clock& clock_;
+  FrameSink sink_;
+  Batcher batcher_;
+  TimeMicros correction_ = 0;
+  std::uint64_t records_forwarded_ = 0;
+  std::uint64_t transcode_errors_ = 0;
+  std::uint64_t sync_polls_answered_ = 0;
+  std::uint64_t sync_adjustments_ = 0;
+  std::vector<std::uint8_t> drain_scratch_;
+};
+
+class ExternalSensor {
+ public:
+  /// Connects to the ISM and wires the core to the socket.
+  static Result<std::unique_ptr<ExternalSensor>> connect(const ExsConfig& config,
+                                                         shm::MultiRing rings,
+                                                         clk::Clock& clock,
+                                                         const std::string& ism_host,
+                                                         std::uint16_t ism_port);
+
+  /// Runs the select() loop until `stop()` or the ISM closes. Each cycle:
+  /// handle inbound frames, drain rings, flush aged batches.
+  Status run();
+  /// Runs for at most `duration` (monotonic); for tests and benches.
+  Status run_for(TimeMicros duration);
+  void stop() noexcept { loop_.stop(); }
+
+  [[nodiscard]] ExsCore& core() noexcept { return *core_; }
+
+ private:
+  ExternalSensor(const ExsConfig& config, net::TcpSocket socket);
+
+  Status cycle();
+  Status pump_socket();
+
+  ExsConfig config_;
+  net::TcpSocket socket_;
+  net::FrameReader frame_reader_;
+  net::EventLoop loop_;
+  std::unique_ptr<ExsCore> core_;
+  bool peer_closed_ = false;
+};
+
+}  // namespace brisk::lis

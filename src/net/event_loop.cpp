@@ -1,0 +1,72 @@
+#include "net/event_loop.hpp"
+
+#include <sys/select.h>
+
+#include <cerrno>
+#include <cstring>
+#include <vector>
+
+namespace brisk::net {
+
+Status EventLoop::watch(int fd, Callback callback) {
+  if (fd < 0 || fd >= FD_SETSIZE) return Status(Errc::invalid_argument, "fd out of select range");
+  if (!callback) return Status(Errc::invalid_argument, "null callback");
+  callbacks_[fd] = std::move(callback);
+  return Status::ok();
+}
+
+Status EventLoop::unwatch(int fd) {
+  if (callbacks_.erase(fd) == 0) return Status(Errc::not_found, "fd not watched");
+  return Status::ok();
+}
+
+Result<int> EventLoop::poll_once(TimeMicros timeout) {
+  fd_set read_set;
+  FD_ZERO(&read_set);
+  int max_fd = -1;
+  for (const auto& [fd, cb] : callbacks_) {
+    FD_SET(fd, &read_set);
+    if (fd > max_fd) max_fd = fd;
+  }
+
+  timeval tv{};
+  if (timeout < 0) timeout = 0;
+  tv.tv_sec = timeout / 1'000'000;
+  tv.tv_usec = timeout % 1'000'000;
+
+  int ready = ::select(max_fd + 1, &read_set, nullptr, nullptr, &tv);
+  if (ready < 0) {
+    if (errno == EINTR) ready = 0;
+    else return Status(Errc::io_error, std::string("select: ") + std::strerror(errno));
+  }
+
+  int handled = 0;
+  if (ready > 0) {
+    // Snapshot fds first: callbacks may watch/unwatch.
+    std::vector<int> ready_fds;
+    ready_fds.reserve(static_cast<std::size_t>(ready));
+    for (const auto& [fd, cb] : callbacks_) {
+      if (FD_ISSET(fd, &read_set)) ready_fds.push_back(fd);
+    }
+    for (int fd : ready_fds) {
+      auto it = callbacks_.find(fd);
+      if (it == callbacks_.end()) continue;  // unwatched by a prior callback
+      it->second(fd);
+      ++handled;
+    }
+  }
+  if (idle_) idle_();
+  return handled;
+}
+
+Status EventLoop::run(TimeMicros cycle_timeout) {
+  // Deliberately no reset of stop_ here: a stop() that raced ahead of this
+  // thread entering run() must win, or the caller's join() deadlocks.
+  while (!stopped()) {
+    auto result = poll_once(cycle_timeout);
+    if (!result) return result.status();
+  }
+  return Status::ok();
+}
+
+}  // namespace brisk::net

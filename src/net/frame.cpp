@@ -1,0 +1,79 @@
+#include "net/frame.hpp"
+
+#include <cstring>
+
+namespace brisk::net {
+namespace {
+
+void put_be32(std::uint8_t* out, std::uint32_t value) noexcept {
+  out[0] = static_cast<std::uint8_t>(value >> 24);
+  out[1] = static_cast<std::uint8_t>(value >> 16);
+  out[2] = static_cast<std::uint8_t>(value >> 8);
+  out[3] = static_cast<std::uint8_t>(value);
+}
+
+std::uint32_t get_be32(const std::uint8_t* in) noexcept {
+  return (std::uint32_t{in[0]} << 24) | (std::uint32_t{in[1]} << 16) |
+         (std::uint32_t{in[2]} << 8) | std::uint32_t{in[3]};
+}
+
+}  // namespace
+
+Status write_frame(TcpSocket& socket, ByteSpan payload) {
+  if (payload.size() > kMaxFrameBytes) return Status(Errc::invalid_argument, "frame too large");
+  std::uint8_t header[4];
+  put_be32(header, static_cast<std::uint32_t>(payload.size()));
+  Status st = socket.write_all(ByteSpan{header, 4});
+  if (!st) return st;
+  return socket.write_all(payload);
+}
+
+Result<ByteBuffer> read_frame(TcpSocket& socket) {
+  std::uint8_t header[4];
+  std::size_t got = 0;
+  while (got < 4) {
+    auto n = socket.read_some(MutableByteSpan{header + got, 4 - got});
+    if (!n) return n.status();
+    if (n.value() == 0) return Status(Errc::closed, "eof in frame header");
+    got += n.value();
+  }
+  const std::uint32_t len = get_be32(header);
+  if (len > kMaxFrameBytes) return Status(Errc::malformed, "oversized frame");
+
+  ByteBuffer payload;
+  std::vector<std::uint8_t> body(len);
+  got = 0;
+  while (got < len) {
+    auto n = socket.read_some(MutableByteSpan{body.data() + got, len - got});
+    if (!n) return n.status();
+    if (n.value() == 0) return Status(Errc::closed, "eof in frame body");
+    got += n.value();
+  }
+  payload.append(ByteSpan{body.data(), body.size()});
+  return payload;
+}
+
+void FrameReader::feed(ByteSpan bytes) {
+  compact();
+  buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+}
+
+Result<std::optional<ByteBuffer>> FrameReader::next() {
+  const std::size_t available = buffer_.size() - consumed_;
+  if (available < 4) return std::optional<ByteBuffer>{};
+  const std::uint32_t len = get_be32(buffer_.data() + consumed_);
+  if (len > kMaxFrameBytes) return Status(Errc::malformed, "oversized frame");
+  if (available < 4 + std::size_t{len}) return std::optional<ByteBuffer>{};
+  ByteBuffer frame;
+  frame.append(ByteSpan{buffer_.data() + consumed_ + 4, len});
+  consumed_ += 4 + len;
+  return std::optional<ByteBuffer>{std::move(frame)};
+}
+
+void FrameReader::compact() {
+  if (consumed_ == 0) return;
+  buffer_.erase(buffer_.begin(), buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+  consumed_ = 0;
+}
+
+}  // namespace brisk::net

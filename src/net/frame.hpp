@@ -1,0 +1,44 @@
+// Message framing over a TCP stream: each message is a 4-byte big-endian
+// length followed by the payload. "The in-order arrival of these batches is
+// guaranteed by the socket stream protocol" — framing turns the stream back
+// into the discrete batch messages the ISM queues.
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <vector>
+
+#include "common/byte_buffer.hpp"
+#include "net/socket.hpp"
+
+namespace brisk::net {
+
+inline constexpr std::size_t kMaxFrameBytes = 16u << 20;  // defensive bound
+
+/// Writes one framed message (blocking).
+Status write_frame(TcpSocket& socket, ByteSpan payload);
+
+/// Reads exactly one framed message (blocking).
+Result<ByteBuffer> read_frame(TcpSocket& socket);
+
+/// Incremental frame decoder for non-blocking sockets: feed raw stream
+/// bytes, pop complete frames.
+class FrameReader {
+ public:
+  /// Appends raw bytes received from the stream.
+  void feed(ByteSpan bytes);
+
+  /// Pops the next complete frame, if any. Returns Errc::malformed if the
+  /// peer declared an oversized frame (connection should be dropped).
+  Result<std::optional<ByteBuffer>> next();
+
+  [[nodiscard]] std::size_t buffered_bytes() const noexcept { return buffer_.size() - consumed_; }
+
+ private:
+  void compact();
+
+  std::vector<std::uint8_t> buffer_;
+  std::size_t consumed_ = 0;
+};
+
+}  // namespace brisk::net

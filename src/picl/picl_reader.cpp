@@ -1,0 +1,77 @@
+#include "picl/picl_reader.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "common/string_util.hpp"
+
+namespace brisk::picl {
+
+Result<PiclReader> PiclReader::open(const std::string& path, PiclOptions options) {
+  std::FILE* file = std::fopen(path.c_str(), "r");
+  if (file == nullptr) {
+    return Status(Errc::io_error, "fopen " + path + ": " + std::strerror(errno));
+  }
+  return PiclReader(file, options);
+}
+
+PiclReader::PiclReader(PiclReader&& other) noexcept
+    : file_(std::exchange(other.file_, nullptr)),
+      options_(other.options_),
+      lines_read_(other.lines_read_) {}
+
+PiclReader& PiclReader::operator=(PiclReader&& other) noexcept {
+  if (this != &other) {
+    if (file_ != nullptr) std::fclose(file_);
+    file_ = std::exchange(other.file_, nullptr);
+    options_ = other.options_;
+    lines_read_ = other.lines_read_;
+  }
+  return *this;
+}
+
+PiclReader::~PiclReader() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Result<std::optional<sensors::Record>> PiclReader::next() {
+  if (file_ == nullptr) return Status(Errc::closed, "reader closed");
+  std::string line;
+  char chunk[512];
+  for (;;) {
+    line.clear();
+    for (;;) {
+      if (std::fgets(chunk, sizeof chunk, file_) == nullptr) {
+        if (line.empty()) return std::optional<sensors::Record>{};
+        break;
+      }
+      line += chunk;
+      if (!line.empty() && line.back() == '\n') {
+        line.pop_back();
+        break;
+      }
+    }
+    ++lines_read_;
+    const std::string_view content = trim(line);
+    if (content.empty() || content.front() == '#') {
+      if (std::feof(file_) != 0) return std::optional<sensors::Record>{};
+      continue;
+    }
+    auto record = from_picl_line(content, options_);
+    if (!record) return record.status();
+    return std::optional<sensors::Record>{std::move(record).value()};
+  }
+}
+
+Result<std::vector<sensors::Record>> PiclReader::read_all() {
+  std::vector<sensors::Record> out;
+  for (;;) {
+    auto record = next();
+    if (!record) return record.status();
+    if (!record.value().has_value()) return out;
+    out.push_back(std::move(*record.value()));
+  }
+}
+
+}  // namespace brisk::picl

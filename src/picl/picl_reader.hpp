@@ -1,0 +1,41 @@
+// PICL trace file reader: the consumer-side inverse of PiclWriter, used by
+// analysis tools (consumers/trace_stats) and the round-trip tests.
+#pragma once
+
+#include <cstdio>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "picl/picl_record.hpp"
+
+namespace brisk::picl {
+
+class PiclReader {
+ public:
+  static Result<PiclReader> open(const std::string& path, PiclOptions options);
+
+  PiclReader(PiclReader&& other) noexcept;
+  PiclReader& operator=(PiclReader&& other) noexcept;
+  PiclReader(const PiclReader&) = delete;
+  PiclReader& operator=(const PiclReader&) = delete;
+  ~PiclReader();
+
+  /// Reads the next record; nullopt at end of file. Blank lines and lines
+  /// starting with '#' are skipped.
+  Result<std::optional<sensors::Record>> next();
+
+  /// Convenience: reads the whole remaining file.
+  Result<std::vector<sensors::Record>> read_all();
+
+  [[nodiscard]] std::uint64_t lines_read() const noexcept { return lines_read_; }
+
+ private:
+  PiclReader(std::FILE* file, PiclOptions options) : file_(file), options_(options) {}
+
+  std::FILE* file_ = nullptr;
+  PiclOptions options_;
+  std::uint64_t lines_read_ = 0;
+};
+
+}  // namespace brisk::picl

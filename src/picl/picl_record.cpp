@@ -1,0 +1,180 @@
+#include "picl/picl_record.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/string_util.hpp"
+
+namespace brisk::picl {
+
+using sensors::Field;
+using sensors::FieldType;
+using sensors::Record;
+
+namespace {
+
+std::string render_time(TimeMicros ts, const PiclOptions& options) {
+  char buf[48];
+  if (options.mode == TimestampMode::utc_micros) {
+    std::snprintf(buf, sizeof buf, "%" PRId64, ts);
+  } else {
+    const double seconds = static_cast<double>(ts - options.epoch_us) / 1e6;
+    std::snprintf(buf, sizeof buf, "%.6f", seconds);
+  }
+  return buf;
+}
+
+Result<TimeMicros> parse_time(std::string_view text, const PiclOptions& options) {
+  if (options.mode == TimestampMode::utc_micros) {
+    auto v = parse_int(text);
+    if (!v) return Status(Errc::malformed, "bad UTC timestamp");
+    return TimeMicros{*v};
+  }
+  auto v = parse_double(text);
+  if (!v) return Status(Errc::malformed, "bad seconds timestamp");
+  return static_cast<TimeMicros>(*v * 1e6 + (*v >= 0 ? 0.5 : -0.5)) + options.epoch_us;
+}
+
+Result<FieldType> field_type_from_name(std::string_view name) {
+  for (std::uint8_t raw = 0; raw < sensors::kFieldTypeCount; ++raw) {
+    const auto type = static_cast<FieldType>(raw);
+    if (name == field_type_name(type)) return type;
+  }
+  return Status(Errc::malformed, "unknown field type name");
+}
+
+Result<Field> parse_field(std::string_view token) {
+  const std::size_t eq = token.find('=');
+  if (eq == std::string_view::npos) return Status(Errc::malformed, "field missing '='");
+  auto type = field_type_from_name(token.substr(0, eq));
+  if (!type) return type.status();
+  const std::string_view value = token.substr(eq + 1);
+
+  switch (type.value()) {
+    case FieldType::x_i8:
+    case FieldType::x_i16:
+    case FieldType::x_i32:
+    case FieldType::x_i64:
+    case FieldType::x_ts: {
+      auto v = parse_int(value);
+      if (!v) return Status(Errc::malformed, "bad integer field");
+      return Field(type.value(), static_cast<std::int64_t>(*v));
+    }
+    case FieldType::x_u8:
+    case FieldType::x_u16:
+    case FieldType::x_u32:
+    case FieldType::x_u64:
+    case FieldType::x_reason:
+    case FieldType::x_conseq: {
+      auto v = parse_int(value);
+      if (!v || *v < 0) return Status(Errc::malformed, "bad unsigned field");
+      return Field(type.value(), static_cast<std::uint64_t>(*v));
+    }
+    case FieldType::x_f32:
+    case FieldType::x_f64: {
+      auto v = parse_double(value);
+      if (!v) return Status(Errc::malformed, "bad float field");
+      return Field(type.value(), *v);
+    }
+    case FieldType::x_char: {
+      if (value.size() != 1) return Status(Errc::malformed, "bad char field");
+      return Field::ch(value[0]);
+    }
+    case FieldType::x_string: {
+      if (value.size() < 2 || value.front() != '"' || value.back() != '"') {
+        return Status(Errc::malformed, "string field not quoted");
+      }
+      auto unescaped = unescape_ascii(value.substr(1, value.size() - 2));
+      if (!unescaped) return Status(Errc::malformed, "bad string escape");
+      return Field::str(*unescaped);
+    }
+  }
+  return Status(Errc::malformed, "unhandled field type");
+}
+
+}  // namespace
+
+std::string to_picl_line(const Record& record, const PiclOptions& options) {
+  std::string out;
+  out.reserve(64 + record.fields.size() * 16);
+  char head[96];
+  std::snprintf(head, sizeof head, "%d %u ", kEventRecordType, record.sensor);
+  out += head;
+  out += render_time(record.timestamp, options);
+  std::snprintf(head, sizeof head, " %u %zu", record.node, record.fields.size());
+  out += head;
+  for (const Field& f : record.fields) {
+    out += ' ';
+    out += field_type_name(f.type());
+    out += '=';
+    out += f.to_string();
+  }
+  return out;
+}
+
+Result<Record> from_picl_line(std::string_view line, const PiclOptions& options) {
+  // Tokenize on single spaces; quoted strings contain no raw spaces because
+  // escape_ascii leaves spaces intact... so split carefully: fields are the
+  // trailing tokens, and string values may embed spaces. Parse the fixed
+  // head first, then walk fields respecting quotes.
+  const std::string_view trimmed = trim(line);
+  if (trimmed.empty()) return Status(Errc::malformed, "empty line");
+
+  // Head: rectype event time node nfields
+  std::size_t pos = 0;
+  auto next_token = [&]() -> std::string_view {
+    while (pos < trimmed.size() && trimmed[pos] == ' ') ++pos;
+    const std::size_t start = pos;
+    while (pos < trimmed.size() && trimmed[pos] != ' ') ++pos;
+    return trimmed.substr(start, pos - start);
+  };
+
+  auto rectype = parse_int(next_token());
+  if (!rectype) return Status(Errc::malformed, "bad record type");
+  auto event = parse_int(next_token());
+  if (!event || *event < 0) return Status(Errc::malformed, "bad event id");
+  auto time = parse_time(next_token(), options);
+  if (!time) return time.status();
+  auto node = parse_int(next_token());
+  if (!node || *node < 0) return Status(Errc::malformed, "bad node id");
+  auto nfields = parse_int(next_token());
+  if (!nfields || *nfields < 0 ||
+      *nfields > static_cast<long long>(sensors::kMaxFieldsPerRecord)) {
+    return Status(Errc::malformed, "bad field count");
+  }
+
+  Record record;
+  record.sensor = static_cast<SensorId>(*event);
+  record.timestamp = time.value();
+  record.node = static_cast<NodeId>(*node);
+  record.fields.reserve(static_cast<std::size_t>(*nfields));
+
+  for (long long i = 0; i < *nfields; ++i) {
+    while (pos < trimmed.size() && trimmed[pos] == ' ') ++pos;
+    const std::size_t start = pos;
+    // A token ends at a space that is not inside a quoted string value.
+    bool in_quotes = false;
+    bool escaped = false;
+    while (pos < trimmed.size()) {
+      const char c = trimmed[pos];
+      if (escaped) {
+        escaped = false;
+      } else if (c == '\\') {
+        escaped = true;
+      } else if (c == '"') {
+        in_quotes = !in_quotes;
+      } else if (c == ' ' && !in_quotes) {
+        break;
+      }
+      ++pos;
+    }
+    auto field = parse_field(trimmed.substr(start, pos - start));
+    if (!field) return field.status();
+    record.fields.push_back(std::move(field).value());
+  }
+  while (pos < trimmed.size() && trimmed[pos] == ' ') ++pos;
+  if (pos != trimmed.size()) return Status(Errc::malformed, "trailing tokens");
+  return record;
+}
+
+}  // namespace brisk::picl

@@ -1,0 +1,46 @@
+// PICL-style ASCII trace records.
+//
+// The ISM "may log instrumentation data to trace files in the PICL ASCII
+// format ... with the time-stamps either in the UTC format or as the
+// (floating-point) number of seconds since the ISM was run", and remote
+// visual objects receive records "as PICL strings".
+//
+// We implement the new-PICL line shape (record type, event, time, node,
+// then data fields) with one BRISK extension: data fields carry their
+// dynamic type tag (TYPE=value) so a trace round-trips losslessly through
+// ASCII — plain PICL integer fields would flatten BRISK's dynamic typing.
+//
+//   <rectype> <event(sensor id)> <time> <node> <nfields> [TYPE=value]...
+//
+// rectype 2 = event data record (the only type BRISK emits today; the
+// reader accepts and preserves other rectypes for foreign traces).
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/error.hpp"
+#include "sensors/record.hpp"
+
+namespace brisk::picl {
+
+inline constexpr int kEventRecordType = 2;
+
+enum class TimestampMode {
+  utc_micros,       // integer microseconds of UTC
+  seconds_from_epoch,  // "%.6f" seconds since the ISM started
+};
+
+struct PiclOptions {
+  TimestampMode mode = TimestampMode::seconds_from_epoch;
+  /// ISM start time; only used (and required) in seconds_from_epoch mode.
+  TimeMicros epoch_us = 0;
+};
+
+/// Renders one record as a PICL line (no trailing newline).
+std::string to_picl_line(const sensors::Record& record, const PiclOptions& options);
+
+/// Parses one PICL line back into a record.
+Result<sensors::Record> from_picl_line(std::string_view line, const PiclOptions& options);
+
+}  // namespace brisk::picl

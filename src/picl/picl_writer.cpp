@@ -1,0 +1,59 @@
+#include "picl/picl_writer.hpp"
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace brisk::picl {
+
+Result<PiclWriter> PiclWriter::open(const std::string& path, PiclOptions options) {
+  std::FILE* file = std::fopen(path.c_str(), "w");
+  if (file == nullptr) {
+    return Status(Errc::io_error, "fopen " + path + ": " + std::strerror(errno));
+  }
+  return PiclWriter(file, options);
+}
+
+PiclWriter::PiclWriter(PiclWriter&& other) noexcept
+    : file_(std::exchange(other.file_, nullptr)),
+      options_(other.options_),
+      records_written_(other.records_written_) {}
+
+PiclWriter& PiclWriter::operator=(PiclWriter&& other) noexcept {
+  if (this != &other) {
+    if (file_ != nullptr) std::fclose(file_);
+    file_ = std::exchange(other.file_, nullptr);
+    options_ = other.options_;
+    records_written_ = other.records_written_;
+  }
+  return *this;
+}
+
+PiclWriter::~PiclWriter() {
+  if (file_ != nullptr) std::fclose(file_);
+}
+
+Status PiclWriter::write(const sensors::Record& record) {
+  if (file_ == nullptr) return Status(Errc::closed, "writer closed");
+  const std::string line = to_picl_line(record, options_);
+  if (std::fputs(line.c_str(), file_) == EOF || std::fputc('\n', file_) == EOF) {
+    return Status(Errc::io_error, "write failed");
+  }
+  ++records_written_;
+  return Status::ok();
+}
+
+Status PiclWriter::flush() {
+  if (file_ == nullptr) return Status(Errc::closed, "writer closed");
+  if (std::fflush(file_) != 0) return Status(Errc::io_error, "fflush failed");
+  return Status::ok();
+}
+
+Status PiclWriter::close() {
+  if (file_ == nullptr) return Status(Errc::closed, "writer already closed");
+  const int rc = std::fclose(std::exchange(file_, nullptr));
+  if (rc != 0) return Status(Errc::io_error, "fclose failed");
+  return Status::ok();
+}
+
+}  // namespace brisk::picl

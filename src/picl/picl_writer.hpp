@@ -1,0 +1,38 @@
+// Buffered PICL trace file writer (the ISM's "file system" output in
+// Fig. 1).
+#pragma once
+
+#include <cstdio>
+#include <string>
+
+#include "picl/picl_record.hpp"
+
+namespace brisk::picl {
+
+class PiclWriter {
+ public:
+  /// Opens `path` for writing (truncates).
+  static Result<PiclWriter> open(const std::string& path, PiclOptions options);
+
+  PiclWriter(PiclWriter&& other) noexcept;
+  PiclWriter& operator=(PiclWriter&& other) noexcept;
+  PiclWriter(const PiclWriter&) = delete;
+  PiclWriter& operator=(const PiclWriter&) = delete;
+  ~PiclWriter();
+
+  Status write(const sensors::Record& record);
+  Status flush();
+  /// Flush + close; further writes fail.
+  Status close();
+
+  [[nodiscard]] std::uint64_t records_written() const noexcept { return records_written_; }
+
+ private:
+  PiclWriter(std::FILE* file, PiclOptions options) : file_(file), options_(options) {}
+
+  std::FILE* file_ = nullptr;
+  PiclOptions options_;
+  std::uint64_t records_written_ = 0;
+};
+
+}  // namespace brisk::picl

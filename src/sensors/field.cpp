@@ -1,0 +1,137 @@
+#include "sensors/field.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+#include "common/string_util.hpp"
+
+namespace brisk::sensors {
+
+const char* field_type_name(FieldType type) noexcept {
+  switch (type) {
+    case FieldType::x_i8: return "X_I8";
+    case FieldType::x_u8: return "X_U8";
+    case FieldType::x_i16: return "X_I16";
+    case FieldType::x_u16: return "X_U16";
+    case FieldType::x_i32: return "X_I32";
+    case FieldType::x_u32: return "X_U32";
+    case FieldType::x_i64: return "X_I64";
+    case FieldType::x_u64: return "X_U64";
+    case FieldType::x_f32: return "X_F32";
+    case FieldType::x_f64: return "X_F64";
+    case FieldType::x_char: return "X_CHAR";
+    case FieldType::x_string: return "X_STRING";
+    case FieldType::x_ts: return "X_TS";
+    case FieldType::x_reason: return "X_REASON";
+    case FieldType::x_conseq: return "X_CONSEQ";
+  }
+  return "X_UNKNOWN";
+}
+
+bool field_type_valid(std::uint8_t raw) noexcept { return raw < kFieldTypeCount; }
+
+std::size_t native_payload_size(FieldType type) noexcept {
+  switch (type) {
+    case FieldType::x_i8:
+    case FieldType::x_u8:
+    case FieldType::x_char: return 1;
+    case FieldType::x_i16:
+    case FieldType::x_u16: return 2;
+    case FieldType::x_i32:
+    case FieldType::x_u32:
+    case FieldType::x_f32:
+    case FieldType::x_reason:
+    case FieldType::x_conseq: return 4;
+    case FieldType::x_i64:
+    case FieldType::x_u64:
+    case FieldType::x_f64:
+    case FieldType::x_ts: return 8;
+    case FieldType::x_string: return 0;
+  }
+  return 0;
+}
+
+std::size_t xdr_payload_size(FieldType type) noexcept {
+  switch (type) {
+    case FieldType::x_i8:
+    case FieldType::x_u8:
+    case FieldType::x_char:
+    case FieldType::x_i16:
+    case FieldType::x_u16:
+    case FieldType::x_i32:
+    case FieldType::x_u32:
+    case FieldType::x_f32:
+    case FieldType::x_reason:
+    case FieldType::x_conseq: return 4;
+    case FieldType::x_i64:
+    case FieldType::x_u64:
+    case FieldType::x_f64:
+    case FieldType::x_ts: return 8;
+    case FieldType::x_string: return 0;
+  }
+  return 0;
+}
+
+std::int64_t Field::as_signed() const noexcept {
+  if (const auto* v = std::get_if<std::int64_t>(&value_)) return *v;
+  if (const auto* v = std::get_if<std::uint64_t>(&value_)) return static_cast<std::int64_t>(*v);
+  if (const auto* v = std::get_if<double>(&value_)) return static_cast<std::int64_t>(*v);
+  return 0;
+}
+
+std::uint64_t Field::as_unsigned() const noexcept {
+  if (const auto* v = std::get_if<std::uint64_t>(&value_)) return *v;
+  if (const auto* v = std::get_if<std::int64_t>(&value_)) return static_cast<std::uint64_t>(*v);
+  if (const auto* v = std::get_if<double>(&value_)) return static_cast<std::uint64_t>(*v);
+  return 0;
+}
+
+double Field::as_double() const noexcept {
+  if (const auto* v = std::get_if<double>(&value_)) return *v;
+  if (const auto* v = std::get_if<std::int64_t>(&value_)) return static_cast<double>(*v);
+  if (const auto* v = std::get_if<std::uint64_t>(&value_)) return static_cast<double>(*v);
+  return 0.0;
+}
+
+const std::string& Field::as_string() const {
+  static const std::string kEmpty;
+  if (const auto* v = std::get_if<std::string>(&value_)) return *v;
+  return kEmpty;
+}
+
+std::string Field::to_string() const {
+  char buf[64];
+  switch (type_) {
+    case FieldType::x_i8:
+    case FieldType::x_i16:
+    case FieldType::x_i32:
+    case FieldType::x_i64:
+    case FieldType::x_ts:
+      std::snprintf(buf, sizeof buf, "%" PRId64, as_signed());
+      return buf;
+    case FieldType::x_u8:
+    case FieldType::x_u16:
+    case FieldType::x_u32:
+    case FieldType::x_u64:
+    case FieldType::x_reason:
+    case FieldType::x_conseq:
+      std::snprintf(buf, sizeof buf, "%" PRIu64, as_unsigned());
+      return buf;
+    case FieldType::x_f32:
+    case FieldType::x_f64:
+      std::snprintf(buf, sizeof buf, "%.17g", as_double());
+      return buf;
+    case FieldType::x_char:
+      std::snprintf(buf, sizeof buf, "%c", static_cast<char>(as_signed()));
+      return buf;
+    case FieldType::x_string:
+      return "\"" + escape_ascii(as_string()) + "\"";
+  }
+  return "?";
+}
+
+bool Field::operator==(const Field& other) const noexcept {
+  return type_ == other.type_ && value_ == other.value_;
+}
+
+}  // namespace brisk::sensors

@@ -1,0 +1,113 @@
+// Dynamically-typed event record fields.
+//
+// The paper's NOTICE sensors "are capable of writing heterogeneous records,
+// with over ten basic types available for individual fields, ranging from
+// bytes, to floats, to null-terminated strings", plus three *system* types:
+//   X_TS     — embeds BRISK's internal timestamp (8-byte µs of UTC),
+//   X_REASON — marks a causally-related "reason" event,
+//   X_CONSEQ — marks the consequence that must follow that reason.
+// We provide 12 basic types and the 3 system types. Type tags fit in 4 bits
+// so the transfer protocol can pack them into a compressed meta header.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <variant>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace brisk::sensors {
+
+enum class FieldType : std::uint8_t {
+  // --- basic types ---
+  x_i8 = 0,
+  x_u8 = 1,
+  x_i16 = 2,
+  x_u16 = 3,
+  x_i32 = 4,
+  x_u32 = 5,
+  x_i64 = 6,
+  x_u64 = 7,
+  x_f32 = 8,
+  x_f64 = 9,
+  x_char = 10,
+  x_string = 11,
+  // --- system types ---
+  x_ts = 12,      // TimeMicros, corrected by the EXS before shipping
+  x_reason = 13,  // CausalId
+  x_conseq = 14,  // CausalId
+};
+
+inline constexpr std::uint8_t kFieldTypeCount = 15;
+inline constexpr std::size_t kMaxFieldsPerRecord = 16;  // mknotice-specialized limit
+inline constexpr std::size_t kDefaultMacroFieldLimit = 8;  // paper's dynamic default
+inline constexpr std::size_t kMaxStringFieldBytes = 255;
+
+const char* field_type_name(FieldType type) noexcept;
+[[nodiscard]] bool field_type_valid(std::uint8_t raw) noexcept;
+
+/// True for the X_* system types.
+[[nodiscard]] constexpr bool is_system_type(FieldType type) noexcept {
+  return type == FieldType::x_ts || type == FieldType::x_reason || type == FieldType::x_conseq;
+}
+
+/// Payload bytes of a fixed-width field in the *native* (in-ring) encoding;
+/// 0 for x_string (variable).
+[[nodiscard]] std::size_t native_payload_size(FieldType type) noexcept;
+
+/// Payload bytes of a field in the XDR transfer protocol (everything padded
+/// to 4 bytes); 0 for x_string (variable).
+[[nodiscard]] std::size_t xdr_payload_size(FieldType type) noexcept;
+
+/// A decoded field value. The heavier std::variant representation is used on
+/// the ISM/consumer side and in tests; the sensor fast path encodes directly
+/// from arguments without materializing Field objects.
+class Field {
+ public:
+  Field() : type_(FieldType::x_i32), value_(std::int64_t{0}) {}
+  Field(FieldType type, std::int64_t signed_value) : type_(type), value_(signed_value) {}
+  Field(FieldType type, std::uint64_t unsigned_value) : type_(type), value_(unsigned_value) {}
+  Field(FieldType type, double real_value) : type_(type), value_(real_value) {}
+  Field(FieldType type, std::string text) : type_(type), value_(std::move(text)) {}
+
+  // Named constructors for every type.
+  static Field i8(std::int8_t v) { return {FieldType::x_i8, static_cast<std::int64_t>(v)}; }
+  static Field u8(std::uint8_t v) { return {FieldType::x_u8, static_cast<std::uint64_t>(v)}; }
+  static Field i16(std::int16_t v) { return {FieldType::x_i16, static_cast<std::int64_t>(v)}; }
+  static Field u16(std::uint16_t v) { return {FieldType::x_u16, static_cast<std::uint64_t>(v)}; }
+  static Field i32(std::int32_t v) { return {FieldType::x_i32, static_cast<std::int64_t>(v)}; }
+  static Field u32(std::uint32_t v) { return {FieldType::x_u32, static_cast<std::uint64_t>(v)}; }
+  static Field i64(std::int64_t v) { return {FieldType::x_i64, v}; }
+  static Field u64(std::uint64_t v) { return {FieldType::x_u64, v}; }
+  static Field f32(float v) { return {FieldType::x_f32, static_cast<double>(v)}; }
+  static Field f64(double v) { return {FieldType::x_f64, v}; }
+  static Field ch(char v) { return {FieldType::x_char, static_cast<std::int64_t>(v)}; }
+  static Field str(std::string_view v) { return {FieldType::x_string, std::string(v)}; }
+  static Field ts(TimeMicros v) { return {FieldType::x_ts, static_cast<std::int64_t>(v)}; }
+  static Field reason(CausalId id) { return {FieldType::x_reason, static_cast<std::uint64_t>(id)}; }
+  static Field conseq(CausalId id) { return {FieldType::x_conseq, static_cast<std::uint64_t>(id)}; }
+
+  [[nodiscard]] FieldType type() const noexcept { return type_; }
+
+  [[nodiscard]] std::int64_t as_signed() const noexcept;
+  [[nodiscard]] std::uint64_t as_unsigned() const noexcept;
+  [[nodiscard]] double as_double() const noexcept;
+  [[nodiscard]] const std::string& as_string() const;
+  [[nodiscard]] TimeMicros as_timestamp() const noexcept { return as_signed(); }
+  [[nodiscard]] CausalId as_causal_id() const noexcept {
+    return static_cast<CausalId>(as_unsigned());
+  }
+
+  /// Rendering used by PICL output and diagnostics.
+  [[nodiscard]] std::string to_string() const;
+
+  bool operator==(const Field& other) const noexcept;
+
+ private:
+  FieldType type_;
+  std::variant<std::int64_t, std::uint64_t, double, std::string> value_;
+};
+
+}  // namespace brisk::sensors

@@ -1,0 +1,66 @@
+#include "sensors/profiler.hpp"
+
+namespace brisk::sensors {
+
+Result<std::size_t> CounterSet::register_counter(std::string name) {
+  if (count_ >= kMaxCounters) return Status(Errc::buffer_full, "counter set full");
+  for (std::size_t i = 0; i < count_; ++i) {
+    if (names_[i] == name) return Status(Errc::already_exists, name);
+  }
+  names_[count_] = std::move(name);
+  counters_[count_].store(0, std::memory_order_relaxed);
+  return count_++;
+}
+
+Profiler::Profiler(const ProfilerConfig& config, Sensor& sensor, CounterSet& counters,
+                   clk::Clock& clock)
+    : config_(config),
+      sensor_(sensor),
+      counters_(counters),
+      clock_(clock),
+      next_sample_at_(clock.now() + config.period_us) {}
+
+bool Profiler::maybe_sample() {
+  if (clock_.now() < next_sample_at_) return false;
+  next_sample_at_ += config_.period_us;
+  return sample_now();
+}
+
+bool Profiler::sample_now() {
+  // Format directly through the RecordWriter: the sample has a dynamic
+  // number of fields, which the variadic notice() cannot express.
+  std::array<std::uint8_t, kMaxNativeRecordBytes> buf;
+  RecordWriter writer({buf.data(), buf.size()});
+  const TimeMicros ts = clock_.now();
+  if (!writer.begin(config_.sensor, sensor_.next_sequence(), ts)) return false;
+  if (!writer.add_ts(ts)) return false;
+  for (std::size_t i = 0; i < counters_.size(); ++i) {
+    const std::uint64_t current = counters_.value(i);
+    const std::uint64_t sample =
+        config_.mode == SampleMode::deltas ? current - previous_[i] : current;
+    previous_[i] = current;
+    if (!writer.add_u64(sample)) return false;
+  }
+  auto bytes = writer.finish();
+  if (!bytes) return false;
+  const bool pushed = sensor_.push_encoded(bytes.value());
+  if (pushed) ++samples_emitted_;
+  return pushed;
+}
+
+Result<std::vector<std::uint64_t>> decode_profile_sample(const Record& record) {
+  if (record.fields.empty() || record.fields[0].type() != FieldType::x_ts) {
+    return Status(Errc::type_mismatch, "not a profile sample (no leading x_ts)");
+  }
+  std::vector<std::uint64_t> values;
+  values.reserve(record.fields.size() - 1);
+  for (std::size_t i = 1; i < record.fields.size(); ++i) {
+    if (record.fields[i].type() != FieldType::x_u64) {
+      return Status(Errc::type_mismatch, "profile sample fields must be x_u64");
+    }
+    values.push_back(record.fields[i].as_unsigned());
+  }
+  return values;
+}
+
+}  // namespace brisk::sensors

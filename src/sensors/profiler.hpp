@@ -1,0 +1,91 @@
+// Hybrid-monitoring emulation: profiling counters over the event-based IS.
+//
+// The paper requires that BRISK "be able to emulate other
+// methods/techniques (e.g., a hybrid monitoring approach for tracing or
+// profiling) by a software, event-based monitoring approach". This module
+// is that emulation: application threads bump cheap atomic counters (the
+// "hardware counter" role of a hybrid monitor), and a Profiler periodically
+// snapshots them into ordinary NOTICE records — so profiles ride the same
+// rings, transfer protocol, sorting and consumers as trace events.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <string>
+
+#include "clock/clock.hpp"
+#include "sensors/sensor.hpp"
+
+namespace brisk::sensors {
+
+/// A fixed-capacity set of named 64-bit counters, safe to bump from any
+/// thread. Capacity bounds the sample-record size: one x_u64 field per
+/// counter plus one x_ts, within the 16-field record limit.
+class CounterSet {
+ public:
+  static constexpr std::size_t kMaxCounters = 15;
+
+  /// Registers a counter; returns its index or an error when full / name
+  /// taken. Not thread-safe (register everything before profiling starts).
+  Result<std::size_t> register_counter(std::string name);
+
+  void add(std::size_t index, std::uint64_t delta = 1) noexcept {
+    counters_[index].fetch_add(delta, std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::uint64_t value(std::size_t index) const noexcept {
+    return counters_[index].load(std::memory_order_relaxed);
+  }
+
+  [[nodiscard]] std::size_t size() const noexcept { return count_; }
+  [[nodiscard]] const std::string& name(std::size_t index) const { return names_[index]; }
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kMaxCounters> counters_{};
+  std::array<std::string, kMaxCounters> names_;
+  std::size_t count_ = 0;
+};
+
+enum class SampleMode {
+  deltas,     // each sample reports change since the previous sample
+  absolute,   // each sample reports the running totals
+};
+
+struct ProfilerConfig {
+  SensorId sensor = 0;        // sensor id of the emitted sample records
+  TimeMicros period_us = 100'000;
+  SampleMode mode = SampleMode::deltas;
+};
+
+/// Periodically emits one record per sampling period containing an x_ts
+/// followed by one x_u64 per registered counter. Drive it from the
+/// application loop (maybe_sample) or a helper thread.
+class Profiler {
+ public:
+  Profiler(const ProfilerConfig& config, Sensor& sensor, CounterSet& counters,
+           clk::Clock& clock);
+
+  /// Emits a sample if the period elapsed; returns true if one was emitted.
+  bool maybe_sample();
+
+  /// Unconditionally emits a sample now.
+  bool sample_now();
+
+  [[nodiscard]] std::uint64_t samples_emitted() const noexcept { return samples_emitted_; }
+  [[nodiscard]] const ProfilerConfig& config() const noexcept { return config_; }
+
+ private:
+  ProfilerConfig config_;
+  Sensor& sensor_;
+  CounterSet& counters_;
+  clk::Clock& clock_;
+  TimeMicros next_sample_at_;
+  std::array<std::uint64_t, CounterSet::kMaxCounters> previous_{};
+  std::uint64_t samples_emitted_ = 0;
+};
+
+/// Decodes a profiler sample record back into (timestamp, counter values);
+/// the consumer-side inverse. Returns type_mismatch for non-sample records.
+Result<std::vector<std::uint64_t>> decode_profile_sample(const Record& record);
+
+}  // namespace brisk::sensors

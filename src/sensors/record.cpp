@@ -1,0 +1,42 @@
+#include "sensors/record.hpp"
+
+#include <cinttypes>
+#include <cstdio>
+
+namespace brisk::sensors {
+
+const Field* Record::find_field(FieldType type) const noexcept {
+  for (const Field& f : fields) {
+    if (f.type() == type) return &f;
+  }
+  return nullptr;
+}
+
+std::optional<CausalId> Record::reason_id() const noexcept {
+  const Field* f = find_field(FieldType::x_reason);
+  if (f == nullptr) return std::nullopt;
+  return f->as_causal_id();
+}
+
+std::optional<CausalId> Record::conseq_id() const noexcept {
+  const Field* f = find_field(FieldType::x_conseq);
+  if (f == nullptr) return std::nullopt;
+  return f->as_causal_id();
+}
+
+std::string Record::to_string() const {
+  char head[96];
+  std::snprintf(head, sizeof head, "%u:%u#%" PRIu64 " @%" PRId64 " [", node, sensor,
+                sequence, timestamp);
+  std::string out = head;
+  for (std::size_t i = 0; i < fields.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += field_type_name(fields[i].type());
+    out += '=';
+    out += fields[i].to_string();
+  }
+  out += ']';
+  return out;
+}
+
+}  // namespace brisk::sensors

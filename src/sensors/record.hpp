@@ -1,0 +1,38 @@
+// The decoded instrumentation event record.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sensors/field.hpp"
+
+namespace brisk::sensors {
+
+/// One instrumentation event. Every record carries a creation timestamp
+/// (the NOTICE macro reads the node clock); the EXS adds its clock-sync
+/// correction before the record leaves the node, so at the ISM `timestamp`
+/// is in the synchronized global timebase. `node` is stamped by the EXS
+/// (producers inside the node do not need to know it).
+struct Record {
+  NodeId node = 0;
+  SensorId sensor = 0;
+  SequenceNo sequence = 0;
+  TimeMicros timestamp = 0;
+  std::vector<Field> fields;
+
+  /// First field of the given type, if any.
+  [[nodiscard]] const Field* find_field(FieldType type) const noexcept;
+
+  /// Causal id if this record is marked as a reason / consequence event.
+  [[nodiscard]] std::optional<CausalId> reason_id() const noexcept;
+  [[nodiscard]] std::optional<CausalId> conseq_id() const noexcept;
+
+  /// Diagnostic rendering: "node:sensor#seq @ts [f0, f1, ...]".
+  [[nodiscard]] std::string to_string() const;
+
+  bool operator==(const Record& other) const noexcept = default;
+};
+
+}  // namespace brisk::sensors

@@ -1,0 +1,4 @@
+// Sensor is header-only for inlining; this translation unit exists to give
+// the module a home for any future out-of-line definitions and to make the
+// header self-contained (it must compile standalone).
+#include "sensors/sensor.hpp"

@@ -1,0 +1,163 @@
+// Internal sensors: the NOTICE fast path.
+//
+// In the paper, "internal sensors use cpp macros to write instrumentation
+// data records to the memory [ring]". A Sensor binds one producer (process
+// or thread) to one SPSC ring slot; BRISK_NOTICE formats a record on the
+// stack (no allocation, no locks, no syscalls other than the clock read)
+// and pushes it in one memcpy-bounded operation.
+//
+// Argument wrappers give the macro dynamic typing, e.g.
+//   BRISK_NOTICE(sensor, kSendEvent, x_i32(rank), x_u64(bytes), x_str("io"));
+// Up to kDefaultMacroFieldLimit (8) dynamically-typed fields, as in the
+// paper's stock header; mknotice-generated specializations may use the
+// typed writer directly for up to 16 (see tools/mknotice).
+//
+// Intrusion control: compiling with BRISK_DISABLE_NOTICE defined turns
+// every BRISK_NOTICE into a no-op with zero residual cost.
+#pragma once
+
+#include <array>
+#include <string_view>
+
+#include "clock/clock.hpp"
+#include "sensors/record_codec.hpp"
+#include "shm/ring_buffer.hpp"
+
+namespace brisk::sensors {
+
+// ---- dynamic-typing argument wrappers -------------------------------------
+
+struct ArgI8 { std::int8_t v; };
+struct ArgU8 { std::uint8_t v; };
+struct ArgI16 { std::int16_t v; };
+struct ArgU16 { std::uint16_t v; };
+struct ArgI32 { std::int32_t v; };
+struct ArgU32 { std::uint32_t v; };
+struct ArgI64 { std::int64_t v; };
+struct ArgU64 { std::uint64_t v; };
+struct ArgF32 { float v; };
+struct ArgF64 { double v; };
+struct ArgChar { char v; };
+struct ArgStr { std::string_view v; };
+struct ArgTs { };                       // embeds the record's own timestamp
+struct ArgTsValue { TimeMicros v; };    // embeds an explicit timestamp
+struct ArgReason { CausalId v; };
+struct ArgConseq { CausalId v; };
+
+inline ArgI8 x_i8(std::int8_t v) noexcept { return {v}; }
+inline ArgU8 x_u8(std::uint8_t v) noexcept { return {v}; }
+inline ArgI16 x_i16(std::int16_t v) noexcept { return {v}; }
+inline ArgU16 x_u16(std::uint16_t v) noexcept { return {v}; }
+inline ArgI32 x_i32(std::int32_t v) noexcept { return {v}; }
+inline ArgU32 x_u32(std::uint32_t v) noexcept { return {v}; }
+inline ArgI64 x_i64(std::int64_t v) noexcept { return {v}; }
+inline ArgU64 x_u64(std::uint64_t v) noexcept { return {v}; }
+inline ArgF32 x_f32(float v) noexcept { return {v}; }
+inline ArgF64 x_f64(double v) noexcept { return {v}; }
+inline ArgChar x_char(char v) noexcept { return {v}; }
+inline ArgStr x_str(std::string_view v) noexcept { return {v}; }
+inline ArgTs x_ts() noexcept { return {}; }
+inline ArgTsValue x_ts(TimeMicros v) noexcept { return {v}; }
+inline ArgReason x_reason(CausalId id) noexcept { return {id}; }
+inline ArgConseq x_conseq(CausalId id) noexcept { return {id}; }
+
+/// Counters for perturbation analysis: how much work instrumentation did.
+struct SensorStats {
+  std::uint64_t notices = 0;        // NOTICE invocations
+  std::uint64_t records_pushed = 0; // accepted by the ring
+  std::uint64_t records_dropped = 0;
+  std::uint64_t bytes_pushed = 0;
+};
+
+class Sensor {
+ public:
+  /// `ring` must be a slot this producer exclusively owns (claimed from a
+  /// MultiRing); `clock` is the node clock (SystemClock in production).
+  Sensor(shm::RingBuffer ring, clk::Clock& clock) noexcept
+      : ring_(ring), clock_(&clock) {}
+
+  /// The NOTICE entry point. Returns false when the record was dropped
+  /// (ring full or record over limits) — callers typically ignore this,
+  /// the drop is counted.
+  template <typename... Args>
+  bool notice(SensorId id, Args... args) noexcept {
+    static_assert(sizeof...(Args) <= kDefaultMacroFieldLimit,
+                  "BRISK_NOTICE supports at most 8 dynamically-typed fields; "
+                  "generate a specialized macro with mknotice for more");
+    ++stats_.notices;
+    std::array<std::uint8_t, kMaxNativeRecordBytes> stack_buf;
+    RecordWriter writer({stack_buf.data(), stack_buf.size()});
+    const TimeMicros ts = clock_->now();
+    if (!writer.begin(id, next_sequence_, ts)) return count_drop();
+    if (!(add_arg(writer, ts, args) && ...)) return count_drop();
+    auto bytes = writer.finish();
+    if (!bytes) return count_drop();
+    if (!ring_.try_push(bytes.value())) return count_drop();
+    ++next_sequence_;
+    ++stats_.records_pushed;
+    stats_.bytes_pushed += bytes.value().size();
+    return true;
+  }
+
+  /// Escape hatch for pre-encoded records (mknotice specializations).
+  bool push_encoded(ByteSpan record) noexcept {
+    ++stats_.notices;
+    if (!ring_.try_push(record)) return count_drop();
+    ++next_sequence_;
+    ++stats_.records_pushed;
+    stats_.bytes_pushed += record.size();
+    return true;
+  }
+
+  [[nodiscard]] SequenceNo next_sequence() const noexcept { return next_sequence_; }
+  [[nodiscard]] const SensorStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] shm::RingBuffer& ring() noexcept { return ring_; }
+  [[nodiscard]] clk::Clock& clock() noexcept { return *clock_; }
+
+ private:
+  bool count_drop() noexcept {
+    ++stats_.records_dropped;
+    return false;
+  }
+
+  // One overload per wrapper keeps the fold expression monomorphic and
+  // fully inlinable.
+  static bool add_arg(RecordWriter& w, TimeMicros, ArgI8 a) noexcept { return w.add_i8(a.v); }
+  static bool add_arg(RecordWriter& w, TimeMicros, ArgU8 a) noexcept { return w.add_u8(a.v); }
+  static bool add_arg(RecordWriter& w, TimeMicros, ArgI16 a) noexcept { return w.add_i16(a.v); }
+  static bool add_arg(RecordWriter& w, TimeMicros, ArgU16 a) noexcept { return w.add_u16(a.v); }
+  static bool add_arg(RecordWriter& w, TimeMicros, ArgI32 a) noexcept { return w.add_i32(a.v); }
+  static bool add_arg(RecordWriter& w, TimeMicros, ArgU32 a) noexcept { return w.add_u32(a.v); }
+  static bool add_arg(RecordWriter& w, TimeMicros, ArgI64 a) noexcept { return w.add_i64(a.v); }
+  static bool add_arg(RecordWriter& w, TimeMicros, ArgU64 a) noexcept { return w.add_u64(a.v); }
+  static bool add_arg(RecordWriter& w, TimeMicros, ArgF32 a) noexcept { return w.add_f32(a.v); }
+  static bool add_arg(RecordWriter& w, TimeMicros, ArgF64 a) noexcept { return w.add_f64(a.v); }
+  static bool add_arg(RecordWriter& w, TimeMicros, ArgChar a) noexcept { return w.add_char(a.v); }
+  static bool add_arg(RecordWriter& w, TimeMicros, ArgStr a) noexcept { return w.add_string(a.v); }
+  static bool add_arg(RecordWriter& w, TimeMicros ts, ArgTs) noexcept { return w.add_ts(ts); }
+  static bool add_arg(RecordWriter& w, TimeMicros, ArgTsValue a) noexcept { return w.add_ts(a.v); }
+  static bool add_arg(RecordWriter& w, TimeMicros, ArgReason a) noexcept {
+    return w.add_reason(a.v);
+  }
+  static bool add_arg(RecordWriter& w, TimeMicros, ArgConseq a) noexcept {
+    return w.add_conseq(a.v);
+  }
+
+  shm::RingBuffer ring_;
+  clk::Clock* clock_;
+  SequenceNo next_sequence_ = 0;
+  SensorStats stats_;
+};
+
+}  // namespace brisk::sensors
+
+// ---- the NOTICE macro ------------------------------------------------------
+
+#ifdef BRISK_DISABLE_NOTICE
+#define BRISK_NOTICE(sensor_obj, sensor_id, ...) ((void)0)
+#else
+/// BRISK_NOTICE(sensor, id, fields...) — the paper's NOTICE macro. Field
+/// arguments are the x_* wrappers above.
+#define BRISK_NOTICE(sensor_obj, sensor_id, ...) \
+  (sensor_obj).notice((sensor_id)__VA_OPT__(, ) __VA_ARGS__)
+#endif

@@ -1,0 +1,73 @@
+#include "sensors/sensor_registry.hpp"
+
+namespace brisk::sensors {
+
+Status SensorRegistry::register_sensor(SensorInfo info) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto [it, inserted] = by_id_.try_emplace(info.id, info);
+  if (!inserted) {
+    const SensorInfo& existing = it->second;
+    if (existing.name != info.name || existing.signature != info.signature) {
+      return Status(Errc::already_exists,
+                    "sensor id " + std::to_string(info.id) + " already registered as '" +
+                        existing.name + "'");
+    }
+  }
+  return Status::ok();
+}
+
+std::optional<SensorInfo> SensorRegistry::find(SensorId id) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = by_id_.find(id);
+  if (it == by_id_.end()) return std::nullopt;
+  return it->second;
+}
+
+std::optional<SensorInfo> SensorRegistry::find_by_name(const std::string& name) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const auto& [id, info] : by_id_) {
+    if (info.name == name) return info;
+  }
+  return std::nullopt;
+}
+
+std::vector<SensorInfo> SensorRegistry::all() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  std::vector<SensorInfo> out;
+  out.reserve(by_id_.size());
+  for (const auto& [id, info] : by_id_) out.push_back(info);
+  return out;
+}
+
+std::size_t SensorRegistry::size() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return by_id_.size();
+}
+
+Status SensorRegistry::validate(const Record& record) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto it = by_id_.find(record.sensor);
+  if (it == by_id_.end() || it->second.signature.empty()) return Status::ok();
+  const auto& sig = it->second.signature;
+  if (sig.size() != record.fields.size()) {
+    return Status(Errc::type_mismatch,
+                  "sensor '" + it->second.name + "' expects " + std::to_string(sig.size()) +
+                      " fields, record has " + std::to_string(record.fields.size()));
+  }
+  for (std::size_t i = 0; i < sig.size(); ++i) {
+    if (record.fields[i].type() != sig[i]) {
+      return Status(Errc::type_mismatch,
+                    "sensor '" + it->second.name + "' field " + std::to_string(i) +
+                        " expects " + field_type_name(sig[i]) + ", got " +
+                        field_type_name(record.fields[i].type()));
+    }
+  }
+  return Status::ok();
+}
+
+SensorRegistry& SensorRegistry::global() {
+  static SensorRegistry registry;
+  return registry;
+}
+
+}  // namespace brisk::sensors

@@ -1,0 +1,52 @@
+// Sensor metadata registry.
+//
+// Maps SensorId → (name, expected field signature). Consumers use it to
+// render events symbolically (PICL strings, visual objects); the mknotice
+// generator emits registration code alongside specialized macros; tests use
+// signatures to validate records ("tools can be built based on the IS to
+// instrument the target system automatically").
+#pragma once
+
+#include <mutex>
+#include <optional>
+#include <string>
+#include <unordered_map>
+#include <vector>
+
+#include "common/error.hpp"
+#include "sensors/record.hpp"
+
+namespace brisk::sensors {
+
+struct SensorInfo {
+  SensorId id = 0;
+  std::string name;
+  /// Expected field types, in order; empty means "any" (fully dynamic).
+  std::vector<FieldType> signature;
+  std::string description;
+};
+
+class SensorRegistry {
+ public:
+  /// Registers a sensor. Re-registering the same id with an identical
+  /// definition is idempotent; a conflicting definition is an error.
+  Status register_sensor(SensorInfo info);
+
+  [[nodiscard]] std::optional<SensorInfo> find(SensorId id) const;
+  [[nodiscard]] std::optional<SensorInfo> find_by_name(const std::string& name) const;
+  [[nodiscard]] std::vector<SensorInfo> all() const;
+  [[nodiscard]] std::size_t size() const;
+
+  /// Checks a record against its sensor's signature (ok when the sensor is
+  /// unknown or the signature is empty — dynamic sensors validate nothing).
+  [[nodiscard]] Status validate(const Record& record) const;
+
+  /// Process-wide registry used by the convenience registration macros.
+  static SensorRegistry& global();
+
+ private:
+  mutable std::mutex mutex_;
+  std::unordered_map<SensorId, SensorInfo> by_id_;
+};
+
+}  // namespace brisk::sensors

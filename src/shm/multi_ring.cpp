@@ -1,0 +1,64 @@
+#include "shm/multi_ring.hpp"
+
+#include <new>
+
+namespace brisk::shm {
+
+Result<MultiRing> MultiRing::init(void* memory, std::uint32_t slot_count,
+                                  std::uint32_t ring_capacity) {
+  if (memory == nullptr) return Status(Errc::invalid_argument, "null memory");
+  if (slot_count == 0) return Status(Errc::invalid_argument, "zero slots");
+  if (ring_capacity < 64) return Status(Errc::invalid_argument, "ring capacity too small");
+  auto* dir = new (memory) Directory{};
+  dir->magic = kMagic;
+  dir->slot_count = slot_count;
+  dir->ring_capacity = ring_capacity;
+  dir->slots_claimed.store(0, std::memory_order_relaxed);
+  MultiRing mr(dir, static_cast<std::uint8_t*>(memory) + sizeof(Directory));
+  for (std::uint32_t i = 0; i < slot_count; ++i) {
+    auto ring = RingBuffer::init(mr.ring_memory(i), ring_capacity);
+    if (!ring) return ring.status();
+  }
+  return mr;
+}
+
+Result<MultiRing> MultiRing::attach(void* memory, std::size_t memory_bytes) {
+  if (memory == nullptr) return Status(Errc::invalid_argument, "null memory");
+  if (memory_bytes < sizeof(Directory)) return Status(Errc::malformed, "region too small");
+  auto* dir = static_cast<Directory*>(memory);
+  if (dir->magic != kMagic) return Status(Errc::malformed, "bad directory magic");
+  if (region_size(dir->slot_count, dir->ring_capacity) > memory_bytes) {
+    return Status(Errc::malformed, "directory exceeds region");
+  }
+  return MultiRing(dir, static_cast<std::uint8_t*>(memory) + sizeof(Directory));
+}
+
+Result<RingBuffer> MultiRing::claim_slot() {
+  const std::uint32_t index = dir_->slots_claimed.fetch_add(1, std::memory_order_acq_rel);
+  if (index >= dir_->slot_count) {
+    return Status(Errc::buffer_full, "all sensor slots claimed");
+  }
+  return RingBuffer::attach(ring_memory(index), RingBuffer::region_size(dir_->ring_capacity));
+}
+
+Result<RingBuffer> MultiRing::slot(std::uint32_t index) {
+  if (index >= claimed_slots()) return Status(Errc::out_of_range, "slot not claimed");
+  return RingBuffer::attach(ring_memory(index), RingBuffer::region_size(dir_->ring_capacity));
+}
+
+RingStats MultiRing::total_stats() {
+  RingStats total;
+  const std::uint32_t n = claimed_slots();
+  for (std::uint32_t i = 0; i < n; ++i) {
+    auto ring = slot(i);
+    if (!ring) continue;
+    RingStats s = ring.value().stats();
+    total.pushed += s.pushed;
+    total.popped += s.popped;
+    total.dropped += s.dropped;
+    total.bytes_pushed += s.bytes_pushed;
+  }
+  return total;
+}
+
+}  // namespace brisk::shm

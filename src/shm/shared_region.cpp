@@ -1,0 +1,103 @@
+#include "shm/shared_region.hpp"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+namespace brisk::shm {
+namespace {
+
+Status errno_status(const char* what) {
+  return Status(Errc::io_error, std::string(what) + ": " + std::strerror(errno));
+}
+
+}  // namespace
+
+SharedRegion::~SharedRegion() {
+  if (base_ != nullptr) {
+    ::munmap(base_, size_);
+  }
+}
+
+SharedRegion::SharedRegion(SharedRegion&& other) noexcept
+    : base_(std::exchange(other.base_, nullptr)),
+      size_(std::exchange(other.size_, 0)),
+      name_(std::move(other.name_)) {}
+
+SharedRegion& SharedRegion::operator=(SharedRegion&& other) noexcept {
+  if (this != &other) {
+    if (base_ != nullptr) ::munmap(base_, size_);
+    base_ = std::exchange(other.base_, nullptr);
+    size_ = std::exchange(other.size_, 0);
+    name_ = std::move(other.name_);
+  }
+  return *this;
+}
+
+Result<SharedRegion> SharedRegion::create_anonymous(std::size_t bytes) {
+  if (bytes == 0) return Status(Errc::invalid_argument, "zero-size region");
+  void* base = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE, MAP_SHARED | MAP_ANONYMOUS, -1, 0);
+  if (base == MAP_FAILED) return errno_status("mmap(anonymous)");
+  std::memset(base, 0, bytes);
+  return SharedRegion(base, bytes, "");
+}
+
+Result<SharedRegion> SharedRegion::create_named(const std::string& name, std::size_t bytes) {
+  if (bytes == 0) return Status(Errc::invalid_argument, "zero-size region");
+  if (name.empty() || name[0] != '/') {
+    return Status(Errc::invalid_argument, "shm name must start with '/'");
+  }
+  int fd = ::shm_open(name.c_str(), O_CREAT | O_EXCL | O_RDWR, 0600);
+  if (fd < 0) {
+    return errno == EEXIST ? Status(Errc::already_exists, name) : errno_status("shm_open");
+  }
+  if (::ftruncate(fd, static_cast<off_t>(bytes)) != 0) {
+    Status st = errno_status("ftruncate");
+    ::close(fd);
+    ::shm_unlink(name.c_str());
+    return st;
+  }
+  void* base = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  ::close(fd);
+  if (base == MAP_FAILED) {
+    Status st = errno_status("mmap(named)");
+    ::shm_unlink(name.c_str());
+    return st;
+  }
+  std::memset(base, 0, bytes);
+  return SharedRegion(base, bytes, name);
+}
+
+Result<SharedRegion> SharedRegion::open_named(const std::string& name) {
+  if (name.empty() || name[0] != '/') {
+    return Status(Errc::invalid_argument, "shm name must start with '/'");
+  }
+  int fd = ::shm_open(name.c_str(), O_RDWR, 0600);
+  if (fd < 0) {
+    return errno == ENOENT ? Status(Errc::not_found, name) : errno_status("shm_open");
+  }
+  struct stat st{};
+  if (::fstat(fd, &st) != 0) {
+    Status s = errno_status("fstat");
+    ::close(fd);
+    return s;
+  }
+  const auto bytes = static_cast<std::size_t>(st.st_size);
+  void* base = ::mmap(nullptr, bytes, PROT_READ | PROT_WRITE, MAP_SHARED, fd, 0);
+  ::close(fd);
+  if (base == MAP_FAILED) return errno_status("mmap(named)");
+  return SharedRegion(base, bytes, name);
+}
+
+Status SharedRegion::unlink() {
+  if (name_.empty()) return Status(Errc::invalid_argument, "anonymous region has no name");
+  if (::shm_unlink(name_.c_str()) != 0 && errno != ENOENT) return errno_status("shm_unlink");
+  return Status::ok();
+}
+
+}  // namespace brisk::shm

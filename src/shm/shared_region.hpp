@@ -1,0 +1,55 @@
+// Shared memory mappings that back the internal-sensor → external-sensor
+// path. The paper's internal sensors write records "to the memory [ring
+// buffer]" which "is read by an external sensor, which runs as another
+// process on the same node"; we provide that cross-process memory with
+// POSIX mmap:
+//   * anonymous shared mappings, inherited across fork() (our node
+//     processes in tests/benches are forked children), and
+//   * named shm_open segments for independently started executables
+//     (brisk_exs and the instrumented application).
+#pragma once
+
+#include <cstddef>
+#include <memory>
+#include <string>
+
+#include "common/error.hpp"
+
+namespace brisk::shm {
+
+class SharedRegion {
+ public:
+  ~SharedRegion();
+  SharedRegion(const SharedRegion&) = delete;
+  SharedRegion& operator=(const SharedRegion&) = delete;
+  SharedRegion(SharedRegion&& other) noexcept;
+  SharedRegion& operator=(SharedRegion&& other) noexcept;
+
+  /// MAP_SHARED|MAP_ANONYMOUS region, shared with forked children.
+  static Result<SharedRegion> create_anonymous(std::size_t bytes);
+
+  /// Creates (O_CREAT|O_EXCL) a named POSIX shm object and maps it. The
+  /// name must start with '/'. The creator owns unlinking (see `unlink`).
+  static Result<SharedRegion> create_named(const std::string& name, std::size_t bytes);
+
+  /// Maps an existing named object created by another process.
+  static Result<SharedRegion> open_named(const std::string& name);
+
+  /// Removes the name from the filesystem namespace (mapping stays valid).
+  Status unlink();
+
+  [[nodiscard]] void* data() noexcept { return base_; }
+  [[nodiscard]] const void* data() const noexcept { return base_; }
+  [[nodiscard]] std::size_t size() const noexcept { return size_; }
+  [[nodiscard]] const std::string& name() const noexcept { return name_; }
+
+ private:
+  SharedRegion(void* base, std::size_t size, std::string name)
+      : base_(base), size_(size), name_(std::move(name)) {}
+
+  void* base_ = nullptr;
+  std::size_t size_ = 0;
+  std::string name_;  // empty for anonymous regions
+};
+
+}  // namespace brisk::shm

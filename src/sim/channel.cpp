@@ -1,0 +1,23 @@
+#include "sim/channel.hpp"
+
+namespace brisk::sim {
+
+TimeMicros SimSyncTransport::max_pairwise_skew() noexcept {
+  if (slaves_.size() < 2) return 0;
+  TimeMicros min_skew = 0;
+  TimeMicros max_skew = 0;
+  bool first = true;
+  for (clk::SimClock* slave : slaves_) {
+    const TimeMicros skew = slave->true_skew();
+    if (first) {
+      min_skew = max_skew = skew;
+      first = false;
+    } else {
+      if (skew < min_skew) min_skew = skew;
+      if (skew > max_skew) max_skew = skew;
+    }
+  }
+  return max_skew - min_skew;
+}
+
+}  // namespace brisk::sim

@@ -1,0 +1,68 @@
+// Simulated master/slave synchronization channel.
+//
+// SimSyncTransport implements clk::SyncTransport over a set of SimClocks
+// and a LatencyModel, with time driven by a ManualClock — the whole
+// clock-synchronization evaluation (E6) runs deterministically in
+// microseconds of simulated time instead of 10 real minutes on 8 real
+// workstations.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "clock/clock.hpp"
+#include "clock/sim_clock.hpp"
+#include "clock/skew_estimator.hpp"
+#include "sim/latency_model.hpp"
+
+namespace brisk::sim {
+
+class SimSyncTransport final : public clk::SyncTransport {
+ public:
+  /// `reference` is true time (advanced by polls in-flight); `master` is
+  /// the ISM clock (may be the reference itself or its own SimClock);
+  /// `model` supplies per-message delays.
+  SimSyncTransport(clk::ManualClock& reference, clk::Clock& master, LatencyModel& model)
+      : reference_(reference), master_(master), model_(model) {}
+
+  /// Adds a slave clock; returns its index. The clock must outlive the
+  /// transport.
+  std::size_t add_slave(clk::SimClock* slave) {
+    slaves_.push_back(slave);
+    return slaves_.size() - 1;
+  }
+
+  [[nodiscard]] std::size_t slave_count() const noexcept override { return slaves_.size(); }
+
+  Result<clk::PollSample> poll(std::size_t index) override {
+    if (index >= slaves_.size()) return Status(Errc::out_of_range, "no such slave");
+    clk::PollSample sample;
+    sample.local_send = master_.now();
+    reference_.advance(model_.forward());   // request in flight
+    sample.remote_time = slaves_[index]->now();
+    reference_.advance(model_.reverse());   // reply in flight
+    sample.local_recv = master_.now();
+    return sample;
+  }
+
+  Status adjust(std::size_t index, TimeMicros delta) override {
+    if (index >= slaves_.size()) return Status(Errc::out_of_range, "no such slave");
+    reference_.advance(model_.forward());   // adjust message in flight
+    slaves_[index]->adjust(delta);
+    return Status::ok();
+  }
+
+  [[nodiscard]] clk::SimClock* slave(std::size_t index) noexcept { return slaves_[index]; }
+
+  /// Ground-truth ensemble dispersion: max |skew_i − skew_j| over all slave
+  /// pairs — the metric the paper reports ("EXS clocks within N µs").
+  [[nodiscard]] TimeMicros max_pairwise_skew() noexcept;
+
+ private:
+  clk::ManualClock& reference_;
+  clk::Clock& master_;
+  LatencyModel& model_;
+  std::vector<clk::SimClock*> slaves_;
+};
+
+}  // namespace brisk::sim

@@ -1,0 +1,59 @@
+// Artificially delayed event streams — the workload of the on-line sorting
+// evaluation. "The on-line sorting algorithm was evaluated using streams of
+// artificially delayed event records, and by varying four quantitative and
+// qualitative parameters."
+//
+// The generator produces per-node event records whose *timestamps* are the
+// true creation times, but whose *arrival times* at the ISM are creation +
+// transport delay drawn from a configurable lateness distribution. Feeding
+// them to the OnlineSorter in arrival order reproduces exactly the
+// conditions the sorter's adaptive time frame must cope with.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "sensors/record.hpp"
+
+namespace brisk::sim {
+
+enum class LatenessDistribution {
+  none,         // arrival = creation + base (in-order streams)
+  uniform,      // base + U[0, spread]
+  exponential,  // base + Exp(mean = spread)
+  bursty,       // mostly base, but bursts add a large common delay
+};
+
+const char* lateness_distribution_name(LatenessDistribution d) noexcept;
+
+struct DelayedStreamConfig {
+  std::uint32_t nodes = 4;
+  double events_per_sec_per_node = 1000.0;
+  TimeMicros duration_us = 1'000'000;
+  LatenessDistribution distribution = LatenessDistribution::exponential;
+  TimeMicros base_delay_us = 500;   // minimum transport delay
+  TimeMicros spread_us = 2'000;     // distribution scale
+  double burst_probability = 0.01;  // bursty only: chance a burst starts
+  TimeMicros burst_extra_us = 20'000;
+  std::uint32_t burst_length = 50;  // events a burst spans
+  std::uint64_t seed = 7;
+  SensorId sensor = 1;
+};
+
+struct Arrival {
+  sensors::Record record;
+  TimeMicros arrival_us = 0;  // when the ISM sees it
+};
+
+/// Generates the full stream, sorted by arrival time. Within one node,
+/// arrival order always matches creation order (the stream-socket
+/// guarantee); disorder only exists *across* nodes, as in the real system.
+std::vector<Arrival> generate_delayed_stream(const DelayedStreamConfig& config);
+
+/// True max lateness of a generated stream: max over records of
+/// (arrival − creation) − min over records of the same — an oracle for the
+/// "T as large as the latest lateness" strategy.
+TimeMicros max_cross_node_lateness(const std::vector<Arrival>& stream);
+
+}  // namespace brisk::sim

@@ -1,0 +1,2 @@
+// LatencyModel is header-only; see latency_model.hpp.
+#include "sim/latency_model.hpp"

@@ -1,0 +1,63 @@
+// One-way network latency models for the simulated channel.
+//
+// The paper's clock-sync evaluation ran on a real ATM LAN where sync
+// quality was "within [tens of] microseconds under light working
+// conditions, and most of the time under 200 microseconds at times when
+// disturbances of various sources in the LAN interfered". The latency
+// model reproduces both regimes: a base one-way delay with uniform jitter,
+// plus occasional spikes (the disturbances), plus an optional constant
+// asymmetry — the component that genuinely defeats Cristian's rtt/2
+// assumption.
+#pragma once
+
+#include <cstdint>
+#include <random>
+
+#include "common/types.hpp"
+
+namespace brisk::sim {
+
+struct LatencyModelConfig {
+  TimeMicros base_us = 150;     // one-way base latency
+  TimeMicros jitter_us = 50;    // uniform [0, jitter] added per message
+  double spike_probability = 0.0;  // chance a message hits a disturbance
+  TimeMicros spike_us = 5'000;     // extra delay when it does
+  TimeMicros asymmetry_us = 0;  // added to *reverse* (slave→master) trips only
+  std::uint64_t seed = 42;
+};
+
+class LatencyModel {
+ public:
+  explicit LatencyModel(const LatencyModelConfig& config)
+      : config_(config), rng_(config.seed) {}
+
+  /// Master → slave one-way delay.
+  TimeMicros forward() { return sample_base(); }
+  /// Slave → master one-way delay (includes asymmetry).
+  TimeMicros reverse() { return sample_base() + config_.asymmetry_us; }
+
+  /// Switches between quiet and disturbed phases at runtime (the clock-sync
+  /// experiment alternates them).
+  void set_spike_probability(double p) noexcept { config_.spike_probability = p; }
+
+  [[nodiscard]] const LatencyModelConfig& config() const noexcept { return config_; }
+
+ private:
+  TimeMicros sample_base() {
+    TimeMicros d = config_.base_us;
+    if (config_.jitter_us > 0) {
+      std::uniform_int_distribution<TimeMicros> jitter(0, config_.jitter_us);
+      d += jitter(rng_);
+    }
+    if (config_.spike_probability > 0.0) {
+      std::uniform_real_distribution<double> coin(0.0, 1.0);
+      if (coin(rng_) < config_.spike_probability) d += config_.spike_us;
+    }
+    return d;
+  }
+
+  LatencyModelConfig config_;
+  std::mt19937_64 rng_;
+};
+
+}  // namespace brisk::sim

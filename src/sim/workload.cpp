@@ -1,0 +1,39 @@
+#include "sim/workload.hpp"
+
+#include "common/time_util.hpp"
+
+namespace brisk::sim {
+
+WorkloadResult run_looping_workload(sensors::Sensor& sensor, const WorkloadConfig& config) {
+  using sensors::x_i32;
+  WorkloadResult result;
+  const TimeMicros start = monotonic_micros();
+  const TimeMicros cpu_start = thread_cpu_micros();
+  const TimeMicros deadline = start + config.duration_us;
+
+  // Pacing: issue events so that by elapsed time t we have issued
+  // rate * t events, sleeping in short naps when ahead of schedule.
+  const double rate = config.events_per_sec;
+  std::int32_t i = 0;
+  for (;;) {
+    const TimeMicros now = monotonic_micros();
+    if (now >= deadline) break;
+    if (rate > 0.0) {
+      const auto due = static_cast<std::uint64_t>(rate * static_cast<double>(now - start) / 1e6);
+      if (result.notices_issued >= due) {
+        sleep_micros(100);
+        continue;
+      }
+    }
+    const bool ok = BRISK_NOTICE(sensor, config.sensor, x_i32(i), x_i32(i + 1), x_i32(i + 2),
+                                 x_i32(i + 3), x_i32(i + 4), x_i32(i + 5));
+    ++result.notices_issued;
+    if (ok) ++result.notices_accepted;
+    ++i;
+  }
+  result.elapsed_us = monotonic_micros() - start;
+  result.cpu_us = thread_cpu_micros() - cpu_start;
+  return result;
+}
+
+}  // namespace brisk::sim

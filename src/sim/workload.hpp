@@ -1,0 +1,40 @@
+// Target-application workload drivers for the evaluation harness.
+//
+// "In both configurations, we use simple looping applications using NOTICE
+// macros having six fields of type integer." run_looping_workload is that
+// application: a tight loop issuing 6-int NOTICEs, optionally paced to a
+// target event rate (for the utilization sweep) or unpaced (for the
+// throughput ceiling).
+#pragma once
+
+#include <cstdint>
+
+#include "sensors/sensor.hpp"
+
+namespace brisk::sim {
+
+struct WorkloadConfig {
+  SensorId sensor = 1;
+  /// Target NOTICE rate; 0 = as fast as possible.
+  double events_per_sec = 0.0;
+  /// Wall-clock duration of the loop (monotonic).
+  TimeMicros duration_us = 1'000'000;
+};
+
+struct WorkloadResult {
+  std::uint64_t notices_issued = 0;
+  std::uint64_t notices_accepted = 0;  // not dropped at the ring
+  TimeMicros elapsed_us = 0;
+  TimeMicros cpu_us = 0;  // thread CPU time spent in the loop
+
+  [[nodiscard]] double achieved_rate_per_sec() const noexcept {
+    return elapsed_us <= 0 ? 0.0
+                           : static_cast<double>(notices_issued) * 1e6 /
+                                 static_cast<double>(elapsed_us);
+  }
+};
+
+/// Runs the paper's looping application against `sensor`.
+WorkloadResult run_looping_workload(sensors::Sensor& sensor, const WorkloadConfig& config);
+
+}  // namespace brisk::sim

@@ -1,0 +1,90 @@
+#include "tp/batch.hpp"
+
+namespace brisk::tp {
+namespace {
+
+constexpr std::size_t kCountOffset = 12;    // record_count u32
+constexpr std::size_t kDroppedOffset = 16;  // ring_dropped u64
+
+void put_be32_at(ByteBuffer& buf, std::size_t offset, std::uint32_t value) {
+  const std::uint8_t bytes[4] = {
+      static_cast<std::uint8_t>(value >> 24),
+      static_cast<std::uint8_t>(value >> 16),
+      static_cast<std::uint8_t>(value >> 8),
+      static_cast<std::uint8_t>(value),
+  };
+  (void)buf.overwrite(offset, ByteSpan{bytes, 4});
+}
+
+void put_be64_at(ByteBuffer& buf, std::size_t offset, std::uint64_t value) {
+  put_be32_at(buf, offset, static_cast<std::uint32_t>(value >> 32));
+  put_be32_at(buf, offset + 4, static_cast<std::uint32_t>(value));
+}
+
+}  // namespace
+
+void BatchBuilder::reset_payload() {
+  payload_.clear();
+  record_count_ = 0;
+  xdr::Encoder enc(payload_);
+  put_type(MsgType::data_batch, enc);
+  enc.put_u32(node_);
+  enc.put_u32(next_batch_seq_);
+  enc.put_u32(0);  // record_count, patched in finish()
+  enc.put_u64(0);  // ring_dropped_total, patched in finish()
+}
+
+Status BatchBuilder::add_native_record(ByteSpan native, TimeMicros ts_delta) {
+  xdr::Encoder enc(payload_);
+  Status st = transcode_native_record(native, enc, ts_delta);
+  if (st) ++record_count_;
+  return st;
+}
+
+Status BatchBuilder::add_record(const sensors::Record& record) {
+  xdr::Encoder enc(payload_);
+  Status st = encode_record(record, enc);
+  if (st) ++record_count_;
+  return st;
+}
+
+ByteBuffer BatchBuilder::finish() {
+  put_be32_at(payload_, kCountOffset, record_count_);
+  put_be64_at(payload_, kDroppedOffset, ring_dropped_total_);
+  ByteBuffer out = std::move(payload_);
+  ++next_batch_seq_;
+  reset_payload();
+  return out;
+}
+
+Result<Batch> decode_batch(xdr::Decoder& decoder) {
+  Batch batch;
+  auto node = decoder.get_u32();
+  if (!node) return node.status();
+  auto seq = decoder.get_u32();
+  if (!seq) return seq.status();
+  auto count = decoder.get_u32();
+  if (!count) return count.status();
+  auto dropped = decoder.get_u64();
+  if (!dropped) return dropped.status();
+
+  batch.header.node = node.value();
+  batch.header.batch_seq = seq.value();
+  batch.header.record_count = count.value();
+  batch.header.ring_dropped_total = dropped.value();
+
+  // A record is at least 16 bytes on the wire; reject absurd counts early.
+  if (std::size_t{count.value()} * 16 > decoder.remaining() + 16) {
+    return Status(Errc::malformed, "record count exceeds payload");
+  }
+  batch.records.reserve(count.value());
+  for (std::uint32_t i = 0; i < count.value(); ++i) {
+    auto record = decode_record(decoder, batch.header.node);
+    if (!record) return record.status();
+    batch.records.push_back(std::move(record).value());
+  }
+  if (!decoder.exhausted()) return Status(Errc::malformed, "trailing bytes after batch");
+  return batch;
+}
+
+}  // namespace brisk::tp

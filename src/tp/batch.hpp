@@ -1,0 +1,69 @@
+// Data batches: the unit the EXS ships to the ISM.
+//
+// "batching, latency control" is the EXS box in the paper's Fig. 1 — the
+// EXS accumulates records and sends a batch when it is full or too old,
+// trading throughput against latency. A batch frame is:
+//     u32 type=data_batch | u32 node | u32 batch_seq | u32 record_count |
+//     u64 ring_dropped_total | records...
+// `ring_dropped_total` carries the node's cumulative drop counter so the
+// ISM can account for event dropping without per-record sequence numbers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "sensors/record.hpp"
+#include "tp/wire.hpp"
+
+namespace brisk::tp {
+
+struct BatchHeader {
+  NodeId node = 0;
+  std::uint32_t batch_seq = 0;
+  std::uint32_t record_count = 0;
+  std::uint64_t ring_dropped_total = 0;
+};
+
+struct Batch {
+  BatchHeader header;
+  std::vector<sensors::Record> records;
+};
+
+/// Incremental batch builder: records are appended pre-encoded (the EXS
+/// transcodes straight from ring bytes), and the frame payload is produced
+/// without re-copying record bodies.
+class BatchBuilder {
+ public:
+  explicit BatchBuilder(NodeId node) : node_(node) { reset_payload(); }
+
+  /// Appends one native-encoded record, applying the clock correction.
+  Status add_native_record(ByteSpan native, TimeMicros ts_delta);
+  /// Appends one decoded record (tools/tests path).
+  Status add_record(const sensors::Record& record);
+
+  [[nodiscard]] std::uint32_t record_count() const noexcept { return record_count_; }
+  [[nodiscard]] bool empty() const noexcept { return record_count_ == 0; }
+  /// Current frame payload size if finished now.
+  [[nodiscard]] std::size_t payload_bytes() const noexcept { return payload_.size(); }
+
+  void set_ring_dropped_total(std::uint64_t total) noexcept { ring_dropped_total_ = total; }
+
+  /// Finishes the batch: back-patches the header and returns the frame
+  /// payload. The builder is reset for the next batch (batch_seq advances).
+  ByteBuffer finish();
+
+ private:
+  void reset_payload();
+
+  NodeId node_;
+  std::uint32_t next_batch_seq_ = 0;
+  std::uint32_t record_count_ = 0;
+  std::uint64_t ring_dropped_total_ = 0;
+  ByteBuffer payload_;
+};
+
+/// Parses a full data-batch frame payload (after the type word has already
+/// been consumed by peek_type).
+Result<Batch> decode_batch(xdr::Decoder& decoder);
+
+}  // namespace brisk::tp

@@ -1,0 +1,75 @@
+#include "tp/meta_header.hpp"
+
+namespace brisk::tp {
+namespace {
+
+constexpr std::uint32_t kFlagExtended = 0x01;
+
+std::uint32_t pack_nibbles(const MetaHeader& meta, std::size_t first) noexcept {
+  std::uint32_t word = 0;
+  for (std::size_t i = 0; i < 8; ++i) {
+    const std::size_t index = first + i;
+    std::uint32_t nibble = 0;
+    if (index < meta.field_count) {
+      nibble = static_cast<std::uint32_t>(meta.types[index]) & 0xf;
+    }
+    word |= nibble << (28 - 4 * i);
+  }
+  return word;
+}
+
+void unpack_nibbles(std::uint32_t word, std::size_t first, std::size_t count,
+                    MetaHeader& meta) noexcept {
+  for (std::size_t i = 0; i < count; ++i) {
+    const auto nibble = static_cast<std::uint8_t>((word >> (28 - 4 * i)) & 0xf);
+    meta.types[first + i] = static_cast<sensors::FieldType>(nibble);
+  }
+}
+
+}  // namespace
+
+void encode_meta(const MetaHeader& meta, xdr::Encoder& encoder) {
+  std::uint32_t word0 = std::uint32_t{meta.sensor_id} << 16;
+  word0 |= std::uint32_t{meta.field_count} << 8;
+  if (meta.extended()) word0 |= kFlagExtended;
+  encoder.put_u32(word0);
+  encoder.put_u32(pack_nibbles(meta, 0));
+  if (meta.extended()) encoder.put_u32(pack_nibbles(meta, 8));
+}
+
+Result<MetaHeader> decode_meta(xdr::Decoder& decoder) {
+  auto word0 = decoder.get_u32();
+  if (!word0) return word0.status();
+
+  MetaHeader meta;
+  meta.sensor_id = static_cast<std::uint16_t>(word0.value() >> 16);
+  meta.field_count = static_cast<std::uint8_t>((word0.value() >> 8) & 0xff);
+  const bool extended_flag = (word0.value() & kFlagExtended) != 0;
+
+  if (meta.field_count > sensors::kMaxFieldsPerRecord) {
+    return Status(Errc::malformed, "meta field count > 16");
+  }
+  if (extended_flag != meta.extended()) {
+    return Status(Errc::malformed, "meta extended flag inconsistent with field count");
+  }
+
+  auto word1 = decoder.get_u32();
+  if (!word1) return word1.status();
+  const std::size_t first_word_fields = meta.field_count < 8 ? meta.field_count : 8;
+  unpack_nibbles(word1.value(), 0, first_word_fields, meta);
+
+  if (meta.extended()) {
+    auto word2 = decoder.get_u32();
+    if (!word2) return word2.status();
+    unpack_nibbles(word2.value(), 8, meta.field_count - 8u, meta);
+  }
+
+  for (std::size_t i = 0; i < meta.field_count; ++i) {
+    if (!sensors::field_type_valid(static_cast<std::uint8_t>(meta.types[i]))) {
+      return Status(Errc::malformed, "meta type nibble invalid");
+    }
+  }
+  return meta;
+}
+
+}  // namespace brisk::tp

@@ -1,0 +1,50 @@
+// The compressed meta-information header of the transfer protocol.
+//
+// BRISK "does not use XDR in the typical way, with rpcgen and static
+// typing... Instead, each dynamically typed instrumentation data record is
+// sent with a meta-information header needed for it to be correctly
+// received", and the external sensor sends it "with the meta-information
+// header compressed" because "minimizing the slack in instrumentation data
+// messages is important".
+//
+// Compression scheme: field type tags are 4-bit nibbles (15 types < 16)
+// packed into whole XDR words, instead of one 4-byte XDR word per field
+// that a naive dynamic encoding would spend:
+//
+//   word 0:  bits 31..16  sensor id (16 bits)
+//            bits 15..8   field count (0..16)
+//            bits  7..0   flags (bit 0: extended nibble word present)
+//   word 1:  type nibbles for fields 0..7  (field 0 in bits 31..28)
+//   word 2:  (only when field count > 8) nibbles for fields 8..15
+//
+// A six-int-field record thus costs 8 bytes of meta + 8 bytes timestamp +
+// 24 bytes payload = 40 bytes — the paper's measured record size.
+#pragma once
+
+#include <array>
+#include <cstdint>
+
+#include "common/error.hpp"
+#include "sensors/field.hpp"
+#include "xdr/xdr_decoder.hpp"
+#include "xdr/xdr_encoder.hpp"
+
+namespace brisk::tp {
+
+struct MetaHeader {
+  std::uint16_t sensor_id = 0;
+  std::uint8_t field_count = 0;
+  std::array<sensors::FieldType, sensors::kMaxFieldsPerRecord> types{};
+
+  [[nodiscard]] bool extended() const noexcept { return field_count > 8; }
+  /// Wire size in bytes: 8, or 12 with the extended nibble word.
+  [[nodiscard]] std::size_t wire_size() const noexcept { return extended() ? 12 : 8; }
+};
+
+/// Encodes the header (2 or 3 XDR words).
+void encode_meta(const MetaHeader& meta, xdr::Encoder& encoder);
+
+/// Decodes and validates a header (field count bound, type tags).
+Result<MetaHeader> decode_meta(xdr::Decoder& decoder);
+
+}  // namespace brisk::tp

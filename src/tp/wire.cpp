@@ -1,0 +1,378 @@
+#include "tp/wire.hpp"
+
+#include <cstring>
+
+#include "sensors/record_codec.hpp"
+#include "tp/meta_header.hpp"
+
+namespace brisk::tp {
+
+using sensors::Field;
+using sensors::FieldType;
+using sensors::Record;
+
+std::size_t record_wire_size(const Record& record) {
+  MetaHeader meta;
+  meta.field_count = static_cast<std::uint8_t>(record.fields.size());
+  std::size_t size = 8 + meta.wire_size();
+  for (const Field& f : record.fields) {
+    if (f.type() == FieldType::x_string) {
+      size += xdr::Encoder::opaque_wire_size(f.as_string().size());
+    } else {
+      size += sensors::xdr_payload_size(f.type());
+    }
+  }
+  return size;
+}
+
+Status encode_record(const Record& record, xdr::Encoder& encoder) {
+  if (record.fields.size() > sensors::kMaxFieldsPerRecord) {
+    return Status(Errc::invalid_argument, "too many fields");
+  }
+  if (record.sensor > 0xffff) {
+    return Status(Errc::invalid_argument, "sensor id exceeds 16-bit wire limit");
+  }
+  encoder.put_i64(record.timestamp);
+
+  MetaHeader meta;
+  meta.sensor_id = static_cast<std::uint16_t>(record.sensor);
+  meta.field_count = static_cast<std::uint8_t>(record.fields.size());
+  for (std::size_t i = 0; i < record.fields.size(); ++i) {
+    meta.types[i] = record.fields[i].type();
+  }
+  encode_meta(meta, encoder);
+
+  for (const Field& f : record.fields) {
+    switch (f.type()) {
+      case FieldType::x_i8:
+      case FieldType::x_i16:
+      case FieldType::x_i32:
+      case FieldType::x_char:
+        encoder.put_i32(static_cast<std::int32_t>(f.as_signed()));
+        break;
+      case FieldType::x_u8:
+      case FieldType::x_u16:
+      case FieldType::x_u32:
+      case FieldType::x_reason:
+      case FieldType::x_conseq:
+        encoder.put_u32(static_cast<std::uint32_t>(f.as_unsigned()));
+        break;
+      case FieldType::x_i64:
+      case FieldType::x_ts:
+        encoder.put_i64(f.as_signed());
+        break;
+      case FieldType::x_u64:
+        encoder.put_u64(f.as_unsigned());
+        break;
+      case FieldType::x_f32:
+        encoder.put_f32(static_cast<float>(f.as_double()));
+        break;
+      case FieldType::x_f64:
+        encoder.put_f64(f.as_double());
+        break;
+      case FieldType::x_string:
+        encoder.put_string(f.as_string());
+        break;
+    }
+  }
+  return Status::ok();
+}
+
+Result<Record> decode_record(xdr::Decoder& decoder, NodeId node) {
+  Record record;
+  record.node = node;
+
+  auto ts = decoder.get_i64();
+  if (!ts) return ts.status();
+  record.timestamp = ts.value();
+
+  auto meta = decode_meta(decoder);
+  if (!meta) return meta.status();
+  record.sensor = meta.value().sensor_id;
+  record.fields.reserve(meta.value().field_count);
+
+  for (std::size_t i = 0; i < meta.value().field_count; ++i) {
+    const FieldType type = meta.value().types[i];
+    switch (type) {
+      case FieldType::x_i8: {
+        auto v = decoder.get_i32();
+        if (!v) return v.status();
+        record.fields.push_back(Field::i8(static_cast<std::int8_t>(v.value())));
+        break;
+      }
+      case FieldType::x_u8: {
+        auto v = decoder.get_u32();
+        if (!v) return v.status();
+        record.fields.push_back(Field::u8(static_cast<std::uint8_t>(v.value())));
+        break;
+      }
+      case FieldType::x_i16: {
+        auto v = decoder.get_i32();
+        if (!v) return v.status();
+        record.fields.push_back(Field::i16(static_cast<std::int16_t>(v.value())));
+        break;
+      }
+      case FieldType::x_u16: {
+        auto v = decoder.get_u32();
+        if (!v) return v.status();
+        record.fields.push_back(Field::u16(static_cast<std::uint16_t>(v.value())));
+        break;
+      }
+      case FieldType::x_i32: {
+        auto v = decoder.get_i32();
+        if (!v) return v.status();
+        record.fields.push_back(Field::i32(v.value()));
+        break;
+      }
+      case FieldType::x_u32: {
+        auto v = decoder.get_u32();
+        if (!v) return v.status();
+        record.fields.push_back(Field::u32(v.value()));
+        break;
+      }
+      case FieldType::x_i64: {
+        auto v = decoder.get_i64();
+        if (!v) return v.status();
+        record.fields.push_back(Field::i64(v.value()));
+        break;
+      }
+      case FieldType::x_u64: {
+        auto v = decoder.get_u64();
+        if (!v) return v.status();
+        record.fields.push_back(Field::u64(v.value()));
+        break;
+      }
+      case FieldType::x_f32: {
+        auto v = decoder.get_f32();
+        if (!v) return v.status();
+        record.fields.push_back(Field::f32(v.value()));
+        break;
+      }
+      case FieldType::x_f64: {
+        auto v = decoder.get_f64();
+        if (!v) return v.status();
+        record.fields.push_back(Field::f64(v.value()));
+        break;
+      }
+      case FieldType::x_char: {
+        auto v = decoder.get_i32();
+        if (!v) return v.status();
+        record.fields.push_back(Field::ch(static_cast<char>(v.value())));
+        break;
+      }
+      case FieldType::x_string: {
+        auto v = decoder.get_string(sensors::kMaxStringFieldBytes);
+        if (!v) return v.status();
+        record.fields.push_back(Field::str(v.value()));
+        break;
+      }
+      case FieldType::x_ts: {
+        auto v = decoder.get_i64();
+        if (!v) return v.status();
+        record.fields.push_back(Field::ts(v.value()));
+        break;
+      }
+      case FieldType::x_reason: {
+        auto v = decoder.get_u32();
+        if (!v) return v.status();
+        record.fields.push_back(Field::reason(v.value()));
+        break;
+      }
+      case FieldType::x_conseq: {
+        auto v = decoder.get_u32();
+        if (!v) return v.status();
+        record.fields.push_back(Field::conseq(v.value()));
+        break;
+      }
+    }
+  }
+  return record;
+}
+
+Status transcode_native_record(ByteSpan native, xdr::Encoder& encoder, TimeMicros ts_delta) {
+  // Decoding to a Record here would allocate per record on the EXS hot
+  // path; instead walk the native bytes directly.
+  if (native.size() < sensors::kNativeHeaderBytes) {
+    return Status(Errc::truncated, "native header");
+  }
+  std::uint32_t sensor_id = 0;
+  std::memcpy(&sensor_id, native.data(), 4);
+  if (sensor_id > 0xffff) return Status(Errc::invalid_argument, "sensor id > 16 bit");
+  std::int64_t ts = 0;
+  std::memcpy(&ts, native.data() + sensors::kNativeTimestampOffset, 8);
+  const std::uint8_t nfields = native[20];
+  if (nfields > sensors::kMaxFieldsPerRecord) return Status(Errc::malformed, "field count");
+
+  // First pass: collect field types and payload offsets.
+  MetaHeader meta;
+  meta.sensor_id = static_cast<std::uint16_t>(sensor_id);
+  meta.field_count = nfields;
+  std::size_t offsets[sensors::kMaxFieldsPerRecord];
+  std::size_t pos = sensors::kNativeHeaderBytes;
+  for (std::uint8_t i = 0; i < nfields; ++i) {
+    if (pos >= native.size()) return Status(Errc::truncated, "field type");
+    const std::uint8_t raw = native[pos++];
+    if (!sensors::field_type_valid(raw)) return Status(Errc::malformed, "field type tag");
+    const auto type = static_cast<FieldType>(raw);
+    meta.types[i] = type;
+    offsets[i] = pos;
+    if (type == FieldType::x_string) {
+      if (pos >= native.size()) return Status(Errc::truncated, "string length");
+      pos += 1 + native[pos];
+    } else {
+      pos += sensors::native_payload_size(type);
+    }
+    if (pos > native.size()) return Status(Errc::truncated, "field body");
+  }
+
+  encoder.put_i64(ts + ts_delta);
+  encode_meta(meta, encoder);
+
+  for (std::uint8_t i = 0; i < nfields; ++i) {
+    const std::uint8_t* p = native.data() + offsets[i];
+    switch (meta.types[i]) {
+      case FieldType::x_i8: {
+        std::int8_t v;
+        std::memcpy(&v, p, 1);
+        encoder.put_i32(v);
+        break;
+      }
+      case FieldType::x_u8:
+        encoder.put_u32(*p);
+        break;
+      case FieldType::x_i16: {
+        std::int16_t v;
+        std::memcpy(&v, p, 2);
+        encoder.put_i32(v);
+        break;
+      }
+      case FieldType::x_u16: {
+        std::uint16_t v;
+        std::memcpy(&v, p, 2);
+        encoder.put_u32(v);
+        break;
+      }
+      case FieldType::x_i32: {
+        std::int32_t v;
+        std::memcpy(&v, p, 4);
+        encoder.put_i32(v);
+        break;
+      }
+      case FieldType::x_u32:
+      case FieldType::x_reason:
+      case FieldType::x_conseq: {
+        std::uint32_t v;
+        std::memcpy(&v, p, 4);
+        encoder.put_u32(v);
+        break;
+      }
+      case FieldType::x_i64: {
+        std::int64_t v;
+        std::memcpy(&v, p, 8);
+        encoder.put_i64(v);
+        break;
+      }
+      case FieldType::x_u64: {
+        std::uint64_t v;
+        std::memcpy(&v, p, 8);
+        encoder.put_u64(v);
+        break;
+      }
+      case FieldType::x_f32: {
+        float v;
+        std::memcpy(&v, p, 4);
+        encoder.put_f32(v);
+        break;
+      }
+      case FieldType::x_f64: {
+        double v;
+        std::memcpy(&v, p, 8);
+        encoder.put_f64(v);
+        break;
+      }
+      case FieldType::x_char: {
+        char v;
+        std::memcpy(&v, p, 1);
+        encoder.put_i32(v);
+        break;
+      }
+      case FieldType::x_string: {
+        const std::uint8_t len = *p;
+        encoder.put_string({reinterpret_cast<const char*>(p + 1), len});
+        break;
+      }
+      case FieldType::x_ts: {
+        std::int64_t v;
+        std::memcpy(&v, p, 8);
+        encoder.put_i64(v + ts_delta);
+        break;
+      }
+    }
+  }
+  return Status::ok();
+}
+
+// ---- control messages -------------------------------------------------------
+
+void encode_hello(const Hello& msg, xdr::Encoder& encoder) {
+  encoder.put_u32(msg.node);
+  encoder.put_u32(msg.version);
+}
+
+Result<Hello> decode_hello(xdr::Decoder& decoder) {
+  Hello msg;
+  auto node = decoder.get_u32();
+  if (!node) return node.status();
+  auto version = decoder.get_u32();
+  if (!version) return version.status();
+  msg.node = node.value();
+  msg.version = version.value();
+  return msg;
+}
+
+void encode_time_req(const TimeReq& msg, xdr::Encoder& encoder) {
+  encoder.put_u32(msg.request_id);
+}
+
+Result<TimeReq> decode_time_req(xdr::Decoder& decoder) {
+  auto id = decoder.get_u32();
+  if (!id) return id.status();
+  return TimeReq{id.value()};
+}
+
+void encode_time_resp(const TimeResp& msg, xdr::Encoder& encoder) {
+  encoder.put_u32(msg.request_id);
+  encoder.put_i64(msg.slave_time);
+}
+
+Result<TimeResp> decode_time_resp(xdr::Decoder& decoder) {
+  TimeResp msg;
+  auto id = decoder.get_u32();
+  if (!id) return id.status();
+  auto t = decoder.get_i64();
+  if (!t) return t.status();
+  msg.request_id = id.value();
+  msg.slave_time = t.value();
+  return msg;
+}
+
+void encode_adjust(const Adjust& msg, xdr::Encoder& encoder) { encoder.put_i64(msg.delta); }
+
+Result<Adjust> decode_adjust(xdr::Decoder& decoder) {
+  auto delta = decoder.get_i64();
+  if (!delta) return delta.status();
+  return Adjust{delta.value()};
+}
+
+Result<MsgType> peek_type(xdr::Decoder& decoder) {
+  auto raw = decoder.get_u32();
+  if (!raw) return raw.status();
+  if (raw.value() < 1 || raw.value() > 6) return Status(Errc::malformed, "unknown message type");
+  return static_cast<MsgType>(raw.value());
+}
+
+void put_type(MsgType type, xdr::Encoder& encoder) {
+  encoder.put_u32(static_cast<std::uint32_t>(type));
+}
+
+}  // namespace brisk::tp

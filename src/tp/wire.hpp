@@ -1,0 +1,91 @@
+// Record-level wire codec and control messages of the transfer protocol.
+//
+// Frame payloads exchanged between an EXS and the ISM are XDR-encoded
+// messages: a u32 message type followed by a type-specific body. DATA
+// batches carry records encoded as
+//     i64 timestamp | compressed meta header | field payloads
+// (field payloads carry no per-field tags — types come from the meta
+// header; that is the header compression).
+//
+// The clock-sync messages implement the master(ISM)/slave(EXS) protocol:
+// the ISM polls with TIME_REQ, the EXS answers TIME_RESP with its corrected
+// clock, and the ISM pushes ADJUST deltas that the EXS folds into the
+// correction value it applies to every outgoing timestamp.
+#pragma once
+
+#include <cstdint>
+
+#include "common/error.hpp"
+#include "sensors/record.hpp"
+#include "xdr/xdr_decoder.hpp"
+#include "xdr/xdr_encoder.hpp"
+
+namespace brisk::tp {
+
+inline constexpr std::uint32_t kProtocolVersion = 1;
+
+enum class MsgType : std::uint32_t {
+  hello = 1,       // EXS → ISM: node id, version
+  data_batch = 2,  // EXS → ISM: a batch of records
+  time_req = 3,    // ISM → EXS: clock poll
+  time_resp = 4,   // EXS → ISM: clock answer
+  adjust = 5,      // ISM → EXS: clock correction delta
+  bye = 6,         // either direction: orderly shutdown
+};
+
+struct Hello {
+  NodeId node = 0;
+  std::uint32_t version = kProtocolVersion;
+};
+
+struct TimeReq {
+  std::uint32_t request_id = 0;
+};
+
+struct TimeResp {
+  std::uint32_t request_id = 0;
+  TimeMicros slave_time = 0;
+};
+
+struct Adjust {
+  TimeMicros delta = 0;
+};
+
+// ---- record codec ----------------------------------------------------------
+
+/// XDR wire size of a record, given its decoded form.
+std::size_t record_wire_size(const sensors::Record& record);
+
+/// Encodes a decoded record (node id travels in the batch header, sequence
+/// numbers do not cross the wire — see DESIGN.md).
+Status encode_record(const sensors::Record& record, xdr::Encoder& encoder);
+
+/// Decodes one record; `node` comes from the enclosing batch.
+Result<sensors::Record> decode_record(xdr::Decoder& decoder, NodeId node);
+
+/// Fast path used by the EXS: transcodes a native-encoded record (as read
+/// from the ring) straight into wire form, adding `ts_delta` (the clock
+/// correction) to the header timestamp and every X_TS field, without
+/// materializing a Record.
+Status transcode_native_record(ByteSpan native, xdr::Encoder& encoder, TimeMicros ts_delta);
+
+// ---- control message codec --------------------------------------------------
+
+void encode_hello(const Hello& msg, xdr::Encoder& encoder);
+Result<Hello> decode_hello(xdr::Decoder& decoder);
+
+void encode_time_req(const TimeReq& msg, xdr::Encoder& encoder);
+Result<TimeReq> decode_time_req(xdr::Decoder& decoder);
+
+void encode_time_resp(const TimeResp& msg, xdr::Encoder& encoder);
+Result<TimeResp> decode_time_resp(xdr::Decoder& decoder);
+
+void encode_adjust(const Adjust& msg, xdr::Encoder& encoder);
+Result<Adjust> decode_adjust(xdr::Decoder& decoder);
+
+/// Reads the leading message type of a frame payload.
+Result<MsgType> peek_type(xdr::Decoder& decoder);
+/// Writes the leading message type.
+void put_type(MsgType type, xdr::Encoder& encoder);
+
+}  // namespace brisk::tp

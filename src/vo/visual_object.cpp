@@ -1,0 +1,2 @@
+// VisualObject is a pure interface; see visual_object.hpp.
+#include "vo/visual_object.hpp"

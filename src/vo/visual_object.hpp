@@ -1,0 +1,33 @@
+// Visual objects: BRISK's on-line visualization consumers.
+//
+// In the paper the ISM "may pass instrumentation data to a list of
+// CORBA-enabled visual objects" (via MICO) — remote objects whose methods
+// receive "instrumentation data records to be processed as PICL strings".
+// A CORBA ORB is outside this reproduction's dependency budget (see
+// DESIGN.md); the substitution keeps the architecture: named remote objects
+// hosted in a registry process, invoked over TCP with one-way render()
+// calls carrying PICL strings.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+namespace brisk::vo {
+
+/// Server-side object interface. Implementations are displays, gauges,
+/// log windows... anything that consumes a stream of PICL strings.
+class VisualObject {
+ public:
+  virtual ~VisualObject() = default;
+  /// One instrumentation data record, rendered as a PICL string.
+  virtual void render(const std::string& picl_line) = 0;
+  [[nodiscard]] virtual std::string name() const = 0;
+};
+
+/// Remote method selectors on the wire.
+enum class VoMethod : std::uint32_t {
+  render = 1,  // one-way: object name + PICL string
+  ping = 2,    // round-trip: echoes a token (liveness / tests)
+};
+
+}  // namespace brisk::vo

@@ -1,0 +1,60 @@
+#include "vo/vo_channel.hpp"
+
+#include "net/frame.hpp"
+#include "xdr/xdr_decoder.hpp"
+#include "xdr/xdr_encoder.hpp"
+
+namespace brisk::vo {
+
+Result<VoChannel> VoChannel::connect(const std::string& host, std::uint16_t port) {
+  auto socket = net::TcpSocket::connect(host, port);
+  if (!socket) return socket.status();
+  Status st = socket.value().set_nodelay(true);
+  if (!st) return st;
+  return VoChannel(std::move(socket).value());
+}
+
+Status VoChannel::render(const std::string& object_name, const std::string& picl_line) {
+  ByteBuffer out;
+  xdr::Encoder enc(out);
+  enc.put_u32(static_cast<std::uint32_t>(VoMethod::render));
+  enc.put_string(object_name);
+  enc.put_string(picl_line);
+  Status st = net::write_frame(socket_, out.view());
+  if (st) ++calls_sent_;
+  return st;
+}
+
+Result<std::uint32_t> VoChannel::ping(std::uint32_t token) {
+  ByteBuffer out;
+  xdr::Encoder enc(out);
+  enc.put_u32(static_cast<std::uint32_t>(VoMethod::ping));
+  enc.put_u32(token);
+  Status st = net::write_frame(socket_, out.view());
+  if (!st) return st;
+  ++calls_sent_;
+
+  auto reply = net::read_frame(socket_);
+  if (!reply) return reply.status();
+  xdr::Decoder decoder(reply.value().view());
+  auto method = decoder.get_u32();
+  if (!method) return method.status();
+  if (method.value() != static_cast<std::uint32_t>(VoMethod::ping)) {
+    return Status(Errc::malformed, "unexpected reply method");
+  }
+  auto echoed = decoder.get_u32();
+  if (!echoed) return echoed.status();
+  return echoed.value();
+}
+
+Status VoSink::deliver(const sensors::Record& record) {
+  const std::string line = picl::to_picl_line(record, options_);
+  Status first_error = Status::ok();
+  for (const std::string& name : object_names_) {
+    Status st = channel_.render(name, line);
+    if (!st && first_error.is_ok()) first_error = st;
+  }
+  return first_error;
+}
+
+}  // namespace brisk::vo

@@ -1,0 +1,55 @@
+// Client side of the visual-object protocol: what the ISM links to reach
+// remote visual objects. VoSink adapts the channel to the ISM output stage
+// (records → PICL strings → render() calls on a list of object names).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "ism/output.hpp"
+#include "net/socket.hpp"
+#include "picl/picl_record.hpp"
+#include "vo/visual_object.hpp"
+
+namespace brisk::vo {
+
+class VoChannel {
+ public:
+  /// Connects to a VoRegistry.
+  static Result<VoChannel> connect(const std::string& host, std::uint16_t port);
+
+  /// One-way remote render() call.
+  Status render(const std::string& object_name, const std::string& picl_line);
+
+  /// Round-trip liveness probe; returns the echoed token.
+  Result<std::uint32_t> ping(std::uint32_t token);
+
+  [[nodiscard]] std::uint64_t calls_sent() const noexcept { return calls_sent_; }
+
+ private:
+  explicit VoChannel(net::TcpSocket socket) : socket_(std::move(socket)) {}
+
+  net::TcpSocket socket_;
+  std::uint64_t calls_sent_ = 0;
+};
+
+/// ISM output sink that forwards every sorted record to a list of remote
+/// visual objects — "a list of CORBA-enabled visual objects" in the paper.
+class VoSink final : public ism::OutputSink {
+ public:
+  VoSink(VoChannel channel, std::vector<std::string> object_names, picl::PiclOptions options)
+      : channel_(std::move(channel)),
+        object_names_(std::move(object_names)),
+        options_(options) {}
+
+  Status deliver(const sensors::Record& record) override;
+
+  [[nodiscard]] VoChannel& channel() noexcept { return channel_; }
+
+ private:
+  VoChannel channel_;
+  std::vector<std::string> object_names_;
+  picl::PiclOptions options_;
+};
+
+}  // namespace brisk::vo

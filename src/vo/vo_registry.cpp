@@ -1,0 +1,142 @@
+#include "vo/vo_registry.hpp"
+
+#include "common/logging.hpp"
+#include "common/time_util.hpp"
+#include "xdr/xdr_decoder.hpp"
+#include "xdr/xdr_encoder.hpp"
+
+namespace brisk::vo {
+
+Result<std::unique_ptr<VoRegistry>> VoRegistry::start(std::uint16_t port) {
+  auto listener = net::TcpListener::listen(port);
+  if (!listener) return listener.status();
+  Status st = listener.value().set_nonblocking(true);
+  if (!st) return st;
+  auto registry = std::unique_ptr<VoRegistry>(new VoRegistry(std::move(listener).value()));
+  VoRegistry* raw = registry.get();
+  st = registry->loop_.watch(registry->listener_.fd(), [raw](int) { raw->on_listener_readable(); });
+  if (!st) return st;
+  return registry;
+}
+
+Status VoRegistry::add_object(std::shared_ptr<VisualObject> object) {
+  if (!object) return Status(Errc::invalid_argument, "null object");
+  std::lock_guard<std::mutex> lock(objects_mutex_);
+  auto [it, inserted] = objects_.emplace(object->name(), object);
+  if (!inserted) return Status(Errc::already_exists, "object name taken: " + object->name());
+  return Status::ok();
+}
+
+Status VoRegistry::remove_object(const std::string& name) {
+  std::lock_guard<std::mutex> lock(objects_mutex_);
+  if (objects_.erase(name) == 0) return Status(Errc::not_found, name);
+  return Status::ok();
+}
+
+void VoRegistry::on_listener_readable() {
+  for (;;) {
+    auto client = listener_.accept();
+    if (!client) return;
+    net::TcpSocket socket = std::move(client).value();
+    if (!socket.set_nonblocking(true)) continue;
+    const int fd = socket.fd();
+    Connection conn;
+    conn.socket = std::move(socket);
+    connections_.emplace(fd, std::move(conn));
+    if (!loop_.watch(fd, [this](int ready_fd) { on_connection_readable(ready_fd); })) {
+      connections_.erase(fd);
+    }
+  }
+}
+
+void VoRegistry::on_connection_readable(int fd) {
+  auto it = connections_.find(fd);
+  if (it == connections_.end()) return;
+  Connection& conn = it->second;
+  std::uint8_t chunk[16 * 1024];
+  for (;;) {
+    auto n = conn.socket.read_some(MutableByteSpan{chunk, sizeof chunk});
+    if (!n) {
+      if (n.status().code() == Errc::would_block) break;
+      close_connection(fd);
+      return;
+    }
+    if (n.value() == 0) {
+      close_connection(fd);
+      return;
+    }
+    conn.reader.feed(ByteSpan{chunk, n.value()});
+    for (;;) {
+      auto frame = conn.reader.next();
+      if (!frame) {
+        ++stats_.protocol_errors;
+        close_connection(fd);
+        return;
+      }
+      if (!frame.value().has_value()) break;
+      Status st = dispatch(conn, frame.value()->view());
+      if (!st) {
+        ++stats_.protocol_errors;
+        close_connection(fd);
+        return;
+      }
+    }
+  }
+}
+
+Status VoRegistry::dispatch(Connection& conn, ByteSpan payload) {
+  xdr::Decoder decoder(payload);
+  auto method = decoder.get_u32();
+  if (!method) return method.status();
+  switch (static_cast<VoMethod>(method.value())) {
+    case VoMethod::render: {
+      auto name = decoder.get_string(256);
+      if (!name) return name.status();
+      auto line = decoder.get_string(1 << 16);
+      if (!line) return line.status();
+      std::shared_ptr<VisualObject> target;
+      {
+        std::lock_guard<std::mutex> lock(objects_mutex_);
+        auto it = objects_.find(name.value());
+        if (it != objects_.end()) target = it->second;
+      }
+      if (!target) {
+        ++stats_.unknown_object_calls;
+        return Status::ok();  // one-way call: unknown target is dropped
+      }
+      target->render(line.value());
+      ++stats_.renders_dispatched;
+      return Status::ok();
+    }
+    case VoMethod::ping: {
+      auto token = decoder.get_u32();
+      if (!token) return token.status();
+      ByteBuffer reply;
+      xdr::Encoder enc(reply);
+      enc.put_u32(static_cast<std::uint32_t>(VoMethod::ping));
+      enc.put_u32(token.value());
+      ++stats_.pings_answered;
+      return net::write_frame(conn.socket, reply.view());
+    }
+    default:
+      return Status(Errc::malformed, "unknown VO method");
+  }
+}
+
+void VoRegistry::close_connection(int fd) {
+  (void)loop_.unwatch(fd);
+  connections_.erase(fd);
+}
+
+Status VoRegistry::run(TimeMicros cycle_timeout_us) { return loop_.run(cycle_timeout_us); }
+
+Status VoRegistry::run_for(TimeMicros duration, TimeMicros cycle_timeout_us) {
+  const TimeMicros deadline = monotonic_micros() + duration;
+  while (monotonic_micros() < deadline && !loop_.stopped()) {
+    auto polled = loop_.poll_once(cycle_timeout_us);
+    if (!polled) return polled.status();
+  }
+  return Status::ok();
+}
+
+}  // namespace brisk::vo

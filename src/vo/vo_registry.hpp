@@ -1,0 +1,68 @@
+// The visual-object registry: hosts VisualObjects and serves remote
+// render()/ping() calls (the ORB-and-name-service role of MICO in the
+// paper's setup, reduced to what BRISK actually uses).
+#pragma once
+
+#include <map>
+#include <memory>
+#include <mutex>
+#include <string>
+
+#include "net/event_loop.hpp"
+#include "net/frame.hpp"
+#include "net/socket.hpp"
+#include "vo/visual_object.hpp"
+
+namespace brisk::vo {
+
+struct VoRegistryStats {
+  std::uint64_t renders_dispatched = 0;
+  std::uint64_t pings_answered = 0;
+  std::uint64_t unknown_object_calls = 0;
+  std::uint64_t protocol_errors = 0;
+};
+
+class VoRegistry {
+ public:
+  /// Binds a listener on 127.0.0.1:`port` (0 = ephemeral).
+  static Result<std::unique_ptr<VoRegistry>> start(std::uint16_t port);
+
+  /// Registers an object under its name(). The registry keeps a reference.
+  /// Thread-safe: may be called while the registry loop runs.
+  Status add_object(std::shared_ptr<VisualObject> object);
+  Status remove_object(const std::string& name);
+
+  [[nodiscard]] std::uint16_t port() const noexcept { return listener_.port(); }
+
+  Status run(TimeMicros cycle_timeout_us = 40'000);
+  Status run_for(TimeMicros duration, TimeMicros cycle_timeout_us = 5'000);
+  void stop() noexcept { loop_.stop(); }
+
+  [[nodiscard]] const VoRegistryStats& stats() const noexcept { return stats_; }
+  [[nodiscard]] std::size_t object_count() const {
+    std::lock_guard<std::mutex> lock(objects_mutex_);
+    return objects_.size();
+  }
+
+ private:
+  explicit VoRegistry(net::TcpListener listener) : listener_(std::move(listener)) {}
+
+  struct Connection {
+    net::TcpSocket socket;
+    net::FrameReader reader;
+  };
+
+  void on_listener_readable();
+  void on_connection_readable(int fd);
+  Status dispatch(Connection& conn, ByteSpan payload);
+  void close_connection(int fd);
+
+  net::TcpListener listener_;
+  net::EventLoop loop_;
+  std::map<int, Connection> connections_;
+  mutable std::mutex objects_mutex_;  // guards objects_ against the loop thread
+  std::map<std::string, std::shared_ptr<VisualObject>> objects_;
+  VoRegistryStats stats_;
+};
+
+}  // namespace brisk::vo

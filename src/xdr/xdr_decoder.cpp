@@ -1,0 +1,83 @@
+#include "xdr/xdr_decoder.hpp"
+
+#include <bit>
+
+#include "xdr/xdr_encoder.hpp"
+
+namespace brisk::xdr {
+
+Result<std::uint32_t> Decoder::get_u32() noexcept {
+  if (remaining() < 4) return Status(Errc::truncated, "u32");
+  const std::uint8_t* p = input_.data() + pos_;
+  pos_ += 4;
+  return (std::uint32_t{p[0]} << 24) | (std::uint32_t{p[1]} << 16) |
+         (std::uint32_t{p[2]} << 8) | std::uint32_t{p[3]};
+}
+
+Result<std::int32_t> Decoder::get_i32() noexcept {
+  auto r = get_u32();
+  if (!r) return r.status();
+  return static_cast<std::int32_t>(r.value());
+}
+
+Result<std::uint64_t> Decoder::get_u64() noexcept {
+  auto hi = get_u32();
+  if (!hi) return hi.status();
+  auto lo = get_u32();
+  if (!lo) return lo.status();
+  return (std::uint64_t{hi.value()} << 32) | std::uint64_t{lo.value()};
+}
+
+Result<std::int64_t> Decoder::get_i64() noexcept {
+  auto r = get_u64();
+  if (!r) return r.status();
+  return static_cast<std::int64_t>(r.value());
+}
+
+Result<bool> Decoder::get_bool() noexcept {
+  auto r = get_u32();
+  if (!r) return r.status();
+  if (r.value() > 1) return Status(Errc::malformed, "bool out of range");
+  return r.value() == 1;
+}
+
+Result<float> Decoder::get_f32() noexcept {
+  auto r = get_u32();
+  if (!r) return r.status();
+  return std::bit_cast<float>(r.value());
+}
+
+Result<double> Decoder::get_f64() noexcept {
+  auto r = get_u64();
+  if (!r) return r.status();
+  return std::bit_cast<double>(r.value());
+}
+
+Result<ByteSpan> Decoder::get_opaque(std::size_t max_len) noexcept {
+  auto len = get_u32();
+  if (!len) return len.status();
+  if (len.value() > max_len) return Status(Errc::malformed, "opaque length exceeds bound");
+  return get_opaque_fixed(len.value());
+}
+
+Result<ByteSpan> Decoder::get_opaque_fixed(std::size_t len) noexcept {
+  const std::size_t padded = len + Encoder::pad_of(len);
+  if (remaining() < padded) return Status(Errc::truncated, "opaque body");
+  ByteSpan view{input_.data() + pos_, len};
+  pos_ += padded;
+  return view;
+}
+
+Result<std::string> Decoder::get_string(std::size_t max_len) {
+  auto bytes = get_opaque(max_len);
+  if (!bytes) return bytes.status();
+  return std::string(reinterpret_cast<const char*>(bytes.value().data()), bytes.value().size());
+}
+
+Status Decoder::skip(std::size_t len) noexcept {
+  if (remaining() < len) return Status(Errc::truncated, "skip");
+  pos_ += len;
+  return Status::ok();
+}
+
+}  // namespace brisk::xdr

@@ -1,0 +1,43 @@
+// XDR decoder: the inverse of xdr::Encoder. Every accessor validates
+// remaining length and returns a typed Result; malformed or truncated input
+// can never read out of bounds.
+#pragma once
+
+#include <cstdint>
+#include <string>
+
+#include "common/byte_buffer.hpp"
+
+namespace brisk::xdr {
+
+class Decoder {
+ public:
+  /// Decodes from a view; the underlying bytes must outlive the decoder.
+  explicit Decoder(ByteSpan input) noexcept : input_(input) {}
+
+  Result<std::uint32_t> get_u32() noexcept;
+  Result<std::int32_t> get_i32() noexcept;
+  Result<std::uint64_t> get_u64() noexcept;
+  Result<std::int64_t> get_i64() noexcept;
+  Result<bool> get_bool() noexcept;
+  Result<float> get_f32() noexcept;
+  Result<double> get_f64() noexcept;
+
+  /// Variable-length opaque (u32 length + payload + padding). `max_len`
+  /// bounds the declared length to defend against hostile headers.
+  Result<ByteSpan> get_opaque(std::size_t max_len = 1 << 20) noexcept;
+  /// Fixed-length opaque of a known size (payload + padding).
+  Result<ByteSpan> get_opaque_fixed(std::size_t len) noexcept;
+  Result<std::string> get_string(std::size_t max_len = 1 << 20);
+
+  [[nodiscard]] std::size_t remaining() const noexcept { return input_.size() - pos_; }
+  [[nodiscard]] std::size_t position() const noexcept { return pos_; }
+  [[nodiscard]] bool exhausted() const noexcept { return pos_ == input_.size(); }
+  Status skip(std::size_t len) noexcept;
+
+ private:
+  ByteSpan input_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace brisk::xdr

@@ -1,0 +1,50 @@
+#include "xdr/xdr_encoder.hpp"
+
+#include <bit>
+#include <cstring>
+
+namespace brisk::xdr {
+
+void Encoder::put_u32(std::uint32_t value) {
+  const std::uint8_t bytes[4] = {
+      static_cast<std::uint8_t>(value >> 24),
+      static_cast<std::uint8_t>(value >> 16),
+      static_cast<std::uint8_t>(value >> 8),
+      static_cast<std::uint8_t>(value),
+  };
+  out_.append(bytes, sizeof bytes);
+  written_ += 4;
+}
+
+void Encoder::put_u64(std::uint64_t value) {
+  put_u32(static_cast<std::uint32_t>(value >> 32));
+  put_u32(static_cast<std::uint32_t>(value));
+}
+
+void Encoder::put_f32(float value) {
+  static_assert(sizeof(float) == 4, "XDR requires IEEE-754 single precision");
+  put_u32(std::bit_cast<std::uint32_t>(value));
+}
+
+void Encoder::put_f64(double value) {
+  static_assert(sizeof(double) == 8, "XDR requires IEEE-754 double precision");
+  put_u64(std::bit_cast<std::uint64_t>(value));
+}
+
+void Encoder::put_opaque(ByteSpan bytes) {
+  put_u32(static_cast<std::uint32_t>(bytes.size()));
+  put_opaque_fixed(bytes);
+}
+
+void Encoder::put_opaque_fixed(ByteSpan bytes) {
+  out_.append(bytes);
+  const std::size_t pad = pad_of(bytes.size());
+  out_.append_zeros(pad);
+  written_ += bytes.size() + pad;
+}
+
+void Encoder::put_string(std::string_view text) {
+  put_opaque(ByteSpan{reinterpret_cast<const std::uint8_t*>(text.data()), text.size()});
+}
+
+}  // namespace brisk::xdr

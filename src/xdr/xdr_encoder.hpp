@@ -1,0 +1,53 @@
+// XDR (External Data Representation, RFC 4506) encoder.
+//
+// The paper builds BRISK's transfer protocol on XDR so that the IS works in
+// heterogeneous environments. We implement the subset BRISK needs from
+// scratch: all quantities big-endian, every item padded to a 4-byte
+// boundary. Unlike rpcgen-style static typing, BRISK sends dynamically
+// typed records with a meta-information header (see src/tp/meta_header.*);
+// this encoder supplies the primitive wire discipline.
+#pragma once
+
+#include <cstdint>
+#include <string_view>
+
+#include "common/byte_buffer.hpp"
+
+namespace brisk::xdr {
+
+class Encoder {
+ public:
+  /// Encodes into an external buffer; appends, never truncates.
+  explicit Encoder(ByteBuffer& out) : out_(out) {}
+
+  void put_u32(std::uint32_t value);
+  void put_i32(std::int32_t value) { put_u32(static_cast<std::uint32_t>(value)); }
+  void put_u64(std::uint64_t value);
+  void put_i64(std::int64_t value) { put_u64(static_cast<std::uint64_t>(value)); }
+  void put_bool(bool value) { put_u32(value ? 1 : 0); }
+  void put_f32(float value);
+  void put_f64(double value);
+
+  /// Variable-length opaque: u32 length + bytes + zero padding to 4 bytes.
+  void put_opaque(ByteSpan bytes);
+  /// Fixed-length opaque: bytes + zero padding to 4 bytes (no length word).
+  void put_opaque_fixed(ByteSpan bytes);
+  /// XDR string: identical wire format to variable opaque.
+  void put_string(std::string_view text);
+
+  /// Bytes written through this encoder so far.
+  [[nodiscard]] std::size_t bytes_written() const noexcept { return written_; }
+
+  /// Padding needed to bring `size` to a 4-byte boundary.
+  static std::size_t pad_of(std::size_t size) noexcept { return (4 - size % 4) % 4; }
+  /// Size of a variable-length opaque/string on the wire, incl. length word.
+  static std::size_t opaque_wire_size(std::size_t payload) noexcept {
+    return 4 + payload + pad_of(payload);
+  }
+
+ private:
+  ByteBuffer& out_;
+  std::size_t written_ = 0;
+};
+
+}  // namespace brisk::xdr

@@ -1,0 +1,143 @@
+// Robustness ("fuzz-lite") tests: every decoder in the system is fed
+// random bytes, truncations of valid messages, and single-byte corruptions.
+// The invariant under test is total: decoders return an error Status or a
+// value — never crash, never read out of bounds (run under ASan to get the
+// full benefit), never loop forever.
+#include <gtest/gtest.h>
+
+#include <random>
+
+#include "ism/output.hpp"
+#include "net/frame.hpp"
+#include "picl/picl_record.hpp"
+#include "sensors/record_codec.hpp"
+#include "tp/batch.hpp"
+#include "tp/meta_header.hpp"
+#include "tp/wire.hpp"
+#include "xdr/xdr_decoder.hpp"
+
+namespace brisk {
+namespace {
+
+std::vector<std::uint8_t> random_bytes(std::mt19937_64& rng, std::size_t max_len) {
+  std::uniform_int_distribution<std::size_t> len_dist(0, max_len);
+  std::uniform_int_distribution<int> byte_dist(0, 255);
+  std::vector<std::uint8_t> out(len_dist(rng));
+  for (auto& b : out) b = static_cast<std::uint8_t>(byte_dist(rng));
+  return out;
+}
+
+ByteBuffer valid_batch_payload() {
+  tp::BatchBuilder builder(3);
+  sensors::Record record;
+  record.sensor = 9;
+  record.timestamp = 1'000;
+  record.fields = {sensors::Field::i32(1), sensors::Field::str("abc"),
+                   sensors::Field::ts(2'000), sensors::Field::reason(4)};
+  EXPECT_TRUE(builder.add_record(record));
+  EXPECT_TRUE(builder.add_record(record));
+  return builder.finish();
+}
+
+class FuzzSeed : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(FuzzSeed, RandomBytesNeverCrashDecoders) {
+  std::mt19937_64 rng(GetParam());
+  for (int i = 0; i < 2'000; ++i) {
+    auto bytes = random_bytes(rng, 256);
+    const ByteSpan view{bytes.data(), bytes.size()};
+
+    (void)sensors::decode_native(view);
+
+    xdr::Decoder meta_dec(view);
+    (void)tp::decode_meta(meta_dec);
+
+    xdr::Decoder record_dec(view);
+    (void)tp::decode_record(record_dec, 0);
+
+    xdr::Decoder batch_dec(view);
+    auto type = tp::peek_type(batch_dec);
+    if (type.is_ok() && type.value() == tp::MsgType::data_batch) {
+      (void)tp::decode_batch(batch_dec);
+    }
+
+    (void)ism::decode_output_record(view);
+
+    net::FrameReader reader;
+    reader.feed(view);
+    for (int rounds = 0; rounds < 8; ++rounds) {
+      auto frame = reader.next();
+      if (!frame.is_ok() || !frame.value().has_value()) break;
+    }
+  }
+}
+
+TEST_P(FuzzSeed, TruncationsOfValidBatchAlwaysError) {
+  ByteBuffer payload = valid_batch_payload();
+  for (std::size_t cut = 0; cut < payload.size(); ++cut) {
+    xdr::Decoder dec(payload.view().subspan(0, cut));
+    auto type = tp::peek_type(dec);
+    if (!type.is_ok()) continue;
+    auto batch = tp::decode_batch(dec);
+    EXPECT_FALSE(batch.is_ok()) << "truncation at " << cut << " decoded successfully";
+  }
+}
+
+TEST_P(FuzzSeed, SingleByteCorruptionNeverCrashes) {
+  std::mt19937_64 rng(GetParam() * 31 + 7);
+  ByteBuffer payload = valid_batch_payload();
+  std::vector<std::uint8_t> bytes(payload.view().begin(), payload.view().end());
+  std::uniform_int_distribution<std::size_t> pos_dist(0, bytes.size() - 1);
+  std::uniform_int_distribution<int> byte_dist(0, 255);
+  for (int i = 0; i < 500; ++i) {
+    auto mutated = bytes;
+    mutated[pos_dist(rng)] = static_cast<std::uint8_t>(byte_dist(rng));
+    xdr::Decoder dec(ByteSpan{mutated.data(), mutated.size()});
+    auto type = tp::peek_type(dec);
+    if (!type.is_ok() || type.value() != tp::MsgType::data_batch) continue;
+    auto batch = tp::decode_batch(dec);  // may succeed or fail; must not crash
+    if (batch.is_ok()) {
+      EXPECT_LE(batch.value().records.size(), 2u)
+          << "corruption cannot invent records beyond the declared count";
+    }
+  }
+}
+
+TEST_P(FuzzSeed, RandomPiclLinesNeverCrashParser) {
+  std::mt19937_64 rng(GetParam() * 131 + 1);
+  std::uniform_int_distribution<int> char_dist(32, 126);
+  std::uniform_int_distribution<std::size_t> len_dist(0, 120);
+  picl::PiclOptions options{picl::TimestampMode::utc_micros, 0};
+  for (int i = 0; i < 2'000; ++i) {
+    std::string line(len_dist(rng), ' ');
+    for (auto& c : line) c = static_cast<char>(char_dist(rng));
+    (void)picl::from_picl_line(line, options);
+  }
+}
+
+TEST_P(FuzzSeed, CorruptedNativeRecordPatchNeverCrashes) {
+  std::mt19937_64 rng(GetParam() * 17 + 3);
+  sensors::Record record;
+  record.sensor = 1;
+  record.timestamp = 99;
+  record.fields = {sensors::Field::str("payload"), sensors::Field::ts(5)};
+  auto encoded = sensors::encode_native(record);
+  ASSERT_TRUE(encoded.is_ok());
+  std::vector<std::uint8_t> bytes(encoded.value().view().begin(),
+                                  encoded.value().view().end());
+  std::uniform_int_distribution<std::size_t> pos_dist(0, bytes.size() - 1);
+  std::uniform_int_distribution<int> byte_dist(0, 255);
+  for (int i = 0; i < 500; ++i) {
+    auto mutated = bytes;
+    mutated[pos_dist(rng)] = static_cast<std::uint8_t>(byte_dist(rng));
+    (void)sensors::patch_native_timestamps({mutated.data(), mutated.size()}, 1'000);
+    ByteBuffer wire;
+    xdr::Encoder enc(wire);
+    (void)tp::transcode_native_record({mutated.data(), mutated.size()}, enc, 0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeed, ::testing::Values(1, 2, 3, 42, 1337));
+
+}  // namespace
+}  // namespace brisk

@@ -1,0 +1,217 @@
+// ISM server protocol-robustness tests: a raw TCP client speaks crafted
+// (including malformed) transfer-protocol frames at a live Ism and verifies
+// the server's dispositions — drop the connection on protocol violations,
+// tolerate benign oddities, never crash.
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "clock/clock.hpp"
+#include "common/time_util.hpp"
+#include "ism/ism.hpp"
+#include "net/frame.hpp"
+#include "net/socket.hpp"
+#include "tp/batch.hpp"
+#include "xdr/xdr_encoder.hpp"
+
+namespace brisk::ism {
+namespace {
+
+class IsmServerTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    IsmConfig config;
+    config.select_timeout_us = 2'000;
+    config.enable_sync = false;
+    config.sorter.initial_frame_us = 0;
+    config.sorter.min_frame_us = 0;
+    config.sorter.adaptive = false;
+    delivered_ = std::make_shared<DeliveredLog>();
+    auto delivered = delivered_;
+    auto sink = std::make_shared<CallbackSink>(
+        [delivered](const sensors::Record& r) { delivered->add(r); });
+    auto ism = Ism::start(config, clk::SystemClock::instance(), sink);
+    ASSERT_TRUE(ism.is_ok()) << ism.status().to_string();
+    ism_ = std::move(ism).value();
+    server_ = std::thread([this] { (void)ism_->run(); });
+  }
+
+  void TearDown() override {
+    ism_->stop();
+    server_.join();
+  }
+
+  net::TcpSocket connect() {
+    auto socket = net::TcpSocket::connect("127.0.0.1", ism_->port());
+    EXPECT_TRUE(socket.is_ok());
+    return std::move(socket).value();
+  }
+
+  static Status send_hello(net::TcpSocket& socket, NodeId node,
+                           std::uint32_t version = tp::kProtocolVersion) {
+    ByteBuffer out;
+    xdr::Encoder enc(out);
+    tp::put_type(tp::MsgType::hello, enc);
+    tp::encode_hello({node, version}, enc);
+    return net::write_frame(socket, out.view());
+  }
+
+  /// True if the server closed the connection (EOF within the deadline).
+  static bool connection_closed(net::TcpSocket& socket, TimeMicros timeout = 2'000'000) {
+    const TimeMicros deadline = monotonic_micros() + timeout;
+    (void)socket.set_nonblocking(true);
+    std::uint8_t chunk[256];
+    while (monotonic_micros() < deadline) {
+      auto n = socket.read_some(MutableByteSpan{chunk, sizeof chunk});
+      if (!n) {
+        if (n.status().code() == Errc::would_block) {
+          sleep_micros(5'000);
+          continue;
+        }
+        return true;  // reset counts as closed
+      }
+      if (n.value() == 0) return true;
+      // Server sent something (e.g. a sync poll) — keep draining.
+    }
+    return false;
+  }
+
+  /// Mutex-guarded record log shared with the server thread's sink.
+  struct DeliveredLog {
+    std::mutex mutex;
+    std::vector<sensors::Record> records;
+    void add(const sensors::Record& r) {
+      std::lock_guard<std::mutex> lock(mutex);
+      records.push_back(r);
+    }
+    std::size_t size() {
+      std::lock_guard<std::mutex> lock(mutex);
+      return records.size();
+    }
+    sensors::Record at(std::size_t i) {
+      std::lock_guard<std::mutex> lock(mutex);
+      return records.at(i);
+    }
+  };
+
+  bool wait_for_delivery(std::size_t count, TimeMicros timeout = 2'000'000) {
+    const TimeMicros deadline = monotonic_micros() + timeout;
+    while (monotonic_micros() < deadline) {
+      if (delivered_->size() >= count) return true;
+      sleep_micros(2'000);
+    }
+    return false;
+  }
+
+  std::unique_ptr<Ism> ism_;
+  std::shared_ptr<DeliveredLog> delivered_;
+  std::thread server_;
+};
+
+TEST_F(IsmServerTest, WellFormedSessionDelivers) {
+  auto socket = connect();
+  ASSERT_TRUE(send_hello(socket, 5));
+  tp::BatchBuilder builder(5);
+  sensors::Record record;
+  record.sensor = 1;
+  record.timestamp = 42;
+  record.fields = {sensors::Field::i32(7)};
+  ASSERT_TRUE(builder.add_record(record));
+  ByteBuffer payload = builder.finish();
+  ASSERT_TRUE(net::write_frame(socket, payload.view()));
+  EXPECT_TRUE(wait_for_delivery(1));
+  EXPECT_EQ(delivered_->at(0).node, 5u);
+}
+
+TEST_F(IsmServerTest, BatchBeforeHelloDropsConnection) {
+  auto socket = connect();
+  tp::BatchBuilder builder(1);
+  ByteBuffer payload = builder.finish();
+  ASSERT_TRUE(net::write_frame(socket, payload.view()));
+  EXPECT_TRUE(connection_closed(socket));
+}
+
+TEST_F(IsmServerTest, VersionMismatchDropsConnection) {
+  auto socket = connect();
+  ASSERT_TRUE(send_hello(socket, 1, /*version=*/999));
+  EXPECT_TRUE(connection_closed(socket));
+}
+
+TEST_F(IsmServerTest, DuplicateNodeIdRejected) {
+  auto first = connect();
+  ASSERT_TRUE(send_hello(first, 7));
+  auto second = connect();
+  ASSERT_TRUE(send_hello(second, 7));
+  EXPECT_TRUE(connection_closed(second));
+  EXPECT_FALSE(connection_closed(first, 200'000)) << "original connection survives";
+}
+
+TEST_F(IsmServerTest, NodeIdReusableAfterDisconnect) {
+  {
+    auto socket = connect();
+    ASSERT_TRUE(send_hello(socket, 9));
+    sleep_micros(50'000);
+  }  // closed
+  sleep_micros(100'000);
+  auto socket = connect();
+  ASSERT_TRUE(send_hello(socket, 9));
+  EXPECT_FALSE(connection_closed(socket, 300'000)) << "id freed by the disconnect";
+}
+
+TEST_F(IsmServerTest, UnknownMessageTypeDropsConnection) {
+  auto socket = connect();
+  ASSERT_TRUE(send_hello(socket, 2));
+  ByteBuffer garbage;
+  xdr::Encoder enc(garbage);
+  enc.put_u32(99);  // not a MsgType
+  ASSERT_TRUE(net::write_frame(socket, garbage.view()));
+  EXPECT_TRUE(connection_closed(socket));
+}
+
+TEST_F(IsmServerTest, TruncatedBatchDropsConnection) {
+  auto socket = connect();
+  ASSERT_TRUE(send_hello(socket, 3));
+  ByteBuffer bad;
+  xdr::Encoder enc(bad);
+  tp::put_type(tp::MsgType::data_batch, enc);
+  enc.put_u32(3);  // node, then nothing else
+  ASSERT_TRUE(net::write_frame(socket, bad.view()));
+  EXPECT_TRUE(connection_closed(socket));
+}
+
+TEST_F(IsmServerTest, OversizedFrameHeaderDropsConnection) {
+  auto socket = connect();
+  const std::uint8_t evil[4] = {0xff, 0xff, 0xff, 0xff};
+  ASSERT_TRUE(socket.write_all(ByteSpan{evil, 4}));
+  EXPECT_TRUE(connection_closed(socket));
+}
+
+TEST_F(IsmServerTest, UnsolicitedTimeRespTolerated) {
+  auto socket = connect();
+  ASSERT_TRUE(send_hello(socket, 4));
+  ByteBuffer resp;
+  xdr::Encoder enc(resp);
+  tp::put_type(tp::MsgType::time_resp, enc);
+  tp::encode_time_resp({12345, 67890}, enc);
+  ASSERT_TRUE(net::write_frame(socket, resp.view()));
+  EXPECT_FALSE(connection_closed(socket, 300'000)) << "stale responses are ignored";
+}
+
+TEST_F(IsmServerTest, ByeClosesGracefully) {
+  auto socket = connect();
+  ASSERT_TRUE(send_hello(socket, 6));
+  ByteBuffer bye;
+  xdr::Encoder enc(bye);
+  tp::put_type(tp::MsgType::bye, enc);
+  ASSERT_TRUE(net::write_frame(socket, bye.view()));
+  EXPECT_TRUE(connection_closed(socket));
+}
+
+TEST_F(IsmServerTest, EmptyFrameDropsConnection) {
+  auto socket = connect();
+  ASSERT_TRUE(net::write_frame(socket, ByteSpan{}));
+  EXPECT_TRUE(connection_closed(socket));
+}
+
+}  // namespace
+}  // namespace brisk::ism

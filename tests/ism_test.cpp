@@ -1,0 +1,589 @@
+// ISM pipeline tests: per-EXS queues, the timestamp merge heap, the
+// adaptive on-line sorter (delay window, T raise on out-of-order, exponential
+// decay, overflow policies), the CRE matcher (hold, tachyon repair, timeout,
+// extra sync rounds), flow control, and the output sinks.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "clock/clock.hpp"
+#include "ism/cre_matcher.hpp"
+#include "ism/drop_policy.hpp"
+#include "ism/merge_heap.hpp"
+#include "ism/online_sorter.hpp"
+#include "ism/output.hpp"
+
+namespace brisk::ism {
+namespace {
+
+using sensors::Field;
+using sensors::Record;
+
+Record make_record(NodeId node, TimeMicros ts, SensorId sensor = 1) {
+  Record record;
+  record.node = node;
+  record.sensor = sensor;
+  record.timestamp = ts;
+  record.fields = {Field::i32(static_cast<std::int32_t>(ts))};
+  return record;
+}
+
+Record reason_record(NodeId node, TimeMicros ts, CausalId id) {
+  Record record = make_record(node, ts, 2);
+  record.fields = {Field::reason(id)};
+  return record;
+}
+
+Record conseq_record(NodeId node, TimeMicros ts, CausalId id) {
+  Record record = make_record(node, ts, 3);
+  record.fields = {Field::conseq(id)};
+  return record;
+}
+
+// ---- EventQueue -------------------------------------------------------------------
+
+TEST(EventQueueTest, FifoAndCounters) {
+  EventQueue queue(4);
+  queue.push(make_record(4, 100), 1'000);
+  queue.push(make_record(4, 50), 1'001);
+  EXPECT_EQ(queue.size(), 2u);
+  EXPECT_EQ(queue.front().record.timestamp, 100) << "arrival order, not ts order";
+  EXPECT_EQ(queue.pop().arrived_at, 1'000);
+  EXPECT_EQ(queue.pop().record.timestamp, 50);
+  EXPECT_TRUE(queue.empty());
+  EXPECT_EQ(queue.total_received(), 2u);
+}
+
+TEST(EventQueueTest, BatchSeqContinuity) {
+  EventQueue queue(1);
+  EXPECT_TRUE(queue.accept_batch_seq(0));
+  EXPECT_TRUE(queue.accept_batch_seq(1));
+  EXPECT_FALSE(queue.accept_batch_seq(5)) << "gap detected";
+  EXPECT_TRUE(queue.accept_batch_seq(6)) << "resynchronizes after a gap";
+}
+
+// ---- MergeHeap --------------------------------------------------------------------
+
+class MergeHeapTest : public ::testing::Test {
+ protected:
+  EventQueue* add_queue(NodeId node) {
+    queues_.push_back(std::make_unique<EventQueue>(node));
+    EXPECT_TRUE(heap_.add_queue(queues_.back().get()));
+    return queues_.back().get();
+  }
+  std::vector<std::unique_ptr<EventQueue>> queues_;
+  MergeHeap heap_;
+};
+
+TEST_F(MergeHeapTest, MergesSortedStreams) {
+  EventQueue* q0 = add_queue(0);
+  EventQueue* q1 = add_queue(1);
+  EventQueue* q2 = add_queue(2);
+  for (TimeMicros ts : {10, 40, 70}) q0->push(make_record(0, ts), 0);
+  for (TimeMicros ts : {20, 50, 80}) q1->push(make_record(1, ts), 0);
+  for (TimeMicros ts : {30, 60, 90}) q2->push(make_record(2, ts), 0);
+  heap_.notify_pushed(0);
+  heap_.notify_pushed(1);
+  heap_.notify_pushed(2);
+
+  std::vector<TimeMicros> merged;
+  while (heap_.has_min()) {
+    auto popped = heap_.pop_min();
+    ASSERT_TRUE(popped.is_ok());
+    merged.push_back(popped.value().record.timestamp);
+  }
+  EXPECT_EQ(merged, (std::vector<TimeMicros>{10, 20, 30, 40, 50, 60, 70, 80, 90}));
+}
+
+TEST_F(MergeHeapTest, MinTimestampTracksHeads) {
+  EventQueue* q0 = add_queue(0);
+  EventQueue* q1 = add_queue(1);
+  q0->push(make_record(0, 500), 0);
+  heap_.notify_pushed(0);
+  EXPECT_EQ(heap_.min_timestamp(), 500);
+  q1->push(make_record(1, 100), 0);
+  heap_.notify_pushed(1);
+  EXPECT_EQ(heap_.min_timestamp(), 100);
+}
+
+TEST_F(MergeHeapTest, DuplicateQueueRejected) {
+  add_queue(7);
+  EventQueue other(7);
+  EXPECT_EQ(heap_.add_queue(&other).code(), Errc::already_exists);
+}
+
+TEST_F(MergeHeapTest, RemoveQueueDropsItsEntry) {
+  EventQueue* q0 = add_queue(0);
+  EventQueue* q1 = add_queue(1);
+  q0->push(make_record(0, 10), 0);
+  q1->push(make_record(1, 20), 0);
+  heap_.notify_pushed(0);
+  heap_.notify_pushed(1);
+  ASSERT_TRUE(heap_.remove_queue(0));
+  EXPECT_EQ(heap_.min_timestamp(), 20);
+  EXPECT_EQ(heap_.queue_count(), 1u);
+}
+
+TEST_F(MergeHeapTest, PopOnEmptyFails) {
+  EXPECT_FALSE(heap_.pop_min().is_ok());
+  EXPECT_FALSE(heap_.has_min());
+}
+
+TEST_F(MergeHeapTest, NotifyPushedIdempotent) {
+  EventQueue* q0 = add_queue(0);
+  q0->push(make_record(0, 10), 0);
+  heap_.notify_pushed(0);
+  heap_.notify_pushed(0);
+  heap_.notify_pushed(0);
+  auto first = heap_.pop_min();
+  ASSERT_TRUE(first.is_ok());
+  EXPECT_FALSE(heap_.has_min()) << "only one heap entry per queue";
+}
+
+TEST_F(MergeHeapTest, EqualTimestampsTieBreakByNode) {
+  EventQueue* q0 = add_queue(2);
+  EventQueue* q1 = add_queue(1);
+  q0->push(make_record(2, 100), 0);
+  q1->push(make_record(1, 100), 0);
+  heap_.notify_pushed(2);
+  heap_.notify_pushed(1);
+  auto first = heap_.pop_min();
+  ASSERT_TRUE(first.is_ok());
+  EXPECT_EQ(first.value().record.node, 1u) << "deterministic tie break by node id";
+}
+
+TEST_F(MergeHeapTest, PendingCountsAllQueues) {
+  EventQueue* q0 = add_queue(0);
+  EventQueue* q1 = add_queue(1);
+  for (int i = 0; i < 3; ++i) q0->push(make_record(0, i), 0);
+  q1->push(make_record(1, 9), 0);
+  EXPECT_EQ(heap_.pending(), 4u);
+}
+
+// ---- OnlineSorter ------------------------------------------------------------------
+
+class SorterTest : public ::testing::Test {
+ protected:
+  OnlineSorter make_sorter(SorterConfig config) {
+    return OnlineSorter(config, clock_, [this](const Record& record) {
+      emitted_.push_back(record);
+    });
+  }
+  clk::ManualClock clock_{0};
+  std::vector<Record> emitted_;
+};
+
+TEST_F(SorterTest, DelaysRecordsForTimeFrame) {
+  auto sorter = make_sorter({.initial_frame_us = 1'000, .adaptive = false});
+  clock_.set(10'000);
+  ASSERT_TRUE(sorter.push(make_record(0, 10'000)));
+  sorter.service();
+  EXPECT_TRUE(emitted_.empty()) << "within the delay window";
+  clock_.set(10'999);
+  sorter.service();
+  EXPECT_TRUE(emitted_.empty());
+  clock_.set(11'000);
+  sorter.service();
+  ASSERT_EQ(emitted_.size(), 1u) << "released at ts + T";
+}
+
+TEST_F(SorterTest, ReordersWithinWindow) {
+  auto sorter = make_sorter({.initial_frame_us = 10'000, .adaptive = false});
+  clock_.set(100'000);
+  // Node 1's record is older but arrives later.
+  ASSERT_TRUE(sorter.push(make_record(0, 100'000)));
+  ASSERT_TRUE(sorter.push(make_record(1, 99'000)));
+  clock_.set(120'000);
+  sorter.service();
+  ASSERT_EQ(emitted_.size(), 2u);
+  EXPECT_EQ(emitted_[0].timestamp, 99'000);
+  EXPECT_EQ(emitted_[1].timestamp, 100'000);
+  EXPECT_EQ(sorter.stats().out_of_order_emissions, 0u);
+}
+
+TEST_F(SorterTest, DetectsOutOfOrderEmissionAndRaisesFrame) {
+  auto sorter = make_sorter(
+      {.initial_frame_us = 100, .min_frame_us = 100, .max_frame_us = 1'000'000});
+  clock_.set(1'000);
+  ASSERT_TRUE(sorter.push(make_record(0, 1'000)));
+  clock_.set(2'000);
+  sorter.service();  // emits ts=1000
+  ASSERT_EQ(emitted_.size(), 1u);
+  // A record 700 µs older than the last emission arrives late.
+  ASSERT_TRUE(sorter.push(make_record(1, 300)));
+  clock_.set(3'000);
+  sorter.service();
+  ASSERT_EQ(emitted_.size(), 2u);
+  EXPECT_EQ(sorter.stats().out_of_order_emissions, 1u);
+  EXPECT_EQ(sorter.stats().max_lateness_us, 700);
+  EXPECT_GE(sorter.current_frame(), 690) << "T raised to ~the observed lateness";
+  EXPECT_EQ(sorter.stats().frame_raises, 1u);
+}
+
+TEST_F(SorterTest, NonAdaptiveKeepsFrameFixed) {
+  auto sorter = make_sorter({.initial_frame_us = 100, .adaptive = false});
+  clock_.set(1'000);
+  ASSERT_TRUE(sorter.push(make_record(0, 1'000)));
+  clock_.set(2'000);
+  sorter.service();
+  ASSERT_TRUE(sorter.push(make_record(1, 300)));
+  clock_.set(3'000);
+  sorter.service();
+  EXPECT_EQ(sorter.stats().out_of_order_emissions, 1u);
+  EXPECT_EQ(sorter.current_frame(), 100) << "fixed T never moves";
+  EXPECT_EQ(sorter.stats().frame_raises, 0u);
+}
+
+TEST_F(SorterTest, FrameDecaysExponentially) {
+  auto sorter = make_sorter({.initial_frame_us = 100'000,
+                             .min_frame_us = 1'000,
+                             .decay_half_life_s = 1.0});
+  // One half-life after construction (t=0): (100000-1000)/2 + 1000 = 50500.
+  clock_.set(1'000'000);
+  sorter.service();
+  EXPECT_NEAR(static_cast<double>(sorter.current_frame()), 50'500.0, 500.0);
+  // A second half-life: (100000-1000)/4 + 1000 = 25750.
+  clock_.set(2'000'000);
+  sorter.service();
+  EXPECT_NEAR(static_cast<double>(sorter.current_frame()), 25'750.0, 500.0);
+  // Many half-lives: converges to the floor.
+  clock_.set(60'000'000);
+  sorter.service();
+  EXPECT_NEAR(static_cast<double>(sorter.current_frame()), 1'000.0, 50.0);
+}
+
+TEST_F(SorterTest, FrameRaiseCappedAtMax) {
+  auto sorter = make_sorter(
+      {.initial_frame_us = 100, .min_frame_us = 100, .max_frame_us = 5'000});
+  clock_.set(1'000'000);
+  ASSERT_TRUE(sorter.push(make_record(0, 1'000'000)));
+  clock_.set(1'100'000);
+  sorter.service();
+  ASSERT_TRUE(sorter.push(make_record(1, 10)));  // enormous lateness
+  clock_.set(2'000'000);
+  sorter.service();
+  EXPECT_LE(sorter.current_frame(), 5'000);
+}
+
+TEST_F(SorterTest, PerNodeFifoPreservedEvenWhenLate) {
+  auto sorter = make_sorter({.initial_frame_us = 1'000});
+  clock_.set(10'000);
+  ASSERT_TRUE(sorter.push(make_record(0, 10'000)));
+  ASSERT_TRUE(sorter.push(make_record(0, 9'000)));  // same node, older ts later
+  clock_.set(50'000);
+  sorter.service();
+  ASSERT_EQ(emitted_.size(), 2u);
+  EXPECT_EQ(emitted_[0].timestamp, 10'000) << "queue order within a node wins";
+  EXPECT_EQ(emitted_[1].timestamp, 9'000);
+}
+
+TEST_F(SorterTest, OverflowEmitEarly) {
+  auto sorter = make_sorter({.initial_frame_us = 1'000'000,
+                             .max_pending = 10,
+                             .overflow = OverflowPolicy::emit_early});
+  clock_.set(0);
+  for (int i = 0; i < 15; ++i) {
+    ASSERT_TRUE(sorter.push(make_record(0, i)));
+  }
+  EXPECT_LE(sorter.pending(), 10u);
+  EXPECT_EQ(sorter.stats().overflow_emits, 5u);
+  EXPECT_EQ(emitted_.size(), 5u) << "released despite the delay window";
+}
+
+TEST_F(SorterTest, OverflowDropNewest) {
+  auto sorter = make_sorter({.initial_frame_us = 1'000'000,
+                             .max_pending = 10,
+                             .overflow = OverflowPolicy::drop_newest});
+  clock_.set(0);
+  for (int i = 0; i < 15; ++i) ASSERT_TRUE(sorter.push(make_record(0, i)));
+  EXPECT_EQ(sorter.pending(), 10u);
+  EXPECT_EQ(sorter.stats().overflow_drops, 5u);
+  EXPECT_TRUE(emitted_.empty());
+}
+
+TEST_F(SorterTest, OverflowDropOldest) {
+  auto sorter = make_sorter({.initial_frame_us = 1'000'000,
+                             .max_pending = 10,
+                             .overflow = OverflowPolicy::drop_oldest});
+  clock_.set(0);
+  for (int i = 0; i < 15; ++i) ASSERT_TRUE(sorter.push(make_record(0, i)));
+  EXPECT_EQ(sorter.pending(), 10u);
+  EXPECT_EQ(sorter.stats().overflow_drops, 5u);
+  sorter.flush_all();
+  ASSERT_EQ(emitted_.size(), 10u);
+  EXPECT_EQ(emitted_[0].timestamp, 5) << "the 5 oldest were dropped";
+}
+
+TEST_F(SorterTest, FlushAllEmitsEverythingInOrder) {
+  auto sorter = make_sorter({.initial_frame_us = 1'000'000'000});
+  clock_.set(0);
+  ASSERT_TRUE(sorter.push(make_record(0, 30)));
+  ASSERT_TRUE(sorter.push(make_record(1, 10)));
+  ASSERT_TRUE(sorter.push(make_record(2, 20)));
+  sorter.flush_all();
+  ASSERT_EQ(emitted_.size(), 3u);
+  EXPECT_EQ(emitted_[0].timestamp, 10);
+  EXPECT_EQ(emitted_[2].timestamp, 30);
+  EXPECT_EQ(sorter.pending(), 0u);
+}
+
+TEST_F(SorterTest, TotalDelayAccumulates) {
+  auto sorter = make_sorter({.initial_frame_us = 1'000, .adaptive = false});
+  clock_.set(10'000);
+  ASSERT_TRUE(sorter.push(make_record(0, 10'000)));
+  clock_.set(12'000);
+  sorter.service();
+  EXPECT_EQ(sorter.stats().total_delay_us, 2'000u);
+}
+
+TEST_F(SorterTest, NextDueInReflectsWindow) {
+  auto sorter = make_sorter({.initial_frame_us = 1'000, .adaptive = false});
+  clock_.set(5'000);
+  ASSERT_TRUE(sorter.push(make_record(0, 5'000)));
+  EXPECT_EQ(sorter.next_due_in(), 1'000);
+  clock_.set(6'500);
+  EXPECT_LT(sorter.next_due_in(), 0);
+}
+
+// ---- CreMatcher -------------------------------------------------------------------
+
+class CreTest : public ::testing::Test {
+ protected:
+  CreMatcher make_matcher(CreConfig config = {.hold_timeout_us = 10'000,
+                                              .repair_margin_us = 1}) {
+    return CreMatcher(config, clock_, [this] { ++extra_rounds_; });
+  }
+  clk::ManualClock clock_{1'000'000};
+  int extra_rounds_ = 0;
+  std::vector<Record> out_;
+};
+
+TEST_F(CreTest, UnmarkedRecordsPassThrough) {
+  auto matcher = make_matcher();
+  matcher.process(make_record(0, 100), out_);
+  ASSERT_EQ(out_.size(), 1u);
+  EXPECT_EQ(matcher.stats().reasons_seen, 0u);
+}
+
+TEST_F(CreTest, ReasonThenConsequenceInOrder) {
+  auto matcher = make_matcher();
+  matcher.process(reason_record(0, 100, 7), out_);
+  matcher.process(conseq_record(1, 200, 7), out_);
+  ASSERT_EQ(out_.size(), 2u);
+  EXPECT_EQ(out_[1].timestamp, 200) << "correctly ordered pair is untouched";
+  EXPECT_EQ(matcher.stats().matched, 1u);
+  EXPECT_EQ(matcher.stats().tachyons_repaired, 0u);
+  EXPECT_EQ(extra_rounds_, 0);
+}
+
+TEST_F(CreTest, TachyonConsequenceAfterReasonIsRepaired) {
+  auto matcher = make_matcher();
+  matcher.process(reason_record(0, 500, 7), out_);
+  matcher.process(conseq_record(1, 400, 7), out_);  // before its reason!
+  ASSERT_EQ(out_.size(), 2u);
+  EXPECT_EQ(out_[1].timestamp, 501) << "overridden by a larger value";
+  EXPECT_EQ(matcher.stats().tachyons_repaired, 1u);
+  EXPECT_EQ(extra_rounds_, 1) << "extra clock sync round requested";
+}
+
+TEST_F(CreTest, ConsequenceWaitsForReason) {
+  auto matcher = make_matcher();
+  matcher.process(conseq_record(1, 400, 9), out_);
+  EXPECT_TRUE(out_.empty()) << "held until the reason arrives";
+  EXPECT_EQ(matcher.held_count(), 1u);
+
+  matcher.process(reason_record(0, 300, 9), out_);
+  ASSERT_EQ(out_.size(), 2u) << "released consequence + the reason itself";
+  EXPECT_EQ(matcher.held_count(), 0u);
+  // conseq ts 400 > reason ts 300: no repair needed.
+  EXPECT_EQ(matcher.stats().tachyons_repaired, 0u);
+}
+
+TEST_F(CreTest, WaitingTachyonRepairedWhenReasonArrives) {
+  auto matcher = make_matcher();
+  matcher.process(conseq_record(1, 200, 9), out_);
+  matcher.process(reason_record(0, 300, 9), out_);
+  ASSERT_EQ(out_.size(), 2u);
+  // The released consequence is out_[0] (released before the reason is
+  // appended): its timestamp must exceed the reason's.
+  const Record& conseq = out_[0].conseq_id().has_value() ? out_[0] : out_[1];
+  EXPECT_EQ(conseq.timestamp, 301);
+  EXPECT_EQ(matcher.stats().tachyons_repaired, 1u);
+  EXPECT_EQ(extra_rounds_, 1);
+}
+
+TEST_F(CreTest, MultipleConsequencesSameReason) {
+  auto matcher = make_matcher();
+  matcher.process(conseq_record(1, 100, 5), out_);
+  matcher.process(conseq_record(2, 150, 5), out_);
+  EXPECT_EQ(matcher.held_count(), 2u);
+  matcher.process(reason_record(0, 120, 5), out_);
+  ASSERT_EQ(out_.size(), 3u);
+  EXPECT_EQ(matcher.stats().matched, 2u);
+  EXPECT_EQ(matcher.stats().tachyons_repaired, 1u) << "only the ts=100 conseq is a tachyon";
+}
+
+TEST_F(CreTest, HoldTimeoutReleasesUnmatched) {
+  auto matcher = make_matcher({.hold_timeout_us = 5'000, .repair_margin_us = 1});
+  matcher.process(conseq_record(1, 100, 11), out_);
+  EXPECT_TRUE(out_.empty());
+  clock_.advance(4'999);
+  matcher.service(out_);
+  EXPECT_TRUE(out_.empty());
+  clock_.advance(1);
+  matcher.service(out_);
+  ASSERT_EQ(out_.size(), 1u) << "its peer may have been dropped — release";
+  EXPECT_EQ(matcher.stats().hold_timeouts, 1u);
+  EXPECT_EQ(matcher.held_count(), 0u);
+}
+
+TEST_F(CreTest, ReasonTableExpires) {
+  auto matcher = make_matcher({.hold_timeout_us = 5'000, .repair_margin_us = 1});
+  matcher.process(reason_record(0, 100, 13), out_);
+  EXPECT_EQ(matcher.reason_table_size(), 1u);
+  clock_.advance(6'000);
+  matcher.service(out_);
+  EXPECT_EQ(matcher.reason_table_size(), 0u);
+  // A consequence arriving after expiry must wait (and eventually time out).
+  out_.clear();
+  matcher.process(conseq_record(1, 200, 13), out_);
+  EXPECT_TRUE(out_.empty());
+}
+
+TEST_F(CreTest, RepairMarginConfigurable) {
+  auto matcher = make_matcher({.hold_timeout_us = 10'000, .repair_margin_us = 50});
+  matcher.process(reason_record(0, 1'000, 3), out_);
+  matcher.process(conseq_record(1, 900, 3), out_);
+  EXPECT_EQ(out_[1].timestamp, 1'050);
+}
+
+TEST_F(CreTest, RecordWithBothMarksActsAsReason) {
+  // A record can be the consequence of one chain and the reason of another;
+  // our dispatcher routes by the first system field present: reason wins.
+  auto matcher = make_matcher();
+  Record both = make_record(0, 100);
+  both.fields = {Field::reason(21), Field::conseq(22)};
+  matcher.process(both, out_);
+  EXPECT_EQ(out_.size(), 1u);
+  EXPECT_EQ(matcher.stats().reasons_seen, 1u);
+}
+
+// ---- TokenBucket -------------------------------------------------------------------
+
+TEST(TokenBucketTest, AdmitsUpToBurst) {
+  TokenBucket bucket(1'000.0, 5.0);
+  int admitted = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (bucket.admit(1'000'000)) ++admitted;
+  }
+  EXPECT_EQ(admitted, 5);
+}
+
+TEST(TokenBucketTest, RefillsOverTime) {
+  TokenBucket bucket(1'000.0, 5.0);  // 1 token per ms
+  for (int i = 0; i < 5; ++i) ASSERT_TRUE(bucket.admit(1'000'000));
+  EXPECT_FALSE(bucket.admit(1'000'000));
+  EXPECT_TRUE(bucket.admit(1'002'000)) << "2 ms later there are tokens again";
+}
+
+TEST(TokenBucketTest, CapsAtBurst) {
+  TokenBucket bucket(1'000'000.0, 3.0);
+  ASSERT_TRUE(bucket.admit(0));
+  // A long quiet period cannot bank more than `burst` tokens.
+  int admitted = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (bucket.admit(100'000'000)) ++admitted;
+  }
+  EXPECT_EQ(admitted, 3);
+}
+
+// ---- output sinks ---------------------------------------------------------------------
+
+TEST(OutputTest, ShmSinkRoundTripsThroughRing) {
+  std::vector<std::uint8_t> memory(shm::RingBuffer::region_size(64 * 1024));
+  auto ring = shm::RingBuffer::init(memory.data(), 64 * 1024);
+  ASSERT_TRUE(ring.is_ok());
+  ShmOutputSink sink(ring.value());
+
+  Record record = make_record(9, 1'234, 5);
+  ASSERT_TRUE(sink.deliver(record));
+  EXPECT_EQ(sink.delivered(), 1u);
+
+  std::vector<std::uint8_t> bytes;
+  ASSERT_TRUE(ring.value().try_pop(bytes));
+  auto decoded = decode_output_record(ByteSpan{bytes.data(), bytes.size()});
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(decoded.value().node, 9u);
+  EXPECT_EQ(decoded.value().timestamp, 1'234);
+}
+
+TEST(OutputTest, ShmSinkCountsDropsWhenRingFull) {
+  std::vector<std::uint8_t> memory(shm::RingBuffer::region_size(128));
+  auto ring = shm::RingBuffer::init(memory.data(), 128);
+  ASSERT_TRUE(ring.is_ok());
+  ShmOutputSink sink(ring.value());
+  Record record = make_record(1, 1);
+  Status last = Status::ok();
+  for (int i = 0; i < 20; ++i) last = sink.deliver(record);
+  EXPECT_EQ(last.code(), Errc::buffer_full);
+  EXPECT_GT(sink.dropped(), 0u);
+}
+
+TEST(OutputTest, FanOutDeliversToAll) {
+  auto counter1 = std::make_shared<int>(0);
+  auto counter2 = std::make_shared<int>(0);
+  FanOut fan_out;
+  fan_out.add(std::make_shared<CallbackSink>([counter1](const Record&) { ++*counter1; }));
+  fan_out.add(std::make_shared<CallbackSink>([counter2](const Record&) { ++*counter2; }));
+  ASSERT_TRUE(fan_out.deliver(make_record(0, 1)));
+  EXPECT_EQ(*counter1, 1);
+  EXPECT_EQ(*counter2, 1);
+  EXPECT_EQ(fan_out.sink_count(), 2u);
+}
+
+TEST(OutputTest, FanOutContinuesPastFailingSink) {
+  std::vector<std::uint8_t> memory(shm::RingBuffer::region_size(128));
+  auto tiny_ring = shm::RingBuffer::init(memory.data(), 128);
+  ASSERT_TRUE(tiny_ring.is_ok());
+  auto counter = std::make_shared<int>(0);
+  FanOut fan_out;
+  fan_out.add(std::make_shared<ShmOutputSink>(tiny_ring.value()));
+  fan_out.add(std::make_shared<CallbackSink>([counter](const Record&) { ++*counter; }));
+  Record record = make_record(1, 1);
+  for (int i = 0; i < 20; ++i) (void)fan_out.deliver(record);
+  EXPECT_EQ(*counter, 20) << "second sink must see every record";
+}
+
+TEST(OutputTest, EncodeDecodeOutputRecordPreservesNode) {
+  Record record = make_record(4'000'000, 77);
+  auto encoded = encode_output_record(record);
+  ASSERT_TRUE(encoded.is_ok());
+  auto decoded = decode_output_record(encoded.value().view());
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(decoded.value().node, 4'000'000u);
+}
+
+TEST(OutputTest, DecodeOutputRecordRejectsShortBuffer) {
+  const std::uint8_t tiny[] = {1, 2};
+  EXPECT_EQ(decode_output_record(ByteSpan{tiny, 2}).status().code(), Errc::truncated);
+}
+
+// ---- parameterized: decay half-life sweep ------------------------------------------------
+
+class DecaySweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(DecaySweep, LongerHalfLifeDecaysSlower) {
+  clk::ManualClock clock(0);
+  SorterConfig config{.initial_frame_us = 64'000, .min_frame_us = 0,
+                      .decay_half_life_s = GetParam()};
+  OnlineSorter sorter(config, clock, [](const Record&) {});
+  clock.set(1'000'000);  // 1 s elapsed
+  sorter.service();
+  const double expected = 64'000.0 * std::exp2(-1.0 / GetParam());
+  EXPECT_NEAR(static_cast<double>(sorter.current_frame()), expected, expected * 0.02 + 10);
+}
+
+INSTANTIATE_TEST_SUITE_P(HalfLives, DecaySweep, ::testing::Values(0.25, 0.5, 1.0, 2.0, 8.0));
+
+}  // namespace
+}  // namespace brisk::ism

@@ -1,0 +1,303 @@
+// Networking tests: TCP listener/socket round trips, frame codec (blocking
+// and incremental under arbitrary fragmentation), and the select() event
+// loop (readiness dispatch, idle callback, timeout behaviour).
+#include <gtest/gtest.h>
+
+#include <cstring>
+#include <thread>
+
+#include "common/time_util.hpp"
+#include "net/event_loop.hpp"
+#include "net/frame.hpp"
+#include "net/socket.hpp"
+
+namespace brisk::net {
+namespace {
+
+// ---- sockets ---------------------------------------------------------------------
+
+TEST(TcpSocketTest, ListenConnectRoundTrip) {
+  auto listener = TcpListener::listen(0);
+  ASSERT_TRUE(listener.is_ok()) << listener.status().to_string();
+  EXPECT_GT(listener.value().port(), 0);
+
+  auto client = TcpSocket::connect("127.0.0.1", listener.value().port());
+  ASSERT_TRUE(client.is_ok()) << client.status().to_string();
+  auto server = listener.value().accept();
+  ASSERT_TRUE(server.is_ok()) << server.status().to_string();
+
+  const std::uint8_t message[] = {'p', 'i', 'n', 'g'};
+  ASSERT_TRUE(client.value().write_all(ByteSpan{message, 4}));
+  std::uint8_t received[4];
+  auto n = server.value().read_some(MutableByteSpan{received, 4});
+  ASSERT_TRUE(n.is_ok());
+  EXPECT_EQ(n.value(), 4u);
+  EXPECT_EQ(std::memcmp(received, message, 4), 0);
+}
+
+TEST(TcpSocketTest, LocalhostAliasResolves) {
+  auto listener = TcpListener::listen(0);
+  ASSERT_TRUE(listener.is_ok());
+  EXPECT_TRUE(TcpSocket::connect("localhost", listener.value().port()).is_ok());
+}
+
+TEST(TcpSocketTest, ConnectToClosedPortFails) {
+  // Grab an ephemeral port, then close the listener so nothing listens.
+  std::uint16_t dead_port;
+  {
+    auto listener = TcpListener::listen(0);
+    ASSERT_TRUE(listener.is_ok());
+    dead_port = listener.value().port();
+  }
+  EXPECT_FALSE(TcpSocket::connect("127.0.0.1", dead_port).is_ok());
+}
+
+TEST(TcpSocketTest, BadAddressRejected) {
+  EXPECT_EQ(TcpSocket::connect("not-an-ip", 80).status().code(), Errc::invalid_argument);
+}
+
+TEST(TcpSocketTest, ReadAfterPeerCloseReturnsZero) {
+  auto pair = socket_pair();
+  ASSERT_TRUE(pair.is_ok());
+  pair.value().first.close();
+  std::uint8_t buf[8];
+  auto n = pair.value().second.read_some(MutableByteSpan{buf, 8});
+  ASSERT_TRUE(n.is_ok());
+  EXPECT_EQ(n.value(), 0u);
+}
+
+TEST(TcpSocketTest, NonblockingReadWouldBlock) {
+  auto pair = socket_pair();
+  ASSERT_TRUE(pair.is_ok());
+  ASSERT_TRUE(pair.value().second.set_nonblocking(true));
+  std::uint8_t buf[8];
+  auto n = pair.value().second.read_some(MutableByteSpan{buf, 8});
+  EXPECT_EQ(n.status().code(), Errc::would_block);
+}
+
+TEST(TcpSocketTest, WriteToClosedPeerReportsClosed) {
+  auto pair = socket_pair();
+  ASSERT_TRUE(pair.is_ok());
+  pair.value().second.close();
+  std::vector<std::uint8_t> big(1 << 20, 0x42);
+  // First writes may land in the kernel buffer; eventually EPIPE.
+  Status st = Status::ok();
+  for (int i = 0; i < 64 && st.is_ok(); ++i) {
+    st = pair.value().first.write_all(ByteSpan{big.data(), big.size()});
+  }
+  EXPECT_EQ(st.code(), Errc::closed);
+}
+
+TEST(FdHandleTest, MoveSemantics) {
+  auto pair = socket_pair();
+  ASSERT_TRUE(pair.is_ok());
+  TcpSocket a = std::move(pair.value().first);
+  EXPECT_TRUE(a.valid());
+  TcpSocket b = std::move(a);
+  EXPECT_TRUE(b.valid());
+  EXPECT_FALSE(a.valid());  // NOLINT(bugprone-use-after-move): moved-from is checked
+}
+
+// ---- frames -----------------------------------------------------------------------
+
+TEST(FrameTest, WriteReadRoundTrip) {
+  auto pair = socket_pair();
+  ASSERT_TRUE(pair.is_ok());
+  const std::uint8_t payload[] = {1, 2, 3, 4, 5};
+  ASSERT_TRUE(write_frame(pair.value().first, ByteSpan{payload, 5}));
+  auto frame = read_frame(pair.value().second);
+  ASSERT_TRUE(frame.is_ok()) << frame.status().to_string();
+  ASSERT_EQ(frame.value().size(), 5u);
+  EXPECT_EQ(frame.value().view()[4], 5);
+}
+
+TEST(FrameTest, EmptyFrameAllowed) {
+  auto pair = socket_pair();
+  ASSERT_TRUE(pair.is_ok());
+  ASSERT_TRUE(write_frame(pair.value().first, ByteSpan{}));
+  auto frame = read_frame(pair.value().second);
+  ASSERT_TRUE(frame.is_ok());
+  EXPECT_EQ(frame.value().size(), 0u);
+}
+
+TEST(FrameTest, MultipleFramesInOrder) {
+  auto pair = socket_pair();
+  ASSERT_TRUE(pair.is_ok());
+  for (std::uint8_t i = 0; i < 10; ++i) {
+    ASSERT_TRUE(write_frame(pair.value().first, ByteSpan{&i, 1}));
+  }
+  for (std::uint8_t i = 0; i < 10; ++i) {
+    auto frame = read_frame(pair.value().second);
+    ASSERT_TRUE(frame.is_ok());
+    EXPECT_EQ(frame.value().view()[0], i);
+  }
+}
+
+TEST(FrameTest, EofMidHeaderReportsClosed) {
+  auto pair = socket_pair();
+  ASSERT_TRUE(pair.is_ok());
+  const std::uint8_t partial[] = {0, 0};
+  ASSERT_TRUE(pair.value().first.write_all(ByteSpan{partial, 2}));
+  pair.value().first.close();
+  EXPECT_EQ(read_frame(pair.value().second).status().code(), Errc::closed);
+}
+
+TEST(FrameTest, OversizedFrameRejected) {
+  EXPECT_EQ(kMaxFrameBytes, 16u << 20);
+  auto pair = socket_pair();
+  ASSERT_TRUE(pair.is_ok());
+  std::vector<std::uint8_t> big(kMaxFrameBytes + 1);
+  EXPECT_EQ(write_frame(pair.value().first, ByteSpan{big.data(), big.size()}).code(),
+            Errc::invalid_argument);
+}
+
+TEST(FrameReaderTest, ReassemblesByteByByte) {
+  // Build two frames and feed them one byte at a time.
+  ByteBuffer wire;
+  {
+    const std::uint8_t a[] = {0, 0, 0, 3, 'a', 'b', 'c'};
+    const std::uint8_t b[] = {0, 0, 0, 1, 'z'};
+    wire.append(a, sizeof a);
+    wire.append(b, sizeof b);
+  }
+  FrameReader reader;
+  std::vector<std::string> frames;
+  for (std::uint8_t byte : wire.view()) {
+    reader.feed(ByteSpan{&byte, 1});
+    for (;;) {
+      auto frame = reader.next();
+      ASSERT_TRUE(frame.is_ok());
+      if (!frame.value().has_value()) break;
+      frames.emplace_back(reinterpret_cast<const char*>(frame.value()->data()),
+                          frame.value()->size());
+    }
+  }
+  ASSERT_EQ(frames.size(), 2u);
+  EXPECT_EQ(frames[0], "abc");
+  EXPECT_EQ(frames[1], "z");
+  EXPECT_EQ(reader.buffered_bytes(), 0u);
+}
+
+TEST(FrameReaderTest, HandlesFrameSplitAcrossFeeds) {
+  FrameReader reader;
+  const std::uint8_t part1[] = {0, 0, 0, 4, 'w', 'x'};
+  const std::uint8_t part2[] = {'y', 'z', 0, 0, 0, 0};  // rest + an empty frame
+  reader.feed(ByteSpan{part1, sizeof part1});
+  auto frame = reader.next();
+  ASSERT_TRUE(frame.is_ok());
+  EXPECT_FALSE(frame.value().has_value()) << "incomplete frame must wait";
+  reader.feed(ByteSpan{part2, sizeof part2});
+  frame = reader.next();
+  ASSERT_TRUE(frame.is_ok());
+  ASSERT_TRUE(frame.value().has_value());
+  EXPECT_EQ(frame.value()->size(), 4u);
+  frame = reader.next();
+  ASSERT_TRUE(frame.is_ok());
+  ASSERT_TRUE(frame.value().has_value());
+  EXPECT_EQ(frame.value()->size(), 0u);
+}
+
+TEST(FrameReaderTest, RejectsOversizedDeclaredLength) {
+  FrameReader reader;
+  const std::uint8_t evil[] = {0xff, 0xff, 0xff, 0xff};
+  reader.feed(ByteSpan{evil, 4});
+  EXPECT_EQ(reader.next().status().code(), Errc::malformed);
+}
+
+// ---- event loop ----------------------------------------------------------------------
+
+TEST(EventLoopTest, DispatchesReadableFd) {
+  auto pair = socket_pair();
+  ASSERT_TRUE(pair.is_ok());
+  EventLoop loop;
+  int fired = 0;
+  ASSERT_TRUE(loop.watch(pair.value().second.fd(), [&](int) { ++fired; }));
+
+  const std::uint8_t byte = 1;
+  ASSERT_TRUE(pair.value().first.write_all(ByteSpan{&byte, 1}));
+  auto handled = loop.poll_once(100'000);
+  ASSERT_TRUE(handled.is_ok());
+  EXPECT_EQ(handled.value(), 1);
+  EXPECT_EQ(fired, 1);
+}
+
+TEST(EventLoopTest, TimeoutFiresIdleOnly) {
+  EventLoop loop;
+  auto pair = socket_pair();
+  ASSERT_TRUE(pair.is_ok());
+  ASSERT_TRUE(loop.watch(pair.value().second.fd(), [](int) { FAIL() << "nothing readable"; }));
+  int idles = 0;
+  loop.set_idle([&] { ++idles; });
+  const TimeMicros start = monotonic_micros();
+  auto handled = loop.poll_once(20'000);
+  ASSERT_TRUE(handled.is_ok());
+  EXPECT_EQ(handled.value(), 0);
+  EXPECT_EQ(idles, 1);
+  EXPECT_GE(monotonic_micros() - start, 15'000) << "select must have waited";
+}
+
+TEST(EventLoopTest, UnwatchStopsDispatch) {
+  auto pair = socket_pair();
+  ASSERT_TRUE(pair.is_ok());
+  EventLoop loop;
+  int fired = 0;
+  ASSERT_TRUE(loop.watch(pair.value().second.fd(), [&](int) { ++fired; }));
+  ASSERT_TRUE(loop.unwatch(pair.value().second.fd()));
+  EXPECT_EQ(loop.watched_count(), 0u);
+  const std::uint8_t byte = 1;
+  ASSERT_TRUE(pair.value().first.write_all(ByteSpan{&byte, 1}));
+  auto handled = loop.poll_once(1'000);
+  ASSERT_TRUE(handled.is_ok());
+  EXPECT_EQ(fired, 0);
+}
+
+TEST(EventLoopTest, CallbackMayUnwatchSelf) {
+  auto pair = socket_pair();
+  ASSERT_TRUE(pair.is_ok());
+  EventLoop loop;
+  const int fd = pair.value().second.fd();
+  ASSERT_TRUE(loop.watch(fd, [&](int ready_fd) { ASSERT_TRUE(loop.unwatch(ready_fd)); }));
+  const std::uint8_t byte = 1;
+  ASSERT_TRUE(pair.value().first.write_all(ByteSpan{&byte, 1}));
+  ASSERT_TRUE(loop.poll_once(10'000).is_ok());
+  EXPECT_EQ(loop.watched_count(), 0u);
+}
+
+TEST(EventLoopTest, StopEndsRun) {
+  EventLoop loop;
+  int idles = 0;
+  loop.set_idle([&] {
+    if (++idles == 3) loop.stop();
+  });
+  ASSERT_TRUE(loop.run(1'000));
+  EXPECT_EQ(idles, 3);
+  EXPECT_TRUE(loop.stopped());
+}
+
+TEST(EventLoopTest, RejectsInvalidWatch) {
+  EventLoop loop;
+  EXPECT_EQ(loop.watch(-1, [](int) {}).code(), Errc::invalid_argument);
+  EXPECT_EQ(loop.watch(10, nullptr).code(), Errc::invalid_argument);
+  EXPECT_EQ(loop.unwatch(10).code(), Errc::not_found);
+}
+
+TEST(EventLoopTest, MultipleFdsAllDispatch) {
+  auto pair1 = socket_pair();
+  auto pair2 = socket_pair();
+  ASSERT_TRUE(pair1.is_ok());
+  ASSERT_TRUE(pair2.is_ok());
+  EventLoop loop;
+  int fired = 0;
+  ASSERT_TRUE(loop.watch(pair1.value().second.fd(), [&](int) { ++fired; }));
+  ASSERT_TRUE(loop.watch(pair2.value().second.fd(), [&](int) { ++fired; }));
+  const std::uint8_t byte = 1;
+  ASSERT_TRUE(pair1.value().first.write_all(ByteSpan{&byte, 1}));
+  ASSERT_TRUE(pair2.value().first.write_all(ByteSpan{&byte, 1}));
+  auto handled = loop.poll_once(100'000);
+  ASSERT_TRUE(handled.is_ok());
+  EXPECT_EQ(handled.value(), 2);
+  EXPECT_EQ(fired, 2);
+}
+
+}  // namespace
+}  // namespace brisk::net

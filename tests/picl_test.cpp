@@ -1,0 +1,251 @@
+// PICL trace format tests: line rendering in both timestamp modes, lossless
+// round trips for every field type, reader robustness (comments, blanks,
+// malformed lines), and writer/reader file round trips.
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <filesystem>
+
+#include "picl/picl_reader.hpp"
+#include "picl/picl_record.hpp"
+#include "picl/picl_writer.hpp"
+
+namespace brisk::picl {
+namespace {
+
+using sensors::Field;
+using sensors::Record;
+
+std::string temp_path(const std::string& tag) {
+  return (std::filesystem::temp_directory_path() /
+          ("brisk-picl-" + tag + "-" + std::to_string(::getpid()) + ".picl"))
+      .string();
+}
+
+Record sample_record() {
+  Record record;
+  record.node = 3;
+  record.sensor = 42;
+  record.timestamp = 2'000'500;
+  record.fields = {Field::i32(-7), Field::str("hello world"), Field::f64(0.5)};
+  return record;
+}
+
+// ---- line format -----------------------------------------------------------------
+
+TEST(PiclLineTest, SecondsModeRendering) {
+  PiclOptions options{TimestampMode::seconds_from_epoch, 2'000'000};
+  const std::string line = to_picl_line(sample_record(), options);
+  // rectype=2 event=42 time=0.000500 node=3 nfields=3 ...
+  EXPECT_EQ(line.rfind("2 42 0.000500 3 3 ", 0), 0u) << line;
+  EXPECT_NE(line.find("X_I32=-7"), std::string::npos);
+  EXPECT_NE(line.find("X_STRING=\"hello world\""), std::string::npos);
+}
+
+TEST(PiclLineTest, UtcModeRendering) {
+  PiclOptions options{TimestampMode::utc_micros, 0};
+  const std::string line = to_picl_line(sample_record(), options);
+  EXPECT_EQ(line.rfind("2 42 2000500 3 3 ", 0), 0u) << line;
+}
+
+TEST(PiclLineTest, RoundTripSecondsMode) {
+  PiclOptions options{TimestampMode::seconds_from_epoch, 2'000'000};
+  auto decoded = from_picl_line(to_picl_line(sample_record(), options), options);
+  ASSERT_TRUE(decoded.is_ok()) << decoded.status().to_string();
+  Record expected = sample_record();
+  expected.sequence = 0;
+  EXPECT_EQ(decoded.value(), expected);
+}
+
+TEST(PiclLineTest, RoundTripUtcMode) {
+  PiclOptions options{TimestampMode::utc_micros, 0};
+  auto decoded = from_picl_line(to_picl_line(sample_record(), options), options);
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(decoded.value().timestamp, 2'000'500);
+}
+
+TEST(PiclLineTest, RoundTripEveryFieldType) {
+  Record record;
+  record.node = 1;
+  record.sensor = 2;
+  record.timestamp = 1'000;
+  record.fields = {Field::i8(-8),     Field::u8(250),   Field::i16(-300),
+                   Field::u16(50'000), Field::i32(-5),   Field::u32(4'000'000'000u),
+                   Field::i64(-1LL << 40),               Field::u64(1ULL << 50),
+                   Field::f32(1.5f),  Field::f64(-2.25), Field::ch('x'),
+                   Field::str("a\"b\\c d"),              Field::ts(99),
+                   Field::reason(7),  Field::conseq(8)};
+  PiclOptions options{TimestampMode::utc_micros, 0};
+  auto decoded = from_picl_line(to_picl_line(record, options), options);
+  ASSERT_TRUE(decoded.is_ok()) << decoded.status().to_string();
+  EXPECT_EQ(decoded.value(), record);
+}
+
+TEST(PiclLineTest, NegativeSecondsTimestamp) {
+  Record record = sample_record();
+  record.timestamp = 1'999'000;  // 1 ms before the epoch
+  PiclOptions options{TimestampMode::seconds_from_epoch, 2'000'000};
+  const std::string line = to_picl_line(record, options);
+  EXPECT_NE(line.find("-0.001000"), std::string::npos);
+  auto decoded = from_picl_line(line, options);
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(decoded.value().timestamp, 1'999'000);
+}
+
+TEST(PiclLineTest, EmptyFieldsLine) {
+  Record record;
+  record.sensor = 9;
+  record.timestamp = 5;
+  PiclOptions options{TimestampMode::utc_micros, 0};
+  const std::string line = to_picl_line(record, options);
+  EXPECT_EQ(line, "2 9 5 0 0");
+  auto decoded = from_picl_line(line, options);
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_TRUE(decoded.value().fields.empty());
+}
+
+TEST(PiclLineTest, StringFieldWithSpacesSurvives) {
+  Record record;
+  record.sensor = 1;
+  record.fields = {Field::str("multi word value"), Field::i32(5)};
+  PiclOptions options{TimestampMode::utc_micros, 0};
+  auto decoded = from_picl_line(to_picl_line(record, options), options);
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(decoded.value().fields[0].as_string(), "multi word value");
+  EXPECT_EQ(decoded.value().fields[1].as_signed(), 5);
+}
+
+TEST(PiclLineTest, MalformedLinesRejected) {
+  PiclOptions options{TimestampMode::utc_micros, 0};
+  EXPECT_FALSE(from_picl_line("", options).is_ok());
+  EXPECT_FALSE(from_picl_line("x 1 2 3 0", options).is_ok()) << "bad rectype";
+  EXPECT_FALSE(from_picl_line("2 1 2 3", options).is_ok()) << "missing nfields";
+  EXPECT_FALSE(from_picl_line("2 1 2 3 1", options).is_ok()) << "missing field";
+  EXPECT_FALSE(from_picl_line("2 1 2 3 1 NOEQUALS", options).is_ok());
+  EXPECT_FALSE(from_picl_line("2 1 2 3 1 X_BOGUS=1", options).is_ok());
+  EXPECT_FALSE(from_picl_line("2 1 2 3 1 X_I32=zz", options).is_ok());
+  EXPECT_FALSE(from_picl_line("2 1 2 3 0 trailing", options).is_ok());
+  EXPECT_FALSE(from_picl_line("2 1 2 3 99", options).is_ok()) << "absurd field count";
+  EXPECT_FALSE(from_picl_line("2 1 2 3 1 X_STRING=unquoted", options).is_ok());
+  EXPECT_FALSE(from_picl_line("2 1 2 3 1 X_U32=-4", options).is_ok()) << "negative unsigned";
+}
+
+// ---- writer / reader file round trip ------------------------------------------------
+
+TEST(PiclFileTest, WriteReadBack) {
+  const std::string path = temp_path("roundtrip");
+  PiclOptions options{TimestampMode::utc_micros, 0};
+  {
+    auto writer = PiclWriter::open(path, options);
+    ASSERT_TRUE(writer.is_ok()) << writer.status().to_string();
+    for (int i = 0; i < 25; ++i) {
+      Record record = sample_record();
+      record.timestamp = 1'000 + i;
+      record.sequence = 0;
+      ASSERT_TRUE(writer.value().write(record));
+    }
+    EXPECT_EQ(writer.value().records_written(), 25u);
+    ASSERT_TRUE(writer.value().close());
+  }
+  auto reader = PiclReader::open(path, options);
+  ASSERT_TRUE(reader.is_ok());
+  auto records = reader.value().read_all();
+  ASSERT_TRUE(records.is_ok()) << records.status().to_string();
+  ASSERT_EQ(records.value().size(), 25u);
+  EXPECT_EQ(records.value()[0].timestamp, 1'000);
+  EXPECT_EQ(records.value()[24].timestamp, 1'024);
+  std::filesystem::remove(path);
+}
+
+TEST(PiclFileTest, ReaderSkipsCommentsAndBlanks) {
+  const std::string path = temp_path("comments");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("# a comment\n\n2 1 100 0 0\n   \n# another\n2 2 200 1 0\n", f);
+    std::fclose(f);
+  }
+  PiclOptions options{TimestampMode::utc_micros, 0};
+  auto reader = PiclReader::open(path, options);
+  ASSERT_TRUE(reader.is_ok());
+  auto records = reader.value().read_all();
+  ASSERT_TRUE(records.is_ok());
+  ASSERT_EQ(records.value().size(), 2u);
+  EXPECT_EQ(records.value()[1].sensor, 2u);
+  std::filesystem::remove(path);
+}
+
+TEST(PiclFileTest, ReaderReportsMalformedLine) {
+  const std::string path = temp_path("bad");
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fputs("2 1 100 0 0\ngarbage here\n", f);
+    std::fclose(f);
+  }
+  PiclOptions options{TimestampMode::utc_micros, 0};
+  auto reader = PiclReader::open(path, options);
+  ASSERT_TRUE(reader.is_ok());
+  auto first = reader.value().next();
+  ASSERT_TRUE(first.is_ok());
+  ASSERT_TRUE(first.value().has_value());
+  auto second = reader.value().next();
+  EXPECT_FALSE(second.is_ok());
+  std::filesystem::remove(path);
+}
+
+TEST(PiclFileTest, OpenMissingFileFails) {
+  EXPECT_EQ(PiclReader::open("/nonexistent/nope.picl", {}).status().code(), Errc::io_error);
+}
+
+TEST(PiclFileTest, WriterClosedRejectsWrites) {
+  const std::string path = temp_path("closed");
+  auto writer = PiclWriter::open(path, {});
+  ASSERT_TRUE(writer.is_ok());
+  ASSERT_TRUE(writer.value().close());
+  EXPECT_EQ(writer.value().write(sample_record()).code(), Errc::closed);
+  EXPECT_EQ(writer.value().close().code(), Errc::closed);
+  std::filesystem::remove(path);
+}
+
+TEST(PiclFileTest, SecondsModeFileRoundTrip) {
+  const std::string path = temp_path("seconds");
+  PiclOptions options{TimestampMode::seconds_from_epoch, 1'000'000};
+  {
+    auto writer = PiclWriter::open(path, options);
+    ASSERT_TRUE(writer.is_ok());
+    Record record = sample_record();
+    record.timestamp = 1'500'000;  // 0.5 s after epoch
+    record.sequence = 0;
+    ASSERT_TRUE(writer.value().write(record));
+    ASSERT_TRUE(writer.value().close());
+  }
+  auto reader = PiclReader::open(path, options);
+  ASSERT_TRUE(reader.is_ok());
+  auto records = reader.value().read_all();
+  ASSERT_TRUE(records.is_ok());
+  ASSERT_EQ(records.value().size(), 1u);
+  EXPECT_EQ(records.value()[0].timestamp, 1'500'000);
+  std::filesystem::remove(path);
+}
+
+// ---- parameterized: timestamp precision across magnitudes ----------------------------
+
+class PiclTimestampSweep : public ::testing::TestWithParam<TimeMicros> {};
+
+TEST_P(PiclTimestampSweep, SecondsModePreservesMicrosecond) {
+  PiclOptions options{TimestampMode::seconds_from_epoch, 1'700'000'000'000'000LL};
+  Record record;
+  record.sensor = 1;
+  record.timestamp = options.epoch_us + GetParam();
+  auto decoded = from_picl_line(to_picl_line(record, options), options);
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(decoded.value().timestamp, record.timestamp)
+      << "timestamps near the epoch must round-trip exactly at %.6f precision";
+}
+
+INSTANTIATE_TEST_SUITE_P(Offsets, PiclTimestampSweep,
+                         ::testing::Values(0, 1, 999'999, 1'000'000, 59'123'456, 3'600'000'000LL));
+
+}  // namespace
+}  // namespace brisk::picl

@@ -1,0 +1,159 @@
+// Property-based tests of the on-line sorter over randomized delayed
+// streams (the generator from src/sim): invariants that must hold for every
+// seed, rate, node count and lateness distribution.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <map>
+#include <set>
+
+#include "clock/clock.hpp"
+#include "ism/online_sorter.hpp"
+#include "sim/delayed_stream.hpp"
+
+namespace brisk::ism {
+namespace {
+
+struct PropertyParam {
+  std::uint64_t seed;
+  std::uint32_t nodes;
+  double rate;
+  sim::LatenessDistribution distribution;
+};
+
+class SorterProperty : public ::testing::TestWithParam<PropertyParam> {
+ protected:
+  static sim::DelayedStreamConfig stream_config(const PropertyParam& param) {
+    sim::DelayedStreamConfig config;
+    config.seed = param.seed;
+    config.nodes = param.nodes;
+    config.events_per_sec_per_node = param.rate;
+    config.duration_us = 300'000;
+    config.distribution = param.distribution;
+    config.base_delay_us = 200;
+    config.spread_us = 2'000;
+    return config;
+  }
+
+  /// Replays the stream; returns emissions in order.
+  static std::vector<sensors::Record> replay(const std::vector<sim::Arrival>& stream,
+                                             const SorterConfig& config,
+                                             OnlineSorter** sorter_out = nullptr) {
+    static clk::ManualClock clock(0);
+    clock.set(0);
+    std::vector<sensors::Record> emitted;
+    static std::unique_ptr<OnlineSorter> sorter;
+    sorter = std::make_unique<OnlineSorter>(
+        config, clock, [&](const sensors::Record& r) { emitted.push_back(r); });
+    for (const sim::Arrival& arrival : stream) {
+      while (clock.now() + 1'000 <= arrival.arrival_us) {
+        clock.advance(1'000);
+        sorter->service();
+      }
+      clock.set(arrival.arrival_us);
+      sorter->service();
+      EXPECT_TRUE(sorter->push(arrival.record));
+    }
+    sorter->flush_all();
+    if (sorter_out != nullptr) *sorter_out = sorter.get();
+    return emitted;
+  }
+};
+
+TEST_P(SorterProperty, NoRecordLostOrDuplicated) {
+  auto stream = sim::generate_delayed_stream(stream_config(GetParam()));
+  SorterConfig config;
+  config.initial_frame_us = 2'000;
+  auto emitted = replay(stream, config);
+  ASSERT_EQ(emitted.size(), stream.size());
+  // Multiset equality via per-node sequence sets.
+  std::map<NodeId, std::set<SequenceNo>> seen;
+  for (const auto& record : emitted) {
+    EXPECT_TRUE(seen[record.node].insert(record.sequence).second)
+        << "duplicate emission node " << record.node << " seq " << record.sequence;
+  }
+}
+
+TEST_P(SorterProperty, PerNodeFifoAlwaysPreserved) {
+  auto stream = sim::generate_delayed_stream(stream_config(GetParam()));
+  SorterConfig config;
+  config.initial_frame_us = 1'000;
+  auto emitted = replay(stream, config);
+  std::map<NodeId, SequenceNo> last_seq;
+  for (const auto& record : emitted) {
+    auto it = last_seq.find(record.node);
+    if (it != last_seq.end()) {
+      EXPECT_GT(record.sequence, it->second)
+          << "node " << record.node << " emitted out of its own order";
+    }
+    last_seq[record.node] = record.sequence;
+  }
+}
+
+TEST_P(SorterProperty, LargeFixedFrameYieldsTotalOrder) {
+  auto stream = sim::generate_delayed_stream(stream_config(GetParam()));
+  // With T ≥ the maximum transport delay actually drawn (exponential tails
+  // are unbounded, so measure the realized stream), every record is
+  // released at exactly ts + T and the output is totally ordered.
+  TimeMicros max_delay = 0;
+  for (const sim::Arrival& a : stream) {
+    max_delay = std::max(max_delay, a.arrival_us - a.record.timestamp);
+  }
+  SorterConfig config;
+  config.initial_frame_us = max_delay + 1;
+  config.max_frame_us = max_delay + 1;
+  config.adaptive = false;
+  auto emitted = replay(stream, config);
+  for (std::size_t i = 1; i < emitted.size(); ++i) {
+    EXPECT_GE(emitted[i].timestamp, emitted[i - 1].timestamp)
+        << "out-of-order at emission " << i;
+  }
+}
+
+TEST_P(SorterProperty, FrameStaysWithinConfiguredBounds) {
+  auto stream = sim::generate_delayed_stream(stream_config(GetParam()));
+  SorterConfig config;
+  config.initial_frame_us = 500;
+  config.min_frame_us = 100;
+  config.max_frame_us = 5'000;
+  config.decay_half_life_s = 0.05;
+  OnlineSorter* sorter = nullptr;
+  (void)replay(stream, config, &sorter);
+  ASSERT_NE(sorter, nullptr);
+  EXPECT_GE(sorter->current_frame(), config.min_frame_us);
+  EXPECT_LE(sorter->current_frame(), config.max_frame_us);
+}
+
+TEST_P(SorterProperty, EmissionTimeNeverBeforeArrival) {
+  auto stream = sim::generate_delayed_stream(stream_config(GetParam()));
+  // Emission happens at or after arrival by construction of the pipeline;
+  // verify the sorter can never emit a record it has not been given (the
+  // delay accounting in stats would go negative otherwise).
+  SorterConfig config;
+  config.initial_frame_us = 3'000;
+  OnlineSorter* sorter = nullptr;
+  auto emitted = replay(stream, config, &sorter);
+  ASSERT_NE(sorter, nullptr);
+  EXPECT_EQ(sorter->stats().pushed, stream.size());
+  EXPECT_EQ(sorter->stats().emitted, emitted.size());
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    RandomStreams, SorterProperty,
+    ::testing::Values(
+        PropertyParam{1, 2, 1'000, sim::LatenessDistribution::exponential},
+        PropertyParam{2, 4, 2'000, sim::LatenessDistribution::exponential},
+        PropertyParam{3, 8, 500, sim::LatenessDistribution::uniform},
+        PropertyParam{4, 3, 4'000, sim::LatenessDistribution::bursty},
+        PropertyParam{5, 1, 1'000, sim::LatenessDistribution::none},
+        PropertyParam{6, 6, 3'000, sim::LatenessDistribution::bursty},
+        PropertyParam{7, 5, 800, sim::LatenessDistribution::uniform},
+        PropertyParam{8, 2, 10'000, sim::LatenessDistribution::exponential}),
+    [](const ::testing::TestParamInfo<PropertyParam>& info) {
+      return "seed" + std::to_string(info.param.seed) + "_n" +
+             std::to_string(info.param.nodes) + "_" +
+             sim::lateness_distribution_name(info.param.distribution);
+    });
+
+}  // namespace
+}  // namespace brisk::ism

@@ -1,0 +1,409 @@
+// Transfer protocol tests: compressed meta header packing, record wire
+// format (including the paper's 40-byte six-int record), native→wire
+// transcoding with clock correction, batch building/decoding, and control
+// messages.
+#include <gtest/gtest.h>
+
+#include "sensors/record_codec.hpp"
+#include "tp/batch.hpp"
+#include "tp/meta_header.hpp"
+#include "tp/wire.hpp"
+
+namespace brisk::tp {
+namespace {
+
+using sensors::Field;
+using sensors::FieldType;
+using sensors::Record;
+
+// ---- meta header ----------------------------------------------------------------
+
+TEST(MetaHeaderTest, EightFieldsFitInEightBytes) {
+  MetaHeader meta;
+  meta.sensor_id = 0x1234;
+  meta.field_count = 8;
+  for (int i = 0; i < 8; ++i) meta.types[i] = FieldType::x_i32;
+  EXPECT_FALSE(meta.extended());
+  EXPECT_EQ(meta.wire_size(), 8u);
+
+  ByteBuffer buf;
+  xdr::Encoder enc(buf);
+  encode_meta(meta, enc);
+  EXPECT_EQ(buf.size(), 8u);
+}
+
+TEST(MetaHeaderTest, SixteenFieldsNeedTwelveBytes) {
+  MetaHeader meta;
+  meta.field_count = 16;
+  for (int i = 0; i < 16; ++i) meta.types[i] = FieldType::x_u8;
+  EXPECT_TRUE(meta.extended());
+  EXPECT_EQ(meta.wire_size(), 12u);
+}
+
+TEST(MetaHeaderTest, RoundTripsAllTypeCombinations) {
+  MetaHeader meta;
+  meta.sensor_id = 0xffff;
+  meta.field_count = 15;
+  for (std::uint8_t i = 0; i < 15; ++i) meta.types[i] = static_cast<FieldType>(i);
+
+  ByteBuffer buf;
+  xdr::Encoder enc(buf);
+  encode_meta(meta, enc);
+  xdr::Decoder dec(buf.view());
+  auto decoded = decode_meta(dec);
+  ASSERT_TRUE(decoded.is_ok()) << decoded.status().to_string();
+  EXPECT_EQ(decoded.value().sensor_id, 0xffff);
+  EXPECT_EQ(decoded.value().field_count, 15);
+  for (std::uint8_t i = 0; i < 15; ++i) {
+    EXPECT_EQ(decoded.value().types[i], static_cast<FieldType>(i)) << "field " << int{i};
+  }
+}
+
+TEST(MetaHeaderTest, ZeroFieldHeader) {
+  MetaHeader meta;
+  meta.sensor_id = 7;
+  meta.field_count = 0;
+  ByteBuffer buf;
+  xdr::Encoder enc(buf);
+  encode_meta(meta, enc);
+  xdr::Decoder dec(buf.view());
+  auto decoded = decode_meta(dec);
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(decoded.value().field_count, 0);
+}
+
+TEST(MetaHeaderTest, RejectsBadNibble) {
+  ByteBuffer buf;
+  xdr::Encoder enc(buf);
+  enc.put_u32(std::uint32_t{1} << 8);  // sensor 0, 1 field, no flags
+  enc.put_u32(0xf0000000);             // nibble 15 = invalid type
+  xdr::Decoder dec(buf.view());
+  EXPECT_EQ(decode_meta(dec).status().code(), Errc::malformed);
+}
+
+TEST(MetaHeaderTest, RejectsInconsistentExtendedFlag) {
+  ByteBuffer buf;
+  xdr::Encoder enc(buf);
+  enc.put_u32((std::uint32_t{9} << 8) | 0);  // 9 fields but no extended flag
+  enc.put_u32(0);
+  xdr::Decoder dec(buf.view());
+  EXPECT_EQ(decode_meta(dec).status().code(), Errc::malformed);
+}
+
+TEST(MetaHeaderTest, RejectsOversizedFieldCount) {
+  ByteBuffer buf;
+  xdr::Encoder enc(buf);
+  enc.put_u32((std::uint32_t{17} << 8) | 1);
+  enc.put_u32(0);
+  enc.put_u32(0);
+  xdr::Decoder dec(buf.view());
+  EXPECT_EQ(decode_meta(dec).status().code(), Errc::malformed);
+}
+
+// ---- record wire format -----------------------------------------------------------
+
+Record six_int_record() {
+  Record record;
+  record.sensor = 1;
+  record.timestamp = 1'700'000'000'000'000LL;
+  for (int i = 0; i < 6; ++i) record.fields.push_back(Field::i32(i));
+  return record;
+}
+
+TEST(RecordWireTest, PaperFortyByteRecord) {
+  // "Including the time-stamp and type information, each instrumentation
+  // data record requires 40 bytes in the XDR-based transfer protocol."
+  const Record record = six_int_record();
+  EXPECT_EQ(record_wire_size(record), 40u);
+  ByteBuffer buf;
+  xdr::Encoder enc(buf);
+  ASSERT_TRUE(encode_record(record, enc));
+  EXPECT_EQ(buf.size(), 40u);
+}
+
+TEST(RecordWireTest, WireSizeMatchesEncodedSizeForAllTypes) {
+  Record record;
+  record.sensor = 2;
+  record.timestamp = 5;
+  record.fields = {Field::i8(1),      Field::u16(2),    Field::i64(3),
+                   Field::f32(4.0f),  Field::f64(5.0),  Field::ch('x'),
+                   Field::str("abcde"), Field::ts(6),   Field::reason(7)};
+  ByteBuffer buf;
+  xdr::Encoder enc(buf);
+  ASSERT_TRUE(encode_record(record, enc));
+  EXPECT_EQ(buf.size(), record_wire_size(record));
+}
+
+TEST(RecordWireTest, RoundTripsEveryFieldType) {
+  Record record;
+  record.sensor = 999;
+  record.timestamp = -5;  // timestamps are signed on the wire
+  record.fields = {Field::i8(-8),   Field::u8(250),  Field::i16(-300), Field::u16(50'000),
+                   Field::i32(-1),  Field::u32(4'000'000'000u),        Field::i64(-1LL << 60),
+                   Field::u64(1ULL << 63),            Field::f32(0.5f), Field::f64(-0.25),
+                   Field::ch('@'),  Field::str("s t"), Field::ts(123),  Field::reason(9),
+                   Field::conseq(10)};
+  ByteBuffer buf;
+  xdr::Encoder enc(buf);
+  ASSERT_TRUE(encode_record(record, enc));
+  xdr::Decoder dec(buf.view());
+  auto decoded = decode_record(dec, 4);
+  ASSERT_TRUE(decoded.is_ok()) << decoded.status().to_string();
+  Record expected = record;
+  expected.node = 4;
+  EXPECT_EQ(decoded.value(), expected);
+}
+
+TEST(RecordWireTest, SixteenFieldRecordRoundTrips) {
+  Record record;
+  record.sensor = 3;
+  record.timestamp = 1;
+  for (int i = 0; i < 16; ++i) record.fields.push_back(Field::u8(static_cast<std::uint8_t>(i)));
+  ByteBuffer buf;
+  xdr::Encoder enc(buf);
+  ASSERT_TRUE(encode_record(record, enc));
+  xdr::Decoder dec(buf.view());
+  auto decoded = decode_record(dec, 0);
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(decoded.value().fields.size(), 16u);
+  EXPECT_EQ(decoded.value().fields[15], Field::u8(15));
+}
+
+TEST(RecordWireTest, RejectsSensorIdOver16Bits) {
+  Record record;
+  record.sensor = 0x10000;
+  ByteBuffer buf;
+  xdr::Encoder enc(buf);
+  EXPECT_EQ(encode_record(record, enc).code(), Errc::invalid_argument);
+}
+
+TEST(RecordWireTest, DecodeRejectsTruncation) {
+  const Record record = six_int_record();
+  ByteBuffer buf;
+  xdr::Encoder enc(buf);
+  ASSERT_TRUE(encode_record(record, enc));
+  for (std::size_t cut : {0u, 4u, 12u, 20u, 39u}) {
+    xdr::Decoder dec(buf.view().subspan(0, cut));
+    EXPECT_FALSE(decode_record(dec, 0).is_ok()) << "cut at " << cut;
+  }
+}
+
+// ---- native → wire transcoding ------------------------------------------------------
+
+TEST(TranscodeTest, MatchesDirectEncodingAndAppliesCorrection) {
+  Record record;
+  record.sensor = 12;
+  record.timestamp = 10'000;
+  record.fields = {Field::i32(-4), Field::str("abc"), Field::ts(20'000), Field::u64(9)};
+
+  auto native = sensors::encode_native(record);
+  ASSERT_TRUE(native.is_ok());
+
+  ByteBuffer transcoded;
+  xdr::Encoder enc1(transcoded);
+  ASSERT_TRUE(transcode_native_record(native.value().view(), enc1, 500));
+
+  Record corrected = record;
+  corrected.timestamp += 500;
+  corrected.fields[2] = Field::ts(20'500);
+  ByteBuffer direct;
+  xdr::Encoder enc2(direct);
+  ASSERT_TRUE(encode_record(corrected, enc2));
+
+  EXPECT_EQ(transcoded.hex(), direct.hex());
+}
+
+TEST(TranscodeTest, AllFieldTypesSurviveTranscode) {
+  Record record;
+  record.sensor = 31;
+  record.timestamp = 77;
+  record.fields = {Field::i8(-1),  Field::u8(2),    Field::i16(-3),  Field::u16(4),
+                   Field::i32(-5), Field::u32(6),   Field::i64(-7),  Field::u64(8),
+                   Field::f32(1.5f), Field::f64(2.5), Field::ch('c'), Field::str("zz"),
+                   Field::ts(99),  Field::reason(1), Field::conseq(2)};
+  auto native = sensors::encode_native(record);
+  ASSERT_TRUE(native.is_ok());
+  ByteBuffer wire;
+  xdr::Encoder enc(wire);
+  ASSERT_TRUE(transcode_native_record(native.value().view(), enc, 0));
+  xdr::Decoder dec(wire.view());
+  auto decoded = decode_record(dec, record.node);
+  ASSERT_TRUE(decoded.is_ok());
+  Record expected = record;
+  expected.sequence = 0;  // sequence does not cross the wire
+  EXPECT_EQ(decoded.value(), expected);
+}
+
+TEST(TranscodeTest, RejectsCorruptNative) {
+  std::vector<std::uint8_t> garbage(30, 0xcd);
+  ByteBuffer wire;
+  xdr::Encoder enc(wire);
+  EXPECT_FALSE(transcode_native_record({garbage.data(), garbage.size()}, enc, 0));
+}
+
+// ---- batches ------------------------------------------------------------------------
+
+TEST(BatchTest, BuildAndDecode) {
+  BatchBuilder builder(7);
+  builder.set_ring_dropped_total(3);
+  for (int i = 0; i < 5; ++i) {
+    Record record = six_int_record();
+    record.timestamp += i;
+    ASSERT_TRUE(builder.add_record(record));
+  }
+  EXPECT_EQ(builder.record_count(), 5u);
+  ByteBuffer payload = builder.finish();
+
+  xdr::Decoder dec(payload.view());
+  auto type = peek_type(dec);
+  ASSERT_TRUE(type.is_ok());
+  EXPECT_EQ(type.value(), MsgType::data_batch);
+  auto batch = decode_batch(dec);
+  ASSERT_TRUE(batch.is_ok()) << batch.status().to_string();
+  EXPECT_EQ(batch.value().header.node, 7u);
+  EXPECT_EQ(batch.value().header.batch_seq, 0u);
+  EXPECT_EQ(batch.value().header.record_count, 5u);
+  EXPECT_EQ(batch.value().header.ring_dropped_total, 3u);
+  ASSERT_EQ(batch.value().records.size(), 5u);
+  EXPECT_EQ(batch.value().records[4].timestamp, six_int_record().timestamp + 4);
+  EXPECT_EQ(batch.value().records[0].node, 7u);
+}
+
+TEST(BatchTest, BatchSeqIncrementsAcrossFinishes) {
+  BatchBuilder builder(1);
+  ASSERT_TRUE(builder.add_record(six_int_record()));
+  ByteBuffer first = builder.finish();
+  ASSERT_TRUE(builder.add_record(six_int_record()));
+  ByteBuffer second = builder.finish();
+
+  xdr::Decoder dec1(first.view());
+  ASSERT_TRUE(peek_type(dec1).is_ok());
+  xdr::Decoder dec2(second.view());
+  ASSERT_TRUE(peek_type(dec2).is_ok());
+  EXPECT_EQ(decode_batch(dec1).value().header.batch_seq, 0u);
+  EXPECT_EQ(decode_batch(dec2).value().header.batch_seq, 1u);
+}
+
+TEST(BatchTest, EmptyBatchDecodes) {
+  BatchBuilder builder(2);
+  ByteBuffer payload = builder.finish();
+  xdr::Decoder dec(payload.view());
+  ASSERT_TRUE(peek_type(dec).is_ok());
+  auto batch = decode_batch(dec);
+  ASSERT_TRUE(batch.is_ok());
+  EXPECT_TRUE(batch.value().records.empty());
+}
+
+TEST(BatchTest, AddNativeRecordAppliesCorrection) {
+  Record record = six_int_record();
+  auto native = sensors::encode_native(record);
+  ASSERT_TRUE(native.is_ok());
+  BatchBuilder builder(3);
+  ASSERT_TRUE(builder.add_native_record(native.value().view(), 1'000));
+  ByteBuffer payload = builder.finish();
+  xdr::Decoder dec(payload.view());
+  ASSERT_TRUE(peek_type(dec).is_ok());
+  auto batch = decode_batch(dec);
+  ASSERT_TRUE(batch.is_ok());
+  EXPECT_EQ(batch.value().records[0].timestamp, record.timestamp + 1'000);
+}
+
+TEST(BatchTest, RejectsTrailingBytes) {
+  BatchBuilder builder(1);
+  ASSERT_TRUE(builder.add_record(six_int_record()));
+  ByteBuffer payload = builder.finish();
+  std::vector<std::uint8_t> bytes(payload.view().begin(), payload.view().end());
+  bytes.push_back(0);
+  bytes.push_back(0);
+  bytes.push_back(0);
+  bytes.push_back(0);
+  xdr::Decoder dec(ByteSpan{bytes.data(), bytes.size()});
+  ASSERT_TRUE(peek_type(dec).is_ok());
+  EXPECT_EQ(decode_batch(dec).status().code(), Errc::malformed);
+}
+
+TEST(BatchTest, RejectsAbsurdRecordCount) {
+  ByteBuffer payload;
+  xdr::Encoder enc(payload);
+  put_type(MsgType::data_batch, enc);
+  enc.put_u32(1);           // node
+  enc.put_u32(0);           // seq
+  enc.put_u32(1'000'000);   // claimed count
+  enc.put_u64(0);           // drops
+  xdr::Decoder dec(payload.view());
+  ASSERT_TRUE(peek_type(dec).is_ok());
+  EXPECT_EQ(decode_batch(dec).status().code(), Errc::malformed);
+}
+
+// ---- control messages -----------------------------------------------------------------
+
+template <typename T, typename EncodeFn, typename DecodeFn>
+T control_round_trip(const T& msg, MsgType type, EncodeFn encode, DecodeFn decode) {
+  ByteBuffer buf;
+  xdr::Encoder enc(buf);
+  put_type(type, enc);
+  encode(msg, enc);
+  xdr::Decoder dec(buf.view());
+  auto peeked = peek_type(dec);
+  EXPECT_TRUE(peeked.is_ok());
+  EXPECT_EQ(peeked.value(), type);
+  auto decoded = decode(dec);
+  EXPECT_TRUE(decoded.is_ok());
+  return decoded.value();
+}
+
+TEST(ControlMessageTest, HelloRoundTrip) {
+  Hello msg{42, kProtocolVersion};
+  Hello decoded = control_round_trip(msg, MsgType::hello, encode_hello, decode_hello);
+  EXPECT_EQ(decoded.node, 42u);
+  EXPECT_EQ(decoded.version, kProtocolVersion);
+}
+
+TEST(ControlMessageTest, TimeReqRoundTrip) {
+  TimeReq decoded =
+      control_round_trip(TimeReq{77}, MsgType::time_req, encode_time_req, decode_time_req);
+  EXPECT_EQ(decoded.request_id, 77u);
+}
+
+TEST(ControlMessageTest, TimeRespRoundTrip) {
+  TimeResp decoded = control_round_trip(TimeResp{5, -123'456'789}, MsgType::time_resp,
+                                        encode_time_resp, decode_time_resp);
+  EXPECT_EQ(decoded.request_id, 5u);
+  EXPECT_EQ(decoded.slave_time, -123'456'789);
+}
+
+TEST(ControlMessageTest, AdjustRoundTrip) {
+  Adjust decoded =
+      control_round_trip(Adjust{-999}, MsgType::adjust, encode_adjust, decode_adjust);
+  EXPECT_EQ(decoded.delta, -999);
+}
+
+TEST(ControlMessageTest, PeekRejectsUnknownType) {
+  ByteBuffer buf;
+  xdr::Encoder enc(buf);
+  enc.put_u32(99);
+  xdr::Decoder dec(buf.view());
+  EXPECT_EQ(peek_type(dec).status().code(), Errc::malformed);
+}
+
+// ---- parameterized: wire size formula across field counts ------------------------------
+
+class RecordSizeSweep : public ::testing::TestWithParam<int> {};
+
+TEST_P(RecordSizeSweep, IntFieldsCost4BytesEachPlusHeaders) {
+  Record record;
+  record.sensor = 1;
+  const int n = GetParam();
+  for (int i = 0; i < n; ++i) record.fields.push_back(Field::i32(i));
+  const std::size_t meta = n <= 8 ? 8u : 12u;
+  EXPECT_EQ(record_wire_size(record), 8u + meta + 4u * static_cast<std::size_t>(n));
+  ByteBuffer buf;
+  xdr::Encoder enc(buf);
+  ASSERT_TRUE(encode_record(record, enc));
+  EXPECT_EQ(buf.size(), record_wire_size(record));
+}
+
+INSTANTIATE_TEST_SUITE_P(Counts, RecordSizeSweep, ::testing::Range(0, 17));
+
+}  // namespace
+}  // namespace brisk::tp

@@ -1,0 +1,249 @@
+// XDR codec tests: golden wire bytes (RFC 4506 discipline), round trips,
+// truncation/malformed-input handling, and parameterized round-trip sweeps.
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <limits>
+
+#include "xdr/xdr_decoder.hpp"
+#include "xdr/xdr_encoder.hpp"
+
+namespace brisk::xdr {
+namespace {
+
+ByteBuffer encode(const std::function<void(Encoder&)>& fn) {
+  ByteBuffer buf;
+  Encoder enc(buf);
+  fn(enc);
+  return buf;
+}
+
+// ---- golden wire bytes ---------------------------------------------------------
+
+TEST(XdrEncoderTest, U32IsBigEndian) {
+  auto buf = encode([](Encoder& e) { e.put_u32(0x01020304); });
+  EXPECT_EQ(buf.hex(), "01020304");
+}
+
+TEST(XdrEncoderTest, I32NegativeTwosComplement) {
+  auto buf = encode([](Encoder& e) { e.put_i32(-1); });
+  EXPECT_EQ(buf.hex(), "ffffffff");
+}
+
+TEST(XdrEncoderTest, U64IsBigEndian) {
+  auto buf = encode([](Encoder& e) { e.put_u64(0x0102030405060708ULL); });
+  EXPECT_EQ(buf.hex(), "0102030405060708");
+}
+
+TEST(XdrEncoderTest, BoolIsFourBytes) {
+  auto buf = encode([](Encoder& e) {
+    e.put_bool(true);
+    e.put_bool(false);
+  });
+  EXPECT_EQ(buf.hex(), "0000000100000000");
+}
+
+TEST(XdrEncoderTest, StringPadsToFourBytes) {
+  // "hi" → length 2, bytes, 2 bytes zero padding.
+  auto buf = encode([](Encoder& e) { e.put_string("hi"); });
+  EXPECT_EQ(buf.hex(), "0000000268690000");
+}
+
+TEST(XdrEncoderTest, StringMultipleOfFourHasNoPadding) {
+  auto buf = encode([](Encoder& e) { e.put_string("1234"); });
+  EXPECT_EQ(buf.size(), 8u);
+}
+
+TEST(XdrEncoderTest, EmptyStringIsJustLength) {
+  auto buf = encode([](Encoder& e) { e.put_string(""); });
+  EXPECT_EQ(buf.hex(), "00000000");
+}
+
+TEST(XdrEncoderTest, F32KnownBits) {
+  // 1.0f = 0x3f800000
+  auto buf = encode([](Encoder& e) { e.put_f32(1.0f); });
+  EXPECT_EQ(buf.hex(), "3f800000");
+}
+
+TEST(XdrEncoderTest, F64KnownBits) {
+  // -2.0 = 0xc000000000000000
+  auto buf = encode([](Encoder& e) { e.put_f64(-2.0); });
+  EXPECT_EQ(buf.hex(), "c000000000000000");
+}
+
+TEST(XdrEncoderTest, OpaqueFixedNoLengthWord) {
+  const std::uint8_t raw[] = {0xde, 0xad, 0xbe};
+  auto buf = encode([&](Encoder& e) { e.put_opaque_fixed(ByteSpan{raw, 3}); });
+  EXPECT_EQ(buf.hex(), "deadbe00");
+}
+
+TEST(XdrEncoderTest, PadHelpers) {
+  EXPECT_EQ(Encoder::pad_of(0), 0u);
+  EXPECT_EQ(Encoder::pad_of(1), 3u);
+  EXPECT_EQ(Encoder::pad_of(4), 0u);
+  EXPECT_EQ(Encoder::pad_of(5), 3u);
+  EXPECT_EQ(Encoder::opaque_wire_size(0), 4u);
+  EXPECT_EQ(Encoder::opaque_wire_size(5), 12u);
+}
+
+TEST(XdrEncoderTest, BytesWrittenTracks) {
+  ByteBuffer buf;
+  Encoder enc(buf);
+  enc.put_u32(1);
+  enc.put_string("abc");
+  EXPECT_EQ(enc.bytes_written(), 4u + 8u);
+  EXPECT_EQ(buf.size(), enc.bytes_written());
+}
+
+// ---- decode golden -------------------------------------------------------------
+
+TEST(XdrDecoderTest, RejectsTruncatedU32) {
+  const std::uint8_t raw[] = {1, 2, 3};
+  Decoder dec(ByteSpan{raw, 3});
+  EXPECT_EQ(dec.get_u32().status().code(), Errc::truncated);
+}
+
+TEST(XdrDecoderTest, RejectsBoolOutOfRange) {
+  auto buf = encode([](Encoder& e) { e.put_u32(2); });
+  Decoder dec(buf.view());
+  EXPECT_EQ(dec.get_bool().status().code(), Errc::malformed);
+}
+
+TEST(XdrDecoderTest, RejectsOversizedOpaque) {
+  auto buf = encode([](Encoder& e) { e.put_u32(1'000'000); });
+  Decoder dec(buf.view());
+  EXPECT_EQ(dec.get_opaque(1024).status().code(), Errc::malformed);
+}
+
+TEST(XdrDecoderTest, RejectsOpaqueBodyTruncation) {
+  auto buf = encode([](Encoder& e) { e.put_u32(64); });  // declares 64, provides 0
+  Decoder dec(buf.view());
+  EXPECT_EQ(dec.get_opaque().status().code(), Errc::truncated);
+}
+
+TEST(XdrDecoderTest, SkipAndExhausted) {
+  auto buf = encode([](Encoder& e) {
+    e.put_u32(1);
+    e.put_u32(2);
+  });
+  Decoder dec(buf.view());
+  ASSERT_TRUE(dec.skip(4));
+  EXPECT_EQ(dec.get_u32().value(), 2u);
+  EXPECT_TRUE(dec.exhausted());
+  EXPECT_EQ(dec.skip(1).code(), Errc::truncated);
+}
+
+TEST(XdrDecoderTest, StringConsumesPadding) {
+  auto buf = encode([](Encoder& e) {
+    e.put_string("abc");
+    e.put_u32(77);
+  });
+  Decoder dec(buf.view());
+  EXPECT_EQ(dec.get_string().value(), "abc");
+  EXPECT_EQ(dec.get_u32().value(), 77u);
+}
+
+// ---- round trips ----------------------------------------------------------------
+
+TEST(XdrRoundTrip, MixedSequence) {
+  auto buf = encode([](Encoder& e) {
+    e.put_i32(-123);
+    e.put_u64(std::numeric_limits<std::uint64_t>::max());
+    e.put_string("brisk");
+    e.put_f64(3.14159);
+    e.put_bool(true);
+  });
+  Decoder dec(buf.view());
+  EXPECT_EQ(dec.get_i32().value(), -123);
+  EXPECT_EQ(dec.get_u64().value(), std::numeric_limits<std::uint64_t>::max());
+  EXPECT_EQ(dec.get_string().value(), "brisk");
+  EXPECT_DOUBLE_EQ(dec.get_f64().value(), 3.14159);
+  EXPECT_TRUE(dec.get_bool().value());
+  EXPECT_TRUE(dec.exhausted());
+}
+
+TEST(XdrRoundTrip, I64Extremes) {
+  auto buf = encode([](Encoder& e) {
+    e.put_i64(std::numeric_limits<std::int64_t>::min());
+    e.put_i64(std::numeric_limits<std::int64_t>::max());
+    e.put_i64(0);
+  });
+  Decoder dec(buf.view());
+  EXPECT_EQ(dec.get_i64().value(), std::numeric_limits<std::int64_t>::min());
+  EXPECT_EQ(dec.get_i64().value(), std::numeric_limits<std::int64_t>::max());
+  EXPECT_EQ(dec.get_i64().value(), 0);
+}
+
+TEST(XdrRoundTrip, FloatSpecials) {
+  auto buf = encode([](Encoder& e) {
+    e.put_f32(std::numeric_limits<float>::infinity());
+    e.put_f64(-std::numeric_limits<double>::infinity());
+    e.put_f32(std::numeric_limits<float>::denorm_min());
+  });
+  Decoder dec(buf.view());
+  EXPECT_EQ(dec.get_f32().value(), std::numeric_limits<float>::infinity());
+  EXPECT_EQ(dec.get_f64().value(), -std::numeric_limits<double>::infinity());
+  EXPECT_EQ(dec.get_f32().value(), std::numeric_limits<float>::denorm_min());
+}
+
+TEST(XdrRoundTrip, NanSurvives) {
+  auto buf = encode([](Encoder& e) { e.put_f64(std::numeric_limits<double>::quiet_NaN()); });
+  Decoder dec(buf.view());
+  EXPECT_TRUE(std::isnan(dec.get_f64().value()));
+}
+
+TEST(XdrRoundTrip, OpaqueWithEmbeddedZeros) {
+  const std::uint8_t raw[] = {0, 1, 0, 2, 0};
+  auto buf = encode([&](Encoder& e) { e.put_opaque(ByteSpan{raw, 5}); });
+  Decoder dec(buf.view());
+  auto out = dec.get_opaque();
+  ASSERT_TRUE(out.is_ok());
+  ASSERT_EQ(out.value().size(), 5u);
+  EXPECT_EQ(out.value()[3], 2);
+  EXPECT_TRUE(dec.exhausted()) << "padding must be consumed";
+}
+
+// ---- parameterized sweeps ---------------------------------------------------------
+
+class XdrU32Sweep : public ::testing::TestWithParam<std::uint32_t> {};
+
+TEST_P(XdrU32Sweep, RoundTrips) {
+  auto buf = encode([&](Encoder& e) { e.put_u32(GetParam()); });
+  Decoder dec(buf.view());
+  EXPECT_EQ(dec.get_u32().value(), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Values, XdrU32Sweep,
+                         ::testing::Values(0u, 1u, 0x7fu, 0x80u, 0xffu, 0x100u, 0xffffu,
+                                           0x10000u, 0x7fffffffu, 0x80000000u, 0xffffffffu));
+
+class XdrStringSweep : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(XdrStringSweep, RoundTripsAllPaddingCases) {
+  std::string text(GetParam(), 'x');
+  for (std::size_t i = 0; i < text.size(); ++i) text[i] = static_cast<char>('a' + i % 26);
+  auto buf = encode([&](Encoder& e) { e.put_string(text); });
+  // Wire size is always 4-byte aligned.
+  EXPECT_EQ(buf.size() % 4, 0u);
+  Decoder dec(buf.view());
+  EXPECT_EQ(dec.get_string().value(), text);
+  EXPECT_TRUE(dec.exhausted());
+}
+
+INSTANTIATE_TEST_SUITE_P(Lengths, XdrStringSweep,
+                         ::testing::Values(0, 1, 2, 3, 4, 5, 6, 7, 8, 63, 64, 65, 255, 1024));
+
+class XdrF64Sweep : public ::testing::TestWithParam<double> {};
+
+TEST_P(XdrF64Sweep, RoundTripsExactly) {
+  auto buf = encode([&](Encoder& e) { e.put_f64(GetParam()); });
+  Decoder dec(buf.view());
+  EXPECT_EQ(dec.get_f64().value(), GetParam());
+}
+
+INSTANTIATE_TEST_SUITE_P(Values, XdrF64Sweep,
+                         ::testing::Values(0.0, -0.0, 1.0, -1.5, 1e-300, 1e300, 3.141592653589793,
+                                           std::numeric_limits<double>::epsilon()));
+
+}  // namespace
+}  // namespace brisk::xdr

@@ -1,0 +1,284 @@
+#include "mknotice/generator.hpp"
+
+#include <cctype>
+
+#include "common/string_util.hpp"
+
+namespace brisk::tools {
+
+using sensors::FieldType;
+
+namespace {
+
+struct TypeInfo {
+  const char* spec_name;    // what the spec file says
+  const char* wrapper;      // x_* wrapper for the dynamic notice() path
+  const char* cpp_arg;      // parameter type for the function path
+  bool consumes_argument;   // x_ts() embeds the record's own timestamp
+};
+
+const TypeInfo* type_info(FieldType type) noexcept {
+  switch (type) {
+    case FieldType::x_i8: {
+      static constexpr TypeInfo info{"i8", "x_i8", "std::int8_t", true};
+      return &info;
+    }
+    case FieldType::x_u8: {
+      static constexpr TypeInfo info{"u8", "x_u8", "std::uint8_t", true};
+      return &info;
+    }
+    case FieldType::x_i16: {
+      static constexpr TypeInfo info{"i16", "x_i16", "std::int16_t", true};
+      return &info;
+    }
+    case FieldType::x_u16: {
+      static constexpr TypeInfo info{"u16", "x_u16", "std::uint16_t", true};
+      return &info;
+    }
+    case FieldType::x_i32: {
+      static constexpr TypeInfo info{"i32", "x_i32", "std::int32_t", true};
+      return &info;
+    }
+    case FieldType::x_u32: {
+      static constexpr TypeInfo info{"u32", "x_u32", "std::uint32_t", true};
+      return &info;
+    }
+    case FieldType::x_i64: {
+      static constexpr TypeInfo info{"i64", "x_i64", "std::int64_t", true};
+      return &info;
+    }
+    case FieldType::x_u64: {
+      static constexpr TypeInfo info{"u64", "x_u64", "std::uint64_t", true};
+      return &info;
+    }
+    case FieldType::x_f32: {
+      static constexpr TypeInfo info{"f32", "x_f32", "float", true};
+      return &info;
+    }
+    case FieldType::x_f64: {
+      static constexpr TypeInfo info{"f64", "x_f64", "double", true};
+      return &info;
+    }
+    case FieldType::x_char: {
+      static constexpr TypeInfo info{"char", "x_char", "char", true};
+      return &info;
+    }
+    case FieldType::x_string: {
+      static constexpr TypeInfo info{"str", "x_str", "std::string_view", true};
+      return &info;
+    }
+    case FieldType::x_ts: {
+      static constexpr TypeInfo info{"ts", "x_ts", "", false};
+      return &info;
+    }
+    case FieldType::x_reason: {
+      static constexpr TypeInfo info{"reason", "x_reason", "::brisk::CausalId", true};
+      return &info;
+    }
+    case FieldType::x_conseq: {
+      static constexpr TypeInfo info{"conseq", "x_conseq", "::brisk::CausalId", true};
+      return &info;
+    }
+  }
+  return nullptr;
+}
+
+Result<FieldType> type_from_spec_name(std::string_view name) {
+  for (std::uint8_t raw = 0; raw < sensors::kFieldTypeCount; ++raw) {
+    const auto type = static_cast<FieldType>(raw);
+    if (name == type_info(type)->spec_name) return type;
+  }
+  return Status(Errc::invalid_argument, "unknown field type: " + std::string(name));
+}
+
+bool valid_identifier(std::string_view name) noexcept {
+  if (name.empty()) return false;
+  if (std::isalpha(static_cast<unsigned char>(name[0])) == 0 && name[0] != '_') return false;
+  for (char c : name) {
+    if (std::isalnum(static_cast<unsigned char>(c)) == 0 && c != '_') return false;
+  }
+  return true;
+}
+
+std::string upper(std::string_view text) {
+  std::string out(text);
+  for (char& c : out) c = static_cast<char>(std::toupper(static_cast<unsigned char>(c)));
+  return out;
+}
+
+/// Writer-method name for the function (>8 fields) path.
+const char* writer_method(FieldType type) noexcept {
+  switch (type) {
+    case FieldType::x_i8: return "add_i8";
+    case FieldType::x_u8: return "add_u8";
+    case FieldType::x_i16: return "add_i16";
+    case FieldType::x_u16: return "add_u16";
+    case FieldType::x_i32: return "add_i32";
+    case FieldType::x_u32: return "add_u32";
+    case FieldType::x_i64: return "add_i64";
+    case FieldType::x_u64: return "add_u64";
+    case FieldType::x_f32: return "add_f32";
+    case FieldType::x_f64: return "add_f64";
+    case FieldType::x_char: return "add_char";
+    case FieldType::x_string: return "add_string";
+    case FieldType::x_ts: return "add_ts";
+    case FieldType::x_reason: return "add_reason";
+    case FieldType::x_conseq: return "add_conseq";
+  }
+  return "";
+}
+
+void generate_one(const SensorSpec& spec, std::string& out) {
+  const std::string macro_name = "BRISK_NOTICE_" + upper(spec.name);
+  const std::string constant = "kSensor_" + spec.name;
+
+  out += "// sensor '" + spec.name + "' (id " + std::to_string(spec.id) + "):";
+  for (FieldType t : spec.fields) {
+    out += ' ';
+    out += sensors::field_type_name(t);
+  }
+  out += '\n';
+  out += "inline constexpr ::brisk::SensorId " + constant + " = " + std::to_string(spec.id) +
+         ";\n";
+
+  // Registration helper, carrying the full signature.
+  out += "inline ::brisk::Status register_" + spec.name +
+         "(::brisk::sensors::SensorRegistry& registry) {\n";
+  out += "  return registry.register_sensor({" + constant + ", \"" + spec.name + "\", {";
+  for (std::size_t i = 0; i < spec.fields.size(); ++i) {
+    if (i != 0) out += ", ";
+    out += "::brisk::sensors::FieldType::";
+    // enum value names are the lowercase x_* identifiers
+    std::string enum_name = sensors::field_type_name(spec.fields[i]);
+    for (char& c : enum_name) c = static_cast<char>(std::tolower(static_cast<unsigned char>(c)));
+    out += enum_name;
+  }
+  out += "}, \"" + escape_ascii(spec.description) + "\"});\n}\n";
+
+  // Count macro arguments (x_ts consumes none).
+  std::vector<std::size_t> arg_fields;
+  for (std::size_t i = 0; i < spec.fields.size(); ++i) {
+    if (type_info(spec.fields[i])->consumes_argument) arg_fields.push_back(i);
+  }
+
+  if (spec.fields.size() <= sensors::kDefaultMacroFieldLimit) {
+    // Dynamic path: a plain specialization of the stock macro.
+    out += "#define " + macro_name + "(sensor_obj";
+    for (std::size_t i = 0; i < arg_fields.size(); ++i) out += ", a" + std::to_string(i);
+    out += ") \\\n  (sensor_obj).notice(" + constant;
+    std::size_t arg = 0;
+    for (std::size_t i = 0; i < spec.fields.size(); ++i) {
+      out += ", ::brisk::sensors::";
+      out += type_info(spec.fields[i])->wrapper;
+      out += '(';
+      if (type_info(spec.fields[i])->consumes_argument) out += "a" + std::to_string(arg++);
+      out += ')';
+    }
+    out += ")\n";
+  } else {
+    // Wide path (up to 16 fields): a typed inline function over the
+    // allocation-free RecordWriter, aliased by the macro.
+    out += "inline bool notice_" + spec.name + "(::brisk::sensors::Sensor& sensor";
+    std::size_t arg = 0;
+    for (std::size_t i : arg_fields) {
+      out += ", " + std::string(type_info(spec.fields[i])->cpp_arg) + " a" +
+             std::to_string(arg++);
+    }
+    out += ") {\n";
+    out += "  std::array<std::uint8_t, ::brisk::sensors::kMaxNativeRecordBytes> buf;\n";
+    out += "  ::brisk::sensors::RecordWriter writer({buf.data(), buf.size()});\n";
+    out += "  const ::brisk::TimeMicros ts = sensor.clock().now();\n";
+    out += "  if (!writer.begin(" + constant + ", sensor.next_sequence(), ts)) return false;\n";
+    arg = 0;
+    for (std::size_t i = 0; i < spec.fields.size(); ++i) {
+      const TypeInfo* info = type_info(spec.fields[i]);
+      out += "  if (!writer.";
+      out += writer_method(spec.fields[i]);
+      out += '(';
+      if (info->consumes_argument) {
+        out += "a" + std::to_string(arg++);
+      } else {
+        out += "ts";
+      }
+      out += ")) return false;\n";
+    }
+    out += "  auto bytes = writer.finish();\n";
+    out += "  if (!bytes) return false;\n";
+    out += "  return sensor.push_encoded(bytes.value());\n";
+    out += "}\n";
+    out += "#define " + macro_name + "(sensor_obj";
+    for (std::size_t i = 0; i < arg_fields.size(); ++i) out += ", a" + std::to_string(i);
+    out += ") \\\n  notice_" + spec.name + "((sensor_obj)";
+    for (std::size_t i = 0; i < arg_fields.size(); ++i) out += ", (a" + std::to_string(i) + ")";
+    out += ")\n";
+  }
+  out += '\n';
+}
+
+}  // namespace
+
+Result<SensorSpec> parse_spec_line(const std::string& line) {
+  const std::string_view content = trim(line);
+  if (content.empty() || content.front() == '#') {
+    return Status(Errc::not_found, "blank/comment line");
+  }
+  std::vector<std::string> parts;
+  for (const std::string& token : split(std::string(content), ' ')) {
+    if (!token.empty()) parts.push_back(token);
+  }
+  if (parts.size() < 3 || parts.size() > 4) {
+    return Status(Errc::malformed, "expected: name id types [description]");
+  }
+  SensorSpec spec;
+  spec.name = parts[0];
+  if (!valid_identifier(spec.name)) {
+    return Status(Errc::malformed, "sensor name must be a C identifier: " + spec.name);
+  }
+  auto id = parse_int(parts[1]);
+  if (!id || *id < 0 || *id > 0xffff) {
+    return Status(Errc::malformed, "sensor id must be 0..65535");
+  }
+  spec.id = static_cast<SensorId>(*id);
+  for (const std::string& type_name : split(parts[2], ',')) {
+    auto type = type_from_spec_name(type_name);
+    if (!type) return type.status();
+    spec.fields.push_back(type.value());
+  }
+  if (spec.fields.size() > sensors::kMaxFieldsPerRecord) {
+    return Status(Errc::malformed, "more than 16 fields");
+  }
+  if (parts.size() == 4) spec.description = parts[3];
+  return spec;
+}
+
+Result<std::vector<SensorSpec>> parse_spec_file(const std::string& content) {
+  std::vector<SensorSpec> specs;
+  for (const std::string& line : split(content, '\n')) {
+    auto spec = parse_spec_line(line);
+    if (!spec) {
+      if (spec.status().code() == Errc::not_found) continue;
+      return spec.status();
+    }
+    specs.push_back(std::move(spec).value());
+  }
+  return specs;
+}
+
+Result<std::string> generate_header(const std::vector<SensorSpec>& specs,
+                                    const std::string& include_guard) {
+  if (!valid_identifier(include_guard)) {
+    return Status(Errc::invalid_argument, "bad include guard");
+  }
+  std::string out;
+  out += "// Generated by mknotice — do not edit.\n";
+  out += "#ifndef " + include_guard + "\n";
+  out += "#define " + include_guard + "\n\n";
+  out += "#include <array>\n#include <cstdint>\n\n";
+  out += "#include \"sensors/sensor.hpp\"\n";
+  out += "#include \"sensors/sensor_registry.hpp\"\n\n";
+  for (const SensorSpec& spec : specs) generate_one(spec, out);
+  out += "#endif  // " + include_guard + "\n";
+  return out;
+}
+
+}  // namespace brisk::tools

@@ -1,0 +1,45 @@
+// mknotice: NOTICE-macro specialization generator.
+//
+// "A utility tool is provided to create custom NOTICE macros having
+// user-defined field types and insert them into the header file. This tool
+// effectively supports an on-demand partial evaluation/specialization of
+// NOTICE macros that results in smaller and faster code."
+//
+// Given a sensor spec (name, id, field types), the generator emits a header
+// with
+//   * a compile-time specialized BRISK_NOTICE_<NAME>(sensor, args...) macro
+//     whose argument wrappers are fixed (no dynamic-typing dispatch), and
+//   * a register_<name>() helper that records the sensor's signature in the
+//     SensorRegistry.
+// Specialized macros may use up to 16 fields (the stock dynamic macro stops
+// at 8, as in the paper).
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "common/error.hpp"
+#include "sensors/field.hpp"
+
+namespace brisk::tools {
+
+struct SensorSpec {
+  std::string name;  // C identifier, e.g. "net_send"
+  SensorId id = 0;
+  std::vector<sensors::FieldType> fields;
+  std::string description;
+};
+
+/// Parses a spec line: "name id type,type,..." where type is one of
+/// i8,u8,i16,u16,i32,u32,i64,u64,f32,f64,char,str,ts,reason,conseq.
+/// Lines starting with '#' and blank lines yield Errc::not_found (skip).
+Result<SensorSpec> parse_spec_line(const std::string& line);
+
+/// Parses a whole spec file body (one spec per line).
+Result<std::vector<SensorSpec>> parse_spec_file(const std::string& content);
+
+/// Emits the generated header for a set of specs.
+Result<std::string> generate_header(const std::vector<SensorSpec>& specs,
+                                    const std::string& include_guard);
+
+}  // namespace brisk::tools
