@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_clocksync.dir/bench_clocksync.cpp.o"
+  "CMakeFiles/bench_clocksync.dir/bench_clocksync.cpp.o.d"
+  "bench_clocksync"
+  "bench_clocksync.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_clocksync.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

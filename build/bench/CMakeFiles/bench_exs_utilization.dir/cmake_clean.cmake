@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_exs_utilization.dir/bench_exs_utilization.cpp.o"
+  "CMakeFiles/bench_exs_utilization.dir/bench_exs_utilization.cpp.o.d"
+  "bench_exs_utilization"
+  "bench_exs_utilization.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_exs_utilization.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

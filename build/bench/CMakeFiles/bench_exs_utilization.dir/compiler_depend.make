@@ -1,0 +1,2 @@
+# Empty compiler generated dependencies file for bench_exs_utilization.
+# This may be replaced when dependencies are built.

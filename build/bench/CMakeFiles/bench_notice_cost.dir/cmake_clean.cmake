@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_notice_cost.dir/bench_notice_cost.cpp.o"
+  "CMakeFiles/bench_notice_cost.dir/bench_notice_cost.cpp.o.d"
+  "bench_notice_cost"
+  "bench_notice_cost.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_notice_cost.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

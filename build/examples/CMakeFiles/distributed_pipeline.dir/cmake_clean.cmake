@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/distributed_pipeline.dir/distributed_pipeline.cpp.o"
+  "CMakeFiles/distributed_pipeline.dir/distributed_pipeline.cpp.o.d"
+  "distributed_pipeline"
+  "distributed_pipeline.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/distributed_pipeline.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

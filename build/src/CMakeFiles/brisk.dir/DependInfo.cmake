@@ -1,0 +1,73 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/clock/brisk_sync.cpp" "src/CMakeFiles/brisk.dir/clock/brisk_sync.cpp.o" "gcc" "src/CMakeFiles/brisk.dir/clock/brisk_sync.cpp.o.d"
+  "/root/repo/src/clock/clock.cpp" "src/CMakeFiles/brisk.dir/clock/clock.cpp.o" "gcc" "src/CMakeFiles/brisk.dir/clock/clock.cpp.o.d"
+  "/root/repo/src/clock/cristian_sync.cpp" "src/CMakeFiles/brisk.dir/clock/cristian_sync.cpp.o" "gcc" "src/CMakeFiles/brisk.dir/clock/cristian_sync.cpp.o.d"
+  "/root/repo/src/clock/sim_clock.cpp" "src/CMakeFiles/brisk.dir/clock/sim_clock.cpp.o" "gcc" "src/CMakeFiles/brisk.dir/clock/sim_clock.cpp.o.d"
+  "/root/repo/src/clock/skew_estimator.cpp" "src/CMakeFiles/brisk.dir/clock/skew_estimator.cpp.o" "gcc" "src/CMakeFiles/brisk.dir/clock/skew_estimator.cpp.o.d"
+  "/root/repo/src/clock/sync_service.cpp" "src/CMakeFiles/brisk.dir/clock/sync_service.cpp.o" "gcc" "src/CMakeFiles/brisk.dir/clock/sync_service.cpp.o.d"
+  "/root/repo/src/common/byte_buffer.cpp" "src/CMakeFiles/brisk.dir/common/byte_buffer.cpp.o" "gcc" "src/CMakeFiles/brisk.dir/common/byte_buffer.cpp.o.d"
+  "/root/repo/src/common/error.cpp" "src/CMakeFiles/brisk.dir/common/error.cpp.o" "gcc" "src/CMakeFiles/brisk.dir/common/error.cpp.o.d"
+  "/root/repo/src/common/logging.cpp" "src/CMakeFiles/brisk.dir/common/logging.cpp.o" "gcc" "src/CMakeFiles/brisk.dir/common/logging.cpp.o.d"
+  "/root/repo/src/common/string_util.cpp" "src/CMakeFiles/brisk.dir/common/string_util.cpp.o" "gcc" "src/CMakeFiles/brisk.dir/common/string_util.cpp.o.d"
+  "/root/repo/src/common/time_util.cpp" "src/CMakeFiles/brisk.dir/common/time_util.cpp.o" "gcc" "src/CMakeFiles/brisk.dir/common/time_util.cpp.o.d"
+  "/root/repo/src/consumers/perturbation.cpp" "src/CMakeFiles/brisk.dir/consumers/perturbation.cpp.o" "gcc" "src/CMakeFiles/brisk.dir/consumers/perturbation.cpp.o.d"
+  "/root/repo/src/consumers/shm_consumer.cpp" "src/CMakeFiles/brisk.dir/consumers/shm_consumer.cpp.o" "gcc" "src/CMakeFiles/brisk.dir/consumers/shm_consumer.cpp.o.d"
+  "/root/repo/src/consumers/trace_stats.cpp" "src/CMakeFiles/brisk.dir/consumers/trace_stats.cpp.o" "gcc" "src/CMakeFiles/brisk.dir/consumers/trace_stats.cpp.o.d"
+  "/root/repo/src/core/brisk_manager.cpp" "src/CMakeFiles/brisk.dir/core/brisk_manager.cpp.o" "gcc" "src/CMakeFiles/brisk.dir/core/brisk_manager.cpp.o.d"
+  "/root/repo/src/core/brisk_node.cpp" "src/CMakeFiles/brisk.dir/core/brisk_node.cpp.o" "gcc" "src/CMakeFiles/brisk.dir/core/brisk_node.cpp.o.d"
+  "/root/repo/src/core/knobs.cpp" "src/CMakeFiles/brisk.dir/core/knobs.cpp.o" "gcc" "src/CMakeFiles/brisk.dir/core/knobs.cpp.o.d"
+  "/root/repo/src/core/version.cpp" "src/CMakeFiles/brisk.dir/core/version.cpp.o" "gcc" "src/CMakeFiles/brisk.dir/core/version.cpp.o.d"
+  "/root/repo/src/ism/cre_matcher.cpp" "src/CMakeFiles/brisk.dir/ism/cre_matcher.cpp.o" "gcc" "src/CMakeFiles/brisk.dir/ism/cre_matcher.cpp.o.d"
+  "/root/repo/src/ism/drop_policy.cpp" "src/CMakeFiles/brisk.dir/ism/drop_policy.cpp.o" "gcc" "src/CMakeFiles/brisk.dir/ism/drop_policy.cpp.o.d"
+  "/root/repo/src/ism/event_queue.cpp" "src/CMakeFiles/brisk.dir/ism/event_queue.cpp.o" "gcc" "src/CMakeFiles/brisk.dir/ism/event_queue.cpp.o.d"
+  "/root/repo/src/ism/ism.cpp" "src/CMakeFiles/brisk.dir/ism/ism.cpp.o" "gcc" "src/CMakeFiles/brisk.dir/ism/ism.cpp.o.d"
+  "/root/repo/src/ism/merge_heap.cpp" "src/CMakeFiles/brisk.dir/ism/merge_heap.cpp.o" "gcc" "src/CMakeFiles/brisk.dir/ism/merge_heap.cpp.o.d"
+  "/root/repo/src/ism/online_sorter.cpp" "src/CMakeFiles/brisk.dir/ism/online_sorter.cpp.o" "gcc" "src/CMakeFiles/brisk.dir/ism/online_sorter.cpp.o.d"
+  "/root/repo/src/ism/output.cpp" "src/CMakeFiles/brisk.dir/ism/output.cpp.o" "gcc" "src/CMakeFiles/brisk.dir/ism/output.cpp.o.d"
+  "/root/repo/src/lis/batcher.cpp" "src/CMakeFiles/brisk.dir/lis/batcher.cpp.o" "gcc" "src/CMakeFiles/brisk.dir/lis/batcher.cpp.o.d"
+  "/root/repo/src/lis/exs_config.cpp" "src/CMakeFiles/brisk.dir/lis/exs_config.cpp.o" "gcc" "src/CMakeFiles/brisk.dir/lis/exs_config.cpp.o.d"
+  "/root/repo/src/lis/external_sensor.cpp" "src/CMakeFiles/brisk.dir/lis/external_sensor.cpp.o" "gcc" "src/CMakeFiles/brisk.dir/lis/external_sensor.cpp.o.d"
+  "/root/repo/src/net/event_loop.cpp" "src/CMakeFiles/brisk.dir/net/event_loop.cpp.o" "gcc" "src/CMakeFiles/brisk.dir/net/event_loop.cpp.o.d"
+  "/root/repo/src/net/frame.cpp" "src/CMakeFiles/brisk.dir/net/frame.cpp.o" "gcc" "src/CMakeFiles/brisk.dir/net/frame.cpp.o.d"
+  "/root/repo/src/net/socket.cpp" "src/CMakeFiles/brisk.dir/net/socket.cpp.o" "gcc" "src/CMakeFiles/brisk.dir/net/socket.cpp.o.d"
+  "/root/repo/src/picl/picl_reader.cpp" "src/CMakeFiles/brisk.dir/picl/picl_reader.cpp.o" "gcc" "src/CMakeFiles/brisk.dir/picl/picl_reader.cpp.o.d"
+  "/root/repo/src/picl/picl_record.cpp" "src/CMakeFiles/brisk.dir/picl/picl_record.cpp.o" "gcc" "src/CMakeFiles/brisk.dir/picl/picl_record.cpp.o.d"
+  "/root/repo/src/picl/picl_writer.cpp" "src/CMakeFiles/brisk.dir/picl/picl_writer.cpp.o" "gcc" "src/CMakeFiles/brisk.dir/picl/picl_writer.cpp.o.d"
+  "/root/repo/src/sensors/field.cpp" "src/CMakeFiles/brisk.dir/sensors/field.cpp.o" "gcc" "src/CMakeFiles/brisk.dir/sensors/field.cpp.o.d"
+  "/root/repo/src/sensors/profiler.cpp" "src/CMakeFiles/brisk.dir/sensors/profiler.cpp.o" "gcc" "src/CMakeFiles/brisk.dir/sensors/profiler.cpp.o.d"
+  "/root/repo/src/sensors/record.cpp" "src/CMakeFiles/brisk.dir/sensors/record.cpp.o" "gcc" "src/CMakeFiles/brisk.dir/sensors/record.cpp.o.d"
+  "/root/repo/src/sensors/record_codec.cpp" "src/CMakeFiles/brisk.dir/sensors/record_codec.cpp.o" "gcc" "src/CMakeFiles/brisk.dir/sensors/record_codec.cpp.o.d"
+  "/root/repo/src/sensors/sensor.cpp" "src/CMakeFiles/brisk.dir/sensors/sensor.cpp.o" "gcc" "src/CMakeFiles/brisk.dir/sensors/sensor.cpp.o.d"
+  "/root/repo/src/sensors/sensor_registry.cpp" "src/CMakeFiles/brisk.dir/sensors/sensor_registry.cpp.o" "gcc" "src/CMakeFiles/brisk.dir/sensors/sensor_registry.cpp.o.d"
+  "/root/repo/src/shm/multi_ring.cpp" "src/CMakeFiles/brisk.dir/shm/multi_ring.cpp.o" "gcc" "src/CMakeFiles/brisk.dir/shm/multi_ring.cpp.o.d"
+  "/root/repo/src/shm/ring_buffer.cpp" "src/CMakeFiles/brisk.dir/shm/ring_buffer.cpp.o" "gcc" "src/CMakeFiles/brisk.dir/shm/ring_buffer.cpp.o.d"
+  "/root/repo/src/shm/shared_region.cpp" "src/CMakeFiles/brisk.dir/shm/shared_region.cpp.o" "gcc" "src/CMakeFiles/brisk.dir/shm/shared_region.cpp.o.d"
+  "/root/repo/src/sim/channel.cpp" "src/CMakeFiles/brisk.dir/sim/channel.cpp.o" "gcc" "src/CMakeFiles/brisk.dir/sim/channel.cpp.o.d"
+  "/root/repo/src/sim/delayed_stream.cpp" "src/CMakeFiles/brisk.dir/sim/delayed_stream.cpp.o" "gcc" "src/CMakeFiles/brisk.dir/sim/delayed_stream.cpp.o.d"
+  "/root/repo/src/sim/latency_model.cpp" "src/CMakeFiles/brisk.dir/sim/latency_model.cpp.o" "gcc" "src/CMakeFiles/brisk.dir/sim/latency_model.cpp.o.d"
+  "/root/repo/src/sim/workload.cpp" "src/CMakeFiles/brisk.dir/sim/workload.cpp.o" "gcc" "src/CMakeFiles/brisk.dir/sim/workload.cpp.o.d"
+  "/root/repo/src/tp/batch.cpp" "src/CMakeFiles/brisk.dir/tp/batch.cpp.o" "gcc" "src/CMakeFiles/brisk.dir/tp/batch.cpp.o.d"
+  "/root/repo/src/tp/meta_header.cpp" "src/CMakeFiles/brisk.dir/tp/meta_header.cpp.o" "gcc" "src/CMakeFiles/brisk.dir/tp/meta_header.cpp.o.d"
+  "/root/repo/src/tp/wire.cpp" "src/CMakeFiles/brisk.dir/tp/wire.cpp.o" "gcc" "src/CMakeFiles/brisk.dir/tp/wire.cpp.o.d"
+  "/root/repo/src/vo/visual_object.cpp" "src/CMakeFiles/brisk.dir/vo/visual_object.cpp.o" "gcc" "src/CMakeFiles/brisk.dir/vo/visual_object.cpp.o.d"
+  "/root/repo/src/vo/vo_channel.cpp" "src/CMakeFiles/brisk.dir/vo/vo_channel.cpp.o" "gcc" "src/CMakeFiles/brisk.dir/vo/vo_channel.cpp.o.d"
+  "/root/repo/src/vo/vo_registry.cpp" "src/CMakeFiles/brisk.dir/vo/vo_registry.cpp.o" "gcc" "src/CMakeFiles/brisk.dir/vo/vo_registry.cpp.o.d"
+  "/root/repo/src/xdr/xdr_decoder.cpp" "src/CMakeFiles/brisk.dir/xdr/xdr_decoder.cpp.o" "gcc" "src/CMakeFiles/brisk.dir/xdr/xdr_decoder.cpp.o.d"
+  "/root/repo/src/xdr/xdr_encoder.cpp" "src/CMakeFiles/brisk.dir/xdr/xdr_encoder.cpp.o" "gcc" "src/CMakeFiles/brisk.dir/xdr/xdr_encoder.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/brisk_consume.dir/brisk_consume_main.cpp.o"
+  "CMakeFiles/brisk_consume.dir/brisk_consume_main.cpp.o.d"
+  "brisk_consume"
+  "brisk_consume.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/brisk_consume.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/brisk_exs.dir/brisk_exs_main.cpp.o"
+  "CMakeFiles/brisk_exs.dir/brisk_exs_main.cpp.o.d"
+  "brisk_exs"
+  "brisk_exs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/brisk_exs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

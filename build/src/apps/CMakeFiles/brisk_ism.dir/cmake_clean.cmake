@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/brisk_ism.dir/brisk_ism_main.cpp.o"
+  "CMakeFiles/brisk_ism.dir/brisk_ism_main.cpp.o.d"
+  "brisk_ism"
+  "brisk_ism.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/brisk_ism.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

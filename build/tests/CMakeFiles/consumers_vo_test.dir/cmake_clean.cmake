@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/consumers_vo_test.dir/consumers_vo_test.cpp.o"
+  "CMakeFiles/consumers_vo_test.dir/consumers_vo_test.cpp.o.d"
+  "consumers_vo_test"
+  "consumers_vo_test.pdb"
+  "consumers_vo_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/consumers_vo_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

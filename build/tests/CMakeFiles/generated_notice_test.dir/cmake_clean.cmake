@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/generated_notice_test.dir/generated_notice_test.cpp.o"
+  "CMakeFiles/generated_notice_test.dir/generated_notice_test.cpp.o.d"
+  "generated_notice_test"
+  "generated_notice_test.pdb"
+  "generated_notice_test[1]_tests.cmake"
+  "generated_notices.hpp"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/generated_notice_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

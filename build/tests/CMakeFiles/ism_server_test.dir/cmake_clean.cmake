@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ism_server_test.dir/ism_server_test.cpp.o"
+  "CMakeFiles/ism_server_test.dir/ism_server_test.cpp.o.d"
+  "ism_server_test"
+  "ism_server_test.pdb"
+  "ism_server_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ism_server_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/ism_test.dir/ism_test.cpp.o"
+  "CMakeFiles/ism_test.dir/ism_test.cpp.o.d"
+  "ism_test"
+  "ism_test.pdb"
+  "ism_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/ism_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mknotice_test.dir/mknotice_test.cpp.o"
+  "CMakeFiles/mknotice_test.dir/mknotice_test.cpp.o.d"
+  "mknotice_test"
+  "mknotice_test.pdb"
+  "mknotice_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mknotice_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,12 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/picl_test.dir/picl_test.cpp.o"
+  "CMakeFiles/picl_test.dir/picl_test.cpp.o.d"
+  "picl_test"
+  "picl_test.pdb"
+  "picl_test[1]_tests.cmake"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/picl_test.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,26 @@
+# CMake generated Testfile for 
+# Source directory: /root/repo/tests
+# Build directory: /root/repo/build/tests
+# 
+# This file includes the relevant testing commands required for 
+# testing this directory and lists subdirectories to be tested as well.
+include("/root/repo/build/tests/common_test[1]_include.cmake")
+include("/root/repo/build/tests/xdr_test[1]_include.cmake")
+include("/root/repo/build/tests/shm_test[1]_include.cmake")
+include("/root/repo/build/tests/sensors_test[1]_include.cmake")
+include("/root/repo/build/tests/tp_test[1]_include.cmake")
+include("/root/repo/build/tests/clock_test[1]_include.cmake")
+include("/root/repo/build/tests/net_test[1]_include.cmake")
+include("/root/repo/build/tests/lis_test[1]_include.cmake")
+include("/root/repo/build/tests/ism_test[1]_include.cmake")
+include("/root/repo/build/tests/picl_test[1]_include.cmake")
+include("/root/repo/build/tests/sim_test[1]_include.cmake")
+include("/root/repo/build/tests/consumers_vo_test[1]_include.cmake")
+include("/root/repo/build/tests/mknotice_test[1]_include.cmake")
+include("/root/repo/build/tests/generated_notice_test[1]_include.cmake")
+include("/root/repo/build/tests/integration_test[1]_include.cmake")
+include("/root/repo/build/tests/profiler_test[1]_include.cmake")
+include("/root/repo/build/tests/apps_test[1]_include.cmake")
+include("/root/repo/build/tests/sorter_property_test[1]_include.cmake")
+include("/root/repo/build/tests/ism_server_test[1]_include.cmake")
+include("/root/repo/build/tests/fuzz_decode_test[1]_include.cmake")

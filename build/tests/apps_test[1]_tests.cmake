@@ -1,0 +1,3 @@
+add_test([=[AppsTest.ThreeExecutableDeployment]=]  /root/repo/build/tests/apps_test [==[--gtest_filter=AppsTest.ThreeExecutableDeployment]==] --gtest_also_run_disabled_tests)
+set_tests_properties([=[AppsTest.ThreeExecutableDeployment]=]  PROPERTIES WORKING_DIRECTORY /root/repo/build/tests SKIP_REGULAR_EXPRESSION [==[\[  SKIPPED \]]==])
+set(  apps_test_TESTS AppsTest.ThreeExecutableDeployment)

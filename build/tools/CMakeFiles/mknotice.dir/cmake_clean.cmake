@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mknotice.dir/mknotice/mknotice_main.cpp.o"
+  "CMakeFiles/mknotice.dir/mknotice/mknotice_main.cpp.o.d"
+  "mknotice"
+  "mknotice.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mknotice.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

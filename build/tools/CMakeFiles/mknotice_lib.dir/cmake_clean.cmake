@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/mknotice_lib.dir/mknotice/generator.cpp.o"
+  "CMakeFiles/mknotice_lib.dir/mknotice/generator.cpp.o.d"
+  "libmknotice_lib.a"
+  "libmknotice_lib.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/mknotice_lib.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

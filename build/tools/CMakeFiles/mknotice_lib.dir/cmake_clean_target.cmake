@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libmknotice_lib.a"
+)
