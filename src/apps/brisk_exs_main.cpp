@@ -18,6 +18,7 @@
 #include "common/logging.hpp"
 #include "core/brisk_node.hpp"
 #include "core/version.hpp"
+#include "sim/fault_injector.hpp"
 
 namespace {
 
@@ -43,6 +44,23 @@ int main(int argc, char** argv) {
   config.exs.batch_max_bytes = static_cast<std::uint32_t>(flags.get_int("batch-bytes", 32768));
   config.exs.batch_max_age_us = flags.get_int("batch-age-us", 20'000);
   config.exs.select_timeout_us = flags.get_int("select-timeout-us", 40'000);
+  config.exs.replay_buffer_batches =
+      static_cast<std::uint32_t>(flags.get_int("replay-batches", 256));
+  config.exs.reconnect_backoff_base_us = flags.get_int("backoff-base-us", 50'000);
+  config.exs.reconnect_backoff_cap_us = flags.get_int("backoff-cap-us", 5'000'000);
+  config.exs.reconnect_jitter = flags.get_double("backoff-jitter", 0.2);
+  config.exs.max_reconnect_attempts =
+      static_cast<std::uint32_t>(flags.get_int("max-reconnects", 0));
+  config.exs.heartbeat_period_us = flags.get_int("heartbeat-us", 1'000'000);
+  config.exs.ism_silence_timeout_us = flags.get_int("ism-silence-us", 0);
+  sim::FaultPlan fault_plan;
+  fault_plan.seed = static_cast<std::uint64_t>(flags.get_int("fault-seed", 1));
+  fault_plan.drop_probability = flags.get_double("fault-drop", 0.0);
+  fault_plan.duplicate_probability = flags.get_double("fault-dup", 0.0);
+  fault_plan.truncate_probability = flags.get_double("fault-trunc", 0.0);
+  fault_plan.stall_probability = flags.get_double("fault-stall", 0.0);
+  fault_plan.stall_us = flags.get_int("fault-stall-us", 0);
+  fault_plan.stall_every = static_cast<std::uint32_t>(flags.get_int("fault-stall-every", 0));
   const std::string ism_host = flags.get_string("ism-host", "127.0.0.1");
   const auto ism_port = static_cast<std::uint16_t>(flags.get_int("ism-port", 0));
   const int nice_delta = static_cast<int>(flags.get_int("nice", 0));
@@ -67,11 +85,22 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "brisk_exs: %s\n", node.status().to_string().c_str());
     return 1;
   }
+  Status plan_ok = fault_plan.validate();
+  if (!plan_ok) {
+    std::fprintf(stderr, "brisk_exs: %s\n", plan_ok.to_string().c_str());
+    return 2;
+  }
   auto exs = node.value()->connect_exs(ism_host, ism_port);
   if (!exs) {
     std::fprintf(stderr, "brisk_exs: %s\n", exs.status().to_string().c_str());
     return 1;
   }
+  const bool faults_enabled =
+      fault_plan.drop_probability > 0 || fault_plan.duplicate_probability > 0 ||
+      fault_plan.truncate_probability > 0 || fault_plan.stall_probability > 0 ||
+      fault_plan.stall_every > 0;
+  sim::FaultInjector fault_injector(fault_plan);
+  if (faults_enabled) exs.value()->set_fault_policy(fault_injector.policy());
   g_exs = exs.value().get();
   std::signal(SIGINT, handle_signal);
   std::signal(SIGTERM, handle_signal);
@@ -91,5 +120,10 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(stats.records_forwarded),
               static_cast<unsigned long long>(stats.batches_sent),
               static_cast<unsigned long long>(stats.ring_drops_seen));
+  std::printf("resilience: %llu reconnects, %llu replayed, %llu evicted, %llu pending\n",
+              static_cast<unsigned long long>(stats.reconnects),
+              static_cast<unsigned long long>(stats.batches_replayed),
+              static_cast<unsigned long long>(stats.replay_evictions),
+              static_cast<unsigned long long>(stats.replay_pending));
   return 0;
 }

@@ -38,6 +38,10 @@ int main(int argc, char** argv) {
   config.ism.sorter.decay_half_life_s = flags.get_double("decay-half-life-s", 1.0);
   config.ism.sorter.adaptive = flags.get_bool("adaptive", true);
   config.ism.cre.hold_timeout_us = flags.get_int("cre-timeout-us", 1'000'000);
+  config.ism.peer_idle_timeout_us = flags.get_int("peer-idle-us", 30'000'000);
+  config.ism.quarantine_timeout_us = flags.get_int("quarantine-us", 5'000'000);
+  config.ism.ack_period_us = flags.get_int("ack-period-us", 200'000);
+  config.ism.gap_skip_timeout_us = flags.get_int("gap-skip-us", 1'000'000);
   config.ism.enable_sync = flags.get_bool("sync", true);
   config.ism.sync.period_us = flags.get_int("sync-period-us", 5'000'000);
   const std::string algorithm = flags.get_string("sync-algorithm", "brisk");
@@ -84,5 +88,12 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(stats.records_received),
               static_cast<unsigned long long>(stats.batches_received),
               static_cast<unsigned long long>(stats.connections_accepted));
+  std::printf("resilience: %llu rejoins, %llu dup batches dropped, %llu gaps, "
+              "%llu idle disconnects, %llu sessions expired\n",
+              static_cast<unsigned long long>(stats.rejoins),
+              static_cast<unsigned long long>(stats.duplicate_batches_dropped),
+              static_cast<unsigned long long>(stats.batch_seq_gaps),
+              static_cast<unsigned long long>(stats.idle_disconnects),
+              static_cast<unsigned long long>(stats.sessions_expired));
   return 0;
 }

@@ -43,6 +43,18 @@ Status ManagerConfig::validate() const {
   if (ism.sorter.min_frame_us < 0 || ism.sorter.max_frame_us < ism.sorter.min_frame_us) {
     return Status(Errc::invalid_argument, "sorter frame bounds inverted");
   }
+  if (ism.peer_idle_timeout_us < 0) {
+    return Status(Errc::invalid_argument, "negative ism.peer_idle_timeout_us");
+  }
+  if (ism.quarantine_timeout_us < 0) {
+    return Status(Errc::invalid_argument, "negative ism.quarantine_timeout_us");
+  }
+  if (ism.ack_period_us < 0) {
+    return Status(Errc::invalid_argument, "negative ism.ack_period_us");
+  }
+  if (ism.gap_skip_timeout_us < 0) {
+    return Status(Errc::invalid_argument, "negative ism.gap_skip_timeout_us");
+  }
   return Status::ok();
 }
 
@@ -57,6 +69,18 @@ std::string describe(const NodeConfig& config) {
   line(out, "exs.batch_max_age_us", static_cast<long long>(config.exs.batch_max_age_us));
   line(out, "exs.drain_burst", static_cast<long long>(config.exs.drain_burst));
   line(out, "exs.select_timeout_us", static_cast<long long>(config.exs.select_timeout_us));
+  line(out, "exs.replay_buffer_batches",
+       static_cast<long long>(config.exs.replay_buffer_batches));
+  line(out, "exs.reconnect_backoff_base_us",
+       static_cast<long long>(config.exs.reconnect_backoff_base_us));
+  line(out, "exs.reconnect_backoff_cap_us",
+       static_cast<long long>(config.exs.reconnect_backoff_cap_us));
+  line(out, "exs.reconnect_jitter", config.exs.reconnect_jitter);
+  line(out, "exs.max_reconnect_attempts",
+       static_cast<long long>(config.exs.max_reconnect_attempts));
+  line(out, "exs.heartbeat_period_us", static_cast<long long>(config.exs.heartbeat_period_us));
+  line(out, "exs.ism_silence_timeout_us",
+       static_cast<long long>(config.exs.ism_silence_timeout_us));
   return out;
 }
 
@@ -80,6 +104,13 @@ std::string describe(const ManagerConfig& config) {
   line(out, "sync.brisk.avg_threshold_us",
        static_cast<long long>(config.ism.sync.brisk.avg_threshold_us));
   line(out, "sync.brisk.conservative_fraction", config.ism.sync.brisk.conservative_fraction);
+  line(out, "ism.peer_idle_timeout_us",
+       static_cast<long long>(config.ism.peer_idle_timeout_us));
+  line(out, "ism.quarantine_timeout_us",
+       static_cast<long long>(config.ism.quarantine_timeout_us));
+  line(out, "ism.ack_period_us", static_cast<long long>(config.ism.ack_period_us));
+  line(out, "ism.gap_skip_timeout_us",
+       static_cast<long long>(config.ism.gap_skip_timeout_us));
   line(out, "output_ring_capacity", static_cast<long long>(config.output_ring_capacity));
   line(out, "output_shm_name", config.output_shm_name);
   line(out, "picl_trace_path", config.picl_trace_path);

@@ -66,6 +66,7 @@ void Ism::on_listener_readable() {
     const int fd = socket.fd();
     Connection conn;
     conn.socket = std::move(socket);
+    conn.last_rx_us = monotonic_micros();
     auto [it, inserted] = connections_.emplace(fd, std::move(conn));
     if (!inserted) continue;
     Status st = loop_.watch(fd, [this](int ready_fd) { on_connection_readable(ready_fd); });
@@ -95,6 +96,7 @@ void Ism::on_connection_readable(int fd) {
       close_connection(fd);
       return;
     }
+    conn.last_rx_us = monotonic_micros();
     stats_.bytes_received += n.value();
     conn.reader.feed(ByteSpan{chunk, n.value()});
     for (;;) {
@@ -130,6 +132,9 @@ Status Ism::dispatch_frame(Connection& conn, ByteSpan payload) {
         return Status(Errc::unsupported, "protocol version mismatch");
       }
       if (nodes_.count(hello.value().node) != 0) {
+        // A live connection already owns this node id. Dead-but-unclosed
+        // predecessors are reaped by the idle timeout, after which the
+        // newcomer's reconnect loop gets through.
         return Status(Errc::already_exists, "node id already connected");
       }
       conn.node = hello.value().node;
@@ -139,8 +144,28 @@ Status Ism::dispatch_frame(Connection& conn, ByteSpan payload) {
                                                           config_.flow_control_burst);
       }
       nodes_[conn.node] = conn.socket.fd();
-      BRISK_LOG_INFO << "node " << conn.node << " connected";
-      return Status::ok();
+
+      auto [sit, fresh] = sessions_.try_emplace(conn.node);
+      NodeSession& session = sit->second;
+      if (fresh || session.incarnation != hello.value().incarnation) {
+        // New node, or the EXS process restarted: its batch_seq starts over
+        // at zero, so the cursor must too (the quarantined queue of a
+        // previous incarnation, if any, stays and drains normally).
+        session = NodeSession{};
+        session.incarnation = hello.value().incarnation;
+        BRISK_LOG_INFO << "node " << conn.node << " connected (incarnation "
+                       << hello.value().incarnation << ")";
+      } else {
+        ++stats_.rejoins;
+        BRISK_LOG_INFO << "node " << conn.node << " rejoined at batch seq "
+                       << session.next_batch_seq;
+      }
+      session.connected = true;
+      session.disconnected_at = 0;
+      session.hole_since = 0;
+      // The HELLO_ACK cursor tells the EXS where to resume; it releases the
+      // EXS's send gate, so it must go out before any BATCH_ACK.
+      return send_ack(conn, tp::MsgType::hello_ack);
     }
     case tp::MsgType::data_batch: {
       if (!conn.hello_seen) return Status(Errc::malformed, "batch before hello");
@@ -160,25 +185,76 @@ Status Ism::dispatch_frame(Connection& conn, ByteSpan payload) {
       }
       return Status::ok();
     }
+    case tp::MsgType::heartbeat:
+      ++stats_.heartbeats_received;  // reception already refreshed last_rx_us
+      return Status::ok();
     case tp::MsgType::bye:
+      conn.saw_bye = true;
       return Status(Errc::closed, "EXS said bye");
     default:
       return Status(Errc::malformed, "unexpected message type at ISM");
   }
 }
 
+bool Ism::admit_batch_seq(const Connection& conn, NodeSession& session, std::uint32_t seq) {
+  if (!resilient()) {
+    // v1-style accounting: every discontinuity is an immediately declared
+    // gap and the cursor follows the sender.
+    if (seq != session.next_batch_seq) {
+      ++stats_.batch_seq_gaps;
+      BRISK_LOG_WARN << "node " << conn.node << " batch seq gap: expected "
+                     << session.next_batch_seq << ", got " << seq;
+    }
+    session.next_batch_seq = seq + 1;
+    return true;
+  }
+  if (seq == session.next_batch_seq) {
+    session.next_batch_seq = seq + 1;
+    session.hole_since = 0;
+    return true;
+  }
+  if (seq < session.next_batch_seq) {
+    // Already applied — a replay after a reconnect, or a duplicated frame.
+    ++stats_.duplicate_batches_dropped;
+    return false;
+  }
+  // seq > cursor: a batch went missing in flight. Go-back-N: drop everything
+  // above the hole and let the stuck ack cursor trigger the EXS's resend,
+  // which starts at the missing batch.
+  const TimeMicros now = monotonic_micros();
+  if (session.hole_since == 0) {
+    session.hole_since = now;
+    session.lowest_pending_seq = seq;
+  } else if (seq < session.lowest_pending_seq) {
+    session.lowest_pending_seq = seq;
+  }
+  ++stats_.out_of_order_batches_dropped;
+  if (config_.gap_skip_timeout_us > 0 &&
+      now - session.hole_since >= config_.gap_skip_timeout_us) {
+    // The resend never came: the EXS evicted the missing batches from its
+    // replay buffer (declared loss). Jump the cursor to the lowest batch
+    // still on offer so the stream can make progress again.
+    ++stats_.batch_seq_gaps;
+    BRISK_LOG_WARN << "node " << conn.node << " declaring batch gap: "
+                   << session.next_batch_seq << ".." << session.lowest_pending_seq - 1;
+    session.next_batch_seq = session.lowest_pending_seq;
+    session.hole_since = 0;
+    if (seq == session.next_batch_seq) {
+      session.next_batch_seq = seq + 1;
+      return true;
+    }
+  }
+  return false;
+}
+
 void Ism::handle_batch(Connection& conn, tp::Batch batch) {
   ++stats_.batches_received;
+  NodeSession& session = sessions_[conn.node];
+  if (!admit_batch_seq(conn, session, batch.header.batch_seq)) return;
   stats_.records_received += batch.records.size();
-  if (batch.header.batch_seq != conn.next_batch_seq) {
-    ++stats_.batch_seq_gaps;
-    BRISK_LOG_WARN << "node " << conn.node << " batch seq gap: expected "
-                   << conn.next_batch_seq << ", got " << batch.header.batch_seq;
-  }
-  conn.next_batch_seq = batch.header.batch_seq + 1;
-  if (batch.header.ring_dropped_total >= conn.ring_dropped_total) {
-    stats_.ring_drops_reported += batch.header.ring_dropped_total - conn.ring_dropped_total;
-    conn.ring_dropped_total = batch.header.ring_dropped_total;
+  if (batch.header.ring_dropped_total >= session.ring_dropped_total) {
+    stats_.ring_drops_reported += batch.header.ring_dropped_total - session.ring_dropped_total;
+    session.ring_dropped_total = batch.header.ring_dropped_total;
   }
   for (sensors::Record& record : batch.records) {
     if (conn.flow_control && !conn.flow_control->admit(clock_.now())) {
@@ -211,14 +287,97 @@ void Ism::idle_work() {
     }
   }
   sorter_.service();
+  session_sweep();
   if (sync_service_) sync_service_->maybe_run_round();
   (void)output_->flush();
+}
+
+Status Ism::send_ack(Connection& conn, tp::MsgType type) {
+  NodeSession& session = sessions_[conn.node];
+  ByteBuffer out;
+  xdr::Encoder enc(out);
+  tp::put_type(type, enc);
+  if (type == tp::MsgType::hello_ack) {
+    tp::encode_hello_ack({session.incarnation, session.next_batch_seq}, enc);
+  } else {
+    tp::encode_batch_ack({session.next_batch_seq}, enc);
+  }
+  conn.last_ack_sent_us = monotonic_micros();
+  ++stats_.acks_sent;
+  return net::write_frame(conn.socket, out.view());
+}
+
+void Ism::session_sweep() {
+  const TimeMicros now = monotonic_micros();
+
+  // Reap peers that have been silent past the idle timeout (an EXS that
+  // heartbeats can never trip this while alive).
+  if (config_.peer_idle_timeout_us > 0) {
+    std::vector<int> idle_fds;
+    for (const auto& [fd, conn] : connections_) {
+      if (now - conn.last_rx_us >= config_.peer_idle_timeout_us) idle_fds.push_back(fd);
+    }
+    for (int fd : idle_fds) {
+      BRISK_LOG_WARN << "reaping idle peer on fd " << fd;
+      ++stats_.idle_disconnects;
+      close_connection(fd);
+    }
+  }
+
+  // Periodic BATCH_ACKs to every live session: they trim the EXS replay
+  // buffers, double as an ISM-is-alive signal, and a repeated cursor is
+  // what triggers the EXS's go-back-N resend.
+  if (resilient()) {
+    for (auto& [fd, conn] : connections_) {
+      if (!conn.hello_seen) continue;
+      if (now - conn.last_ack_sent_us < config_.ack_period_us) continue;
+      Status st = send_ack(conn, tp::MsgType::batch_ack);
+      if (!st) BRISK_LOG_WARN << "batch_ack to node " << conn.node << " failed";
+    }
+  }
+
+  // Quarantine expiry: forget sessions whose node never came back.
+  std::vector<NodeId> expired;
+  for (const auto& [node, session] : sessions_) {
+    if (session.connected) continue;
+    if (now - session.disconnected_at >= config_.quarantine_timeout_us) {
+      expired.push_back(node);
+    }
+  }
+  for (NodeId node : expired) expire_session(node);
+}
+
+void Ism::expire_session(NodeId node) {
+  const std::size_t drained = sorter_.remove_node(node);
+  stats_.records_drained_on_expiry += drained;
+  ++stats_.sessions_expired;
+  sessions_.erase(node);
+  BRISK_LOG_INFO << "session for node " << node << " expired ("
+                 << drained << " pending records drained)";
 }
 
 void Ism::close_connection(int fd) {
   auto it = connections_.find(fd);
   if (it == connections_.end()) return;
-  if (it->second.hello_seen) nodes_.erase(it->second.node);
+  Connection& conn = it->second;
+  if (conn.hello_seen) {
+    nodes_.erase(conn.node);
+    auto sit = sessions_.find(conn.node);
+    if (sit != sessions_.end()) {
+      if (conn.saw_bye) {
+        // Clean shutdown: forget the cursor but let anything still pending
+        // drain through the sorter in timestamp order, merged with the
+        // other nodes — only crashed sessions get the out-of-band drain.
+        sessions_.erase(sit);
+      } else if (config_.quarantine_timeout_us == 0) {
+        expire_session(conn.node);
+      } else {
+        sit->second.connected = false;
+        sit->second.disconnected_at = monotonic_micros();
+        sit->second.hole_since = 0;
+      }
+    }
+  }
   (void)loop_.unwatch(fd);
   connections_.erase(it);
   stats_.active_connections = connections_.size();

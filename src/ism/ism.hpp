@@ -39,6 +39,26 @@ struct IsmConfig {
   /// 0 disables flow control.
   double flow_control_rate_per_sec = 0.0;
   double flow_control_burst = 10'000.0;
+
+  // --- session resilience ----------------------------------------------------
+  /// Drop a connection whose peer has sent nothing (not even a heartbeat)
+  /// for this long: catches EXSes that died without the kernel closing the
+  /// socket. 0 disables idle reaping.
+  TimeMicros peer_idle_timeout_us = 30'000'000;
+  /// How long a disconnected node's session (batch_seq cursor + pending
+  /// sorter queue) is kept for a rejoin. On expiry the queue is drained out
+  /// of band and the session forgotten, so a later reconnect starts clean.
+  /// 0 expires immediately on disconnect.
+  TimeMicros quarantine_timeout_us = 5'000'000;
+  /// BATCH_ACK cadence towards each connected EXS. Acks drive the EXS's
+  /// replay-buffer trimming and its go-back-N resend on loss. 0 disables
+  /// acks and with them the dedupe/hole handling (legacy v1-style gap
+  /// accounting applies instead).
+  TimeMicros ack_period_us = 200'000;
+  /// A batch-sequence hole older than this is declared lost (counted in
+  /// batch_seq_gaps) and the cursor jumps forward — the EXS evicted the
+  /// missing batches from its replay buffer and can never resend them.
+  TimeMicros gap_skip_timeout_us = 1'000'000;
 };
 
 struct IsmStats {
@@ -51,9 +71,19 @@ struct IsmStats {
   std::uint64_t ring_drops_reported = 0;  // sum over nodes of EXS drop counters
   std::uint64_t flow_control_drops = 0;   // records rejected by the token bucket
   /// Batch sequence gaps. The TCP stream makes these impossible in a
-  /// healthy deployment; a nonzero count means frames were lost or an EXS
-  /// restarted mid-session.
+  /// healthy deployment; a nonzero count means batches were lost for good —
+  /// the EXS restarted without replay, or evicted them from its replay
+  /// buffer before they could be resent.
   std::uint64_t batch_seq_gaps = 0;
+  // --- session resilience ----------------------------------------------------
+  std::uint64_t rejoins = 0;                   // same-incarnation reconnects resumed
+  std::uint64_t duplicate_batches_dropped = 0; // replayed batches already applied
+  std::uint64_t out_of_order_batches_dropped = 0;  // above-cursor batches awaiting resend
+  std::uint64_t idle_disconnects = 0;          // peers reaped by the idle timeout
+  std::uint64_t sessions_expired = 0;          // quarantined sessions forgotten
+  std::uint64_t records_drained_on_expiry = 0; // out-of-band emissions at expiry
+  std::uint64_t acks_sent = 0;                 // HELLO_ACK + BATCH_ACK frames
+  std::uint64_t heartbeats_received = 0;
 };
 
 class Ism {
@@ -85,6 +115,8 @@ class Ism {
   [[nodiscard]] CreMatcher& cre() noexcept { return cre_; }
   [[nodiscard]] clk::SyncService* sync() noexcept { return sync_service_.get(); }
   [[nodiscard]] std::size_t connected_nodes() const noexcept { return nodes_.size(); }
+  /// Sessions tracked (live + quarantined); for tests and diagnostics.
+  [[nodiscard]] std::size_t session_count() const noexcept { return sessions_.size(); }
 
  private:
   struct Connection {
@@ -92,9 +124,23 @@ class Ism {
     net::FrameReader reader;
     NodeId node = 0;
     bool hello_seen = false;
-    std::uint64_t ring_dropped_total = 0;
-    std::uint32_t next_batch_seq = 0;
+    bool saw_bye = false;             // clean shutdown: expire the session now
+    TimeMicros last_rx_us = 0;        // monotonic, any inbound bytes
+    TimeMicros last_ack_sent_us = 0;  // monotonic
     std::unique_ptr<TokenBucket> flow_control;  // null when disabled
+  };
+
+  /// Per-node state that must survive the TCP connection: the batch_seq
+  /// cursor (dedupe across reconnects) and the quarantine bookkeeping. One
+  /// entry per node that ever said hello, until its quarantine expires.
+  struct NodeSession {
+    std::uint64_t incarnation = 0;
+    std::uint32_t next_batch_seq = 0;  // cumulative cursor, also the ack value
+    std::uint64_t ring_dropped_total = 0;
+    bool connected = false;
+    TimeMicros disconnected_at = 0;      // monotonic, valid when !connected
+    TimeMicros hole_since = 0;           // monotonic, 0 = no open seq hole
+    std::uint32_t lowest_pending_seq = 0;  // smallest seq offered above cursor
   };
 
   /// The master side of clock sync over the live connections.
@@ -116,11 +162,19 @@ class Ism {
   void on_connection_readable(int fd);
   Status dispatch_frame(Connection& conn, ByteSpan payload);
   void handle_batch(Connection& conn, tp::Batch batch);
+  /// Applies the dedupe/hole policy to a batch sequence number. Returns
+  /// true when the batch's records should be admitted into the pipeline.
+  bool admit_batch_seq(const Connection& conn, NodeSession& session, std::uint32_t seq);
   void route_record(sensors::Record record);
   void idle_work();
+  /// Idle reaping, quarantine expiry, and periodic BATCH_ACKs.
+  void session_sweep();
+  void expire_session(NodeId node);
+  Status send_ack(Connection& conn, tp::MsgType type);
   void close_connection(int fd);
   /// fd of the index-th connected node (ordered by node id), or -1.
   int node_fd_by_index(std::size_t index) const;
+  [[nodiscard]] bool resilient() const noexcept { return config_.ack_period_us > 0; }
 
   IsmConfig config_;
   clk::Clock& clock_;
@@ -128,7 +182,8 @@ class Ism {
   net::TcpListener listener_;
   net::EventLoop loop_;
   std::map<int, Connection> connections_;
-  std::map<NodeId, int> nodes_;  // node id → fd
+  std::map<NodeId, int> nodes_;  // node id → fd (live connections only)
+  std::map<NodeId, NodeSession> sessions_;
   CreMatcher cre_;
   OnlineSorter sorter_;
   SocketSyncTransport sync_transport_;

@@ -50,22 +50,27 @@ void OnlineSorter::handle_overflow() {
 
 void OnlineSorter::emit(const QueuedRecord& queued, bool respect_order_check) {
   const sensors::Record& record = queued.record;
-  if (respect_order_check && emitted_any_ && record.timestamp < last_emitted_ts_) {
-    // Two successive records extracted out of order: raise T to the
-    // observed lateness.
-    const TimeMicros lateness = last_emitted_ts_ - record.timestamp;
-    ++stats_.out_of_order_emissions;
-    if (lateness > stats_.max_lateness_us) stats_.max_lateness_us = lateness;
-    if (config_.adaptive && static_cast<double>(lateness) > frame_us_) {
-      frame_us_ = static_cast<double>(
-          lateness < config_.max_frame_us ? lateness : config_.max_frame_us);
-      ++stats_.frame_raises;
+  if (respect_order_check) {
+    if (emitted_any_ && record.timestamp < last_emitted_ts_) {
+      // Two successive records extracted out of order: raise T to the
+      // observed lateness.
+      const TimeMicros lateness = last_emitted_ts_ - record.timestamp;
+      ++stats_.out_of_order_emissions;
+      if (lateness > stats_.max_lateness_us) stats_.max_lateness_us = lateness;
+      if (config_.adaptive && static_cast<double>(lateness) > frame_us_) {
+        frame_us_ = static_cast<double>(
+            lateness < config_.max_frame_us ? lateness : config_.max_frame_us);
+        ++stats_.frame_raises;
+      }
     }
+    if (!emitted_any_ || record.timestamp > last_emitted_ts_) {
+      last_emitted_ts_ = record.timestamp;
+    }
+    emitted_any_ = true;
   }
-  if (!emitted_any_ || record.timestamp > last_emitted_ts_) {
-    last_emitted_ts_ = record.timestamp;
-  }
-  emitted_any_ = true;
+  // Out-of-band emissions (session-expiry drain) leave last_emitted_ts_ and
+  // T untouched: a dead node's leftovers must not distort the adaptive
+  // window the live nodes are sorted under.
   ++stats_.emitted;
   const TimeMicros delay = clock_.now() - record.timestamp;
   if (delay > 0) stats_.total_delay_us += static_cast<std::uint64_t>(delay);
@@ -99,6 +104,22 @@ void OnlineSorter::flush_all() {
     if (!popped) break;
     emit(popped.value(), true);
   }
+}
+
+std::size_t OnlineSorter::remove_node(NodeId node) {
+  auto it = queues_.find(node);
+  if (it == queues_.end()) return 0;
+  std::size_t drained = 0;
+  EventQueue& queue = *it->second;
+  // The heap must stop referencing the queue before we drain it: pop_min
+  // re-peeks queue heads when fixing itself up.
+  (void)heap_.remove_queue(node);
+  while (!queue.empty()) {
+    emit(queue.pop(), /*respect_order_check=*/false);
+    ++drained;
+  }
+  queues_.erase(it);
+  return drained;
 }
 
 TimeMicros OnlineSorter::next_due_in() {

@@ -75,6 +75,13 @@ class OnlineSorter {
   /// Emits everything still pending, in heap order (shutdown path).
   void flush_all();
 
+  /// Removes a node's queue from the merge (session expiry after an EXS
+  /// died). Pending records are drained out of band — emitted in queue
+  /// order without touching the ordering state, so a dead node's leftovers
+  /// cannot raise T or poison the order check for live nodes. Returns the
+  /// number of records drained.
+  std::size_t remove_node(NodeId node);
+
   [[nodiscard]] TimeMicros current_frame() const noexcept { return frame_us_; }
   [[nodiscard]] std::size_t pending() const noexcept { return heap_.pending(); }
   [[nodiscard]] const SorterStats& stats() const noexcept { return stats_; }

@@ -8,6 +8,19 @@ Status ExsConfig::validate() const {
   if (batch_max_age_us < 0) return Status(Errc::invalid_argument, "negative batch_max_age_us");
   if (drain_burst == 0) return Status(Errc::invalid_argument, "drain_burst == 0");
   if (select_timeout_us <= 0) return Status(Errc::invalid_argument, "select_timeout_us <= 0");
+  if (reconnect_backoff_base_us <= 0) {
+    return Status(Errc::invalid_argument, "reconnect_backoff_base_us <= 0");
+  }
+  if (reconnect_backoff_cap_us < reconnect_backoff_base_us) {
+    return Status(Errc::invalid_argument, "reconnect backoff cap below base");
+  }
+  if (reconnect_jitter < 0.0 || reconnect_jitter > 1.0) {
+    return Status(Errc::invalid_argument, "reconnect_jitter outside [0, 1]");
+  }
+  if (heartbeat_period_us < 0) return Status(Errc::invalid_argument, "negative heartbeat period");
+  if (ism_silence_timeout_us < 0) {
+    return Status(Errc::invalid_argument, "negative ism_silence_timeout_us");
+  }
   return Status::ok();
 }
 

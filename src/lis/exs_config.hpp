@@ -35,6 +35,28 @@ struct ExsConfig {
   /// latency ("up to 40 ms").
   TimeMicros select_timeout_us = 40'000;
 
+  // --- session resilience ----------------------------------------------------
+  /// Identifies this EXS process lifetime to the ISM. 0 = derive a unique
+  /// value at connect time (daemons); tests may pin it for determinism.
+  std::uint64_t incarnation = 0;
+  /// Sent-but-unacknowledged data batches retained for replay after a
+  /// reconnect. 0 disables replay (and the HELLO_ACK send gate with it).
+  std::uint32_t replay_buffer_batches = 256;
+  /// First reconnect delay after a lost connection...
+  TimeMicros reconnect_backoff_base_us = 50'000;
+  /// ...doubling per failed attempt up to this cap...
+  TimeMicros reconnect_backoff_cap_us = 5'000'000;
+  /// ...plus uniform jitter of up to this fraction of the delay (decorrelates
+  /// a thundering herd of EXSes after an ISM restart).
+  double reconnect_jitter = 0.2;
+  /// Give up after this many consecutive failed reconnects (0 = never).
+  std::uint32_t max_reconnect_attempts = 0;
+  /// Idle-link heartbeat period (0 disables heartbeats).
+  TimeMicros heartbeat_period_us = 1'000'000;
+  /// Reconnect if the ISM has been silent this long — catches half-open
+  /// TCP sessions where writes still succeed locally (0 disables).
+  TimeMicros ism_silence_timeout_us = 0;
+
   /// Validates knob consistency.
   [[nodiscard]] Status validate() const;
 };
@@ -50,6 +72,13 @@ struct ExsStats {
   std::uint64_t sync_polls_answered = 0;
   std::uint64_t sync_adjustments = 0;
   TimeMicros correction_us = 0;           // current clock correction value
+  // --- session resilience ----------------------------------------------------
+  std::uint64_t reconnects = 0;           // sessions re-established after a loss
+  std::uint64_t batches_replayed = 0;     // frames re-sent from the replay buffer
+  std::uint64_t replay_evictions = 0;     // batches declared lost (buffer full)
+  std::uint64_t heartbeats_sent = 0;
+  std::uint64_t acks_received = 0;        // HELLO_ACK + BATCH_ACK frames
+  std::uint64_t replay_pending = 0;       // batches currently awaiting ack
 };
 
 }  // namespace brisk::lis

@@ -1,5 +1,9 @@
 #include "lis/external_sensor.hpp"
 
+#include <unistd.h>
+
+#include <algorithm>
+
 #include "common/logging.hpp"
 #include "common/time_util.hpp"
 #include "sensors/record_codec.hpp"
@@ -16,7 +20,8 @@ ExsCore::ExsCore(const ExsConfig& config, shm::MultiRing rings, clk::Clock& cloc
       clock_(clock),
       sink_(std::move(sink)),
       batcher_(config, clock,
-               [this](ByteBuffer payload) { return sink_(std::move(payload)); }) {
+               [this](ByteBuffer payload) { return ship_batch(std::move(payload)); }),
+      replay_(config.replay_buffer_batches) {
   drain_scratch_.reserve(sensors::kMaxNativeRecordBytes);
 }
 
@@ -48,6 +53,32 @@ Result<std::size_t> ExsCore::drain_rings() {
   return drained;
 }
 
+Status ExsCore::ship_batch(ByteBuffer payload) {
+  if (config_.replay_buffer_batches > 0) {
+    Status st = replay_.retain(payload.view());
+    if (!st) return st;
+    // Link down or session not yet acknowledged: the batch stays in the
+    // replay buffer and goes out — in sequence order — on the next
+    // HELLO_ACK. Sending it now would let a fresh batch overtake older
+    // unacked ones and the ISM would discard the replays as duplicates.
+    if (!link_ready_ || awaiting_ack_) return Status::ok();
+  } else if (!link_ready_) {
+    return Status::ok();  // replay disabled: the batch is simply lost
+  }
+  return sink_(std::move(payload));
+}
+
+Status ExsCore::resend_unacked() {
+  for (const auto& entry : replay_.entries()) {
+    ByteBuffer copy;
+    copy.append(entry.frame.view());
+    Status st = sink_(std::move(copy));
+    if (!st) return st;
+    ++batches_replayed_;
+  }
+  return Status::ok();
+}
+
 Status ExsCore::handle_frame(ByteSpan payload) {
   xdr::Decoder decoder(payload);
   auto type = tp::peek_type(decoder);
@@ -70,7 +101,46 @@ Status ExsCore::handle_frame(ByteSpan payload) {
       ++sync_adjustments_;
       return Status::ok();
     }
+    case tp::MsgType::hello_ack: {
+      auto ack = tp::decode_hello_ack(decoder);
+      if (!ack) return ack.status();
+      ++acks_received_;
+      if (config_.replay_buffer_batches == 0) return Status::ok();
+      if (ack.value().incarnation != config_.incarnation) {
+        // Ack for a previous session of this connection; a fresh one is on
+        // its way.
+        return Status::ok();
+      }
+      replay_.ack(ack.value().next_expected_seq);
+      awaiting_ack_ = false;
+      have_last_ack_ = true;
+      last_batch_ack_expected_ = ack.value().next_expected_seq;
+      return resend_unacked();
+    }
+    case tp::MsgType::batch_ack: {
+      auto ack = tp::decode_batch_ack(decoder);
+      if (!ack) return ack.status();
+      ++acks_received_;
+      if (config_.replay_buffer_batches == 0) return Status::ok();
+      const std::uint32_t expected = ack.value().next_expected_seq;
+      replay_.ack(expected);
+      // Two consecutive acks naming the same cursor while we hold that very
+      // batch means the ISM lost it in flight (not merely lagging): go-back-N
+      // resend from the cursor. A single stale ack is not enough — acks race
+      // with batches legitimately in flight.
+      const bool stuck = have_last_ack_ && expected == last_batch_ack_expected_;
+      have_last_ack_ = true;
+      last_batch_ack_expected_ = expected;
+      if (stuck && !awaiting_ack_ && !replay_.empty() &&
+          replay_.entries().front().batch_seq == expected) {
+        return resend_unacked();
+      }
+      return Status::ok();
+    }
+    case tp::MsgType::heartbeat:
+      return Status::ok();  // liveness only; reception already refreshed rx time
     case tp::MsgType::bye:
+      saw_bye_ = true;
       return Status(Errc::closed, "ISM said bye");
     default:
       return Status(Errc::malformed, "unexpected message type at EXS");
@@ -78,11 +148,32 @@ Status ExsCore::handle_frame(ByteSpan payload) {
 }
 
 Status ExsCore::send_hello() {
+  if (config_.replay_buffer_batches > 0) awaiting_ack_ = true;
   ByteBuffer out;
   xdr::Encoder enc(out);
   tp::put_type(tp::MsgType::hello, enc);
-  tp::encode_hello({config_.node, tp::kProtocolVersion}, enc);
+  tp::encode_hello({config_.node, tp::kProtocolVersion, config_.incarnation}, enc);
   return sink_(std::move(out));
+}
+
+Status ExsCore::send_heartbeat() {
+  ByteBuffer out;
+  xdr::Encoder enc(out);
+  tp::put_type(tp::MsgType::heartbeat, enc);
+  ++heartbeats_sent_;
+  return sink_(std::move(out));
+}
+
+void ExsCore::on_disconnect() noexcept {
+  link_ready_ = false;
+  awaiting_ack_ = false;
+  have_last_ack_ = false;
+}
+
+Status ExsCore::on_reconnected() {
+  link_ready_ = true;
+  ++reconnects_;
+  return send_hello();
 }
 
 ExsStats ExsCore::stats() const noexcept {
@@ -95,43 +186,65 @@ ExsStats ExsCore::stats() const noexcept {
   s.sync_polls_answered = sync_polls_answered_;
   s.sync_adjustments = sync_adjustments_;
   s.correction_us = correction_;
+  s.reconnects = reconnects_;
+  s.batches_replayed = batches_replayed_;
+  s.replay_evictions = replay_.evictions();
+  s.heartbeats_sent = heartbeats_sent_;
+  s.acks_received = acks_received_;
+  s.replay_pending = replay_.size();
   return s;
 }
 
 // ---- ExternalSensor ---------------------------------------------------------
 
 ExternalSensor::ExternalSensor(const ExsConfig& config, net::TcpSocket socket)
-    : config_(config), socket_(std::move(socket)) {}
+    : config_(config),
+      socket_(std::move(socket)),
+      jitter_rng_(config.node ^ config.incarnation ^ 0x9e3779b97f4a7c15ull) {}
 
 Result<std::unique_ptr<ExternalSensor>> ExternalSensor::connect(
     const ExsConfig& config, shm::MultiRing rings, clk::Clock& clock,
     const std::string& ism_host, std::uint16_t ism_port) {
   Status valid = config.validate();
   if (!valid) return valid;
+  ExsConfig effective = config;
+  if (effective.incarnation == 0) {
+    // One process lifetime = one incarnation; lets the ISM tell a reconnect
+    // of the same EXS (resume the batch_seq cursor) from a restarted one
+    // (start over at zero).
+    effective.incarnation =
+        (static_cast<std::uint64_t>(::getpid()) << 32) ^
+        static_cast<std::uint64_t>(monotonic_micros());
+    if (effective.incarnation == 0) effective.incarnation = 1;
+  }
   auto socket = net::TcpSocket::connect(ism_host, ism_port);
   if (!socket) return socket.status();
   Status st = socket.value().set_nodelay(true);
   if (!st) return st;
 
   auto exs = std::unique_ptr<ExternalSensor>(
-      new ExternalSensor(config, std::move(socket).value()));
+      new ExternalSensor(effective, std::move(socket).value()));
   ExternalSensor* raw = exs.get();
+  exs->ism_host_ = ism_host;
+  exs->ism_port_ = ism_port;
+  exs->connected_ = true;
+  exs->last_rx_us_ = monotonic_micros();
   exs->core_ = std::make_unique<ExsCore>(
-      config, rings, clock, [raw](ByteBuffer payload) {
-        return net::write_frame(raw->socket_, payload.view());
+      effective, rings, clock, [raw](ByteBuffer payload) {
+        if (!raw->connected_) return Status::ok();  // link down: replay covers it
+        Status wr = raw->write_out(payload.view());
+        if (!wr) raw->handle_disconnect();
+        // Transport loss is survived by the reconnect loop; the caller
+        // (drain/flush) must not treat it as a fatal error.
+        return Status::ok();
       });
   st = exs->core_->send_hello();
   if (!st) return st;
+  if (!exs->connected_) return Status(Errc::closed, "ISM connection lost during hello");
 
   st = exs->socket_.set_nonblocking(true);
   if (!st) return st;
-  st = exs->loop_.watch(exs->socket_.fd(), [raw](int) {
-    Status pump = raw->pump_socket();
-    if (!pump && pump.code() != Errc::would_block) {
-      raw->peer_closed_ = true;
-      raw->loop_.stop();
-    }
-  });
+  st = exs->watch_socket();
   if (!st) return st;
   exs->loop_.set_idle([raw] {
     Status cy = raw->cycle();
@@ -143,6 +256,28 @@ Result<std::unique_ptr<ExternalSensor>> ExternalSensor::connect(
   return exs;
 }
 
+Status ExternalSensor::watch_socket() {
+  return loop_.watch(socket_.fd(), [this](int) {
+    Status pump = pump_socket();
+    if (!pump && pump.code() != Errc::would_block) {
+      if (core_->saw_bye()) {
+        peer_closed_ = true;
+        loop_.stop();
+      } else {
+        BRISK_LOG_WARN << "EXS node " << config_.node
+                       << ": ISM link error: " << pump.to_string();
+        handle_disconnect();
+      }
+    }
+  });
+}
+
+Status ExternalSensor::write_out(ByteSpan frame) {
+  Status st = fault_.write_frame(socket_, frame);
+  if (st) last_tx_us_ = monotonic_micros();
+  return st;
+}
+
 Status ExternalSensor::pump_socket() {
   std::uint8_t chunk[16 * 1024];
   for (;;) {
@@ -152,6 +287,7 @@ Status ExternalSensor::pump_socket() {
       return n.status();
     }
     if (n.value() == 0) return Status(Errc::closed, "ISM closed connection");
+    last_rx_us_ = monotonic_micros();
     frame_reader_.feed(ByteSpan{chunk, n.value()});
     for (;;) {
       auto frame = frame_reader_.next();
@@ -163,10 +299,91 @@ Status ExternalSensor::pump_socket() {
   }
 }
 
+void ExternalSensor::handle_disconnect() {
+  if (!connected_) return;
+  connected_ = false;
+  if (socket_.valid()) {
+    (void)loop_.unwatch(socket_.fd());
+    socket_.close();
+  }
+  frame_reader_ = net::FrameReader{};
+  core_->on_disconnect();
+  failed_attempts_ = 0;
+  next_attempt_at_ = monotonic_micros();  // first retry on the next cycle
+  BRISK_LOG_WARN << "EXS node " << config_.node
+                 << ": lost ISM connection, entering reconnect";
+}
+
+TimeMicros ExternalSensor::backoff_delay() {
+  TimeMicros delay = config_.reconnect_backoff_base_us;
+  for (std::uint32_t i = 1;
+       i < failed_attempts_ && delay < config_.reconnect_backoff_cap_us; ++i) {
+    delay *= 2;
+  }
+  delay = std::min(delay, config_.reconnect_backoff_cap_us);
+  if (config_.reconnect_jitter > 0.0) {
+    std::uniform_real_distribution<double> jitter(0.0, config_.reconnect_jitter);
+    delay += static_cast<TimeMicros>(static_cast<double>(delay) * jitter(jitter_rng_));
+  }
+  return delay;
+}
+
+void ExternalSensor::maybe_reconnect() {
+  if (monotonic_micros() < next_attempt_at_) return;
+  auto socket = net::TcpSocket::connect(ism_host_, ism_port_);
+  if (socket) {
+    net::TcpSocket fresh = std::move(socket).value();
+    Status st = fresh.set_nodelay(true);
+    if (st) st = fresh.set_nonblocking(true);
+    if (st) {
+      socket_ = std::move(fresh);
+      st = watch_socket();
+      if (st) {
+        connected_ = true;
+        failed_attempts_ = 0;
+        last_rx_us_ = monotonic_micros();
+        ++reconnects_;
+        BRISK_LOG_INFO << "EXS node " << config_.node << ": reconnected to ISM";
+        // Re-hello; the HELLO_ACK cursor triggers replay of unacked batches.
+        (void)core_->on_reconnected();
+        return;
+      }
+      (void)loop_.unwatch(socket_.fd());
+      socket_.close();
+    }
+  }
+  ++failed_attempts_;
+  if (config_.max_reconnect_attempts > 0 &&
+      failed_attempts_ >= config_.max_reconnect_attempts) {
+    BRISK_LOG_ERROR << "EXS node " << config_.node << ": giving up after "
+                    << failed_attempts_ << " reconnect attempts";
+    loop_.stop();
+    return;
+  }
+  next_attempt_at_ = monotonic_micros() + backoff_delay();
+}
+
 Status ExternalSensor::cycle() {
+  if (!connected_ && !loop_.stopped()) maybe_reconnect();
+  // Rings keep draining while the link is down: records flow into batches
+  // and batches into the bounded replay buffer, whose evictions (if any)
+  // are the declared loss.
   auto drained = core_->drain_rings();
   if (!drained) return drained.status();
-  return core_->maybe_flush();
+  Status st = core_->maybe_flush();
+  if (!st) return st;
+  const TimeMicros now = monotonic_micros();
+  if (connected_ && config_.heartbeat_period_us > 0 &&
+      now - last_tx_us_ >= config_.heartbeat_period_us) {
+    (void)core_->send_heartbeat();
+  }
+  if (connected_ && config_.ism_silence_timeout_us > 0 &&
+      now - last_rx_us_ > config_.ism_silence_timeout_us) {
+    BRISK_LOG_WARN << "EXS node " << config_.node
+                   << ": ISM silent past timeout, dropping half-open link";
+    handle_disconnect();
+  }
+  return Status::ok();
 }
 
 Status ExternalSensor::run() {

@@ -8,18 +8,26 @@
 // Split in two layers:
 //  * ExsCore — all protocol logic, deterministic and socket-free: drains
 //    rings, applies the clock correction, batches, answers sync polls,
-//    folds ADJUST deltas into the correction value. Tests drive it directly.
+//    folds ADJUST deltas into the correction value, retains unacknowledged
+//    batches for replay, and handles the session-resilience handshake
+//    (HELLO/HELLO_ACK/BATCH_ACK). Tests drive it directly.
 //  * ExternalSensor — binds ExsCore to a real TCP connection and the
-//    select() loop; this is what the brisk_exs executable runs.
+//    select() loop, and owns connection survival: when the link to the ISM
+//    dies it reconnects with exponential backoff + jitter while the core
+//    keeps draining rings into the bounded replay buffer. This is what the
+//    brisk_exs executable runs.
 #pragma once
 
 #include <functional>
 #include <memory>
+#include <random>
 
 #include "clock/clock.hpp"
 #include "lis/batcher.hpp"
 #include "lis/exs_config.hpp"
+#include "lis/replay_buffer.hpp"
 #include "net/event_loop.hpp"
+#include "net/faulty_socket.hpp"
 #include "net/frame.hpp"
 #include "net/socket.hpp"
 #include "shm/multi_ring.hpp"
@@ -43,12 +51,24 @@ class ExsCore {
   Status maybe_flush() { return batcher_.maybe_flush(); }
   Status flush() { return batcher_.flush(); }
 
-  /// Handles one frame from the ISM (TIME_REQ, ADJUST, BYE).
-  /// Returns Errc::closed for BYE.
+  /// Handles one frame from the ISM (TIME_REQ, ADJUST, HELLO_ACK,
+  /// BATCH_ACK, HEARTBEAT, BYE). Returns Errc::closed for BYE.
   Status handle_frame(ByteSpan payload);
 
-  /// Sends the HELLO that opens the session.
+  /// Sends the HELLO that opens (or re-opens) the session. With replay
+  /// enabled, outbound batches are deferred into the replay buffer until
+  /// the ISM's HELLO_ACK names the resume cursor — this keeps the batch
+  /// sequence the ISM observes contiguous across a reconnect.
   Status send_hello();
+
+  /// Sends a liveness heartbeat (empty body).
+  Status send_heartbeat();
+
+  /// Transport notifications from the daemon layer: while the link is
+  /// down, data batches accumulate in the replay buffer instead of being
+  /// handed to the sink; re-establishing it replays everything unacked.
+  void on_disconnect() noexcept;
+  Status on_reconnected();
 
   /// The clock correction the sync protocol has accumulated; added to every
   /// record timestamp on its way out ("the raw local time ... is added to a
@@ -58,40 +78,71 @@ class ExsCore {
   /// The node clock as the sync protocol sees it (raw + correction).
   [[nodiscard]] TimeMicros corrected_now() noexcept { return clock_.now() + correction_; }
 
+  /// True once the ISM sent BYE (clean shutdown, not a link failure).
+  [[nodiscard]] bool saw_bye() const noexcept { return saw_bye_; }
+  /// True while batches are gated on a pending HELLO_ACK.
+  [[nodiscard]] bool awaiting_ack() const noexcept { return awaiting_ack_; }
+  [[nodiscard]] const ReplayBuffer& replay() const noexcept { return replay_; }
+
   [[nodiscard]] ExsStats stats() const noexcept;
   [[nodiscard]] const ExsConfig& config() const noexcept { return config_; }
   [[nodiscard]] shm::MultiRing& rings() noexcept { return rings_; }
 
  private:
+  Status ship_batch(ByteBuffer payload);
+  /// Re-sends every retained batch, oldest first (the ISM dedupes).
+  Status resend_unacked();
+
   ExsConfig config_;
   shm::MultiRing rings_;
   clk::Clock& clock_;
   FrameSink sink_;
   Batcher batcher_;
+  ReplayBuffer replay_;
   TimeMicros correction_ = 0;
+  bool link_ready_ = true;
+  bool awaiting_ack_ = false;
+  bool saw_bye_ = false;
+  bool have_last_ack_ = false;
+  std::uint32_t last_batch_ack_expected_ = 0;
   std::uint64_t records_forwarded_ = 0;
   std::uint64_t transcode_errors_ = 0;
   std::uint64_t sync_polls_answered_ = 0;
   std::uint64_t sync_adjustments_ = 0;
+  std::uint64_t reconnects_ = 0;
+  std::uint64_t batches_replayed_ = 0;
+  std::uint64_t heartbeats_sent_ = 0;
+  std::uint64_t acks_received_ = 0;
   std::vector<std::uint8_t> drain_scratch_;
 };
 
 class ExternalSensor {
  public:
-  /// Connects to the ISM and wires the core to the socket.
+  /// Connects to the ISM and wires the core to the socket. The initial
+  /// connection must succeed; later losses are survived by the backoff
+  /// reconnect loop.
   static Result<std::unique_ptr<ExternalSensor>> connect(const ExsConfig& config,
                                                          shm::MultiRing rings,
                                                          clk::Clock& clock,
                                                          const std::string& ism_host,
                                                          std::uint16_t ism_port);
 
-  /// Runs the select() loop until `stop()` or the ISM closes. Each cycle:
-  /// handle inbound frames, drain rings, flush aged batches.
+  /// Runs the select() loop until `stop()`, an ISM BYE, or (when
+  /// max_reconnect_attempts > 0) the reconnect budget is exhausted. Each
+  /// cycle: handle inbound frames, drain rings, flush aged batches, send
+  /// heartbeats, and drive the reconnect schedule while the link is down.
   Status run();
   /// Runs for at most `duration` (monotonic); for tests and benches.
   Status run_for(TimeMicros duration);
   void stop() noexcept { loop_.stop(); }
 
+  /// Installs a frame-level fault policy on the outbound path (tests and
+  /// the --fault-* flags of brisk_exs). Must be set before run().
+  void set_fault_policy(net::FaultPolicy policy) { fault_.set_policy(std::move(policy)); }
+  [[nodiscard]] const net::FaultStats& fault_stats() const noexcept { return fault_.stats(); }
+
+  [[nodiscard]] bool connected() const noexcept { return connected_; }
+  [[nodiscard]] std::uint64_t reconnects() const noexcept { return reconnects_; }
   [[nodiscard]] ExsCore& core() noexcept { return *core_; }
 
  private:
@@ -99,13 +150,28 @@ class ExternalSensor {
 
   Status cycle();
   Status pump_socket();
+  Status watch_socket();
+  Status write_out(ByteSpan frame);
+  void handle_disconnect();
+  void maybe_reconnect();
+  TimeMicros backoff_delay();
 
   ExsConfig config_;
   net::TcpSocket socket_;
+  net::FaultySocket fault_;
   net::FrameReader frame_reader_;
   net::EventLoop loop_;
   std::unique_ptr<ExsCore> core_;
-  bool peer_closed_ = false;
+  std::string ism_host_;
+  std::uint16_t ism_port_ = 0;
+  bool connected_ = false;
+  bool peer_closed_ = false;  // BYE received: clean shutdown, no reconnect
+  std::uint32_t failed_attempts_ = 0;
+  TimeMicros next_attempt_at_ = 0;  // monotonic
+  TimeMicros last_rx_us_ = 0;       // monotonic, any inbound bytes
+  TimeMicros last_tx_us_ = 0;       // monotonic, any outbound frame
+  std::uint64_t reconnects_ = 0;
+  std::mt19937_64 jitter_rng_;
 };
 
 }  // namespace brisk::lis

@@ -1,0 +1,40 @@
+#include "lis/replay_buffer.hpp"
+
+namespace brisk::lis {
+namespace {
+
+constexpr std::size_t kSeqOffset = 8;  // u32 type | u32 node | u32 batch_seq
+
+std::uint32_t read_be32(const std::uint8_t* p) noexcept {
+  return (std::uint32_t{p[0]} << 24) | (std::uint32_t{p[1]} << 16) |
+         (std::uint32_t{p[2]} << 8) | std::uint32_t{p[3]};
+}
+
+}  // namespace
+
+Status ReplayBuffer::retain(ByteSpan frame) {
+  if (max_batches_ == 0) return Status::ok();  // replay disabled
+  if (frame.size() < kSeqOffset + 4) {
+    return Status(Errc::invalid_argument, "frame too short for a batch header");
+  }
+  while (entries_.size() >= max_batches_) {
+    bytes_ -= entries_.front().frame.size();
+    entries_.pop_front();
+    ++evictions_;
+  }
+  Entry entry;
+  entry.batch_seq = read_be32(frame.data() + kSeqOffset);
+  entry.frame.append(frame);
+  bytes_ += entry.frame.size();
+  entries_.push_back(std::move(entry));
+  return Status::ok();
+}
+
+void ReplayBuffer::ack(std::uint32_t next_expected) {
+  while (!entries_.empty() && entries_.front().batch_seq < next_expected) {
+    bytes_ -= entries_.front().frame.size();
+    entries_.pop_front();
+  }
+}
+
+}  // namespace brisk::lis

@@ -1,0 +1,53 @@
+// Bounded in-flight batch replay buffer (EXS side of session resilience).
+//
+// Every data-batch frame the EXS ships is retained here until the ISM's
+// cumulative BATCH_ACK cursor passes its sequence number. On reconnect the
+// EXS replays everything the ISM has not acknowledged (the ISM dedupes by
+// batch_seq, so an ack lost in the crash cannot duplicate records). The
+// buffer is bounded: when `max_batches` are already retained, the oldest
+// entry is evicted and counted — an *declared* loss, reported in ExsStats.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+
+#include "common/byte_buffer.hpp"
+#include "common/error.hpp"
+
+namespace brisk::lis {
+
+class ReplayBuffer {
+ public:
+  struct Entry {
+    std::uint32_t batch_seq = 0;
+    ByteBuffer frame;  // full data_batch frame payload, ready to re-send
+  };
+
+  explicit ReplayBuffer(std::size_t max_batches) : max_batches_(max_batches) {}
+
+  /// Retains a copy of a finished data_batch frame payload. The batch
+  /// sequence number is read from the frame itself (u32 at byte offset 8:
+  /// type, node, batch_seq). Frames too short to carry a header are
+  /// rejected.
+  Status retain(ByteSpan frame);
+
+  /// Drops every entry with batch_seq < next_expected (the ISM has them).
+  void ack(std::uint32_t next_expected);
+
+  /// Entries still buffered, oldest first.
+  [[nodiscard]] const std::deque<Entry>& entries() const noexcept { return entries_; }
+
+  [[nodiscard]] std::size_t size() const noexcept { return entries_.size(); }
+  [[nodiscard]] bool empty() const noexcept { return entries_.empty(); }
+  [[nodiscard]] std::size_t bytes() const noexcept { return bytes_; }
+  /// Batches evicted because the buffer was full: data declared lost.
+  [[nodiscard]] std::uint64_t evictions() const noexcept { return evictions_; }
+
+ private:
+  std::size_t max_batches_;
+  std::deque<Entry> entries_;
+  std::size_t bytes_ = 0;
+  std::uint64_t evictions_ = 0;
+};
+
+}  // namespace brisk::lis

@@ -51,7 +51,10 @@ Result<int> EventLoop::poll_once(TimeMicros timeout) {
     for (int fd : ready_fds) {
       auto it = callbacks_.find(fd);
       if (it == callbacks_.end()) continue;  // unwatched by a prior callback
-      it->second(fd);
+      // Invoke a copy: the callback may unwatch its own fd (e.g. on a lost
+      // connection), which would otherwise destroy it mid-call.
+      Callback cb = it->second;
+      cb(fd);
       ++handled;
     }
   }

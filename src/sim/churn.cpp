@@ -1,0 +1,57 @@
+#include "sim/churn.hpp"
+
+namespace brisk::sim {
+
+Status ChurnConfig::validate() const {
+  if (nodes == 0) return Status(Errc::invalid_argument, "nodes == 0");
+  if (step_us <= 0) return Status(Errc::invalid_argument, "step_us <= 0");
+  if (toggle_probability < 0 || toggle_probability > 1) {
+    return Status(Errc::invalid_argument, "toggle_probability outside [0, 1]");
+  }
+  if (record_probability < 0 || record_probability > 1) {
+    return Status(Errc::invalid_argument, "record_probability outside [0, 1]");
+  }
+  if (max_lag_us < 0) return Status(Errc::invalid_argument, "negative max_lag_us");
+  return Status::ok();
+}
+
+std::vector<ChurnEvent> generate_churn(const ChurnConfig& config) {
+  std::mt19937_64 rng(config.seed);
+  std::uniform_real_distribution<double> uniform(0.0, 1.0);
+  std::vector<ChurnEvent> events;
+  events.reserve(static_cast<std::size_t>(config.steps) * config.nodes / 2);
+
+  std::vector<bool> live(config.nodes, true);
+  std::vector<TimeMicros> last_ts(config.nodes, 0);
+  for (std::uint32_t n = 0; n < config.nodes; ++n) {
+    events.push_back({ChurnEvent::Kind::join, static_cast<NodeId>(n + 1), 0, 0});
+  }
+
+  for (std::uint32_t step = 0; step < config.steps; ++step) {
+    const TimeMicros now = static_cast<TimeMicros>(step + 1) * config.step_us;
+    for (std::uint32_t n = 0; n < config.nodes; ++n) {
+      const NodeId node = static_cast<NodeId>(n + 1);
+      if (uniform(rng) < config.toggle_probability) {
+        live[n] = !live[n];
+        events.push_back(
+            {live[n] ? ChurnEvent::Kind::join : ChurnEvent::Kind::leave, node, now, 0});
+        continue;
+      }
+      if (live[n] && uniform(rng) < config.record_probability) {
+        const auto lag = static_cast<TimeMicros>(
+            uniform(rng) * static_cast<double>(config.max_lag_us));
+        // Per-node timestamps stay monotonic: a node's clock is. The lag
+        // models transport + batching delay, which shifts the arrival (the
+        // event's `at`) relative to creation — it cannot reorder a single
+        // node's own creation sequence, only interleavings across nodes.
+        TimeMicros ts = now > lag ? now - lag : 0;
+        if (ts <= last_ts[n]) ts = last_ts[n] + 1;
+        last_ts[n] = ts;
+        events.push_back({ChurnEvent::Kind::record, node, now, ts});
+      }
+    }
+  }
+  return events;
+}
+
+}  // namespace brisk::sim

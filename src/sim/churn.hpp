@@ -1,0 +1,47 @@
+// Seeded EXS churn scripts: a deterministic schedule of node joins, leaves
+// (crash or clean), and timestamped record emissions, for driving the ISM
+// merge/sort path through randomized connect/disconnect storms. The
+// property test replays a script against the OnlineSorter and checks the
+// ordering invariants; the same seed always yields the same script.
+#pragma once
+
+#include <cstdint>
+#include <random>
+#include <vector>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+
+namespace brisk::sim {
+
+struct ChurnConfig {
+  std::uint64_t seed = 1;
+  std::uint32_t nodes = 4;
+  std::uint32_t steps = 2000;
+  /// Simulated time between consecutive steps.
+  TimeMicros step_us = 1'000;
+  /// Per step and node: probability a live node leaves / a dead one joins.
+  double toggle_probability = 0.01;
+  /// Per step and live node: probability it emits a record.
+  double record_probability = 0.7;
+  /// Record timestamps lag the simulated now by up to this much (models
+  /// network + batching delay; creates genuine cross-node reordering while
+  /// each node's own timestamps stay monotonic, as a real node clock is).
+  TimeMicros max_lag_us = 5'000;
+
+  [[nodiscard]] Status validate() const;
+};
+
+struct ChurnEvent {
+  enum class Kind : std::uint8_t { join, leave, record };
+  Kind kind = Kind::record;
+  NodeId node = 0;
+  TimeMicros at = 0;         // simulated wall time of the event
+  TimeMicros timestamp = 0;  // record timestamp (kind == record only)
+};
+
+/// Generates the full event schedule for a config. All nodes start joined
+/// at time 0 (join events are emitted for them first).
+std::vector<ChurnEvent> generate_churn(const ChurnConfig& config);
+
+}  // namespace brisk::sim

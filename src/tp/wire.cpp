@@ -317,6 +317,7 @@ Status transcode_native_record(ByteSpan native, xdr::Encoder& encoder, TimeMicro
 void encode_hello(const Hello& msg, xdr::Encoder& encoder) {
   encoder.put_u32(msg.node);
   encoder.put_u32(msg.version);
+  encoder.put_u64(msg.incarnation);
 }
 
 Result<Hello> decode_hello(xdr::Decoder& decoder) {
@@ -325,9 +326,38 @@ Result<Hello> decode_hello(xdr::Decoder& decoder) {
   if (!node) return node.status();
   auto version = decoder.get_u32();
   if (!version) return version.status();
+  auto incarnation = decoder.get_u64();
+  if (!incarnation) return incarnation.status();
   msg.node = node.value();
   msg.version = version.value();
+  msg.incarnation = incarnation.value();
   return msg;
+}
+
+void encode_hello_ack(const HelloAck& msg, xdr::Encoder& encoder) {
+  encoder.put_u64(msg.incarnation);
+  encoder.put_u32(msg.next_expected_seq);
+}
+
+Result<HelloAck> decode_hello_ack(xdr::Decoder& decoder) {
+  HelloAck msg;
+  auto incarnation = decoder.get_u64();
+  if (!incarnation) return incarnation.status();
+  auto seq = decoder.get_u32();
+  if (!seq) return seq.status();
+  msg.incarnation = incarnation.value();
+  msg.next_expected_seq = seq.value();
+  return msg;
+}
+
+void encode_batch_ack(const BatchAck& msg, xdr::Encoder& encoder) {
+  encoder.put_u32(msg.next_expected_seq);
+}
+
+Result<BatchAck> decode_batch_ack(xdr::Decoder& decoder) {
+  auto seq = decoder.get_u32();
+  if (!seq) return seq.status();
+  return BatchAck{seq.value()};
 }
 
 void encode_time_req(const TimeReq& msg, xdr::Encoder& encoder) {
@@ -367,7 +397,7 @@ Result<Adjust> decode_adjust(xdr::Decoder& decoder) {
 Result<MsgType> peek_type(xdr::Decoder& decoder) {
   auto raw = decoder.get_u32();
   if (!raw) return raw.status();
-  if (raw.value() < 1 || raw.value() > 6) return Status(Errc::malformed, "unknown message type");
+  if (raw.value() < 1 || raw.value() > 9) return Status(Errc::malformed, "unknown message type");
   return static_cast<MsgType>(raw.value());
 }
 

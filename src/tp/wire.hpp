@@ -11,6 +11,15 @@
 // the ISM polls with TIME_REQ, the EXS answers TIME_RESP with its corrected
 // clock, and the ISM pushes ADJUST deltas that the EXS folds into the
 // correction value it applies to every outgoing timestamp.
+//
+// The session-resilience messages (protocol v2) make the EXS⇄ISM link
+// survivable: HELLO carries an `incarnation` so the ISM can tell a
+// reconnect of the same EXS process (batch sequence numbers continue,
+// replayed batches are deduped) from a restarted one (sequence tracking
+// resets); HELLO_ACK tells the rejoining EXS which batch to resume from;
+// BATCH_ACK carries the ISM's cumulative receive cursor so the EXS can trim
+// its replay buffer and re-send batches lost to a faulty link; HEARTBEAT
+// keeps idle sessions distinguishable from dead ones.
 #pragma once
 
 #include <cstdint>
@@ -22,20 +31,40 @@
 
 namespace brisk::tp {
 
-inline constexpr std::uint32_t kProtocolVersion = 1;
+inline constexpr std::uint32_t kProtocolVersion = 2;
 
 enum class MsgType : std::uint32_t {
-  hello = 1,       // EXS → ISM: node id, version
+  hello = 1,       // EXS → ISM: node id, version, incarnation
   data_batch = 2,  // EXS → ISM: a batch of records
   time_req = 3,    // ISM → EXS: clock poll
   time_resp = 4,   // EXS → ISM: clock answer
   adjust = 5,      // ISM → EXS: clock correction delta
   bye = 6,         // either direction: orderly shutdown
+  heartbeat = 7,   // either direction: liveness signal (empty body)
+  hello_ack = 8,   // ISM → EXS: session accepted, resume cursor
+  batch_ack = 9,   // ISM → EXS: cumulative receive cursor
 };
 
 struct Hello {
   NodeId node = 0;
   std::uint32_t version = kProtocolVersion;
+  /// Distinguishes a reconnect of the same EXS process (incarnation
+  /// matches the ISM's session record, batch sequence numbers continue)
+  /// from a restarted process (fresh incarnation, sequence tracking
+  /// resets). 0 is legal but defeats crash detection; daemons derive a
+  /// unique value at startup.
+  std::uint64_t incarnation = 0;
+};
+
+struct HelloAck {
+  std::uint64_t incarnation = 0;        // echo of the accepted HELLO
+  std::uint32_t next_expected_seq = 0;  // first batch_seq the ISM wants
+};
+
+struct BatchAck {
+  /// All batches with batch_seq < next_expected_seq have been accepted;
+  /// anything at or above it is still outstanding from the ISM's view.
+  std::uint32_t next_expected_seq = 0;
 };
 
 struct TimeReq {
@@ -82,6 +111,12 @@ Result<TimeResp> decode_time_resp(xdr::Decoder& decoder);
 
 void encode_adjust(const Adjust& msg, xdr::Encoder& encoder);
 Result<Adjust> decode_adjust(xdr::Decoder& decoder);
+
+void encode_hello_ack(const HelloAck& msg, xdr::Encoder& encoder);
+Result<HelloAck> decode_hello_ack(xdr::Decoder& decoder);
+
+void encode_batch_ack(const BatchAck& msg, xdr::Encoder& encoder);
+Result<BatchAck> decode_batch_ack(xdr::Decoder& decoder);
 
 /// Reads the leading message type of a frame payload.
 Result<MsgType> peek_type(xdr::Decoder& decoder);

@@ -11,6 +11,7 @@
 #include "net/frame.hpp"
 #include "picl/picl_record.hpp"
 #include "sensors/record_codec.hpp"
+#include "sim/fault_injector.hpp"
 #include "tp/batch.hpp"
 #include "tp/meta_header.hpp"
 #include "tp/wire.hpp"
@@ -134,6 +135,223 @@ TEST_P(FuzzSeed, CorruptedNativeRecordPatchNeverCrashes) {
     ByteBuffer wire;
     xdr::Encoder enc(wire);
     (void)tp::transcode_native_record({mutated.data(), mutated.size()}, enc, 0);
+  }
+}
+
+// ---- session-resilience codecs (protocol v2) --------------------------------
+
+TEST_P(FuzzSeed, ResilienceControlMessagesRoundTrip) {
+  std::mt19937_64 rng(GetParam() * 97 + 11);
+  for (int i = 0; i < 500; ++i) {
+    const tp::Hello hello{static_cast<NodeId>(rng()), tp::kProtocolVersion, rng()};
+    ByteBuffer hello_wire;
+    xdr::Encoder hello_enc(hello_wire);
+    tp::put_type(tp::MsgType::hello, hello_enc);
+    tp::encode_hello(hello, hello_enc);
+    xdr::Decoder hello_dec(hello_wire.view());
+    ASSERT_TRUE(tp::peek_type(hello_dec).is_ok());
+    auto hello_back = tp::decode_hello(hello_dec);
+    ASSERT_TRUE(hello_back.is_ok());
+    EXPECT_EQ(hello_back.value().node, hello.node);
+    EXPECT_EQ(hello_back.value().incarnation, hello.incarnation);
+
+    const tp::HelloAck ack{rng(), static_cast<std::uint32_t>(rng())};
+    ByteBuffer ack_wire;
+    xdr::Encoder ack_enc(ack_wire);
+    tp::put_type(tp::MsgType::hello_ack, ack_enc);
+    tp::encode_hello_ack(ack, ack_enc);
+    xdr::Decoder ack_dec(ack_wire.view());
+    ASSERT_TRUE(tp::peek_type(ack_dec).is_ok());
+    auto ack_back = tp::decode_hello_ack(ack_dec);
+    ASSERT_TRUE(ack_back.is_ok());
+    EXPECT_EQ(ack_back.value().incarnation, ack.incarnation);
+    EXPECT_EQ(ack_back.value().next_expected_seq, ack.next_expected_seq);
+
+    const tp::BatchAck batch_ack{static_cast<std::uint32_t>(rng())};
+    ByteBuffer batch_wire;
+    xdr::Encoder batch_enc(batch_wire);
+    tp::put_type(tp::MsgType::batch_ack, batch_enc);
+    tp::encode_batch_ack(batch_ack, batch_enc);
+    xdr::Decoder batch_dec(batch_wire.view());
+    ASSERT_TRUE(tp::peek_type(batch_dec).is_ok());
+    auto batch_back = tp::decode_batch_ack(batch_dec);
+    ASSERT_TRUE(batch_back.is_ok());
+    EXPECT_EQ(batch_back.value().next_expected_seq, batch_ack.next_expected_seq);
+  }
+}
+
+TEST_P(FuzzSeed, TruncatedResilienceControlMessagesAlwaysError) {
+  ByteBuffer hello_wire;
+  xdr::Encoder hello_enc(hello_wire);
+  tp::put_type(tp::MsgType::hello, hello_enc);
+  tp::encode_hello({42, tp::kProtocolVersion, 0x1122334455667788ull}, hello_enc);
+  for (std::size_t cut = 0; cut < hello_wire.size(); ++cut) {
+    xdr::Decoder dec(hello_wire.view().subspan(0, cut));
+    if (!tp::peek_type(dec).is_ok()) continue;
+    EXPECT_FALSE(tp::decode_hello(dec).is_ok()) << "hello cut at " << cut;
+  }
+
+  ByteBuffer ack_wire;
+  xdr::Encoder ack_enc(ack_wire);
+  tp::put_type(tp::MsgType::hello_ack, ack_enc);
+  tp::encode_hello_ack({0x99aabbccddeeff00ull, 7}, ack_enc);
+  for (std::size_t cut = 0; cut < ack_wire.size(); ++cut) {
+    xdr::Decoder dec(ack_wire.view().subspan(0, cut));
+    if (!tp::peek_type(dec).is_ok()) continue;
+    EXPECT_FALSE(tp::decode_hello_ack(dec).is_ok()) << "hello_ack cut at " << cut;
+  }
+
+  ByteBuffer batch_wire;
+  xdr::Encoder batch_enc(batch_wire);
+  tp::put_type(tp::MsgType::batch_ack, batch_enc);
+  tp::encode_batch_ack({12345}, batch_enc);
+  for (std::size_t cut = 0; cut < batch_wire.size(); ++cut) {
+    xdr::Decoder dec(batch_wire.view().subspan(0, cut));
+    if (!tp::peek_type(dec).is_ok()) continue;
+    EXPECT_FALSE(tp::decode_batch_ack(dec).is_ok()) << "batch_ack cut at " << cut;
+  }
+}
+
+// ---- fault-injected frame streams -------------------------------------------
+
+void append_framed(std::vector<std::uint8_t>& stream, ByteSpan payload,
+                   std::size_t body_bytes) {
+  // The length prefix always declares the FULL payload size — a truncated
+  // frame lies about its length, exactly like FaultySocket on the wire.
+  const std::uint32_t len = static_cast<std::uint32_t>(payload.size());
+  stream.push_back(static_cast<std::uint8_t>(len >> 24));
+  stream.push_back(static_cast<std::uint8_t>(len >> 16));
+  stream.push_back(static_cast<std::uint8_t>(len >> 8));
+  stream.push_back(static_cast<std::uint8_t>(len));
+  stream.insert(stream.end(), payload.begin(), payload.begin() + body_bytes);
+}
+
+TEST_P(FuzzSeed, FaultInjectedFrameStreamNeverCrashesDecoders) {
+  sim::FaultPlan plan;
+  plan.seed = GetParam();
+  plan.drop_probability = 0.2;
+  plan.duplicate_probability = 0.2;
+  plan.truncate_probability = 0.2;
+  plan.spare_control_frames = false;  // maul everything, handshake included
+  ASSERT_TRUE(plan.validate().is_ok());
+  sim::FaultInjector injector(plan);
+
+  // A realistic frame mix: batches interleaved with v2 control messages.
+  std::vector<ByteBuffer> frames;
+  for (int i = 0; i < 120; ++i) {
+    ByteBuffer payload;
+    xdr::Encoder enc(payload);
+    switch (i % 4) {
+      case 0:
+        payload = valid_batch_payload();
+        break;
+      case 1:
+        tp::put_type(tp::MsgType::hello, enc);
+        tp::encode_hello({static_cast<NodeId>(i), tp::kProtocolVersion,
+                          static_cast<std::uint64_t>(i) * 31},
+                         enc);
+        break;
+      case 2:
+        tp::put_type(tp::MsgType::batch_ack, enc);
+        tp::encode_batch_ack({static_cast<std::uint32_t>(i)}, enc);
+        break;
+      default:
+        tp::put_type(tp::MsgType::heartbeat, enc);
+        break;
+    }
+    frames.push_back(std::move(payload));
+  }
+
+  // Assemble the byte stream the receiver would actually observe.
+  std::vector<std::uint8_t> stream;
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    const ByteSpan payload = frames[i].view();
+    const net::FaultDecision decision = injector.decide(i, payload);
+    switch (decision.action) {
+      case net::FaultAction::drop:
+        break;
+      case net::FaultAction::duplicate:
+        append_framed(stream, payload, payload.size());
+        append_framed(stream, payload, payload.size());
+        break;
+      case net::FaultAction::truncate:
+        append_framed(stream, payload,
+                      decision.truncate_to < payload.size() ? decision.truncate_to
+                                                            : payload.size());
+        break;
+      case net::FaultAction::pass:
+      case net::FaultAction::stall:  // timing-only on a byte stream
+        append_framed(stream, payload, payload.size());
+        break;
+    }
+  }
+
+  // Feed it in randomly-sized chunks; decode whatever frames survive.
+  std::mt19937_64 rng(GetParam() * 13 + 5);
+  std::uniform_int_distribution<std::size_t> chunk_dist(1, 400);
+  net::FrameReader reader;
+  std::size_t offset = 0;
+  bool stream_poisoned = false;
+  while (offset < stream.size() && !stream_poisoned) {
+    const std::size_t n = std::min(chunk_dist(rng), stream.size() - offset);
+    reader.feed(ByteSpan{stream.data() + offset, n});
+    offset += n;
+    for (;;) {
+      auto frame = reader.next();
+      if (!frame.is_ok()) {
+        stream_poisoned = true;  // a truncation desynced the framing: the
+        break;                   // receiver would now drop the connection
+      }
+      if (!frame.value().has_value()) break;
+      const ByteSpan view = frame.value()->view();
+      xdr::Decoder dec(view);
+      auto type = tp::peek_type(dec);
+      if (!type.is_ok()) continue;
+      switch (type.value()) {
+        case tp::MsgType::data_batch:
+          (void)tp::decode_batch(dec);
+          break;
+        case tp::MsgType::hello:
+          (void)tp::decode_hello(dec);
+          break;
+        case tp::MsgType::hello_ack:
+          (void)tp::decode_hello_ack(dec);
+          break;
+        case tp::MsgType::batch_ack:
+          (void)tp::decode_batch_ack(dec);
+          break;
+        default:
+          break;
+      }
+    }
+  }
+}
+
+TEST_P(FuzzSeed, FaultInjectorIsDeterministicPerSeed) {
+  sim::FaultPlan plan;
+  plan.seed = GetParam() * 7 + 1;
+  plan.drop_probability = 0.15;
+  plan.duplicate_probability = 0.15;
+  plan.truncate_probability = 0.15;
+  plan.stall_probability = 0.1;
+  plan.stall_us = 1'000;
+  plan.stall_every = 16;
+  ASSERT_TRUE(plan.validate().is_ok());
+  sim::FaultInjector first(plan);
+  sim::FaultInjector second(plan);
+
+  std::mt19937_64 rng(GetParam());
+  const ByteBuffer batch = valid_batch_payload();
+  for (std::uint64_t i = 0; i < 1'000; ++i) {
+    // Alternate data batches with random control-ish payloads.
+    auto noise = random_bytes(rng, 64);
+    const ByteSpan payload =
+        (i % 2 == 0) ? batch.view() : ByteSpan{noise.data(), noise.size()};
+    const net::FaultDecision a = first.decide(i, payload);
+    const net::FaultDecision b = second.decide(i, payload);
+    EXPECT_EQ(static_cast<int>(a.action), static_cast<int>(b.action)) << "frame " << i;
+    EXPECT_EQ(a.truncate_to, b.truncate_to);
+    EXPECT_EQ(a.stall_us, b.stall_us);
   }
 }
 
