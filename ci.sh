@@ -1,0 +1,40 @@
+#!/usr/bin/env bash
+# CI gate for BRISK. Three stages, any failure aborts the run:
+#   1. tier-1: release-ish build + the full ctest suite
+#   2. resilience: the crash/churn/fault-injection label on the same build
+#   3. sanitize: a separate ASan+UBSan tree running the resilience label,
+#      which is where lifetime and data-race-adjacent bugs actually surface
+#
+# Usage: ./ci.sh [--skip-sanitize]
+set -euo pipefail
+cd "$(dirname "$0")"
+
+SKIP_SANITIZE=0
+for arg in "$@"; do
+  case "$arg" in
+    --skip-sanitize) SKIP_SANITIZE=1 ;;
+    *) echo "unknown argument: $arg" >&2; exit 2 ;;
+  esac
+done
+
+JOBS="$(nproc 2>/dev/null || echo 4)"
+
+echo "==> [1/3] tier-1 build + full test suite"
+cmake -B build -S . >/dev/null
+cmake --build build -j"$JOBS"
+ctest --test-dir build --output-on-failure -j"$JOBS"
+
+echo "==> [2/3] resilience label"
+ctest --test-dir build --output-on-failure -L resilience
+
+if [[ "$SKIP_SANITIZE" == 1 ]]; then
+  echo "==> [3/3] sanitizer stage skipped (--skip-sanitize)"
+  exit 0
+fi
+
+echo "==> [3/3] ASan+UBSan build + resilience label"
+cmake -B build-asan -S . -DBRISK_SANITIZE=address,undefined >/dev/null
+cmake --build build-asan -j"$JOBS"
+ctest --test-dir build-asan --output-on-failure -L resilience
+
+echo "==> CI green"

@@ -97,15 +97,19 @@ int main() {
   auto rates_channel = vo::VoChannel::connect("127.0.0.1", registry.value()->port());
   auto log_channel = vo::VoChannel::connect("127.0.0.1", registry.value()->port());
   if (!rates_channel || !log_channel) return 1;
-  manager.value()->add_sink(std::make_shared<vo::VoSink>(
+  Status sink_ok = manager.value()->add_sink(std::make_shared<vo::VoSink>(
       std::move(rates_channel).value(), std::vector<std::string>{"rates"}, picl_options));
+  if (!sink_ok) return 1;
   auto log_sink = std::make_shared<vo::VoChannel>(std::move(log_channel).value());
-  manager.value()->add_sink(std::make_shared<ism::CallbackSink>(
-      [log_sink, picl_options](const sensors::Record& record) {
-        if (record.sensor == kOverrun) {
-          (void)log_sink->render("overruns", picl::to_picl_line(record, picl_options));
-        }
-      }));
+  sink_ok = manager.value()->add_sink(
+      "overrun-log", std::make_shared<ism::CallbackSink>(
+                         [log_sink, picl_options](const sensors::Record& record) {
+                           if (record.sensor == kOverrun) {
+                             (void)log_sink->render("overruns",
+                                                    picl::to_picl_line(record, picl_options));
+                           }
+                         }));
+  if (!sink_ok) return 1;
 
   NodeConfig node_config;
   node_config.node = 1;

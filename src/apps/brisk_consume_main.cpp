@@ -25,23 +25,33 @@ namespace {
 volatile std::sig_atomic_t g_stop = 0;
 void handle_signal(int) { g_stop = 1; }
 
+brisk::apps::FlagRegistry make_registry() {
+  brisk::apps::FlagRegistry flags("brisk_consume", "BRISK shared-memory trace consumer");
+  flags.add_string("shm", "", "named shared-memory output ring to attach (required)")
+      .add_string("mode", "picl", "output mode: picl (stream lines) or stats (summary)")
+      .add_int("max-records", 0, "exit after this many records (0 = unlimited)")
+      .add_int("idle-exit-ms", 2'000, "exit after this long with no records (0 = never)")
+      .add_bool("picl-utc", true, "stamp PICL lines with UTC micros");
+  return flags;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace brisk;  // NOLINT
-  apps::FlagParser flags(argc, argv);
-  const std::string shm_name = flags.get_string("shm", "");
-  const std::string mode = flags.get_string("mode", "picl");
-  const long long max_records = flags.get_int("max-records", 0);
-  const long long idle_exit_ms = flags.get_int("idle-exit-ms", 2'000);
+  apps::FlagRegistry flags = make_registry();
+  flags.parse(argc, argv);
+  const std::string shm_name = flags.str("shm");
+  const std::string mode = flags.str("mode");
+  const long long max_records = flags.num("max-records");
+  const long long idle_exit_ms = flags.num("idle-exit-ms");
   picl::PiclOptions picl_options;
-  if (flags.get_bool("picl-utc", true)) {
+  if (flags.flag("picl-utc")) {
     picl_options.mode = picl::TimestampMode::utc_micros;
   } else {
     picl_options.mode = picl::TimestampMode::seconds_from_epoch;
     picl_options.epoch_us = clk::SystemClock::instance().now();
   }
-  flags.reject_unknown();
 
   if (shm_name.empty()) {
     std::fprintf(stderr, "brisk_consume: --shm /name is required\n");

@@ -28,45 +28,83 @@ void handle_signal(int) {
   if (g_exs != nullptr) g_exs->stop();
 }
 
+brisk::apps::FlagRegistry make_registry() {
+  brisk::apps::FlagRegistry flags("brisk_exs", "BRISK external sensor daemon");
+  flags.add_int("node", 0, "node id reported to the ISM")
+      .add_string("shm", "", "named shared-memory ring directory (required)")
+      .add_bool("attach", false, "attach to an existing ring instead of creating it")
+      .add_int("slots", 8, "sensor ring slots")
+      .add_int("ring-bytes", 1 << 20, "per-ring capacity in bytes")
+      .add_string("ism-host", "127.0.0.1", "ISM host to connect to")
+      .add_int("ism-port", 0, "ISM port to connect to (required)")
+      .add_string("poller", "select", "readiness backend: select or epoll")
+      .add_int("batch-records", 256, "flush a batch after this many records")
+      .add_int("batch-bytes", 32768, "flush a batch after this many bytes")
+      .add_int("batch-age-us", 20'000, "flush a batch older than this")
+      .add_int("select-timeout-us", 40'000, "poll cycle timeout in microseconds")
+      .add_int("replay-batches", 256, "replay buffer cap in batches")
+      .add_int("replay-bytes", 0, "replay buffer cap in bytes (0 = unlimited)")
+      .add_int("backoff-base-us", 50'000, "reconnect backoff base")
+      .add_int("backoff-cap-us", 5'000'000, "reconnect backoff ceiling")
+      .add_double("backoff-jitter", 0.2, "reconnect backoff jitter fraction")
+      .add_int("max-reconnects", 0, "give up after this many reconnects (0 = forever)")
+      .add_int("heartbeat-us", 1'000'000, "heartbeat period while idle")
+      .add_int("ism-silence-us", 0, "reconnect if the ISM is silent this long (0 = off)")
+      .add_int("fault-seed", 1, "RNG seed for outbound fault injection")
+      .add_double("fault-drop", 0.0, "probability of dropping an outbound frame")
+      .add_double("fault-dup", 0.0, "probability of duplicating an outbound frame")
+      .add_double("fault-trunc", 0.0, "probability of truncating an outbound frame")
+      .add_double("fault-stall", 0.0, "probability of stalling before an outbound frame")
+      .add_int("fault-stall-us", 0, "stall duration in microseconds")
+      .add_int("fault-stall-every", 0, "stall deterministically every N frames (0 = off)")
+      .add_int("nice", 0, "setpriority() delta for this process")
+      .add_bool("verbose", false, "log at info level");
+  return flags;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace brisk;
-  apps::FlagParser flags(argc, argv);
+  apps::FlagRegistry flags = make_registry();
+  flags.parse(argc, argv);
 
   NodeConfig config;
-  config.node = static_cast<NodeId>(flags.get_int("node", 0));
-  config.shm_name = flags.get_string("shm", "");
-  config.sensor_slots = static_cast<std::uint32_t>(flags.get_int("slots", 8));
-  config.ring_capacity = static_cast<std::uint32_t>(flags.get_int("ring-bytes", 1 << 20));
-  config.exs.batch_max_records =
-      static_cast<std::uint32_t>(flags.get_int("batch-records", 256));
-  config.exs.batch_max_bytes = static_cast<std::uint32_t>(flags.get_int("batch-bytes", 32768));
-  config.exs.batch_max_age_us = flags.get_int("batch-age-us", 20'000);
-  config.exs.select_timeout_us = flags.get_int("select-timeout-us", 40'000);
-  config.exs.replay_buffer_batches =
-      static_cast<std::uint32_t>(flags.get_int("replay-batches", 256));
-  config.exs.reconnect_backoff_base_us = flags.get_int("backoff-base-us", 50'000);
-  config.exs.reconnect_backoff_cap_us = flags.get_int("backoff-cap-us", 5'000'000);
-  config.exs.reconnect_jitter = flags.get_double("backoff-jitter", 0.2);
-  config.exs.max_reconnect_attempts =
-      static_cast<std::uint32_t>(flags.get_int("max-reconnects", 0));
-  config.exs.heartbeat_period_us = flags.get_int("heartbeat-us", 1'000'000);
-  config.exs.ism_silence_timeout_us = flags.get_int("ism-silence-us", 0);
+  config.node = static_cast<NodeId>(flags.num("node"));
+  config.shm_name = flags.str("shm");
+  config.sensor_slots = static_cast<std::uint32_t>(flags.num("slots"));
+  config.ring_capacity = static_cast<std::uint32_t>(flags.num("ring-bytes"));
+  config.exs.batch_max_records = static_cast<std::uint32_t>(flags.num("batch-records"));
+  config.exs.batch_max_bytes = static_cast<std::uint32_t>(flags.num("batch-bytes"));
+  config.exs.batch_max_age_us = flags.num("batch-age-us");
+  config.exs.select_timeout_us = flags.num("select-timeout-us");
+  auto backend = net::parse_poller_backend(flags.str("poller"));
+  if (!backend) {
+    std::fprintf(stderr, "brisk_exs: --poller: %s\n", backend.status().to_string().c_str());
+    return 2;
+  }
+  config.exs.poller = backend.value();
+  config.exs.replay_buffer_batches = static_cast<std::uint32_t>(flags.num("replay-batches"));
+  config.exs.replay_buffer_bytes = static_cast<std::size_t>(flags.num("replay-bytes"));
+  config.exs.reconnect_backoff_base_us = flags.num("backoff-base-us");
+  config.exs.reconnect_backoff_cap_us = flags.num("backoff-cap-us");
+  config.exs.reconnect_jitter = flags.real("backoff-jitter");
+  config.exs.max_reconnect_attempts = static_cast<std::uint32_t>(flags.num("max-reconnects"));
+  config.exs.heartbeat_period_us = flags.num("heartbeat-us");
+  config.exs.ism_silence_timeout_us = flags.num("ism-silence-us");
   sim::FaultPlan fault_plan;
-  fault_plan.seed = static_cast<std::uint64_t>(flags.get_int("fault-seed", 1));
-  fault_plan.drop_probability = flags.get_double("fault-drop", 0.0);
-  fault_plan.duplicate_probability = flags.get_double("fault-dup", 0.0);
-  fault_plan.truncate_probability = flags.get_double("fault-trunc", 0.0);
-  fault_plan.stall_probability = flags.get_double("fault-stall", 0.0);
-  fault_plan.stall_us = flags.get_int("fault-stall-us", 0);
-  fault_plan.stall_every = static_cast<std::uint32_t>(flags.get_int("fault-stall-every", 0));
-  const std::string ism_host = flags.get_string("ism-host", "127.0.0.1");
-  const auto ism_port = static_cast<std::uint16_t>(flags.get_int("ism-port", 0));
-  const int nice_delta = static_cast<int>(flags.get_int("nice", 0));
-  const bool attach = flags.get_bool("attach", false);
-  if (flags.get_bool("verbose", false)) Logging::set_level(LogLevel::info);
-  flags.reject_unknown();
+  fault_plan.seed = static_cast<std::uint64_t>(flags.num("fault-seed"));
+  fault_plan.drop_probability = flags.real("fault-drop");
+  fault_plan.duplicate_probability = flags.real("fault-dup");
+  fault_plan.truncate_probability = flags.real("fault-trunc");
+  fault_plan.stall_probability = flags.real("fault-stall");
+  fault_plan.stall_us = flags.num("fault-stall-us");
+  fault_plan.stall_every = static_cast<std::uint32_t>(flags.num("fault-stall-every"));
+  const std::string ism_host = flags.str("ism-host");
+  const auto ism_port = static_cast<std::uint16_t>(flags.num("ism-port"));
+  const int nice_delta = static_cast<int>(flags.num("nice"));
+  const bool attach = flags.flag("attach");
+  if (flags.flag("verbose")) Logging::set_level(LogLevel::info);
 
   if (config.shm_name.empty()) {
     std::fprintf(stderr, "brisk_exs: --shm /name is required\n");
@@ -125,5 +163,15 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(stats.batches_replayed),
               static_cast<unsigned long long>(stats.replay_evictions),
               static_cast<unsigned long long>(stats.replay_pending));
+  if (faults_enabled) {
+    const net::FaultStats& faults = exs.value()->fault_stats();
+    std::printf("faults injected: %llu/%llu frames dropped, %llu stalled, %llu truncated, "
+                "%llu duplicated\n",
+                static_cast<unsigned long long>(faults.dropped),
+                static_cast<unsigned long long>(faults.frames),
+                static_cast<unsigned long long>(faults.stalled),
+                static_cast<unsigned long long>(faults.truncated),
+                static_cast<unsigned long long>(faults.duplicated));
+  }
   return 0;
 }

@@ -3,10 +3,11 @@
 //
 // Usage:
 //   brisk_ism --port 7411 --shm /brisk-out --picl trace.picl
-//             --select-timeout-us 40000 --sync-period-us 5000000
+//             --poller epoll --ism-reader-threads 4
 //             --frame-us 10000 --sync-algorithm brisk
 //
-// Runs until SIGINT/SIGTERM, then drains the sorter and exits.
+// Runs until SIGINT/SIGTERM, then drains the sorter and exits. See --help
+// for the full knob list (generated from the flag registry).
 #include <csignal>
 #include <cstdio>
 
@@ -14,6 +15,7 @@
 #include "common/logging.hpp"
 #include "core/brisk_manager.hpp"
 #include "core/version.hpp"
+#include "sim/fault_injector.hpp"
 
 namespace {
 
@@ -23,47 +25,113 @@ void handle_signal(int) {
   if (g_manager != nullptr) g_manager->stop();
 }
 
+brisk::apps::FlagRegistry make_registry() {
+  brisk::apps::FlagRegistry flags("brisk_ism", "BRISK instrumentation system manager");
+  flags.add_int("port", 0, "TCP port to listen on (0 = ephemeral)")
+      .add_string("shm", "", "named shared-memory output ring (empty = anonymous)")
+      .add_int("output-ring-bytes", 1 << 20, "output ring capacity in bytes")
+      .add_string("picl", "", "write a PICL trace file to this path")
+      .add_bool("picl-utc", false, "stamp PICL lines with UTC micros")
+      .add_string("poller", "select", "readiness backend: select or epoll")
+      .add_int("ism-reader-threads", 0, "ingest reader threads (0 = single-threaded)")
+      .add_int("ingest-queue-frames", 1024, "per-connection ingest queue depth (frames)")
+      .add_int("select-timeout-us", 40'000, "poll cycle timeout in microseconds")
+      .add_int("frame-us", 10'000, "initial sorter frame window")
+      .add_int("min-frame-us", 1'000, "adaptive sorter frame floor")
+      .add_int("max-frame-us", 10'000'000, "adaptive sorter frame ceiling")
+      .add_double("decay-half-life-s", 1.0, "sorter delay-estimate decay half-life")
+      .add_bool("adaptive", true, "adapt the sorter frame to observed delays")
+      .add_int("cre-timeout-us", 1'000'000, "causal-relation hold timeout")
+      .add_int("peer-idle-us", 30'000'000, "disconnect peers idle longer than this")
+      .add_int("quarantine-us", 5'000'000, "session quarantine after unclean close")
+      .add_int("ack-period-us", 200'000, "batch acknowledgement period")
+      .add_int("gap-skip-us", 1'000'000, "give up on a batch-sequence gap after this")
+      .add_bool("sync", true, "run the clock synchronisation service")
+      .add_int("sync-period-us", 5'000'000, "clock sync round period")
+      .add_string("sync-algorithm", "brisk", "clock sync algorithm: brisk or cristian")
+      .add_int("fault-seed", 1, "RNG seed for outbound fault injection")
+      .add_double("fault-drop", 0.0, "probability of dropping an outbound frame")
+      .add_double("fault-dup", 0.0, "probability of duplicating an outbound frame")
+      .add_double("fault-trunc", 0.0, "probability of truncating an outbound frame")
+      .add_double("fault-stall", 0.0, "probability of stalling before an outbound frame")
+      .add_int("fault-stall-us", 0, "stall duration in microseconds")
+      .add_int("fault-stall-every", 0, "stall deterministically every N frames (0 = off)")
+      .add_bool("verbose", false, "log at info level");
+  return flags;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   using namespace brisk;
-  apps::FlagParser flags(argc, argv);
+  apps::FlagRegistry flags = make_registry();
+  flags.parse(argc, argv);
 
   ManagerConfig config;
-  config.ism.port = static_cast<std::uint16_t>(flags.get_int("port", 0));
-  config.ism.select_timeout_us = flags.get_int("select-timeout-us", 40'000);
-  config.ism.sorter.initial_frame_us = flags.get_int("frame-us", 10'000);
-  config.ism.sorter.min_frame_us = flags.get_int("min-frame-us", 1'000);
-  config.ism.sorter.max_frame_us = flags.get_int("max-frame-us", 10'000'000);
-  config.ism.sorter.decay_half_life_s = flags.get_double("decay-half-life-s", 1.0);
-  config.ism.sorter.adaptive = flags.get_bool("adaptive", true);
-  config.ism.cre.hold_timeout_us = flags.get_int("cre-timeout-us", 1'000'000);
-  config.ism.peer_idle_timeout_us = flags.get_int("peer-idle-us", 30'000'000);
-  config.ism.quarantine_timeout_us = flags.get_int("quarantine-us", 5'000'000);
-  config.ism.ack_period_us = flags.get_int("ack-period-us", 200'000);
-  config.ism.gap_skip_timeout_us = flags.get_int("gap-skip-us", 1'000'000);
-  config.ism.enable_sync = flags.get_bool("sync", true);
-  config.ism.sync.period_us = flags.get_int("sync-period-us", 5'000'000);
-  const std::string algorithm = flags.get_string("sync-algorithm", "brisk");
+  config.ism.port = static_cast<std::uint16_t>(flags.num("port"));
+  config.ism.select_timeout_us = flags.num("select-timeout-us");
+  auto backend = net::parse_poller_backend(flags.str("poller"));
+  if (!backend) {
+    std::fprintf(stderr, "brisk_ism: --poller: %s\n", backend.status().to_string().c_str());
+    return 2;
+  }
+  config.ism.poller = backend.value();
+  config.ism.reader_threads = static_cast<std::size_t>(flags.num("ism-reader-threads"));
+  config.ism.ingest_queue_frames = static_cast<std::size_t>(flags.num("ingest-queue-frames"));
+  config.ism.sorter.initial_frame_us = flags.num("frame-us");
+  config.ism.sorter.min_frame_us = flags.num("min-frame-us");
+  config.ism.sorter.max_frame_us = flags.num("max-frame-us");
+  config.ism.sorter.decay_half_life_s = flags.real("decay-half-life-s");
+  config.ism.sorter.adaptive = flags.flag("adaptive");
+  config.ism.cre.hold_timeout_us = flags.num("cre-timeout-us");
+  config.ism.peer_idle_timeout_us = flags.num("peer-idle-us");
+  config.ism.quarantine_timeout_us = flags.num("quarantine-us");
+  config.ism.ack_period_us = flags.num("ack-period-us");
+  config.ism.gap_skip_timeout_us = flags.num("gap-skip-us");
+  config.ism.enable_sync = flags.flag("sync");
+  config.ism.sync.period_us = flags.num("sync-period-us");
+  const std::string algorithm = flags.str("sync-algorithm");
   config.ism.sync.algorithm =
       algorithm == "cristian" ? clk::SyncAlgorithm::cristian : clk::SyncAlgorithm::brisk;
-  config.output_ring_capacity =
-      static_cast<std::uint32_t>(flags.get_int("output-ring-bytes", 1 << 20));
-  config.output_shm_name = flags.get_string("shm", "");
-  config.picl_trace_path = flags.get_string("picl", "");
-  if (flags.get_bool("picl-utc", false)) {
+  config.output_ring_capacity = static_cast<std::uint32_t>(flags.num("output-ring-bytes"));
+  config.output_shm_name = flags.str("shm");
+  config.picl_trace_path = flags.str("picl");
+  if (flags.flag("picl-utc")) {
     config.picl_options.mode = picl::TimestampMode::utc_micros;
   } else {
     config.picl_options.epoch_us = clk::SystemClock::instance().now();
   }
-  if (flags.get_bool("verbose", false)) Logging::set_level(LogLevel::info);
-  flags.reject_unknown();
+  sim::FaultPlan fault_plan;
+  fault_plan.seed = static_cast<std::uint64_t>(flags.num("fault-seed"));
+  fault_plan.drop_probability = flags.real("fault-drop");
+  fault_plan.duplicate_probability = flags.real("fault-dup");
+  fault_plan.truncate_probability = flags.real("fault-trunc");
+  fault_plan.stall_probability = flags.real("fault-stall");
+  fault_plan.stall_us = flags.num("fault-stall-us");
+  fault_plan.stall_every = static_cast<std::uint32_t>(flags.num("fault-stall-every"));
+  // The ISM's outbound traffic is all control frames (acks, sync, bye) —
+  // sparing them would make every --fault-* flag a no-op here. Ack loss is
+  // exactly what ISM-side drills exist to exercise.
+  fault_plan.spare_control_frames = false;
+  if (flags.flag("verbose")) Logging::set_level(LogLevel::info);
+
+  Status plan_ok = fault_plan.validate();
+  if (!plan_ok) {
+    std::fprintf(stderr, "brisk_ism: %s\n", plan_ok.to_string().c_str());
+    return 2;
+  }
 
   auto manager = BriskManager::create(config);
   if (!manager) {
     std::fprintf(stderr, "brisk_ism: %s\n", manager.status().to_string().c_str());
     return 1;
   }
+  const bool faults_enabled =
+      fault_plan.drop_probability > 0 || fault_plan.duplicate_probability > 0 ||
+      fault_plan.truncate_probability > 0 || fault_plan.stall_probability > 0 ||
+      fault_plan.stall_every > 0;
+  sim::FaultInjector fault_injector(fault_plan);
+  if (faults_enabled) manager.value()->ism().set_fault_policy(fault_injector.policy());
   g_manager = manager.value().get();
   std::signal(SIGINT, handle_signal);
   std::signal(SIGTERM, handle_signal);
@@ -95,5 +163,15 @@ int main(int argc, char** argv) {
               static_cast<unsigned long long>(stats.batch_seq_gaps),
               static_cast<unsigned long long>(stats.idle_disconnects),
               static_cast<unsigned long long>(stats.sessions_expired));
+  if (faults_enabled) {
+    const net::FaultStats& faults = manager.value()->ism().fault_stats();
+    std::printf("faults injected: %llu/%llu frames dropped, %llu stalled, %llu truncated, "
+                "%llu duplicated\n",
+                static_cast<unsigned long long>(faults.dropped),
+                static_cast<unsigned long long>(faults.frames),
+                static_cast<unsigned long long>(faults.stalled),
+                static_cast<unsigned long long>(faults.truncated),
+                static_cast<unsigned long long>(faults.duplicated));
+  }
   return 0;
 }

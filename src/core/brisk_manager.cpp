@@ -15,17 +15,19 @@ Result<std::unique_ptr<BriskManager>> BriskManager::create(const ManagerConfig& 
   auto ring = shm::RingBuffer::init(region.value().data(), config.output_ring_capacity);
   if (!ring) return ring.status();
 
-  auto fan_out = std::make_shared<ism::FanOut>();
-  fan_out->add(std::make_shared<ism::ShmOutputSink>(ring.value()));
+  auto sinks = std::make_shared<ism::SinkRegistry>();
+  Status st = sinks->add(std::make_shared<ism::ShmSink>(ring.value()));
+  if (!st) return st;
   if (!config.picl_trace_path.empty()) {
     auto writer = picl::PiclWriter::open(config.picl_trace_path, config.picl_options);
     if (!writer) return writer.status();
-    fan_out->add(std::make_shared<ism::PiclFileSink>(std::move(writer).value()));
+    st = sinks->add(std::make_shared<ism::PiclFileSink>(std::move(writer).value()));
+    if (!st) return st;
   }
 
   auto manager = std::unique_ptr<BriskManager>(
-      new BriskManager(config, std::move(region).value(), ring.value(), fan_out));
-  auto ism = ism::Ism::start(config.ism, clock, manager->fan_out_);
+      new BriskManager(config, std::move(region).value(), ring.value(), sinks));
+  auto ism = ism::Ism::start(config.ism, clock, manager->sinks_);
   if (!ism) return ism.status();
   manager->ism_ = std::move(ism).value();
   return manager;

@@ -24,8 +24,14 @@ class BriskManager {
   static Result<std::unique_ptr<BriskManager>> create(
       const ManagerConfig& config, clk::Clock& clock = clk::SystemClock::instance());
 
-  /// Adds an extra output sink (e.g. a vo::VoSink) before records flow.
-  void add_sink(std::shared_ptr<ism::OutputSink> sink) { fan_out_->add(std::move(sink)); }
+  /// Registers an extra output sink (e.g. a vo::VoSink) under its own
+  /// name() before records flow. Fails on a duplicate name.
+  Status add_sink(std::shared_ptr<ism::Sink> sink) { return sinks_->add(std::move(sink)); }
+  /// Registers under an explicit name (several sinks of one kind).
+  Status add_sink(std::string name, std::shared_ptr<ism::Sink> sink) {
+    return sinks_->add(std::move(name), std::move(sink));
+  }
+  [[nodiscard]] ism::SinkRegistry& sinks() noexcept { return *sinks_; }
 
   [[nodiscard]] std::uint16_t port() const noexcept { return ism_->port(); }
   [[nodiscard]] ism::Ism& ism() noexcept { return *ism_; }
@@ -42,16 +48,16 @@ class BriskManager {
 
  private:
   BriskManager(ManagerConfig config, shm::SharedRegion output_region,
-               shm::RingBuffer output_ring, std::shared_ptr<ism::FanOut> fan_out)
+               shm::RingBuffer output_ring, std::shared_ptr<ism::SinkRegistry> sinks)
       : config_(std::move(config)),
         output_region_(std::move(output_region)),
         output_ring_(output_ring),
-        fan_out_(std::move(fan_out)) {}
+        sinks_(std::move(sinks)) {}
 
   ManagerConfig config_;
   shm::SharedRegion output_region_;
   shm::RingBuffer output_ring_;
-  std::shared_ptr<ism::FanOut> fan_out_;
+  std::shared_ptr<ism::SinkRegistry> sinks_;
   std::unique_ptr<ism::Ism> ism_;
 };
 

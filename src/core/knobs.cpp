@@ -55,6 +55,12 @@ Status ManagerConfig::validate() const {
   if (ism.gap_skip_timeout_us < 0) {
     return Status(Errc::invalid_argument, "negative ism.gap_skip_timeout_us");
   }
+  if (ism.reader_threads > 64) {
+    return Status(Errc::invalid_argument, "ism.reader_threads > 64");
+  }
+  if (ism.reader_threads > 0 && ism.ingest_queue_frames < 2) {
+    return Status(Errc::invalid_argument, "ism.ingest_queue_frames < 2");
+  }
   return Status::ok();
 }
 
@@ -69,8 +75,11 @@ std::string describe(const NodeConfig& config) {
   line(out, "exs.batch_max_age_us", static_cast<long long>(config.exs.batch_max_age_us));
   line(out, "exs.drain_burst", static_cast<long long>(config.exs.drain_burst));
   line(out, "exs.select_timeout_us", static_cast<long long>(config.exs.select_timeout_us));
+  line(out, "exs.poller", std::string(net::to_string(config.exs.poller)));
   line(out, "exs.replay_buffer_batches",
        static_cast<long long>(config.exs.replay_buffer_batches));
+  line(out, "exs.replay_buffer_bytes",
+       static_cast<long long>(config.exs.replay_buffer_bytes));
   line(out, "exs.reconnect_backoff_base_us",
        static_cast<long long>(config.exs.reconnect_backoff_base_us));
   line(out, "exs.reconnect_backoff_cap_us",
@@ -88,6 +97,10 @@ std::string describe(const ManagerConfig& config) {
   std::string out = "[brisk.manager]\n";
   line(out, "ism.port", static_cast<long long>(config.ism.port));
   line(out, "ism.select_timeout_us", static_cast<long long>(config.ism.select_timeout_us));
+  line(out, "ism.poller", std::string(net::to_string(config.ism.poller)));
+  line(out, "ism.reader_threads", static_cast<long long>(config.ism.reader_threads));
+  line(out, "ism.ingest_queue_frames",
+       static_cast<long long>(config.ism.ingest_queue_frames));
   line(out, "sorter.initial_frame_us", static_cast<long long>(config.ism.sorter.initial_frame_us));
   line(out, "sorter.min_frame_us", static_cast<long long>(config.ism.sorter.min_frame_us));
   line(out, "sorter.max_frame_us", static_cast<long long>(config.ism.sorter.max_frame_us));

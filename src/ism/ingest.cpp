@@ -1,0 +1,216 @@
+#include "ism/ingest.hpp"
+
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+#include <utility>
+
+#include "tp/wire.hpp"
+#include "xdr/xdr_decoder.hpp"
+
+namespace brisk::ism {
+
+Result<std::unique_ptr<ReaderThread>> ReaderThread::start(const ReaderConfig& config) {
+  auto to_reader = net::WakeupPipe::create();
+  if (!to_reader) return to_reader.status();
+  auto to_ordering = net::WakeupPipe::create();
+  if (!to_ordering) return to_ordering.status();
+  return std::unique_ptr<ReaderThread>(
+      new ReaderThread(config, std::move(to_reader).value(), std::move(to_ordering).value()));
+}
+
+ReaderThread::ReaderThread(const ReaderConfig& config, net::WakeupPipe to_reader,
+                           net::WakeupPipe to_ordering)
+    : config_(config),
+      poller_(net::make_poller(config.poller)),
+      to_reader_(std::move(to_reader)),
+      to_ordering_(std::move(to_ordering)) {
+  // The command pipe is the one fd the reader always watches; its callback
+  // just drains the pipe — apply_commands() runs every cycle regardless.
+  (void)poller_->watch(to_reader_.fd(), [this](int, net::Readiness) { to_reader_.drain(); });
+  thread_ = std::thread([this] { run(); });
+}
+
+ReaderThread::~ReaderThread() { stop_and_join(); }
+
+void ReaderThread::add_connection(int fd, std::shared_ptr<IngestLane> lane) {
+  {
+    std::lock_guard<std::mutex> lock(command_mutex_);
+    commands_.push_back(Command{Command::Kind::add, fd, std::move(lane)});
+  }
+  to_reader_.signal();
+}
+
+void ReaderThread::resume(int fd) {
+  {
+    std::lock_guard<std::mutex> lock(command_mutex_);
+    commands_.push_back(Command{Command::Kind::resume, fd, nullptr});
+  }
+  to_reader_.signal();
+}
+
+void ReaderThread::stop_and_join() {
+  if (!thread_.joinable()) return;
+  stop_.store(true, std::memory_order_release);
+  to_reader_.signal();
+  thread_.join();
+}
+
+void ReaderThread::run() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    apply_commands();
+    pushed_events_ = false;
+    (void)poller_->poll_once(config_.poll_timeout_us);
+    // One wakeup per cycle, however many fds produced events: the ordering
+    // thread drains every lane when it wakes.
+    if (pushed_events_) to_ordering_.signal();
+  }
+}
+
+void ReaderThread::apply_commands() {
+  std::vector<Command> pending;
+  {
+    std::lock_guard<std::mutex> lock(command_mutex_);
+    pending.swap(commands_);
+  }
+  for (auto& command : pending) {
+    if (command.kind == Command::Kind::add) {
+      ConnState state;
+      state.lane = std::move(command.lane);
+      conns_.emplace(command.fd, std::move(state));
+      (void)poller_->watch(command.fd, [this](int fd, net::Readiness) { on_readable(fd); });
+    } else {  // resume
+      auto it = conns_.find(command.fd);
+      if (it == conns_.end() || !it->second.stalled) continue;
+      ConnState& conn = it->second;
+      conn.stalled = false;
+      if (!flush_backlog(conn)) {
+        stall(conn, command.fd);
+        continue;
+      }
+      conn.lane->stalled.store(false, std::memory_order_release);
+      if (pushed_events_) to_ordering_.signal();
+      if (conn.closed) {
+        erase_if_done(command.fd);
+      } else {
+        (void)poller_->watch(command.fd, [this](int fd, net::Readiness) { on_readable(fd); });
+      }
+    }
+  }
+}
+
+void ReaderThread::on_readable(int fd) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  ConnState& conn = it->second;
+
+  std::uint8_t chunk[64 * 1024];
+  for (;;) {
+    const ssize_t n = ::read(fd, chunk, sizeof chunk);
+    if (n > 0) {
+      conn.unattributed_bytes += static_cast<std::size_t>(n);
+      conn.frames.feed(ByteSpan(chunk, static_cast<std::size_t>(n)));
+      for (;;) {
+        auto frame = conn.frames.next();
+        if (!frame) {
+          finish(conn, fd, frame.status());
+          return;
+        }
+        if (!frame.value().has_value()) break;
+        ByteBuffer payload = std::move(*frame.value());
+
+        IngestEvent event;
+        event.fd = fd;
+        event.wire_bytes = conn.unattributed_bytes;
+        conn.unattributed_bytes = 0;
+
+        // Decode DATA batches here — that is the CPU work this thread
+        // exists to offload. Control frames pass through as raw payloads;
+        // the ordering thread owns their semantics.
+        xdr::Decoder decoder{ByteSpan(payload.data(), payload.size())};
+        auto type = tp::peek_type(decoder);
+        if (type && type.value() == tp::MsgType::data_batch) {
+          auto batch = tp::decode_batch(decoder);
+          if (batch) {
+            event.kind = IngestEvent::Kind::batch;
+            event.batch = std::move(batch).value();
+          } else {
+            finish(conn, fd, batch.status());
+            return;
+          }
+        } else {
+          // Undecodable type words included: the ordering thread counts
+          // and ignores unknown frames, so pass them through untouched.
+          event.kind = IngestEvent::Kind::frame;
+          event.payload = std::move(payload);
+        }
+        emit(conn, std::move(event));
+      }
+      if (conn.stalled) return;  // stop reading; resume() restarts us
+      if (static_cast<std::size_t>(n) < sizeof chunk) return;
+      continue;
+    }
+    if (n == 0) {
+      finish(conn, fd, Status::ok());  // orderly EOF
+      return;
+    }
+    if (errno == EAGAIN || errno == EWOULDBLOCK) return;
+    if (errno == EINTR) continue;
+    finish(conn, fd, Status(Errc::io_error, std::string("read: ") + std::strerror(errno)));
+    return;
+  }
+}
+
+void ReaderThread::emit(ConnState& conn, IngestEvent event) {
+  const int fd = event.fd;
+  // Lane first, backlog only when full — and never reorder around backlog.
+  if (conn.backlog.empty() && conn.lane->queue.try_push(std::move(event))) {
+    pushed_events_ = true;
+    return;
+  }
+  conn.backlog.push_back(std::move(event));
+  if (!conn.stalled) stall(conn, fd);
+}
+
+bool ReaderThread::flush_backlog(ConnState& conn) {
+  while (!conn.backlog.empty()) {
+    if (!conn.lane->queue.try_push(std::move(conn.backlog.front()))) return false;
+    conn.backlog.pop_front();
+    pushed_events_ = true;
+  }
+  return true;
+}
+
+void ReaderThread::stall(ConnState& conn, int fd) {
+  conn.stalled = true;
+  conn.lane->stalled.store(true, std::memory_order_release);
+  if (!conn.closed) (void)poller_->unwatch(fd);
+  // The wakeup makes the ordering thread drain this lane promptly even if
+  // no other events are flowing, so the stall can clear.
+  to_ordering_.signal();
+}
+
+void ReaderThread::finish(ConnState& conn, int fd, Status why) {
+  if (conn.closed) return;
+  conn.closed = true;
+  (void)poller_->unwatch(fd);
+  IngestEvent event;
+  event.kind = IngestEvent::Kind::closed;
+  event.fd = fd;
+  event.wire_bytes = conn.unattributed_bytes;
+  conn.unattributed_bytes = 0;
+  event.error = std::move(why);
+  emit(conn, std::move(event));
+  erase_if_done(fd);
+}
+
+void ReaderThread::erase_if_done(int fd) {
+  auto it = conns_.find(fd);
+  if (it == conns_.end()) return;
+  // Keep the state while backlog remains so the closed event still reaches
+  // the lane; resume() retries flush_backlog until it drains.
+  if (it->second.closed && it->second.backlog.empty()) conns_.erase(it);
+}
+
+}  // namespace brisk::ism

@@ -1,0 +1,141 @@
+// Multi-threaded ISM ingest: reader threads that decouple readiness
+// dispatch and wire decoding from the ordering pipeline.
+//
+// Each ReaderThread owns a net::Poller and services a share of the accepted
+// EXS connections: it reads the socket, reassembles frames, and decodes
+// DATA batches (the CPU-heavy XDR work) off the ordering thread. Decoded
+// events flow to the ordering thread through one bounded SPSC lane per
+// connection, so per-connection FIFO — the property the whole transfer
+// protocol rests on ("the in-order arrival of these batches is guaranteed
+// by the socket stream protocol") — is preserved by construction. The
+// ordering thread keeps everything that defines ISM semantics: session
+// state, batch admission, the CRE switch, the on-line sorter, clock sync,
+// and the sinks.
+//
+// Backpressure instead of allocation: when a lane fills, the reader stops
+// reading that one socket (TCP flow control pushes back to the EXS) and
+// resumes when the ordering thread has drained the lane.
+//
+// Ownership protocol for a connection's fd:
+//  * the ordering thread owns the socket (and all writes to it),
+//  * the reader borrows the fd for reads between add_connection() and the
+//    `closed` event it emits,
+//  * the ordering thread closes the fd only after consuming that `closed`
+//    event — to force one, it shutdown(2)s the socket and lets the reader
+//    observe EOF. No fd is ever closed while the reader still polls it.
+#pragma once
+
+#include <atomic>
+#include <deque>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/spsc_queue.hpp"
+#include "net/frame.hpp"
+#include "net/poller.hpp"
+#include "net/wakeup.hpp"
+#include "tp/batch.hpp"
+
+namespace brisk::ism {
+
+/// One unit of work handed from a reader thread to the ordering thread.
+struct IngestEvent {
+  enum class Kind {
+    frame,   // a non-batch frame payload, dispatched by the ordering thread
+    batch,   // a DATA batch, already decoded on the reader thread
+    closed,  // the connection is done (EOF, error, or malformed stream)
+  };
+  Kind kind = Kind::frame;
+  int fd = -1;
+  // No receive timestamp here: the ordering thread stamps events with its
+  // own clock as it drains them, so ManualClock-driven tests stay coherent.
+  std::size_t wire_bytes = 0;  // socket bytes consumed since the last event
+  ByteBuffer payload;           // kind == frame
+  tp::Batch batch;              // kind == batch
+  Status error = Status::ok();  // kind == closed; ok = orderly EOF
+};
+
+/// Per-connection SPSC handoff lane. The assigned reader thread is the only
+/// producer, the ordering thread the only consumer.
+struct IngestLane {
+  explicit IngestLane(std::size_t depth) : queue(depth) {}
+  SpscQueue<IngestEvent> queue;
+  /// Set by the reader when the lane filled and it paused reading the
+  /// socket; cleared by the ordering thread, which then resume()s the fd.
+  std::atomic<bool> stalled{false};
+};
+
+struct ReaderConfig {
+  net::PollerBackend poller = net::PollerBackend::select;
+  std::size_t lane_depth = 1024;        // IngestEvents buffered per connection
+  TimeMicros poll_timeout_us = 10'000;  // reader poll cycle
+};
+
+class ReaderThread {
+ public:
+  /// Creates the wakeup plumbing and starts the thread.
+  static Result<std::unique_ptr<ReaderThread>> start(const ReaderConfig& config);
+
+  ~ReaderThread();
+  ReaderThread(const ReaderThread&) = delete;
+  ReaderThread& operator=(const ReaderThread&) = delete;
+
+  // ---- ordering-thread side -------------------------------------------------
+
+  /// Hands a non-blocking fd to this reader. Events appear on `lane`.
+  void add_connection(int fd, std::shared_ptr<IngestLane> lane);
+  /// Un-stalls a connection whose lane has space again.
+  void resume(int fd);
+  /// Readable whenever events may be pending; watch it in the ordering
+  /// thread's poller and drain_wakeup() + drain the lanes on readiness.
+  [[nodiscard]] int wakeup_fd() const noexcept { return to_ordering_.fd(); }
+  void drain_wakeup() noexcept { to_ordering_.drain(); }
+
+  void stop_and_join();
+
+ private:
+  struct ConnState {
+    std::shared_ptr<IngestLane> lane;
+    net::FrameReader frames;
+    /// Events produced while the lane was full; drained before any new read.
+    std::deque<IngestEvent> backlog;
+    std::size_t unattributed_bytes = 0;  // read but not yet carried by an event
+    bool stalled = false;
+    bool closed = false;  // closed event emitted; fd no longer polled
+  };
+
+  struct Command {
+    enum class Kind { add, resume } kind = Kind::add;
+    int fd = -1;
+    std::shared_ptr<IngestLane> lane;
+  };
+
+  ReaderThread(const ReaderConfig& config, net::WakeupPipe to_reader,
+               net::WakeupPipe to_ordering);
+
+  void run();
+  void apply_commands();
+  void on_readable(int fd);
+  void emit(ConnState& conn, IngestEvent event);
+  /// Moves backlog into the lane; false if the lane filled again.
+  bool flush_backlog(ConnState& conn);
+  void stall(ConnState& conn, int fd);
+  void finish(ConnState& conn, int fd, Status why);
+  void erase_if_done(int fd);
+
+  ReaderConfig config_;
+  std::unique_ptr<net::Poller> poller_;
+  net::WakeupPipe to_reader_;    // ordering → reader (commands, stop)
+  net::WakeupPipe to_ordering_;  // reader → ordering (events pending)
+  std::mutex command_mutex_;
+  std::vector<Command> commands_;
+  std::map<int, ConnState> conns_;
+  bool pushed_events_ = false;  // events emitted this poll cycle
+  std::atomic<bool> stop_{false};
+  std::thread thread_;
+};
+
+}  // namespace brisk::ism

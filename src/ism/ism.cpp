@@ -1,6 +1,8 @@
 #include "ism/ism.hpp"
 
+#include <poll.h>
 #include <sys/select.h>
+#include <sys/socket.h>
 
 #include "common/logging.hpp"
 #include "common/time_util.hpp"
@@ -9,19 +11,20 @@
 
 namespace brisk::ism {
 
-Ism::Ism(const IsmConfig& config, clk::Clock& clock, std::shared_ptr<OutputSink> output,
+Ism::Ism(const IsmConfig& config, clk::Clock& clock, std::shared_ptr<Sink> output,
          net::TcpListener listener)
     : config_(config),
       clock_(clock),
       output_(std::move(output)),
       listener_(std::move(listener)),
+      loop_(net::make_poller(config.poller)),
       cre_(config.cre, clock,
            [this] {
              if (sync_service_) sync_service_->request_extra_round();
            }),
       sorter_(config.sorter, clock,
               [this](const sensors::Record& record) {
-                Status st = output_->deliver(record);
+                Status st = output_->accept(record);
                 if (!st && st.code() != Errc::buffer_full) {
                   BRISK_LOG_WARN << "output sink failed: " << st.to_string();
                 }
@@ -32,10 +35,13 @@ Ism::Ism(const IsmConfig& config, clk::Clock& clock, std::shared_ptr<OutputSink>
   }
 }
 
-Ism::~Ism() = default;
+Ism::~Ism() {
+  // Readers must die before connections_: they hold raw fds into it.
+  for (auto& reader : readers_) reader->stop_and_join();
+}
 
 Result<std::unique_ptr<Ism>> Ism::start(const IsmConfig& config, clk::Clock& clock,
-                                        std::shared_ptr<OutputSink> output) {
+                                        std::shared_ptr<Sink> output) {
   if (!output) return Status(Errc::invalid_argument, "null output sink");
   auto listener = net::TcpListener::listen(config.port);
   if (!listener) return listener.status();
@@ -45,9 +51,29 @@ Result<std::unique_ptr<Ism>> Ism::start(const IsmConfig& config, clk::Clock& clo
   auto ism = std::unique_ptr<Ism>(
       new Ism(config, clock, std::move(output), std::move(listener).value()));
   Ism* raw = ism.get();
-  st = ism->loop_.watch(ism->listener_.fd(), [raw](int) { raw->on_listener_readable(); });
+  st = ism->loop_->watch(ism->listener_.fd(), [raw](int, net::Readiness) {
+    raw->on_listener_readable();
+  });
   if (!st) return st;
-  ism->loop_.set_idle([raw] { raw->idle_work(); });
+  ism->loop_->set_idle([raw] { raw->idle_work(); });
+
+  for (std::size_t i = 0; i < config.reader_threads; ++i) {
+    ReaderConfig reader_config;
+    reader_config.poller = config.poller;
+    reader_config.lane_depth = config.ingest_queue_frames;
+    reader_config.poll_timeout_us = config.select_timeout_us;
+    auto reader = ReaderThread::start(reader_config);
+    if (!reader) return reader.status();
+    // A reader's wakeup means events are pending on some lane; drain them
+    // all — lanes are cheap to check and this keeps the wiring simple.
+    st = ism->loop_->watch(reader.value()->wakeup_fd(),
+                           [raw, r = reader.value().get()](int, net::Readiness) {
+                             r->drain_wakeup();
+                             raw->drain_ingest();
+                           });
+    if (!st) return st;
+    ism->readers_.push_back(std::move(reader).value());
+  }
   return ism;
 }
 
@@ -67,12 +93,22 @@ void Ism::on_listener_readable() {
     Connection conn;
     conn.socket = std::move(socket);
     conn.last_rx_us = monotonic_micros();
+    if (threaded()) {
+      conn.lane = std::make_shared<IngestLane>(config_.ingest_queue_frames);
+      conn.reader_index = next_reader_++ % readers_.size();
+    }
     auto [it, inserted] = connections_.emplace(fd, std::move(conn));
     if (!inserted) continue;
-    Status st = loop_.watch(fd, [this](int ready_fd) { on_connection_readable(ready_fd); });
-    if (!st) {
-      connections_.erase(fd);
-      continue;
+    if (threaded()) {
+      readers_[it->second.reader_index]->add_connection(fd, it->second.lane);
+    } else {
+      Status st = loop_->watch(fd, [this](int ready_fd, net::Readiness) {
+        on_connection_readable(ready_fd);
+      });
+      if (!st) {
+        connections_.erase(fd);
+        continue;
+      }
     }
     ++stats_.connections_accepted;
     stats_.active_connections = connections_.size();
@@ -116,6 +152,78 @@ void Ism::on_connection_readable(int fd) {
         close_connection(fd);
         return;
       }
+    }
+  }
+}
+
+// ---- threaded ingest --------------------------------------------------------
+
+void Ism::drain_ingest() {
+  if (!threaded()) return;
+  // Snapshot fds: processing an event may erase connections.
+  std::vector<int> fds;
+  fds.reserve(connections_.size());
+  for (const auto& [fd, conn] : connections_) {
+    if (conn.lane) fds.push_back(fd);
+  }
+  for (int fd : fds) {
+    for (;;) {
+      auto it = connections_.find(fd);
+      if (it == connections_.end()) break;
+      IngestEvent event;
+      if (!it->second.lane->queue.try_pop(event)) {
+        // Lane empty. If the reader stalled on it, there is room again now;
+        // let it continue reading the socket.
+        if (it->second.lane->stalled.load(std::memory_order_acquire) &&
+            !it->second.reader_done) {
+          ++stats_.ingest_stalls;
+          readers_[it->second.reader_index]->resume(fd);
+        }
+        break;
+      }
+      process_ingest_event(fd, std::move(event));
+    }
+  }
+}
+
+void Ism::process_ingest_event(int fd, IngestEvent event) {
+  auto it = connections_.find(fd);
+  if (it == connections_.end()) return;
+  Connection& conn = it->second;
+  conn.last_rx_us = monotonic_micros();
+  stats_.bytes_received += event.wire_bytes;
+
+  switch (event.kind) {
+    case IngestEvent::Kind::closed:
+      conn.reader_done = true;
+      // An ok status is an orderly EOF and io_error a peer reset — only
+      // frame-layer garbage (oversized frame, undecodable batch) counts
+      // as a protocol violation.
+      if (!event.error && event.error.code() != Errc::io_error && !conn.closing) {
+        ++stats_.protocol_errors;
+        BRISK_LOG_WARN << "ingest error on fd " << fd << ": " << event.error.to_string();
+      }
+      close_connection(fd);
+      return;
+    case IngestEvent::Kind::batch: {
+      if (!conn.hello_seen) {
+        ++stats_.protocol_errors;
+        close_connection(fd);
+        return;
+      }
+      handle_batch(conn, std::move(event.batch));
+      return;
+    }
+    case IngestEvent::Kind::frame: {
+      Status st = dispatch_frame(conn, event.payload.view());
+      if (!st) {
+        if (st.code() != Errc::closed) {
+          ++stats_.protocol_errors;
+          BRISK_LOG_WARN << "frame dispatch failed: " << st.to_string();
+        }
+        close_connection(fd);
+      }
+      return;
     }
   }
 }
@@ -278,6 +386,7 @@ void Ism::route_record(sensors::Record record) {
 }
 
 void Ism::idle_work() {
+  drain_ingest();
   route_scratch_.clear();
   cre_.service(route_scratch_);
   for (sensors::Record& timed_out : route_scratch_) {
@@ -292,6 +401,10 @@ void Ism::idle_work() {
   (void)output_->flush();
 }
 
+Status Ism::send_frame(Connection& conn, ByteSpan payload) {
+  return fault_.write_frame(conn.socket, payload);
+}
+
 Status Ism::send_ack(Connection& conn, tp::MsgType type) {
   NodeSession& session = sessions_[conn.node];
   ByteBuffer out;
@@ -304,7 +417,7 @@ Status Ism::send_ack(Connection& conn, tp::MsgType type) {
   }
   conn.last_ack_sent_us = monotonic_micros();
   ++stats_.acks_sent;
-  return net::write_frame(conn.socket, out.view());
+  return send_frame(conn, out.view());
 }
 
 void Ism::session_sweep() {
@@ -315,6 +428,7 @@ void Ism::session_sweep() {
   if (config_.peer_idle_timeout_us > 0) {
     std::vector<int> idle_fds;
     for (const auto& [fd, conn] : connections_) {
+      if (conn.closing) continue;  // already being torn down
       if (now - conn.last_rx_us >= config_.peer_idle_timeout_us) idle_fds.push_back(fd);
     }
     for (int fd : idle_fds) {
@@ -329,7 +443,7 @@ void Ism::session_sweep() {
   // what triggers the EXS's go-back-N resend.
   if (resilient()) {
     for (auto& [fd, conn] : connections_) {
-      if (!conn.hello_seen) continue;
+      if (!conn.hello_seen || conn.closing) continue;
       if (now - conn.last_ack_sent_us < config_.ack_period_us) continue;
       Status st = send_ack(conn, tp::MsgType::batch_ack);
       if (!st) BRISK_LOG_WARN << "batch_ack to node " << conn.node << " failed";
@@ -360,25 +474,43 @@ void Ism::close_connection(int fd) {
   auto it = connections_.find(fd);
   if (it == connections_.end()) return;
   Connection& conn = it->second;
-  if (conn.hello_seen) {
-    nodes_.erase(conn.node);
-    auto sit = sessions_.find(conn.node);
-    if (sit != sessions_.end()) {
-      if (conn.saw_bye) {
-        // Clean shutdown: forget the cursor but let anything still pending
-        // drain through the sorter in timestamp order, merged with the
-        // other nodes — only crashed sessions get the out-of-band drain.
-        sessions_.erase(sit);
-      } else if (config_.quarantine_timeout_us == 0) {
-        expire_session(conn.node);
-      } else {
-        sit->second.connected = false;
-        sit->second.disconnected_at = monotonic_micros();
-        sit->second.hole_since = 0;
+
+  if (!conn.closing) {
+    conn.closing = true;
+    if (conn.hello_seen) {
+      nodes_.erase(conn.node);
+      auto sit = sessions_.find(conn.node);
+      if (sit != sessions_.end()) {
+        if (conn.saw_bye) {
+          // Clean shutdown: forget the cursor but let anything still pending
+          // drain through the sorter in timestamp order, merged with the
+          // other nodes — only crashed sessions get the out-of-band drain.
+          sessions_.erase(sit);
+        } else if (config_.quarantine_timeout_us == 0) {
+          expire_session(conn.node);
+        } else {
+          sit->second.connected = false;
+          sit->second.disconnected_at = monotonic_micros();
+          sit->second.hole_since = 0;
+        }
       }
     }
   }
-  (void)loop_.unwatch(fd);
+
+  if (threaded() && conn.lane && !conn.reader_done) {
+    // A reader still polls this fd; closing it now would race. Shut the
+    // socket down instead — the reader observes EOF, emits its `closed`
+    // event, and the drain path re-enters here with reader_done set.
+    ::shutdown(fd, SHUT_RDWR);
+    return;
+  }
+  finish_close(fd);
+}
+
+void Ism::finish_close(int fd) {
+  auto it = connections_.find(fd);
+  if (it == connections_.end()) return;
+  if (!threaded()) (void)loop_->unwatch(fd);
   connections_.erase(it);
   stats_.active_connections = connections_.size();
 }
@@ -392,24 +524,25 @@ int Ism::node_fd_by_index(std::size_t index) const {
   return -1;
 }
 
-Status Ism::run() { return loop_.run(config_.select_timeout_us); }
+Status Ism::run() { return loop_->run(config_.select_timeout_us); }
 
 Status Ism::run_for(TimeMicros duration) {
   const TimeMicros deadline = monotonic_micros() + duration;
-  while (monotonic_micros() < deadline && !loop_.stopped()) {
-    auto polled = loop_.poll_once(config_.select_timeout_us);
+  while (monotonic_micros() < deadline && !loop_->stopped()) {
+    auto polled = loop_->poll_once(config_.select_timeout_us);
     if (!polled) return polled.status();
   }
   return Status::ok();
 }
 
 Status Ism::cycle() {
-  auto polled = loop_.poll_once(config_.select_timeout_us);
+  auto polled = loop_->poll_once(config_.select_timeout_us);
   if (!polled) return polled.status();
   return Status::ok();
 }
 
 Status Ism::drain() {
+  drain_ingest();
   route_scratch_.clear();
   cre_.service(route_scratch_);
   for (sensors::Record& r : route_scratch_) {
@@ -443,7 +576,7 @@ Result<clk::PollSample> Ism::SocketSyncTransport::poll(std::size_t index) {
 
   clk::PollSample sample;
   sample.local_send = ism_.clock_.now();
-  Status st = net::write_frame(conn.socket, out.view());
+  Status st = ism_.send_frame(conn, out.view());
   if (!st) return st;
 
   // Wait for the matching TIME_RESP on this connection, dispatching any
@@ -458,21 +591,42 @@ Result<clk::PollSample> Ism::SocketSyncTransport::poll(std::size_t index) {
       wait_status = Status(Errc::timeout, "time poll timed out");
       break;
     }
-    fd_set read_set;
-    FD_ZERO(&read_set);
-    FD_SET(fd, &read_set);
-    timeval tv{};
-    tv.tv_sec = remaining / 1'000'000;
-    tv.tv_usec = remaining % 1'000'000;
-    const int ready = ::select(fd + 1, &read_set, nullptr, nullptr, &tv);
-    if (ready < 0) {
-      if (errno == EINTR) continue;
-      wait_status = Status(Errc::io_error, "select during time poll");
-      break;
+    if (ism_.threaded()) {
+      // The response arrives through the fd's reader thread; wait on the
+      // readers' wakeup pipes and drain lanes as events land.
+      std::vector<pollfd> wait_fds;
+      wait_fds.reserve(ism_.readers_.size());
+      for (auto& reader : ism_.readers_) {
+        wait_fds.push_back(pollfd{reader->wakeup_fd(), POLLIN, 0});
+      }
+      int wait_ms = static_cast<int>(remaining / 1'000);
+      if (wait_ms == 0) wait_ms = 1;
+      const int ready = ::poll(wait_fds.data(), wait_fds.size(), wait_ms);
+      if (ready < 0) {
+        if (errno == EINTR) continue;
+        wait_status = Status(Errc::io_error, "poll during time poll");
+        break;
+      }
+      for (auto& reader : ism_.readers_) reader->drain_wakeup();
+      ism_.drain_ingest();
+    } else {
+      fd_set read_set;
+      FD_ZERO(&read_set);
+      FD_SET(fd, &read_set);
+      timeval tv{};
+      tv.tv_sec = remaining / 1'000'000;
+      tv.tv_usec = remaining % 1'000'000;
+      const int ready = ::select(fd + 1, &read_set, nullptr, nullptr, &tv);
+      if (ready < 0) {
+        if (errno == EINTR) continue;
+        wait_status = Status(Errc::io_error, "select during time poll");
+        break;
+      }
+      if (ready == 0) continue;  // recheck deadline
+      ism_.on_connection_readable(fd);
     }
-    if (ready == 0) continue;  // recheck deadline
-    ism_.on_connection_readable(fd);
-    if (ism_.connections_.find(fd) == ism_.connections_.end()) {
+    auto alive = ism_.connections_.find(fd);
+    if (alive == ism_.connections_.end() || alive->second.closing) {
       wait_status = Status(Errc::closed, "connection died during poll");
       break;
     }
@@ -494,7 +648,7 @@ Status Ism::SocketSyncTransport::adjust(std::size_t index, TimeMicros delta) {
   xdr::Encoder enc(out);
   tp::put_type(tp::MsgType::adjust, enc);
   tp::encode_adjust({delta}, enc);
-  return net::write_frame(it->second.socket, out.view());
+  return ism_.send_frame(it->second, out.view());
 }
 
 }  // namespace brisk::ism

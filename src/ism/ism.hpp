@@ -1,11 +1,21 @@
 // The instrumentation system manager (ISM): BRISK's central daemon.
 //
-// Fig. 1 pipeline, all in one single-threaded select() loop:
+// Fig. 1 pipeline:
 //   batches arrive per-EXS (TCP order preserved) → batch queue →
 //   CRE switch (hash matching, tachyon repair) → per-EXS event queues →
 //   timestamp heap / on-line sorting → output fan-out (shared memory,
 //   PICL trace file, visual objects), with the clock-sync master loop
 //   polling the EXSes between cycles.
+//
+// Two ingest modes share this pipeline:
+//  * inline (reader_threads == 0, the paper-faithful default): one thread
+//    does everything — a single poller loop accepts, reads, decodes,
+//    matches, sorts, and emits.
+//  * threaded (reader_threads > 0): accept and all ordering-side semantics
+//    stay on this thread, while socket reads and batch decoding move to a
+//    pool of reader threads (see ingest.hpp). Each connection is pinned to
+//    one reader and hands events over a bounded SPSC lane, so per-node
+//    FIFO — and therefore the sorted output — is unchanged.
 #pragma once
 
 #include <map>
@@ -14,10 +24,12 @@
 #include "clock/sync_service.hpp"
 #include "ism/cre_matcher.hpp"
 #include "ism/drop_policy.hpp"
+#include "ism/ingest.hpp"
 #include "ism/online_sorter.hpp"
 #include "ism/output.hpp"
-#include "net/event_loop.hpp"
+#include "net/faulty_socket.hpp"
 #include "net/frame.hpp"
+#include "net/poller.hpp"
 #include "net/socket.hpp"
 #include "tp/batch.hpp"
 
@@ -25,8 +37,16 @@ namespace brisk::ism {
 
 struct IsmConfig {
   std::uint16_t port = 0;  // 0 = ephemeral, see Ism::port()
-  /// select() timeout of the main loop (the latency-floor knob).
+  /// Readiness-wait timeout of the main loop (the latency-floor knob —
+  /// "waiting select system calls, which can delay an event record for up
+  /// to 40 ms").
   TimeMicros select_timeout_us = 40'000;
+  /// Poller backend for the main loop and any reader threads.
+  net::PollerBackend poller = net::PollerBackend::select;
+  /// Reader threads for ingest. 0 = inline single-threaded mode.
+  std::size_t reader_threads = 0;
+  /// Per-connection SPSC lane depth (events) in threaded mode.
+  std::size_t ingest_queue_frames = 1024;
   SorterConfig sorter;
   CreConfig cre;
   bool enable_sync = true;
@@ -70,6 +90,9 @@ struct IsmStats {
   std::uint64_t protocol_errors = 0;
   std::uint64_t ring_drops_reported = 0;  // sum over nodes of EXS drop counters
   std::uint64_t flow_control_drops = 0;   // records rejected by the token bucket
+  /// Times a reader thread paused a socket because its SPSC lane was full
+  /// (threaded ingest backpressure; the TCP window pushes back to the EXS).
+  std::uint64_t ingest_stalls = 0;
   /// Batch sequence gaps. The TCP stream makes these impossible in a
   /// healthy deployment; a nonzero count means batches were lost for good —
   /// the EXS restarted without replay, or evicted them from its replay
@@ -91,7 +114,7 @@ class Ism {
   /// Binds the listener and wires the pipeline. `output` receives sorted
   /// records; `clock` is the ISM clock (SystemClock in production).
   static Result<std::unique_ptr<Ism>> start(const IsmConfig& config, clk::Clock& clock,
-                                            std::shared_ptr<OutputSink> output);
+                                            std::shared_ptr<Sink> output);
 
   ~Ism();
   Ism(const Ism&) = delete;
@@ -99,16 +122,22 @@ class Ism {
 
   [[nodiscard]] std::uint16_t port() const noexcept { return listener_.port(); }
 
-  /// Runs the select() loop until stop().
+  /// Runs the poll loop until stop().
   Status run();
   /// Runs for at most `duration` of monotonic time (tests and benches).
   Status run_for(TimeMicros duration);
   /// One loop cycle (accept/read/idle work) with the configured timeout.
   Status cycle();
-  void stop() noexcept { loop_.stop(); }
+  void stop() noexcept { loop_->stop(); }
 
   /// Emits everything still delayed and flushes sinks (shutdown path).
   Status drain();
+
+  /// Injects faults into every frame the ISM sends an EXS (acks, clock-sync
+  /// messages) — ack-loss drills for the replay path. The frame index seen
+  /// by the policy counts all outbound frames across all connections.
+  void set_fault_policy(net::FaultPolicy policy) { fault_.set_policy(std::move(policy)); }
+  [[nodiscard]] const net::FaultStats& fault_stats() const noexcept { return fault_.stats(); }
 
   [[nodiscard]] const IsmStats& stats() const noexcept { return stats_; }
   [[nodiscard]] OnlineSorter& sorter() noexcept { return sorter_; }
@@ -117,17 +146,26 @@ class Ism {
   [[nodiscard]] std::size_t connected_nodes() const noexcept { return nodes_.size(); }
   /// Sessions tracked (live + quarantined); for tests and diagnostics.
   [[nodiscard]] std::size_t session_count() const noexcept { return sessions_.size(); }
+  [[nodiscard]] const char* poller_backend() const noexcept { return loop_->backend_name(); }
 
  private:
   struct Connection {
     net::TcpSocket socket;
-    net::FrameReader reader;
+    net::FrameReader reader;  // inline mode only; readers own it otherwise
     NodeId node = 0;
     bool hello_seen = false;
     bool saw_bye = false;             // clean shutdown: expire the session now
     TimeMicros last_rx_us = 0;        // monotonic, any inbound bytes
     TimeMicros last_ack_sent_us = 0;  // monotonic
     std::unique_ptr<TokenBucket> flow_control;  // null when disabled
+    // --- threaded ingest -----------------------------------------------------
+    std::shared_ptr<IngestLane> lane;  // null in inline mode
+    std::size_t reader_index = 0;      // which ReaderThread owns the fd
+    /// Ordering thread decided to close but the reader still polls the fd:
+    /// socket is shutdown(2), waiting for the reader's `closed` event.
+    bool closing = false;
+    /// The reader emitted its `closed` event; the fd is safe to close.
+    bool reader_done = false;
   };
 
   /// Per-node state that must survive the TCP connection: the batch_seq
@@ -155,8 +193,10 @@ class Ism {
     Ism& ism_;
   };
 
-  Ism(const IsmConfig& config, clk::Clock& clock, std::shared_ptr<OutputSink> output,
+  Ism(const IsmConfig& config, clk::Clock& clock, std::shared_ptr<Sink> output,
       net::TcpListener listener);
+
+  [[nodiscard]] bool threaded() const noexcept { return !readers_.empty(); }
 
   void on_listener_readable();
   void on_connection_readable(int fd);
@@ -171,16 +211,27 @@ class Ism {
   void session_sweep();
   void expire_session(NodeId node);
   Status send_ack(Connection& conn, tp::MsgType type);
+  Status send_frame(Connection& conn, ByteSpan payload);
+  /// Tears down a connection. In threaded mode with the reader still
+  /// polling the fd, this only shutdown(2)s the socket and waits for the
+  /// reader's `closed` event (see ingest.hpp's fd ownership protocol).
   void close_connection(int fd);
+  void finish_close(int fd);
+  // --- threaded ingest -------------------------------------------------------
+  /// Drains every connection's lane into the pipeline; resumes stalled fds.
+  void drain_ingest();
+  void process_ingest_event(int fd, IngestEvent event);
   /// fd of the index-th connected node (ordered by node id), or -1.
   int node_fd_by_index(std::size_t index) const;
   [[nodiscard]] bool resilient() const noexcept { return config_.ack_period_us > 0; }
 
   IsmConfig config_;
   clk::Clock& clock_;
-  std::shared_ptr<OutputSink> output_;
+  std::shared_ptr<Sink> output_;
   net::TcpListener listener_;
-  net::EventLoop loop_;
+  std::unique_ptr<net::Poller> loop_;
+  std::vector<std::unique_ptr<ReaderThread>> readers_;
+  std::size_t next_reader_ = 0;  // round-robin connection placement
   std::map<int, Connection> connections_;
   std::map<NodeId, int> nodes_;  // node id → fd (live connections only)
   std::map<NodeId, NodeSession> sessions_;
@@ -189,6 +240,7 @@ class Ism {
   SocketSyncTransport sync_transport_;
   std::unique_ptr<clk::SyncService> sync_service_;
   IsmStats stats_;
+  net::FaultySocket fault_;  // all ISM→EXS frames route through this
   std::uint32_t next_request_id_ = 1;
   // Set while a sync poll is waiting for this (request id, value) pair.
   std::uint32_t pending_poll_request_ = 0;

@@ -24,7 +24,7 @@ Result<sensors::Record> decode_output_record(ByteSpan bytes) {
   return sensors::decode_native(bytes.subspan(4), node);
 }
 
-Status ShmOutputSink::deliver(const sensors::Record& record) {
+Status ShmSink::accept(const sensors::Record& record) {
   auto encoded = encode_output_record(record);
   if (!encoded) return encoded.status();
   if (!ring_.try_push(encoded.value().view())) {
@@ -35,22 +35,64 @@ Status ShmOutputSink::deliver(const sensors::Record& record) {
   return Status::ok();
 }
 
-Status FanOut::deliver(const sensors::Record& record) {
+Status SinkRegistry::add(std::shared_ptr<Sink> sink) {
+  if (!sink) return Status(Errc::invalid_argument, "null sink");
+  std::string name = sink->name();
+  return add(std::move(name), std::move(sink));
+}
+
+Status SinkRegistry::add(std::string name, std::shared_ptr<Sink> sink) {
+  if (!sink) return Status(Errc::invalid_argument, "null sink");
+  if (name.empty()) return Status(Errc::invalid_argument, "empty sink name");
+  for (const auto& entry : sinks_) {
+    if (entry.name == name) {
+      return Status(Errc::already_exists, "sink '" + name + "' already registered");
+    }
+  }
+  sinks_.push_back(Entry{std::move(name), std::move(sink)});
+  return Status::ok();
+}
+
+bool SinkRegistry::remove(const std::string& name) {
+  for (auto it = sinks_.begin(); it != sinks_.end(); ++it) {
+    if (it->name == name) {
+      sinks_.erase(it);
+      return true;
+    }
+  }
+  return false;
+}
+
+std::shared_ptr<Sink> SinkRegistry::find(const std::string& name) const {
+  for (const auto& entry : sinks_) {
+    if (entry.name == name) return entry.sink;
+  }
+  return nullptr;
+}
+
+Status SinkRegistry::accept(const sensors::Record& record) {
   Status first_error = Status::ok();
-  for (auto& sink : sinks_) {
-    Status st = sink->deliver(record);
+  for (auto& entry : sinks_) {
+    Status st = entry.sink->accept(record);
     if (!st && first_error.is_ok()) first_error = st;
   }
   return first_error;
 }
 
-Status FanOut::flush() {
+Status SinkRegistry::flush() {
   Status first_error = Status::ok();
-  for (auto& sink : sinks_) {
-    Status st = sink->flush();
+  for (auto& entry : sinks_) {
+    Status st = entry.sink->flush();
     if (!st && first_error.is_ok()) first_error = st;
   }
   return first_error;
+}
+
+std::vector<std::string> SinkRegistry::names() const {
+  std::vector<std::string> out;
+  out.reserve(sinks_.size());
+  for (const auto& entry : sinks_) out.push_back(entry.name);
+  return out;
 }
 
 }  // namespace brisk::ism

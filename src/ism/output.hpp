@@ -4,12 +4,14 @@
 // which is then read by instrumentation data consumer tools. Besides
 // writing to memory, the BRISK ISM may log instrumentation data to trace
 // files in the PICL ASCII format, or it may pass instrumentation data to a
-// list of CORBA-enabled visual objects." OutputSink is the abstraction;
-// FanOut delivers to any combination.
+// list of CORBA-enabled visual objects." All three output paths implement
+// the one Sink interface; SinkRegistry holds the registered set and fans
+// every sorted record out to it.
 #pragma once
 
 #include <functional>
 #include <memory>
+#include <string>
 #include <vector>
 
 #include "picl/picl_writer.hpp"
@@ -19,22 +21,27 @@
 
 namespace brisk::ism {
 
-class OutputSink {
+/// One output path for sorted records. accept() takes each record as the
+/// sorter releases it; flush() is called on idle cycles and at shutdown.
+class Sink {
  public:
-  virtual ~OutputSink() = default;
-  virtual Status deliver(const sensors::Record& record) = 0;
+  virtual ~Sink() = default;
+  virtual Status accept(const sensors::Record& record) = 0;
   virtual Status flush() { return Status::ok(); }
+  /// Stable identifier for diagnostics and registry lookups.
+  [[nodiscard]] virtual const char* name() const noexcept = 0;
 };
 
 /// Default output: native-encoded records into a shared-memory ring that
 /// consumer tools read ("using the same binary structure used by the NOTICE
 /// macros"). Node ids are preserved by prefixing each payload with the
 /// 4-byte node id.
-class ShmOutputSink final : public OutputSink {
+class ShmSink final : public Sink {
  public:
-  explicit ShmOutputSink(shm::RingBuffer ring) : ring_(ring) {}
+  explicit ShmSink(shm::RingBuffer ring) : ring_(ring) {}
 
-  Status deliver(const sensors::Record& record) override;
+  Status accept(const sensors::Record& record) override;
+  [[nodiscard]] const char* name() const noexcept override { return "shm"; }
 
   [[nodiscard]] std::uint64_t delivered() const noexcept { return delivered_; }
   [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
@@ -46,12 +53,13 @@ class ShmOutputSink final : public OutputSink {
 };
 
 /// PICL ASCII trace file output.
-class PiclFileSink final : public OutputSink {
+class PiclFileSink final : public Sink {
  public:
   explicit PiclFileSink(picl::PiclWriter writer) : writer_(std::move(writer)) {}
 
-  Status deliver(const sensors::Record& record) override { return writer_.write(record); }
+  Status accept(const sensors::Record& record) override { return writer_.write(record); }
   Status flush() override { return writer_.flush(); }
+  [[nodiscard]] const char* name() const noexcept override { return "picl"; }
 
   [[nodiscard]] picl::PiclWriter& writer() noexcept { return writer_; }
 
@@ -60,33 +68,47 @@ class PiclFileSink final : public OutputSink {
 };
 
 /// In-process consumer callback (tests, embedded consumers).
-class CallbackSink final : public OutputSink {
+class CallbackSink final : public Sink {
  public:
   using Fn = std::function<void(const sensors::Record&)>;
   explicit CallbackSink(Fn fn) : fn_(std::move(fn)) {}
 
-  Status deliver(const sensors::Record& record) override {
+  Status accept(const sensors::Record& record) override {
     fn_(record);
     return Status::ok();
   }
+  [[nodiscard]] const char* name() const noexcept override { return "callback"; }
 
  private:
   Fn fn_;
 };
 
-/// Delivers to every attached sink; a failing sink is reported but does not
-/// stop delivery to the others.
-class FanOut final : public OutputSink {
+/// The registered set of output paths. Itself a Sink, so the pipeline talks
+/// to exactly one object no matter how many outputs are attached. A failing
+/// sink is reported but does not stop delivery to the others.
+class SinkRegistry final : public Sink {
  public:
-  void add(std::shared_ptr<OutputSink> sink) { sinks_.push_back(std::move(sink)); }
+  /// Registers under the sink's own name(). Fails on a duplicate name.
+  Status add(std::shared_ptr<Sink> sink);
+  /// Registers under an explicit name (several sinks of one kind).
+  Status add(std::string name, std::shared_ptr<Sink> sink);
+  /// Unregisters; false if no sink has that name.
+  bool remove(const std::string& name);
+  [[nodiscard]] std::shared_ptr<Sink> find(const std::string& name) const;
 
-  Status deliver(const sensors::Record& record) override;
+  Status accept(const sensors::Record& record) override;
   Status flush() override;
+  [[nodiscard]] const char* name() const noexcept override { return "registry"; }
 
   [[nodiscard]] std::size_t sink_count() const noexcept { return sinks_.size(); }
+  [[nodiscard]] std::vector<std::string> names() const;
 
  private:
-  std::vector<std::shared_ptr<OutputSink>> sinks_;
+  struct Entry {
+    std::string name;
+    std::shared_ptr<Sink> sink;
+  };
+  std::vector<Entry> sinks_;  // delivery order = registration order
 };
 
 /// Encodes a record (with its node id prefix) as placed in the output ring.

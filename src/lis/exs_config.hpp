@@ -10,6 +10,7 @@
 
 #include "common/error.hpp"
 #include "common/types.hpp"
+#include "net/poller.hpp"
 
 namespace brisk::lis {
 
@@ -34,6 +35,8 @@ struct ExsConfig {
   /// select() timeout; the paper observed this bounds worst-case record
   /// latency ("up to 40 ms").
   TimeMicros select_timeout_us = 40'000;
+  /// Readiness-poll backend of the daemon loop.
+  net::PollerBackend poller = net::PollerBackend::select;
 
   // --- session resilience ----------------------------------------------------
   /// Identifies this EXS process lifetime to the ISM. 0 = derive a unique
@@ -42,6 +45,9 @@ struct ExsConfig {
   /// Sent-but-unacknowledged data batches retained for replay after a
   /// reconnect. 0 disables replay (and the HELLO_ACK send gate with it).
   std::uint32_t replay_buffer_batches = 256;
+  /// Byte cap on the replay buffer — the memory an operator actually
+  /// provisions. 0 = no byte cap (count cap alone applies).
+  std::size_t replay_buffer_bytes = 0;
   /// First reconnect delay after a lost connection...
   TimeMicros reconnect_backoff_base_us = 50'000;
   /// ...doubling per failed attempt up to this cap...

@@ -21,7 +21,7 @@ ExsCore::ExsCore(const ExsConfig& config, shm::MultiRing rings, clk::Clock& cloc
       sink_(std::move(sink)),
       batcher_(config, clock,
                [this](ByteBuffer payload) { return ship_batch(std::move(payload)); }),
-      replay_(config.replay_buffer_batches) {
+      replay_(config.replay_buffer_batches, config.replay_buffer_bytes) {
   drain_scratch_.reserve(sensors::kMaxNativeRecordBytes);
 }
 
@@ -200,6 +200,7 @@ ExsStats ExsCore::stats() const noexcept {
 ExternalSensor::ExternalSensor(const ExsConfig& config, net::TcpSocket socket)
     : config_(config),
       socket_(std::move(socket)),
+      loop_(net::make_poller(config.poller)),
       jitter_rng_(config.node ^ config.incarnation ^ 0x9e3779b97f4a7c15ull) {}
 
 Result<std::unique_ptr<ExternalSensor>> ExternalSensor::connect(
@@ -246,23 +247,23 @@ Result<std::unique_ptr<ExternalSensor>> ExternalSensor::connect(
   if (!st) return st;
   st = exs->watch_socket();
   if (!st) return st;
-  exs->loop_.set_idle([raw] {
+  exs->loop_->set_idle([raw] {
     Status cy = raw->cycle();
     if (!cy) {
       BRISK_LOG_ERROR << "EXS cycle failed: " << cy.to_string();
-      raw->loop_.stop();
+      raw->loop_->stop();
     }
   });
   return exs;
 }
 
 Status ExternalSensor::watch_socket() {
-  return loop_.watch(socket_.fd(), [this](int) {
+  return loop_->watch(socket_.fd(), [this](int, net::Readiness) {
     Status pump = pump_socket();
     if (!pump && pump.code() != Errc::would_block) {
       if (core_->saw_bye()) {
         peer_closed_ = true;
-        loop_.stop();
+        loop_->stop();
       } else {
         BRISK_LOG_WARN << "EXS node " << config_.node
                        << ": ISM link error: " << pump.to_string();
@@ -303,7 +304,7 @@ void ExternalSensor::handle_disconnect() {
   if (!connected_) return;
   connected_ = false;
   if (socket_.valid()) {
-    (void)loop_.unwatch(socket_.fd());
+    (void)loop_->unwatch(socket_.fd());
     socket_.close();
   }
   frame_reader_ = net::FrameReader{};
@@ -348,7 +349,7 @@ void ExternalSensor::maybe_reconnect() {
         (void)core_->on_reconnected();
         return;
       }
-      (void)loop_.unwatch(socket_.fd());
+      (void)loop_->unwatch(socket_.fd());
       socket_.close();
     }
   }
@@ -357,14 +358,14 @@ void ExternalSensor::maybe_reconnect() {
       failed_attempts_ >= config_.max_reconnect_attempts) {
     BRISK_LOG_ERROR << "EXS node " << config_.node << ": giving up after "
                     << failed_attempts_ << " reconnect attempts";
-    loop_.stop();
+    loop_->stop();
     return;
   }
   next_attempt_at_ = monotonic_micros() + backoff_delay();
 }
 
 Status ExternalSensor::cycle() {
-  if (!connected_ && !loop_.stopped()) maybe_reconnect();
+  if (!connected_ && !loop_->stopped()) maybe_reconnect();
   // Rings keep draining while the link is down: records flow into batches
   // and batches into the bounded replay buffer, whose evictions (if any)
   // are the declared loss.
@@ -387,13 +388,13 @@ Status ExternalSensor::cycle() {
 }
 
 Status ExternalSensor::run() {
-  return loop_.run(config_.select_timeout_us);
+  return loop_->run(config_.select_timeout_us);
 }
 
 Status ExternalSensor::run_for(TimeMicros duration) {
   const TimeMicros deadline = monotonic_micros() + duration;
-  while (monotonic_micros() < deadline && !loop_.stopped() && !peer_closed_) {
-    auto polled = loop_.poll_once(config_.select_timeout_us);
+  while (monotonic_micros() < deadline && !loop_->stopped() && !peer_closed_) {
+    auto polled = loop_->poll_once(config_.select_timeout_us);
     if (!polled) return polled.status();
   }
   return Status::ok();

@@ -26,9 +26,9 @@
 #include "lis/batcher.hpp"
 #include "lis/exs_config.hpp"
 #include "lis/replay_buffer.hpp"
-#include "net/event_loop.hpp"
 #include "net/faulty_socket.hpp"
 #include "net/frame.hpp"
+#include "net/poller.hpp"
 #include "net/socket.hpp"
 #include "shm/multi_ring.hpp"
 
@@ -134,7 +134,7 @@ class ExternalSensor {
   Status run();
   /// Runs for at most `duration` (monotonic); for tests and benches.
   Status run_for(TimeMicros duration);
-  void stop() noexcept { loop_.stop(); }
+  void stop() noexcept { loop_->stop(); }
 
   /// Installs a frame-level fault policy on the outbound path (tests and
   /// the --fault-* flags of brisk_exs). Must be set before run().
@@ -160,7 +160,7 @@ class ExternalSensor {
   net::TcpSocket socket_;
   net::FaultySocket fault_;
   net::FrameReader frame_reader_;
-  net::EventLoop loop_;
+  std::unique_ptr<net::Poller> loop_;
   std::unique_ptr<ExsCore> core_;
   std::string ism_host_;
   std::uint16_t ism_port_ = 0;

@@ -22,6 +22,16 @@ Status ReplayBuffer::retain(ByteSpan frame) {
     entries_.pop_front();
     ++evictions_;
   }
+  // Byte cap: make room for the incoming frame by evicting oldest-first.
+  // A frame larger than the whole cap still gets in (with an empty buffer):
+  // the newest batch is the one in flight and must remain replayable.
+  if (max_bytes_ > 0) {
+    while (!entries_.empty() && bytes_ + frame.size() > max_bytes_) {
+      bytes_ -= entries_.front().frame.size();
+      entries_.pop_front();
+      ++evictions_;
+    }
+  }
   Entry entry;
   entry.batch_seq = read_be32(frame.data() + kSeqOffset);
   entry.frame.append(frame);

@@ -4,8 +4,14 @@
 // cumulative BATCH_ACK cursor passes its sequence number. On reconnect the
 // EXS replays everything the ISM has not acknowledged (the ISM dedupes by
 // batch_seq, so an ack lost in the crash cannot duplicate records). The
-// buffer is bounded: when `max_batches` are already retained, the oldest
-// entry is evicted and counted — an *declared* loss, reported in ExsStats.
+// buffer is bounded two ways — by batch count (`max_batches`) and
+// optionally by total payload bytes (`max_bytes`): when either cap is hit,
+// the oldest entries are evicted and counted — a *declared* loss, reported
+// in ExsStats. The byte cap is what an operator actually provisions
+// (memory), so it evicts as many old batches as the newest one needs; a
+// single jumbo batch larger than the whole cap still displaces everything
+// else rather than being dropped, because the newest batch is the one in
+// flight.
 #pragma once
 
 #include <cstdint>
@@ -23,7 +29,9 @@ class ReplayBuffer {
     ByteBuffer frame;  // full data_batch frame payload, ready to re-send
   };
 
-  explicit ReplayBuffer(std::size_t max_batches) : max_batches_(max_batches) {}
+  /// `max_bytes` == 0 disables the byte cap.
+  explicit ReplayBuffer(std::size_t max_batches, std::size_t max_bytes = 0)
+      : max_batches_(max_batches), max_bytes_(max_bytes) {}
 
   /// Retains a copy of a finished data_batch frame payload. The batch
   /// sequence number is read from the frame itself (u32 at byte offset 8:
@@ -45,6 +53,7 @@ class ReplayBuffer {
 
  private:
   std::size_t max_batches_;
+  std::size_t max_bytes_;
   std::deque<Entry> entries_;
   std::size_t bytes_ = 0;
   std::uint64_t evictions_ = 0;

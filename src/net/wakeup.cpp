@@ -1,0 +1,39 @@
+#include "net/wakeup.hpp"
+
+#include <fcntl.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstring>
+
+namespace brisk::net {
+
+Result<WakeupPipe> WakeupPipe::create() {
+  int fds[2];
+  if (::pipe(fds) != 0) {
+    return Status(Errc::io_error, std::string("pipe: ") + std::strerror(errno));
+  }
+  for (int fd : fds) {
+    const int flags = ::fcntl(fd, F_GETFL, 0);
+    if (flags < 0 || ::fcntl(fd, F_SETFL, flags | O_NONBLOCK) != 0) {
+      ::close(fds[0]);
+      ::close(fds[1]);
+      return Status(Errc::io_error, std::string("fcntl: ") + std::strerror(errno));
+    }
+  }
+  return WakeupPipe(FdHandle(fds[0]), FdHandle(fds[1]));
+}
+
+void WakeupPipe::signal() noexcept {
+  const std::uint8_t byte = 1;
+  // EAGAIN means the pipe already holds a pending wakeup — success.
+  (void)::write(write_end_.get(), &byte, 1);
+}
+
+void WakeupPipe::drain() noexcept {
+  std::uint8_t sink[256];
+  while (::read(read_end_.get(), sink, sizeof sink) > 0) {
+  }
+}
+
+}  // namespace brisk::net

@@ -1,0 +1,36 @@
+// Self-pipe wakeup: lets one thread interrupt another thread's poll wait.
+// The waiting side watches `fd()` for readability in its Poller; the waking
+// side calls signal(). Non-blocking on both ends — a full pipe simply means
+// a wakeup is already pending, which is all the receiver needs to know.
+#pragma once
+
+#include "common/error.hpp"
+#include "net/socket.hpp"
+
+namespace brisk::net {
+
+class WakeupPipe {
+ public:
+  static Result<WakeupPipe> create();
+
+  WakeupPipe() = default;
+
+  /// Any-thread side: makes the read end readable. Idempotent while a
+  /// wakeup is pending.
+  void signal() noexcept;
+
+  /// Waiting-thread side: consumes all pending wakeup bytes.
+  void drain() noexcept;
+
+  [[nodiscard]] int fd() const noexcept { return read_end_.get(); }
+  [[nodiscard]] bool valid() const noexcept { return read_end_.valid(); }
+
+ private:
+  WakeupPipe(FdHandle read_end, FdHandle write_end)
+      : read_end_(std::move(read_end)), write_end_(std::move(write_end)) {}
+
+  FdHandle read_end_;
+  FdHandle write_end_;
+};
+
+}  // namespace brisk::net

@@ -47,7 +47,7 @@ Result<std::uint32_t> VoChannel::ping(std::uint32_t token) {
   return echoed.value();
 }
 
-Status VoSink::deliver(const sensors::Record& record) {
+Status VoSink::accept(const sensors::Record& record) {
   const std::string line = picl::to_picl_line(record, options_);
   Status first_error = Status::ok();
   for (const std::string& name : object_names_) {

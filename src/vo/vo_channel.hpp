@@ -35,14 +35,15 @@ class VoChannel {
 
 /// ISM output sink that forwards every sorted record to a list of remote
 /// visual objects — "a list of CORBA-enabled visual objects" in the paper.
-class VoSink final : public ism::OutputSink {
+class VoSink final : public ism::Sink {
  public:
   VoSink(VoChannel channel, std::vector<std::string> object_names, picl::PiclOptions options)
       : channel_(std::move(channel)),
         object_names_(std::move(object_names)),
         options_(options) {}
 
-  Status deliver(const sensors::Record& record) override;
+  Status accept(const sensors::Record& record) override;
+  [[nodiscard]] const char* name() const noexcept override { return "vo"; }
 
   [[nodiscard]] VoChannel& channel() noexcept { return channel_; }
 

@@ -14,7 +14,8 @@ Result<std::unique_ptr<VoRegistry>> VoRegistry::start(std::uint16_t port) {
   if (!st) return st;
   auto registry = std::unique_ptr<VoRegistry>(new VoRegistry(std::move(listener).value()));
   VoRegistry* raw = registry.get();
-  st = registry->loop_.watch(registry->listener_.fd(), [raw](int) { raw->on_listener_readable(); });
+  st = registry->loop_.watch(registry->listener_.fd(),
+                             [raw](int, net::Readiness) { raw->on_listener_readable(); });
   if (!st) return st;
   return registry;
 }
@@ -43,7 +44,7 @@ void VoRegistry::on_listener_readable() {
     Connection conn;
     conn.socket = std::move(socket);
     connections_.emplace(fd, std::move(conn));
-    if (!loop_.watch(fd, [this](int ready_fd) { on_connection_readable(ready_fd); })) {
+    if (!loop_.watch(fd, [this](int ready_fd, net::Readiness) { on_connection_readable(ready_fd); })) {
       connections_.erase(fd);
     }
   }

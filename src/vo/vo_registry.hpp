@@ -8,8 +8,8 @@
 #include <mutex>
 #include <string>
 
-#include "net/event_loop.hpp"
 #include "net/frame.hpp"
+#include "net/poller.hpp"
 #include "net/socket.hpp"
 #include "vo/visual_object.hpp"
 
@@ -58,7 +58,7 @@ class VoRegistry {
   void close_connection(int fd);
 
   net::TcpListener listener_;
-  net::EventLoop loop_;
+  net::SelectPoller loop_;  // a handful of tool connections: select suffices
   std::map<int, Connection> connections_;
   mutable std::mutex objects_mutex_;  // guards objects_ against the loop thread
   std::map<std::string, std::shared_ptr<VisualObject>> objects_;

@@ -2,9 +2,13 @@
 // string utilities, time utilities, logging.
 #include <gtest/gtest.h>
 
+#include <memory>
+#include <thread>
+
 #include "common/byte_buffer.hpp"
 #include "common/error.hpp"
 #include "common/logging.hpp"
+#include "common/spsc_queue.hpp"
 #include "common/string_util.hpp"
 #include "common/time_util.hpp"
 
@@ -308,6 +312,57 @@ TEST_F(LoggingTest, OffSilencesEverything) {
 TEST(LogLevelTest, Names) {
   EXPECT_STREQ(log_level_name(LogLevel::debug), "debug");
   EXPECT_STREQ(log_level_name(LogLevel::error), "error");
+}
+
+// ---- SPSC queue -----------------------------------------------------------------------
+
+TEST(SpscQueueTest, CapacityRoundsUpToPowerOfTwo) {
+  SpscQueue<int> queue(5);
+  EXPECT_EQ(queue.capacity(), 8u);
+  EXPECT_EQ(SpscQueue<int>(1).capacity(), 2u);
+}
+
+TEST(SpscQueueTest, PushPopRoundTrip) {
+  SpscQueue<int> queue(4);
+  EXPECT_TRUE(queue.empty());
+  for (int i = 0; i < 4; ++i) EXPECT_TRUE(queue.try_push(int(i)));
+  EXPECT_FALSE(queue.try_push(99)) << "queue is full";
+  EXPECT_EQ(queue.size(), 4u);
+  for (int i = 0; i < 4; ++i) {
+    int out = -1;
+    ASSERT_TRUE(queue.try_pop(out));
+    EXPECT_EQ(out, i);
+  }
+  int out = -1;
+  EXPECT_FALSE(queue.try_pop(out)) << "queue is empty";
+}
+
+TEST(SpscQueueTest, MoveOnlyPayloads) {
+  SpscQueue<std::unique_ptr<int>> queue(2);
+  EXPECT_TRUE(queue.try_push(std::make_unique<int>(7)));
+  std::unique_ptr<int> out;
+  ASSERT_TRUE(queue.try_pop(out));
+  ASSERT_NE(out, nullptr);
+  EXPECT_EQ(*out, 7);
+}
+
+TEST(SpscQueueTest, ConcurrentProducerConsumerPreservesOrder) {
+  SpscQueue<std::uint32_t> queue(64);
+  constexpr std::uint32_t kCount = 20'000;
+  std::thread producer([&] {
+    for (std::uint32_t i = 0; i < kCount;) {
+      if (queue.try_push(std::uint32_t(i))) ++i;
+    }
+  });
+  std::uint32_t expected = 0;
+  while (expected < kCount) {
+    std::uint32_t out = 0;
+    if (!queue.try_pop(out)) continue;
+    ASSERT_EQ(out, expected);
+    ++expected;
+  }
+  producer.join();
+  EXPECT_TRUE(queue.empty());
 }
 
 }  // namespace

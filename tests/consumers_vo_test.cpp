@@ -34,12 +34,12 @@ class ShmConsumerTest : public ::testing::Test {
     auto ring = shm::RingBuffer::init(memory_.data(), 64 * 1024);
     ASSERT_TRUE(ring.is_ok());
     ring_ = ring.value();
-    sink_ = std::make_unique<ism::ShmOutputSink>(ring_);
+    sink_ = std::make_unique<ism::ShmSink>(ring_);
     consumer_ = std::make_unique<consumers::ShmConsumer>(ring_);
   }
   std::vector<std::uint8_t> memory_;
   shm::RingBuffer ring_;
-  std::unique_ptr<ism::ShmOutputSink> sink_;
+  std::unique_ptr<ism::ShmSink> sink_;
   std::unique_ptr<consumers::ShmConsumer> consumer_;
 };
 
@@ -50,7 +50,7 @@ TEST_F(ShmConsumerTest, PollEmptyReturnsNullopt) {
 }
 
 TEST_F(ShmConsumerTest, RoundTripThroughOutputRing) {
-  ASSERT_TRUE(sink_->deliver(make_record(5, 111)));
+  ASSERT_TRUE(sink_->accept(make_record(5, 111)));
   auto record = consumer_->poll();
   ASSERT_TRUE(record.is_ok());
   ASSERT_TRUE(record.value().has_value());
@@ -60,7 +60,7 @@ TEST_F(ShmConsumerTest, RoundTripThroughOutputRing) {
 }
 
 TEST_F(ShmConsumerTest, PollAllDrains) {
-  for (int i = 0; i < 10; ++i) ASSERT_TRUE(sink_->deliver(make_record(1, i)));
+  for (int i = 0; i < 10; ++i) ASSERT_TRUE(sink_->accept(make_record(1, i)));
   auto records = consumer_->poll_all();
   ASSERT_TRUE(records.is_ok());
   EXPECT_EQ(records.value().size(), 10u);
@@ -68,7 +68,7 @@ TEST_F(ShmConsumerTest, PollAllDrains) {
 }
 
 TEST_F(ShmConsumerTest, PollPiclRendersLine) {
-  ASSERT_TRUE(sink_->deliver(make_record(2, 333, 7)));
+  ASSERT_TRUE(sink_->accept(make_record(2, 333, 7)));
   picl::PiclOptions options{picl::TimestampMode::utc_micros, 0};
   auto line = consumer_->poll_picl(options);
   ASSERT_TRUE(line.is_ok());
@@ -200,7 +200,7 @@ TEST_F(VoTest, VoSinkDeliversRecordsAsPicl) {
   ASSERT_TRUE(channel.is_ok());
   picl::PiclOptions options{picl::TimestampMode::utc_micros, 0};
   vo::VoSink sink(std::move(channel).value(), {"gauge"}, options);
-  ASSERT_TRUE(sink.deliver(make_record(4, 555, 8)));
+  ASSERT_TRUE(sink.accept(make_record(4, 555, 8)));
   ASSERT_TRUE(sink.channel().ping(3).is_ok());
   auto lines = object_->lines();
   ASSERT_EQ(lines.size(), 1u);
@@ -226,7 +226,7 @@ TEST_F(VoTest, MultipleObjectsFanOutViaSink) {
   ASSERT_TRUE(channel.is_ok());
   picl::PiclOptions options{picl::TimestampMode::utc_micros, 0};
   vo::VoSink sink(std::move(channel).value(), {"gauge", "log"}, options);
-  ASSERT_TRUE(sink.deliver(make_record(1, 1)));
+  ASSERT_TRUE(sink.accept(make_record(1, 1)));
   ASSERT_TRUE(sink.channel().ping(4).is_ok());
   EXPECT_EQ(object_->lines().size(), 1u);
   EXPECT_EQ(second->lines().size(), 1u);

@@ -2,6 +2,11 @@
 // (including malformed) transfer-protocol frames at a live Ism and verifies
 // the server's dispositions — drop the connection on protocol violations,
 // tolerate benign oddities, never crash.
+//
+// The whole suite is parameterized over the ingest configuration (poller
+// backend x inline/threaded readers) so every disposition holds in all
+// deployment shapes, and a determinism test checks the sorted output is
+// identical whichever configuration ran it.
 #include <gtest/gtest.h>
 
 #include <thread>
@@ -17,7 +22,19 @@
 namespace brisk::ism {
 namespace {
 
-class IsmServerTest : public ::testing::Test {
+/// One ingest deployment shape: which poller, how many reader threads.
+struct IngestMode {
+  net::PollerBackend poller = net::PollerBackend::select;
+  std::size_t reader_threads = 0;
+};
+
+std::string ingest_mode_name(const ::testing::TestParamInfo<IngestMode>& info) {
+  std::string name = net::to_string(info.param.poller);
+  name += info.param.reader_threads == 0 ? "_inline" : "_threaded";
+  return name;
+}
+
+class IsmServerTest : public ::testing::TestWithParam<IngestMode> {
  protected:
   void SetUp() override {
     IsmConfig config;
@@ -26,6 +43,8 @@ class IsmServerTest : public ::testing::Test {
     config.sorter.initial_frame_us = 0;
     config.sorter.min_frame_us = 0;
     config.sorter.adaptive = false;
+    config.poller = GetParam().poller;
+    config.reader_threads = GetParam().reader_threads;
     delivered_ = std::make_shared<DeliveredLog>();
     auto delivered = delivered_;
     auto sink = std::make_shared<CallbackSink>(
@@ -108,7 +127,7 @@ class IsmServerTest : public ::testing::Test {
   std::thread server_;
 };
 
-TEST_F(IsmServerTest, WellFormedSessionDelivers) {
+TEST_P(IsmServerTest, WellFormedSessionDelivers) {
   auto socket = connect();
   ASSERT_TRUE(send_hello(socket, 5));
   tp::BatchBuilder builder(5);
@@ -123,7 +142,7 @@ TEST_F(IsmServerTest, WellFormedSessionDelivers) {
   EXPECT_EQ(delivered_->at(0).node, 5u);
 }
 
-TEST_F(IsmServerTest, BatchBeforeHelloDropsConnection) {
+TEST_P(IsmServerTest, BatchBeforeHelloDropsConnection) {
   auto socket = connect();
   tp::BatchBuilder builder(1);
   ByteBuffer payload = builder.finish();
@@ -131,22 +150,26 @@ TEST_F(IsmServerTest, BatchBeforeHelloDropsConnection) {
   EXPECT_TRUE(connection_closed(socket));
 }
 
-TEST_F(IsmServerTest, VersionMismatchDropsConnection) {
+TEST_P(IsmServerTest, VersionMismatchDropsConnection) {
   auto socket = connect();
   ASSERT_TRUE(send_hello(socket, 1, /*version=*/999));
   EXPECT_TRUE(connection_closed(socket));
 }
 
-TEST_F(IsmServerTest, DuplicateNodeIdRejected) {
+TEST_P(IsmServerTest, DuplicateNodeIdRejected) {
   auto first = connect();
   ASSERT_TRUE(send_hello(first, 7));
+  // Wait for the HELLO_ACK: with parallel reader threads there is no
+  // cross-connection ordering, so the session must be established before
+  // the usurper shows up (a real EXS gates on the ack the same way).
+  ASSERT_TRUE(net::read_frame(first).is_ok());
   auto second = connect();
   ASSERT_TRUE(send_hello(second, 7));
   EXPECT_TRUE(connection_closed(second));
   EXPECT_FALSE(connection_closed(first, 200'000)) << "original connection survives";
 }
 
-TEST_F(IsmServerTest, NodeIdReusableAfterDisconnect) {
+TEST_P(IsmServerTest, NodeIdReusableAfterDisconnect) {
   {
     auto socket = connect();
     ASSERT_TRUE(send_hello(socket, 9));
@@ -158,7 +181,7 @@ TEST_F(IsmServerTest, NodeIdReusableAfterDisconnect) {
   EXPECT_FALSE(connection_closed(socket, 300'000)) << "id freed by the disconnect";
 }
 
-TEST_F(IsmServerTest, UnknownMessageTypeDropsConnection) {
+TEST_P(IsmServerTest, UnknownMessageTypeDropsConnection) {
   auto socket = connect();
   ASSERT_TRUE(send_hello(socket, 2));
   ByteBuffer garbage;
@@ -168,7 +191,7 @@ TEST_F(IsmServerTest, UnknownMessageTypeDropsConnection) {
   EXPECT_TRUE(connection_closed(socket));
 }
 
-TEST_F(IsmServerTest, TruncatedBatchDropsConnection) {
+TEST_P(IsmServerTest, TruncatedBatchDropsConnection) {
   auto socket = connect();
   ASSERT_TRUE(send_hello(socket, 3));
   ByteBuffer bad;
@@ -179,14 +202,14 @@ TEST_F(IsmServerTest, TruncatedBatchDropsConnection) {
   EXPECT_TRUE(connection_closed(socket));
 }
 
-TEST_F(IsmServerTest, OversizedFrameHeaderDropsConnection) {
+TEST_P(IsmServerTest, OversizedFrameHeaderDropsConnection) {
   auto socket = connect();
   const std::uint8_t evil[4] = {0xff, 0xff, 0xff, 0xff};
   ASSERT_TRUE(socket.write_all(ByteSpan{evil, 4}));
   EXPECT_TRUE(connection_closed(socket));
 }
 
-TEST_F(IsmServerTest, UnsolicitedTimeRespTolerated) {
+TEST_P(IsmServerTest, UnsolicitedTimeRespTolerated) {
   auto socket = connect();
   ASSERT_TRUE(send_hello(socket, 4));
   ByteBuffer resp;
@@ -197,7 +220,7 @@ TEST_F(IsmServerTest, UnsolicitedTimeRespTolerated) {
   EXPECT_FALSE(connection_closed(socket, 300'000)) << "stale responses are ignored";
 }
 
-TEST_F(IsmServerTest, ByeClosesGracefully) {
+TEST_P(IsmServerTest, ByeClosesGracefully) {
   auto socket = connect();
   ASSERT_TRUE(send_hello(socket, 6));
   ByteBuffer bye;
@@ -207,10 +230,128 @@ TEST_F(IsmServerTest, ByeClosesGracefully) {
   EXPECT_TRUE(connection_closed(socket));
 }
 
-TEST_F(IsmServerTest, EmptyFrameDropsConnection) {
+TEST_P(IsmServerTest, EmptyFrameDropsConnection) {
   auto socket = connect();
   ASSERT_TRUE(net::write_frame(socket, ByteSpan{}));
   EXPECT_TRUE(connection_closed(socket));
+}
+
+INSTANTIATE_TEST_SUITE_P(IngestModes, IsmServerTest,
+                         ::testing::Values(IngestMode{net::PollerBackend::select, 0},
+                                           IngestMode{net::PollerBackend::select, 2},
+                                           IngestMode{net::PollerBackend::epoll, 0},
+                                           IngestMode{net::PollerBackend::epoll, 2}),
+                         ingest_mode_name);
+
+// Acceptance: the sorted output stream must be identical whichever poller
+// backend and reader-thread count ingested it. Uses a frame window wide
+// enough to hold everything until drain, so ordering is decided purely by
+// record timestamps, never by arrival interleaving.
+TEST(IsmIngestDeterminismTest, SortedOutputIdenticalAcrossConfigs) {
+  const IngestMode modes[] = {{net::PollerBackend::select, 0},
+                              {net::PollerBackend::select, 2},
+                              {net::PollerBackend::epoll, 0},
+                              {net::PollerBackend::epoll, 4}};
+  constexpr int kNodes = 3;
+  constexpr int kRecordsPerNode = 40;
+  // Timestamps sit near the current wall clock: the sorter releases a
+  // record once `now >= timestamp + frame`, so a wide frame over recent
+  // timestamps holds everything until the explicit drain — emission order
+  // is then decided purely by timestamps, never by arrival interleaving.
+  const TimeMicros base = clk::SystemClock::instance().now();
+
+  std::vector<std::vector<std::pair<TimeMicros, NodeId>>> outputs;
+  for (const IngestMode& mode : modes) {
+    IsmConfig config;
+    config.select_timeout_us = 2'000;
+    config.enable_sync = false;
+    config.sorter.adaptive = false;
+    config.sorter.initial_frame_us = 120'000'000;  // hold everything until drain
+    config.sorter.max_frame_us = 120'000'000;
+    config.poller = mode.poller;
+    config.reader_threads = mode.reader_threads;
+
+    auto order = std::make_shared<std::vector<std::pair<TimeMicros, NodeId>>>();
+    auto mutex = std::make_shared<std::mutex>();
+    auto sink = std::make_shared<CallbackSink>([order, mutex](const sensors::Record& r) {
+      std::lock_guard<std::mutex> lock(*mutex);
+      order->emplace_back(r.timestamp, r.node);
+    });
+    auto ism = Ism::start(config, clk::SystemClock::instance(), sink);
+    ASSERT_TRUE(ism.is_ok()) << ism.status().to_string();
+    std::thread server([&] { (void)ism.value()->run(); });
+
+    // Establish every session first (gated on the HELLO_ACK): the sorter
+    // only holds records while other live nodes might still contribute
+    // earlier timestamps, so no node may come and go before the rest join.
+    std::vector<net::TcpSocket> clients;
+    for (int n = 1; n <= kNodes; ++n) {
+      auto socket = net::TcpSocket::connect("127.0.0.1", ism.value()->port());
+      ASSERT_TRUE(socket.is_ok());
+      clients.push_back(std::move(socket).value());
+      net::TcpSocket& client = clients.back();
+      ByteBuffer hello;
+      xdr::Encoder hello_enc(hello);
+      tp::put_type(tp::MsgType::hello, hello_enc);
+      tp::encode_hello({NodeId(n), tp::kProtocolVersion}, hello_enc);
+      ASSERT_TRUE(net::write_frame(client, hello.view()));
+      ASSERT_TRUE(net::read_frame(client).is_ok()) << "hello_ack";
+    }
+    // Each node sends records whose timestamps interleave with the other
+    // nodes' (node n owns timestamps n, n+kNodes, n+2*kNodes, ...).
+    for (int n = 1; n <= kNodes; ++n) {
+      net::TcpSocket& client = clients[std::size_t(n) - 1];
+      tp::BatchBuilder builder{NodeId(n)};
+      for (int i = 0; i < kRecordsPerNode; ++i) {
+        sensors::Record record;
+        record.sensor = 1;
+        record.timestamp = base + TimeMicros(n) + TimeMicros(i) * kNodes;
+        record.fields = {sensors::Field::i32(i)};
+        ASSERT_TRUE(builder.add_record(record));
+      }
+      ByteBuffer payload = builder.finish();
+      ASSERT_TRUE(net::write_frame(client, payload.view()));
+      ByteBuffer bye;
+      xdr::Encoder bye_enc(bye);
+      tp::put_type(tp::MsgType::bye, bye_enc);
+      ASSERT_TRUE(net::write_frame(client, bye.view()));
+    }
+    // The server closing each connection proves it consumed everything the
+    // client sent before the bye (per-connection FIFO ordering).
+    for (net::TcpSocket& client : clients) {
+      const TimeMicros deadline = monotonic_micros() + 5'000'000;
+      (void)client.set_nonblocking(true);
+      bool closed = false;
+      std::uint8_t chunk[256];
+      while (!closed && monotonic_micros() < deadline) {
+        auto n = client.read_some(MutableByteSpan{chunk, sizeof chunk});
+        if (!n) {
+          if (n.status().code() == Errc::would_block) {
+            sleep_micros(2'000);
+            continue;
+          }
+          closed = true;
+        } else if (n.value() == 0) {
+          closed = true;
+        }
+      }
+      ASSERT_TRUE(closed) << "server must close the session after bye";
+    }
+    ism.value()->stop();
+    server.join();
+    ASSERT_TRUE(ism.value()->drain());
+    std::lock_guard<std::mutex> lock(*mutex);
+    outputs.push_back(*order);
+  }
+
+  ASSERT_EQ(outputs[0].size(), std::size_t(kNodes) * kRecordsPerNode);
+  for (std::size_t i = 1; i < outputs[0].size(); ++i) {
+    EXPECT_LT(outputs[0][i - 1].first, outputs[0][i].first) << "output is timestamp-sorted";
+  }
+  for (std::size_t m = 1; m < outputs.size(); ++m) {
+    EXPECT_EQ(outputs[m], outputs[0])
+        << "config " << m << " produced a different record stream";
+  }
 }
 
 }  // namespace

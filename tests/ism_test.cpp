@@ -503,10 +503,10 @@ TEST(OutputTest, ShmSinkRoundTripsThroughRing) {
   std::vector<std::uint8_t> memory(shm::RingBuffer::region_size(64 * 1024));
   auto ring = shm::RingBuffer::init(memory.data(), 64 * 1024);
   ASSERT_TRUE(ring.is_ok());
-  ShmOutputSink sink(ring.value());
+  ShmSink sink(ring.value());
 
   Record record = make_record(9, 1'234, 5);
-  ASSERT_TRUE(sink.deliver(record));
+  ASSERT_TRUE(sink.accept(record));
   EXPECT_EQ(sink.delivered(), 1u);
 
   std::vector<std::uint8_t> bytes;
@@ -521,37 +521,61 @@ TEST(OutputTest, ShmSinkCountsDropsWhenRingFull) {
   std::vector<std::uint8_t> memory(shm::RingBuffer::region_size(128));
   auto ring = shm::RingBuffer::init(memory.data(), 128);
   ASSERT_TRUE(ring.is_ok());
-  ShmOutputSink sink(ring.value());
+  ShmSink sink(ring.value());
   Record record = make_record(1, 1);
   Status last = Status::ok();
-  for (int i = 0; i < 20; ++i) last = sink.deliver(record);
+  for (int i = 0; i < 20; ++i) last = sink.accept(record);
   EXPECT_EQ(last.code(), Errc::buffer_full);
   EXPECT_GT(sink.dropped(), 0u);
 }
 
-TEST(OutputTest, FanOutDeliversToAll) {
+TEST(OutputTest, RegistryDeliversToAll) {
   auto counter1 = std::make_shared<int>(0);
   auto counter2 = std::make_shared<int>(0);
-  FanOut fan_out;
-  fan_out.add(std::make_shared<CallbackSink>([counter1](const Record&) { ++*counter1; }));
-  fan_out.add(std::make_shared<CallbackSink>([counter2](const Record&) { ++*counter2; }));
-  ASSERT_TRUE(fan_out.deliver(make_record(0, 1)));
+  SinkRegistry sinks;
+  ASSERT_TRUE(sinks.add("first", std::make_shared<CallbackSink>(
+                                     [counter1](const Record&) { ++*counter1; })));
+  ASSERT_TRUE(sinks.add("second", std::make_shared<CallbackSink>(
+                                      [counter2](const Record&) { ++*counter2; })));
+  ASSERT_TRUE(sinks.accept(make_record(0, 1)));
   EXPECT_EQ(*counter1, 1);
   EXPECT_EQ(*counter2, 1);
-  EXPECT_EQ(fan_out.sink_count(), 2u);
+  EXPECT_EQ(sinks.sink_count(), 2u);
 }
 
-TEST(OutputTest, FanOutContinuesPastFailingSink) {
+TEST(OutputTest, RegistryContinuesPastFailingSink) {
   std::vector<std::uint8_t> memory(shm::RingBuffer::region_size(128));
   auto tiny_ring = shm::RingBuffer::init(memory.data(), 128);
   ASSERT_TRUE(tiny_ring.is_ok());
   auto counter = std::make_shared<int>(0);
-  FanOut fan_out;
-  fan_out.add(std::make_shared<ShmOutputSink>(tiny_ring.value()));
-  fan_out.add(std::make_shared<CallbackSink>([counter](const Record&) { ++*counter; }));
+  SinkRegistry sinks;
+  ASSERT_TRUE(sinks.add(std::make_shared<ShmSink>(tiny_ring.value())));
+  ASSERT_TRUE(sinks.add(std::make_shared<CallbackSink>([counter](const Record&) { ++*counter; })));
   Record record = make_record(1, 1);
-  for (int i = 0; i < 20; ++i) (void)fan_out.deliver(record);
+  for (int i = 0; i < 20; ++i) (void)sinks.accept(record);
   EXPECT_EQ(*counter, 20) << "second sink must see every record";
+}
+
+TEST(OutputTest, RegistryRejectsDuplicateNames) {
+  SinkRegistry sinks;
+  ASSERT_TRUE(sinks.add(std::make_shared<CallbackSink>([](const Record&) {})));
+  EXPECT_EQ(sinks.add(std::make_shared<CallbackSink>([](const Record&) {})).code(),
+            Errc::already_exists);
+  EXPECT_EQ(sinks.sink_count(), 1u);
+}
+
+TEST(OutputTest, RegistryFindAndRemoveByName) {
+  SinkRegistry sinks;
+  ASSERT_TRUE(sinks.add("a", std::make_shared<CallbackSink>([](const Record&) {})));
+  ASSERT_TRUE(sinks.add("b", std::make_shared<CallbackSink>([](const Record&) {})));
+  EXPECT_NE(sinks.find("a"), nullptr);
+  EXPECT_EQ(sinks.find("missing"), nullptr);
+  EXPECT_TRUE(sinks.remove("a"));
+  EXPECT_FALSE(sinks.remove("a"));
+  EXPECT_EQ(sinks.sink_count(), 1u);
+  auto names = sinks.names();
+  ASSERT_EQ(names.size(), 1u);
+  EXPECT_EQ(names[0], "b");
 }
 
 TEST(OutputTest, EncodeDecodeOutputRecordPreservesNode) {

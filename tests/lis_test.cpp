@@ -8,6 +8,7 @@
 #include "clock/clock.hpp"
 #include "lis/batcher.hpp"
 #include "lis/external_sensor.hpp"
+#include "lis/replay_buffer.hpp"
 #include "sensors/sensor.hpp"
 #include "tp/batch.hpp"
 #include "xdr/xdr_decoder.hpp"
@@ -359,6 +360,71 @@ TEST_F(ExsCoreTest, RoundRobinAcrossChattySlots) {
     if (r.sensor == 2) saw_quiet = true;
   }
   EXPECT_TRUE(saw_quiet) << "round-robin must reach the quiet slot within one burst";
+}
+
+// ---- ReplayBuffer --------------------------------------------------------------------
+
+/// A synthetic data_batch frame: 12-byte header (type, node, batch_seq as
+/// big-endian u32s) padded out to `total_bytes`.
+ByteBuffer replay_frame(std::uint32_t batch_seq, std::size_t total_bytes) {
+  EXPECT_GE(total_bytes, 12u);
+  ByteBuffer frame;
+  xdr::Encoder enc(frame);
+  enc.put_u32(2);  // MsgType::data_batch
+  enc.put_u32(1);  // node
+  enc.put_u32(batch_seq);
+  const std::vector<std::uint8_t> padding(total_bytes - 12, 0xab);
+  frame.append(ByteSpan{padding.data(), padding.size()});
+  return frame;
+}
+
+TEST(ReplayBufferTest, ByteCapEvictsOldestFirst) {
+  ReplayBuffer buffer(/*max_batches=*/100, /*max_bytes=*/1000);
+  for (std::uint32_t seq = 0; seq < 5; ++seq) {
+    ASSERT_TRUE(buffer.retain(replay_frame(seq, 300).view()));
+  }
+  // 5 x 300 bytes against a 1000-byte cap: the two oldest must have gone.
+  EXPECT_EQ(buffer.size(), 3u);
+  EXPECT_EQ(buffer.bytes(), 900u);
+  EXPECT_EQ(buffer.evictions(), 2u);
+  EXPECT_EQ(buffer.entries().front().batch_seq, 2u);
+  EXPECT_EQ(buffer.entries().back().batch_seq, 4u);
+}
+
+TEST(ReplayBufferTest, JumboBatchDisplacesEverythingYetIsRetained) {
+  ReplayBuffer buffer(/*max_batches=*/100, /*max_bytes=*/1000);
+  for (std::uint32_t seq = 0; seq < 3; ++seq) {
+    ASSERT_TRUE(buffer.retain(replay_frame(seq, 300).view()));
+  }
+  // One batch bigger than the whole cap: everything older is declared lost,
+  // but the jumbo itself stays — it is the batch currently in flight.
+  ASSERT_TRUE(buffer.retain(replay_frame(3, 2'000).view()));
+  EXPECT_EQ(buffer.size(), 1u);
+  EXPECT_EQ(buffer.bytes(), 2'000u);
+  EXPECT_EQ(buffer.evictions(), 3u);
+  EXPECT_EQ(buffer.entries().front().batch_seq, 3u);
+}
+
+TEST(ReplayBufferTest, CountCapIndependentOfByteCap) {
+  ReplayBuffer buffer(/*max_batches=*/2, /*max_bytes=*/0);
+  for (std::uint32_t seq = 0; seq < 3; ++seq) {
+    ASSERT_TRUE(buffer.retain(replay_frame(seq, 100).view()));
+  }
+  EXPECT_EQ(buffer.size(), 2u);
+  EXPECT_EQ(buffer.evictions(), 1u);
+  EXPECT_EQ(buffer.entries().front().batch_seq, 1u);
+}
+
+TEST(ReplayBufferTest, AckReleasesBytes) {
+  ReplayBuffer buffer(/*max_batches=*/10, /*max_bytes=*/10'000);
+  for (std::uint32_t seq = 0; seq < 4; ++seq) {
+    ASSERT_TRUE(buffer.retain(replay_frame(seq, 250).view()));
+  }
+  EXPECT_EQ(buffer.bytes(), 1'000u);
+  buffer.ack(/*next_expected=*/3);
+  EXPECT_EQ(buffer.size(), 1u);
+  EXPECT_EQ(buffer.bytes(), 250u);
+  EXPECT_EQ(buffer.evictions(), 0u) << "acked batches are not evictions";
 }
 
 }  // namespace

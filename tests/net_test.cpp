@@ -1,13 +1,12 @@
-// Networking tests: TCP listener/socket round trips, frame codec (blocking
-// and incremental under arbitrary fragmentation), and the select() event
-// loop (readiness dispatch, idle callback, timeout behaviour).
+// Networking tests: TCP listener/socket round trips and the frame codec
+// (blocking and incremental under arbitrary fragmentation). Poller backends
+// are covered by poller_test.cpp, parameterized over select and epoll.
 #include <gtest/gtest.h>
 
 #include <cstring>
 #include <thread>
 
 #include "common/time_util.hpp"
-#include "net/event_loop.hpp"
 #include "net/frame.hpp"
 #include "net/socket.hpp"
 
@@ -202,101 +201,6 @@ TEST(FrameReaderTest, RejectsOversizedDeclaredLength) {
   const std::uint8_t evil[] = {0xff, 0xff, 0xff, 0xff};
   reader.feed(ByteSpan{evil, 4});
   EXPECT_EQ(reader.next().status().code(), Errc::malformed);
-}
-
-// ---- event loop ----------------------------------------------------------------------
-
-TEST(EventLoopTest, DispatchesReadableFd) {
-  auto pair = socket_pair();
-  ASSERT_TRUE(pair.is_ok());
-  EventLoop loop;
-  int fired = 0;
-  ASSERT_TRUE(loop.watch(pair.value().second.fd(), [&](int) { ++fired; }));
-
-  const std::uint8_t byte = 1;
-  ASSERT_TRUE(pair.value().first.write_all(ByteSpan{&byte, 1}));
-  auto handled = loop.poll_once(100'000);
-  ASSERT_TRUE(handled.is_ok());
-  EXPECT_EQ(handled.value(), 1);
-  EXPECT_EQ(fired, 1);
-}
-
-TEST(EventLoopTest, TimeoutFiresIdleOnly) {
-  EventLoop loop;
-  auto pair = socket_pair();
-  ASSERT_TRUE(pair.is_ok());
-  ASSERT_TRUE(loop.watch(pair.value().second.fd(), [](int) { FAIL() << "nothing readable"; }));
-  int idles = 0;
-  loop.set_idle([&] { ++idles; });
-  const TimeMicros start = monotonic_micros();
-  auto handled = loop.poll_once(20'000);
-  ASSERT_TRUE(handled.is_ok());
-  EXPECT_EQ(handled.value(), 0);
-  EXPECT_EQ(idles, 1);
-  EXPECT_GE(monotonic_micros() - start, 15'000) << "select must have waited";
-}
-
-TEST(EventLoopTest, UnwatchStopsDispatch) {
-  auto pair = socket_pair();
-  ASSERT_TRUE(pair.is_ok());
-  EventLoop loop;
-  int fired = 0;
-  ASSERT_TRUE(loop.watch(pair.value().second.fd(), [&](int) { ++fired; }));
-  ASSERT_TRUE(loop.unwatch(pair.value().second.fd()));
-  EXPECT_EQ(loop.watched_count(), 0u);
-  const std::uint8_t byte = 1;
-  ASSERT_TRUE(pair.value().first.write_all(ByteSpan{&byte, 1}));
-  auto handled = loop.poll_once(1'000);
-  ASSERT_TRUE(handled.is_ok());
-  EXPECT_EQ(fired, 0);
-}
-
-TEST(EventLoopTest, CallbackMayUnwatchSelf) {
-  auto pair = socket_pair();
-  ASSERT_TRUE(pair.is_ok());
-  EventLoop loop;
-  const int fd = pair.value().second.fd();
-  ASSERT_TRUE(loop.watch(fd, [&](int ready_fd) { ASSERT_TRUE(loop.unwatch(ready_fd)); }));
-  const std::uint8_t byte = 1;
-  ASSERT_TRUE(pair.value().first.write_all(ByteSpan{&byte, 1}));
-  ASSERT_TRUE(loop.poll_once(10'000).is_ok());
-  EXPECT_EQ(loop.watched_count(), 0u);
-}
-
-TEST(EventLoopTest, StopEndsRun) {
-  EventLoop loop;
-  int idles = 0;
-  loop.set_idle([&] {
-    if (++idles == 3) loop.stop();
-  });
-  ASSERT_TRUE(loop.run(1'000));
-  EXPECT_EQ(idles, 3);
-  EXPECT_TRUE(loop.stopped());
-}
-
-TEST(EventLoopTest, RejectsInvalidWatch) {
-  EventLoop loop;
-  EXPECT_EQ(loop.watch(-1, [](int) {}).code(), Errc::invalid_argument);
-  EXPECT_EQ(loop.watch(10, nullptr).code(), Errc::invalid_argument);
-  EXPECT_EQ(loop.unwatch(10).code(), Errc::not_found);
-}
-
-TEST(EventLoopTest, MultipleFdsAllDispatch) {
-  auto pair1 = socket_pair();
-  auto pair2 = socket_pair();
-  ASSERT_TRUE(pair1.is_ok());
-  ASSERT_TRUE(pair2.is_ok());
-  EventLoop loop;
-  int fired = 0;
-  ASSERT_TRUE(loop.watch(pair1.value().second.fd(), [&](int) { ++fired; }));
-  ASSERT_TRUE(loop.watch(pair2.value().second.fd(), [&](int) { ++fired; }));
-  const std::uint8_t byte = 1;
-  ASSERT_TRUE(pair1.value().first.write_all(ByteSpan{&byte, 1}));
-  ASSERT_TRUE(pair2.value().first.write_all(ByteSpan{&byte, 1}));
-  auto handled = loop.poll_once(100'000);
-  ASSERT_TRUE(handled.is_ok());
-  EXPECT_EQ(handled.value(), 2);
-  EXPECT_EQ(fired, 2);
 }
 
 }  // namespace

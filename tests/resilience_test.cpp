@@ -16,6 +16,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <functional>
 #include <mutex>
 #include <set>
@@ -463,6 +464,82 @@ TEST(ResilienceTest, TruncatedFramesForceReconnectWithoutDuplicates) {
     EXPECT_GE(manager.value()->ism().stats().protocol_errors, 1u);
     EXPECT_GE(exs.value()->core().stats().batches_replayed, 1u);
   }
+}
+
+TEST(ResilienceTest, DroppedAcksStarveExsIntoReconnectWithoutDuplicates) {
+  auto manager = BriskManager::create(resilient_manager_config());
+  ASSERT_TRUE(manager.is_ok());
+  auto consumer = manager.value()->make_consumer();
+  ASSERT_TRUE(consumer.is_ok());
+  NodeConfig node_config = resilient_node_config(1);
+  // With every BATCH_ACK eaten on the ISM side, the only thing that tells
+  // the EXS its acks are gone is this silence timeout.
+  node_config.exs.ism_silence_timeout_us = 250'000;
+  auto node = BriskNode::create(node_config);
+  ASSERT_TRUE(node.is_ok());
+  auto sensor = node.value()->make_sensor();
+  ASSERT_TRUE(sensor.is_ok());
+  auto exs = node.value()->connect_exs("127.0.0.1", manager.value()->port());
+  ASSERT_TRUE(exs.is_ok());
+
+  // Reverse-channel loss: the ISM-side FaultySocket drops BATCH_ACK frames
+  // (HELLO_ACKs pass, so sessions can re-establish). Bounded so the link
+  // heals within the test and the replay buffer gets to drain.
+  constexpr std::uint64_t kMaxDroppedAcks = 25;
+  std::atomic<std::uint64_t> acks_dropped{0};
+  manager.value()->ism().set_fault_policy([&](std::uint64_t, ByteSpan payload) {
+    net::FaultDecision decision;
+    if (payload.size() >= 4) {
+      const std::uint32_t type = (std::uint32_t{payload[0]} << 24) |
+                                 (std::uint32_t{payload[1]} << 16) |
+                                 (std::uint32_t{payload[2]} << 8) | std::uint32_t{payload[3]};
+      if (type == static_cast<std::uint32_t>(tp::MsgType::batch_ack) &&
+          acks_dropped.load(std::memory_order_relaxed) < kMaxDroppedAcks) {
+        acks_dropped.fetch_add(1, std::memory_order_relaxed);
+        decision.action = net::FaultAction::drop;
+      }
+    }
+    return decision;
+  });
+
+  ScopedThread ism_thread([&] { (void)manager.value()->run_for(12'000'000); });
+  ScopedThread exs_thread([&] { (void)exs.value()->run_for(12'000'000); });
+  Stopper stop_all{[&] {
+    exs.value()->stop();
+    manager.value()->stop();
+  }};
+
+  constexpr int kEvents = 1'000;
+  for (int i = 0; i < kEvents; ++i) {
+    ASSERT_TRUE(BRISK_NOTICE(sensor.value(), kSensor, x_i32(i)));
+    if (i % 50 == 0) sleep_micros(2'000);
+  }
+  auto records = collect(consumer.value(), kEvents);
+
+  // Data flows EXS→ISM regardless of lost acks, so delivery finishes well
+  // before the first 250 ms silence window closes. Keep the loops running
+  // until the starved EXS actually tears the link down, reconnects, and the
+  // post-fault acks trim its replay buffer back to empty.
+  const TimeMicros deadline = monotonic_micros() + 8'000'000;
+  while (monotonic_micros() < deadline) {
+    const auto stats = exs.value()->core().stats();
+    if (exs.value()->reconnects() >= 1 && stats.replay_pending == 0) break;
+    sleep_micros(2'000);
+  }
+
+  exs.value()->stop();
+  manager.value()->stop();
+
+  expect_exactly_once_in_order(records, 1, 0, kEvents);
+  EXPECT_GE(acks_dropped.load(), 1u) << "the fault policy never saw a BATCH_ACK";
+  EXPECT_GE(exs.value()->reconnects(), 1u)
+      << "ack silence must starve the EXS into dropping the half-open link";
+  const auto exs_stats = exs.value()->core().stats();
+  EXPECT_EQ(exs_stats.replay_pending, 0u)
+      << "once acks flow again the replay buffer must drain";
+  // The reconnect HELLO_ACK carries the resume cursor, so replays of batches
+  // the ISM already sorted must be discarded, never re-delivered.
+  EXPECT_EQ(manager.value()->ism().stats().batch_seq_gaps, 0u);
 }
 
 // ---- heartbeats vs the idle reaper -----------------------------------------
