@@ -11,6 +11,7 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <cstring>
 #include <thread>
 #include <vector>
 
@@ -22,7 +23,9 @@
 
 namespace {
 
-constexpr brisk::TimeMicros kSweepDuration = 1'000'000;
+// Shortened by --smoke (the ci.sh regression gate) so the binary doubles as
+// a fast does-it-still-run check without a separate harness.
+brisk::TimeMicros g_sweep_duration = 1'000'000;
 
 /// Child process body for the ingest sweep: one saturating LIS.
 [[noreturn]] void run_sweep_node(brisk::NodeId node_id, std::uint16_t ism_port) {
@@ -39,18 +42,89 @@ constexpr brisk::TimeMicros kSweepDuration = 1'000'000;
   std::thread app([&] {
     sim::WorkloadConfig config;
     config.events_per_sec = 0.0;  // saturate
-    config.duration_us = kSweepDuration;
+    config.duration_us = g_sweep_duration;
     (void)sim::run_looping_workload(sensor.value(), config);
   });
-  (void)exs.value()->run_for(kSweepDuration + 200'000);
+  (void)exs.value()->run_for(g_sweep_duration + 200'000);
   app.join();
   _exit(0);
 }
 
+/// Ordering-configuration sweep: saturated senders with the epoll ingest
+/// path held fixed, across sorter-shard count x reader-thread count. Rate is
+/// the record count through the full ordering pipeline (k-way merge + CRE),
+/// drained at the end so every submitted record is counted.
+int shard_sweep(int senders) {
+  using namespace brisk;  // NOLINT
+  bench::row("ordering sweep: %d saturated sender processes, epoll, batch_records=256",
+             senders);
+  bench::row("%8s %16s %16s %12s %14s", "shards", "reader_threads", "delivered(ev/s)",
+             "inversions", "submit_stalls");
+  struct ShardConfig {
+    std::size_t shards;
+    std::size_t readers;
+  };
+  std::vector<ShardConfig> grid;
+  if (senders <= 2) {
+    grid = {{2, 2}};  // --smoke: one sharded config, just prove the path runs
+  } else {
+    for (std::size_t readers : {std::size_t{0}, std::size_t{4}}) {
+      for (std::size_t shards : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+        grid.push_back({shards, readers});
+      }
+    }
+  }
+  for (const ShardConfig& cfg : grid) {
+    auto manager_config = bench::bench_manager_config();
+    manager_config.ism.sorter.max_pending = 1u << 22;
+    manager_config.ism.poller = net::PollerBackend::epoll;
+    manager_config.ism.reader_threads = cfg.readers;
+    manager_config.ism.sorter_shards = cfg.shards;
+    manager_config.ism.shard_queue_records = 1u << 14;
+    auto manager = BriskManager::create(manager_config);
+    if (!manager) return 1;
+
+    std::vector<pid_t> children;
+    for (int n = 0; n < senders; ++n) {
+      const pid_t pid = ::fork();
+      if (pid < 0) return 1;
+      if (pid == 0) run_sweep_node(static_cast<NodeId>(n + 1), manager.value()->port());
+      children.push_back(pid);
+    }
+
+    (void)manager.value()->run_for(g_sweep_duration + 600'000);
+    manager.value()->stop();
+    for (pid_t pid : children) {
+      int status = 0;
+      ::waitpid(pid, &status, 0);
+    }
+    (void)manager.value()->drain();
+
+    const auto pipeline_stats = manager.value()->ism().pipeline().stats();
+    const double rate = static_cast<double>(pipeline_stats.merged) /
+                        (static_cast<double>(g_sweep_duration) / 1e6);
+    bench::row("%8zu %16zu %16.0f %12llu %14llu", cfg.shards, cfg.readers, rate,
+               static_cast<unsigned long long>(pipeline_stats.merge_inversions),
+               static_cast<unsigned long long>(pipeline_stats.submit_stalls));
+  }
+  bench::row("shape check: shards>=2 beats shards=1 once ingest feeds from reader threads");
+  return 0;
+}
+
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
   using namespace brisk;  // NOLINT
+  // --smoke (ci.sh): skip the minute-long sweeps, run one short sharded
+  // config end-to-end to catch ordering-pipeline regressions cheaply.
+  const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  if (smoke) {
+    g_sweep_duration = 200'000;
+    bench::heading("E3 (smoke): sharded ordering pipeline end-to-end",
+                   "short saturated run, shards=2; pass = nonzero delivery");
+    return shard_sweep(2);
+  }
+
   bench::heading("E3: max EXS->ISM throughput (saturated sender, loopback TCP)",
                  "max throughput 90,000 ev/s; 40-byte XDR records");
 
@@ -137,7 +211,7 @@ int main() {
       children.push_back(pid);
     }
 
-    (void)manager.value()->run_for(kSweepDuration + 600'000);
+    (void)manager.value()->run_for(g_sweep_duration + 600'000);
     manager.value()->stop();
     for (pid_t pid : children) {
       int status = 0;
@@ -146,9 +220,12 @@ int main() {
 
     const auto& ism_stats = manager.value()->ism().stats();
     const double rate =
-        static_cast<double>(ism_stats.records_received) / (static_cast<double>(kSweepDuration) / 1e6);
+        static_cast<double>(ism_stats.records_received) / (static_cast<double>(g_sweep_duration) / 1e6);
     bench::row("%10s %16zu %16.0f", net::to_string(cfg.poller), cfg.readers, rate);
   }
   bench::row("shape check: threaded epoll >= single-threaded select on multi-core ISM hosts");
-  return 0;
+
+  // Sorter-shard sweep: same saturated senders, epoll throughout, varying
+  // the ordering-stage parallelism instead of the ingest parallelism.
+  return shard_sweep(4);
 }

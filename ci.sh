@@ -1,8 +1,15 @@
 #!/usr/bin/env bash
-# CI gate for BRISK. Three stages, any failure aborts the run:
+# CI gate for BRISK. Five stages, any failure aborts the run:
 #   1. tier-1: release-ish build + the full ctest suite
-#   2. resilience: the crash/churn/fault-injection label on the same build
-#   3. sanitize: a separate ASan+UBSan tree running the resilience label,
+#   2. determinism: the ingest/ordering determinism grid run explicitly —
+#      one test body covering {select, epoll} x reader threads x sorter
+#      shards {1,2,4}, asserting byte-identical sorted output (the full
+#      suite runs it too; this stage keeps it visible and un-trimmable)
+#   3. bench smoke: a short saturated bench_throughput run with the sharded
+#      ordering pipeline (shards=2) — catches pipeline wiring regressions
+#      that unit tests with tame inputs miss
+#   4. resilience: the crash/churn/fault-injection label on the same build
+#   5. sanitize: a separate ASan+UBSan tree running the resilience label,
 #      which is where lifetime and data-race-adjacent bugs actually surface
 #
 # Usage: ./ci.sh [--skip-sanitize]
@@ -19,20 +26,26 @@ done
 
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
-echo "==> [1/3] tier-1 build + full test suite"
+echo "==> [1/5] tier-1 build + full test suite"
 cmake -B build -S . >/dev/null
 cmake --build build -j"$JOBS"
 ctest --test-dir build --output-on-failure -j"$JOBS"
 
-echo "==> [2/3] resilience label"
+echo "==> [2/5] determinism grid (select + epoll, shards 1/2/4)"
+ctest --test-dir build --output-on-failure --no-tests=error -R 'IsmIngestDeterminismTest'
+
+echo "==> [3/5] bench smoke: sharded ordering pipeline"
+./build/bench/bench_throughput --smoke
+
+echo "==> [4/5] resilience label"
 ctest --test-dir build --output-on-failure -L resilience
 
 if [[ "$SKIP_SANITIZE" == 1 ]]; then
-  echo "==> [3/3] sanitizer stage skipped (--skip-sanitize)"
+  echo "==> [5/5] sanitizer stage skipped (--skip-sanitize)"
   exit 0
 fi
 
-echo "==> [3/3] ASan+UBSan build + resilience label"
+echo "==> [5/5] ASan+UBSan build + resilience label"
 cmake -B build-asan -S . -DBRISK_SANITIZE=address,undefined >/dev/null
 cmake --build build-asan -j"$JOBS"
 ctest --test-dir build-asan --output-on-failure -L resilience

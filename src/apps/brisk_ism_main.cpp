@@ -3,7 +3,7 @@
 //
 // Usage:
 //   brisk_ism --port 7411 --shm /brisk-out --picl trace.picl
-//             --poller epoll --ism-reader-threads 4
+//             --poller epoll --ism-reader-threads 4 --ism-sorter-shards 4
 //             --frame-us 10000 --sync-algorithm brisk
 //
 // Runs until SIGINT/SIGTERM, then drains the sorter and exits. See --help
@@ -35,6 +35,9 @@ brisk::apps::FlagRegistry make_registry() {
       .add_string("poller", "select", "readiness backend: select or epoll")
       .add_int("ism-reader-threads", 0, "ingest reader threads (0 = single-threaded)")
       .add_int("ingest-queue-frames", 1024, "per-connection ingest queue depth (frames)")
+      .add_int("ism-sorter-shards", 1, "ordering shards with a k-way merge (1 = inline)")
+      .add_int("shard-queue-records", 4096, "per-shard ordering lane depth (records)")
+      .add_int("stats-interval", 0, "log a one-line stats summary every N seconds (0 = off)")
       .add_int("select-timeout-us", 40'000, "poll cycle timeout in microseconds")
       .add_int("frame-us", 10'000, "initial sorter frame window")
       .add_int("min-frame-us", 1'000, "adaptive sorter frame floor")
@@ -78,6 +81,9 @@ int main(int argc, char** argv) {
   config.ism.poller = backend.value();
   config.ism.reader_threads = static_cast<std::size_t>(flags.num("ism-reader-threads"));
   config.ism.ingest_queue_frames = static_cast<std::size_t>(flags.num("ingest-queue-frames"));
+  config.ism.sorter_shards = static_cast<std::size_t>(flags.num("ism-sorter-shards"));
+  config.ism.shard_queue_records = static_cast<std::size_t>(flags.num("shard-queue-records"));
+  config.ism.stats_interval_us = flags.num("stats-interval") * 1'000'000;
   config.ism.sorter.initial_frame_us = flags.num("frame-us");
   config.ism.sorter.min_frame_us = flags.num("min-frame-us");
   config.ism.sorter.max_frame_us = flags.num("max-frame-us");

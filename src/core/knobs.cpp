@@ -61,6 +61,15 @@ Status ManagerConfig::validate() const {
   if (ism.reader_threads > 0 && ism.ingest_queue_frames < 2) {
     return Status(Errc::invalid_argument, "ism.ingest_queue_frames < 2");
   }
+  if (ism.sorter_shards < 1 || ism.sorter_shards > 64) {
+    return Status(Errc::invalid_argument, "ism.sorter_shards outside [1, 64]");
+  }
+  if (ism.sorter_shards > 1 && ism.shard_queue_records < 2) {
+    return Status(Errc::invalid_argument, "ism.shard_queue_records < 2");
+  }
+  if (ism.stats_interval_us < 0) {
+    return Status(Errc::invalid_argument, "negative ism.stats_interval_us");
+  }
   return Status::ok();
 }
 
@@ -101,6 +110,10 @@ std::string describe(const ManagerConfig& config) {
   line(out, "ism.reader_threads", static_cast<long long>(config.ism.reader_threads));
   line(out, "ism.ingest_queue_frames",
        static_cast<long long>(config.ism.ingest_queue_frames));
+  line(out, "ism.sorter_shards", static_cast<long long>(config.ism.sorter_shards));
+  line(out, "ism.shard_queue_records",
+       static_cast<long long>(config.ism.shard_queue_records));
+  line(out, "ism.stats_interval_us", static_cast<long long>(config.ism.stats_interval_us));
   line(out, "sorter.initial_frame_us", static_cast<long long>(config.ism.sorter.initial_frame_us));
   line(out, "sorter.min_frame_us", static_cast<long long>(config.ism.sorter.min_frame_us));
   line(out, "sorter.max_frame_us", static_cast<long long>(config.ism.sorter.max_frame_us));

@@ -24,6 +24,10 @@ void CreMatcher::process(sensors::Record record, std::vector<sensors::Record>& o
     const TimeMicros reason_ts = record.timestamp;
     reasons_[*reason_id] = {reason_ts, clock_.now()};
 
+    // The reason record itself continues immediately (it is an event too) —
+    // and FIRST: the matcher sits behind the merge, so `out` order is sink
+    // order, and a consequence must never precede its reason.
+    out.push_back(std::move(record));
     // Release every consequence waiting on this reason, repairing tachyons.
     auto [begin, end] = waiting_conseqs_.equal_range(*reason_id);
     for (auto it = begin; it != end; ++it) {
@@ -33,8 +37,6 @@ void CreMatcher::process(sensors::Record record, std::vector<sensors::Record>& o
       out.push_back(std::move(conseq));
     }
     waiting_conseqs_.erase(begin, end);
-    // The reason record itself continues immediately (it is an event too).
-    out.push_back(std::move(record));
     return;
   }
 

@@ -213,4 +213,12 @@ void ReaderThread::erase_if_done(int fd) {
   if (it->second.closed && it->second.backlog.empty()) conns_.erase(it);
 }
 
+std::size_t least_loaded_reader(const std::vector<std::size_t>& loads) noexcept {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < loads.size(); ++i) {
+    if (loads[i] < loads[best]) best = i;
+  }
+  return best;
+}
+
 }  // namespace brisk::ism

@@ -74,6 +74,13 @@ struct ReaderConfig {
   TimeMicros poll_timeout_us = 10'000;  // reader poll cycle
 };
 
+/// Accept-time placement: the index of the reader with the fewest live
+/// connections (lowest index wins ties, so placement is deterministic).
+/// Round-robin degrades badly once long-lived connections churn — a reader
+/// can end up owning most of the survivors; picking the least-loaded reader
+/// at accept keeps the pool balanced without migrating established fds.
+std::size_t least_loaded_reader(const std::vector<std::size_t>& loads) noexcept;
+
 class ReaderThread {
  public:
   /// Creates the wakeup plumbing and starts the thread.

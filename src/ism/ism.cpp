@@ -4,6 +4,8 @@
 #include <sys/select.h>
 #include <sys/socket.h>
 
+#include <string>
+
 #include "common/logging.hpp"
 #include "common/time_util.hpp"
 #include "xdr/xdr_decoder.hpp"
@@ -18,18 +20,25 @@ Ism::Ism(const IsmConfig& config, clk::Clock& clock, std::shared_ptr<Sink> outpu
       output_(std::move(output)),
       listener_(std::move(listener)),
       loop_(net::make_poller(config.poller)),
-      cre_(config.cre, clock,
-           [this] {
-             if (sync_service_) sync_service_->request_extra_round();
-           }),
-      sorter_(config.sorter, clock,
-              [this](const sensors::Record& record) {
-                Status st = output_->accept(record);
-                if (!st && st.code() != Errc::buffer_full) {
-                  BRISK_LOG_WARN << "output sink failed: " << st.to_string();
-                }
-              }),
       sync_transport_(*this) {
+  PipelineConfig pipeline_config;
+  pipeline_config.shards = config_.sorter_shards;
+  pipeline_config.shard_queue_records = config_.shard_queue_records;
+  pipeline_config.poll_timeout_us = config_.select_timeout_us;
+  pipeline_config.sorter = config_.sorter;
+  pipeline_config.cre = config_.cre;
+  pipeline_ = std::make_unique<OrderingPipeline>(
+      pipeline_config, clock_,
+      [this](const sensors::Record& record) {
+        Status st = output_->accept(record);
+        if (!st && st.code() != Errc::buffer_full) {
+          BRISK_LOG_WARN << "output sink failed: " << st.to_string();
+        }
+      },
+      [this] { (void)output_->flush(); },
+      // May fire on the merger thread; the sync service lives on the
+      // ordering thread, so just raise a flag idle_work() consumes.
+      [this] { extra_sync_requested_.store(true, std::memory_order_release); });
   if (config_.enable_sync) {
     sync_service_ = std::make_unique<clk::SyncService>(config_.sync, sync_transport_, clock_);
   }
@@ -74,6 +83,7 @@ Result<std::unique_ptr<Ism>> Ism::start(const IsmConfig& config, clk::Clock& clo
     if (!st) return st;
     ism->readers_.push_back(std::move(reader).value());
   }
+  ism->reader_loads_.assign(ism->readers_.size(), 0);
   return ism;
 }
 
@@ -95,11 +105,12 @@ void Ism::on_listener_readable() {
     conn.last_rx_us = monotonic_micros();
     if (threaded()) {
       conn.lane = std::make_shared<IngestLane>(config_.ingest_queue_frames);
-      conn.reader_index = next_reader_++ % readers_.size();
+      conn.reader_index = least_loaded_reader(reader_loads_);
     }
     auto [it, inserted] = connections_.emplace(fd, std::move(conn));
     if (!inserted) continue;
     if (threaded()) {
+      ++reader_loads_[it->second.reader_index];
       readers_[it->second.reader_index]->add_connection(fd, it->second.lane);
     } else {
       Status st = loop_->watch(fd, [this](int ready_fd, net::Readiness) {
@@ -375,30 +386,52 @@ void Ism::handle_batch(Connection& conn, tp::Batch batch) {
 }
 
 void Ism::route_record(sensors::Record record) {
-  route_scratch_.clear();
-  cre_.process(std::move(record), route_scratch_);
-  for (sensors::Record& ready : route_scratch_) {
-    Status st = sorter_.push(std::move(ready));
-    if (!st) {
-      BRISK_LOG_WARN << "sorter push failed: " << st.to_string();
-    }
+  Status st = pipeline_->submit(std::move(record));
+  if (!st) {
+    BRISK_LOG_WARN << "pipeline submit failed: " << st.to_string();
   }
 }
 
 void Ism::idle_work() {
   drain_ingest();
-  route_scratch_.clear();
-  cre_.service(route_scratch_);
-  for (sensors::Record& timed_out : route_scratch_) {
-    Status st = sorter_.push(std::move(timed_out));
-    if (!st) {
-      BRISK_LOG_WARN << "sorter push failed: " << st.to_string();
-    }
-  }
-  sorter_.service();
+  pipeline_->service();
   session_sweep();
+  if (extra_sync_requested_.exchange(false, std::memory_order_acq_rel) && sync_service_) {
+    sync_service_->request_extra_round();
+  }
   if (sync_service_) sync_service_->maybe_run_round();
-  (void)output_->flush();
+  // Sharded removals drain asynchronously; keep the counter in step with
+  // what has actually been drained so far (exact already in inline mode).
+  stats_.records_drained_on_expiry = pipeline_->stats().oob_records;
+  // Sharded mode flushes from the merger thread (the pipeline's flush
+  // hook); flushing here too would race it.
+  if (!pipeline_->threaded()) (void)output_->flush();
+  maybe_log_stats();
+}
+
+void Ism::maybe_log_stats() {
+  if (config_.stats_interval_us <= 0) return;
+  const TimeMicros now = monotonic_micros();
+  if (last_stats_log_us_ == 0) {  // baseline; first line after one interval
+    last_stats_log_us_ = now;
+    return;
+  }
+  if (now - last_stats_log_us_ < config_.stats_interval_us) return;
+  last_stats_log_us_ = now;
+  std::string depths;
+  for (std::size_t depth : pipeline_->shard_depths()) {
+    if (!depths.empty()) depths += "/";
+    depths += std::to_string(depth);
+  }
+  BRISK_LOG_INFO << "stats: sessions=" << sessions_.size()
+                 << " conns=" << connections_.size()
+                 << " batches=" << stats_.batches_received
+                 << " records=" << stats_.records_received
+                 << " dup_drops=" << stats_.duplicate_batches_dropped
+                 << " replays=" << stats_.rejoins
+                 << " gaps=" << stats_.batch_seq_gaps
+                 << " drained=" << stats_.records_drained_on_expiry
+                 << " sorter_depth=" << depths;
 }
 
 Status Ism::send_frame(Connection& conn, ByteSpan payload) {
@@ -462,12 +495,17 @@ void Ism::session_sweep() {
 }
 
 void Ism::expire_session(NodeId node) {
-  const std::size_t drained = sorter_.remove_node(node);
-  stats_.records_drained_on_expiry += drained;
+  const std::size_t drained = pipeline_->remove_node(node);
   ++stats_.sessions_expired;
   sessions_.erase(node);
-  BRISK_LOG_INFO << "session for node " << node << " expired ("
-                 << drained << " pending records drained)";
+  stats_.records_drained_on_expiry = pipeline_->stats().oob_records;
+  if (pipeline_->threaded()) {
+    BRISK_LOG_INFO << "session for node " << node << " expired (drain queued to shard "
+                   << shard_of_node(node, pipeline_->shard_count()) << ")";
+  } else {
+    BRISK_LOG_INFO << "session for node " << node << " expired (" << drained
+                   << " pending records drained)";
+  }
 }
 
 void Ism::close_connection(int fd) {
@@ -511,6 +549,9 @@ void Ism::finish_close(int fd) {
   auto it = connections_.find(fd);
   if (it == connections_.end()) return;
   if (!threaded()) (void)loop_->unwatch(fd);
+  if (it->second.lane && reader_loads_[it->second.reader_index] > 0) {
+    --reader_loads_[it->second.reader_index];
+  }
   connections_.erase(it);
   stats_.active_connections = connections_.size();
 }
@@ -543,13 +584,9 @@ Status Ism::cycle() {
 
 Status Ism::drain() {
   drain_ingest();
-  route_scratch_.clear();
-  cre_.service(route_scratch_);
-  for (sensors::Record& r : route_scratch_) {
-    Status st = sorter_.push(std::move(r));
-    if (!st) return st;
-  }
-  sorter_.flush_all();
+  Status st = pipeline_->drain();
+  if (!st) return st;
+  stats_.records_drained_on_expiry = pipeline_->stats().oob_records;
   return output_->flush();
 }
 

@@ -2,10 +2,11 @@
 //
 // Fig. 1 pipeline:
 //   batches arrive per-EXS (TCP order preserved) → batch queue →
-//   CRE switch (hash matching, tachyon repair) → per-EXS event queues →
-//   timestamp heap / on-line sorting → output fan-out (shared memory,
-//   PICL trace file, visual objects), with the clock-sync master loop
-//   polling the EXSes between cycles.
+//   per-EXS event queues → timestamp heap / on-line sorting (sharded by
+//   node group, k-way merged — see pipeline.hpp) → CRE switch (hash
+//   matching, tachyon repair) → output fan-out (shared memory, PICL trace
+//   file, visual objects), with the clock-sync master loop polling the
+//   EXSes between cycles.
 //
 // Two ingest modes share this pipeline:
 //  * inline (reader_threads == 0, the paper-faithful default): one thread
@@ -18,15 +19,15 @@
 //    FIFO — and therefore the sorted output — is unchanged.
 #pragma once
 
+#include <atomic>
 #include <map>
 #include <memory>
 
 #include "clock/sync_service.hpp"
-#include "ism/cre_matcher.hpp"
 #include "ism/drop_policy.hpp"
 #include "ism/ingest.hpp"
-#include "ism/online_sorter.hpp"
 #include "ism/output.hpp"
+#include "ism/pipeline.hpp"
 #include "net/faulty_socket.hpp"
 #include "net/frame.hpp"
 #include "net/poller.hpp"
@@ -47,6 +48,13 @@ struct IsmConfig {
   std::size_t reader_threads = 0;
   /// Per-connection SPSC lane depth (events) in threaded mode.
   std::size_t ingest_queue_frames = 1024;
+  /// Ordering shards (see pipeline.hpp). 1 = the single inline sorter; N > 1
+  /// runs N shard workers plus a k-way merger thread.
+  std::size_t sorter_shards = 1;
+  /// Depth (records) of each ordering shard's SPSC lanes in sharded mode.
+  std::size_t shard_queue_records = 4096;
+  /// Period of the one-line periodic stats log (--stats-interval); 0 = off.
+  TimeMicros stats_interval_us = 0;
   SorterConfig sorter;
   CreConfig cre;
   bool enable_sync = true;
@@ -140,8 +148,11 @@ class Ism {
   [[nodiscard]] const net::FaultStats& fault_stats() const noexcept { return fault_.stats(); }
 
   [[nodiscard]] const IsmStats& stats() const noexcept { return stats_; }
-  [[nodiscard]] OnlineSorter& sorter() noexcept { return sorter_; }
-  [[nodiscard]] CreMatcher& cre() noexcept { return cre_; }
+  [[nodiscard]] OrderingPipeline& pipeline() noexcept { return *pipeline_; }
+  [[nodiscard]] const OrderingPipeline& pipeline() const noexcept { return *pipeline_; }
+  /// Sorter counters aggregated over all ordering shards.
+  [[nodiscard]] SorterStats sorter_stats() const { return pipeline_->sorter_stats(); }
+  [[nodiscard]] CreMatcher& cre() noexcept { return pipeline_->cre(); }
   [[nodiscard]] clk::SyncService* sync() noexcept { return sync_service_.get(); }
   [[nodiscard]] std::size_t connected_nodes() const noexcept { return nodes_.size(); }
   /// Sessions tracked (live + quarantined); for tests and diagnostics.
@@ -217,6 +228,8 @@ class Ism {
   /// reader's `closed` event (see ingest.hpp's fd ownership protocol).
   void close_connection(int fd);
   void finish_close(int fd);
+  /// Emits the periodic one-line stats log when --stats-interval is on.
+  void maybe_log_stats();
   // --- threaded ingest -------------------------------------------------------
   /// Drains every connection's lane into the pipeline; resumes stalled fds.
   void drain_ingest();
@@ -231,12 +244,16 @@ class Ism {
   net::TcpListener listener_;
   std::unique_ptr<net::Poller> loop_;
   std::vector<std::unique_ptr<ReaderThread>> readers_;
-  std::size_t next_reader_ = 0;  // round-robin connection placement
+  /// Live connection count per reader, for least-loaded accept placement.
+  std::vector<std::size_t> reader_loads_;
   std::map<int, Connection> connections_;
   std::map<NodeId, int> nodes_;  // node id → fd (live connections only)
   std::map<NodeId, NodeSession> sessions_;
-  CreMatcher cre_;
-  OnlineSorter sorter_;
+  std::unique_ptr<OrderingPipeline> pipeline_;
+  /// Set by the pipeline's tachyon hook (merger thread when sharded);
+  /// consumed on the ordering thread, which owns the sync service.
+  std::atomic<bool> extra_sync_requested_{false};
+  TimeMicros last_stats_log_us_ = 0;  // monotonic
   SocketSyncTransport sync_transport_;
   std::unique_ptr<clk::SyncService> sync_service_;
   IsmStats stats_;
@@ -246,7 +263,6 @@ class Ism {
   std::uint32_t pending_poll_request_ = 0;
   bool pending_poll_answered_ = false;
   TimeMicros pending_poll_slave_time_ = 0;
-  std::vector<sensors::Record> route_scratch_;
 };
 
 }  // namespace brisk::ism

@@ -42,14 +42,14 @@ void OnlineSorter::handle_overflow() {
   if (!popped) return;
   if (config_.overflow == OverflowPolicy::emit_early) {
     ++stats_.overflow_emits;
-    emit(popped.value(), true);
+    emit(std::move(popped).value(), true);
   } else {  // drop_oldest
     ++stats_.overflow_drops;
   }
 }
 
-void OnlineSorter::emit(const QueuedRecord& queued, bool respect_order_check) {
-  const sensors::Record& record = queued.record;
+void OnlineSorter::emit(QueuedRecord queued, bool respect_order_check) {
+  sensors::Record& record = queued.record;
   if (respect_order_check) {
     if (emitted_any_ && record.timestamp < last_emitted_ts_) {
       // Two successive records extracted out of order: raise T to the
@@ -74,7 +74,7 @@ void OnlineSorter::emit(const QueuedRecord& queued, bool respect_order_check) {
   ++stats_.emitted;
   const TimeMicros delay = clock_.now() - record.timestamp;
   if (delay > 0) stats_.total_delay_us += static_cast<std::uint64_t>(delay);
-  emit_(record);
+  emit_(std::move(record));
 }
 
 void OnlineSorter::decay_frame(TimeMicros now) {
@@ -93,7 +93,7 @@ void OnlineSorter::service() {
          now >= heap_.min_timestamp() + static_cast<TimeMicros>(frame_us_)) {
     auto popped = heap_.pop_min();
     if (!popped) break;
-    emit(popped.value(), true);
+    emit(std::move(popped).value(), true);
   }
   decay_frame(now);
 }
@@ -102,7 +102,7 @@ void OnlineSorter::flush_all() {
   while (heap_.has_min()) {
     auto popped = heap_.pop_min();
     if (!popped) break;
-    emit(popped.value(), true);
+    emit(std::move(popped).value(), true);
   }
 }
 

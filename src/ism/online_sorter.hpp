@@ -61,7 +61,10 @@ struct SorterStats {
 
 class OnlineSorter {
  public:
-  using EmitFn = std::function<void(const sensors::Record&)>;
+  /// Receives each released record by value so the sorter can move its
+  /// payload out instead of copying (callables taking `const Record&` still
+  /// bind). In the sharded pipeline this is the shard's lane-push hook.
+  using EmitFn = std::function<void(sensors::Record)>;
 
   OnlineSorter(const SorterConfig& config, clk::Clock& clock, EmitFn emit);
 
@@ -92,7 +95,7 @@ class OnlineSorter {
   [[nodiscard]] TimeMicros next_due_in();
 
  private:
-  void emit(const QueuedRecord& queued, bool respect_order_check);
+  void emit(QueuedRecord queued, bool respect_order_check);
   void decay_frame(TimeMicros now);
   void handle_overflow();
 

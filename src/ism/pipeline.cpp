@@ -1,0 +1,493 @@
+#include "ism/pipeline.hpp"
+
+#include <chrono>
+
+#include "common/logging.hpp"
+
+namespace brisk::ism {
+
+namespace {
+
+/// The global merge key, identical to MergeHeap's Entry ordering: timestamp
+/// first, node id as the deterministic tie-break. Because every node lives
+/// on exactly one shard and each shard emits its nodes in this same order,
+/// k-way merging by this key reproduces the monolithic sorter's output.
+bool key_less(const sensors::Record& a, const sensors::Record& b) noexcept {
+  if (a.timestamp != b.timestamp) return a.timestamp < b.timestamp;
+  return a.node < b.node;
+}
+
+}  // namespace
+
+std::size_t shard_of_node(NodeId node, std::size_t shards) noexcept {
+  if (shards <= 1) return 0;
+  // Fibonacci hashing: striding node ids (0,1,2,… or 0,4,8,…) spread evenly.
+  const std::uint64_t mixed =
+      (static_cast<std::uint64_t>(node) * 0x9E3779B97F4A7C15ull) >> 32;
+  return static_cast<std::size_t>(mixed % shards);
+}
+
+struct OrderingPipeline::Shard {
+  Shard(std::size_t index, std::size_t lane_depth)
+      : index(index), input(lane_depth), output(lane_depth) {}
+
+  const std::size_t index;
+  SpscQueue<sensors::Record> input;  // ordering thread → shard worker
+  SpscQueue<ShardOutput> output;     // shard worker → merger
+  /// Lower bound on this shard's future in-order emission timestamps
+  /// (monotone; release-published after each sorter service).
+  std::atomic<TimeMicros> watermark{std::numeric_limits<TimeMicros>::min()};
+  /// drain() flushed this shard: its stream is complete, stop gating on it.
+  std::atomic<bool> flushed{false};
+
+  // Guarded by state_mutex: the sorter plus the emit-routing flags. Owned
+  // by the shard thread while the pipeline is threaded, by the ordering
+  // thread otherwise; stats readers take it for snapshots either way.
+  mutable std::mutex state_mutex;
+  std::unique_ptr<OnlineSorter> sorter;
+  /// Emissions while set are expiry drains: they ride the lane marked
+  /// out_of_band (threaded) or go straight to deliver_oob (inline).
+  bool oob_mode = false;
+  /// When non-null (drain), emissions are collected here instead of
+  /// entering the lane — the final merge wants them as a plain vector.
+  std::vector<ShardOutput>* collect = nullptr;
+  /// Emissions that found the output lane full during shutdown; recovered
+  /// by drain() after the lane contents (emission order is preserved).
+  std::vector<ShardOutput> spill;
+
+  std::mutex cmd_mutex;
+  std::vector<NodeId> removals;  // session-expiry commands, ordering → shard
+
+  bool pending_signal = false;  // shard thread only: merger wakeup owed
+
+  std::thread thread;
+  std::mutex cv_mutex;
+  std::condition_variable cv;
+  bool signaled = false;
+};
+
+OrderingPipeline::OrderingPipeline(const PipelineConfig& config, clk::Clock& clock,
+                                   SinkFn sink, FlushFn flush, TachyonFn on_tachyon)
+    : config_(config),
+      clock_(clock),
+      sink_(std::move(sink)),
+      flush_(std::move(flush)),
+      cre_(config.cre, clock, std::move(on_tachyon)) {
+  if (config_.shards == 0) config_.shards = 1;
+  shards_.reserve(config_.shards);
+  heads_.resize(config_.shards);
+  for (std::size_t i = 0; i < config_.shards; ++i) {
+    auto shard = std::make_unique<Shard>(i, config_.shard_queue_records);
+    Shard* raw = shard.get();
+    shard->sorter = std::make_unique<OnlineSorter>(
+        config_.sorter, clock_,
+        [this, raw](sensors::Record record) { shard_emit(*raw, std::move(record)); });
+    shards_.push_back(std::move(shard));
+  }
+  if (config_.shards > 1) start_threads();
+}
+
+OrderingPipeline::~OrderingPipeline() { stop_threads(); }
+
+void OrderingPipeline::start_threads() {
+  stop_.store(false, std::memory_order_release);
+  threads_running_.store(true, std::memory_order_release);
+  for (auto& shard : shards_) {
+    shard->thread = std::thread([this, raw = shard.get()] { shard_loop(*raw); });
+  }
+  merger_thread_ = std::thread([this] { merger_loop(); });
+}
+
+void OrderingPipeline::stop_threads() {
+  if (!threads_running_.load(std::memory_order_acquire)) return;
+  stop_.store(true, std::memory_order_release);
+  for (auto& shard : shards_) signal_shard(*shard);
+  signal_merger();
+  // Shards first: they may be spinning on a full output lane, and the spin
+  // breaks out (to the spill vector) only on stop_ — never wait on the
+  // merger to make room for them.
+  for (auto& shard : shards_) {
+    if (shard->thread.joinable()) shard->thread.join();
+  }
+  if (merger_thread_.joinable()) merger_thread_.join();
+  threads_running_.store(false, std::memory_order_release);
+}
+
+void OrderingPipeline::signal_shard(Shard& shard) {
+  bool notify = false;
+  {
+    std::lock_guard<std::mutex> lk(shard.cv_mutex);
+    if (!shard.signaled) {
+      shard.signaled = true;
+      notify = true;
+    }
+  }
+  if (notify) shard.cv.notify_one();
+}
+
+void OrderingPipeline::signal_merger() {
+  bool notify = false;
+  {
+    std::lock_guard<std::mutex> lk(merger_cv_mutex_);
+    if (!merger_signaled_) {
+      merger_signaled_ = true;
+      notify = true;
+    }
+  }
+  if (notify) merger_cv_.notify_one();
+}
+
+// ---- ordering-thread API ----------------------------------------------------
+
+Status OrderingPipeline::submit(sensors::Record record) {
+  submitted_.fetch_add(1, std::memory_order_relaxed);
+  Shard& shard = *shards_[shard_of_node(record.node, shards_.size())];
+  if (threads_running_.load(std::memory_order_acquire)) {
+    bool stalled = false;
+    while (!shard.input.try_push(std::move(record))) {
+      if (stop_.load(std::memory_order_relaxed)) break;  // worker is gone
+      if (!stalled) {
+        stalled = true;
+        submit_stalls_.fetch_add(1, std::memory_order_relaxed);
+      }
+      signal_shard(shard);
+      std::this_thread::yield();
+    }
+    if (!stop_.load(std::memory_order_relaxed)) {
+      signal_shard(shard);
+      return Status::ok();
+    }
+    // fall through: mid-shutdown straggler, push inline below
+  }
+  std::lock_guard<std::mutex> lk(shard.state_mutex);
+  return shard.sorter->push(std::move(record));
+}
+
+void OrderingPipeline::service() {
+  if (threads_running_.load(std::memory_order_acquire)) return;
+  for (auto& shard : shards_) {
+    std::lock_guard<std::mutex> lk(shard->state_mutex);
+    sensors::Record record;
+    while (shard->input.try_pop(record)) {
+      Status st = shard->sorter->push(std::move(record));
+      if (!st) {
+        BRISK_LOG_WARN << "sorter push failed: " << st.to_string();
+      }
+    }
+    shard->sorter->service();
+  }
+  std::lock_guard<std::mutex> lk(merger_mutex_);
+  cre_service();
+}
+
+std::size_t OrderingPipeline::remove_node(NodeId node) {
+  Shard& shard = *shards_[shard_of_node(node, shards_.size())];
+  if (threads_running_.load(std::memory_order_acquire)) {
+    {
+      std::lock_guard<std::mutex> lk(shard.cmd_mutex);
+      shard.removals.push_back(node);
+    }
+    signal_shard(shard);
+    return 0;  // drained asynchronously; lands in stats().oob_records
+  }
+  std::lock_guard<std::mutex> lk(shard.state_mutex);
+  shard.oob_mode = true;
+  const std::size_t drained = shard.sorter->remove_node(node);
+  shard.oob_mode = false;
+  return drained;
+}
+
+Status OrderingPipeline::drain() {
+  stop_threads();
+  std::vector<std::vector<ShardOutput>> tails(shards_.size());
+  {
+    // Recover heads the live merge had popped but not yet released. The
+    // threads are joined, so lock order versus state_mutex is moot here.
+    std::lock_guard<std::mutex> lk(merger_mutex_);
+    for (std::size_t i = 0; i < heads_.size(); ++i) {
+      if (heads_[i]) {
+        tails[i].push_back(std::move(*heads_[i]));
+        heads_[i].reset();
+      }
+    }
+  }
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    Shard& shard = *shards_[i];
+    std::lock_guard<std::mutex> lk(shard.state_mutex);
+    // Emission order within a shard: lane contents, then spill (emitted
+    // when the lane was already full), then whatever the flush releases.
+    ShardOutput out;
+    while (shard.output.try_pop(out)) tails[i].push_back(std::move(out));
+    for (ShardOutput& spilled : shard.spill) tails[i].push_back(std::move(spilled));
+    shard.spill.clear();
+    sensors::Record record;
+    while (shard.input.try_pop(record)) {
+      Status st = shard.sorter->push(std::move(record));
+      if (!st) return st;
+    }
+    shard.collect = &tails[i];
+    shard.sorter->flush_all();
+    shard.collect = nullptr;
+    shard.flushed.store(true, std::memory_order_release);
+  }
+  std::lock_guard<std::mutex> lk(merger_mutex_);
+  merge_tails(tails);
+  cre_service();
+  return Status::ok();
+}
+
+// ---- shard side -------------------------------------------------------------
+
+void OrderingPipeline::shard_emit(Shard& shard, sensors::Record record) {
+  if (shard.collect != nullptr) {
+    shard.collect->push_back(ShardOutput{std::move(record), shard.oob_mode});
+    return;
+  }
+  if (threads_running_.load(std::memory_order_acquire)) {
+    push_output(shard, ShardOutput{std::move(record), shard.oob_mode});
+    return;
+  }
+  // Inline (shards == 1) or post-drain degraded mode: deliver directly.
+  std::lock_guard<std::mutex> lk(merger_mutex_);
+  if (shard.oob_mode) {
+    deliver_oob(std::move(record));
+  } else {
+    deliver(std::move(record));
+  }
+}
+
+void OrderingPipeline::push_output(Shard& shard, ShardOutput out) {
+  while (!shard.output.try_push(std::move(out))) {
+    if (stop_.load(std::memory_order_relaxed)) {
+      shard.spill.push_back(std::move(out));
+      return;
+    }
+    // Lane full: bounded backpressure on this shard's sorter. Wake the
+    // merger now rather than at cycle end — it is the only consumer.
+    shard.pending_signal = false;
+    signal_merger();
+    std::this_thread::yield();
+  }
+  shard.pending_signal = true;
+}
+
+TimeMicros OrderingPipeline::shard_cycle(Shard& shard) {
+  std::vector<NodeId> removals;
+  {
+    std::lock_guard<std::mutex> lk(shard.cmd_mutex);
+    removals.swap(shard.removals);
+  }
+  for (NodeId node : removals) {
+    shard.oob_mode = true;
+    (void)shard.sorter->remove_node(node);
+    shard.oob_mode = false;
+  }
+  sensors::Record record;
+  while (shard.input.try_pop(record)) {
+    Status st = shard.sorter->push(std::move(record));
+    if (!st) {
+      BRISK_LOG_WARN << "shard sorter push failed: " << st.to_string();
+    }
+  }
+  shard.sorter->service();
+  // Publish after servicing: everything at or below now - T has left the
+  // sorter, so future in-order emissions are strictly above the watermark.
+  const TimeMicros wm = clock_.now() - shard.sorter->current_frame();
+  if (wm > shard.watermark.load(std::memory_order_relaxed)) {
+    shard.watermark.store(wm, std::memory_order_release);
+  }
+  return shard.sorter->next_due_in();
+}
+
+void OrderingPipeline::shard_loop(Shard& shard) {
+  while (!stop_.load(std::memory_order_acquire)) {
+    TimeMicros due;
+    {
+      std::lock_guard<std::mutex> lk(shard.state_mutex);
+      due = shard_cycle(shard);
+    }
+    if (shard.pending_signal) {
+      shard.pending_signal = false;
+      signal_merger();
+    }
+    TimeMicros wait_us = config_.poll_timeout_us;
+    if (due >= 0 && due < wait_us) wait_us = due > 100 ? due : 100;
+    std::unique_lock<std::mutex> lk(shard.cv_mutex);
+    shard.cv.wait_for(lk, std::chrono::microseconds(wait_us), [&] {
+      return shard.signaled || stop_.load(std::memory_order_relaxed);
+    });
+    shard.signaled = false;
+  }
+}
+
+// ---- merger side ------------------------------------------------------------
+
+void OrderingPipeline::merger_loop() {
+  while (!stop_.load(std::memory_order_acquire)) {
+    {
+      std::lock_guard<std::mutex> lk(merger_mutex_);
+      merge_step();
+      cre_service();
+    }
+    flush_();
+    std::unique_lock<std::mutex> lk(merger_cv_mutex_);
+    merger_cv_.wait_for(lk, std::chrono::microseconds(config_.poll_timeout_us), [&] {
+      return merger_signaled_ || stop_.load(std::memory_order_relaxed);
+    });
+    merger_signaled_ = false;
+  }
+}
+
+void OrderingPipeline::merge_step() {
+  for (;;) {
+    // Refill cached heads; out-of-band entries (expiry drains) leave the
+    // merge immediately — a dead node's leftovers must not gate it.
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      while (!heads_[i]) {
+        ShardOutput out;
+        if (!shards_[i]->output.try_pop(out)) break;
+        if (out.out_of_band) {
+          deliver_oob(std::move(out.record));
+          continue;
+        }
+        heads_[i] = std::move(out);
+      }
+    }
+    std::size_t best = shards_.size();
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      if (!heads_[i]) continue;
+      if (best == shards_.size() || key_less(heads_[i]->record, heads_[best]->record)) {
+        best = i;
+      }
+    }
+    if (best == shards_.size()) return;
+    // The watermark barrier: an empty, unflushed lane may still produce a
+    // smaller timestamp — release the candidate only once every such
+    // shard's watermark has passed it. Idle shards keep publishing
+    // wall-clock watermarks, so this stalls by at most one poll cycle + T.
+    const TimeMicros candidate_ts = heads_[best]->record.timestamp;
+    for (std::size_t i = 0; i < shards_.size(); ++i) {
+      if (heads_[i] || shards_[i]->flushed.load(std::memory_order_acquire)) continue;
+      if (shards_[i]->watermark.load(std::memory_order_acquire) < candidate_ts) return;
+    }
+    sensors::Record record = std::move(heads_[best]->record);
+    heads_[best].reset();
+    if (merged_any_ && record.timestamp < last_merged_ts_) {
+      merge_inversions_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (!merged_any_ || record.timestamp > last_merged_ts_) {
+      last_merged_ts_ = record.timestamp;
+    }
+    merged_any_ = true;
+    deliver(std::move(record));
+  }
+}
+
+void OrderingPipeline::merge_tails(std::vector<std::vector<ShardOutput>>& tails) {
+  std::vector<std::size_t> cursors(tails.size(), 0);
+  for (;;) {
+    for (std::size_t i = 0; i < tails.size(); ++i) {
+      while (cursors[i] < tails[i].size() && tails[i][cursors[i]].out_of_band) {
+        deliver_oob(std::move(tails[i][cursors[i]].record));
+        ++cursors[i];
+      }
+    }
+    std::size_t best = tails.size();
+    for (std::size_t i = 0; i < tails.size(); ++i) {
+      if (cursors[i] >= tails[i].size()) continue;
+      if (best == tails.size() ||
+          key_less(tails[i][cursors[i]].record, tails[best][cursors[best]].record)) {
+        best = i;
+      }
+    }
+    if (best == tails.size()) return;
+    sensors::Record record = std::move(tails[best][cursors[best]].record);
+    ++cursors[best];
+    if (merged_any_ && record.timestamp < last_merged_ts_) {
+      merge_inversions_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (!merged_any_ || record.timestamp > last_merged_ts_) {
+      last_merged_ts_ = record.timestamp;
+    }
+    merged_any_ = true;
+    deliver(std::move(record));
+  }
+}
+
+void OrderingPipeline::deliver(sensors::Record record) {
+  merged_.fetch_add(1, std::memory_order_relaxed);
+  cre_scratch_.clear();
+  cre_.process(std::move(record), cre_scratch_);
+  for (sensors::Record& ready : cre_scratch_) sink_(ready);
+}
+
+void OrderingPipeline::deliver_oob(sensors::Record record) {
+  oob_records_.fetch_add(1, std::memory_order_relaxed);
+  // First CRE contact for these records (the matcher sits behind the
+  // merge now): an expiry-drained reason may release a held consequence.
+  cre_scratch_.clear();
+  cre_.process(std::move(record), cre_scratch_);
+  for (sensors::Record& ready : cre_scratch_) sink_(ready);
+}
+
+void OrderingPipeline::cre_service() {
+  cre_scratch_.clear();
+  cre_.service(cre_scratch_);
+  for (sensors::Record& timed_out : cre_scratch_) sink_(timed_out);
+}
+
+// ---- stats ------------------------------------------------------------------
+
+SorterStats OrderingPipeline::sorter_stats() const {
+  SorterStats total;
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lk(shard->state_mutex);
+    const SorterStats& s = shard->sorter->stats();
+    total.pushed += s.pushed;
+    total.emitted += s.emitted;
+    total.out_of_order_emissions += s.out_of_order_emissions;
+    total.frame_raises += s.frame_raises;
+    total.overflow_emits += s.overflow_emits;
+    total.overflow_drops += s.overflow_drops;
+    if (s.max_lateness_us > total.max_lateness_us) total.max_lateness_us = s.max_lateness_us;
+    total.total_delay_us += s.total_delay_us;
+  }
+  return total;
+}
+
+SorterStats OrderingPipeline::shard_sorter_stats(std::size_t shard) const {
+  std::lock_guard<std::mutex> lk(shards_[shard]->state_mutex);
+  return shards_[shard]->sorter->stats();
+}
+
+std::vector<std::size_t> OrderingPipeline::shard_depths() const {
+  std::vector<std::size_t> depths;
+  depths.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lk(shard->state_mutex);
+    depths.push_back(shard->sorter->pending() + shard->input.size());
+  }
+  return depths;
+}
+
+std::vector<TimeMicros> OrderingPipeline::shard_frames() const {
+  std::vector<TimeMicros> frames;
+  frames.reserve(shards_.size());
+  for (const auto& shard : shards_) {
+    std::lock_guard<std::mutex> lk(shard->state_mutex);
+    frames.push_back(shard->sorter->current_frame());
+  }
+  return frames;
+}
+
+PipelineStats OrderingPipeline::stats() const {
+  PipelineStats out;
+  out.submitted = submitted_.load(std::memory_order_relaxed);
+  out.merged = merged_.load(std::memory_order_relaxed);
+  out.merge_inversions = merge_inversions_.load(std::memory_order_relaxed);
+  out.submit_stalls = submit_stalls_.load(std::memory_order_relaxed);
+  out.oob_records = oob_records_.load(std::memory_order_relaxed);
+  return out;
+}
+
+}  // namespace brisk::ism

@@ -1,0 +1,206 @@
+// The sharded ordering pipeline: per-group on-line sorters feeding a final
+// k-way merge.
+//
+// PR 2 took socket reads and XDR decode off the ordering thread; this stage
+// takes the ordering work itself off it. The paper's OLS design — one FIFO
+// per EXS merged under an adaptive delay window T — decomposes naturally by
+// producer, so the pipeline splits the monolithic sorter into two explicit
+// stages:
+//
+//  * N *shard workers*. Each shard owns a disjoint set of EXS sessions
+//    (node-id hash, fixed at hello) and runs a full private OnlineSorter:
+//    per-EXS FIFOs, merge heap, and its own adaptive frame T. A shard emits
+//    a timestamp-ordered stream into a bounded SPSC lane and publishes a
+//    monotone *watermark* — a promise that, barring genuinely late records
+//    (which already count as out-of-order and raise T), its future in-order
+//    emissions sit above `now - T`.
+//  * one *merger*. A k-way heap merge across the shard lanes, keyed
+//    (timestamp, node) exactly like the per-shard merge heaps, so the merged
+//    stream is byte-identical to what one global sorter would produce. A
+//    record is released only once every empty lane's watermark has passed
+//    it; an empty lane therefore stalls the merge by at most one shard poll
+//    cycle, in the spirit of out-of-order compensation buffers with cheap
+//    cross-group causality bounds.
+//
+// Causally-related-event matching stays GLOBAL and moves behind the merge:
+// X_REASON/X_CONSEQ pairs may span shards, so the CreMatcher sees the
+// merged, timestamp-ordered stream. A tachyon consequence (smaller
+// timestamp than its reason) surfaces from the merge *before* its reason,
+// is held by the matcher, and is released — timestamp repaired — right
+// after the reason passes; sink delivery and tachyon-driven extra sync
+// rounds both happen here, once, globally.
+//
+// shards == 1 (the default) is the paper-faithful mode: no worker threads,
+// no lanes — the single sorter, the CRE pass, and sink delivery all run
+// inline on the ordering thread, preserving PR 2's threading model exactly.
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <limits>
+#include <memory>
+#include <mutex>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "clock/clock.hpp"
+#include "common/spsc_queue.hpp"
+#include "ism/cre_matcher.hpp"
+#include "ism/online_sorter.hpp"
+
+namespace brisk::ism {
+
+struct PipelineConfig {
+  /// Ordering shards. 1 = inline single sorter (paper mode); N > 1 starts
+  /// N shard worker threads plus one merger thread.
+  std::size_t shards = 1;
+  /// Depth (records) of each shard's input and output SPSC lane.
+  std::size_t shard_queue_records = 4096;
+  /// Idle wait of the shard and merger loops; bounds the extra latency a
+  /// quiet shard's watermark can impose on the merge.
+  TimeMicros poll_timeout_us = 10'000;
+  SorterConfig sorter;
+  CreConfig cre;
+};
+
+struct PipelineStats {
+  std::uint64_t submitted = 0;         // records entering the pipeline
+  std::uint64_t merged = 0;            // records through the k-way merge
+  /// Merged record below the merge high-water timestamp: a shard violated
+  /// its watermark (a genuinely late record — the shard's own order check
+  /// already raised its T for it).
+  std::uint64_t merge_inversions = 0;
+  std::uint64_t submit_stalls = 0;     // input lane full, ordering thread spun
+  /// Records drained out of band (session expiry), bypassing the merge.
+  std::uint64_t oob_records = 0;
+};
+
+/// Shard owning `node`'s sessions: a multiplicative hash so striding node
+/// ids spread evenly. Stable across runs — it defines which sorter a node's
+/// records FIFO through, and with it the deterministic merge order.
+std::size_t shard_of_node(NodeId node, std::size_t shards) noexcept;
+
+class OrderingPipeline {
+ public:
+  /// Sorted + CRE-ordered records leave through `sink`; `flush` is the
+  /// sink-flush hook (called from the merger thread when sharded, from
+  /// service() inline); `on_tachyon` must be thread-safe — it fires on the
+  /// merger thread when shards > 1.
+  using SinkFn = std::function<void(const sensors::Record&)>;
+  using FlushFn = std::function<void()>;
+  using TachyonFn = std::function<void()>;
+
+  OrderingPipeline(const PipelineConfig& config, clk::Clock& clock, SinkFn sink,
+                   FlushFn flush, TachyonFn on_tachyon);
+  ~OrderingPipeline();
+  OrderingPipeline(const OrderingPipeline&) = delete;
+  OrderingPipeline& operator=(const OrderingPipeline&) = delete;
+
+  /// Routes one admitted record to its shard (ordering thread only). A full
+  /// shard lane spins (counted in submit_stalls) — the shard workers always
+  /// drain, so this is bounded backpressure, not deadlock.
+  Status submit(sensors::Record record);
+
+  /// Ordering-thread idle hook. Inline mode runs the sorter, the CRE pass,
+  /// and the sink flush here; sharded mode is a no-op (the workers own it).
+  void service();
+
+  /// Session expiry: drain `node`'s pending records out of band — they
+  /// bypass the merge (a dead node must not stall or distort it) but still
+  /// pass the CRE matcher, since they may be reasons a held consequence is
+  /// waiting for. Inline this is synchronous and returns the drained count;
+  /// sharded it is asynchronous, returns 0, and the count lands in
+  /// stats().oob_records once the shard processes the command.
+  std::size_t remove_node(NodeId node);
+
+  /// Shutdown path: stops the worker threads, then deterministically
+  /// flushes every shard and k-way merges the remainders — identical
+  /// output whatever the shard count. The pipeline stays usable afterwards
+  /// in degraded inline form (per-shard, merge-free) for late stragglers.
+  Status drain();
+
+  [[nodiscard]] std::size_t shard_count() const noexcept { return shards_.size(); }
+  [[nodiscard]] bool threaded() const noexcept {
+    return threads_running_.load(std::memory_order_acquire);
+  }
+  /// Aggregated over all shards (max_lateness_us reports the maximum).
+  [[nodiscard]] SorterStats sorter_stats() const;
+  [[nodiscard]] SorterStats shard_sorter_stats(std::size_t shard) const;
+  /// Records pending per shard (for the periodic stats line).
+  [[nodiscard]] std::vector<std::size_t> shard_depths() const;
+  [[nodiscard]] std::vector<TimeMicros> shard_frames() const;
+  [[nodiscard]] PipelineStats stats() const;
+  /// The global post-merge matcher. Mutating/statistical reads are safe
+  /// from the ordering thread only while the pipeline is not threaded (or
+  /// after drain()); the merger thread owns it while sharded.
+  [[nodiscard]] CreMatcher& cre() noexcept { return cre_; }
+  [[nodiscard]] const CreMatcher& cre() const noexcept { return cre_; }
+
+ private:
+  /// One unit on a shard → merger lane. Out-of-band entries (expiry drains)
+  /// ride the same lane to keep them ordered relative to the shard's
+  /// regular stream, but skip the merge at the far end.
+  struct ShardOutput {
+    sensors::Record record;
+    bool out_of_band = false;
+  };
+  struct Shard;
+
+  void start_threads();
+  void stop_threads();
+  void shard_loop(Shard& shard);
+  /// Commands + input drain + sorter service + watermark publish. Requires
+  /// the shard's state mutex. Returns the sorter's next-due hint.
+  TimeMicros shard_cycle(Shard& shard);
+  void shard_emit(Shard& shard, sensors::Record record);
+  void push_output(Shard& shard, ShardOutput out);
+  void signal_shard(Shard& shard);
+  void signal_merger();
+  void merger_loop();
+  /// Drains the shard lanes through the k-way merge as far as the
+  /// watermarks allow. Requires merger_mutex_.
+  void merge_step();
+  /// Final deterministic merge over recovered lane tails + flushed shard
+  /// buffers (no watermark gating). Requires merger_mutex_.
+  void merge_tails(std::vector<std::vector<ShardOutput>>& tails);
+  /// CRE + sink delivery of one merged record. Requires merger_mutex_.
+  void deliver(sensors::Record record);
+  void deliver_oob(sensors::Record record);
+  /// Releases timed-out CRE holds. Requires merger_mutex_.
+  void cre_service();
+
+  PipelineConfig config_;
+  clk::Clock& clock_;
+  SinkFn sink_;
+  FlushFn flush_;
+  CreMatcher cre_;
+
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<bool> threads_running_{false};
+  std::atomic<bool> stop_{false};
+
+  // ---- merger state (merger_mutex_; merger thread while sharded, the
+  // ordering thread inline and at drain) ---------------------------------------
+  std::mutex merger_mutex_;
+  /// Cached lane heads: popped but not yet released by the watermark gate.
+  std::vector<std::optional<ShardOutput>> heads_;
+  TimeMicros last_merged_ts_ = 0;
+  bool merged_any_ = false;
+  std::vector<sensors::Record> cre_scratch_;
+  std::thread merger_thread_;
+  std::mutex merger_cv_mutex_;
+  std::condition_variable merger_cv_;
+  bool merger_signaled_ = false;
+
+  // ---- stats ------------------------------------------------------------------
+  std::atomic<std::uint64_t> submitted_{0};
+  std::atomic<std::uint64_t> merged_{0};
+  std::atomic<std::uint64_t> merge_inversions_{0};
+  std::atomic<std::uint64_t> submit_stalls_{0};
+  std::atomic<std::uint64_t> oob_records_{0};
+};
+
+}  // namespace brisk::ism

@@ -435,9 +435,9 @@ TEST(IntegrationTest, FlowControlShedsExcessLoad) {
 
   const auto& stats = manager.value()->ism().stats();
   EXPECT_EQ(stats.records_received,
-            stats.flow_control_drops + manager.value()->ism().sorter().stats().pushed);
+            stats.flow_control_drops + manager.value()->ism().sorter_stats().pushed);
   EXPECT_GT(stats.flow_control_drops, 0u) << "the bucket must have rejected load";
-  EXPECT_LT(manager.value()->ism().sorter().stats().pushed,
+  EXPECT_LT(manager.value()->ism().sorter_stats().pushed,
             static_cast<std::uint64_t>(kOffered))
       << "admitted stream must be bounded by the configured rate";
 }

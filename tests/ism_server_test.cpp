@@ -22,15 +22,20 @@
 namespace brisk::ism {
 namespace {
 
-/// One ingest deployment shape: which poller, how many reader threads.
+/// One ingest deployment shape: which poller, how many reader threads, how
+/// many ordering shards.
 struct IngestMode {
   net::PollerBackend poller = net::PollerBackend::select;
   std::size_t reader_threads = 0;
+  std::size_t sorter_shards = 1;
 };
 
 std::string ingest_mode_name(const ::testing::TestParamInfo<IngestMode>& info) {
   std::string name = net::to_string(info.param.poller);
   name += info.param.reader_threads == 0 ? "_inline" : "_threaded";
+  if (info.param.sorter_shards > 1) {
+    name += "_shards" + std::to_string(info.param.sorter_shards);
+  }
   return name;
 }
 
@@ -45,6 +50,7 @@ class IsmServerTest : public ::testing::TestWithParam<IngestMode> {
     config.sorter.adaptive = false;
     config.poller = GetParam().poller;
     config.reader_threads = GetParam().reader_threads;
+    config.sorter_shards = GetParam().sorter_shards;
     delivered_ = std::make_shared<DeliveredLog>();
     auto delivered = delivered_;
     auto sink = std::make_shared<CallbackSink>(
@@ -240,18 +246,26 @@ INSTANTIATE_TEST_SUITE_P(IngestModes, IsmServerTest,
                          ::testing::Values(IngestMode{net::PollerBackend::select, 0},
                                            IngestMode{net::PollerBackend::select, 2},
                                            IngestMode{net::PollerBackend::epoll, 0},
-                                           IngestMode{net::PollerBackend::epoll, 2}),
+                                           IngestMode{net::PollerBackend::epoll, 2},
+                                           IngestMode{net::PollerBackend::select, 2, 2},
+                                           IngestMode{net::PollerBackend::epoll, 0, 2}),
                          ingest_mode_name);
 
-// Acceptance: the sorted output stream must be identical whichever poller
-// backend and reader-thread count ingested it. Uses a frame window wide
-// enough to hold everything until drain, so ordering is decided purely by
-// record timestamps, never by arrival interleaving.
+// Acceptance: the sorted + CRE-ordered output stream must be byte-identical
+// whichever poller backend, reader-thread count, and ordering-shard count
+// ran it — the k-way merge over per-node-disjoint shard streams reproduces
+// the monolithic sorter's (timestamp, node) order exactly. Uses a frame
+// window wide enough to hold everything until drain, so ordering is decided
+// purely by record timestamps, never by arrival interleaving.
 TEST(IsmIngestDeterminismTest, SortedOutputIdenticalAcrossConfigs) {
-  const IngestMode modes[] = {{net::PollerBackend::select, 0},
-                              {net::PollerBackend::select, 2},
-                              {net::PollerBackend::epoll, 0},
-                              {net::PollerBackend::epoll, 4}};
+  std::vector<IngestMode> modes;
+  for (net::PollerBackend poller : {net::PollerBackend::select, net::PollerBackend::epoll}) {
+    for (std::size_t readers : {std::size_t{0}, std::size_t{2}}) {
+      for (std::size_t shards : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+        modes.push_back(IngestMode{poller, readers, shards});
+      }
+    }
+  }
   constexpr int kNodes = 3;
   constexpr int kRecordsPerNode = 40;
   // Timestamps sit near the current wall clock: the sorter releases a
@@ -270,6 +284,7 @@ TEST(IsmIngestDeterminismTest, SortedOutputIdenticalAcrossConfigs) {
     config.sorter.max_frame_us = 120'000'000;
     config.poller = mode.poller;
     config.reader_threads = mode.reader_threads;
+    config.sorter_shards = mode.sorter_shards;
 
     auto order = std::make_shared<std::vector<std::pair<TimeMicros, NodeId>>>();
     auto mutex = std::make_shared<std::mutex>();
@@ -307,6 +322,15 @@ TEST(IsmIngestDeterminismTest, SortedOutputIdenticalAcrossConfigs) {
         record.sensor = 1;
         record.timestamp = base + TimeMicros(n) + TimeMicros(i) * kNodes;
         record.fields = {sensors::Field::i32(i)};
+        // A causal pair spanning nodes (and so, when sharded, shards): node
+        // 1's last record is the reason, node 2's last the consequence —
+        // the global CRE pass must order them identically in every config.
+        if (i == kRecordsPerNode - 1 && n == 1) {
+          record.fields.push_back(sensors::Field::reason(77));
+        }
+        if (i == kRecordsPerNode - 1 && n == 2) {
+          record.fields.push_back(sensors::Field::conseq(77));
+        }
         ASSERT_TRUE(builder.add_record(record));
       }
       ByteBuffer payload = builder.finish();

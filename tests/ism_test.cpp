@@ -4,14 +4,19 @@
 // extra sync rounds), flow control, and the output sinks.
 #include <gtest/gtest.h>
 
+#include <algorithm>
+#include <atomic>
 #include <cmath>
+#include <mutex>
 
 #include "clock/clock.hpp"
 #include "ism/cre_matcher.hpp"
 #include "ism/drop_policy.hpp"
+#include "ism/ingest.hpp"
 #include "ism/merge_heap.hpp"
 #include "ism/online_sorter.hpp"
 #include "ism/output.hpp"
+#include "ism/pipeline.hpp"
 
 namespace brisk::ism {
 namespace {
@@ -404,9 +409,11 @@ TEST_F(CreTest, WaitingTachyonRepairedWhenReasonArrives) {
   matcher.process(conseq_record(1, 200, 9), out_);
   matcher.process(reason_record(0, 300, 9), out_);
   ASSERT_EQ(out_.size(), 2u);
-  // The released consequence is out_[0] (released before the reason is
-  // appended): its timestamp must exceed the reason's.
-  const Record& conseq = out_[0].conseq_id().has_value() ? out_[0] : out_[1];
+  // `out` order is sink order (the matcher runs behind the merge): the
+  // reason leaves first, then the released consequence, repaired past it.
+  EXPECT_TRUE(out_[0].reason_id().has_value());
+  const Record& conseq = out_[1];
+  ASSERT_TRUE(conseq.conseq_id().has_value());
   EXPECT_EQ(conseq.timestamp, 301);
   EXPECT_EQ(matcher.stats().tachyons_repaired, 1u);
   EXPECT_EQ(extra_rounds_, 1);
@@ -608,6 +615,189 @@ TEST_P(DecaySweep, LongerHalfLifeDecaysSlower) {
 }
 
 INSTANTIATE_TEST_SUITE_P(HalfLives, DecaySweep, ::testing::Values(0.25, 0.5, 1.0, 2.0, 8.0));
+
+// ---- OrderingPipeline --------------------------------------------------------------
+
+/// Thread-safe capture of everything the pipeline's sink receives (the
+/// merger thread delivers when shards > 1).
+struct PipelineCapture {
+  std::mutex mutex;
+  std::vector<Record> records;
+  std::atomic<int> tachyons{0};
+
+  OrderingPipeline::SinkFn sink() {
+    return [this](const sensors::Record& r) {
+      std::lock_guard<std::mutex> lock(mutex);
+      records.push_back(r);
+    };
+  }
+  OrderingPipeline::FlushFn flush() {
+    return [] {};
+  }
+  OrderingPipeline::TachyonFn on_tachyon() {
+    return [this] { tachyons.fetch_add(1); };
+  }
+  std::vector<Record> snapshot() {
+    std::lock_guard<std::mutex> lock(mutex);
+    return records;
+  }
+};
+
+TEST(ShardOfNodeTest, StableInRangeAndSpreading) {
+  EXPECT_EQ(shard_of_node(12345, 1), 0u);
+  std::vector<int> hits(4, 0);
+  for (NodeId node = 0; node < 1000; ++node) {
+    const std::size_t shard = shard_of_node(node, 4);
+    ASSERT_LT(shard, 4u);
+    EXPECT_EQ(shard, shard_of_node(node, 4)) << "assignment must be stable";
+    ++hits[shard];
+  }
+  for (int shard_hits : hits) {
+    EXPECT_GT(shard_hits, 100) << "striding node ids must spread over all shards";
+  }
+}
+
+TEST(OrderingPipelineTest, InlineSortsAcrossNodes) {
+  clk::ManualClock clock(1'000'000);
+  PipelineConfig config;
+  config.sorter.initial_frame_us = 10'000;
+  config.sorter.adaptive = false;
+  PipelineCapture capture;
+  OrderingPipeline pipeline(config, clock, capture.sink(), capture.flush(),
+                            capture.on_tachyon());
+  EXPECT_FALSE(pipeline.threaded());
+
+  ASSERT_TRUE(pipeline.submit(make_record(1, 1'000'300)));
+  ASSERT_TRUE(pipeline.submit(make_record(2, 1'000'100)));
+  ASSERT_TRUE(pipeline.submit(make_record(1, 1'000'500)));
+  pipeline.service();
+  EXPECT_TRUE(capture.snapshot().empty()) << "inside the delay window";
+
+  clock.set(1'011'000);
+  pipeline.service();
+  const auto records = capture.snapshot();
+  ASSERT_EQ(records.size(), 3u);
+  EXPECT_EQ(records[0].timestamp, 1'000'100);
+  EXPECT_EQ(records[1].timestamp, 1'000'300);
+  EXPECT_EQ(records[2].timestamp, 1'000'500);
+  EXPECT_EQ(pipeline.stats().submitted, 3u);
+  EXPECT_EQ(pipeline.stats().merged, 3u);
+}
+
+TEST(OrderingPipelineTest, RemoveNodeDrainsOutOfBandInline) {
+  clk::ManualClock clock(1'000'000);
+  PipelineConfig config;
+  config.sorter.initial_frame_us = 1'000'000;  // hold everything
+  PipelineCapture capture;
+  OrderingPipeline pipeline(config, clock, capture.sink(), capture.flush(),
+                            capture.on_tachyon());
+  ASSERT_TRUE(pipeline.submit(make_record(7, 1'000'010)));
+  ASSERT_TRUE(pipeline.submit(make_record(7, 1'000'020)));
+  ASSERT_TRUE(pipeline.submit(make_record(7, 1'000'030)));
+  ASSERT_TRUE(pipeline.submit(make_record(1, 1'000'001)));
+
+  EXPECT_EQ(pipeline.remove_node(7), 3u);
+  auto records = capture.snapshot();
+  ASSERT_EQ(records.size(), 3u) << "expired node drains immediately, out of band";
+  for (const Record& r : records) EXPECT_EQ(r.node, 7u);
+  EXPECT_EQ(pipeline.stats().oob_records, 3u);
+
+  ASSERT_TRUE(pipeline.drain());
+  records = capture.snapshot();
+  ASSERT_EQ(records.size(), 4u);
+  EXPECT_EQ(records.back().node, 1u) << "live node flushed by drain";
+}
+
+// The tentpole's determinism claim at unit level: whatever the shard count,
+// draining the same per-node FIFO streams yields the same (timestamp, node)
+// sequence the single monolithic sorter produces.
+TEST(OrderingPipelineTest, DrainOrderIdenticalAcrossShardCounts) {
+  constexpr int kNodes = 8;
+  constexpr int kPerNode = 25;
+  const TimeMicros base = clk::SystemClock::instance().now();
+
+  std::vector<std::vector<std::pair<TimeMicros, NodeId>>> outputs;
+  for (std::size_t shards : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
+    PipelineConfig config;
+    config.shards = shards;
+    config.shard_queue_records = 64;  // small lanes, exercise the spill paths
+    config.sorter.initial_frame_us = 120'000'000;  // hold everything until drain
+    config.sorter.max_frame_us = 120'000'000;
+    config.sorter.adaptive = false;
+    PipelineCapture capture;
+    OrderingPipeline pipeline(config, clk::SystemClock::instance(), capture.sink(),
+                              capture.flush(), capture.on_tachyon());
+    EXPECT_EQ(pipeline.shard_count(), shards);
+    EXPECT_EQ(pipeline.threaded(), shards > 1);
+    for (int i = 0; i < kPerNode; ++i) {
+      for (NodeId node = 1; node <= kNodes; ++node) {
+        // Node n owns timestamps n, n + kNodes, ... — all distinct, fully
+        // interleaved across nodes (and so across shards).
+        ASSERT_TRUE(pipeline.submit(
+            make_record(node, base + TimeMicros(node) + TimeMicros(i) * kNodes)));
+      }
+    }
+    ASSERT_TRUE(pipeline.drain());
+    std::vector<std::pair<TimeMicros, NodeId>> sequence;
+    for (const Record& r : capture.snapshot()) sequence.emplace_back(r.timestamp, r.node);
+    EXPECT_EQ(pipeline.stats().merged, std::uint64_t(kNodes) * kPerNode);
+    outputs.push_back(std::move(sequence));
+  }
+
+  ASSERT_EQ(outputs[0].size(), std::size_t(kNodes) * kPerNode);
+  EXPECT_TRUE(std::is_sorted(outputs[0].begin(), outputs[0].end()));
+  for (std::size_t m = 1; m < outputs.size(); ++m) {
+    EXPECT_EQ(outputs[m], outputs[0]) << "shard count must not change the order";
+  }
+}
+
+// X_REASON/X_CONSEQ pairs may span shards, which is exactly why the CRE
+// matcher sits behind the k-way merge. A tachyon consequence (timestamp
+// before its reason) emerges from the merge first, is held globally, and is
+// released repaired once the reason passes.
+TEST(OrderingPipelineTest, CrossShardTachyonRepairedBehindMerge) {
+  constexpr std::size_t kShards = 4;
+  // Two nodes that land on different shards.
+  const NodeId reason_node = 1;
+  NodeId conseq_node = 2;
+  while (shard_of_node(conseq_node, kShards) == shard_of_node(reason_node, kShards)) {
+    ++conseq_node;
+  }
+  const TimeMicros base = clk::SystemClock::instance().now();
+  PipelineConfig config;
+  config.shards = kShards;
+  config.sorter.initial_frame_us = 120'000'000;
+  config.sorter.max_frame_us = 120'000'000;
+  config.sorter.adaptive = false;
+  config.cre.repair_margin_us = 1;
+  PipelineCapture capture;
+  OrderingPipeline pipeline(config, clk::SystemClock::instance(), capture.sink(),
+                            capture.flush(), capture.on_tachyon());
+
+  ASSERT_TRUE(pipeline.submit(conseq_record(conseq_node, base - 1'000, 42)));
+  ASSERT_TRUE(pipeline.submit(reason_record(reason_node, base, 42)));
+  ASSERT_TRUE(pipeline.drain());
+
+  const auto records = capture.snapshot();
+  ASSERT_EQ(records.size(), 2u);
+  EXPECT_EQ(records[0].node, reason_node) << "reason must reach the sink first";
+  EXPECT_EQ(records[1].node, conseq_node);
+  EXPECT_EQ(records[1].timestamp, base + 1) << "consequence repaired past its reason";
+  EXPECT_EQ(pipeline.cre().stats().tachyons_repaired, 1u);
+  EXPECT_EQ(capture.tachyons.load(), 1);
+}
+
+// ---- least-loaded accept placement ------------------------------------------------
+
+TEST(LeastLoadedReaderTest, PicksMinimumAndBreaksTiesLow) {
+  EXPECT_EQ(least_loaded_reader({0}), 0u);
+  EXPECT_EQ(least_loaded_reader({3, 1, 2}), 1u);
+  EXPECT_EQ(least_loaded_reader({2, 2, 2}), 0u) << "ties go to the lowest index";
+  EXPECT_EQ(least_loaded_reader({1, 0, 0}), 1u) << "first minimum wins";
+  // The churn scenario round-robin gets wrong: reader 0 kept its long-lived
+  // connections while reader 1's all closed — new accepts must land on 1.
+  EXPECT_EQ(least_loaded_reader({5, 0}), 1u);
+}
 
 }  // namespace
 }  // namespace brisk::ism
