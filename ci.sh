@@ -1,16 +1,22 @@
 #!/usr/bin/env bash
-# CI gate for BRISK. Five stages, any failure aborts the run:
+# CI gate for BRISK. Seven stages, any failure aborts the run:
 #   1. tier-1: release-ish build + the full ctest suite
 #   2. determinism: the ingest/ordering determinism grid run explicitly —
 #      one test body covering {select, epoll} x reader threads x sorter
-#      shards {1,2,4}, asserting byte-identical sorted output (the full
-#      suite runs it too; this stage keeps it visible and un-trimmable)
+#      shards {1,2,4}, asserting byte-identical sorted output with
+#      self-instrumentation enabled (the full suite runs it too; this
+#      stage keeps it visible and un-trimmable)
 #   3. bench smoke: a short saturated bench_throughput run with the sharded
 #      ordering pipeline (shards=2) — catches pipeline wiring regressions
 #      that unit tests with tame inputs miss
-#   4. resilience: the crash/churn/fault-injection label on the same build
-#   5. sanitize: a separate ASan+UBSan tree running the resilience label,
+#   4. metrics smoke: a real daemon pair (brisk_ism + brisk_exs) with
+#      --metrics-interval on, then brisk_consume --metrics against the shm
+#      ring — one decoded ISM metrics record must appear in the table
+#   5. resilience: the crash/churn/fault-injection label on the same build
+#   6. sanitize: a separate ASan+UBSan tree running the resilience label,
 #      which is where lifetime and data-race-adjacent bugs actually surface
+#   7. tsan: a TSan tree over the threaded ingest/ordering/metrics tests —
+#      the cross-thread stats counters must stay clean on the whole grid
 #
 # Usage: ./ci.sh [--skip-sanitize]
 set -euo pipefail
@@ -26,28 +32,72 @@ done
 
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
-echo "==> [1/5] tier-1 build + full test suite"
+echo "==> [1/7] tier-1 build + full test suite"
 cmake -B build -S . >/dev/null
 cmake --build build -j"$JOBS"
 ctest --test-dir build --output-on-failure -j"$JOBS"
 
-echo "==> [2/5] determinism grid (select + epoll, shards 1/2/4)"
+echo "==> [2/7] determinism grid (select + epoll, shards 1/2/4, metrics on)"
 ctest --test-dir build --output-on-failure --no-tests=error -R 'IsmIngestDeterminismTest'
 
-echo "==> [3/5] bench smoke: sharded ordering pipeline"
+echo "==> [3/7] bench smoke: sharded ordering pipeline"
 ./build/bench/bench_throughput --smoke
 
-echo "==> [4/5] resilience label"
+echo "==> [4/7] metrics smoke: daemon pair + brisk_consume --metrics"
+METRICS_SHM_OUT="/brisk-ci-metrics-out-$$"
+METRICS_SHM_NODE="/brisk-ci-metrics-node-$$"
+ISM_PID=""
+EXS_PID=""
+cleanup_metrics_smoke() {
+  [[ -n "$EXS_PID" ]] && kill "$EXS_PID" 2>/dev/null || true
+  [[ -n "$ISM_PID" ]] && kill "$ISM_PID" 2>/dev/null || true
+  wait 2>/dev/null || true
+  rm -f "/dev/shm${METRICS_SHM_OUT}" "/dev/shm${METRICS_SHM_NODE}" 2>/dev/null || true
+}
+trap cleanup_metrics_smoke EXIT
+ISM_LOG="$(mktemp)"
+./build/src/apps/brisk_ism --port 0 --shm "$METRICS_SHM_OUT" \
+  --metrics-interval 1 --stats-interval 1 >"$ISM_LOG" 2>&1 &
+ISM_PID=$!
+ISM_PORT=""
+for _ in $(seq 1 50); do
+  ISM_PORT="$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "$ISM_LOG" | head -1)"
+  [[ -n "$ISM_PORT" ]] && break
+  sleep 0.1
+done
+[[ -n "$ISM_PORT" ]] || { echo "metrics smoke: ISM never reported its port" >&2; cat "$ISM_LOG" >&2; exit 1; }
+./build/src/apps/brisk_exs --node 1 --shm "$METRICS_SHM_NODE" \
+  --ism-host 127.0.0.1 --ism-port "$ISM_PORT" --metrics-interval 1 >/dev/null 2>&1 &
+EXS_PID=$!
+sleep 3  # a few metrics intervals
+# The daemons keep emitting, so the consumer never goes idle: bound it with
+# timeout — SIGTERM lands in its signal handler, which prints the final table.
+METRICS_OUT="$(timeout 6 ./build/src/apps/brisk_consume --shm "$METRICS_SHM_OUT" --metrics \
+  --idle-exit-ms 0 || true)"
+echo "$METRICS_OUT" | grep -q 'ism\.records_received' \
+  || { echo "metrics smoke: no decoded ISM metrics record in consumer table" >&2; \
+       echo "$METRICS_OUT" >&2; exit 1; }
+echo "$METRICS_OUT" | grep 'ism\.records_received' | head -1
+cleanup_metrics_smoke
+trap - EXIT
+
+echo "==> [5/7] resilience label"
 ctest --test-dir build --output-on-failure -L resilience
 
 if [[ "$SKIP_SANITIZE" == 1 ]]; then
-  echo "==> [5/5] sanitizer stage skipped (--skip-sanitize)"
+  echo "==> [6/7] sanitizer stages skipped (--skip-sanitize)"
   exit 0
 fi
 
-echo "==> [5/5] ASan+UBSan build + resilience label"
+echo "==> [6/7] ASan+UBSan build + resilience label"
 cmake -B build-asan -S . -DBRISK_SANITIZE=address,undefined >/dev/null
 cmake --build build-asan -j"$JOBS"
 ctest --test-dir build-asan --output-on-failure -L resilience
+
+echo "==> [7/7] TSan build + ingest/ordering/metrics tests"
+cmake -B build-tsan -S . -DBRISK_SANITIZE=thread >/dev/null
+cmake --build build-tsan -j"$JOBS"
+ctest --test-dir build-tsan --output-on-failure --no-tests=error -j"$JOBS" \
+  -R 'IsmServerTest|IsmIngestDeterminismTest|OrderingPipelineTest|Metrics'
 
 echo "==> CI green"

@@ -1,16 +1,26 @@
 // brisk_consume: an instrumentation-data consumer tool. Attaches to the
 // ISM's named shared-memory output buffer ("which is then read by
-// instrumentation data consumer tools") and either streams PICL lines to
-// stdout or accumulates summary statistics.
+// instrumentation data consumer tools") — or follows a PICL trace file —
+// and streams PICL lines, accumulates summary statistics, or tabulates the
+// IS's own self-instrumentation metrics.
 //
 // Usage:
-//   brisk_consume --shm /brisk-out [--mode picl|stats] [--max-records N]
-//                 [--idle-exit-ms 2000] [--picl-utc]
+//   brisk_consume --shm /brisk-out [--mode picl|stats|metrics] [--metrics]
+//                 [--max-records N] [--idle-exit-ms 2000] [--picl-utc]
+//   brisk_consume --picl-file trace.picl --mode metrics
+//
+// --metrics is shorthand for --mode metrics: a live tabulated view of the
+// named counters and gauges the daemons emit as reserved-sensor-id records
+// (refreshed about once a second, and once more at exit).
 //
 // Exits after --max-records records, or when no record arrived for
 // --idle-exit-ms (0 = run until SIGINT).
 #include <csignal>
 #include <cstdio>
+#include <map>
+#include <optional>
+#include <string>
+#include <utility>
 
 #include "apps/flag_parser.hpp"
 #include "common/time_util.hpp"
@@ -18,6 +28,8 @@
 #include "consumers/shm_consumer.hpp"
 #include "consumers/trace_stats.hpp"
 #include "core/version.hpp"
+#include "picl/picl_reader.hpp"
+#include "sensors/metrics_record.hpp"
 #include "shm/shared_region.hpp"
 
 namespace {
@@ -27,8 +39,10 @@ void handle_signal(int) { g_stop = 1; }
 
 brisk::apps::FlagRegistry make_registry() {
   brisk::apps::FlagRegistry flags("brisk_consume", "BRISK shared-memory trace consumer");
-  flags.add_string("shm", "", "named shared-memory output ring to attach (required)")
-      .add_string("mode", "picl", "output mode: picl (stream lines) or stats (summary)")
+  flags.add_string("shm", "", "named shared-memory output ring to attach")
+      .add_string("picl-file", "", "follow a PICL trace file instead of --shm")
+      .add_string("mode", "picl", "output mode: picl (stream lines), stats, or metrics")
+      .add_bool("metrics", false, "shorthand for --mode metrics")
       .add_int("max-records", 0, "exit after this many records (0 = unlimited)")
       .add_int("idle-exit-ms", 2'000, "exit after this long with no records (0 = never)")
       .add_bool("picl-utc", true, "stamp PICL lines with UTC micros");
@@ -42,7 +56,8 @@ int main(int argc, char** argv) {
   apps::FlagRegistry flags = make_registry();
   flags.parse(argc, argv);
   const std::string shm_name = flags.str("shm");
-  const std::string mode = flags.str("mode");
+  const std::string picl_path = flags.str("picl-file");
+  const std::string mode = flags.flag("metrics") ? "metrics" : flags.str("mode");
   const long long max_records = flags.num("max-records");
   const long long idle_exit_ms = flags.num("idle-exit-ms");
   picl::PiclOptions picl_options;
@@ -53,58 +68,109 @@ int main(int argc, char** argv) {
     picl_options.epoch_us = clk::SystemClock::instance().now();
   }
 
-  if (shm_name.empty()) {
-    std::fprintf(stderr, "brisk_consume: --shm /name is required\n");
+  if (shm_name.empty() && picl_path.empty()) {
+    std::fprintf(stderr, "brisk_consume: --shm /name or --picl-file path is required\n");
     return 2;
   }
-  if (mode != "picl" && mode != "stats") {
-    std::fprintf(stderr, "brisk_consume: --mode must be picl or stats\n");
+  if (mode != "picl" && mode != "stats" && mode != "metrics") {
+    std::fprintf(stderr, "brisk_consume: --mode must be picl, stats, or metrics\n");
     return 2;
   }
 
-  auto region = shm::SharedRegion::open_named(shm_name);
-  if (!region) {
-    std::fprintf(stderr, "brisk_consume: %s\n", region.status().to_string().c_str());
-    return 1;
+  // Input source: the ISM's shm output ring, or a PICL trace file followed
+  // tail -f style (PiclReader treats a half-written final line as
+  // end-of-stream and rewinds, so polling next() is safe mid-write).
+  std::optional<shm::SharedRegion> region;
+  std::optional<consumers::ShmConsumer> consumer;
+  std::optional<picl::PiclReader> reader;
+  if (!picl_path.empty()) {
+    auto opened = picl::PiclReader::open(picl_path, picl_options);
+    if (!opened) {
+      std::fprintf(stderr, "brisk_consume: %s\n", opened.status().to_string().c_str());
+      return 1;
+    }
+    reader.emplace(std::move(opened).value());
+  } else {
+    auto opened = shm::SharedRegion::open_named(shm_name);
+    if (!opened) {
+      std::fprintf(stderr, "brisk_consume: %s\n", opened.status().to_string().c_str());
+      return 1;
+    }
+    region.emplace(std::move(opened).value());
+    auto ring = shm::RingBuffer::attach(region->data(), region->size());
+    if (!ring) {
+      std::fprintf(stderr, "brisk_consume: %s\n", ring.status().to_string().c_str());
+      return 1;
+    }
+    consumer.emplace(ring.value());
   }
-  auto ring = shm::RingBuffer::attach(region.value().data(), region.value().size());
-  if (!ring) {
-    std::fprintf(stderr, "brisk_consume: %s\n", ring.status().to_string().c_str());
-    return 1;
-  }
-  consumers::ShmConsumer consumer(ring.value());
   consumers::TraceStats stats;
+
+  auto poll_record = [&]() -> Result<std::optional<sensors::Record>> {
+    if (reader.has_value()) return reader->next();
+    return consumer->poll();
+  };
+
+  // Live metrics table: (node, metric name) -> latest sample. Counters and
+  // gauges alike show their most recent value — the records are snapshots.
+  struct MetricRow {
+    std::uint64_t value = 0;
+    sensors::MetricKind kind = sensors::MetricKind::counter;
+  };
+  std::map<std::pair<NodeId, std::string>, MetricRow> metric_table;
+  std::uint64_t metric_records = 0;
+  auto print_metrics = [&] {
+    std::printf("=== metrics: %zu series, %llu records ===\n", metric_table.size(),
+                static_cast<unsigned long long>(metric_records));
+    for (const auto& [key, row] : metric_table) {
+      std::printf("node %10u  %-44s %20llu  %s\n", key.first, key.second.c_str(),
+                  static_cast<unsigned long long>(row.value),
+                  row.kind == sensors::MetricKind::gauge ? "gauge" : "counter");
+    }
+    std::fflush(stdout);
+  };
 
   std::signal(SIGINT, handle_signal);
   std::signal(SIGTERM, handle_signal);
   std::fprintf(stderr, "brisk_consume %s attached to %s (%s mode)\n", version_string(),
-               shm_name.c_str(), mode.c_str());
+               picl_path.empty() ? shm_name.c_str() : picl_path.c_str(), mode.c_str());
 
   long long received = 0;
   TimeMicros last_record_at = monotonic_micros();
+  TimeMicros last_table_at = monotonic_micros();
   while (g_stop == 0) {
-    auto record = consumer.poll();
+    auto record = poll_record();
     if (!record) {
       std::fprintf(stderr, "brisk_consume: %s\n", record.status().to_string().c_str());
       return 1;
     }
+    const TimeMicros now = monotonic_micros();
+    if (mode == "metrics" && !metric_table.empty() && now - last_table_at >= 1'000'000) {
+      last_table_at = now;
+      print_metrics();
+    }
     if (!record.value().has_value()) {
-      if (idle_exit_ms > 0 &&
-          monotonic_micros() - last_record_at > idle_exit_ms * 1'000) {
-        break;
-      }
+      if (idle_exit_ms > 0 && now - last_record_at > idle_exit_ms * 1'000) break;
       sleep_micros(1'000);
       continue;
     }
-    last_record_at = monotonic_micros();
+    last_record_at = now;
     ++received;
     if (mode == "picl") {
       std::printf("%s\n", picl::to_picl_line(*record.value(), picl_options).c_str());
+    } else if (mode == "metrics" && sensors::is_metrics_record(*record.value())) {
+      auto point = sensors::decode_metrics_record(*record.value());
+      if (point) {
+        ++metric_records;
+        metric_table[{record.value()->node, point.value().name}] =
+            MetricRow{point.value().value, point.value().kind};
+      }
     }
     stats.add(*record.value());
     if (max_records > 0 && received >= max_records) break;
   }
 
+  if (mode == "metrics") print_metrics();
   std::fprintf(stderr, "--- summary ---\n%s", stats.report().c_str());
   return 0;
 }

@@ -50,6 +50,8 @@ brisk::apps::FlagRegistry make_registry() {
       .add_int("max-reconnects", 0, "give up after this many reconnects (0 = forever)")
       .add_int("heartbeat-us", 1'000'000, "heartbeat period while idle")
       .add_int("ism-silence-us", 0, "reconnect if the ISM is silent this long (0 = off)")
+      .add_int("metrics-interval", 0,
+               "emit self-instrumentation metrics records every N seconds (0 = off)")
       .add_int("fault-seed", 1, "RNG seed for outbound fault injection")
       .add_double("fault-drop", 0.0, "probability of dropping an outbound frame")
       .add_double("fault-dup", 0.0, "probability of duplicating an outbound frame")
@@ -92,6 +94,7 @@ int main(int argc, char** argv) {
   config.exs.max_reconnect_attempts = static_cast<std::uint32_t>(flags.num("max-reconnects"));
   config.exs.heartbeat_period_us = flags.num("heartbeat-us");
   config.exs.ism_silence_timeout_us = flags.num("ism-silence-us");
+  config.exs.metrics_interval_us = flags.num("metrics-interval") * 1'000'000;
   sim::FaultPlan fault_plan;
   fault_plan.seed = static_cast<std::uint64_t>(flags.num("fault-seed"));
   fault_plan.drop_probability = flags.real("fault-drop");

@@ -38,6 +38,8 @@ brisk::apps::FlagRegistry make_registry() {
       .add_int("ism-sorter-shards", 1, "ordering shards with a k-way merge (1 = inline)")
       .add_int("shard-queue-records", 4096, "per-shard ordering lane depth (records)")
       .add_int("stats-interval", 0, "log a one-line stats summary every N seconds (0 = off)")
+      .add_int("metrics-interval", 0,
+               "emit self-instrumentation metrics records every N seconds (0 = off)")
       .add_int("select-timeout-us", 40'000, "poll cycle timeout in microseconds")
       .add_int("frame-us", 10'000, "initial sorter frame window")
       .add_int("min-frame-us", 1'000, "adaptive sorter frame floor")
@@ -84,6 +86,7 @@ int main(int argc, char** argv) {
   config.ism.sorter_shards = static_cast<std::size_t>(flags.num("ism-sorter-shards"));
   config.ism.shard_queue_records = static_cast<std::size_t>(flags.num("shard-queue-records"));
   config.ism.stats_interval_us = flags.num("stats-interval") * 1'000'000;
+  config.ism.metrics_interval_us = flags.num("metrics-interval") * 1'000'000;
   config.ism.sorter.initial_frame_us = flags.num("frame-us");
   config.ism.sorter.min_frame_us = flags.num("min-frame-us");
   config.ism.sorter.max_frame_us = flags.num("max-frame-us");

@@ -8,10 +8,18 @@
 
 #include "common/logging.hpp"
 #include "common/time_util.hpp"
+#include "sensors/metrics_record.hpp"
 #include "xdr/xdr_decoder.hpp"
 #include "xdr/xdr_encoder.hpp"
 
 namespace brisk::ism {
+namespace {
+
+inline void bump(std::atomic<std::uint64_t>& cell, std::uint64_t delta = 1) noexcept {
+  cell.fetch_add(delta, std::memory_order_relaxed);
+}
+
+}  // namespace
 
 Ism::Ism(const IsmConfig& config, clk::Clock& clock, std::shared_ptr<Sink> output,
          net::TcpListener listener)
@@ -42,6 +50,100 @@ Ism::Ism(const IsmConfig& config, clk::Clock& clock, std::shared_ptr<Sink> outpu
   if (config_.enable_sync) {
     sync_service_ = std::make_unique<clk::SyncService>(config_.sync, sync_transport_, clock_);
   }
+  register_metrics();
+}
+
+void Ism::register_metrics() {
+  // One collector bridges every existing stats struct into the registry —
+  // the hot paths keep their own counters, the snapshot unifies the names.
+  // Snapshots run on the ordering thread, so ordering-thread state
+  // (sessions_, fault_) is safe to read here.
+  metrics_.add_collector([this](metrics::SnapshotBuilder& b) {
+    const IsmStats s = stats();
+    b.counter("ism.connections_accepted", s.connections_accepted);
+    b.gauge("ism.active_connections", s.active_connections);
+    b.gauge("ism.sessions", sessions_.size());
+    b.counter("ism.batches_received", s.batches_received);
+    b.counter("ism.records_received", s.records_received);
+    b.counter("ism.bytes_received", s.bytes_received);
+    b.counter("ism.protocol_errors", s.protocol_errors);
+    b.counter("ism.ring_drops_reported", s.ring_drops_reported);
+    b.counter("ism.flow_control_drops", s.flow_control_drops);
+    b.counter("ism.ingest_stalls", s.ingest_stalls);
+    b.counter("ism.batch_seq_gaps", s.batch_seq_gaps);
+    b.counter("ism.rejoins", s.rejoins);
+    b.counter("ism.duplicate_batches_dropped", s.duplicate_batches_dropped);
+    b.counter("ism.out_of_order_batches_dropped", s.out_of_order_batches_dropped);
+    b.counter("ism.idle_disconnects", s.idle_disconnects);
+    b.counter("ism.sessions_expired", s.sessions_expired);
+    b.counter("ism.records_drained_on_expiry", s.records_drained_on_expiry);
+    b.counter("ism.acks_sent", s.acks_sent);
+    b.counter("ism.heartbeats_received", s.heartbeats_received);
+
+    const PipelineStats p = pipeline_->stats();
+    b.counter("ism.pipeline.submitted", p.submitted);
+    b.counter("ism.pipeline.merged", p.merged);
+    b.counter("ism.pipeline.merge_inversions", p.merge_inversions);
+    b.counter("ism.pipeline.submit_stalls", p.submit_stalls);
+    b.counter("ism.pipeline.oob_records", p.oob_records);
+
+    const SorterStats so = pipeline_->sorter_stats();
+    b.counter("ism.sorter.pushed", so.pushed);
+    b.counter("ism.sorter.emitted", so.emitted);
+    b.counter("ism.sorter.out_of_order_emissions", so.out_of_order_emissions);
+    b.counter("ism.sorter.frame_raises", so.frame_raises);
+    b.counter("ism.sorter.overflow_emits", so.overflow_emits);
+    b.counter("ism.sorter.overflow_drops", so.overflow_drops);
+    b.gauge("ism.sorter.max_lateness_us", static_cast<std::uint64_t>(so.max_lateness_us));
+    const std::vector<std::size_t> depths = pipeline_->shard_depths();
+    for (std::size_t i = 0; i < depths.size(); ++i) {
+      b.gauge("ism.sorter.shard" + std::to_string(i) + ".depth", depths[i]);
+    }
+
+    const CreStats c = pipeline_->cre_stats();
+    b.counter("ism.cre.reasons_seen", c.reasons_seen);
+    b.counter("ism.cre.conseqs_seen", c.conseqs_seen);
+    b.counter("ism.cre.matched", c.matched);
+    b.counter("ism.cre.tachyons_repaired", c.tachyons_repaired);
+    b.counter("ism.cre.conseqs_held", c.conseqs_held);
+    b.counter("ism.cre.hold_timeouts", c.hold_timeouts);
+    b.counter("ism.cre.extra_sync_requests", c.extra_sync_requests);
+
+    if (fault_.active()) {
+      const net::FaultStats& f = fault_.stats();
+      b.counter("ism.fault.frames", f.frames);
+      b.counter("ism.fault.dropped", f.dropped);
+      b.counter("ism.fault.stalled", f.stalled);
+      b.counter("ism.fault.truncated", f.truncated);
+      b.counter("ism.fault.duplicated", f.duplicated);
+    }
+  });
+}
+
+IsmStats Ism::stats() const noexcept {
+  IsmStats out;
+  out.connections_accepted = stats_.connections_accepted.load(std::memory_order_relaxed);
+  out.active_connections = stats_.active_connections.load(std::memory_order_relaxed);
+  out.batches_received = stats_.batches_received.load(std::memory_order_relaxed);
+  out.records_received = stats_.records_received.load(std::memory_order_relaxed);
+  out.bytes_received = stats_.bytes_received.load(std::memory_order_relaxed);
+  out.protocol_errors = stats_.protocol_errors.load(std::memory_order_relaxed);
+  out.ring_drops_reported = stats_.ring_drops_reported.load(std::memory_order_relaxed);
+  out.flow_control_drops = stats_.flow_control_drops.load(std::memory_order_relaxed);
+  out.ingest_stalls = stats_.ingest_stalls.load(std::memory_order_relaxed);
+  out.batch_seq_gaps = stats_.batch_seq_gaps.load(std::memory_order_relaxed);
+  out.rejoins = stats_.rejoins.load(std::memory_order_relaxed);
+  out.duplicate_batches_dropped =
+      stats_.duplicate_batches_dropped.load(std::memory_order_relaxed);
+  out.out_of_order_batches_dropped =
+      stats_.out_of_order_batches_dropped.load(std::memory_order_relaxed);
+  out.idle_disconnects = stats_.idle_disconnects.load(std::memory_order_relaxed);
+  out.sessions_expired = stats_.sessions_expired.load(std::memory_order_relaxed);
+  out.records_drained_on_expiry =
+      stats_.records_drained_on_expiry.load(std::memory_order_relaxed);
+  out.acks_sent = stats_.acks_sent.load(std::memory_order_relaxed);
+  out.heartbeats_received = stats_.heartbeats_received.load(std::memory_order_relaxed);
+  return out;
 }
 
 Ism::~Ism() {
@@ -121,8 +223,8 @@ void Ism::on_listener_readable() {
         continue;
       }
     }
-    ++stats_.connections_accepted;
-    stats_.active_connections = connections_.size();
+    bump(stats_.connections_accepted);
+    stats_.active_connections.store(connections_.size(), std::memory_order_relaxed);
   }
 }
 
@@ -144,12 +246,12 @@ void Ism::on_connection_readable(int fd) {
       return;
     }
     conn.last_rx_us = monotonic_micros();
-    stats_.bytes_received += n.value();
+    bump(stats_.bytes_received, n.value());
     conn.reader.feed(ByteSpan{chunk, n.value()});
     for (;;) {
       auto frame = conn.reader.next();
       if (!frame) {
-        ++stats_.protocol_errors;
+        bump(stats_.protocol_errors);
         close_connection(fd);
         return;
       }
@@ -157,7 +259,7 @@ void Ism::on_connection_readable(int fd) {
       Status st = dispatch_frame(conn, frame.value()->view());
       if (!st) {
         if (st.code() != Errc::closed) {
-          ++stats_.protocol_errors;
+          bump(stats_.protocol_errors);
           BRISK_LOG_WARN << "frame dispatch failed: " << st.to_string();
         }
         close_connection(fd);
@@ -187,7 +289,7 @@ void Ism::drain_ingest() {
         // let it continue reading the socket.
         if (it->second.lane->stalled.load(std::memory_order_acquire) &&
             !it->second.reader_done) {
-          ++stats_.ingest_stalls;
+          bump(stats_.ingest_stalls);
           readers_[it->second.reader_index]->resume(fd);
         }
         break;
@@ -202,7 +304,7 @@ void Ism::process_ingest_event(int fd, IngestEvent event) {
   if (it == connections_.end()) return;
   Connection& conn = it->second;
   conn.last_rx_us = monotonic_micros();
-  stats_.bytes_received += event.wire_bytes;
+  bump(stats_.bytes_received, event.wire_bytes);
 
   switch (event.kind) {
     case IngestEvent::Kind::closed:
@@ -211,14 +313,14 @@ void Ism::process_ingest_event(int fd, IngestEvent event) {
       // frame-layer garbage (oversized frame, undecodable batch) counts
       // as a protocol violation.
       if (!event.error && event.error.code() != Errc::io_error && !conn.closing) {
-        ++stats_.protocol_errors;
+        bump(stats_.protocol_errors);
         BRISK_LOG_WARN << "ingest error on fd " << fd << ": " << event.error.to_string();
       }
       close_connection(fd);
       return;
     case IngestEvent::Kind::batch: {
       if (!conn.hello_seen) {
-        ++stats_.protocol_errors;
+        bump(stats_.protocol_errors);
         close_connection(fd);
         return;
       }
@@ -229,7 +331,7 @@ void Ism::process_ingest_event(int fd, IngestEvent event) {
       Status st = dispatch_frame(conn, event.payload.view());
       if (!st) {
         if (st.code() != Errc::closed) {
-          ++stats_.protocol_errors;
+          bump(stats_.protocol_errors);
           BRISK_LOG_WARN << "frame dispatch failed: " << st.to_string();
         }
         close_connection(fd);
@@ -275,7 +377,7 @@ Status Ism::dispatch_frame(Connection& conn, ByteSpan payload) {
         BRISK_LOG_INFO << "node " << conn.node << " connected (incarnation "
                        << hello.value().incarnation << ")";
       } else {
-        ++stats_.rejoins;
+        bump(stats_.rejoins);
         BRISK_LOG_INFO << "node " << conn.node << " rejoined at batch seq "
                        << session.next_batch_seq;
       }
@@ -305,7 +407,7 @@ Status Ism::dispatch_frame(Connection& conn, ByteSpan payload) {
       return Status::ok();
     }
     case tp::MsgType::heartbeat:
-      ++stats_.heartbeats_received;  // reception already refreshed last_rx_us
+      bump(stats_.heartbeats_received);  // reception already refreshed last_rx_us
       return Status::ok();
     case tp::MsgType::bye:
       conn.saw_bye = true;
@@ -320,7 +422,7 @@ bool Ism::admit_batch_seq(const Connection& conn, NodeSession& session, std::uin
     // v1-style accounting: every discontinuity is an immediately declared
     // gap and the cursor follows the sender.
     if (seq != session.next_batch_seq) {
-      ++stats_.batch_seq_gaps;
+      bump(stats_.batch_seq_gaps);
       BRISK_LOG_WARN << "node " << conn.node << " batch seq gap: expected "
                      << session.next_batch_seq << ", got " << seq;
     }
@@ -334,7 +436,7 @@ bool Ism::admit_batch_seq(const Connection& conn, NodeSession& session, std::uin
   }
   if (seq < session.next_batch_seq) {
     // Already applied — a replay after a reconnect, or a duplicated frame.
-    ++stats_.duplicate_batches_dropped;
+    bump(stats_.duplicate_batches_dropped);
     return false;
   }
   // seq > cursor: a batch went missing in flight. Go-back-N: drop everything
@@ -347,13 +449,13 @@ bool Ism::admit_batch_seq(const Connection& conn, NodeSession& session, std::uin
   } else if (seq < session.lowest_pending_seq) {
     session.lowest_pending_seq = seq;
   }
-  ++stats_.out_of_order_batches_dropped;
+  bump(stats_.out_of_order_batches_dropped);
   if (config_.gap_skip_timeout_us > 0 &&
       now - session.hole_since >= config_.gap_skip_timeout_us) {
     // The resend never came: the EXS evicted the missing batches from its
     // replay buffer (declared loss). Jump the cursor to the lowest batch
     // still on offer so the stream can make progress again.
-    ++stats_.batch_seq_gaps;
+    bump(stats_.batch_seq_gaps);
     BRISK_LOG_WARN << "node " << conn.node << " declaring batch gap: "
                    << session.next_batch_seq << ".." << session.lowest_pending_seq - 1;
     session.next_batch_seq = session.lowest_pending_seq;
@@ -367,17 +469,17 @@ bool Ism::admit_batch_seq(const Connection& conn, NodeSession& session, std::uin
 }
 
 void Ism::handle_batch(Connection& conn, tp::Batch batch) {
-  ++stats_.batches_received;
+  bump(stats_.batches_received);
   NodeSession& session = sessions_[conn.node];
   if (!admit_batch_seq(conn, session, batch.header.batch_seq)) return;
-  stats_.records_received += batch.records.size();
+  bump(stats_.records_received, batch.records.size());
   if (batch.header.ring_dropped_total >= session.ring_dropped_total) {
-    stats_.ring_drops_reported += batch.header.ring_dropped_total - session.ring_dropped_total;
+    bump(stats_.ring_drops_reported, batch.header.ring_dropped_total - session.ring_dropped_total);
     session.ring_dropped_total = batch.header.ring_dropped_total;
   }
   for (sensors::Record& record : batch.records) {
     if (conn.flow_control && !conn.flow_control->admit(clock_.now())) {
-      ++stats_.flow_control_drops;
+      bump(stats_.flow_control_drops);
       continue;
     }
     record.node = conn.node;
@@ -394,15 +496,17 @@ void Ism::route_record(sensors::Record record) {
 
 void Ism::idle_work() {
   drain_ingest();
+  maybe_emit_metrics();
   pipeline_->service();
   session_sweep();
+  pump_outboxes();
   if (extra_sync_requested_.exchange(false, std::memory_order_acq_rel) && sync_service_) {
     sync_service_->request_extra_round();
   }
   if (sync_service_) sync_service_->maybe_run_round();
   // Sharded removals drain asynchronously; keep the counter in step with
   // what has actually been drained so far (exact already in inline mode).
-  stats_.records_drained_on_expiry = pipeline_->stats().oob_records;
+  stats_.records_drained_on_expiry.store(pipeline_->stats().oob_records, std::memory_order_relaxed);
   // Sharded mode flushes from the merger thread (the pipeline's flush
   // hook); flushing here too would race it.
   if (!pipeline_->threaded()) (void)output_->flush();
@@ -418,24 +522,77 @@ void Ism::maybe_log_stats() {
   }
   if (now - last_stats_log_us_ < config_.stats_interval_us) return;
   last_stats_log_us_ = now;
+  // The log line is just another consumer of the metrics snapshot — the
+  // same samples the metrics records are rendered from.
+  const std::vector<metrics::Sample> samples = metrics_.snapshot();
+  auto value = [&samples](std::string_view name) -> std::uint64_t {
+    for (const metrics::Sample& sample : samples) {
+      if (sample.name == name) return sample.value;
+    }
+    return 0;
+  };
   std::string depths;
-  for (std::size_t depth : pipeline_->shard_depths()) {
+  for (const metrics::Sample& sample : samples) {
+    if (sample.name.rfind("ism.sorter.shard", 0) != 0) continue;
+    if (sample.name.size() < 6 || sample.name.substr(sample.name.size() - 6) != ".depth") {
+      continue;
+    }
     if (!depths.empty()) depths += "/";
-    depths += std::to_string(depth);
+    depths += std::to_string(sample.value);
   }
-  BRISK_LOG_INFO << "stats: sessions=" << sessions_.size()
-                 << " conns=" << connections_.size()
-                 << " batches=" << stats_.batches_received
-                 << " records=" << stats_.records_received
-                 << " dup_drops=" << stats_.duplicate_batches_dropped
-                 << " replays=" << stats_.rejoins
-                 << " gaps=" << stats_.batch_seq_gaps
-                 << " drained=" << stats_.records_drained_on_expiry
+  BRISK_LOG_INFO << "stats: sessions=" << value("ism.sessions")
+                 << " conns=" << value("ism.active_connections")
+                 << " batches=" << value("ism.batches_received")
+                 << " records=" << value("ism.records_received")
+                 << " dup_drops=" << value("ism.duplicate_batches_dropped")
+                 << " replays=" << value("ism.rejoins")
+                 << " gaps=" << value("ism.batch_seq_gaps")
+                 << " drained=" << value("ism.records_drained_on_expiry")
                  << " sorter_depth=" << depths;
 }
 
+void Ism::maybe_emit_metrics() {
+  if (config_.metrics_interval_us <= 0) return;
+  const TimeMicros now = monotonic_micros();
+  if (last_metrics_emit_us_ == 0) {  // baseline; first snapshot after one interval
+    last_metrics_emit_us_ = now;
+    return;
+  }
+  if (now - last_metrics_emit_us_ < config_.metrics_interval_us) return;
+  last_metrics_emit_us_ = now;
+  emit_metrics_snapshot();
+}
+
+void Ism::emit_metrics_snapshot() {
+  const std::vector<metrics::Sample> samples = metrics_.snapshot();
+  const TimeMicros timestamp = clock_.now();
+  // Injected at the ordering stage: the records ride the sorter shard of the
+  // reserved node and the k-way merge like any EXS's stream, so the merged
+  // output stays timestamp-sorted and every registered sink sees them.
+  for (sensors::Record& record : metrics::snapshot_to_records(
+           samples, sensors::kIsmMetricsNodeId, timestamp, metrics_sequence_)) {
+    route_record(std::move(record));
+  }
+}
+
+void Ism::pump_outboxes() {
+  std::vector<int> failed;
+  for (auto& [fd, conn] : connections_) {
+    if (conn.outbox.empty() || conn.closing) continue;
+    Status st = conn.outbox.pump(conn.socket);
+    if (!st) {
+      BRISK_LOG_WARN << "outbox to node " << conn.node << " failed: " << st.to_string();
+      failed.push_back(fd);
+    }
+  }
+  for (int fd : failed) close_connection(fd);
+}
+
 Status Ism::send_frame(Connection& conn, ByteSpan payload) {
-  return fault_.write_frame(conn.socket, payload);
+  // Through the per-connection outbox: a full kernel send buffer leaves the
+  // unwritten tail queued (pumped on later cycles) instead of tearing the
+  // frame mid-write and desynchronizing the peer's stream.
+  return fault_.write_frame(conn.socket, conn.outbox, payload);
 }
 
 Status Ism::send_ack(Connection& conn, tp::MsgType type) {
@@ -449,7 +606,7 @@ Status Ism::send_ack(Connection& conn, tp::MsgType type) {
     tp::encode_batch_ack({session.next_batch_seq}, enc);
   }
   conn.last_ack_sent_us = monotonic_micros();
-  ++stats_.acks_sent;
+  bump(stats_.acks_sent);
   return send_frame(conn, out.view());
 }
 
@@ -466,7 +623,7 @@ void Ism::session_sweep() {
     }
     for (int fd : idle_fds) {
       BRISK_LOG_WARN << "reaping idle peer on fd " << fd;
-      ++stats_.idle_disconnects;
+      bump(stats_.idle_disconnects);
       close_connection(fd);
     }
   }
@@ -475,12 +632,21 @@ void Ism::session_sweep() {
   // buffers, double as an ISM-is-alive signal, and a repeated cursor is
   // what triggers the EXS's go-back-N resend.
   if (resilient()) {
+    std::vector<int> failed;
     for (auto& [fd, conn] : connections_) {
       if (!conn.hello_seen || conn.closing) continue;
       if (now - conn.last_ack_sent_us < config_.ack_period_us) continue;
       Status st = send_ack(conn, tp::MsgType::batch_ack);
-      if (!st) BRISK_LOG_WARN << "batch_ack to node " << conn.node << " failed";
+      if (!st) {
+        // The outbox overflowed (peer stopped reading) or the socket
+        // errored. Keeping the connection would desynchronize the stream;
+        // drop it and let the EXS's reconnect + replay recover cleanly.
+        BRISK_LOG_WARN << "batch_ack to node " << conn.node
+                       << " failed: " << st.to_string();
+        failed.push_back(fd);
+      }
     }
+    for (int fd : failed) close_connection(fd);
   }
 
   // Quarantine expiry: forget sessions whose node never came back.
@@ -496,9 +662,9 @@ void Ism::session_sweep() {
 
 void Ism::expire_session(NodeId node) {
   const std::size_t drained = pipeline_->remove_node(node);
-  ++stats_.sessions_expired;
+  bump(stats_.sessions_expired);
   sessions_.erase(node);
-  stats_.records_drained_on_expiry = pipeline_->stats().oob_records;
+  stats_.records_drained_on_expiry.store(pipeline_->stats().oob_records, std::memory_order_relaxed);
   if (pipeline_->threaded()) {
     BRISK_LOG_INFO << "session for node " << node << " expired (drain queued to shard "
                    << shard_of_node(node, pipeline_->shard_count()) << ")";
@@ -553,7 +719,7 @@ void Ism::finish_close(int fd) {
     --reader_loads_[it->second.reader_index];
   }
   connections_.erase(it);
-  stats_.active_connections = connections_.size();
+  stats_.active_connections.store(connections_.size(), std::memory_order_relaxed);
 }
 
 int Ism::node_fd_by_index(std::size_t index) const {
@@ -584,9 +750,12 @@ Status Ism::cycle() {
 
 Status Ism::drain() {
   drain_ingest();
+  // A final snapshot so short-lived runs (and tests) always observe at
+  // least one set of metrics records, independent of interval timing.
+  if (config_.metrics_interval_us > 0) emit_metrics_snapshot();
   Status st = pipeline_->drain();
   if (!st) return st;
-  stats_.records_drained_on_expiry = pipeline_->stats().oob_records;
+  stats_.records_drained_on_expiry.store(pipeline_->stats().oob_records, std::memory_order_relaxed);
   return output_->flush();
 }
 
@@ -623,10 +792,24 @@ Result<clk::PollSample> Ism::SocketSyncTransport::poll(std::size_t index) {
   const TimeMicros deadline = monotonic_micros() + ism_.config_.sync_poll_timeout_us;
   Status wait_status = Status::ok();
   while (!ism_.pending_poll_answered_) {
-    const TimeMicros remaining = deadline - monotonic_micros();
+    TimeMicros remaining = deadline - monotonic_micros();
     if (remaining <= 0) {
       wait_status = Status(Errc::timeout, "time poll timed out");
       break;
+    }
+    // The TIME_REQ (or part of it) may still sit in the outbox if the
+    // socket was full; keep pumping, and keep the wait short until it is
+    // fully on the wire.
+    if (auto pending = ism_.connections_.find(fd); pending != ism_.connections_.end()) {
+      Connection& waiting_conn = pending->second;
+      if (!waiting_conn.outbox.empty()) {
+        Status pump_st = waiting_conn.outbox.pump(waiting_conn.socket);
+        if (!pump_st) {
+          wait_status = pump_st;
+          break;
+        }
+        if (!waiting_conn.outbox.empty() && remaining > 10'000) remaining = 10'000;
+      }
     }
     if (ism_.threaded()) {
       // The response arrives through the fd's reader thread; wait on the

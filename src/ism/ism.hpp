@@ -28,6 +28,7 @@
 #include "ism/ingest.hpp"
 #include "ism/output.hpp"
 #include "ism/pipeline.hpp"
+#include "metrics/metrics.hpp"
 #include "net/faulty_socket.hpp"
 #include "net/frame.hpp"
 #include "net/poller.hpp"
@@ -54,7 +55,14 @@ struct IsmConfig {
   /// Depth (records) of each ordering shard's SPSC lanes in sharded mode.
   std::size_t shard_queue_records = 4096;
   /// Period of the one-line periodic stats log (--stats-interval); 0 = off.
+  /// The line is composed from the same metrics snapshot the metrics
+  /// records are built from.
   TimeMicros stats_interval_us = 0;
+  /// Period of self-instrumentation snapshots (--metrics-interval): every
+  /// interval the ISM renders its metrics registry into reserved-sensor-id
+  /// records and submits them through the ordering pipeline, so they reach
+  /// every registered sink like any other record. 0 = off.
+  TimeMicros metrics_interval_us = 0;
   SorterConfig sorter;
   CreConfig cre;
   bool enable_sync = true;
@@ -89,6 +97,9 @@ struct IsmConfig {
   TimeMicros gap_skip_timeout_us = 1'000'000;
 };
 
+/// A point-in-time snapshot of the ISM's counters. Ism::stats() builds one
+/// from the internal atomic cells, so tests and monitoring threads can read
+/// a coherent copy while the server threads keep counting.
 struct IsmStats {
   std::uint64_t connections_accepted = 0;
   std::uint64_t active_connections = 0;
@@ -147,7 +158,13 @@ class Ism {
   void set_fault_policy(net::FaultPolicy policy) { fault_.set_policy(std::move(policy)); }
   [[nodiscard]] const net::FaultStats& fault_stats() const noexcept { return fault_.stats(); }
 
-  [[nodiscard]] const IsmStats& stats() const noexcept { return stats_; }
+  /// Snapshot of the counters (relaxed atomic loads — safe to call from
+  /// any thread while the server runs).
+  [[nodiscard]] IsmStats stats() const noexcept;
+  /// The self-instrumentation registry. Additional collectors may be
+  /// registered before records flow; snapshots are taken on the ordering
+  /// thread.
+  [[nodiscard]] metrics::MetricsRegistry& metrics() noexcept { return metrics_; }
   [[nodiscard]] OrderingPipeline& pipeline() noexcept { return *pipeline_; }
   [[nodiscard]] const OrderingPipeline& pipeline() const noexcept { return *pipeline_; }
   /// Sorter counters aggregated over all ordering shards.
@@ -163,6 +180,11 @@ class Ism {
   struct Connection {
     net::TcpSocket socket;
     net::FrameReader reader;  // inline mode only; readers own it otherwise
+    /// Outbound frame buffer: acks/sync frames are enqueued whole and
+    /// drained with write_some(), so a full kernel send buffer defers the
+    /// frame instead of tearing it mid-write (the EXS-side equivalent is
+    /// the replay buffer + reconnect).
+    net::FrameSendBuffer outbox;
     NodeId node = 0;
     bool hello_seen = false;
     bool saw_bye = false;             // clean shutdown: expire the session now
@@ -228,8 +250,20 @@ class Ism {
   /// reader's `closed` event (see ingest.hpp's fd ownership protocol).
   void close_connection(int fd);
   void finish_close(int fd);
+  /// Flushes pending outbound bytes on every connection; a connection whose
+  /// outbox fails (peer stopped reading past the cap, or a real I/O error)
+  /// is torn down — the EXS's reconnect + replay covers the loss.
+  void pump_outboxes();
   /// Emits the periodic one-line stats log when --stats-interval is on.
+  /// Composed from the metrics snapshot (the log is just another consumer).
   void maybe_log_stats();
+  /// Wires the ism.* metrics collector into the registry.
+  void register_metrics();
+  /// Periodic self-instrumentation snapshot (--metrics-interval).
+  void maybe_emit_metrics();
+  /// Renders the registry into metrics records and submits them through
+  /// the ordering pipeline (ordering thread only).
+  void emit_metrics_snapshot();
   // --- threaded ingest -------------------------------------------------------
   /// Drains every connection's lane into the pipeline; resumes stalled fds.
   void drain_ingest();
@@ -253,10 +287,36 @@ class Ism {
   /// Set by the pipeline's tachyon hook (merger thread when sharded);
   /// consumed on the ordering thread, which owns the sync service.
   std::atomic<bool> extra_sync_requested_{false};
-  TimeMicros last_stats_log_us_ = 0;  // monotonic
+  TimeMicros last_stats_log_us_ = 0;     // monotonic
+  TimeMicros last_metrics_emit_us_ = 0;  // monotonic
+  SequenceNo metrics_sequence_ = 0;      // running seq of emitted metrics records
+  metrics::MetricsRegistry metrics_;
   SocketSyncTransport sync_transport_;
   std::unique_ptr<clk::SyncService> sync_service_;
-  IsmStats stats_;
+  /// The live counter cells behind IsmStats. The server threads write them;
+  /// test/monitor threads snapshot via stats() — every cell is a relaxed
+  /// atomic so those cross-thread reads are race-free (TSan-clean).
+  struct Counters {
+    std::atomic<std::uint64_t> connections_accepted{0};
+    std::atomic<std::uint64_t> active_connections{0};
+    std::atomic<std::uint64_t> batches_received{0};
+    std::atomic<std::uint64_t> records_received{0};
+    std::atomic<std::uint64_t> bytes_received{0};
+    std::atomic<std::uint64_t> protocol_errors{0};
+    std::atomic<std::uint64_t> ring_drops_reported{0};
+    std::atomic<std::uint64_t> flow_control_drops{0};
+    std::atomic<std::uint64_t> ingest_stalls{0};
+    std::atomic<std::uint64_t> batch_seq_gaps{0};
+    std::atomic<std::uint64_t> rejoins{0};
+    std::atomic<std::uint64_t> duplicate_batches_dropped{0};
+    std::atomic<std::uint64_t> out_of_order_batches_dropped{0};
+    std::atomic<std::uint64_t> idle_disconnects{0};
+    std::atomic<std::uint64_t> sessions_expired{0};
+    std::atomic<std::uint64_t> records_drained_on_expiry{0};
+    std::atomic<std::uint64_t> acks_sent{0};
+    std::atomic<std::uint64_t> heartbeats_received{0};
+  };
+  Counters stats_;
   net::FaultySocket fault_;  // all ISM→EXS frames route through this
   std::uint32_t next_request_id_ = 1;
   // Set while a sync poll is waiting for this (request id, value) pair.

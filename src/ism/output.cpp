@@ -28,10 +28,10 @@ Status ShmSink::accept(const sensors::Record& record) {
   auto encoded = encode_output_record(record);
   if (!encoded) return encoded.status();
   if (!ring_.try_push(encoded.value().view())) {
-    ++dropped_;
+    dropped_.fetch_add(1, std::memory_order_relaxed);
     return Status(Errc::buffer_full, "output ring full");
   }
-  ++delivered_;
+  delivered_.fetch_add(1, std::memory_order_relaxed);
   return Status::ok();
 }
 

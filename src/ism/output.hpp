@@ -9,6 +9,7 @@
 // every sorted record out to it.
 #pragma once
 
+#include <atomic>
 #include <functional>
 #include <memory>
 #include <string>
@@ -43,13 +44,19 @@ class ShmSink final : public Sink {
   Status accept(const sensors::Record& record) override;
   [[nodiscard]] const char* name() const noexcept override { return "shm"; }
 
-  [[nodiscard]] std::uint64_t delivered() const noexcept { return delivered_; }
-  [[nodiscard]] std::uint64_t dropped() const noexcept { return dropped_; }
+  // accept() runs on the merger thread when the pipeline is sharded while
+  // stats readers poll from the ordering thread, so the counters are atomic.
+  [[nodiscard]] std::uint64_t delivered() const noexcept {
+    return delivered_.load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t dropped() const noexcept {
+    return dropped_.load(std::memory_order_relaxed);
+  }
 
  private:
   shm::RingBuffer ring_;
-  std::uint64_t delivered_ = 0;
-  std::uint64_t dropped_ = 0;
+  std::atomic<std::uint64_t> delivered_{0};
+  std::atomic<std::uint64_t> dropped_{0};
 };
 
 /// PICL ASCII trace file output.

@@ -480,6 +480,11 @@ std::vector<TimeMicros> OrderingPipeline::shard_frames() const {
   return frames;
 }
 
+CreStats OrderingPipeline::cre_stats() {
+  std::lock_guard<std::mutex> lk(merger_mutex_);
+  return cre_.stats();
+}
+
 PipelineStats OrderingPipeline::stats() const {
   PipelineStats out;
   out.submitted = submitted_.load(std::memory_order_relaxed);

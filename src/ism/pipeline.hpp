@@ -133,9 +133,14 @@ class OrderingPipeline {
   [[nodiscard]] std::vector<std::size_t> shard_depths() const;
   [[nodiscard]] std::vector<TimeMicros> shard_frames() const;
   [[nodiscard]] PipelineStats stats() const;
+  /// Snapshot of the CRE matcher's counters, safe from any thread while
+  /// the pipeline runs (takes the merger mutex the owning thread holds
+  /// during delivery).
+  [[nodiscard]] CreStats cre_stats();
   /// The global post-merge matcher. Mutating/statistical reads are safe
   /// from the ordering thread only while the pipeline is not threaded (or
-  /// after drain()); the merger thread owns it while sharded.
+  /// after drain()); the merger thread owns it while sharded. For live
+  /// counter reads use cre_stats().
   [[nodiscard]] CreMatcher& cre() noexcept { return cre_; }
   [[nodiscard]] const CreMatcher& cre() const noexcept { return cre_; }
 

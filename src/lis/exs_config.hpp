@@ -63,6 +63,12 @@ struct ExsConfig {
   /// TCP sessions where writes still succeed locally (0 disables).
   TimeMicros ism_silence_timeout_us = 0;
 
+  // --- self-instrumentation ---------------------------------------------------
+  /// Snapshot the EXS's own counters into reserved-sensor-id metrics
+  /// records at this period and ship them in-band like any sensor record
+  /// (0 disables).
+  TimeMicros metrics_interval_us = 0;
+
   /// Validates knob consistency.
   [[nodiscard]] Status validate() const;
 };

@@ -23,6 +23,25 @@ ExsCore::ExsCore(const ExsConfig& config, shm::MultiRing rings, clk::Clock& cloc
                [this](ByteBuffer payload) { return ship_batch(std::move(payload)); }),
       replay_(config.replay_buffer_batches, config.replay_buffer_bytes) {
   drain_scratch_.reserve(sensors::kMaxNativeRecordBytes);
+  // Bridge the existing stats counters into the registry; the collector
+  // runs on whatever thread snapshots (the EXS loop thread in daemons).
+  metrics_.add_collector([this](metrics::SnapshotBuilder& out) {
+    const ExsStats s = stats();
+    out.counter("exs.records_forwarded", s.records_forwarded);
+    out.counter("exs.batches_sent", s.batches_sent);
+    out.counter("exs.bytes_sent", s.bytes_sent);
+    out.counter("exs.ring_drops_seen", s.ring_drops_seen);
+    out.counter("exs.transcode_errors", s.transcode_errors);
+    out.counter("exs.sync_polls_answered", s.sync_polls_answered);
+    out.counter("exs.sync_adjustments", s.sync_adjustments);
+    out.counter("exs.reconnects", s.reconnects);
+    out.counter("exs.batches_replayed", s.batches_replayed);
+    out.counter("exs.replay_evictions", s.replay_evictions);
+    out.counter("exs.heartbeats_sent", s.heartbeats_sent);
+    out.counter("exs.acks_received", s.acks_received);
+    out.gauge("exs.replay_pending", s.replay_pending);
+    out.gauge("exs.correction_us", static_cast<std::uint64_t>(s.correction_us));
+  });
 }
 
 Result<std::size_t> ExsCore::drain_rings() {
@@ -154,6 +173,25 @@ Status ExsCore::send_hello() {
   tp::put_type(tp::MsgType::hello, enc);
   tp::encode_hello({config_.node, tp::kProtocolVersion, config_.incarnation}, enc);
   return sink_(std::move(out));
+}
+
+Status ExsCore::emit_metrics() {
+  const auto samples = metrics_.snapshot();
+  auto records = metrics::snapshot_to_records(samples, config_.node, clock_.now(),
+                                              metrics_sequence_);
+  for (const auto& record : records) {
+    auto native = sensors::encode_native(record);
+    if (!native) {
+      ++transcode_errors_;
+      continue;
+    }
+    // Through the batcher like any drained ring record: same correction,
+    // same batching, same replay coverage across reconnects.
+    Status st = batcher_.add_native_record(native.value().view(), correction_);
+    if (!st) return st;
+    ++records_forwarded_;
+  }
+  return Status::ok();
 }
 
 Status ExsCore::send_heartbeat() {
@@ -377,6 +415,15 @@ Status ExternalSensor::cycle() {
   if (connected_ && config_.heartbeat_period_us > 0 &&
       now - last_tx_us_ >= config_.heartbeat_period_us) {
     (void)core_->send_heartbeat();
+  }
+  if (config_.metrics_interval_us > 0) {
+    if (last_metrics_us_ == 0) {
+      last_metrics_us_ = now;  // baseline: first snapshot one interval in
+    } else if (now - last_metrics_us_ >= config_.metrics_interval_us) {
+      last_metrics_us_ = now;
+      Status em = core_->emit_metrics();
+      if (!em) return em;
+    }
   }
   if (connected_ && config_.ism_silence_timeout_us > 0 &&
       now - last_rx_us_ > config_.ism_silence_timeout_us) {

@@ -24,6 +24,7 @@
 
 #include "clock/clock.hpp"
 #include "lis/batcher.hpp"
+#include "metrics/metrics.hpp"
 #include "lis/exs_config.hpp"
 #include "lis/replay_buffer.hpp"
 #include "net/faulty_socket.hpp"
@@ -64,6 +65,11 @@ class ExsCore {
   /// Sends a liveness heartbeat (empty body).
   Status send_heartbeat();
 
+  /// Snapshots the metrics registry into reserved-sensor-id records and
+  /// feeds them through the batcher — metrics ship in-band, exactly like
+  /// sensor records (batched, replayed, deduped).
+  Status emit_metrics();
+
   /// Transport notifications from the daemon layer: while the link is
   /// down, data batches accumulate in the replay buffer instead of being
   /// handed to the sink; re-establishing it replays everything unacked.
@@ -85,6 +91,7 @@ class ExsCore {
   [[nodiscard]] const ReplayBuffer& replay() const noexcept { return replay_; }
 
   [[nodiscard]] ExsStats stats() const noexcept;
+  [[nodiscard]] metrics::MetricsRegistry& metrics() noexcept { return metrics_; }
   [[nodiscard]] const ExsConfig& config() const noexcept { return config_; }
   [[nodiscard]] shm::MultiRing& rings() noexcept { return rings_; }
 
@@ -113,6 +120,8 @@ class ExsCore {
   std::uint64_t batches_replayed_ = 0;
   std::uint64_t heartbeats_sent_ = 0;
   std::uint64_t acks_received_ = 0;
+  metrics::MetricsRegistry metrics_;
+  SequenceNo metrics_sequence_ = 0;
   std::vector<std::uint8_t> drain_scratch_;
 };
 
@@ -170,6 +179,7 @@ class ExternalSensor {
   TimeMicros next_attempt_at_ = 0;  // monotonic
   TimeMicros last_rx_us_ = 0;       // monotonic, any inbound bytes
   TimeMicros last_tx_us_ = 0;       // monotonic, any outbound frame
+  TimeMicros last_metrics_us_ = 0;  // monotonic, last metrics snapshot
   std::uint64_t reconnects_ = 0;
   std::mt19937_64 jitter_rng_;
 };

@@ -1,0 +1,73 @@
+#include "metrics/metrics.hpp"
+
+namespace brisk::metrics {
+
+Counter& MetricsRegistry::counter(std::string_view name) {
+  std::lock_guard<std::mutex> lk(mutex_);
+  for (auto& owned : counters_) {
+    if (owned.name == name) return owned.cell;
+  }
+  // emplace then name: the atomic cell is neither copyable nor movable.
+  counters_.emplace_back();
+  counters_.back().name = std::string(name);
+  order_.emplace_back(false, counters_.size() - 1);
+  return counters_.back().cell;
+}
+
+Gauge& MetricsRegistry::gauge(std::string_view name) {
+  std::lock_guard<std::mutex> lk(mutex_);
+  for (auto& owned : gauges_) {
+    if (owned.name == name) return owned.cell;
+  }
+  gauges_.emplace_back();
+  gauges_.back().name = std::string(name);
+  order_.emplace_back(true, gauges_.size() - 1);
+  return gauges_.back().cell;
+}
+
+void MetricsRegistry::add_collector(Collector collector) {
+  std::lock_guard<std::mutex> lk(mutex_);
+  collectors_.push_back(std::move(collector));
+}
+
+std::vector<Sample> MetricsRegistry::snapshot() const {
+  std::vector<Sample> out;
+  std::vector<Collector> collectors;
+  {
+    std::lock_guard<std::mutex> lk(mutex_);
+    out.reserve(order_.size());
+    for (const auto& [is_gauge, index] : order_) {
+      if (is_gauge) {
+        const OwnedGauge& owned = gauges_[index];
+        out.push_back(Sample{owned.name, owned.cell.value(), MetricKind::gauge});
+      } else {
+        const OwnedCounter& owned = counters_[index];
+        out.push_back(Sample{owned.name, owned.cell.value(), MetricKind::counter});
+      }
+    }
+    collectors = collectors_;
+  }
+  // Collectors run outside the mutex: they may read state that itself locks.
+  SnapshotBuilder builder(out);
+  for (const Collector& collector : collectors) collector(builder);
+  return out;
+}
+
+std::size_t MetricsRegistry::owned_count() const {
+  std::lock_guard<std::mutex> lk(mutex_);
+  return order_.size();
+}
+
+std::vector<sensors::Record> snapshot_to_records(const std::vector<Sample>& samples,
+                                                 NodeId node, TimeMicros timestamp,
+                                                 SequenceNo& sequence) {
+  std::vector<sensors::Record> records;
+  records.reserve(samples.size());
+  for (const Sample& sample : samples) {
+    records.push_back(sensors::make_metrics_record(node, sequence++, timestamp, sample.name,
+                                                   sample.value, sample.kind));
+  }
+  return records;
+}
+
+}  // namespace brisk::metrics

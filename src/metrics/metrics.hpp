@@ -1,0 +1,132 @@
+// The metrics/observability layer: a small registry of named monotonic
+// counters and gauges that unifies every counter the daemons keep, plus the
+// snapshot machinery that turns the registry into reserved-sensor-id
+// records (see sensors/metrics_record.hpp) flowing through the normal
+// record path.
+//
+// Two ways to get a metric into a snapshot:
+//  * owned handles — counter()/gauge() return stable references to atomic
+//    cells that are cheap to bump on hot paths (relaxed ordering; any
+//    thread may bump, any thread may snapshot);
+//  * collectors — callbacks that append samples at snapshot time, bridging
+//    the existing stats structs (IsmStats, PipelineStats, SorterStats,
+//    CreStats, ExsStats, sink counters) without rewriting their hot paths.
+// Snapshot order is registration order (owned metrics first, then each
+// collector in turn), so a snapshot's record sequence is deterministic for
+// a fixed configuration.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <deque>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "sensors/metrics_record.hpp"
+
+namespace brisk::metrics {
+
+using sensors::MetricKind;
+
+/// One sampled metric in a snapshot.
+struct Sample {
+  std::string name;
+  std::uint64_t value = 0;
+  MetricKind kind = MetricKind::counter;
+};
+
+/// A monotonic counter cell. Bumps are relaxed atomic adds — safe from any
+/// thread, never a synchronization point.
+class Counter {
+ public:
+  void add(std::uint64_t delta) noexcept { value_.fetch_add(delta, std::memory_order_relaxed); }
+  void increment() noexcept { add(1); }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// An instantaneous level. set() overwrites; add() adjusts.
+class Gauge {
+ public:
+  void set(std::uint64_t value) noexcept { value_.store(value, std::memory_order_relaxed); }
+  void add(std::int64_t delta) noexcept {
+    value_.fetch_add(static_cast<std::uint64_t>(delta), std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t value() const noexcept {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Appends samples to the snapshot under construction; handed to
+/// collectors so they never see the registry's internals.
+class SnapshotBuilder {
+ public:
+  explicit SnapshotBuilder(std::vector<Sample>& out) : out_(out) {}
+
+  void counter(std::string_view name, std::uint64_t value) {
+    out_.push_back(Sample{std::string(name), value, MetricKind::counter});
+  }
+  void gauge(std::string_view name, std::uint64_t value) {
+    out_.push_back(Sample{std::string(name), value, MetricKind::gauge});
+  }
+
+ private:
+  std::vector<Sample>& out_;
+};
+
+class MetricsRegistry {
+ public:
+  using Collector = std::function<void(SnapshotBuilder&)>;
+
+  /// Returns the counter/gauge registered under `name`, creating it on
+  /// first use. References stay valid for the registry's lifetime.
+  /// Registration takes a mutex; the returned handles do not.
+  Counter& counter(std::string_view name);
+  Gauge& gauge(std::string_view name);
+
+  /// Registers a snapshot-time callback. Collectors run on the snapshotting
+  /// thread; anything they read must be safe to read from it.
+  void add_collector(Collector collector);
+
+  /// Samples every owned metric and runs every collector, in registration
+  /// order.
+  [[nodiscard]] std::vector<Sample> snapshot() const;
+
+  [[nodiscard]] std::size_t owned_count() const;
+
+ private:
+  struct OwnedCounter {
+    std::string name;
+    Counter cell;
+  };
+  struct OwnedGauge {
+    std::string name;
+    Gauge cell;
+  };
+
+  mutable std::mutex mutex_;
+  std::deque<OwnedCounter> counters_;  // deque: stable addresses
+  std::deque<OwnedGauge> gauges_;
+  /// Registration order across both kinds, as (is_gauge, index) pairs.
+  std::vector<std::pair<bool, std::size_t>> order_;
+  std::vector<Collector> collectors_;
+};
+
+/// Renders a snapshot into reserved-sensor-id records ready for the normal
+/// record path. `sequence` is the emitter's running counter, advanced by
+/// one per record.
+std::vector<sensors::Record> snapshot_to_records(const std::vector<Sample>& samples,
+                                                 NodeId node, TimeMicros timestamp,
+                                                 SequenceNo& sequence);
+
+}  // namespace brisk::metrics

@@ -61,4 +61,49 @@ Status FaultySocket::write_frame(TcpSocket& socket, ByteSpan payload) {
   return Status(Errc::invalid_argument, "unknown fault action");
 }
 
+Status FaultySocket::write_frame(TcpSocket& socket, FrameSendBuffer& outbox,
+                                 ByteSpan payload) {
+  const std::uint64_t index = stats_.frames++;
+  Status st = Status::ok();
+  if (!policy_) {
+    st = outbox.enqueue_frame(payload);
+  } else {
+    const FaultDecision decision = policy_(index, payload);
+    switch (decision.action) {
+      case FaultAction::pass:
+        st = outbox.enqueue_frame(payload);
+        break;
+      case FaultAction::drop:
+        ++stats_.dropped;
+        break;
+      case FaultAction::stall:
+        ++stats_.stalled;
+        stats_.stalled_us_total += decision.stall_us;
+        if (decision.stall_us > 0) {
+          std::this_thread::sleep_for(std::chrono::microseconds(decision.stall_us));
+        }
+        st = outbox.enqueue_frame(payload);
+        break;
+      case FaultAction::truncate: {
+        // Same torn frame as the blocking path: full declared length, partial
+        // body — the peer's stream is poisoned from here on, intentionally.
+        ++stats_.truncated;
+        std::uint8_t header[4];
+        put_be32(header, static_cast<std::uint32_t>(payload.size()));
+        st = outbox.enqueue_raw(ByteSpan{header, 4});
+        const std::size_t keep = std::min(decision.truncate_to, payload.size());
+        if (st && keep > 0) st = outbox.enqueue_raw(payload.subspan(0, keep));
+        break;
+      }
+      case FaultAction::duplicate:
+        ++stats_.duplicated;
+        st = outbox.enqueue_frame(payload);
+        if (st) st = outbox.enqueue_frame(payload);
+        break;
+    }
+  }
+  if (!st) return st;
+  return outbox.pump(socket);
+}
+
 }  // namespace brisk::net

@@ -18,6 +18,7 @@
 #include "common/byte_buffer.hpp"
 #include "common/error.hpp"
 #include "common/types.hpp"
+#include "net/frame.hpp"
 #include "net/socket.hpp"
 
 namespace brisk::net {
@@ -62,6 +63,12 @@ class FaultySocket {
   /// Framed write through the policy. With no policy installed this is
   /// exactly net::write_frame(socket, payload).
   Status write_frame(TcpSocket& socket, ByteSpan payload);
+
+  /// Buffered variant: the frame (after the policy's verdict) goes through
+  /// `outbox` instead of blocking write_all calls, so a full kernel send
+  /// buffer defers cleanly instead of tearing the frame. Errors are the
+  /// outbox's (Errc::buffer_full when the peer stopped reading).
+  Status write_frame(TcpSocket& socket, FrameSendBuffer& outbox, ByteSpan payload);
 
  private:
   FaultPolicy policy_;

@@ -53,6 +53,48 @@ Result<ByteBuffer> read_frame(TcpSocket& socket) {
   return payload;
 }
 
+Status FrameSendBuffer::enqueue_frame(ByteSpan payload) {
+  if (payload.size() > kMaxFrameBytes) return Status(Errc::invalid_argument, "frame too large");
+  if (pending_bytes() + 4 + payload.size() > max_pending_) {
+    return Status(Errc::buffer_full, "send buffer full");
+  }
+  compact();
+  std::uint8_t header[4];
+  put_be32(header, static_cast<std::uint32_t>(payload.size()));
+  buffer_.insert(buffer_.end(), header, header + 4);
+  buffer_.insert(buffer_.end(), payload.begin(), payload.end());
+  return Status::ok();
+}
+
+Status FrameSendBuffer::enqueue_raw(ByteSpan bytes) {
+  if (pending_bytes() + bytes.size() > max_pending_) {
+    return Status(Errc::buffer_full, "send buffer full");
+  }
+  compact();
+  buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());
+  return Status::ok();
+}
+
+Status FrameSendBuffer::pump(TcpSocket& socket) {
+  while (consumed_ < buffer_.size()) {
+    auto n = socket.write_some(ByteSpan{buffer_.data() + consumed_, buffer_.size() - consumed_});
+    if (!n) {
+      if (n.status().code() == Errc::would_block) return Status::ok();
+      return n.status();
+    }
+    if (n.value() == 0) return Status::ok();  // kernel accepted nothing; retry later
+    consumed_ += n.value();
+  }
+  compact();
+  return Status::ok();
+}
+
+void FrameSendBuffer::compact() {
+  if (consumed_ == 0) return;
+  buffer_.erase(buffer_.begin(), buffer_.begin() + static_cast<std::ptrdiff_t>(consumed_));
+  consumed_ = 0;
+}
+
 void FrameReader::feed(ByteSpan bytes) {
   compact();
   buffer_.insert(buffer_.end(), bytes.begin(), bytes.end());

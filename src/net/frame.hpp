@@ -15,8 +15,49 @@ namespace brisk::net {
 
 inline constexpr std::size_t kMaxFrameBytes = 16u << 20;  // defensive bound
 
+/// Default byte cap of a FrameSendBuffer (pending, unflushed bytes).
+inline constexpr std::size_t kDefaultSendBufferBytes = 4u << 20;
+
 /// Writes one framed message (blocking).
 Status write_frame(TcpSocket& socket, ByteSpan payload);
+
+/// Per-connection outbound frame buffer for non-blocking senders. Frames
+/// are enqueued whole (header + payload) and drained with write_some(),
+/// so a full kernel send buffer can never tear a frame on the wire — the
+/// unwritten remainder stays here until the socket accepts it. This is the
+/// ISM-side answer to short writes (the EXS retries via its replay buffer;
+/// the ISM's acks and sync frames have no such second source of truth).
+class FrameSendBuffer {
+ public:
+  explicit FrameSendBuffer(std::size_t max_pending_bytes = kDefaultSendBufferBytes)
+      : max_pending_(max_pending_bytes) {}
+
+  /// Appends one length-prefixed frame. Errc::buffer_full when the pending
+  /// bytes would exceed the cap (the peer has stopped reading; the caller
+  /// should drop the connection rather than buffer without bound).
+  Status enqueue_frame(ByteSpan payload);
+
+  /// Appends raw bytes with no framing (fault injection uses this to place
+  /// deliberately torn frames on the wire).
+  Status enqueue_raw(ByteSpan bytes);
+
+  /// Writes as much pending data as the socket accepts right now. Returns
+  /// ok when everything was flushed *or* the socket would block (check
+  /// pending_bytes() to tell); real I/O errors propagate.
+  Status pump(TcpSocket& socket);
+
+  [[nodiscard]] bool empty() const noexcept { return buffer_.size() == consumed_; }
+  [[nodiscard]] std::size_t pending_bytes() const noexcept {
+    return buffer_.size() - consumed_;
+  }
+
+ private:
+  void compact();
+
+  std::vector<std::uint8_t> buffer_;
+  std::size_t consumed_ = 0;
+  std::size_t max_pending_;
+};
 
 /// Reads exactly one framed message (blocking).
 Result<ByteBuffer> read_frame(TcpSocket& socket);

@@ -19,7 +19,8 @@ Result<PiclReader> PiclReader::open(const std::string& path, PiclOptions options
 PiclReader::PiclReader(PiclReader&& other) noexcept
     : file_(std::exchange(other.file_, nullptr)),
       options_(other.options_),
-      lines_read_(other.lines_read_) {}
+      lines_read_(other.lines_read_),
+      partial_tail_(other.partial_tail_) {}
 
 PiclReader& PiclReader::operator=(PiclReader&& other) noexcept {
   if (this != &other) {
@@ -27,6 +28,7 @@ PiclReader& PiclReader::operator=(PiclReader&& other) noexcept {
     file_ = std::exchange(other.file_, nullptr);
     options_ = other.options_;
     lines_read_ = other.lines_read_;
+    partial_tail_ = other.partial_tail_;
   }
   return *this;
 }
@@ -37,20 +39,37 @@ PiclReader::~PiclReader() {
 
 Result<std::optional<sensors::Record>> PiclReader::next() {
   if (file_ == nullptr) return Status(Errc::closed, "reader closed");
+  partial_tail_ = false;
   std::string line;
   char chunk[512];
   for (;;) {
     line.clear();
+    bool terminated = false;
     for (;;) {
       if (std::fgets(chunk, sizeof chunk, file_) == nullptr) {
-        if (line.empty()) return std::optional<sensors::Record>{};
+        if (line.empty()) {
+          // Clear the EOF latch so a follow-style reader sees appended data
+          // on its next call instead of a sticky end-of-file.
+          std::clearerr(file_);
+          return std::optional<sensors::Record>{};
+        }
         break;
       }
       line += chunk;
       if (!line.empty() && line.back() == '\n') {
         line.pop_back();
+        terminated = true;
         break;
       }
+    }
+    if (!terminated) {
+      // The file ends mid-line: the writer has not finished this record yet
+      // (PiclWriter always terminates lines). Treat it as end-of-stream and
+      // rewind so a follow-style reader can retry once the line completes.
+      partial_tail_ = true;
+      std::clearerr(file_);
+      (void)std::fseek(file_, -static_cast<long>(line.size()), SEEK_CUR);
+      return std::optional<sensors::Record>{};
     }
     ++lines_read_;
     const std::string_view content = trim(line);

@@ -22,13 +22,20 @@ class PiclReader {
   ~PiclReader();
 
   /// Reads the next record; nullopt at end of file. Blank lines and lines
-  /// starting with '#' are skipped.
+  /// starting with '#' are skipped. An unterminated final line (a record
+  /// the writer is still appending — PiclWriter always ends lines with
+  /// '\n') is NOT an error: it reads as end-of-stream with partial_tail()
+  /// set, and the file position rewinds to the line start so a later
+  /// next() retries it once the writer finishes the line.
   Result<std::optional<sensors::Record>> next();
 
   /// Convenience: reads the whole remaining file.
   Result<std::vector<sensors::Record>> read_all();
 
   [[nodiscard]] std::uint64_t lines_read() const noexcept { return lines_read_; }
+  /// True when the last end-of-stream was a truncated trailing record
+  /// rather than a clean end of file.
+  [[nodiscard]] bool partial_tail() const noexcept { return partial_tail_; }
 
  private:
   PiclReader(std::FILE* file, PiclOptions options) : file_(file), options_(options) {}
@@ -36,6 +43,7 @@ class PiclReader {
   std::FILE* file_ = nullptr;
   PiclOptions options_;
   std::uint64_t lines_read_ = 0;
+  bool partial_tail_ = false;
 };
 
 }  // namespace brisk::picl

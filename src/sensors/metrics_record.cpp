@@ -1,0 +1,43 @@
+#include "sensors/metrics_record.hpp"
+
+namespace brisk::sensors {
+
+bool is_metrics_record(const Record& record) noexcept {
+  return record.sensor == kMetricsSensorId;
+}
+
+Record make_metrics_record(NodeId node, SequenceNo sequence, TimeMicros timestamp,
+                           std::string_view name, std::uint64_t value, MetricKind kind) {
+  Record record;
+  record.node = node;
+  record.sensor = kMetricsSensorId;
+  record.sequence = sequence;
+  record.timestamp = timestamp;
+  record.fields.reserve(3);
+  record.fields.push_back(Field::str(name.substr(0, kMaxStringFieldBytes)));
+  record.fields.push_back(Field::u64(value));
+  record.fields.push_back(Field::u8(static_cast<std::uint8_t>(kind)));
+  return record;
+}
+
+Result<MetricPoint> decode_metrics_record(const Record& record) {
+  if (!is_metrics_record(record)) {
+    return Status(Errc::malformed, "not a metrics record");
+  }
+  if (record.fields.size() != 3 || record.fields[0].type() != FieldType::x_string ||
+      record.fields[1].type() != FieldType::x_u64 ||
+      record.fields[2].type() != FieldType::x_u8) {
+    return Status(Errc::malformed, "bad metrics record schema");
+  }
+  const std::uint8_t raw_kind = static_cast<std::uint8_t>(record.fields[2].as_unsigned());
+  if (raw_kind > static_cast<std::uint8_t>(MetricKind::gauge)) {
+    return Status(Errc::malformed, "bad metric kind");
+  }
+  MetricPoint point;
+  point.name = record.fields[0].as_string();
+  point.value = record.fields[1].as_unsigned();
+  point.kind = static_cast<MetricKind>(raw_kind);
+  return point;
+}
+
+}  // namespace brisk::sensors

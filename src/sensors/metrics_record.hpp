@@ -1,0 +1,58 @@
+// Self-instrumentation record schema: the IS instruments itself by
+// emitting its own counters as ordinary dynamically-typed records through
+// the normal record path (the same way the paper treats all monitoring
+// data as first-class events, not side-channel logs).
+//
+// A metrics record is a regular Record carrying the reserved sensor id
+// kMetricsSensorId and exactly three fields:
+//   [0] x_string  metric name  ("ism.records_received", "exs.reconnects")
+//   [1] x_u64     metric value (monotonic count, or the gauge's level)
+//   [2] x_u8      metric kind  (MetricKind)
+// ISM-side snapshots carry the reserved node id kIsmMetricsNodeId; EXS-side
+// snapshots ship in-band like any sensor record, so the ISM stamps them
+// with the emitting node's id.
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "common/error.hpp"
+#include "common/types.hpp"
+#include "sensors/record.hpp"
+
+namespace brisk::sensors {
+
+/// Sensor ids at or above this value are reserved for the IS itself; user
+/// sensors must stay below. The band sits at the top of 16-bit space
+/// because the transfer protocol's compressed meta header carries sensor
+/// ids in 16 bits — reserved records must ship in-band like any other.
+inline constexpr SensorId kReservedSensorIdBase = 0xFF00u;
+/// The self-instrumentation metrics sensor.
+inline constexpr SensorId kMetricsSensorId = kReservedSensorIdBase + 1;
+/// Node id stamped on metrics the ISM emits about itself (no EXS owns it).
+inline constexpr NodeId kIsmMetricsNodeId = 0xFFFFFFFFu;
+
+enum class MetricKind : std::uint8_t {
+  counter = 0,  // monotonic
+  gauge = 1,    // instantaneous level
+};
+
+/// One decoded metric sample.
+struct MetricPoint {
+  std::string name;
+  std::uint64_t value = 0;
+  MetricKind kind = MetricKind::counter;
+};
+
+[[nodiscard]] bool is_metrics_record(const Record& record) noexcept;
+
+/// Builds one metrics record. `node` / `sequence` / `timestamp` are the
+/// emitter's; the name must fit kMaxStringFieldBytes.
+[[nodiscard]] Record make_metrics_record(NodeId node, SequenceNo sequence,
+                                         TimeMicros timestamp, std::string_view name,
+                                         std::uint64_t value, MetricKind kind);
+
+/// Decodes the schema above; Errc::malformed on anything else.
+[[nodiscard]] Result<MetricPoint> decode_metrics_record(const Record& record);
+
+}  // namespace brisk::sensors

@@ -16,6 +16,7 @@
 #include "ism/ism.hpp"
 #include "net/frame.hpp"
 #include "net/socket.hpp"
+#include "sensors/metrics_record.hpp"
 #include "tp/batch.hpp"
 #include "xdr/xdr_encoder.hpp"
 
@@ -257,6 +258,11 @@ INSTANTIATE_TEST_SUITE_P(IngestModes, IsmServerTest,
 // the monolithic sorter's (timestamp, node) order exactly. Uses a frame
 // window wide enough to hold everything until drain, so ordering is decided
 // purely by record timestamps, never by arrival interleaving.
+//
+// Self-instrumentation runs during every config: the ISM's own metrics
+// records ride the ordering pipeline alongside the data stream and are
+// filtered out of the comparison — their presence must never perturb the
+// sorted data order.
 TEST(IsmIngestDeterminismTest, SortedOutputIdenticalAcrossConfigs) {
   std::vector<IngestMode> modes;
   for (net::PollerBackend poller : {net::PollerBackend::select, net::PollerBackend::epoll}) {
@@ -285,13 +291,20 @@ TEST(IsmIngestDeterminismTest, SortedOutputIdenticalAcrossConfigs) {
     config.poller = mode.poller;
     config.reader_threads = mode.reader_threads;
     config.sorter_shards = mode.sorter_shards;
+    config.metrics_interval_us = 5'000;  // self-instrumentation on
 
     auto order = std::make_shared<std::vector<std::pair<TimeMicros, NodeId>>>();
+    auto metrics_seen = std::make_shared<std::size_t>(0);
     auto mutex = std::make_shared<std::mutex>();
-    auto sink = std::make_shared<CallbackSink>([order, mutex](const sensors::Record& r) {
-      std::lock_guard<std::mutex> lock(*mutex);
-      order->emplace_back(r.timestamp, r.node);
-    });
+    auto sink = std::make_shared<CallbackSink>(
+        [order, metrics_seen, mutex](const sensors::Record& r) {
+          std::lock_guard<std::mutex> lock(*mutex);
+          if (sensors::is_metrics_record(r)) {
+            ++*metrics_seen;
+            return;
+          }
+          order->emplace_back(r.timestamp, r.node);
+        });
     auto ism = Ism::start(config, clk::SystemClock::instance(), sink);
     ASSERT_TRUE(ism.is_ok()) << ism.status().to_string();
     std::thread server([&] { (void)ism.value()->run(); });
@@ -365,6 +378,8 @@ TEST(IsmIngestDeterminismTest, SortedOutputIdenticalAcrossConfigs) {
     server.join();
     ASSERT_TRUE(ism.value()->drain());
     std::lock_guard<std::mutex> lock(*mutex);
+    EXPECT_GE(*metrics_seen, 1u)
+        << "every config emits at least one metrics record (drain snapshots)";
     outputs.push_back(*order);
   }
 

@@ -2,11 +2,14 @@
 // (blocking and incremental under arbitrary fragmentation). Poller backends
 // are covered by poller_test.cpp, parameterized over select and epoll.
 #include <gtest/gtest.h>
+#include <sys/socket.h>
 
 #include <cstring>
 #include <thread>
+#include <vector>
 
 #include "common/time_util.hpp"
+#include "net/faulty_socket.hpp"
 #include "net/frame.hpp"
 #include "net/socket.hpp"
 
@@ -201,6 +204,156 @@ TEST(FrameReaderTest, RejectsOversizedDeclaredLength) {
   const std::uint8_t evil[] = {0xff, 0xff, 0xff, 0xff};
   reader.feed(ByteSpan{evil, 4});
   EXPECT_EQ(reader.next().status().code(), Errc::malformed);
+}
+
+// ---- FrameSendBuffer -------------------------------------------------------------
+
+/// Shrinks the kernel send buffer as far as the OS allows, so a handful of
+/// kilobytes saturates it and write_some returns short counts.
+void shrink_send_buffer(TcpSocket& socket) {
+  const int tiny = 1;  // the kernel clamps this up to its minimum
+  ASSERT_EQ(::setsockopt(socket.fd(), SOL_SOCKET, SO_SNDBUF, &tiny, sizeof tiny), 0);
+}
+
+// Regression for the ISM short-write desync: with a saturated kernel send
+// buffer, frames pumped through the outbox must reach the peer intact and
+// in order — never a declared length followed by a partial body.
+TEST(FrameSendBufferTest, ShortWritesNeverTearFrames) {
+  auto pair = socket_pair();
+  ASSERT_TRUE(pair.is_ok());
+  TcpSocket& writer = pair.value().first;
+  TcpSocket& reader_sock = pair.value().second;
+  shrink_send_buffer(writer);
+  ASSERT_TRUE(writer.set_nonblocking(true));
+  ASSERT_TRUE(reader_sock.set_nonblocking(true));
+
+  constexpr int kFrames = 32;
+  constexpr std::size_t kFrameBytes = 16 * 1024;  // each frame >> SO_SNDBUF
+  std::vector<std::vector<std::uint8_t>> sent;
+  for (int f = 0; f < kFrames; ++f) {
+    std::vector<std::uint8_t> payload(kFrameBytes);
+    for (std::size_t i = 0; i < payload.size(); ++i) {
+      payload[i] = static_cast<std::uint8_t>((f * 31 + i) & 0xff);
+    }
+    sent.push_back(std::move(payload));
+  }
+
+  FrameSendBuffer outbox(64u << 20);
+  FrameReader frame_reader;
+  std::vector<ByteBuffer> received;
+  std::size_t next_enqueue = 0;
+  std::uint8_t chunk[2048];  // slow reader: small sips force many short writes
+  const TimeMicros deadline = monotonic_micros() + 10'000'000;
+  while (received.size() < kFrames) {
+    ASSERT_LT(monotonic_micros(), deadline) << "transfer stalled";
+    if (next_enqueue < sent.size()) {
+      ASSERT_TRUE(outbox.enqueue_frame(
+          ByteSpan{sent[next_enqueue].data(), sent[next_enqueue].size()}));
+      ++next_enqueue;
+    }
+    ASSERT_TRUE(outbox.pump(writer));
+    auto n = reader_sock.read_some(MutableByteSpan{chunk, sizeof chunk});
+    if (n.is_ok() && n.value() > 0) {
+      frame_reader.feed(ByteSpan{chunk, n.value()});
+      for (;;) {
+        auto frame = frame_reader.next();
+        ASSERT_TRUE(frame.is_ok());
+        if (!frame.value().has_value()) break;
+        received.push_back(std::move(*frame.value()));
+      }
+    }
+  }
+  ASSERT_EQ(received.size(), std::size_t{kFrames});
+  for (int f = 0; f < kFrames; ++f) {
+    ASSERT_EQ(received[f].size(), sent[f].size()) << "frame " << f;
+    EXPECT_EQ(std::memcmp(received[f].data(), sent[f].data(), sent[f].size()), 0)
+        << "frame " << f << " corrupted in flight";
+  }
+  EXPECT_TRUE(outbox.empty());
+}
+
+TEST(FrameSendBufferTest, PendingBytesSurviveWouldBlock) {
+  auto pair = socket_pair();
+  ASSERT_TRUE(pair.is_ok());
+  TcpSocket& writer = pair.value().first;
+  TcpSocket& reader_sock = pair.value().second;
+  shrink_send_buffer(writer);
+  ASSERT_TRUE(writer.set_nonblocking(true));
+
+  std::vector<std::uint8_t> payload(1u << 20, 0xAB);
+  FrameSendBuffer outbox;
+  ASSERT_TRUE(outbox.enqueue_frame(ByteSpan{payload.data(), payload.size()}));
+  // The peer reads nothing: pumping must park the remainder, not fail.
+  ASSERT_TRUE(outbox.pump(writer));
+  EXPECT_GT(outbox.pending_bytes(), 0u) << "kernel buffer cannot hold 1 MiB";
+
+  // Drain the peer and keep pumping: everything eventually flushes.
+  ASSERT_TRUE(reader_sock.set_nonblocking(true));
+  std::uint8_t chunk[16 * 1024];
+  std::size_t drained = 0;
+  const TimeMicros deadline = monotonic_micros() + 10'000'000;
+  while ((!outbox.empty() || drained < payload.size() + 4) &&
+         monotonic_micros() < deadline) {
+    ASSERT_TRUE(outbox.pump(writer));
+    auto n = reader_sock.read_some(MutableByteSpan{chunk, sizeof chunk});
+    if (n.is_ok()) drained += n.value();
+  }
+  EXPECT_TRUE(outbox.empty());
+  EXPECT_EQ(drained, payload.size() + 4);
+}
+
+TEST(FrameSendBufferTest, CapReportsBufferFull) {
+  FrameSendBuffer outbox(1024);
+  std::vector<std::uint8_t> payload(600, 0x11);
+  ASSERT_TRUE(outbox.enqueue_frame(ByteSpan{payload.data(), payload.size()}));
+  EXPECT_EQ(outbox.enqueue_frame(ByteSpan{payload.data(), payload.size()}).code(),
+            Errc::buffer_full)
+      << "second frame would exceed the cap";
+  EXPECT_EQ(outbox.pending_bytes(), 604u) << "rejected frame leaves no residue";
+}
+
+TEST(FrameSendBufferTest, OversizedFrameRejected) {
+  FrameSendBuffer outbox(64u << 20);
+  std::vector<std::uint8_t> huge(kMaxFrameBytes + 1, 0);
+  EXPECT_EQ(outbox.enqueue_frame(ByteSpan{huge.data(), huge.size()}).code(),
+            Errc::invalid_argument);
+}
+
+// The outbox-based FaultySocket path must keep its fault semantics: pass
+// delivers intact, truncate still produces a deliberately torn frame.
+TEST(FrameSendBufferTest, FaultySocketOutboxPassAndTruncate) {
+  auto pair = socket_pair();
+  ASSERT_TRUE(pair.is_ok());
+  TcpSocket& writer = pair.value().first;
+  TcpSocket& reader_sock = pair.value().second;
+  ASSERT_TRUE(writer.set_nonblocking(true));
+
+  FaultySocket faulty([](std::uint64_t frame_index, ByteSpan) {
+    if (frame_index == 1) return FaultDecision{FaultAction::truncate, 2, 0};
+    return FaultDecision{};
+  });
+  FrameSendBuffer outbox;
+  const std::uint8_t first[] = {'o', 'k', 'a', 'y'};
+  const std::uint8_t second[] = {'t', 'o', 'r', 'n'};
+  ASSERT_TRUE(faulty.write_frame(writer, outbox, ByteSpan{first, 4}));
+  ASSERT_TRUE(faulty.write_frame(writer, outbox, ByteSpan{second, 4}));
+  while (!outbox.empty()) ASSERT_TRUE(outbox.pump(writer));
+  EXPECT_EQ(faulty.stats().truncated, 1u);
+
+  auto intact = read_frame(reader_sock);
+  ASSERT_TRUE(intact.is_ok());
+  ASSERT_EQ(intact.value().size(), 4u);
+  EXPECT_EQ(std::memcmp(intact.value().data(), first, 4), 0);
+  // The torn frame: header declares 4 bytes, only 2 follow, then EOF.
+  writer.close();
+  std::uint8_t tail[64];
+  std::size_t got = 0;
+  for (;;) {
+    auto n = reader_sock.read_some(MutableByteSpan{tail + got, sizeof tail - got});
+    if (!n.is_ok() || n.value() == 0) break;
+    got += n.value();
+  }
+  EXPECT_EQ(got, 6u) << "length prefix + truncated body only";
 }
 
 }  // namespace

@@ -229,6 +229,52 @@ TEST(PiclFileTest, SecondsModeFileRoundTrip) {
   std::filesystem::remove(path);
 }
 
+// A writer dying (or still buffering) mid-line leaves an unterminated tail.
+// The reader must hand back every complete record, report a clean
+// end-of-stream with partial_tail() set — not an error — and rewind so a
+// follow-style consumer picks the record up once the line completes.
+TEST(PiclFileTest, TruncatedTrailingLineIsCleanPartialTail) {
+  const std::string path = temp_path("truncated");
+  PiclOptions options{TimestampMode::utc_micros, 0};
+  Record first = sample_record();
+  Record second = sample_record();
+  second.timestamp += 10;
+  const std::string line1 = to_picl_line(first, options);
+  const std::string line2 = to_picl_line(second, options);
+  {
+    std::FILE* f = std::fopen(path.c_str(), "w");
+    ASSERT_NE(f, nullptr);
+    std::fprintf(f, "%s\n", line1.c_str());
+    // Half of the second record, no newline: the crash point.
+    std::fwrite(line2.data(), 1, line2.size() / 2, f);
+    std::fclose(f);
+  }
+
+  auto reader = PiclReader::open(path, options);
+  ASSERT_TRUE(reader.is_ok());
+  auto all = reader.value().read_all();
+  ASSERT_TRUE(all.is_ok()) << "partial tail must not read as an error: "
+                           << all.status().to_string();
+  ASSERT_EQ(all.value().size(), 1u);
+  EXPECT_EQ(all.value()[0].timestamp, first.timestamp);
+  EXPECT_TRUE(reader.value().partial_tail());
+
+  // The writer finishes the line: the same reader (rewound) parses it.
+  {
+    std::FILE* f = std::fopen(path.c_str(), "a");
+    ASSERT_NE(f, nullptr);
+    std::fwrite(line2.data() + line2.size() / 2, 1, line2.size() - line2.size() / 2, f);
+    std::fputc('\n', f);
+    std::fclose(f);
+  }
+  auto next = reader.value().next();
+  ASSERT_TRUE(next.is_ok()) << next.status().to_string();
+  ASSERT_TRUE(next.value().has_value()) << "completed tail line now parses";
+  EXPECT_EQ(next.value()->timestamp, second.timestamp);
+  EXPECT_FALSE(reader.value().partial_tail());
+  std::filesystem::remove(path);
+}
+
 // ---- parameterized: timestamp precision across magnitudes ----------------------------
 
 class PiclTimestampSweep : public ::testing::TestWithParam<TimeMicros> {};
