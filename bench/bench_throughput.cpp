@@ -58,8 +58,8 @@ int shard_sweep(int senders) {
   using namespace brisk;  // NOLINT
   bench::row("ordering sweep: %d saturated sender processes, epoll, batch_records=256",
              senders);
-  bench::row("%8s %16s %16s %12s %14s", "shards", "reader_threads", "delivered(ev/s)",
-             "inversions", "submit_stalls");
+  bench::row("%8s %16s %16s %12s %14s %10s", "shards", "reader_threads", "delivered(ev/s)",
+             "inversions", "submit_stalls", "run_len");
   struct ShardConfig {
     std::size_t shards;
     std::size_t readers;
@@ -103,11 +103,69 @@ int shard_sweep(int senders) {
     const auto pipeline_stats = manager.value()->ism().pipeline().stats();
     const double rate = static_cast<double>(pipeline_stats.merged) /
                         (static_cast<double>(g_sweep_duration) / 1e6);
-    bench::row("%8zu %16zu %16.0f %12llu %14llu", cfg.shards, cfg.readers, rate,
+    // run_len: average records released per watermark-front scan — the
+    // merge-side batching win (1.0 would mean one scan per record).
+    const double run_len =
+        pipeline_stats.merge_runs == 0
+            ? 0.0
+            : static_cast<double>(pipeline_stats.merged) /
+                  static_cast<double>(pipeline_stats.merge_runs);
+    bench::row("%8zu %16zu %16.0f %12llu %14llu %10.1f", cfg.shards, cfg.readers, rate,
                static_cast<unsigned long long>(pipeline_stats.merge_inversions),
-               static_cast<unsigned long long>(pipeline_stats.submit_stalls));
+               static_cast<unsigned long long>(pipeline_stats.submit_stalls), run_len);
   }
   bench::row("shape check: shards>=2 beats shards=1 once ingest feeds from reader threads");
+  return 0;
+}
+
+/// Tracing-overhead check: one saturated single-node run per sample rate,
+/// all in-process (forked senders would add scheduler noise that swamps a
+/// few percent). Reports the delivered-rate delta of 1% sampling.
+int trace_overhead(brisk::TimeMicros duration) {
+  using namespace brisk;  // NOLINT
+  bench::row("trace overhead: saturated single node, batch_records=256");
+  bench::row("%18s %16s", "trace_sample_rate", "delivered(ev/s)");
+  double rates[2] = {0.0, 0.0};
+  const double sample_rates[2] = {0.0, 0.01};
+  for (int pass = 0; pass < 2; ++pass) {
+    auto manager_config = bench::bench_manager_config();
+    manager_config.ism.sorter.max_pending = 1u << 22;
+    auto manager = BriskManager::create(manager_config);
+    if (!manager) return 1;
+    auto node_config = bench::bench_node_config(1);
+    node_config.exs.batch_max_records = 256;
+    node_config.exs.batch_max_bytes = 1u << 20;
+    node_config.trace_sample_rate = sample_rates[pass];
+    auto node = BriskNode::create(node_config);
+    if (!node) return 1;
+    auto sensor = node.value()->make_sensor();
+    if (!sensor) return 1;
+    auto exs = node.value()->connect_exs("127.0.0.1", manager.value()->port());
+    if (!exs) return 1;
+
+    std::thread ism_thread([&] { (void)manager.value()->run_for(duration + 500'000); });
+    std::thread app_thread([&] {
+      sim::WorkloadConfig config;
+      config.events_per_sec = 0.0;  // saturate
+      config.duration_us = duration;
+      (void)sim::run_looping_workload(sensor.value(), config);
+    });
+    const TimeMicros wall_before = monotonic_micros();
+    (void)exs.value()->run_for(duration + 300'000);
+    const double wall_s = static_cast<double>(monotonic_micros() - wall_before) / 1e6;
+    app_thread.join();
+    exs.value()->stop();
+    manager.value()->stop();
+    ism_thread.join();
+
+    const auto& ism_stats = manager.value()->ism().stats();
+    rates[pass] = static_cast<double>(ism_stats.records_received) / wall_s;
+    bench::row("%18.2f %16.0f", sample_rates[pass], rates[pass]);
+  }
+  if (rates[0] > 0) {
+    bench::row("overhead at 1%% sampling: %+.1f%% (acceptance: < 3%%)",
+               (rates[0] - rates[1]) / rates[0] * 100.0);
+  }
   return 0;
 }
 
@@ -122,7 +180,8 @@ int main(int argc, char** argv) {
     g_sweep_duration = 200'000;
     bench::heading("E3 (smoke): sharded ordering pipeline end-to-end",
                    "short saturated run, shards=2; pass = nonzero delivery");
-    return shard_sweep(2);
+    if (int rc = shard_sweep(2); rc != 0) return rc;
+    return trace_overhead(400'000);
   }
 
   bench::heading("E3: max EXS->ISM throughput (saturated sender, loopback TCP)",
@@ -224,6 +283,8 @@ int main(int argc, char** argv) {
     bench::row("%10s %16zu %16.0f", net::to_string(cfg.poller), cfg.readers, rate);
   }
   bench::row("shape check: threaded epoll >= single-threaded select on multi-core ISM hosts");
+
+  if (int rc = trace_overhead(1'000'000); rc != 0) return rc;
 
   // Sorter-shard sweep: same saturated senders, epoll throughout, varying
   // the ordering-stage parallelism instead of the ingest parallelism.

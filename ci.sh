@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# CI gate for BRISK. Seven stages, any failure aborts the run:
+# CI gate for BRISK. Eight stages, any failure aborts the run:
 #   1. tier-1: release-ish build + the full ctest suite
 #   2. determinism: the ingest/ordering determinism grid run explicitly —
 #      one test body covering {select, epoll} x reader threads x sorter
@@ -7,16 +7,23 @@
 #      self-instrumentation enabled (the full suite runs it too; this
 #      stage keeps it visible and un-trimmable)
 #   3. bench smoke: a short saturated bench_throughput run with the sharded
-#      ordering pipeline (shards=2) — catches pipeline wiring regressions
-#      that unit tests with tame inputs miss
+#      ordering pipeline (shards=2) plus the tracing-overhead check, and a
+#      bench_latency --smoke pass proving annotated records deliver —
+#      catches pipeline wiring regressions that unit tests with tame
+#      inputs miss
 #   4. metrics smoke: a real daemon pair (brisk_ism + brisk_exs) with
 #      --metrics-interval on, then brisk_consume --metrics against the shm
 #      ring — one decoded ISM metrics record must appear in the table
-#   5. resilience: the crash/churn/fault-injection label on the same build
-#   6. sanitize: a separate ASan+UBSan tree running the resilience label,
+#   5. latency smoke: ISM + two traced EXS daemons with synthetic
+#      workloads, then brisk_consume --mode latency — every stage-pair
+#      histogram must report, and --trace-out must emit a Chrome trace
+#      JSON with spans from both nodes
+#   6. resilience: the crash/churn/fault-injection label on the same build
+#   7. sanitize: a separate ASan+UBSan tree running the resilience label,
 #      which is where lifetime and data-race-adjacent bugs actually surface
-#   7. tsan: a TSan tree over the threaded ingest/ordering/metrics tests —
-#      the cross-thread stats counters must stay clean on the whole grid
+#   8. tsan: a TSan tree over the threaded ingest/ordering/metrics/trace
+#      tests — the cross-thread stats counters must stay clean on the
+#      whole grid
 #
 # Usage: ./ci.sh [--skip-sanitize]
 set -euo pipefail
@@ -32,18 +39,19 @@ done
 
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
-echo "==> [1/7] tier-1 build + full test suite"
+echo "==> [1/8] tier-1 build + full test suite"
 cmake -B build -S . >/dev/null
 cmake --build build -j"$JOBS"
 ctest --test-dir build --output-on-failure -j"$JOBS"
 
-echo "==> [2/7] determinism grid (select + epoll, shards 1/2/4, metrics on)"
+echo "==> [2/8] determinism grid (select + epoll, shards 1/2/4, metrics on)"
 ctest --test-dir build --output-on-failure --no-tests=error -R 'IsmIngestDeterminismTest'
 
-echo "==> [3/7] bench smoke: sharded ordering pipeline"
+echo "==> [3/8] bench smoke: sharded ordering pipeline + traced delivery"
 ./build/bench/bench_throughput --smoke
+./build/bench/bench_latency --smoke
 
-echo "==> [4/7] metrics smoke: daemon pair + brisk_consume --metrics"
+echo "==> [4/8] metrics smoke: daemon pair + brisk_consume --metrics"
 METRICS_SHM_OUT="/brisk-ci-metrics-out-$$"
 METRICS_SHM_NODE="/brisk-ci-metrics-node-$$"
 ISM_PID=""
@@ -81,23 +89,83 @@ echo "$METRICS_OUT" | grep 'ism\.records_received' | head -1
 cleanup_metrics_smoke
 trap - EXIT
 
-echo "==> [5/7] resilience label"
+echo "==> [5/8] latency smoke: traced daemon trio + brisk_consume --mode latency"
+LAT_SHM_OUT="/brisk-ci-lat-out-$$"
+LAT_SHM_NODE1="/brisk-ci-lat-node1-$$"
+LAT_SHM_NODE2="/brisk-ci-lat-node2-$$"
+LAT_TRACE_JSON="$(mktemp --suffix=.json)"
+ISM_PID=""
+EXS1_PID=""
+EXS2_PID=""
+cleanup_latency_smoke() {
+  [[ -n "$EXS1_PID" ]] && kill "$EXS1_PID" 2>/dev/null || true
+  [[ -n "$EXS2_PID" ]] && kill "$EXS2_PID" 2>/dev/null || true
+  [[ -n "$ISM_PID" ]] && kill "$ISM_PID" 2>/dev/null || true
+  wait 2>/dev/null || true
+  rm -f "/dev/shm${LAT_SHM_OUT}" "/dev/shm${LAT_SHM_NODE1}" \
+        "/dev/shm${LAT_SHM_NODE2}" "$LAT_TRACE_JSON" 2>/dev/null || true
+}
+trap cleanup_latency_smoke EXIT
+ISM_LOG="$(mktemp)"
+./build/src/apps/brisk_ism --port 0 --shm "$LAT_SHM_OUT" \
+  --metrics-interval 1 --stats-interval 1 >"$ISM_LOG" 2>&1 &
+ISM_PID=$!
+ISM_PORT=""
+for _ in $(seq 1 50); do
+  ISM_PORT="$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "$ISM_LOG" | head -1)"
+  [[ -n "$ISM_PORT" ]] && break
+  sleep 0.1
+done
+[[ -n "$ISM_PORT" ]] || { echo "latency smoke: ISM never reported its port" >&2; cat "$ISM_LOG" >&2; exit 1; }
+# Two traced nodes: the Chrome trace must show spans from both pids.
+./build/src/apps/brisk_exs --node 1 --shm "$LAT_SHM_NODE1" \
+  --ism-host 127.0.0.1 --ism-port "$ISM_PORT" \
+  --workload-rate 200 --trace-sample-rate 1.0 >/dev/null 2>&1 &
+EXS1_PID=$!
+./build/src/apps/brisk_exs --node 2 --shm "$LAT_SHM_NODE2" \
+  --ism-host 127.0.0.1 --ism-port "$ISM_PORT" \
+  --workload-rate 200 --trace-sample-rate 1.0 >/dev/null 2>&1 &
+EXS2_PID=$!
+sleep 4  # a few metrics intervals with traced records flowing
+LATENCY_OUT="$(timeout 6 ./build/src/apps/brisk_consume --shm "$LAT_SHM_OUT" \
+  --mode latency --trace-out "$LAT_TRACE_JSON" --idle-exit-ms 0 || true)"
+for pair in lat.ring_to_drain lat.drain_to_seal lat.seal_to_send \
+            lat.send_to_ingest lat.ingest_to_sort lat.sort_to_merge \
+            lat.merge_to_cre lat.cre_to_sink lat.end_to_end; do
+  echo "$LATENCY_OUT" | grep -q "$pair" \
+    || { echo "latency smoke: stage pair $pair missing from --mode latency table" >&2; \
+         echo "$LATENCY_OUT" >&2; exit 1; }
+done
+echo "$LATENCY_OUT" | grep 'lat\.end_to_end' | head -1
+python3 - "$LAT_TRACE_JSON" <<'PYEOF'
+import json, sys
+doc = json.load(open(sys.argv[1]))
+spans = [e for e in doc["traceEvents"] if e.get("ph") == "X"]
+assert spans, "no trace spans in Chrome trace JSON"
+pids = {e["pid"] for e in spans}
+assert {1, 2} <= pids, f"expected spans from both nodes, got pids {sorted(pids)}"
+print(f"latency smoke: {len(spans)} spans from nodes {sorted(pids)}")
+PYEOF
+cleanup_latency_smoke
+trap - EXIT
+
+echo "==> [6/8] resilience label"
 ctest --test-dir build --output-on-failure -L resilience
 
 if [[ "$SKIP_SANITIZE" == 1 ]]; then
-  echo "==> [6/7] sanitizer stages skipped (--skip-sanitize)"
+  echo "==> [7/8] sanitizer stages skipped (--skip-sanitize)"
   exit 0
 fi
 
-echo "==> [6/7] ASan+UBSan build + resilience label"
+echo "==> [7/8] ASan+UBSan build + resilience label"
 cmake -B build-asan -S . -DBRISK_SANITIZE=address,undefined >/dev/null
 cmake --build build-asan -j"$JOBS"
 ctest --test-dir build-asan --output-on-failure -L resilience
 
-echo "==> [7/7] TSan build + ingest/ordering/metrics tests"
+echo "==> [8/8] TSan build + ingest/ordering/metrics/trace tests"
 cmake -B build-tsan -S . -DBRISK_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j"$JOBS"
 ctest --test-dir build-tsan --output-on-failure --no-tests=error -j"$JOBS" \
-  -R 'IsmServerTest|IsmIngestDeterminismTest|OrderingPipelineTest|Metrics'
+  -R 'IsmServerTest|IsmIngestDeterminismTest|OrderingPipelineTest|Metrics|Trace'
 
 echo "==> CI green"

@@ -5,13 +5,21 @@
 // IS's own self-instrumentation metrics.
 //
 // Usage:
-//   brisk_consume --shm /brisk-out [--mode picl|stats|metrics] [--metrics]
-//                 [--max-records N] [--idle-exit-ms 2000] [--picl-utc]
+//   brisk_consume --shm /brisk-out [--mode picl|stats|metrics|latency]
+//                 [--metrics] [--max-records N] [--idle-exit-ms 2000]
+//                 [--stale-ms 10000] [--trace-out chrome.json] [--picl-utc]
 //   brisk_consume --picl-file trace.picl --mode metrics
 //
 // --metrics is shorthand for --mode metrics: a live tabulated view of the
 // named counters and gauges the daemons emit as reserved-sensor-id records
 // (refreshed about once a second, and once more at exit).
+//
+// --mode latency renders the stage-pair latency histograms (lat.* series,
+// emitted by the ISM when records carry trace annotations) as a live
+// count/p50/p90/p99/max table. --trace-out writes every trace-span record
+// seen (reserved sensor 0xFF02) as Chrome trace_event JSON on exit — load
+// it in chrome://tracing or Perfetto. Table rows from a node that stopped
+// reporting are evicted after --stale-ms (0 = keep forever).
 //
 // Exits after --max-records records, or when no record arrived for
 // --idle-exit-ms (0 = run until SIGINT).
@@ -21,6 +29,7 @@
 #include <optional>
 #include <string>
 #include <utility>
+#include <vector>
 
 #include "apps/flag_parser.hpp"
 #include "common/time_util.hpp"
@@ -28,8 +37,10 @@
 #include "consumers/shm_consumer.hpp"
 #include "consumers/trace_stats.hpp"
 #include "core/version.hpp"
+#include "metrics/metrics.hpp"
 #include "picl/picl_reader.hpp"
 #include "sensors/metrics_record.hpp"
+#include "sensors/trace_record.hpp"
 #include "shm/shared_region.hpp"
 
 namespace {
@@ -41,12 +52,29 @@ brisk::apps::FlagRegistry make_registry() {
   brisk::apps::FlagRegistry flags("brisk_consume", "BRISK shared-memory trace consumer");
   flags.add_string("shm", "", "named shared-memory output ring to attach")
       .add_string("picl-file", "", "follow a PICL trace file instead of --shm")
-      .add_string("mode", "picl", "output mode: picl (stream lines), stats, or metrics")
+      .add_string("mode", "picl", "output mode: picl (stream lines), stats, metrics, or latency")
       .add_bool("metrics", false, "shorthand for --mode metrics")
+      .add_string("trace-out", "", "write trace spans as Chrome trace_event JSON to this file")
       .add_int("max-records", 0, "exit after this many records (0 = unlimited)")
       .add_int("idle-exit-ms", 2'000, "exit after this long with no records (0 = never)")
+      .add_int("stale-ms", 10'000, "evict table rows idle this long (0 = never)")
       .add_bool("picl-utc", true, "stamp PICL lines with UTC micros");
   return flags;
+}
+
+/// One Chrome trace_event JSON object (a complete "X" slice, or metadata).
+std::string json_escape(const std::string& in) {
+  std::string out;
+  out.reserve(in.size());
+  for (char c : in) {
+    if (c == '"' || c == '\\') {
+      out.push_back('\\');
+      out.push_back(c);
+    } else if (static_cast<unsigned char>(c) >= 0x20) {
+      out.push_back(c);
+    }
+  }
+  return out;
 }
 
 }  // namespace
@@ -58,8 +86,10 @@ int main(int argc, char** argv) {
   const std::string shm_name = flags.str("shm");
   const std::string picl_path = flags.str("picl-file");
   const std::string mode = flags.flag("metrics") ? "metrics" : flags.str("mode");
+  const std::string trace_out = flags.str("trace-out");
   const long long max_records = flags.num("max-records");
   const long long idle_exit_ms = flags.num("idle-exit-ms");
+  const long long stale_ms = flags.num("stale-ms");
   picl::PiclOptions picl_options;
   if (flags.flag("picl-utc")) {
     picl_options.mode = picl::TimestampMode::utc_micros;
@@ -72,8 +102,8 @@ int main(int argc, char** argv) {
     std::fprintf(stderr, "brisk_consume: --shm /name or --picl-file path is required\n");
     return 2;
   }
-  if (mode != "picl" && mode != "stats" && mode != "metrics") {
-    std::fprintf(stderr, "brisk_consume: --mode must be picl, stats, or metrics\n");
+  if (mode != "picl" && mode != "stats" && mode != "metrics" && mode != "latency") {
+    std::fprintf(stderr, "brisk_consume: --mode must be picl, stats, metrics, or latency\n");
     return 2;
   }
 
@@ -113,12 +143,43 @@ int main(int argc, char** argv) {
 
   // Live metrics table: (node, metric name) -> latest sample. Counters and
   // gauges alike show their most recent value — the records are snapshots.
+  // Histogram bucket samples go to the latency table instead.
   struct MetricRow {
     std::uint64_t value = 0;
     sensors::MetricKind kind = sensors::MetricKind::counter;
+    TimeMicros updated_at = 0;
   };
   std::map<std::pair<NodeId, std::string>, MetricRow> metric_table;
   std::uint64_t metric_records = 0;
+
+  // Latency table: (node, histogram base name) -> cumulative bucket counts
+  // keyed by upper bound. Each snapshot replaces the bucket's count (the
+  // exported values are cumulative since daemon start).
+  struct LatencyRow {
+    std::map<std::uint64_t, std::uint64_t> buckets;  // bound -> count
+    TimeMicros updated_at = 0;
+  };
+  std::map<std::pair<NodeId, std::string>, LatencyRow> latency_table;
+
+  auto evict_stale = [&](TimeMicros now) {
+    if (stale_ms <= 0) return;
+    const TimeMicros horizon = static_cast<TimeMicros>(stale_ms) * 1'000;
+    for (auto it = metric_table.begin(); it != metric_table.end();) {
+      if (now - it->second.updated_at > horizon) {
+        it = metric_table.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    for (auto it = latency_table.begin(); it != latency_table.end();) {
+      if (now - it->second.updated_at > horizon) {
+        it = latency_table.erase(it);
+      } else {
+        ++it;
+      }
+    }
+  };
+
   auto print_metrics = [&] {
     std::printf("=== metrics: %zu series, %llu records ===\n", metric_table.size(),
                 static_cast<unsigned long long>(metric_records));
@@ -128,6 +189,77 @@ int main(int argc, char** argv) {
                   row.kind == sensors::MetricKind::gauge ? "gauge" : "counter");
     }
     std::fflush(stdout);
+  };
+
+  auto print_latency = [&] {
+    std::printf("=== latency: %zu stage pairs (microseconds) ===\n", latency_table.size());
+    std::printf("node %10s  %-24s %12s %10s %10s %10s %10s\n", "", "stage pair", "count",
+                "p50", "p90", "p99", "max");
+    for (const auto& [key, row] : latency_table) {
+      std::vector<std::pair<std::uint64_t, std::uint64_t>> buckets(row.buckets.begin(),
+                                                                   row.buckets.end());
+      std::uint64_t total = 0;
+      for (const auto& [bound, count] : buckets) total += count;
+      if (total == 0) continue;
+      const std::uint64_t p50 = metrics::histogram_percentile(buckets, 0.50);
+      const std::uint64_t p90 = metrics::histogram_percentile(buckets, 0.90);
+      const std::uint64_t p99 = metrics::histogram_percentile(buckets, 0.99);
+      const std::uint64_t max = metrics::histogram_percentile(buckets, 1.00);
+      std::printf("node %10u  %-24s %12llu %10llu %10llu %10llu %10llu\n", key.first,
+                  key.second.c_str(), static_cast<unsigned long long>(total),
+                  static_cast<unsigned long long>(p50), static_cast<unsigned long long>(p90),
+                  static_cast<unsigned long long>(p99), static_cast<unsigned long long>(max));
+    }
+    std::fflush(stdout);
+  };
+
+  // Chrome trace_event slices collected from trace-span records; written as
+  // one JSON document at exit. Metadata rows name the pid/tid lanes.
+  std::vector<std::string> trace_events;
+  std::map<NodeId, bool> trace_pids_named;
+  std::uint64_t trace_spans = 0;
+  auto collect_trace = [&](const sensors::Record& record) {
+    auto annotation = sensors::decode_trace_record(record);
+    if (!annotation) return;
+    const auto& stamps = annotation.value().stamps;
+    if (stamps.size() < 2) return;
+    char buf[256];
+    if (!trace_pids_named[record.node]) {
+      trace_pids_named[record.node] = true;
+      std::snprintf(buf, sizeof(buf),
+                    "{\"name\":\"process_name\",\"ph\":\"M\",\"pid\":%u,"
+                    "\"args\":{\"name\":\"node-%u\"}}",
+                    record.node, record.node);
+      trace_events.emplace_back(buf);
+      for (std::size_t s = 0; s + 1 < sensors::kTraceStageCount; ++s) {
+        std::snprintf(buf, sizeof(buf),
+                      "{\"name\":\"thread_name\",\"ph\":\"M\",\"pid\":%u,\"tid\":%zu,"
+                      "\"args\":{\"name\":\"%s_to_%s\"}}",
+                      record.node, s,
+                      json_escape(sensors::trace_stage_token(
+                                      static_cast<sensors::TraceStage>(s)))
+                          .c_str(),
+                      json_escape(sensors::trace_stage_token(
+                                      static_cast<sensors::TraceStage>(s + 1)))
+                          .c_str());
+        trace_events.emplace_back(buf);
+      }
+    }
+    for (std::size_t i = 0; i + 1 < stamps.size(); ++i) {
+      const auto& from = stamps[i];
+      const auto& to = stamps[i + 1];
+      const long long dur = to.at >= from.at ? to.at - from.at : 0;
+      std::snprintf(buf, sizeof(buf),
+                    "{\"name\":\"%s_to_%s\",\"cat\":\"brisk\",\"ph\":\"X\","
+                    "\"ts\":%lld,\"dur\":%lld,\"pid\":%u,\"tid\":%d,"
+                    "\"args\":{\"trace_id\":\"0x%llx\"}}",
+                    sensors::trace_stage_token(from.stage), sensors::trace_stage_token(to.stage),
+                    static_cast<long long>(from.at), dur, record.node,
+                    static_cast<int>(from.stage),
+                    static_cast<unsigned long long>(annotation.value().trace_id));
+      trace_events.emplace_back(buf);
+      ++trace_spans;
+    }
   };
 
   std::signal(SIGINT, handle_signal);
@@ -145,9 +277,11 @@ int main(int argc, char** argv) {
       return 1;
     }
     const TimeMicros now = monotonic_micros();
-    if (mode == "metrics" && !metric_table.empty() && now - last_table_at >= 1'000'000) {
+    if (now - last_table_at >= 1'000'000) {
       last_table_at = now;
-      print_metrics();
+      evict_stale(now);
+      if (mode == "metrics" && !metric_table.empty()) print_metrics();
+      if (mode == "latency" && !latency_table.empty()) print_latency();
     }
     if (!record.value().has_value()) {
       if (idle_exit_ms > 0 && now - last_record_at > idle_exit_ms * 1'000) break;
@@ -156,21 +290,49 @@ int main(int argc, char** argv) {
     }
     last_record_at = now;
     ++received;
+    const sensors::Record& rec = *record.value();
+    if (!trace_out.empty() && sensors::is_trace_record(rec)) collect_trace(rec);
     if (mode == "picl") {
-      std::printf("%s\n", picl::to_picl_line(*record.value(), picl_options).c_str());
-    } else if (mode == "metrics" && sensors::is_metrics_record(*record.value())) {
-      auto point = sensors::decode_metrics_record(*record.value());
+      std::printf("%s\n", picl::to_picl_line(rec, picl_options).c_str());
+    } else if ((mode == "metrics" || mode == "latency") && sensors::is_metrics_record(rec)) {
+      auto point = sensors::decode_metrics_record(rec);
       if (point) {
         ++metric_records;
-        metric_table[{record.value()->node, point.value().name}] =
-            MetricRow{point.value().value, point.value().kind};
+        if (point.value().kind == sensors::MetricKind::histogram_bucket) {
+          std::string base;
+          std::uint64_t bound = 0;
+          if (metrics::parse_histogram_bucket_name(point.value().name, base, bound)) {
+            LatencyRow& row = latency_table[{rec.node, base}];
+            row.buckets[bound] = point.value().value;
+            row.updated_at = now;
+          }
+        } else {
+          metric_table[{rec.node, point.value().name}] =
+              MetricRow{point.value().value, point.value().kind, now};
+        }
       }
     }
-    stats.add(*record.value());
+    stats.add(rec);
     if (max_records > 0 && received >= max_records) break;
   }
 
   if (mode == "metrics") print_metrics();
+  if (mode == "latency") print_latency();
+  if (!trace_out.empty()) {
+    std::FILE* out = std::fopen(trace_out.c_str(), "w");
+    if (out == nullptr) {
+      std::fprintf(stderr, "brisk_consume: cannot open %s\n", trace_out.c_str());
+      return 1;
+    }
+    std::fprintf(out, "{\"traceEvents\":[");
+    for (std::size_t i = 0; i < trace_events.size(); ++i) {
+      std::fprintf(out, "%s%s", i == 0 ? "" : ",\n", trace_events[i].c_str());
+    }
+    std::fprintf(out, "],\"displayTimeUnit\":\"ms\"}\n");
+    std::fclose(out);
+    std::fprintf(stderr, "brisk_consume: wrote %llu spans to %s\n",
+                 static_cast<unsigned long long>(trace_spans), trace_out.c_str());
+  }
   std::fprintf(stderr, "--- summary ---\n%s", stats.report().c_str());
   return 0;
 }

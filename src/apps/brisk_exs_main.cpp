@@ -9,12 +9,20 @@
 // Usage:
 //   brisk_exs --node 1 --shm /brisk-node1 --ism-host 127.0.0.1 --ism-port 7411
 //             --slots 8 --ring-bytes 1048576 --nice 10
+//
+// --workload-rate N runs an in-process synthetic producer (one claimed
+// sensor slot emitting N records/second) so a smoke pipeline needs no
+// separate instrumented application. --trace-sample-rate enables the
+// end-to-end trace annotations on that fraction of records.
 #include <sys/resource.h>
 
+#include <atomic>
 #include <csignal>
 #include <cstdio>
+#include <thread>
 
 #include "apps/flag_parser.hpp"
+#include "common/time_util.hpp"
 #include "common/logging.hpp"
 #include "core/brisk_node.hpp"
 #include "core/version.hpp"
@@ -52,6 +60,10 @@ brisk::apps::FlagRegistry make_registry() {
       .add_int("ism-silence-us", 0, "reconnect if the ISM is silent this long (0 = off)")
       .add_int("metrics-interval", 0,
                "emit self-instrumentation metrics records every N seconds (0 = off)")
+      .add_double("trace-sample-rate", 0.0,
+                  "fraction of records carrying end-to-end trace annotations (0..1)")
+      .add_int("workload-rate", 0,
+               "emit synthetic records at this rate per second (0 = off)")
       .add_int("fault-seed", 1, "RNG seed for outbound fault injection")
       .add_double("fault-drop", 0.0, "probability of dropping an outbound frame")
       .add_double("fault-dup", 0.0, "probability of duplicating an outbound frame")
@@ -95,6 +107,8 @@ int main(int argc, char** argv) {
   config.exs.heartbeat_period_us = flags.num("heartbeat-us");
   config.exs.ism_silence_timeout_us = flags.num("ism-silence-us");
   config.exs.metrics_interval_us = flags.num("metrics-interval") * 1'000'000;
+  config.trace_sample_rate = flags.real("trace-sample-rate");
+  const long long workload_rate = flags.num("workload-rate");
   sim::FaultPlan fault_plan;
   fault_plan.seed = static_cast<std::uint64_t>(flags.num("fault-seed"));
   fault_plan.drop_probability = flags.real("fault-drop");
@@ -146,11 +160,37 @@ int main(int argc, char** argv) {
   std::signal(SIGINT, handle_signal);
   std::signal(SIGTERM, handle_signal);
 
+  // Synthetic workload: one claimed sensor slot, paced at --workload-rate
+  // records/second, so a smoke pipeline is self-contained.
+  std::atomic<bool> workload_stop{false};
+  std::thread workload;
+  if (workload_rate > 0) {
+    auto sensor = node.value()->make_sensor();
+    if (!sensor) {
+      std::fprintf(stderr, "brisk_exs: workload sensor: %s\n",
+                   sensor.status().to_string().c_str());
+      return 1;
+    }
+    workload = std::thread([rate = workload_rate, &workload_stop,
+                            s = std::move(sensor).value()]() mutable {
+      const TimeMicros period = rate > 0 ? 1'000'000 / rate : 1'000'000;
+      std::uint64_t emitted = 0;
+      while (!workload_stop.load(std::memory_order_acquire)) {
+        using namespace brisk::sensors;  // NOLINT
+        BRISK_NOTICE(s, 1, x_u64(emitted), x_i32(static_cast<std::int32_t>(emitted & 0xff)));
+        ++emitted;
+        sleep_micros(period > 0 ? period : 1);
+      }
+    });
+  }
+
   std::printf("brisk_exs %s node %u, rings at %s, ISM %s:%u\n", version_string(), config.node,
               config.shm_name.c_str(), ism_host.c_str(), ism_port);
   std::fflush(stdout);
 
   Status st = exs.value()->run();
+  workload_stop.store(true, std::memory_order_release);
+  if (workload.joinable()) workload.join();
   (void)exs.value()->core().flush();
   if (!st && st.code() != Errc::closed) {
     std::fprintf(stderr, "brisk_exs: %s\n", st.to_string().c_str());

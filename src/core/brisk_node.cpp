@@ -35,7 +35,7 @@ Result<std::unique_ptr<BriskNode>> BriskNode::attach(const NodeConfig& config,
 Result<sensors::Sensor> BriskNode::make_sensor() {
   auto ring = rings_.claim_slot();
   if (!ring) return ring.status();
-  return sensors::Sensor(ring.value(), clock_);
+  return sensors::Sensor(ring.value(), clock_, config_.node, config_.trace_sample_rate);
 }
 
 Result<std::unique_ptr<lis::ExternalSensor>> BriskNode::connect_exs(const std::string& ism_host,

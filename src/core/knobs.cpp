@@ -30,6 +30,9 @@ void line(std::string& out, const char* key, const std::string& value) {
 Status NodeConfig::validate() const {
   if (sensor_slots == 0) return Status(Errc::invalid_argument, "sensor_slots == 0");
   if (ring_capacity < 1024) return Status(Errc::invalid_argument, "ring_capacity < 1024");
+  if (trace_sample_rate < 0.0 || trace_sample_rate > 1.0) {
+    return Status(Errc::invalid_argument, "trace_sample_rate outside [0, 1]");
+  }
   return exs.validate();
 }
 
@@ -79,6 +82,7 @@ std::string describe(const NodeConfig& config) {
   line(out, "sensor_slots", static_cast<long long>(config.sensor_slots));
   line(out, "ring_capacity", static_cast<long long>(config.ring_capacity));
   line(out, "shm_name", config.shm_name);
+  line(out, "trace_sample_rate", config.trace_sample_rate);
   line(out, "exs.batch_max_records", static_cast<long long>(config.exs.batch_max_records));
   line(out, "exs.batch_max_bytes", static_cast<long long>(config.exs.batch_max_bytes));
   line(out, "exs.batch_max_age_us", static_cast<long long>(config.exs.batch_max_age_us));

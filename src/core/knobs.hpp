@@ -24,6 +24,9 @@ struct NodeConfig {
   /// Name for a POSIX shm segment ("/brisk-node-3") so independently
   /// started executables can attach; empty = anonymous (fork-shared).
   std::string shm_name;
+  /// Fraction of records carrying an end-to-end trace annotation (0 = off,
+  /// 1 = every record). Applied per-record by sensors this node creates.
+  double trace_sample_rate = 0.0;
   lis::ExsConfig exs;
 
   [[nodiscard]] Status validate() const;

@@ -9,6 +9,7 @@
 #include "common/logging.hpp"
 #include "common/time_util.hpp"
 #include "sensors/metrics_record.hpp"
+#include "sensors/trace_record.hpp"
 #include "xdr/xdr_decoder.hpp"
 #include "xdr/xdr_encoder.hpp"
 
@@ -35,9 +36,14 @@ Ism::Ism(const IsmConfig& config, clk::Clock& clock, std::shared_ptr<Sink> outpu
   pipeline_config.poll_timeout_us = config_.select_timeout_us;
   pipeline_config.sorter = config_.sorter;
   pipeline_config.cre = config_.cre;
+  latency_ = std::make_unique<metrics::LatencyRecorder>(metrics_);
   pipeline_ = std::make_unique<OrderingPipeline>(
       pipeline_config, clock_,
       [this](const sensors::Record& record) {
+        if (record.trace) {
+          deliver_traced(record);
+          return;
+        }
         Status st = output_->accept(record);
         if (!st && st.code() != Errc::buffer_full) {
           BRISK_LOG_WARN << "output sink failed: " << st.to_string();
@@ -483,6 +489,12 @@ void Ism::handle_batch(Connection& conn, tp::Batch batch) {
       continue;
     }
     record.node = conn.node;
+    if (record.trace) {
+      // Ordering-thread stamp: the ingest side of the pipeline admitted the
+      // decoded record (reader threads decode but do not stamp — the
+      // ordering thread's clock keeps stamps coherent under ManualClock).
+      record.trace->stamp(sensors::TraceStage::ism_ingest, clock_.now());
+    }
     route_record(std::move(record));
   }
 }
@@ -491,6 +503,27 @@ void Ism::route_record(sensors::Record record) {
   Status st = pipeline_->submit(std::move(record));
   if (!st) {
     BRISK_LOG_WARN << "pipeline submit failed: " << st.to_string();
+  }
+}
+
+void Ism::deliver_traced(const sensors::Record& record) {
+  sensors::Record stripped = record;
+  stripped.trace->stamp(sensors::TraceStage::sink_delivery, clock_.now());
+  latency_->observe(*stripped.trace);
+  sensors::Record span = sensors::make_trace_record(
+      stripped.node, trace_sequence_.fetch_add(1, std::memory_order_relaxed),
+      stripped.timestamp, *stripped.trace);
+  // The data record reaches the sinks without its annotation, so sink bytes
+  // are identical with tracing on and off; the span list follows as its own
+  // reserved-sensor record.
+  stripped.trace.reset();
+  Status st = output_->accept(stripped);
+  if (!st && st.code() != Errc::buffer_full) {
+    BRISK_LOG_WARN << "output sink failed: " << st.to_string();
+  }
+  st = output_->accept(span);
+  if (!st && st.code() != Errc::buffer_full) {
+    BRISK_LOG_WARN << "output sink failed (trace record): " << st.to_string();
   }
 }
 

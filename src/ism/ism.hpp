@@ -28,6 +28,7 @@
 #include "ism/ingest.hpp"
 #include "ism/output.hpp"
 #include "ism/pipeline.hpp"
+#include "metrics/latency.hpp"
 #include "metrics/metrics.hpp"
 #include "net/faulty_socket.hpp"
 #include "net/frame.hpp"
@@ -239,6 +240,10 @@ class Ism {
   /// true when the batch's records should be admitted into the pipeline.
   bool admit_batch_seq(const Connection& conn, NodeSession& session, std::uint32_t seq);
   void route_record(sensors::Record record);
+  /// Sink delivery of a traced record: stamps sink_delivery, feeds the
+  /// stage-pair latency histograms, strips the annotation off the data
+  /// record, and emits the span list as a trace record behind it.
+  void deliver_traced(const sensors::Record& record);
   void idle_work();
   /// Idle reaping, quarantine expiry, and periodic BATCH_ACKs.
   void session_sweep();
@@ -290,7 +295,12 @@ class Ism {
   TimeMicros last_stats_log_us_ = 0;     // monotonic
   TimeMicros last_metrics_emit_us_ = 0;  // monotonic
   SequenceNo metrics_sequence_ = 0;      // running seq of emitted metrics records
+  /// Running seq of emitted trace records. Atomic: sink delivery happens on
+  /// the merger thread in sharded mode and the ordering thread otherwise
+  /// (and on the ordering thread again during drain()).
+  std::atomic<std::uint64_t> trace_sequence_{0};
   metrics::MetricsRegistry metrics_;
+  std::unique_ptr<metrics::LatencyRecorder> latency_;
   SocketSyncTransport sync_transport_;
   std::unique_ptr<clk::SyncService> sync_service_;
   /// The live counter cells behind IsmStats. The server threads write them;

@@ -239,6 +239,9 @@ Status OrderingPipeline::drain() {
 // ---- shard side -------------------------------------------------------------
 
 void OrderingPipeline::shard_emit(Shard& shard, sensors::Record record) {
+  if (record.trace) {
+    record.trace->stamp(sensors::TraceStage::sorter_release, clock_.now());
+  }
   if (shard.collect != nullptr) {
     shard.collect->push_back(ShardOutput{std::move(record), shard.oob_mode});
     return;
@@ -338,48 +341,71 @@ void OrderingPipeline::merger_loop() {
   }
 }
 
+void OrderingPipeline::refill_head(std::size_t lane) {
+  while (!heads_[lane]) {
+    ShardOutput out;
+    if (!shards_[lane]->output.try_pop(out)) return;
+    if (out.out_of_band) {
+      // Expiry drains leave the merge immediately — a dead node's leftovers
+      // must not gate it.
+      deliver_oob(std::move(out.record));
+      continue;
+    }
+    heads_[lane] = std::move(out);
+  }
+}
+
 void OrderingPipeline::merge_step() {
+  const std::size_t n = shards_.size();
   for (;;) {
-    // Refill cached heads; out-of-band entries (expiry drains) leave the
-    // merge immediately — a dead node's leftovers must not gate it.
-    for (std::size_t i = 0; i < shards_.size(); ++i) {
-      while (!heads_[i]) {
-        ShardOutput out;
-        if (!shards_[i]->output.try_pop(out)) break;
-        if (out.out_of_band) {
-          deliver_oob(std::move(out.record));
-          continue;
-        }
-        heads_[i] = std::move(out);
-      }
-    }
-    std::size_t best = shards_.size();
-    for (std::size_t i = 0; i < shards_.size(); ++i) {
-      if (!heads_[i]) continue;
-      if (best == shards_.size() || key_less(heads_[i]->record, heads_[best]->record)) {
-        best = i;
-      }
-    }
-    if (best == shards_.size()) return;
-    // The watermark barrier: an empty, unflushed lane may still produce a
-    // smaller timestamp — release the candidate only once every such
-    // shard's watermark has passed it. Idle shards keep publishing
-    // wall-clock watermarks, so this stalls by at most one poll cycle + T.
-    const TimeMicros candidate_ts = heads_[best]->record.timestamp;
-    for (std::size_t i = 0; i < shards_.size(); ++i) {
+    for (std::size_t i = 0; i < n; ++i) refill_head(i);
+    // The watermark barrier, computed once per release run instead of once
+    // per record: an empty, unflushed lane may still produce a smaller
+    // timestamp, so the run may release only keys at or below the smallest
+    // such watermark. Lanes holding a cached head gate through the head
+    // itself in the k-way pick; flushed lanes are complete and never gate.
+    // Watermarks are monotone, so this snapshot can only under-release —
+    // the next pass picks up whatever it left behind. Idle shards keep
+    // publishing wall-clock watermarks, so an empty lane stalls the merge
+    // by at most one poll cycle + T.
+    TimeMicros bound = std::numeric_limits<TimeMicros>::max();
+    for (std::size_t i = 0; i < n; ++i) {
       if (heads_[i] || shards_[i]->flushed.load(std::memory_order_acquire)) continue;
-      if (shards_[i]->watermark.load(std::memory_order_acquire) < candidate_ts) return;
+      const TimeMicros wm = shards_[i]->watermark.load(std::memory_order_acquire);
+      if (wm < bound) bound = wm;
     }
-    sensors::Record record = std::move(heads_[best]->record);
-    heads_[best].reset();
-    if (merged_any_ && record.timestamp < last_merged_ts_) {
-      merge_inversions_.fetch_add(1, std::memory_order_relaxed);
+    bool progressed = false;
+    for (;;) {
+      std::size_t best = n;
+      for (std::size_t i = 0; i < n; ++i) {
+        if (!heads_[i]) continue;
+        if (best == n || key_less(heads_[i]->record, heads_[best]->record)) best = i;
+      }
+      if (best == n || heads_[best]->record.timestamp > bound) break;
+      sensors::Record record = std::move(heads_[best]->record);
+      heads_[best].reset();
+      refill_head(best);
+      if (!heads_[best] && !shards_[best]->flushed.load(std::memory_order_acquire)) {
+        // The popped lane went empty mid-run: it re-enters the barrier with
+        // its current watermark, tightening the bound if needed.
+        const TimeMicros wm = shards_[best]->watermark.load(std::memory_order_acquire);
+        if (wm < bound) bound = wm;
+      }
+      if (merged_any_ && record.timestamp < last_merged_ts_) {
+        merge_inversions_.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (!merged_any_ || record.timestamp > last_merged_ts_) {
+        last_merged_ts_ = record.timestamp;
+      }
+      merged_any_ = true;
+      deliver(std::move(record));
+      progressed = true;
     }
-    if (!merged_any_ || record.timestamp > last_merged_ts_) {
-      last_merged_ts_ = record.timestamp;
+    if (progressed) {
+      merge_runs_.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      return;
     }
-    merged_any_ = true;
-    deliver(std::move(record));
   }
 }
 
@@ -416,24 +442,38 @@ void OrderingPipeline::merge_tails(std::vector<std::vector<ShardOutput>>& tails)
 
 void OrderingPipeline::deliver(sensors::Record record) {
   merged_.fetch_add(1, std::memory_order_relaxed);
+  if (record.trace) {
+    record.trace->stamp(sensors::TraceStage::merge_release, clock_.now());
+  }
   cre_scratch_.clear();
   cre_.process(std::move(record), cre_scratch_);
-  for (sensors::Record& ready : cre_scratch_) sink_(ready);
+  release_scratch();
 }
 
 void OrderingPipeline::deliver_oob(sensors::Record record) {
   oob_records_.fetch_add(1, std::memory_order_relaxed);
   // First CRE contact for these records (the matcher sits behind the
   // merge now): an expiry-drained reason may release a held consequence.
+  // No merge_release stamp — these bypassed the merge, and the span should
+  // say so.
   cre_scratch_.clear();
   cre_.process(std::move(record), cre_scratch_);
-  for (sensors::Record& ready : cre_scratch_) sink_(ready);
+  release_scratch();
 }
 
 void OrderingPipeline::cre_service() {
   cre_scratch_.clear();
   cre_.service(cre_scratch_);
-  for (sensors::Record& timed_out : cre_scratch_) sink_(timed_out);
+  release_scratch();
+}
+
+void OrderingPipeline::release_scratch() {
+  for (sensors::Record& ready : cre_scratch_) {
+    if (ready.trace) {
+      ready.trace->stamp(sensors::TraceStage::cre_pass, clock_.now());
+    }
+    sink_(ready);
+  }
 }
 
 // ---- stats ------------------------------------------------------------------
@@ -490,6 +530,7 @@ PipelineStats OrderingPipeline::stats() const {
   out.submitted = submitted_.load(std::memory_order_relaxed);
   out.merged = merged_.load(std::memory_order_relaxed);
   out.merge_inversions = merge_inversions_.load(std::memory_order_relaxed);
+  out.merge_runs = merge_runs_.load(std::memory_order_relaxed);
   out.submit_stalls = submit_stalls_.load(std::memory_order_relaxed);
   out.oob_records = oob_records_.load(std::memory_order_relaxed);
   return out;

@@ -73,6 +73,9 @@ struct PipelineStats {
   /// its watermark (a genuinely late record — the shard's own order check
   /// already raised its T for it).
   std::uint64_t merge_inversions = 0;
+  /// Release runs through the k-way merge: each run amortises one watermark
+  /// scan over merged/merge_runs records (see merge_step).
+  std::uint64_t merge_runs = 0;
   std::uint64_t submit_stalls = 0;     // input lane full, ordering thread spun
   /// Records drained out of band (session expiry), bypassing the merge.
   std::uint64_t oob_records = 0;
@@ -165,8 +168,12 @@ class OrderingPipeline {
   void signal_shard(Shard& shard);
   void signal_merger();
   void merger_loop();
+  /// Tops up one cached lane head, routing out-of-band entries straight to
+  /// deliver_oob. Requires merger_mutex_.
+  void refill_head(std::size_t lane);
   /// Drains the shard lanes through the k-way merge as far as the
-  /// watermarks allow. Requires merger_mutex_.
+  /// watermarks allow, releasing records in runs up to the watermark front
+  /// (one front scan per run, not per record). Requires merger_mutex_.
   void merge_step();
   /// Final deterministic merge over recovered lane tails + flushed shard
   /// buffers (no watermark gating). Requires merger_mutex_.
@@ -176,6 +183,8 @@ class OrderingPipeline {
   void deliver_oob(sensors::Record record);
   /// Releases timed-out CRE holds. Requires merger_mutex_.
   void cre_service();
+  /// Stamps cre_pass on traced scratch records and hands them to the sink.
+  void release_scratch();
 
   PipelineConfig config_;
   clk::Clock& clock_;
@@ -204,6 +213,7 @@ class OrderingPipeline {
   std::atomic<std::uint64_t> submitted_{0};
   std::atomic<std::uint64_t> merged_{0};
   std::atomic<std::uint64_t> merge_inversions_{0};
+  std::atomic<std::uint64_t> merge_runs_{0};
   std::atomic<std::uint64_t> submit_stalls_{0};
   std::atomic<std::uint64_t> oob_records_{0};
 };

@@ -13,6 +13,7 @@ Status Batcher::add_native_record(ByteSpan native, TimeMicros ts_delta) {
     if (!st) return st;
   }
   if (builder_.empty()) oldest_record_at_ = clock_.now();
+  last_ts_delta_ = ts_delta;
   Status st = builder_.add_native_record(native, ts_delta);
   if (!st) return st;
   if (builder_.record_count() >= config_.batch_max_records) return flush();
@@ -28,6 +29,12 @@ Status Batcher::maybe_flush() {
 Status Batcher::flush() {
   if (builder_.empty()) return Status::ok();
   builder_.set_ring_dropped_total(ring_dropped_total_);
+  // Both stamps read the clock separately: seal marks the batch closing,
+  // send marks the hand-off to the transport immediately after. A batch
+  // replayed later keeps its first-send stamp (best effort).
+  const TimeMicros seal_at = clock_.now() + last_ts_delta_;
+  const TimeMicros send_at = clock_.now() + last_ts_delta_;
+  builder_.patch_trace_stamps(seal_at, send_at);
   ByteBuffer payload = builder_.finish();
   const std::size_t bytes = payload.size();
   Status st = sink_(std::move(payload));

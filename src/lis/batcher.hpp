@@ -43,6 +43,9 @@ class Batcher {
   BatchSink sink_;
   tp::BatchBuilder builder_;
   TimeMicros oldest_record_at_ = 0;  // clock time the current batch started
+  /// Correction of the most recent record added; flush() uses it to stamp
+  /// the batch_seal / tp_send trace slots in the synchronized timebase.
+  TimeMicros last_ts_delta_ = 0;
   std::uint64_t ring_dropped_total_ = 0;
   std::uint64_t batches_sent_ = 0;
   std::uint64_t bytes_sent_ = 0;

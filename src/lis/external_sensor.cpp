@@ -58,6 +58,12 @@ Result<std::size_t> ExsCore::drain_rings() {
       if (!ring.value().try_pop(drain_scratch_)) continue;
       progress = true;
       ++drained;
+      if (sensors::native_trace_present({drain_scratch_.data(), drain_scratch_.size()})) {
+        // Node-clock stamp; the transcode below shifts every trace stamp by
+        // the correction along with the record timestamp.
+        (void)sensors::stamp_native_trace(drain_scratch_, sensors::TraceStage::exs_drain,
+                                          clock_.now());
+      }
       batcher_.set_ring_dropped_total(rings_.total_stats().dropped);
       Status st = batcher_.add_native_record(
           ByteSpan{drain_scratch_.data(), drain_scratch_.size()}, correction_);

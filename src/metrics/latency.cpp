@@ -1,0 +1,39 @@
+#include "metrics/latency.hpp"
+
+namespace brisk::metrics {
+
+using sensors::kTraceStageCount;
+using sensors::TraceAnnotation;
+using sensors::TraceStamp;
+
+LatencyRecorder::LatencyRecorder(MetricsRegistry& registry) {
+  for (std::size_t i = 0; i < kLatencyPairs.size(); ++i) {
+    histograms_[i] = &registry.histogram(kLatencyPairs[i].name);
+  }
+  traces_observed_ = &registry.counter("lat.traces_observed");
+  clamped_spans_ = &registry.counter("lat.clamped_spans");
+}
+
+void LatencyRecorder::observe(const TraceAnnotation& annotation) noexcept {
+  // Last stamp per stage wins (stages stamp at most once in practice).
+  std::array<TimeMicros, kTraceStageCount> at{};
+  std::array<bool, kTraceStageCount> present{};
+  for (const TraceStamp& s : annotation.stamps) {
+    const auto i = static_cast<std::size_t>(s.stage);
+    if (i >= kTraceStageCount) continue;
+    at[i] = s.at;
+    present[i] = true;
+  }
+
+  for (std::size_t i = 0; i < kLatencyPairs.size(); ++i) {
+    const auto from = static_cast<std::size_t>(kLatencyPairs[i].from);
+    const auto to = static_cast<std::size_t>(kLatencyPairs[i].to);
+    if (!present[from] || !present[to]) continue;
+    const TimeMicros delta = at[to] - at[from];
+    if (delta < 1) clamped_spans_->increment();
+    histograms_[i]->record(delta < 1 ? 1u : static_cast<std::uint64_t>(delta));
+  }
+  traces_observed_->increment();
+}
+
+}  // namespace brisk::metrics

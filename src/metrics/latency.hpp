@@ -1,0 +1,61 @@
+// Stage-pair latency histograms fed from trace stamps.
+//
+// The ISM finalizes every traced record at sink delivery: the deltas
+// between adjacent stage stamps (plus the whole ring-to-sink span) are
+// recorded into one histogram per stage pair, registered in the metrics
+// registry as "lat.<from>_to_<to>" — so percentiles ride the normal 0xFF01
+// snapshot path to every sink and `brisk_consume --mode latency` can render
+// them live.
+//
+// Deltas are clamped to a 1us floor (the clock granularity): a stage pair
+// the pipeline crosses within the same microsecond still counts, it just
+// reads as "<= 1us". Negative deltas — possible across nodes when the
+// clock-sync correction lags the true skew — are clamped the same way and
+// counted in lat.clamped_spans.
+#pragma once
+
+#include <array>
+#include <cstddef>
+
+#include "metrics/metrics.hpp"
+#include "sensors/trace.hpp"
+
+namespace brisk::metrics {
+
+struct StagePair {
+  sensors::TraceStage from;
+  sensors::TraceStage to;
+  const char* name;  // metric series base name
+};
+
+/// The measured spans, in pipeline order: every adjacent stage pair of the
+/// taxonomy plus the end-to-end span.
+inline constexpr std::array<StagePair, 9> kLatencyPairs = {{
+    {sensors::TraceStage::ring_enqueue, sensors::TraceStage::exs_drain, "lat.ring_to_drain"},
+    {sensors::TraceStage::exs_drain, sensors::TraceStage::batch_seal, "lat.drain_to_seal"},
+    {sensors::TraceStage::batch_seal, sensors::TraceStage::tp_send, "lat.seal_to_send"},
+    {sensors::TraceStage::tp_send, sensors::TraceStage::ism_ingest, "lat.send_to_ingest"},
+    {sensors::TraceStage::ism_ingest, sensors::TraceStage::sorter_release, "lat.ingest_to_sort"},
+    {sensors::TraceStage::sorter_release, sensors::TraceStage::merge_release, "lat.sort_to_merge"},
+    {sensors::TraceStage::merge_release, sensors::TraceStage::cre_pass, "lat.merge_to_cre"},
+    {sensors::TraceStage::cre_pass, sensors::TraceStage::sink_delivery, "lat.cre_to_sink"},
+    {sensors::TraceStage::ring_enqueue, sensors::TraceStage::sink_delivery, "lat.end_to_end"},
+}};
+
+class LatencyRecorder {
+ public:
+  /// Registers one histogram per stage pair (plus bookkeeping counters) in
+  /// `registry`; the registry must outlive the recorder.
+  explicit LatencyRecorder(MetricsRegistry& registry);
+
+  /// Feeds every stage pair for which both stamps are present. Lock-free;
+  /// callable from whichever thread delivers to sinks.
+  void observe(const sensors::TraceAnnotation& annotation) noexcept;
+
+ private:
+  std::array<Histogram*, kLatencyPairs.size()> histograms_{};
+  Counter* traces_observed_ = nullptr;
+  Counter* clamped_spans_ = nullptr;
+};
+
+}  // namespace brisk::metrics

@@ -1,6 +1,86 @@
 #include "metrics/metrics.hpp"
 
+#include <bit>
+#include <charconv>
+
 namespace brisk::metrics {
+
+std::size_t Histogram::bucket_index(std::uint64_t value) noexcept {
+  if (value < kLinearBuckets) return static_cast<std::size_t>(value);
+  const auto octave = static_cast<std::size_t>(std::bit_width(value)) - 1;
+  const auto sub = static_cast<std::size_t>((value >> (octave - 2)) & 3);
+  const std::size_t index =
+      kLinearBuckets + (octave - 4) * kSubBucketsPerOctave + sub;
+  return index < kBucketCount ? index : kBucketCount - 1;
+}
+
+std::uint64_t Histogram::bucket_bound(std::size_t index) noexcept {
+  if (index < kLinearBuckets) return index;
+  if (index >= kBucketCount - 1) return UINT64_MAX;
+  const std::size_t octave = 4 + (index - kLinearBuckets) / kSubBucketsPerOctave;
+  const std::size_t sub = (index - kLinearBuckets) % kSubBucketsPerOctave;
+  return (std::uint64_t{1} << octave) + (std::uint64_t{sub + 1} << (octave - 2)) - 1;
+}
+
+void Histogram::merge_from(const Histogram& other) noexcept {
+  for (std::size_t i = 0; i < kBucketCount; ++i) {
+    const std::uint64_t n = other.buckets_[i].load(std::memory_order_relaxed);
+    if (n != 0) buckets_[i].fetch_add(n, std::memory_order_relaxed);
+  }
+}
+
+std::uint64_t Histogram::total() const noexcept {
+  std::uint64_t sum = 0;
+  for (const auto& bucket : buckets_) sum += bucket.load(std::memory_order_relaxed);
+  return sum;
+}
+
+std::string histogram_bucket_name(std::string_view base, std::uint64_t bound) {
+  std::string name(base);
+  name += ".le_";
+  if (bound == UINT64_MAX) {
+    name += "inf";
+  } else {
+    name += std::to_string(bound);
+  }
+  return name;
+}
+
+bool parse_histogram_bucket_name(std::string_view name, std::string& base,
+                                 std::uint64_t& bound) {
+  const std::size_t at = name.rfind(".le_");
+  if (at == std::string_view::npos || at == 0) return false;
+  const std::string_view suffix = name.substr(at + 4);
+  if (suffix.empty()) return false;
+  if (suffix == "inf") {
+    bound = UINT64_MAX;
+  } else {
+    std::uint64_t parsed = 0;
+    const auto [ptr, ec] =
+        std::from_chars(suffix.data(), suffix.data() + suffix.size(), parsed);
+    if (ec != std::errc{} || ptr != suffix.data() + suffix.size()) return false;
+    bound = parsed;
+  }
+  base = std::string(name.substr(0, at));
+  return true;
+}
+
+std::uint64_t histogram_percentile(
+    const std::vector<std::pair<std::uint64_t, std::uint64_t>>& buckets, double q) noexcept {
+  std::uint64_t total = 0;
+  for (const auto& [bound, count] : buckets) total += count;
+  if (total == 0) return 0;
+  if (q < 0.0) q = 0.0;
+  if (q > 1.0) q = 1.0;
+  auto rank = static_cast<std::uint64_t>(q * static_cast<double>(total));
+  if (rank == 0) rank = 1;
+  std::uint64_t seen = 0;
+  for (const auto& [bound, count] : buckets) {
+    seen += count;
+    if (seen >= rank) return bound;
+  }
+  return buckets.back().first;
+}
 
 Counter& MetricsRegistry::counter(std::string_view name) {
   std::lock_guard<std::mutex> lk(mutex_);
@@ -10,7 +90,7 @@ Counter& MetricsRegistry::counter(std::string_view name) {
   // emplace then name: the atomic cell is neither copyable nor movable.
   counters_.emplace_back();
   counters_.back().name = std::string(name);
-  order_.emplace_back(false, counters_.size() - 1);
+  order_.emplace_back(MetricKind::counter, counters_.size() - 1);
   return counters_.back().cell;
 }
 
@@ -21,8 +101,19 @@ Gauge& MetricsRegistry::gauge(std::string_view name) {
   }
   gauges_.emplace_back();
   gauges_.back().name = std::string(name);
-  order_.emplace_back(true, gauges_.size() - 1);
+  order_.emplace_back(MetricKind::gauge, gauges_.size() - 1);
   return gauges_.back().cell;
+}
+
+Histogram& MetricsRegistry::histogram(std::string_view name) {
+  std::lock_guard<std::mutex> lk(mutex_);
+  for (auto& owned : histograms_) {
+    if (owned.name == name) return owned.cell;
+  }
+  histograms_.emplace_back();
+  histograms_.back().name = std::string(name);
+  order_.emplace_back(MetricKind::histogram_bucket, histograms_.size() - 1);
+  return histograms_.back().cell;
 }
 
 void MetricsRegistry::add_collector(Collector collector) {
@@ -36,13 +127,30 @@ std::vector<Sample> MetricsRegistry::snapshot() const {
   {
     std::lock_guard<std::mutex> lk(mutex_);
     out.reserve(order_.size());
-    for (const auto& [is_gauge, index] : order_) {
-      if (is_gauge) {
-        const OwnedGauge& owned = gauges_[index];
-        out.push_back(Sample{owned.name, owned.cell.value(), MetricKind::gauge});
-      } else {
-        const OwnedCounter& owned = counters_[index];
-        out.push_back(Sample{owned.name, owned.cell.value(), MetricKind::counter});
+    SnapshotBuilder owned_builder(out);
+    for (const auto& [kind, index] : order_) {
+      switch (kind) {
+        case MetricKind::counter: {
+          const OwnedCounter& owned = counters_[index];
+          out.push_back(Sample{owned.name, owned.cell.value(), MetricKind::counter});
+          break;
+        }
+        case MetricKind::gauge: {
+          const OwnedGauge& owned = gauges_[index];
+          out.push_back(Sample{owned.name, owned.cell.value(), MetricKind::gauge});
+          break;
+        }
+        case MetricKind::histogram_bucket: {
+          // Only non-empty buckets ship: a quiet histogram costs nothing on
+          // the record path, and bucket samples are self-describing.
+          const OwnedHistogram& owned = histograms_[index];
+          for (std::size_t b = 0; b < Histogram::kBucketCount; ++b) {
+            const std::uint64_t n = owned.cell.bucket_count_at(b);
+            if (n == 0) continue;
+            owned_builder.histogram_bucket(owned.name, Histogram::bucket_bound(b), n);
+          }
+          break;
+        }
       }
     }
     collectors = collectors_;

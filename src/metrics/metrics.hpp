@@ -16,6 +16,7 @@
 // a fixed configuration.
 #pragma once
 
+#include <array>
 #include <atomic>
 #include <cstdint>
 #include <deque>
@@ -23,6 +24,7 @@
 #include <mutex>
 #include <string>
 #include <string_view>
+#include <utility>
 #include <vector>
 
 #include "sensors/metrics_record.hpp"
@@ -67,6 +69,58 @@ class Gauge {
   std::atomic<std::uint64_t> value_{0};
 };
 
+/// A fixed-bucket log-linear histogram of non-negative integer values
+/// (microsecond latencies, byte sizes). record() is one relaxed atomic
+/// add — safe from any thread, never a synchronization point — and
+/// histograms merge bucket-wise, so per-thread instances can be combined.
+///
+/// Bucket layout: values 0..15 get exact linear buckets; above that each
+/// power-of-two octave is split into 4 sub-buckets (relative error <= 25%),
+/// up to ~16.7s of microseconds; the last bucket catches everything larger.
+class Histogram {
+ public:
+  static constexpr std::size_t kBucketCount = 96;
+  static constexpr std::size_t kLinearBuckets = 16;
+  static constexpr std::size_t kSubBucketsPerOctave = 4;
+
+  /// The bucket a value lands in.
+  [[nodiscard]] static std::size_t bucket_index(std::uint64_t value) noexcept;
+  /// Inclusive upper bound of a bucket; UINT64_MAX for the overflow bucket.
+  [[nodiscard]] static std::uint64_t bucket_bound(std::size_t index) noexcept;
+
+  void record(std::uint64_t value) noexcept {
+    buckets_[bucket_index(value)].fetch_add(1, std::memory_order_relaxed);
+  }
+
+  /// Bucket-wise merge (associative and commutative).
+  void merge_from(const Histogram& other) noexcept;
+
+  [[nodiscard]] std::uint64_t bucket_count_at(std::size_t index) const noexcept {
+    return buckets_[index].load(std::memory_order_relaxed);
+  }
+  [[nodiscard]] std::uint64_t total() const noexcept;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBucketCount> buckets_{};
+};
+
+/// Snapshot sample name for one histogram bucket: "<base>.le_<bound>", or
+/// "<base>.le_inf" for the overflow bucket. The suffix makes bucket samples
+/// self-describing, so consumers rebuild histograms without knowing the
+/// producer's bucket layout.
+[[nodiscard]] std::string histogram_bucket_name(std::string_view base, std::uint64_t bound);
+/// Parses the scheme above; false if `name` is not a bucket sample name.
+/// On success `base` is the histogram series and `bound` its inclusive
+/// upper bound (UINT64_MAX for the overflow bucket).
+bool parse_histogram_bucket_name(std::string_view name, std::string& base,
+                                 std::uint64_t& bound);
+
+/// Percentile estimate from sorted (inclusive upper bound, count) pairs, as
+/// a consumer rebuilds them from bucket samples: the bound of the bucket
+/// holding the q-th quantile (0 < q <= 1). Returns 0 on an empty histogram.
+[[nodiscard]] std::uint64_t histogram_percentile(
+    const std::vector<std::pair<std::uint64_t, std::uint64_t>>& buckets, double q) noexcept;
+
 /// Appends samples to the snapshot under construction; handed to
 /// collectors so they never see the registry's internals.
 class SnapshotBuilder {
@@ -79,6 +133,11 @@ class SnapshotBuilder {
   void gauge(std::string_view name, std::uint64_t value) {
     out_.push_back(Sample{std::string(name), value, MetricKind::gauge});
   }
+  /// One bucket of a histogram series (see histogram_bucket_name).
+  void histogram_bucket(std::string_view base, std::uint64_t bound, std::uint64_t count) {
+    out_.push_back(Sample{histogram_bucket_name(base, bound), count,
+                          MetricKind::histogram_bucket});
+  }
 
  private:
   std::vector<Sample>& out_;
@@ -88,11 +147,12 @@ class MetricsRegistry {
  public:
   using Collector = std::function<void(SnapshotBuilder&)>;
 
-  /// Returns the counter/gauge registered under `name`, creating it on
-  /// first use. References stay valid for the registry's lifetime.
+  /// Returns the counter/gauge/histogram registered under `name`, creating
+  /// it on first use. References stay valid for the registry's lifetime.
   /// Registration takes a mutex; the returned handles do not.
   Counter& counter(std::string_view name);
   Gauge& gauge(std::string_view name);
+  Histogram& histogram(std::string_view name);
 
   /// Registers a snapshot-time callback. Collectors run on the snapshotting
   /// thread; anything they read must be safe to read from it.
@@ -113,12 +173,17 @@ class MetricsRegistry {
     std::string name;
     Gauge cell;
   };
+  struct OwnedHistogram {
+    std::string name;
+    Histogram cell;
+  };
 
   mutable std::mutex mutex_;
   std::deque<OwnedCounter> counters_;  // deque: stable addresses
   std::deque<OwnedGauge> gauges_;
-  /// Registration order across both kinds, as (is_gauge, index) pairs.
-  std::vector<std::pair<bool, std::size_t>> order_;
+  std::deque<OwnedHistogram> histograms_;
+  /// Registration order across all kinds, as (kind, index) pairs.
+  std::vector<std::pair<MetricKind, std::size_t>> order_;
   std::vector<Collector> collectors_;
 };
 

@@ -30,7 +30,7 @@ Result<MetricPoint> decode_metrics_record(const Record& record) {
     return Status(Errc::malformed, "bad metrics record schema");
   }
   const std::uint8_t raw_kind = static_cast<std::uint8_t>(record.fields[2].as_unsigned());
-  if (raw_kind > static_cast<std::uint8_t>(MetricKind::gauge)) {
+  if (raw_kind > static_cast<std::uint8_t>(MetricKind::histogram_bucket)) {
     return Status(Errc::malformed, "bad metric kind");
   }
   MetricPoint point;

@@ -33,8 +33,10 @@ inline constexpr SensorId kMetricsSensorId = kReservedSensorIdBase + 1;
 inline constexpr NodeId kIsmMetricsNodeId = 0xFFFFFFFFu;
 
 enum class MetricKind : std::uint8_t {
-  counter = 0,  // monotonic
-  gauge = 1,    // instantaneous level
+  counter = 0,           // monotonic
+  gauge = 1,             // instantaneous level
+  histogram_bucket = 2,  // one bucket of a histogram; the series name ends
+                         // in ".le_<bound>" / ".le_inf" (see metrics.hpp)
 };
 
 /// One decoded metric sample.

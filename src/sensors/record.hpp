@@ -7,6 +7,7 @@
 
 #include "common/types.hpp"
 #include "sensors/field.hpp"
+#include "sensors/trace.hpp"
 
 namespace brisk::sensors {
 
@@ -21,6 +22,10 @@ struct Record {
   SequenceNo sequence = 0;
   TimeMicros timestamp = 0;
   std::vector<Field> fields;
+  /// Sampled-tracing annotation; disengaged for the overwhelming majority
+  /// of records. Stripped by the ISM before sink delivery, so consumers
+  /// never see it on data records (see sensors/trace.hpp).
+  std::optional<TraceAnnotation> trace;
 
   /// First field of the given type, if any.
   [[nodiscard]] const Field* find_field(FieldType type) const noexcept;

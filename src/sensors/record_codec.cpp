@@ -15,6 +15,32 @@ T load(const std::uint8_t* at) noexcept {
   return value;
 }
 
+// Walks the field region of a native record and returns the offset of the
+// first byte after the last field (where the trace tail, if any, starts).
+Result<std::size_t> native_fields_end(ByteSpan bytes) {
+  if (bytes.size() < kNativeHeaderBytes) return Status(Errc::truncated, "native header");
+  const std::uint8_t nfields = bytes[20];
+  if (nfields > kMaxFieldsPerRecord) return Status(Errc::malformed, "field count");
+  std::size_t pos = kNativeHeaderBytes;
+  for (std::uint8_t i = 0; i < nfields; ++i) {
+    if (pos >= bytes.size()) return Status(Errc::truncated, "field type");
+    const std::uint8_t raw_type = bytes[pos++];
+    if (!field_type_valid(raw_type)) return Status(Errc::malformed, "field type tag");
+    const auto type = static_cast<FieldType>(raw_type);
+    if (type == FieldType::x_string) {
+      if (pos >= bytes.size()) return Status(Errc::truncated, "string length");
+      const std::uint8_t len = bytes[pos++];
+      if (pos + len > bytes.size()) return Status(Errc::truncated, "string body");
+      pos += len;
+      continue;
+    }
+    const std::size_t width = native_payload_size(type);
+    if (pos + width > bytes.size()) return Status(Errc::truncated, "field body");
+    pos += width;
+  }
+  return pos;
+}
+
 }  // namespace
 
 bool RecordWriter::reserve(std::size_t len) noexcept {
@@ -28,19 +54,20 @@ bool RecordWriter::reserve(std::size_t len) noexcept {
 bool RecordWriter::begin(SensorId sensor, SequenceNo sequence, TimeMicros timestamp) noexcept {
   pos_ = 0;
   nfields_ = 0;
+  trace_count_pos_ = 0;
   failed_ = false;
   if (!reserve(kNativeHeaderBytes)) return false;
   store<std::uint32_t>(buf_.data(), sensor);
   store<std::uint64_t>(buf_.data() + 4, sequence);
   store<std::int64_t>(buf_.data() + kNativeTimestampOffset, timestamp);
-  buf_[20] = 0;  // nfields, patched in finish()
-  buf_[21] = 0;  // reserved
+  buf_[20] = 0;                      // nfields, patched in finish()
+  buf_[kNativeFlagsOffset] = 0;      // flags
   pos_ = kNativeHeaderBytes;
   return true;
 }
 
 bool RecordWriter::add_fixed(FieldType type, const void* payload, std::size_t len) noexcept {
-  if (nfields_ >= kMaxFieldsPerRecord) {
+  if (nfields_ >= kMaxFieldsPerRecord || trace_count_pos_ != 0) {
     failed_ = true;
     return false;
   }
@@ -53,7 +80,8 @@ bool RecordWriter::add_fixed(FieldType type, const void* payload, std::size_t le
 }
 
 bool RecordWriter::add_string(std::string_view v) noexcept {
-  if (nfields_ >= kMaxFieldsPerRecord || v.size() > kMaxStringFieldBytes) {
+  if (nfields_ >= kMaxFieldsPerRecord || v.size() > kMaxStringFieldBytes ||
+      trace_count_pos_ != 0) {
     failed_ = true;
     return false;
   }
@@ -88,6 +116,33 @@ bool RecordWriter::add_field(const Field& field) noexcept {
   return false;
 }
 
+bool RecordWriter::begin_trace(std::uint64_t trace_id) noexcept {
+  if (failed_ || pos_ < kNativeHeaderBytes || trace_count_pos_ != 0) {
+    failed_ = true;
+    return false;
+  }
+  if (!reserve(8 + 1)) return false;
+  buf_[kNativeFlagsOffset] |= kNativeFlagTrace;
+  store<std::uint64_t>(buf_.data() + pos_, trace_id);
+  trace_count_pos_ = pos_ + 8;
+  buf_[trace_count_pos_] = 0;
+  pos_ += 9;
+  return true;
+}
+
+bool RecordWriter::add_trace_stamp(TraceStage stage, TimeMicros at) noexcept {
+  if (failed_ || trace_count_pos_ == 0 || buf_[trace_count_pos_] >= kMaxTraceStamps) {
+    failed_ = true;
+    return false;
+  }
+  if (!reserve(kNativeTraceStampBytes)) return false;
+  buf_[pos_] = static_cast<std::uint8_t>(stage);
+  store<std::int64_t>(buf_.data() + pos_ + 1, at);
+  pos_ += kNativeTraceStampBytes;
+  ++buf_[trace_count_pos_];
+  return true;
+}
+
 Result<ByteSpan> RecordWriter::finish() noexcept {
   if (failed_) return Status(Errc::buffer_full, "record overflowed writer buffer");
   if (pos_ < kNativeHeaderBytes) return Status(Errc::internal, "finish before begin");
@@ -104,6 +159,16 @@ Result<ByteBuffer> encode_native(const Record& record) {
   for (const Field& f : record.fields) {
     if (!writer.add_field(f)) {
       return Status(Errc::buffer_full, "too many / too large fields");
+    }
+  }
+  if (record.trace) {
+    if (!writer.begin_trace(record.trace->trace_id)) {
+      return Status(Errc::buffer_full, "trace annotation");
+    }
+    for (const TraceStamp& s : record.trace->stamps) {
+      if (!writer.add_trace_stamp(s.stage, s.at)) {
+        return Status(Errc::buffer_full, "too many trace stamps");
+      }
     }
   }
   auto bytes = writer.finish();
@@ -163,6 +228,28 @@ Result<Record> decode_native(ByteSpan bytes, NodeId node) {
       case FieldType::x_string: break;  // handled above
     }
   }
+  const std::uint8_t flags = bytes[kNativeFlagsOffset];
+  if ((flags & ~kNativeFlagTrace) != 0) return Status(Errc::malformed, "record flags");
+  if (flags & kNativeFlagTrace) {
+    if (pos + 8 + 1 > bytes.size()) return Status(Errc::truncated, "trace tail");
+    TraceAnnotation annotation;
+    annotation.trace_id = load<std::uint64_t>(bytes.data() + pos);
+    pos += 8;
+    const std::uint8_t nstamps = bytes[pos++];
+    if (nstamps > kMaxTraceStamps) return Status(Errc::malformed, "trace stamp count");
+    annotation.stamps.reserve(nstamps);
+    for (std::uint8_t i = 0; i < nstamps; ++i) {
+      if (pos + kNativeTraceStampBytes > bytes.size()) {
+        return Status(Errc::truncated, "trace stamp");
+      }
+      const std::uint8_t raw_stage = bytes[pos];
+      if (raw_stage >= kTraceStageCount) return Status(Errc::malformed, "trace stage");
+      annotation.stamps.push_back(TraceStamp{static_cast<TraceStage>(raw_stage),
+                                             load<std::int64_t>(bytes.data() + pos + 1)});
+      pos += kNativeTraceStampBytes;
+    }
+    record.trace = std::move(annotation);
+  }
   if (pos != bytes.size()) return Status(Errc::malformed, "trailing bytes after record");
   return record;
 }
@@ -194,6 +281,41 @@ Status patch_native_timestamps(MutableByteSpan bytes, TimeMicros delta) noexcept
     }
     pos += width;
   }
+  if (bytes[kNativeFlagsOffset] & kNativeFlagTrace) {
+    if (pos + 8 + 1 > bytes.size()) return Status(Errc::truncated, "trace tail");
+    pos += 8;  // trace id
+    const std::uint8_t nstamps = bytes[pos++];
+    for (std::uint8_t i = 0; i < nstamps; ++i) {
+      if (pos + kNativeTraceStampBytes > bytes.size()) {
+        return Status(Errc::truncated, "trace stamp");
+      }
+      const auto at = load<std::int64_t>(bytes.data() + pos + 1);
+      store<std::int64_t>(bytes.data() + pos + 1, at + delta);
+      pos += kNativeTraceStampBytes;
+    }
+  }
+  return Status::ok();
+}
+
+bool native_trace_present(ByteSpan bytes) noexcept {
+  return bytes.size() >= kNativeHeaderBytes &&
+         (bytes[kNativeFlagsOffset] & kNativeFlagTrace) != 0;
+}
+
+Status stamp_native_trace(std::vector<std::uint8_t>& bytes, TraceStage stage, TimeMicros at) {
+  if (!native_trace_present({bytes.data(), bytes.size()})) return Status::ok();
+  auto fields_end = native_fields_end({bytes.data(), bytes.size()});
+  if (!fields_end) return fields_end.status();
+  const std::size_t count_pos = fields_end.value() + 8;
+  if (count_pos >= bytes.size()) return Status(Errc::truncated, "trace tail");
+  if (bytes[count_pos] >= kMaxTraceStamps) {
+    return Status(Errc::buffer_full, "trace stamp count");
+  }
+  ++bytes[count_pos];
+  const std::size_t stamp_pos = bytes.size();
+  bytes.resize(stamp_pos + kNativeTraceStampBytes);
+  bytes[stamp_pos] = static_cast<std::uint8_t>(stage);
+  store<std::int64_t>(bytes.data() + stamp_pos + 1, at);
   return Status::ok();
 }
 

@@ -7,15 +7,22 @@
 // transfer protocol (src/tp) transcodes it to XDR for the network.
 //
 // Layout:
-//   u32 sensor_id | u64 sequence | i64 timestamp_us | u8 nfields | u8 rsvd
+//   u32 sensor_id | u64 sequence | i64 timestamp_us | u8 nfields | u8 flags
 //   then per field: u8 type | payload
 //   payload: fixed native width per type (field.hpp); x_string: u8 len + bytes.
+//
+// If bit 0 of the flags byte (kNativeFlagTrace) is set, a trace annotation
+// tail follows the last field:
+//   u64 trace_id | u8 nstamps | nstamps x (u8 stage | i64 at_us)
+// Records without the flag are byte-identical to the pre-tracing format
+// (the flags byte was previously reserved-zero).
 //
 // RecordWriter is the allocation-free fast path used by the NOTICE macros:
 // it formats a record into a caller-provided (stack) buffer.
 #pragma once
 
 #include <cstring>
+#include <vector>
 
 #include "common/byte_buffer.hpp"
 #include "sensors/record.hpp"
@@ -25,9 +32,20 @@ namespace brisk::sensors {
 inline constexpr std::size_t kNativeHeaderBytes = 22;
 /// Offset of the i64 timestamp within the native header (EXS patches it).
 inline constexpr std::size_t kNativeTimestampOffset = 12;
-/// Generous upper bound for one native record (16 string fields maxed out).
+/// Offset of the flags byte within the native header.
+inline constexpr std::size_t kNativeFlagsOffset = 21;
+/// Flags bit: a trace annotation tail follows the fields.
+inline constexpr std::uint8_t kNativeFlagTrace = 0x01;
+/// Bytes per (stage, timestamp) stamp in the annotation tail.
+inline constexpr std::size_t kNativeTraceStampBytes = 9;
+/// Upper bound for a full annotation tail.
+inline constexpr std::size_t kMaxNativeTraceBytes =
+    8 + 1 + kMaxTraceStamps * kNativeTraceStampBytes;
+/// Generous upper bound for one native record (16 string fields maxed out
+/// plus a full trace annotation tail).
 inline constexpr std::size_t kMaxNativeRecordBytes =
-    kNativeHeaderBytes + kMaxFieldsPerRecord * (2 + kMaxStringFieldBytes);
+    kNativeHeaderBytes + kMaxFieldsPerRecord * (2 + kMaxStringFieldBytes) +
+    kMaxNativeTraceBytes;
 
 class RecordWriter {
  public:
@@ -56,6 +74,12 @@ class RecordWriter {
   /// Appends a decoded Field (slow path, used by tools and tests).
   bool add_field(const Field& field) noexcept;
 
+  /// Opens a trace annotation tail. Must come after the last field — adding
+  /// fields after this fails the writer. Sets the trace flag bit.
+  bool begin_trace(std::uint64_t trace_id) noexcept;
+  /// Appends one stamp to an open annotation tail.
+  bool add_trace_stamp(TraceStage stage, TimeMicros at) noexcept;
+
   /// Finishes the record and returns the encoded bytes, or an error if any
   /// add_* failed (overflow / too many fields).
   Result<ByteSpan> finish() noexcept;
@@ -69,6 +93,7 @@ class RecordWriter {
   MutableByteSpan buf_;
   std::size_t pos_ = 0;
   std::size_t nfields_ = 0;
+  std::size_t trace_count_pos_ = 0;  // 0 = no annotation open
   bool failed_ = false;
 };
 
@@ -80,9 +105,19 @@ Result<ByteBuffer> encode_native(const Record& record);
 /// batch/ring context).
 Result<Record> decode_native(ByteSpan bytes, NodeId node = 0);
 
-/// In-place timestamp patch: adds `delta` to the header timestamp and every
-/// x_ts field of a native-encoded record. This is what the EXS does when it
-/// applies the clock-sync correction without fully decoding the record.
+/// In-place timestamp patch: adds `delta` to the header timestamp, every
+/// x_ts field, and every trace stamp of a native-encoded record. This is
+/// what the EXS does when it applies the clock-sync correction without
+/// fully decoding the record.
 Status patch_native_timestamps(MutableByteSpan bytes, TimeMicros delta) noexcept;
+
+/// True if the native record carries a trace annotation tail (flags bit).
+[[nodiscard]] bool native_trace_present(ByteSpan bytes) noexcept;
+
+/// Appends one stamp to the annotation tail of a traced native record
+/// (grows `bytes` by kNativeTraceStampBytes). No-op success on untraced
+/// records; Errc::buffer_full once the tail holds kMaxTraceStamps stamps.
+Status stamp_native_trace(std::vector<std::uint8_t>& bytes, TraceStage stage,
+                          TimeMicros at);
 
 }  // namespace brisk::sensors

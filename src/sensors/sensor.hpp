@@ -67,14 +67,20 @@ struct SensorStats {
   std::uint64_t records_pushed = 0; // accepted by the ring
   std::uint64_t records_dropped = 0;
   std::uint64_t bytes_pushed = 0;
+  std::uint64_t records_traced = 0; // carried a trace annotation
 };
 
 class Sensor {
  public:
   /// `ring` must be a slot this producer exclusively owns (claimed from a
   /// MultiRing); `clock` is the node clock (SystemClock in production).
-  Sensor(shm::RingBuffer ring, clk::Clock& clock) noexcept
-      : ring_(ring), clock_(&clock) {}
+  /// `node` and `trace_sample_rate` drive end-to-end tracing: a sampled
+  /// record (deterministic hash of node/sensor/sequence vs the rate) gets a
+  /// trace annotation with its ring-enqueue stamp; rate 0 disables tracing
+  /// at zero per-notice cost.
+  Sensor(shm::RingBuffer ring, clk::Clock& clock, NodeId node = 0,
+         double trace_sample_rate = 0.0) noexcept
+      : ring_(ring), clock_(&clock), node_(node), trace_sample_rate_(trace_sample_rate) {}
 
   /// The NOTICE entry point. Returns false when the record was dropped
   /// (ring full or record over limits) — callers typically ignore this,
@@ -90,6 +96,14 @@ class Sensor {
     const TimeMicros ts = clock_->now();
     if (!writer.begin(id, next_sequence_, ts)) return count_drop();
     if (!(add_arg(writer, ts, args) && ...)) return count_drop();
+    if (trace_sample_rate_ > 0.0 &&
+        trace_sampled(node_, id, next_sequence_, trace_sample_rate_)) {
+      // The annotation tail must follow the last field; the drop paths
+      // below leave the writer unusable, which finish() reports.
+      writer.begin_trace(make_trace_id(node_, id, next_sequence_));
+      writer.add_trace_stamp(TraceStage::ring_enqueue, ts);
+      ++stats_.records_traced;
+    }
     auto bytes = writer.finish();
     if (!bytes) return count_drop();
     if (!ring_.try_push(bytes.value())) return count_drop();
@@ -145,6 +159,8 @@ class Sensor {
 
   shm::RingBuffer ring_;
   clk::Clock* clock_;
+  NodeId node_ = 0;
+  double trace_sample_rate_ = 0.0;
   SequenceNo next_sequence_ = 0;
   SensorStats stats_;
 };

@@ -1,0 +1,78 @@
+#include "sensors/trace.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+namespace brisk::sensors {
+
+namespace {
+
+// splitmix64 finalizer: cheap, well-distributed, and stable across builds.
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+}  // namespace
+
+const char* trace_stage_token(TraceStage stage) noexcept {
+  switch (stage) {
+    case TraceStage::ring_enqueue: return "ring";
+    case TraceStage::exs_drain: return "drain";
+    case TraceStage::batch_seal: return "seal";
+    case TraceStage::tp_send: return "send";
+    case TraceStage::ism_ingest: return "ingest";
+    case TraceStage::sorter_release: return "sort";
+    case TraceStage::merge_release: return "merge";
+    case TraceStage::cre_pass: return "cre";
+    case TraceStage::sink_delivery: return "sink";
+  }
+  return "?";
+}
+
+const char* trace_stage_name(TraceStage stage) noexcept {
+  switch (stage) {
+    case TraceStage::ring_enqueue: return "ring enqueue";
+    case TraceStage::exs_drain: return "EXS drain";
+    case TraceStage::batch_seal: return "batch seal";
+    case TraceStage::tp_send: return "TP send";
+    case TraceStage::ism_ingest: return "ISM ingest";
+    case TraceStage::sorter_release: return "sorter release";
+    case TraceStage::merge_release: return "merge release";
+    case TraceStage::cre_pass: return "CRE pass";
+    case TraceStage::sink_delivery: return "sink delivery";
+  }
+  return "?";
+}
+
+void TraceAnnotation::stamp(TraceStage stage, TimeMicros at) {
+  if (stamps.size() >= kMaxTraceStamps) return;
+  stamps.push_back(TraceStamp{stage, at});
+}
+
+const TraceStamp* TraceAnnotation::find(TraceStage stage) const noexcept {
+  const TraceStamp* found = nullptr;
+  for (const TraceStamp& s : stamps) {
+    if (s.stage == stage) found = &s;
+  }
+  return found;
+}
+
+std::uint64_t make_trace_id(NodeId node, SensorId sensor, SequenceNo sequence) noexcept {
+  return mix64((static_cast<std::uint64_t>(node) << 32) ^
+               (static_cast<std::uint64_t>(sensor) << 48) ^ sequence);
+}
+
+bool trace_sampled(NodeId node, SensorId sensor, SequenceNo sequence, double rate) noexcept {
+  if (!(rate > 0.0)) return false;
+  if (rate >= 1.0) return true;
+  // Compare the record's hash against rate * 2^64; the hash doubles as the
+  // trace id, so the decision costs one multiply-free comparison.
+  const auto threshold =
+      static_cast<std::uint64_t>(std::ldexp(rate, 64) < 1.0 ? 1.0 : std::ldexp(rate, 64));
+  return make_trace_id(node, sensor, sequence) < threshold;
+}
+
+}  // namespace brisk::sensors

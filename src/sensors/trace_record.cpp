@@ -1,0 +1,67 @@
+#include "sensors/trace_record.hpp"
+
+#include <array>
+
+namespace brisk::sensors {
+
+bool is_trace_record(const Record& record) noexcept {
+  return record.sensor == kTraceSensorId;
+}
+
+Record make_trace_record(NodeId node, SequenceNo sequence, TimeMicros timestamp,
+                         const TraceAnnotation& annotation) {
+  std::array<TimeMicros, kTraceStageCount> at{};
+  std::uint16_t mask = 0;
+  for (const TraceStamp& s : annotation.stamps) {
+    const auto bit = static_cast<std::size_t>(s.stage);
+    if (bit >= kTraceStageCount) continue;
+    at[bit] = s.at;
+    mask = static_cast<std::uint16_t>(mask | (1u << bit));
+  }
+
+  Record record;
+  record.node = node;
+  record.sensor = kTraceSensorId;
+  record.sequence = sequence;
+  record.timestamp = timestamp;
+  record.fields.reserve(2 + kTraceStageCount);
+  record.fields.push_back(Field::u64(annotation.trace_id));
+  record.fields.push_back(Field::u16(mask));
+  for (std::size_t i = 0; i < kTraceStageCount; ++i) {
+    if (mask & (1u << i)) record.fields.push_back(Field::ts(at[i]));
+  }
+  return record;
+}
+
+Result<TraceAnnotation> decode_trace_record(const Record& record) {
+  if (!is_trace_record(record)) {
+    return Status(Errc::malformed, "not a trace record");
+  }
+  if (record.fields.size() < 2 || record.fields[0].type() != FieldType::x_u64 ||
+      record.fields[1].type() != FieldType::x_u16) {
+    return Status(Errc::malformed, "bad trace record schema");
+  }
+  const auto mask = static_cast<std::uint16_t>(record.fields[1].as_unsigned());
+  if ((mask & ~((1u << kTraceStageCount) - 1u)) != 0) {
+    return Status(Errc::malformed, "trace record stage mask");
+  }
+
+  TraceAnnotation annotation;
+  annotation.trace_id = record.fields[0].as_unsigned();
+  std::size_t next = 2;
+  for (std::size_t i = 0; i < kTraceStageCount; ++i) {
+    if (!(mask & (1u << i))) continue;
+    if (next >= record.fields.size() || record.fields[next].type() != FieldType::x_ts) {
+      return Status(Errc::malformed, "trace record stamp fields");
+    }
+    annotation.stamps.push_back(
+        TraceStamp{static_cast<TraceStage>(i), record.fields[next].as_timestamp()});
+    ++next;
+  }
+  if (next != record.fields.size()) {
+    return Status(Errc::malformed, "trace record trailing fields");
+  }
+  return annotation;
+}
+
+}  // namespace brisk::sensors

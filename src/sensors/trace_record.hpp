@@ -1,0 +1,36 @@
+// Trace-span export records.
+//
+// When the ISM delivers a traced record to its sinks, it strips the trace
+// annotation from the data record (so data bytes are identical with tracing
+// on and off) and emits the span list as a separate record carrying the
+// reserved sensor id kTraceSensorId:
+//   [0] x_u64  trace id
+//   [1] x_u16  stage bitmask (bit i set = a stamp for TraceStage(i) follows)
+//   [2..]      one x_ts per set bit, in ascending stage order
+// The record's node is the traced record's origin node; its timestamp is
+// the traced record's (synchronized) timestamp, so spans sort next to their
+// subject in ordered output. Consumers (brisk_consume --trace-out) rebuild
+// flame-style spans from these.
+#pragma once
+
+#include "common/error.hpp"
+#include "sensors/metrics_record.hpp"
+#include "sensors/record.hpp"
+
+namespace brisk::sensors {
+
+/// The trace-span export sensor.
+inline constexpr SensorId kTraceSensorId = kReservedSensorIdBase + 2;
+
+[[nodiscard]] bool is_trace_record(const Record& record) noexcept;
+
+/// Builds one span-export record from a finished annotation. Stamps are
+/// deduplicated per stage (last wins) and emitted in stage order.
+[[nodiscard]] Record make_trace_record(NodeId node, SequenceNo sequence,
+                                       TimeMicros timestamp,
+                                       const TraceAnnotation& annotation);
+
+/// Decodes the schema above; Errc::malformed on anything else.
+[[nodiscard]] Result<TraceAnnotation> decode_trace_record(const Record& record);
+
+}  // namespace brisk::sensors

@@ -26,6 +26,7 @@ void put_be64_at(ByteBuffer& buf, std::size_t offset, std::uint64_t value) {
 void BatchBuilder::reset_payload() {
   payload_.clear();
   record_count_ = 0;
+  trace_slots_.clear();
   xdr::Encoder enc(payload_);
   put_type(MsgType::data_batch, enc);
   enc.put_u32(node_);
@@ -35,9 +36,16 @@ void BatchBuilder::reset_payload() {
 }
 
 Status BatchBuilder::add_native_record(ByteSpan native, TimeMicros ts_delta) {
+  const std::size_t base = payload_.size();
   xdr::Encoder enc(payload_);
-  Status st = transcode_native_record(native, enc, ts_delta);
-  if (st) ++record_count_;
+  TraceStampSlots slots;
+  Status st = transcode_native_record(native, enc, ts_delta, &slots);
+  if (st) {
+    ++record_count_;
+    if (slots.traced) {
+      trace_slots_.emplace_back(base + slots.seal_at_offset, base + slots.send_at_offset);
+    }
+  }
   return st;
 }
 
@@ -46,6 +54,14 @@ Status BatchBuilder::add_record(const sensors::Record& record) {
   Status st = encode_record(record, enc);
   if (st) ++record_count_;
   return st;
+}
+
+void BatchBuilder::patch_trace_stamps(TimeMicros seal_at, TimeMicros send_at) {
+  for (const auto& [seal_offset, send_offset] : trace_slots_) {
+    put_be64_at(payload_, seal_offset, static_cast<std::uint64_t>(seal_at));
+    put_be64_at(payload_, send_offset, static_cast<std::uint64_t>(send_at));
+  }
+  trace_slots_.clear();
 }
 
 ByteBuffer BatchBuilder::finish() {

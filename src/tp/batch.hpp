@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <utility>
 #include <vector>
 
 #include "sensors/record.hpp"
@@ -48,6 +49,12 @@ class BatchBuilder {
 
   void set_ring_dropped_total(std::uint64_t total) noexcept { ring_dropped_total_ = total; }
 
+  /// Back-patches the batch_seal / tp_send stamp slots of every traced
+  /// record in the pending batch. Call (at most once) right before
+  /// finish(); the batcher supplies times already in the synchronized
+  /// timebase.
+  void patch_trace_stamps(TimeMicros seal_at, TimeMicros send_at);
+
   /// Finishes the batch: back-patches the header and returns the frame
   /// payload. The builder is reset for the next batch (batch_seq advances).
   ByteBuffer finish();
@@ -60,6 +67,8 @@ class BatchBuilder {
   std::uint32_t record_count_ = 0;
   std::uint64_t ring_dropped_total_ = 0;
   ByteBuffer payload_;
+  /// Absolute payload offsets of (batch_seal, tp_send) i64 stamp slots.
+  std::vector<std::pair<std::size_t, std::size_t>> trace_slots_;
 };
 
 /// Parses a full data-batch frame payload (after the type word has already

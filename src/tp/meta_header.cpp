@@ -4,6 +4,7 @@ namespace brisk::tp {
 namespace {
 
 constexpr std::uint32_t kFlagExtended = 0x01;
+constexpr std::uint32_t kFlagTrace = 0x02;
 
 std::uint32_t pack_nibbles(const MetaHeader& meta, std::size_t first) noexcept {
   std::uint32_t word = 0;
@@ -32,6 +33,7 @@ void encode_meta(const MetaHeader& meta, xdr::Encoder& encoder) {
   std::uint32_t word0 = std::uint32_t{meta.sensor_id} << 16;
   word0 |= std::uint32_t{meta.field_count} << 8;
   if (meta.extended()) word0 |= kFlagExtended;
+  if (meta.trace) word0 |= kFlagTrace;
   encoder.put_u32(word0);
   encoder.put_u32(pack_nibbles(meta, 0));
   if (meta.extended()) encoder.put_u32(pack_nibbles(meta, 8));
@@ -45,7 +47,11 @@ Result<MetaHeader> decode_meta(xdr::Decoder& decoder) {
   meta.sensor_id = static_cast<std::uint16_t>(word0.value() >> 16);
   meta.field_count = static_cast<std::uint8_t>((word0.value() >> 8) & 0xff);
   const bool extended_flag = (word0.value() & kFlagExtended) != 0;
+  meta.trace = (word0.value() & kFlagTrace) != 0;
 
+  if ((word0.value() & 0xff & ~(kFlagExtended | kFlagTrace)) != 0) {
+    return Status(Errc::malformed, "meta flags unknown bit");
+  }
   if (meta.field_count > sensors::kMaxFieldsPerRecord) {
     return Status(Errc::malformed, "meta field count > 16");
   }

@@ -13,9 +13,16 @@
 //
 //   word 0:  bits 31..16  sensor id (16 bits)
 //            bits 15..8   field count (0..16)
-//            bits  7..0   flags (bit 0: extended nibble word present)
+//            bits  7..0   flags (bit 0: extended nibble word present;
+//                                bit 1: trace annotation follows the header)
 //   word 1:  type nibbles for fields 0..7  (field 0 in bits 31..28)
 //   word 2:  (only when field count > 8) nibbles for fields 8..15
+//
+// The trace flag (bit 1) marks a sampled-tracing annotation encoded between
+// the meta header and the field payloads:
+//   u64 trace_id | u32 nstamps | nstamps x (u32 stage | i64 at_us)
+// Untraced records carry neither the flag nor the extension, so the wire
+// format is byte-compatible with pre-tracing peers for unsampled traffic.
 //
 // A six-int-field record thus costs 8 bytes of meta + 8 bytes timestamp +
 // 24 bytes payload = 40 bytes — the paper's measured record size.
@@ -34,6 +41,8 @@ namespace brisk::tp {
 struct MetaHeader {
   std::uint16_t sensor_id = 0;
   std::uint8_t field_count = 0;
+  /// Set when a trace annotation is encoded after the header.
+  bool trace = false;
   std::array<sensors::FieldType, sensors::kMaxFieldsPerRecord> types{};
 
   [[nodiscard]] bool extended() const noexcept { return field_count > 8; }

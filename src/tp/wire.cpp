@@ -10,11 +10,55 @@ namespace brisk::tp {
 using sensors::Field;
 using sensors::FieldType;
 using sensors::Record;
+using sensors::TraceAnnotation;
+using sensors::TraceStamp;
+using sensors::TraceStage;
+
+namespace {
+
+/// Wire size of a trace annotation: u64 id + u32 count + count stamps.
+std::size_t trace_wire_size(std::size_t nstamps) noexcept { return 12 + nstamps * 12; }
+
+void encode_trace(const TraceAnnotation& annotation, xdr::Encoder& encoder) {
+  encoder.put_u64(annotation.trace_id);
+  encoder.put_u32(static_cast<std::uint32_t>(annotation.stamps.size()));
+  for (const TraceStamp& s : annotation.stamps) {
+    encoder.put_u32(static_cast<std::uint32_t>(s.stage));
+    encoder.put_i64(s.at);
+  }
+}
+
+Result<TraceAnnotation> decode_trace(xdr::Decoder& decoder) {
+  TraceAnnotation annotation;
+  auto id = decoder.get_u64();
+  if (!id) return id.status();
+  annotation.trace_id = id.value();
+  auto count = decoder.get_u32();
+  if (!count) return count.status();
+  if (count.value() > sensors::kMaxTraceStamps) {
+    return Status(Errc::malformed, "trace stamp count");
+  }
+  annotation.stamps.reserve(count.value());
+  for (std::uint32_t i = 0; i < count.value(); ++i) {
+    auto stage = decoder.get_u32();
+    if (!stage) return stage.status();
+    if (stage.value() >= sensors::kTraceStageCount) {
+      return Status(Errc::malformed, "trace stage");
+    }
+    auto at = decoder.get_i64();
+    if (!at) return at.status();
+    annotation.stamps.push_back(TraceStamp{static_cast<TraceStage>(stage.value()), at.value()});
+  }
+  return annotation;
+}
+
+}  // namespace
 
 std::size_t record_wire_size(const Record& record) {
   MetaHeader meta;
   meta.field_count = static_cast<std::uint8_t>(record.fields.size());
   std::size_t size = 8 + meta.wire_size();
+  if (record.trace) size += trace_wire_size(record.trace->stamps.size());
   for (const Field& f : record.fields) {
     if (f.type() == FieldType::x_string) {
       size += xdr::Encoder::opaque_wire_size(f.as_string().size());
@@ -34,13 +78,19 @@ Status encode_record(const Record& record, xdr::Encoder& encoder) {
   }
   encoder.put_i64(record.timestamp);
 
+  if (record.trace && record.trace->stamps.size() > sensors::kMaxTraceStamps) {
+    return Status(Errc::invalid_argument, "too many trace stamps");
+  }
+
   MetaHeader meta;
   meta.sensor_id = static_cast<std::uint16_t>(record.sensor);
   meta.field_count = static_cast<std::uint8_t>(record.fields.size());
+  meta.trace = record.trace.has_value();
   for (std::size_t i = 0; i < record.fields.size(); ++i) {
     meta.types[i] = record.fields[i].type();
   }
   encode_meta(meta, encoder);
+  if (record.trace) encode_trace(*record.trace, encoder);
 
   for (const Field& f : record.fields) {
     switch (f.type()) {
@@ -89,6 +139,11 @@ Result<Record> decode_record(xdr::Decoder& decoder, NodeId node) {
   auto meta = decode_meta(decoder);
   if (!meta) return meta.status();
   record.sensor = meta.value().sensor_id;
+  if (meta.value().trace) {
+    auto annotation = decode_trace(decoder);
+    if (!annotation) return annotation.status();
+    record.trace = std::move(annotation.value());
+  }
   record.fields.reserve(meta.value().field_count);
 
   for (std::size_t i = 0; i < meta.value().field_count; ++i) {
@@ -189,9 +244,11 @@ Result<Record> decode_record(xdr::Decoder& decoder, NodeId node) {
   return record;
 }
 
-Status transcode_native_record(ByteSpan native, xdr::Encoder& encoder, TimeMicros ts_delta) {
+Status transcode_native_record(ByteSpan native, xdr::Encoder& encoder, TimeMicros ts_delta,
+                               TraceStampSlots* slots) {
   // Decoding to a Record here would allocate per record on the EXS hot
   // path; instead walk the native bytes directly.
+  if (slots != nullptr) *slots = TraceStampSlots{};
   if (native.size() < sensors::kNativeHeaderBytes) {
     return Status(Errc::truncated, "native header");
   }
@@ -202,6 +259,10 @@ Status transcode_native_record(ByteSpan native, xdr::Encoder& encoder, TimeMicro
   std::memcpy(&ts, native.data() + sensors::kNativeTimestampOffset, 8);
   const std::uint8_t nfields = native[20];
   if (nfields > sensors::kMaxFieldsPerRecord) return Status(Errc::malformed, "field count");
+  const std::uint8_t flags = native[sensors::kNativeFlagsOffset];
+  if ((flags & ~sensors::kNativeFlagTrace) != 0) {
+    return Status(Errc::malformed, "record flags");
+  }
 
   // First pass: collect field types and payload offsets.
   MetaHeader meta;
@@ -225,8 +286,54 @@ Status transcode_native_record(ByteSpan native, xdr::Encoder& encoder, TimeMicro
     if (pos > native.size()) return Status(Errc::truncated, "field body");
   }
 
+  // The trace tail, when present, follows the fields: u64 id | u8 n | stamps.
+  std::uint64_t trace_id = 0;
+  std::uint8_t nstamps = 0;
+  std::size_t stamps_pos = 0;
+  const bool traced = (flags & sensors::kNativeFlagTrace) != 0;
+  if (traced) {
+    if (pos + 8 + 1 > native.size()) return Status(Errc::truncated, "trace tail");
+    std::memcpy(&trace_id, native.data() + pos, 8);
+    nstamps = native[pos + 8];
+    stamps_pos = pos + 9;
+    if (nstamps > sensors::kMaxTraceStamps ||
+        stamps_pos + nstamps * sensors::kNativeTraceStampBytes > native.size()) {
+      return Status(Errc::malformed, "trace stamp count");
+    }
+    meta.trace = true;
+  }
+
   encoder.put_i64(ts + ts_delta);
   encode_meta(meta, encoder);
+
+  if (traced) {
+    // Re-stamp node-side entries into the synchronized timebase and reserve
+    // two placeholder stamps for the stages only the batcher can time.
+    const bool add_slots = nstamps + 2u <= sensors::kMaxTraceStamps;
+    encoder.put_u64(trace_id);
+    encoder.put_u32(static_cast<std::uint32_t>(nstamps + (add_slots ? 2 : 0)));
+    for (std::uint8_t i = 0; i < nstamps; ++i) {
+      const std::uint8_t* sp = native.data() + stamps_pos + i * sensors::kNativeTraceStampBytes;
+      if (*sp >= sensors::kTraceStageCount) return Status(Errc::malformed, "trace stage");
+      std::int64_t at = 0;
+      std::memcpy(&at, sp + 1, 8);
+      encoder.put_u32(*sp);
+      encoder.put_i64(at + ts_delta);
+    }
+    if (add_slots) {
+      encoder.put_u32(static_cast<std::uint32_t>(TraceStage::batch_seal));
+      const std::size_t seal_at = encoder.bytes_written();
+      encoder.put_i64(0);
+      encoder.put_u32(static_cast<std::uint32_t>(TraceStage::tp_send));
+      const std::size_t send_at = encoder.bytes_written();
+      encoder.put_i64(0);
+      if (slots != nullptr) {
+        slots->traced = true;
+        slots->seal_at_offset = seal_at;
+        slots->send_at_offset = send_at;
+      }
+    }
+  }
 
   for (std::uint8_t i = 0; i < nfields; ++i) {
     const std::uint8_t* p = native.data() + offsets[i];

@@ -92,11 +92,24 @@ Status encode_record(const sensors::Record& record, xdr::Encoder& encoder);
 /// Decodes one record; `node` comes from the enclosing batch.
 Result<sensors::Record> decode_record(xdr::Decoder& decoder, NodeId node);
 
+/// Encoder-relative offsets of the trace-stamp slots a transcode reserved
+/// for the stages only the batcher knows (batch seal, TP send). The batch
+/// builder turns them into absolute payload offsets and the batcher patches
+/// the i64 timestamps in place just before the batch ships.
+struct TraceStampSlots {
+  bool traced = false;
+  std::size_t seal_at_offset = 0;  // offset of the batch_seal stamp's i64
+  std::size_t send_at_offset = 0;  // offset of the tp_send stamp's i64
+};
+
 /// Fast path used by the EXS: transcodes a native-encoded record (as read
 /// from the ring) straight into wire form, adding `ts_delta` (the clock
-/// correction) to the header timestamp and every X_TS field, without
-/// materializing a Record.
-Status transcode_native_record(ByteSpan native, xdr::Encoder& encoder, TimeMicros ts_delta);
+/// correction) to the header timestamp, every X_TS field, and every trace
+/// stamp, without materializing a Record. A traced record gets two extra
+/// zero-valued stamps (batch_seal, tp_send) whose slot offsets are reported
+/// through `slots` when non-null.
+Status transcode_native_record(ByteSpan native, xdr::Encoder& encoder, TimeMicros ts_delta,
+                               TraceStampSlots* slots = nullptr);
 
 // ---- control message codec --------------------------------------------------
 

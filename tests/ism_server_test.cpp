@@ -17,6 +17,8 @@
 #include "net/frame.hpp"
 #include "net/socket.hpp"
 #include "sensors/metrics_record.hpp"
+#include "sensors/trace.hpp"
+#include "sensors/trace_record.hpp"
 #include "tp/batch.hpp"
 #include "xdr/xdr_encoder.hpp"
 
@@ -390,6 +392,131 @@ TEST(IsmIngestDeterminismTest, SortedOutputIdenticalAcrossConfigs) {
   for (std::size_t m = 1; m < outputs.size(); ++m) {
     EXPECT_EQ(outputs[m], outputs[0])
         << "config " << m << " produced a different record stream";
+  }
+}
+
+// Acceptance: tracing must be invisible to the data stream. The ISM strips
+// annotations at sink delivery, so the delivered data records — full
+// decoded form, not just the (timestamp, node) order — are identical with
+// tracing off, tracing on inline, and tracing on across four shards. The
+// traced runs additionally emit span-export records for every annotation.
+TEST(IsmIngestDeterminismTest, TracingLeavesSortedOutputByteIdentical) {
+  struct TraceMode {
+    bool traced = false;
+    std::size_t shards = 1;
+  };
+  const std::vector<TraceMode> modes = {{false, 1}, {true, 1}, {true, 4}};
+  constexpr int kNodes = 2;
+  constexpr int kRecordsPerNode = 30;
+  const TimeMicros base = clk::SystemClock::instance().now();
+
+  std::vector<std::vector<sensors::Record>> data_streams;
+  std::vector<std::size_t> trace_counts;
+  for (const TraceMode& mode : modes) {
+    IsmConfig config;
+    config.select_timeout_us = 2'000;
+    config.enable_sync = false;
+    config.sorter.adaptive = false;
+    config.sorter.initial_frame_us = 120'000'000;
+    config.sorter.max_frame_us = 120'000'000;
+    config.sorter_shards = mode.shards;
+
+    auto data = std::make_shared<std::vector<sensors::Record>>();
+    auto traces = std::make_shared<std::size_t>(0);
+    auto mutex = std::make_shared<std::mutex>();
+    auto sink = std::make_shared<CallbackSink>(
+        [data, traces, mutex](const sensors::Record& r) {
+          std::lock_guard<std::mutex> lock(*mutex);
+          if (sensors::is_trace_record(r)) {
+            ++*traces;
+            return;
+          }
+          if (r.sensor >= sensors::kReservedSensorIdBase) return;
+          data->push_back(r);
+        });
+    auto ism = Ism::start(config, clk::SystemClock::instance(), sink);
+    ASSERT_TRUE(ism.is_ok()) << ism.status().to_string();
+    std::thread server([&] { (void)ism.value()->run(); });
+
+    std::vector<net::TcpSocket> clients;
+    for (int n = 1; n <= kNodes; ++n) {
+      auto socket = net::TcpSocket::connect("127.0.0.1", ism.value()->port());
+      ASSERT_TRUE(socket.is_ok());
+      clients.push_back(std::move(socket).value());
+      ByteBuffer hello;
+      xdr::Encoder hello_enc(hello);
+      tp::put_type(tp::MsgType::hello, hello_enc);
+      tp::encode_hello({NodeId(n), tp::kProtocolVersion}, hello_enc);
+      ASSERT_TRUE(net::write_frame(clients.back(), hello.view()));
+      ASSERT_TRUE(net::read_frame(clients.back()).is_ok()) << "hello_ack";
+    }
+    for (int n = 1; n <= kNodes; ++n) {
+      net::TcpSocket& client = clients[std::size_t(n) - 1];
+      tp::BatchBuilder builder{NodeId(n)};
+      for (int i = 0; i < kRecordsPerNode; ++i) {
+        sensors::Record record;
+        record.sensor = 1;
+        record.sequence = SequenceNo(i);
+        record.timestamp = base + TimeMicros(n) + TimeMicros(i) * kNodes;
+        record.fields = {sensors::Field::i32(i)};
+        // The same records every run; the traced runs annotate the sampled
+        // half exactly as an EXS with --trace-sample-rate 0.5 would.
+        if (mode.traced && sensors::trace_sampled(NodeId(n), 1, SequenceNo(i), 0.5)) {
+          sensors::TraceAnnotation annotation;
+          annotation.trace_id = sensors::make_trace_id(NodeId(n), 1, SequenceNo(i));
+          annotation.stamp(sensors::TraceStage::ring_enqueue, record.timestamp);
+          record.trace = annotation;
+        }
+        ASSERT_TRUE(builder.add_record(record));
+      }
+      ByteBuffer payload = builder.finish();
+      ASSERT_TRUE(net::write_frame(client, payload.view()));
+      ByteBuffer bye;
+      xdr::Encoder bye_enc(bye);
+      tp::put_type(tp::MsgType::bye, bye_enc);
+      ASSERT_TRUE(net::write_frame(client, bye.view()));
+    }
+    for (net::TcpSocket& client : clients) {
+      const TimeMicros deadline = monotonic_micros() + 5'000'000;
+      (void)client.set_nonblocking(true);
+      bool closed = false;
+      std::uint8_t chunk[256];
+      while (!closed && monotonic_micros() < deadline) {
+        auto n = client.read_some(MutableByteSpan{chunk, sizeof chunk});
+        if (!n) {
+          if (n.status().code() == Errc::would_block) {
+            sleep_micros(2'000);
+            continue;
+          }
+          closed = true;
+        } else if (n.value() == 0) {
+          closed = true;
+        }
+      }
+      ASSERT_TRUE(closed) << "server must close the session after bye";
+    }
+    ism.value()->stop();
+    server.join();
+    ASSERT_TRUE(ism.value()->drain());
+    std::lock_guard<std::mutex> lock(*mutex);
+    data_streams.push_back(*data);
+    trace_counts.push_back(*traces);
+  }
+
+  ASSERT_EQ(data_streams[0].size(), std::size_t(kNodes) * kRecordsPerNode);
+  EXPECT_EQ(trace_counts[0], 0u);
+  std::size_t expected_traces = 0;
+  for (int n = 1; n <= kNodes; ++n) {
+    for (int i = 0; i < kRecordsPerNode; ++i) {
+      if (sensors::trace_sampled(NodeId(n), 1, SequenceNo(i), 0.5)) ++expected_traces;
+    }
+  }
+  ASSERT_GT(expected_traces, 0u);
+  for (std::size_t m = 1; m < data_streams.size(); ++m) {
+    EXPECT_EQ(data_streams[m], data_streams[0])
+        << "traced config " << m << " perturbed the data stream";
+    EXPECT_EQ(trace_counts[m], expected_traces)
+        << "every annotated record must produce one span-export record";
   }
 }
 

@@ -1,0 +1,516 @@
+// End-to-end tracing tests: histogram bucket/percentile math, concurrent
+// recording, merge associativity, the trace-annotation codecs (native tail,
+// wire extension, transcode slot patching), span-export records, the
+// latency recorder, and byte compatibility of untraced records with the
+// pre-trace formats.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <thread>
+#include <vector>
+
+#include "metrics/latency.hpp"
+#include "metrics/metrics.hpp"
+#include "sensors/record_codec.hpp"
+#include "sensors/trace.hpp"
+#include "sensors/trace_record.hpp"
+#include "tp/batch.hpp"
+#include "tp/wire.hpp"
+
+namespace brisk {
+namespace {
+
+using sensors::Field;
+using sensors::Record;
+using sensors::TraceAnnotation;
+using sensors::TraceStage;
+using sensors::TraceStamp;
+
+// ---- histogram math ---------------------------------------------------------
+
+TEST(TraceHistogramTest, LinearBucketsAreExact) {
+  for (std::uint64_t v = 0; v < 16; ++v) {
+    EXPECT_EQ(metrics::Histogram::bucket_index(v), v);
+    EXPECT_EQ(metrics::Histogram::bucket_bound(v), v);
+  }
+}
+
+TEST(TraceHistogramTest, BoundsAreMonotoneAndConsistent) {
+  std::uint64_t prev = 0;
+  for (std::size_t i = 0; i < metrics::Histogram::kBucketCount; ++i) {
+    const std::uint64_t bound = metrics::Histogram::bucket_bound(i);
+    if (i > 0) {
+      EXPECT_GT(bound, prev) << "bucket " << i;
+      // Every bound value must land in its own bucket, and the first value
+      // past the previous bound must land at or after this bucket.
+      EXPECT_EQ(metrics::Histogram::bucket_index(bound), i) << "bucket " << i;
+      EXPECT_EQ(metrics::Histogram::bucket_index(prev + 1), i) << "bucket " << i;
+    }
+    prev = bound;
+  }
+  EXPECT_EQ(metrics::Histogram::bucket_bound(metrics::Histogram::kBucketCount - 1),
+            UINT64_MAX);
+}
+
+TEST(TraceHistogramTest, SubBucketRelativeErrorStaysUnderQuarter) {
+  // Values stay under the ~16.7s top of the covered range; beyond that the
+  // overflow bucket absorbs everything and error is unbounded by design.
+  for (std::uint64_t v : {100u, 1'000u, 65'000u, 1'000'000u, 10'000'000u}) {
+    const std::size_t idx = metrics::Histogram::bucket_index(v);
+    const std::uint64_t bound = metrics::Histogram::bucket_bound(idx);
+    ASSERT_GE(bound, v);
+    EXPECT_LE(static_cast<double>(bound - v), 0.25 * static_cast<double>(v))
+        << "value " << v;
+  }
+}
+
+TEST(TraceHistogramTest, PercentilesFromRebuiltBuckets) {
+  metrics::Histogram h;
+  // 100 samples at ~10us, 10 at ~1000us, 1 at ~100000us.
+  for (int i = 0; i < 100; ++i) h.record(10);
+  for (int i = 0; i < 10; ++i) h.record(1'000);
+  h.record(100'000);
+
+  std::vector<std::pair<std::uint64_t, std::uint64_t>> buckets;
+  for (std::size_t i = 0; i < metrics::Histogram::kBucketCount; ++i) {
+    if (h.bucket_count_at(i) > 0) {
+      buckets.emplace_back(metrics::Histogram::bucket_bound(i), h.bucket_count_at(i));
+    }
+  }
+  EXPECT_EQ(metrics::histogram_percentile(buckets, 0.50), 10u);
+  const std::uint64_t p99 = metrics::histogram_percentile(buckets, 0.99);
+  EXPECT_GE(p99, 1'000u);
+  EXPECT_LE(p99, 1'280u);  // 25% bucket error headroom
+  EXPECT_GE(metrics::histogram_percentile(buckets, 1.00), 100'000u);
+  EXPECT_EQ(metrics::histogram_percentile({}, 0.5), 0u);
+}
+
+TEST(TraceHistogramTest, MergeIsAssociative) {
+  metrics::Histogram a;
+  metrics::Histogram b;
+  metrics::Histogram c;
+  std::uint64_t v = 1;
+  for (int i = 0; i < 300; ++i) {
+    v = v * 2862933555777941757ull + 3037000493ull;  // LCG
+    const std::uint64_t sample = v % 1'000'000;
+    if (i % 3 == 0) a.record(sample);
+    if (i % 3 == 1) b.record(sample);
+    if (i % 3 == 2) c.record(sample);
+  }
+  // (a + b) + c
+  metrics::Histogram left;
+  left.merge_from(a);
+  left.merge_from(b);
+  left.merge_from(c);
+  // a + (b + c)
+  metrics::Histogram bc;
+  bc.merge_from(b);
+  bc.merge_from(c);
+  metrics::Histogram right;
+  right.merge_from(a);
+  right.merge_from(bc);
+  for (std::size_t i = 0; i < metrics::Histogram::kBucketCount; ++i) {
+    EXPECT_EQ(left.bucket_count_at(i), right.bucket_count_at(i)) << "bucket " << i;
+  }
+  EXPECT_EQ(left.total(), 300u);
+}
+
+TEST(TraceHistogramTest, ConcurrentRecordKeepsEverySample) {
+  metrics::Histogram h;
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 20'000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&h, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        h.record(static_cast<std::uint64_t>(t * 1'000 + (i & 0x3ff)));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  EXPECT_EQ(h.total(), static_cast<std::uint64_t>(kThreads) * kPerThread);
+}
+
+TEST(TraceHistogramTest, BucketNameRoundTrip) {
+  std::string base;
+  std::uint64_t bound = 0;
+  ASSERT_TRUE(metrics::parse_histogram_bucket_name(
+      metrics::histogram_bucket_name("lat.end_to_end", 1'234), base, bound));
+  EXPECT_EQ(base, "lat.end_to_end");
+  EXPECT_EQ(bound, 1'234u);
+  ASSERT_TRUE(metrics::parse_histogram_bucket_name(
+      metrics::histogram_bucket_name("x", UINT64_MAX), base, bound));
+  EXPECT_EQ(base, "x");
+  EXPECT_EQ(bound, UINT64_MAX);
+  EXPECT_FALSE(metrics::parse_histogram_bucket_name("plain.counter", base, bound));
+  EXPECT_FALSE(metrics::parse_histogram_bucket_name("bad.le_12x", base, bound));
+}
+
+// ---- sampling ---------------------------------------------------------------
+
+TEST(TraceSamplingTest, RateEdgesAndDeterminism) {
+  EXPECT_FALSE(sensors::trace_sampled(1, 2, 3, 0.0));
+  EXPECT_FALSE(sensors::trace_sampled(1, 2, 3, -1.0));
+  EXPECT_TRUE(sensors::trace_sampled(1, 2, 3, 1.0));
+  EXPECT_TRUE(sensors::trace_sampled(1, 2, 3, 2.0));
+  // Deterministic: the same (node, sensor, sequence) always decides the same
+  // way — the determinism grid depends on this.
+  for (SequenceNo seq = 0; seq < 100; ++seq) {
+    EXPECT_EQ(sensors::trace_sampled(1, 2, seq, 0.25),
+              sensors::trace_sampled(1, 2, seq, 0.25));
+  }
+  EXPECT_EQ(sensors::make_trace_id(1, 2, 3), sensors::make_trace_id(1, 2, 3));
+  EXPECT_NE(sensors::make_trace_id(1, 2, 3), sensors::make_trace_id(1, 2, 4));
+}
+
+TEST(TraceSamplingTest, RateApproximatesFraction) {
+  int hits = 0;
+  for (SequenceNo seq = 0; seq < 10'000; ++seq) {
+    if (sensors::trace_sampled(3, 7, seq, 0.5)) ++hits;
+  }
+  EXPECT_GT(hits, 4'000);
+  EXPECT_LT(hits, 6'000);
+}
+
+TEST(TraceSamplingTest, AnnotationStampCapAndFind) {
+  TraceAnnotation annotation;
+  annotation.trace_id = 42;
+  for (std::size_t i = 0; i < sensors::kMaxTraceStamps + 5; ++i) {
+    annotation.stamp(TraceStage::cre_pass, static_cast<TimeMicros>(i));
+  }
+  EXPECT_EQ(annotation.stamps.size(), sensors::kMaxTraceStamps);
+  const TraceStamp* found = annotation.find(TraceStage::cre_pass);
+  ASSERT_NE(found, nullptr);
+  EXPECT_EQ(found->at, static_cast<TimeMicros>(sensors::kMaxTraceStamps - 1));
+  EXPECT_EQ(annotation.find(TraceStage::tp_send), nullptr);
+}
+
+// ---- native codec -----------------------------------------------------------
+
+Record sample_record() {
+  Record record;
+  record.sensor = 9;
+  record.sequence = 5;
+  record.timestamp = 1'000'000;
+  record.fields.push_back(Field::i32(-7));
+  record.fields.push_back(Field::u64(123456789ull));
+  return record;
+}
+
+TEST(TraceNativeCodecTest, AnnotationRoundTrips) {
+  Record record = sample_record();
+  record.trace = TraceAnnotation{0xdeadbeefcafe1234ull,
+                                 {{TraceStage::ring_enqueue, 1'000'000},
+                                  {TraceStage::exs_drain, 1'000'050}}};
+  auto encoded = sensors::encode_native(record);
+  ASSERT_TRUE(encoded.is_ok()) << encoded.status().to_string();
+  auto decoded = sensors::decode_native(encoded.value().view());
+  ASSERT_TRUE(decoded.is_ok()) << decoded.status().to_string();
+  EXPECT_EQ(decoded.value(), record);
+}
+
+TEST(TraceNativeCodecTest, UntracedEncodingIsByteCompatible) {
+  // A record without an annotation must encode exactly as before the trace
+  // extension existed: no tail, flags byte zero.
+  Record record = sample_record();
+  auto encoded = sensors::encode_native(record);
+  ASSERT_TRUE(encoded.is_ok());
+  Record traced = record;
+  traced.trace = TraceAnnotation{1, {{TraceStage::ring_enqueue, 5}}};
+  auto traced_encoded = sensors::encode_native(traced);
+  ASSERT_TRUE(traced_encoded.is_ok());
+  // The traced encoding is a strict extension: same prefix, tail appended.
+  ASSERT_GT(traced_encoded.value().size(), encoded.value().size());
+  for (std::size_t i = 0; i < encoded.value().size(); ++i) {
+    if (i == sensors::kNativeFlagsOffset) {
+      EXPECT_EQ(encoded.value().view()[i], 0);
+      EXPECT_EQ(traced_encoded.value().view()[i], sensors::kNativeFlagTrace);
+    } else {
+      EXPECT_EQ(encoded.value().view()[i], traced_encoded.value().view()[i]) << "byte " << i;
+    }
+  }
+  EXPECT_FALSE(sensors::native_trace_present(encoded.value().view()));
+  EXPECT_TRUE(sensors::native_trace_present(traced_encoded.value().view()));
+}
+
+TEST(TraceNativeCodecTest, UnknownFlagBitsRejected) {
+  Record record = sample_record();
+  auto encoded = sensors::encode_native(record);
+  ASSERT_TRUE(encoded.is_ok());
+  ByteBuffer bytes = std::move(encoded).value();
+  std::vector<std::uint8_t> raw(bytes.view().begin(), bytes.view().end());
+  raw[sensors::kNativeFlagsOffset] = 0x80;
+  auto decoded = sensors::decode_native({raw.data(), raw.size()});
+  EXPECT_FALSE(decoded.is_ok());
+}
+
+TEST(TraceNativeCodecTest, WriterTraceAndLateStamp) {
+  std::vector<std::uint8_t> buf(sensors::kMaxNativeRecordBytes);
+  sensors::RecordWriter writer({buf.data(), buf.size()});
+  ASSERT_TRUE(writer.begin(3, 1, 500));
+  ASSERT_TRUE(writer.add_i32(11));
+  ASSERT_TRUE(writer.begin_trace(77));
+  ASSERT_TRUE(writer.add_trace_stamp(TraceStage::ring_enqueue, 500));
+  auto finished = writer.finish();
+  ASSERT_TRUE(finished.is_ok()) << finished.status().to_string();
+
+  std::vector<std::uint8_t> native(finished.value().begin(), finished.value().end());
+  ASSERT_TRUE(sensors::native_trace_present({native.data(), native.size()}));
+  Status st = sensors::stamp_native_trace(native, TraceStage::exs_drain, 650);
+  ASSERT_TRUE(st.is_ok()) << st.to_string();
+
+  auto decoded = sensors::decode_native({native.data(), native.size()});
+  ASSERT_TRUE(decoded.is_ok()) << decoded.status().to_string();
+  ASSERT_TRUE(decoded.value().trace.has_value());
+  EXPECT_EQ(decoded.value().trace->trace_id, 77u);
+  ASSERT_EQ(decoded.value().trace->stamps.size(), 2u);
+  EXPECT_EQ(decoded.value().trace->stamps[0], (TraceStamp{TraceStage::ring_enqueue, 500}));
+  EXPECT_EQ(decoded.value().trace->stamps[1], (TraceStamp{TraceStage::exs_drain, 650}));
+}
+
+TEST(TraceNativeCodecTest, StampOnUntracedRecordIsANoOp) {
+  Record record = sample_record();
+  auto encoded = sensors::encode_native(record);
+  ASSERT_TRUE(encoded.is_ok());
+  std::vector<std::uint8_t> native(encoded.value().view().begin(),
+                                   encoded.value().view().end());
+  const std::vector<std::uint8_t> before = native;
+  Status st = sensors::stamp_native_trace(native, TraceStage::exs_drain, 650);
+  EXPECT_TRUE(st.is_ok()) << st.to_string();
+  EXPECT_EQ(native, before);
+}
+
+TEST(TraceNativeCodecTest, PatchTimestampsShiftsStamps) {
+  Record record = sample_record();
+  record.trace = TraceAnnotation{9, {{TraceStage::ring_enqueue, 1'000'000}}};
+  auto encoded = sensors::encode_native(record);
+  ASSERT_TRUE(encoded.is_ok());
+  std::vector<std::uint8_t> native(encoded.value().view().begin(),
+                                   encoded.value().view().end());
+  Status st = sensors::patch_native_timestamps({native.data(), native.size()}, 250);
+  ASSERT_TRUE(st.is_ok()) << st.to_string();
+  auto decoded = sensors::decode_native({native.data(), native.size()});
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_EQ(decoded.value().timestamp, 1'000'250);
+  ASSERT_TRUE(decoded.value().trace.has_value());
+  EXPECT_EQ(decoded.value().trace->stamps[0].at, 1'000'250);
+}
+
+// ---- wire codec -------------------------------------------------------------
+
+TEST(TraceWireCodecTest, AnnotationRoundTrips) {
+  Record record = sample_record();
+  record.trace = TraceAnnotation{0x1122334455667788ull,
+                                 {{TraceStage::ring_enqueue, 1'000'000},
+                                  {TraceStage::ism_ingest, 1'002'000}}};
+  ByteBuffer buf;
+  xdr::Encoder enc(buf);
+  Status st = tp::encode_record(record, enc);
+  ASSERT_TRUE(st.is_ok()) << st.to_string();
+  EXPECT_EQ(buf.size(), tp::record_wire_size(record));
+  xdr::Decoder dec(buf.view());
+  auto decoded = tp::decode_record(dec, record.node);
+  ASSERT_TRUE(decoded.is_ok()) << decoded.status().to_string();
+  // Sequence numbers are a batch-level concern and never ride the wire.
+  Record expected = record;
+  expected.sequence = 0;
+  EXPECT_EQ(decoded.value(), expected);
+}
+
+TEST(TraceWireCodecTest, UntracedRecordCarriesNoTraceBytes) {
+  Record record = sample_record();
+  ByteBuffer untraced;
+  xdr::Encoder enc(untraced);
+  ASSERT_TRUE(tp::encode_record(record, enc).is_ok());
+  Record traced = record;
+  traced.trace = TraceAnnotation{1, {{TraceStage::ring_enqueue, 5}}};
+  ByteBuffer with_trace;
+  xdr::Encoder enc2(with_trace);
+  ASSERT_TRUE(tp::encode_record(traced, enc2).is_ok());
+  EXPECT_GT(with_trace.size(), untraced.size());
+  xdr::Decoder dec(untraced.view());
+  auto decoded = tp::decode_record(dec, 0);
+  ASSERT_TRUE(decoded.is_ok());
+  EXPECT_FALSE(decoded.value().trace.has_value());
+}
+
+TEST(TraceWireCodecTest, TranscodeAddsSealAndSendSlots) {
+  std::vector<std::uint8_t> buf(sensors::kMaxNativeRecordBytes);
+  sensors::RecordWriter writer({buf.data(), buf.size()});
+  ASSERT_TRUE(writer.begin(3, 1, 500));
+  ASSERT_TRUE(writer.add_i32(11));
+  ASSERT_TRUE(writer.begin_trace(77));
+  ASSERT_TRUE(writer.add_trace_stamp(TraceStage::ring_enqueue, 500));
+  auto native = writer.finish();
+  ASSERT_TRUE(native.is_ok());
+
+  ByteBuffer wire;
+  xdr::Encoder enc(wire);
+  tp::TraceStampSlots slots;
+  Status st = tp::transcode_native_record(native.value(), enc, 100, &slots);
+  ASSERT_TRUE(st.is_ok()) << st.to_string();
+  ASSERT_TRUE(slots.traced);
+
+  xdr::Decoder dec(wire.view());
+  auto decoded = tp::decode_record(dec, 3);
+  ASSERT_TRUE(decoded.is_ok()) << decoded.status().to_string();
+  ASSERT_TRUE(decoded.value().trace.has_value());
+  ASSERT_EQ(decoded.value().trace->stamps.size(), 3u);
+  // The clock correction applies to the node-side stamp; the placeholder
+  // seal/send stamps are zero until the batcher patches them.
+  EXPECT_EQ(decoded.value().trace->stamps[0], (TraceStamp{TraceStage::ring_enqueue, 600}));
+  EXPECT_EQ(decoded.value().trace->stamps[1], (TraceStamp{TraceStage::batch_seal, 0}));
+  EXPECT_EQ(decoded.value().trace->stamps[2], (TraceStamp{TraceStage::tp_send, 0}));
+}
+
+TEST(TraceWireCodecTest, BatchPatchFillsSealAndSend) {
+  std::vector<std::uint8_t> buf(sensors::kMaxNativeRecordBytes);
+  sensors::RecordWriter writer({buf.data(), buf.size()});
+  ASSERT_TRUE(writer.begin(3, 1, 500));
+  ASSERT_TRUE(writer.add_i32(11));
+  ASSERT_TRUE(writer.begin_trace(77));
+  ASSERT_TRUE(writer.add_trace_stamp(TraceStage::ring_enqueue, 500));
+  auto native = writer.finish();
+  ASSERT_TRUE(native.is_ok());
+
+  tp::BatchBuilder builder(3);
+  // An untraced record ahead of the traced one exercises the absolute-offset
+  // bookkeeping (slot offsets are relative to the record, not the batch).
+  Record plain = sample_record();
+  auto plain_native = sensors::encode_native(plain);
+  ASSERT_TRUE(plain_native.is_ok());
+  ASSERT_TRUE(builder.add_native_record(plain_native.value().view(), 100).is_ok());
+  ASSERT_TRUE(builder.add_native_record(native.value(), 100).is_ok());
+  builder.patch_trace_stamps(1'500, 1'600);
+  ByteBuffer payload = builder.finish();
+
+  xdr::Decoder dec(payload.view());
+  ASSERT_TRUE(tp::peek_type(dec).is_ok());
+  auto batch = tp::decode_batch(dec);
+  ASSERT_TRUE(batch.is_ok()) << batch.status().to_string();
+  ASSERT_EQ(batch.value().records.size(), 2u);
+  EXPECT_FALSE(batch.value().records[0].trace.has_value());
+  const Record& traced = batch.value().records[1];
+  ASSERT_TRUE(traced.trace.has_value());
+  ASSERT_EQ(traced.trace->stamps.size(), 3u);
+  EXPECT_EQ(traced.trace->stamps[1], (TraceStamp{TraceStage::batch_seal, 1'500}));
+  EXPECT_EQ(traced.trace->stamps[2], (TraceStamp{TraceStage::tp_send, 1'600}));
+}
+
+// ---- span-export records ----------------------------------------------------
+
+TEST(TraceRecordTest, RoundTripsAndDedupes) {
+  TraceAnnotation annotation;
+  annotation.trace_id = 0xabcdef;
+  annotation.stamp(TraceStage::ring_enqueue, 100);
+  annotation.stamp(TraceStage::exs_drain, 200);
+  annotation.stamp(TraceStage::exs_drain, 250);  // last wins
+  annotation.stamp(TraceStage::sink_delivery, 900);
+
+  Record record = sensors::make_trace_record(4, 17, 100, annotation);
+  EXPECT_TRUE(sensors::is_trace_record(record));
+  EXPECT_EQ(record.node, 4u);
+  EXPECT_EQ(record.sequence, 17u);
+  EXPECT_EQ(record.sensor, sensors::kTraceSensorId);
+
+  auto decoded = sensors::decode_trace_record(record);
+  ASSERT_TRUE(decoded.is_ok()) << decoded.status().to_string();
+  EXPECT_EQ(decoded.value().trace_id, 0xabcdefu);
+  ASSERT_EQ(decoded.value().stamps.size(), 3u);
+  EXPECT_EQ(decoded.value().stamps[0], (TraceStamp{TraceStage::ring_enqueue, 100}));
+  EXPECT_EQ(decoded.value().stamps[1], (TraceStamp{TraceStage::exs_drain, 250}));
+  EXPECT_EQ(decoded.value().stamps[2], (TraceStamp{TraceStage::sink_delivery, 900}));
+}
+
+TEST(TraceRecordTest, SurvivesWireRoundTrip) {
+  TraceAnnotation annotation;
+  annotation.trace_id = 1;
+  annotation.stamp(TraceStage::ring_enqueue, 100);
+  annotation.stamp(TraceStage::sink_delivery, 900);
+  Record record = sensors::make_trace_record(4, 0, 100, annotation);
+
+  ByteBuffer buf;
+  xdr::Encoder enc(buf);
+  ASSERT_TRUE(tp::encode_record(record, enc).is_ok());
+  xdr::Decoder dec(buf.view());
+  auto decoded = tp::decode_record(dec, 4);
+  ASSERT_TRUE(decoded.is_ok());
+  auto span = sensors::decode_trace_record(decoded.value());
+  ASSERT_TRUE(span.is_ok()) << span.status().to_string();
+  EXPECT_EQ(span.value(), annotation);
+}
+
+TEST(TraceRecordTest, RejectsNonTraceRecords) {
+  EXPECT_FALSE(sensors::decode_trace_record(sample_record()).is_ok());
+}
+
+// ---- latency recorder -------------------------------------------------------
+
+TEST(TraceLatencyMetricsTest, ObserveFeedsEveryPresentPair) {
+  metrics::MetricsRegistry registry;
+  metrics::LatencyRecorder recorder(registry);
+
+  TraceAnnotation annotation;
+  annotation.trace_id = 5;
+  TimeMicros at = 1'000;
+  for (std::size_t s = 0; s < sensors::kTraceStageCount; ++s) {
+    annotation.stamp(static_cast<TraceStage>(s), at);
+    at += 100;
+  }
+  recorder.observe(annotation);
+
+  auto samples = registry.snapshot();
+  std::size_t series_seen = 0;
+  for (const auto& pair : metrics::kLatencyPairs) {
+    bool found = false;
+    for (const auto& sample : samples) {
+      std::string base;
+      std::uint64_t bound = 0;
+      if (sample.kind == metrics::MetricKind::histogram_bucket &&
+          metrics::parse_histogram_bucket_name(sample.name, base, bound) &&
+          base == pair.name) {
+        EXPECT_GT(sample.value, 0u);
+        EXPECT_GT(bound, 0u) << "clamped floor keeps p50 non-zero";
+        found = true;
+      }
+    }
+    EXPECT_TRUE(found) << pair.name;
+    if (found) ++series_seen;
+  }
+  EXPECT_EQ(series_seen, metrics::kLatencyPairs.size());
+}
+
+TEST(TraceLatencyMetricsTest, MissingStagesAndClampedSpans) {
+  metrics::MetricsRegistry registry;
+  metrics::LatencyRecorder recorder(registry);
+
+  // Only ring + sink present, and the sink stamp is *earlier* (cross-node
+  // clock skew): the end-to-end span clamps to the 1us floor.
+  TraceAnnotation annotation;
+  annotation.trace_id = 6;
+  annotation.stamp(TraceStage::ring_enqueue, 2'000);
+  annotation.stamp(TraceStage::sink_delivery, 1'000);
+  recorder.observe(annotation);
+
+  auto samples = registry.snapshot();
+  std::uint64_t end_to_end_total = 0;
+  std::uint64_t clamped = 0;
+  bool adjacent_pairs_seen = false;
+  for (const auto& sample : samples) {
+    std::string base;
+    std::uint64_t bound = 0;
+    if (sample.kind == metrics::MetricKind::histogram_bucket &&
+        metrics::parse_histogram_bucket_name(sample.name, base, bound)) {
+      if (base == "lat.end_to_end") end_to_end_total += sample.value;
+      if (base != "lat.end_to_end") adjacent_pairs_seen = true;
+    }
+    if (sample.name == "lat.clamped_spans") clamped = sample.value;
+  }
+  EXPECT_EQ(end_to_end_total, 1u);
+  EXPECT_EQ(clamped, 1u);
+  EXPECT_FALSE(adjacent_pairs_seen) << "pairs with missing stamps must not record";
+}
+
+}  // namespace
+}  // namespace brisk
