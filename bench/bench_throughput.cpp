@@ -169,6 +169,81 @@ int trace_overhead(brisk::TimeMicros duration) {
   return 0;
 }
 
+/// Credit flow-control sweep: delivered vs offered load with drop counts,
+/// credits off vs on, against a throttled ISM (one reader thread feeding a
+/// tiny ingest lane, so a full lane pauses the socket and the TCP window
+/// pushes back). Credits off: the overdriven EXS blasts into the blocked
+/// socket, its write stalls starve ring draining, and records drop at the
+/// rings. Credits on: the shrunken window parks batches in the replay
+/// buffer instead, draining continues, and nothing is lost.
+int flow_sweep(bool smoke) {
+  using namespace brisk;  // NOLINT
+  const TimeMicros duration = smoke ? 1'000'000 : 2'000'000;
+  bench::row("flow-control sweep: 1 paced sender, throttled ISM "
+             "(1 reader thread, ingest_queue_frames=4, 40ms cycle)");
+  bench::row("%14s %8s %16s %16s %12s %14s %14s %8s", "offered(ev/s)", "window",
+             "generated(ev/s)", "delivered(ev/s)", "ring_drops", "replay_evicts",
+             "paced_batches", "grants");
+  const std::vector<double> offered =
+      smoke ? std::vector<double>{240'000} : std::vector<double>{30'000, 120'000, 240'000};
+  bool smoke_ok = true;
+  for (double rate : offered) {
+    for (std::uint32_t window : {0u, 8192u}) {
+      auto manager_config = bench::bench_manager_config();
+      manager_config.ism.sorter.max_pending = 1u << 22;
+      manager_config.ism.select_timeout_us = 40'000;  // the drain-rate throttle
+      manager_config.ism.reader_threads = 1;
+      manager_config.ism.ingest_queue_frames = 4;
+      manager_config.ism.ack_period_us = 20'000;
+      manager_config.ism.credit_window_records = window;
+      manager_config.ism.credit_replenish_us = 5'000;
+      auto manager = BriskManager::create(manager_config);
+      if (!manager) return 1;
+      auto node_config = bench::bench_node_config(1);
+      node_config.ring_capacity = 64 * 1024;  // a short cushion once sends stall
+      node_config.exs.batch_max_records = 16;
+      node_config.exs.batch_max_bytes = 1u << 20;
+      node_config.exs.replay_buffer_batches = 1u << 15;
+      auto node = BriskNode::create(node_config);
+      if (!node) return 1;
+      auto sensor = node.value()->make_sensor();
+      if (!sensor) return 1;
+      auto exs = node.value()->connect_exs("127.0.0.1", manager.value()->port());
+      if (!exs) return 1;
+
+      std::thread ism_thread([&] { (void)manager.value()->run_for(duration + 500'000); });
+      sim::WorkloadResult workload{};
+      std::thread app_thread([&] {
+        sim::WorkloadConfig config;
+        config.events_per_sec = rate;
+        config.duration_us = duration;
+        workload = sim::run_looping_workload(sensor.value(), config);
+      });
+      const TimeMicros wall_before = monotonic_micros();
+      (void)exs.value()->run_for(duration + 300'000);
+      const double wall_s = static_cast<double>(monotonic_micros() - wall_before) / 1e6;
+      app_thread.join();
+      exs.value()->stop();
+      manager.value()->stop();
+      ism_thread.join();
+
+      const auto& ism_stats = manager.value()->ism().stats();
+      const auto exs_stats = exs.value()->core().stats();
+      bench::row("%14.0f %8u %16.0f %16.0f %12llu %14llu %14llu %8llu", rate, window,
+                 workload.achieved_rate_per_sec(),
+                 static_cast<double>(ism_stats.records_received) / wall_s,
+                 static_cast<unsigned long long>(exs_stats.ring_drops_seen),
+                 static_cast<unsigned long long>(exs_stats.replay_evictions),
+                 static_cast<unsigned long long>(exs_stats.paced_batches),
+                 static_cast<unsigned long long>(exs_stats.credit_grants_received));
+      if (smoke && window > 0 && exs_stats.ring_drops_seen != 0) smoke_ok = false;
+    }
+  }
+  bench::row("shape check: at overload, window>0 rows lose nothing at the rings "
+             "(parked batches absorb the excess); window=0 rows drop");
+  return smoke_ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -181,7 +256,8 @@ int main(int argc, char** argv) {
     bench::heading("E3 (smoke): sharded ordering pipeline end-to-end",
                    "short saturated run, shards=2; pass = nonzero delivery");
     if (int rc = shard_sweep(2); rc != 0) return rc;
-    return trace_overhead(400'000);
+    if (int rc = trace_overhead(400'000); rc != 0) return rc;
+    return flow_sweep(true);
   }
 
   bench::heading("E3: max EXS->ISM throughput (saturated sender, loopback TCP)",
@@ -285,6 +361,8 @@ int main(int argc, char** argv) {
   bench::row("shape check: threaded epoll >= single-threaded select on multi-core ISM hosts");
 
   if (int rc = trace_overhead(1'000'000); rc != 0) return rc;
+
+  if (int rc = flow_sweep(false); rc != 0) return rc;
 
   // Sorter-shard sweep: same saturated senders, epoll throughout, varying
   // the ordering-stage parallelism instead of the ingest parallelism.

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# CI gate for BRISK. Eight stages, any failure aborts the run:
+# CI gate for BRISK. Nine stages, any failure aborts the run:
 #   1. tier-1: release-ish build + the full ctest suite
 #   2. determinism: the ingest/ordering determinism grid run explicitly —
 #      one test body covering {select, epoll} x reader threads x sorter
@@ -18,11 +18,20 @@
 #      workloads, then brisk_consume --mode latency — every stage-pair
 #      histogram must report, and --trace-out must emit a Chrome trace
 #      JSON with spans from both nodes
-#   6. resilience: the crash/churn/fault-injection label on the same build
-#   7. sanitize: a separate ASan+UBSan tree running the resilience label,
-#      which is where lifetime and data-race-adjacent bugs actually surface
-#   8. tsan: a TSan tree over the threaded ingest/ordering/metrics/trace
-#      tests — the cross-thread stats counters must stay clean on the
+#   6. flow-control smoke: an overdriven brisk_exs (300k ev/s) against a
+#      brisk_ism whose ordering thread is periodically stalled (outbound
+#      fault injection) with tiny ingest lanes — with credit grants off the
+#      EXS blasts into the blocked socket, its writes stall, and records
+#      drop at the rings (must be nonzero); with --ism-credit-records on,
+#      the pacer parks batches in the replay buffer instead and ring drops
+#      must be exactly zero
+#   7. resilience: the crash/churn/fault-injection label on the same build
+#   8. sanitize: a separate ASan+UBSan tree running the resilience label
+#      (including the flow-control property suite), which is where lifetime
+#      and data-race-adjacent bugs actually surface
+#   9. tsan: a TSan tree over the threaded ingest/ordering/metrics/trace
+#      tests plus the flow-control property suite — the cross-thread stats
+#      counters and the credit drained-record cells must stay clean on the
 #      whole grid
 #
 # Usage: ./ci.sh [--skip-sanitize]
@@ -39,19 +48,19 @@ done
 
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
-echo "==> [1/8] tier-1 build + full test suite"
+echo "==> [1/9] tier-1 build + full test suite"
 cmake -B build -S . >/dev/null
 cmake --build build -j"$JOBS"
 ctest --test-dir build --output-on-failure -j"$JOBS"
 
-echo "==> [2/8] determinism grid (select + epoll, shards 1/2/4, metrics on)"
+echo "==> [2/9] determinism grid (select + epoll, shards 1/2/4, metrics on)"
 ctest --test-dir build --output-on-failure --no-tests=error -R 'IsmIngestDeterminismTest'
 
-echo "==> [3/8] bench smoke: sharded ordering pipeline + traced delivery"
+echo "==> [3/9] bench smoke: sharded ordering pipeline + traced delivery"
 ./build/bench/bench_throughput --smoke
 ./build/bench/bench_latency --smoke
 
-echo "==> [4/8] metrics smoke: daemon pair + brisk_consume --metrics"
+echo "==> [4/9] metrics smoke: daemon pair + brisk_consume --metrics"
 METRICS_SHM_OUT="/brisk-ci-metrics-out-$$"
 METRICS_SHM_NODE="/brisk-ci-metrics-node-$$"
 ISM_PID=""
@@ -89,7 +98,7 @@ echo "$METRICS_OUT" | grep 'ism\.records_received' | head -1
 cleanup_metrics_smoke
 trap - EXIT
 
-echo "==> [5/8] latency smoke: traced daemon trio + brisk_consume --mode latency"
+echo "==> [5/9] latency smoke: traced daemon trio + brisk_consume --mode latency"
 LAT_SHM_OUT="/brisk-ci-lat-out-$$"
 LAT_SHM_NODE1="/brisk-ci-lat-node1-$$"
 LAT_SHM_NODE2="/brisk-ci-lat-node2-$$"
@@ -149,23 +158,83 @@ PYEOF
 cleanup_latency_smoke
 trap - EXIT
 
-echo "==> [6/8] resilience label"
+echo "==> [6/9] flow-control smoke: overdriven EXS vs stalled ISM, credits off/on"
+FC_SHM_OUT="/brisk-ci-fc-out-$$"
+FC_SHM_NODE="/brisk-ci-fc-node-$$"
+ISM_PID=""
+EXS_PID=""
+cleanup_fc_smoke() {
+  [[ -n "$EXS_PID" ]] && kill "$EXS_PID" 2>/dev/null || true
+  [[ -n "$ISM_PID" ]] && kill "$ISM_PID" 2>/dev/null || true
+  wait 2>/dev/null || true
+  rm -f "/dev/shm${FC_SHM_OUT}" "/dev/shm${FC_SHM_NODE}" 2>/dev/null || true
+}
+trap cleanup_fc_smoke EXIT
+# One overdriven run; $1 = extra ISM flags (credit knobs). Sets FC_DROPS to
+# the EXS's final ring-drop count. The ISM's ordering thread sleeps 100ms
+# around every second outbound ack (fault injection), so its socket reads
+# pause and the TCP window pushes back on the EXS — the "ISM at half the
+# offered load" shape without needing a slow machine.
+run_fc_pair() {
+  ISM_LOG="$(mktemp)"
+  # shellcheck disable=SC2086  # $1 is deliberately word-split flag args
+  ./build/src/apps/brisk_ism --port 0 --shm "$FC_SHM_OUT" \
+    --ism-reader-threads 1 --ingest-queue-frames 4 --select-timeout-us 10000 \
+    --ack-period-us 20000 --fault-stall-every 2 --fault-stall-us 100000 \
+    $1 >"$ISM_LOG" 2>&1 &
+  ISM_PID=$!
+  ISM_PORT=""
+  for _ in $(seq 1 50); do
+    ISM_PORT="$(sed -n 's/.*listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "$ISM_LOG" | head -1)"
+    [[ -n "$ISM_PORT" ]] && break
+    sleep 0.1
+  done
+  [[ -n "$ISM_PORT" ]] || { echo "flow smoke: ISM never reported its port" >&2; cat "$ISM_LOG" >&2; exit 1; }
+  EXS_OUT="$(mktemp)"
+  ./build/src/apps/brisk_exs --node 1 --shm "$FC_SHM_NODE" \
+    --ism-host 127.0.0.1 --ism-port "$ISM_PORT" \
+    --workload-rate 300000 --batch-records 16 --batch-age-us 2000 \
+    --ring-bytes 1048576 --replay-batches 65536 --select-timeout-us 2000 \
+    >"$EXS_OUT" 2>&1 &
+  EXS_PID=$!
+  sleep 4
+  kill "$EXS_PID" 2>/dev/null || true
+  wait "$EXS_PID" 2>/dev/null || true
+  EXS_PID=""
+  kill "$ISM_PID" 2>/dev/null || true
+  wait "$ISM_PID" 2>/dev/null || true
+  ISM_PID=""
+  rm -f "/dev/shm${FC_SHM_OUT}" "/dev/shm${FC_SHM_NODE}" 2>/dev/null || true
+  grep 'ring drops' "$EXS_OUT" || { echo "flow smoke: no EXS stats line" >&2; cat "$EXS_OUT" >&2; exit 1; }
+  FC_DROPS="$(sed -n 's/.*(\([0-9][0-9]*\) ring drops).*/\1/p' "$EXS_OUT" | head -1)"
+}
+run_fc_pair ""
+[[ "$FC_DROPS" -gt 0 ]] \
+  || { echo "flow smoke: expected ring drops with credits OFF, got $FC_DROPS" >&2; exit 1; }
+run_fc_pair "--ism-credit-records 8192 --credit-replenish-us 5000"
+[[ "$FC_DROPS" -eq 0 ]] \
+  || { echo "flow smoke: expected ZERO ring drops with credits ON, got $FC_DROPS" >&2; exit 1; }
+echo "flow smoke: credits off drops, credits on loses nothing at the rings"
+cleanup_fc_smoke
+trap - EXIT
+
+echo "==> [7/9] resilience label"
 ctest --test-dir build --output-on-failure -L resilience
 
 if [[ "$SKIP_SANITIZE" == 1 ]]; then
-  echo "==> [7/8] sanitizer stages skipped (--skip-sanitize)"
+  echo "==> [8/9] sanitizer stages skipped (--skip-sanitize)"
   exit 0
 fi
 
-echo "==> [7/8] ASan+UBSan build + resilience label"
+echo "==> [8/9] ASan+UBSan build + resilience label"
 cmake -B build-asan -S . -DBRISK_SANITIZE=address,undefined >/dev/null
 cmake --build build-asan -j"$JOBS"
 ctest --test-dir build-asan --output-on-failure -L resilience
 
-echo "==> [8/8] TSan build + ingest/ordering/metrics/trace tests"
+echo "==> [9/9] TSan build + ingest/ordering/metrics/trace tests"
 cmake -B build-tsan -S . -DBRISK_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j"$JOBS"
 ctest --test-dir build-tsan --output-on-failure --no-tests=error -j"$JOBS" \
-  -R 'IsmServerTest|IsmIngestDeterminismTest|OrderingPipelineTest|Metrics|Trace'
+  -R 'IsmServerTest|IsmIngestDeterminismTest|OrderingPipelineTest|Metrics|Trace|FlowControl|CreditGrant'
 
 echo "==> CI green"

@@ -51,6 +51,11 @@ brisk::apps::FlagRegistry make_registry() {
       .add_int("quarantine-us", 5'000'000, "session quarantine after unclean close")
       .add_int("ack-period-us", 200'000, "batch acknowledgement period")
       .add_int("gap-skip-us", 1'000'000, "give up on a batch-sequence gap after this")
+      .add_int("ism-credit-records", 0,
+               "per-connection credit window in records (0 = no credit grants)")
+      .add_int("ism-credit-bytes", 0, "per-connection credit window in bytes (0 = uncapped)")
+      .add_int("credit-replenish-us", 20'000,
+               "ack cadence while a session's window is below the full grant")
       .add_bool("sync", true, "run the clock synchronisation service")
       .add_int("sync-period-us", 5'000'000, "clock sync round period")
       .add_string("sync-algorithm", "brisk", "clock sync algorithm: brisk or cristian")
@@ -97,6 +102,9 @@ int main(int argc, char** argv) {
   config.ism.quarantine_timeout_us = flags.num("quarantine-us");
   config.ism.ack_period_us = flags.num("ack-period-us");
   config.ism.gap_skip_timeout_us = flags.num("gap-skip-us");
+  config.ism.credit_window_records = static_cast<std::uint32_t>(flags.num("ism-credit-records"));
+  config.ism.credit_window_bytes = static_cast<std::uint64_t>(flags.num("ism-credit-bytes"));
+  config.ism.credit_replenish_us = flags.num("credit-replenish-us");
   config.ism.enable_sync = flags.flag("sync");
   config.ism.sync.period_us = flags.num("sync-period-us");
   const std::string algorithm = flags.str("sync-algorithm");

@@ -221,4 +221,17 @@ std::size_t least_loaded_reader(const std::vector<std::size_t>& loads) noexcept 
   return best;
 }
 
+std::size_t least_loaded_reader(const std::vector<double>& rates,
+                                const std::vector<std::size_t>& connections) noexcept {
+  std::size_t best = 0;
+  for (std::size_t i = 1; i < rates.size(); ++i) {
+    if (rates[i] < rates[best] ||
+        (rates[i] == rates[best] && i < connections.size() &&
+         best < connections.size() && connections[i] < connections[best])) {
+      best = i;
+    }
+  }
+  return best;
+}
+
 }  // namespace brisk::ism

@@ -81,6 +81,14 @@ struct ReaderConfig {
 /// at accept keeps the pool balanced without migrating established fds.
 std::size_t least_loaded_reader(const std::vector<std::size_t>& loads) noexcept;
 
+/// Rate-aware placement: the reader with the lowest drained-record rate
+/// wins; connection counts only break rate ties (then lowest index, so
+/// placement stays deterministic). Connection counts alone misplace badly
+/// when traffic is skewed — one firehose node outweighs any number of idle
+/// connections, and the decayed record rate is what measures that.
+std::size_t least_loaded_reader(const std::vector<double>& rates,
+                                const std::vector<std::size_t>& connections) noexcept;
+
 class ReaderThread {
  public:
   /// Creates the wakeup plumbing and starts the thread.

@@ -40,6 +40,10 @@ Ism::Ism(const IsmConfig& config, clk::Clock& clock, std::shared_ptr<Sink> outpu
   pipeline_ = std::make_unique<OrderingPipeline>(
       pipeline_config, clock_,
       [this](const sensors::Record& record) {
+        // Single exit of the ordering pipeline (normal and out-of-band
+        // drains alike): the drained count here is what replenishes the
+        // node's credit window.
+        note_record_drained(record.node);
         if (record.trace) {
           deliver_traced(record);
           return;
@@ -85,6 +89,8 @@ void Ism::register_metrics() {
     b.counter("ism.records_drained_on_expiry", s.records_drained_on_expiry);
     b.counter("ism.acks_sent", s.acks_sent);
     b.counter("ism.heartbeats_received", s.heartbeats_received);
+    b.counter("ism.credit_grants_sent", s.credit_grants_sent);
+    b.counter("ism.zero_window_grants", s.zero_window_grants);
 
     const PipelineStats p = pipeline_->stats();
     b.counter("ism.pipeline.submitted", p.submitted);
@@ -149,6 +155,8 @@ IsmStats Ism::stats() const noexcept {
       stats_.records_drained_on_expiry.load(std::memory_order_relaxed);
   out.acks_sent = stats_.acks_sent.load(std::memory_order_relaxed);
   out.heartbeats_received = stats_.heartbeats_received.load(std::memory_order_relaxed);
+  out.credit_grants_sent = stats_.credit_grants_sent.load(std::memory_order_relaxed);
+  out.zero_window_grants = stats_.zero_window_grants.load(std::memory_order_relaxed);
   return out;
 }
 
@@ -192,6 +200,7 @@ Result<std::unique_ptr<Ism>> Ism::start(const IsmConfig& config, clk::Clock& clo
     ism->readers_.push_back(std::move(reader).value());
   }
   ism->reader_loads_.assign(ism->readers_.size(), 0);
+  ism->reader_rates_.assign(ism->readers_.size(), 0.0);
   return ism;
 }
 
@@ -213,7 +222,7 @@ void Ism::on_listener_readable() {
     conn.last_rx_us = monotonic_micros();
     if (threaded()) {
       conn.lane = std::make_shared<IngestLane>(config_.ingest_queue_frames);
-      conn.reader_index = least_loaded_reader(reader_loads_);
+      conn.reader_index = least_loaded_reader(reader_rates_, reader_loads_);
     }
     auto [it, inserted] = connections_.emplace(fd, std::move(conn));
     if (!inserted) continue;
@@ -330,6 +339,12 @@ void Ism::process_ingest_event(int fd, IngestEvent event) {
         close_connection(fd);
         return;
       }
+      // Feed placement: the reader's load is the records it drains, not the
+      // connections it happens to hold.
+      if (conn.reader_index < reader_rates_.size()) {
+        reader_rates_[conn.reader_index] +=
+            static_cast<double>(event.batch.records.size());
+      }
       handle_batch(conn, std::move(event.batch));
       return;
     }
@@ -355,7 +370,8 @@ Status Ism::dispatch_frame(Connection& conn, ByteSpan payload) {
     case tp::MsgType::hello: {
       auto hello = tp::decode_hello(decoder);
       if (!hello) return hello.status();
-      if (hello.value().version != tp::kProtocolVersion) {
+      if (hello.value().version < tp::kMinProtocolVersion ||
+          hello.value().version > tp::kProtocolVersion) {
         return Status(Errc::unsupported, "protocol version mismatch");
       }
       if (nodes_.count(hello.value().node) != 0) {
@@ -365,6 +381,7 @@ Status Ism::dispatch_frame(Connection& conn, ByteSpan payload) {
         return Status(Errc::already_exists, "node id already connected");
       }
       conn.node = hello.value().node;
+      conn.version = hello.value().version;
       conn.hello_seen = true;
       if (config_.flow_control_rate_per_sec > 0.0) {
         conn.flow_control = std::make_unique<TokenBucket>(config_.flow_control_rate_per_sec,
@@ -390,6 +407,12 @@ Status Ism::dispatch_frame(Connection& conn, ByteSpan payload) {
       session.connected = true;
       session.disconnected_at = 0;
       session.hole_since = 0;
+      if (credits_enabled() && !session.records_drained) {
+        // Fresh session (or an incarnation reset wiped the old one): give it
+        // a drained cell and publish it for the pipeline-sink hook.
+        session.records_drained = std::make_shared<std::atomic<std::uint64_t>>(0);
+        publish_drained_counter(conn.node, session.records_drained);
+      }
       // The HELLO_ACK cursor tells the EXS where to resume; it releases the
       // EXS's send gate, so it must go out before any BATCH_ACK.
       return send_ack(conn, tp::MsgType::hello_ack);
@@ -489,6 +512,9 @@ void Ism::handle_batch(Connection& conn, tp::Batch batch) {
       continue;
     }
     record.node = conn.node;
+    // Credits account only records that actually enter the pipeline —
+    // flow-control drops above never become backlog.
+    ++session.records_admitted;
     if (record.trace) {
       // Ordering-thread stamp: the ingest side of the pipeline admitted the
       // decoded record (reader threads decode but do not stamp — the
@@ -628,15 +654,78 @@ Status Ism::send_frame(Connection& conn, ByteSpan payload) {
   return fault_.write_frame(conn.socket, conn.outbox, payload);
 }
 
+tp::CreditGrant Ism::build_credit_grant(NodeSession& session) const noexcept {
+  const std::uint64_t drained =
+      session.records_drained
+          ? session.records_drained->load(std::memory_order_relaxed)
+          : 0;
+  const std::uint64_t backlog =
+      session.records_admitted > drained ? session.records_admitted - drained : 0;
+  tp::CreditGrant grant;
+  grant.incarnation = session.incarnation;
+  grant.window_records =
+      backlog < config_.credit_window_records
+          ? config_.credit_window_records - static_cast<std::uint32_t>(backlog)
+          : 0;
+  grant.window_bytes = config_.credit_window_bytes;
+  return grant;
+}
+
+void Ism::note_record_drained(NodeId node) noexcept {
+  if (config_.credit_window_records == 0) return;
+  const auto map = std::atomic_load_explicit(&drained_counters_, std::memory_order_acquire);
+  if (!map) return;
+  const auto it = map->find(node);
+  if (it != map->end()) it->second->fetch_add(1, std::memory_order_relaxed);
+}
+
+void Ism::publish_drained_counter(NodeId node,
+                                  std::shared_ptr<std::atomic<std::uint64_t>> cell) {
+  const auto old = std::atomic_load_explicit(&drained_counters_, std::memory_order_acquire);
+  auto next = old ? std::make_shared<DrainedMap>(*old) : std::make_shared<DrainedMap>();
+  (*next)[node] = std::move(cell);
+  std::atomic_store_explicit(&drained_counters_,
+                             std::shared_ptr<const DrainedMap>(std::move(next)),
+                             std::memory_order_release);
+}
+
+void Ism::retire_drained_counter(NodeId node) {
+  const auto old = std::atomic_load_explicit(&drained_counters_, std::memory_order_acquire);
+  if (!old || old->count(node) == 0) return;
+  auto next = std::make_shared<DrainedMap>(*old);
+  next->erase(node);
+  std::atomic_store_explicit(&drained_counters_,
+                             std::shared_ptr<const DrainedMap>(std::move(next)),
+                             std::memory_order_release);
+}
+
 Status Ism::send_ack(Connection& conn, tp::MsgType type) {
   NodeSession& session = sessions_[conn.node];
+  // Grants piggyback on both ack shapes, but only towards peers that speak
+  // the credit extension — a v2 EXS gets byte-identical v2 acks.
+  const bool grant_credits =
+      credits_enabled() && conn.version >= tp::kCreditProtocolVersion;
+  std::optional<tp::CreditGrant> credit;
+  if (grant_credits) {
+    credit = build_credit_grant(session);
+    session.last_granted_records = credit->window_records;
+    bump(stats_.credit_grants_sent);
+    if (credit->window_records == 0) bump(stats_.zero_window_grants);
+  }
   ByteBuffer out;
   xdr::Encoder enc(out);
   tp::put_type(type, enc);
   if (type == tp::MsgType::hello_ack) {
-    tp::encode_hello_ack({session.incarnation, session.next_batch_seq}, enc);
+    tp::HelloAck ack;
+    ack.incarnation = session.incarnation;
+    ack.next_expected_seq = session.next_batch_seq;
+    ack.credit = credit;
+    tp::encode_hello_ack(ack, enc);
   } else {
-    tp::encode_batch_ack({session.next_batch_seq}, enc);
+    tp::BatchAck ack;
+    ack.next_expected_seq = session.next_batch_seq;
+    ack.credit = credit;
+    tp::encode_batch_ack(ack, enc);
   }
   conn.last_ack_sent_us = monotonic_micros();
   bump(stats_.acks_sent);
@@ -668,7 +757,21 @@ void Ism::session_sweep() {
     std::vector<int> failed;
     for (auto& [fd, conn] : connections_) {
       if (!conn.hello_seen || conn.closing) continue;
-      if (now - conn.last_ack_sent_us < config_.ack_period_us) continue;
+      TimeMicros period = config_.ack_period_us;
+      if (credits_enabled() && config_.credit_replenish_us > 0 &&
+          config_.credit_replenish_us < period &&
+          conn.version >= tp::kCreditProtocolVersion) {
+        // A below-full grant means the node has in-pipeline backlog — its
+        // EXS may be window-stalled right now, and the re-grant on the next
+        // ack is the only thing that reopens it. Ack faster until the
+        // window is back to full.
+        const auto sit = sessions_.find(conn.node);
+        if (sit != sessions_.end() &&
+            sit->second.last_granted_records < config_.credit_window_records) {
+          period = config_.credit_replenish_us;
+        }
+      }
+      if (now - conn.last_ack_sent_us < period) continue;
       Status st = send_ack(conn, tp::MsgType::batch_ack);
       if (!st) {
         // The outbox overflowed (peer stopped reading) or the socket
@@ -680,6 +783,18 @@ void Ism::session_sweep() {
       }
     }
     for (int fd : failed) close_connection(fd);
+  }
+
+  // Reader drained-record rates decay by half every period, so placement
+  // follows recent traffic and an old burst cannot pin a reader forever.
+  if (!reader_rates_.empty()) {
+    constexpr TimeMicros kReaderRateDecayPeriod = 1'000'000;
+    if (last_reader_decay_us_ == 0) {
+      last_reader_decay_us_ = now;
+    } else if (now - last_reader_decay_us_ >= kReaderRateDecayPeriod) {
+      last_reader_decay_us_ = now;
+      for (double& rate : reader_rates_) rate *= 0.5;
+    }
   }
 
   // Quarantine expiry: forget sessions whose node never came back.
@@ -697,6 +812,7 @@ void Ism::expire_session(NodeId node) {
   const std::size_t drained = pipeline_->remove_node(node);
   bump(stats_.sessions_expired);
   sessions_.erase(node);
+  retire_drained_counter(node);
   stats_.records_drained_on_expiry.store(pipeline_->stats().oob_records, std::memory_order_relaxed);
   if (pipeline_->threaded()) {
     BRISK_LOG_INFO << "session for node " << node << " expired (drain queued to shard "
@@ -723,6 +839,7 @@ void Ism::close_connection(int fd) {
           // drain through the sorter in timestamp order, merged with the
           // other nodes — only crashed sessions get the out-of-band drain.
           sessions_.erase(sit);
+          retire_drained_counter(conn.node);
         } else if (config_.quarantine_timeout_us == 0) {
           expire_session(conn.node);
         } else {

@@ -96,6 +96,21 @@ struct IsmConfig {
   /// batch_seq_gaps) and the cursor jumps forward — the EXS evicted the
   /// missing batches from its replay buffer and can never resend them.
   TimeMicros gap_skip_timeout_us = 1'000'000;
+
+  // --- credit-based flow control ---------------------------------------------
+  /// Per-connection record window granted on every ack to v3+ peers
+  /// (--ism-credit-records). The grant is the configured window minus the
+  /// node's in-pipeline backlog, so a slow pipeline shrinks the window and
+  /// the EXS pacer parks batches instead of blasting into a blocked socket.
+  /// 0 disables credit grants entirely (acks stay v2-shaped on the wire).
+  std::uint32_t credit_window_records = 0;
+  /// Byte window granted alongside (--ism-credit-bytes); 0 = uncapped.
+  std::uint64_t credit_window_bytes = 0;
+  /// Ack cadence towards a session whose last grant was below the full
+  /// window: the pipeline is draining its backlog and a prompt re-grant is
+  /// what reopens the EXS's window (--credit-replenish-us). Clamped up to
+  /// ack_period_us; 0 keeps the plain ack cadence.
+  TimeMicros credit_replenish_us = 20'000;
 };
 
 /// A point-in-time snapshot of the ISM's counters. Ism::stats() builds one
@@ -127,6 +142,9 @@ struct IsmStats {
   std::uint64_t records_drained_on_expiry = 0; // out-of-band emissions at expiry
   std::uint64_t acks_sent = 0;                 // HELLO_ACK + BATCH_ACK frames
   std::uint64_t heartbeats_received = 0;
+  // --- credit-based flow control ---------------------------------------------
+  std::uint64_t credit_grants_sent = 0;        // acks that carried a grant
+  std::uint64_t zero_window_grants = 0;        // grants that closed the window
 };
 
 class Ism {
@@ -187,6 +205,9 @@ class Ism {
     /// the replay buffer + reconnect).
     net::FrameSendBuffer outbox;
     NodeId node = 0;
+    /// Negotiated protocol version from the peer's HELLO; grants are only
+    /// appended to acks for peers that understand them (v3+).
+    std::uint32_t version = tp::kProtocolVersion;
     bool hello_seen = false;
     bool saw_bye = false;             // clean shutdown: expire the session now
     TimeMicros last_rx_us = 0;        // monotonic, any inbound bytes
@@ -213,6 +234,14 @@ class Ism {
     TimeMicros disconnected_at = 0;      // monotonic, valid when !connected
     TimeMicros hole_since = 0;           // monotonic, 0 = no open seq hole
     std::uint32_t lowest_pending_seq = 0;  // smallest seq offered above cursor
+    // --- credit-based flow control -------------------------------------------
+    /// Records admitted into the ordering pipeline (ordering thread only).
+    std::uint64_t records_admitted = 0;
+    /// Records that left the pipeline through the sink; bumped on the merger
+    /// thread in sharded mode, hence the atomic cell. admitted − drained is
+    /// the node's in-pipeline backlog, which shrinks its next grant.
+    std::shared_ptr<std::atomic<std::uint64_t>> records_drained;
+    std::uint32_t last_granted_records = 0;  // most recent grant's window
   };
 
   /// The master side of clock sync over the live connections.
@@ -250,6 +279,20 @@ class Ism {
   void expire_session(NodeId node);
   Status send_ack(Connection& conn, tp::MsgType type);
   Status send_frame(Connection& conn, ByteSpan payload);
+  // --- credit-based flow control ---------------------------------------------
+  [[nodiscard]] bool credits_enabled() const noexcept {
+    return config_.credit_window_records > 0 && resilient();
+  }
+  /// The grant appended to an ack: configured window minus the node's
+  /// in-pipeline backlog (clamped at zero — never a negative window).
+  [[nodiscard]] tp::CreditGrant build_credit_grant(NodeSession& session) const noexcept;
+  /// Pipeline-sink hook: counts a delivered record against its node's
+  /// drained counter (any pipeline thread; lock-free COW map lookup).
+  void note_record_drained(NodeId node) noexcept;
+  /// Ordering-thread-only copy-on-write updates of the drained-counter map.
+  void publish_drained_counter(NodeId node,
+                              std::shared_ptr<std::atomic<std::uint64_t>> cell);
+  void retire_drained_counter(NodeId node);
   /// Tears down a connection. In threaded mode with the reader still
   /// polling the fd, this only shutdown(2)s the socket and waits for the
   /// reader's `closed` event (see ingest.hpp's fd ownership protocol).
@@ -283,8 +326,14 @@ class Ism {
   net::TcpListener listener_;
   std::unique_ptr<net::Poller> loop_;
   std::vector<std::unique_ptr<ReaderThread>> readers_;
-  /// Live connection count per reader, for least-loaded accept placement.
+  /// Live connection count per reader (tie-breaker for accept placement).
   std::vector<std::size_t> reader_loads_;
+  /// Decayed drained-record load per reader: bumped as batches drain from a
+  /// reader's lanes, halved periodically in session_sweep(). Accept-time
+  /// placement follows actual record traffic, not connection counts — four
+  /// idle connections weigh less than one firehose.
+  std::vector<double> reader_rates_;
+  TimeMicros last_reader_decay_us_ = 0;  // monotonic
   std::map<int, Connection> connections_;
   std::map<NodeId, int> nodes_;  // node id → fd (live connections only)
   std::map<NodeId, NodeSession> sessions_;
@@ -325,8 +374,16 @@ class Ism {
     std::atomic<std::uint64_t> records_drained_on_expiry{0};
     std::atomic<std::uint64_t> acks_sent{0};
     std::atomic<std::uint64_t> heartbeats_received{0};
+    std::atomic<std::uint64_t> credit_grants_sent{0};
+    std::atomic<std::uint64_t> zero_window_grants{0};
   };
   Counters stats_;
+  /// node → drained-record cell, for the pipeline-sink counting hook. Read
+  /// lock-free on pipeline threads via atomic shared_ptr loads; replaced
+  /// copy-on-write on the ordering thread (single writer). Null while no
+  /// session has credits.
+  using DrainedMap = std::map<NodeId, std::shared_ptr<std::atomic<std::uint64_t>>>;
+  std::shared_ptr<const DrainedMap> drained_counters_;
   net::FaultySocket fault_;  // all ISM→EXS frames route through this
   std::uint32_t next_request_id_ = 1;
   // Set while a sync poll is waiting for this (request id, value) pair.

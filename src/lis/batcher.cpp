@@ -16,7 +16,7 @@ Status Batcher::add_native_record(ByteSpan native, TimeMicros ts_delta) {
   last_ts_delta_ = ts_delta;
   Status st = builder_.add_native_record(native, ts_delta);
   if (!st) return st;
-  if (builder_.record_count() >= config_.batch_max_records) return flush();
+  if (builder_.record_count() >= effective_max_records()) return flush();
   return Status::ok();
 }
 

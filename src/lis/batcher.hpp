@@ -33,15 +33,28 @@ class Batcher {
 
   void set_ring_dropped_total(std::uint64_t total) noexcept { ring_dropped_total_ = total; }
 
+  /// Window-aware flush: caps the per-batch record count below the
+  /// configured maximum so a batch never exceeds the granted flow-control
+  /// window (a batch bigger than the whole window could otherwise never be
+  /// sent). 0 restores the configured maximum.
+  void set_record_cap(std::uint32_t cap) noexcept { record_cap_ = cap; }
+
   [[nodiscard]] std::uint32_t pending_records() const noexcept { return builder_.record_count(); }
   [[nodiscard]] std::uint64_t batches_sent() const noexcept { return batches_sent_; }
   [[nodiscard]] std::uint64_t bytes_sent() const noexcept { return bytes_sent_; }
 
  private:
+  [[nodiscard]] std::uint32_t effective_max_records() const noexcept {
+    return record_cap_ > 0 && record_cap_ < config_.batch_max_records
+               ? record_cap_
+               : config_.batch_max_records;
+  }
+
   ExsConfig config_;
   clk::Clock& clock_;
   BatchSink sink_;
   tp::BatchBuilder builder_;
+  std::uint32_t record_cap_ = 0;  // 0 = config_.batch_max_records
   TimeMicros oldest_record_at_ = 0;  // clock time the current batch started
   /// Correction of the most recent record added; flush() uses it to stamp
   /// the batch_seal / tp_send trace slots in the synchronized timebase.

@@ -63,6 +63,14 @@ struct ExsConfig {
   /// TCP sessions where writes still succeed locally (0 disables).
   TimeMicros ism_silence_timeout_us = 0;
 
+  // --- credit-based flow control ---------------------------------------------
+  /// Honor ISM credit grants (--exs-pace): batches beyond the granted
+  /// window wait in the replay buffer instead of blasting into a blocked
+  /// socket, and the batch size shrinks to fit the window. Off, or facing
+  /// an ISM that grants no credits, the EXS sends as fast as the socket
+  /// accepts (the pre-v3 behavior). Pacing requires the replay buffer.
+  bool pace = true;
+
   // --- self-instrumentation ---------------------------------------------------
   /// Snapshot the EXS's own counters into reserved-sensor-id metrics
   /// records at this period and ship them in-band like any sensor record
@@ -91,6 +99,12 @@ struct ExsStats {
   std::uint64_t heartbeats_sent = 0;
   std::uint64_t acks_received = 0;        // HELLO_ACK + BATCH_ACK frames
   std::uint64_t replay_pending = 0;       // batches currently awaiting ack
+  // --- credit-based flow control ---------------------------------------------
+  std::uint64_t credit_grants_received = 0;  // acks carrying a grant
+  std::uint64_t paced_batches = 0;        // batches deferred by a closed window
+  TimeMicros credit_stalled_us = 0;       // total time sends sat window-blocked
+  std::uint64_t credit_window_records = 0;   // last granted record window
+  std::uint64_t credit_window_bytes = 0;     // last granted byte window (0 = uncapped)
 };
 
 }  // namespace brisk::lis

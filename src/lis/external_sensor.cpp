@@ -41,6 +41,12 @@ ExsCore::ExsCore(const ExsConfig& config, shm::MultiRing rings, clk::Clock& cloc
     out.counter("exs.acks_received", s.acks_received);
     out.gauge("exs.replay_pending", s.replay_pending);
     out.gauge("exs.correction_us", static_cast<std::uint64_t>(s.correction_us));
+    out.counter("exs.credit_grants", s.credit_grants_received);
+    out.counter("exs.paced_batches", s.paced_batches);
+    out.counter("exs.credit_stalled_ms",
+                static_cast<std::uint64_t>(s.credit_stalled_us) / 1000);
+    out.gauge("exs.credit_window_records", s.credit_window_records);
+    out.gauge("exs.credit_window_bytes", s.credit_window_bytes);
   });
 }
 
@@ -82,11 +88,26 @@ Status ExsCore::ship_batch(ByteBuffer payload) {
   if (config_.replay_buffer_batches > 0) {
     Status st = replay_.retain(payload.view());
     if (!st) return st;
+    if (credit_active_) {
+      // Paced mode: every send goes through the window gate, in sequence
+      // order. A batch the window cannot take right now simply waits in the
+      // replay buffer — the next replenishing grant pumps it out.
+      const std::uint32_t seq = replay_.entries().back().batch_seq;
+      st = pump_sends();
+      if (!st) return st;
+      if (link_ready_ && !awaiting_ack_ && next_unsent_seq_ <= seq) ++paced_batches_;
+      return Status::ok();
+    }
     // Link down or session not yet acknowledged: the batch stays in the
     // replay buffer and goes out — in sequence order — on the next
     // HELLO_ACK. Sending it now would let a fresh batch overtake older
     // unacked ones and the ISM would discard the replays as duplicates.
     if (!link_ready_ || awaiting_ack_) return Status::ok();
+    if (!replay_.empty()) {
+      const ReplayBuffer::Entry& newest = replay_.entries().back();
+      next_unsent_seq_ = newest.batch_seq + 1;
+      if (send_high_water_ < next_unsent_seq_) send_high_water_ = next_unsent_seq_;
+    }
   } else if (!link_ready_) {
     return Status::ok();  // replay disabled: the batch is simply lost
   }
@@ -94,6 +115,13 @@ Status ExsCore::ship_batch(ByteBuffer payload) {
 }
 
 Status ExsCore::resend_unacked() {
+  if (credit_active_) {
+    // Go-back-N under pacing: everything unacked becomes unsent again and
+    // re-ships through the window gate — the replay respects whatever
+    // window the reopened session granted, not the pre-loss one.
+    rewind_unsent();
+    return pump_sends();
+  }
   for (const auto& entry : replay_.entries()) {
     ByteBuffer copy;
     copy.append(entry.frame.view());
@@ -101,7 +129,111 @@ Status ExsCore::resend_unacked() {
     if (!st) return st;
     ++batches_replayed_;
   }
+  if (!replay_.empty()) {
+    next_unsent_seq_ = replay_.entries().back().batch_seq + 1;
+    if (send_high_water_ < next_unsent_seq_) send_high_water_ = next_unsent_seq_;
+  }
   return Status::ok();
+}
+
+std::uint64_t ExsCore::outstanding_records() const noexcept {
+  std::uint64_t records = 0;
+  for (const auto& entry : replay_.entries()) {
+    if (entry.batch_seq >= next_unsent_seq_) break;
+    records += entry.record_count;
+  }
+  return records;
+}
+
+std::uint64_t ExsCore::outstanding_bytes() const noexcept {
+  std::uint64_t bytes = 0;
+  for (const auto& entry : replay_.entries()) {
+    if (entry.batch_seq >= next_unsent_seq_) break;
+    bytes += entry.frame.size();
+  }
+  return bytes;
+}
+
+void ExsCore::rewind_unsent() noexcept {
+  next_unsent_seq_ = replay_.empty() ? next_unsent_seq_ : replay_.entries().front().batch_seq;
+}
+
+void ExsCore::begin_stall() noexcept {
+  if (stall_started_at_ == 0) stall_started_at_ = clock_.now();
+}
+
+void ExsCore::end_stall() noexcept {
+  if (stall_started_at_ != 0) {
+    const TimeMicros now = clock_.now();
+    if (now > stall_started_at_) credit_stalled_us_ += now - stall_started_at_;
+    stall_started_at_ = 0;
+  }
+}
+
+Status ExsCore::pump_sends() {
+  if (!link_ready_ || awaiting_ack_) return Status::ok();
+  const auto& entries = replay_.entries();
+  if (entries.empty()) {
+    end_stall();
+    return Status::ok();
+  }
+  // Evictions may have removed unsent entries from the front; the oldest
+  // batch still buffered is the oldest that can ever be sent.
+  if (next_unsent_seq_ < entries.front().batch_seq) {
+    next_unsent_seq_ = entries.front().batch_seq;
+  }
+  std::uint64_t out_records = outstanding_records();
+  std::uint64_t out_bytes = outstanding_bytes();
+  std::size_t index = 0;
+  while (index < entries.size() && entries[index].batch_seq < next_unsent_seq_) ++index;
+  while (index < entries.size() && link_ready_) {
+    const ReplayBuffer::Entry& entry = entries[index];
+    const bool fits =
+        out_records + entry.record_count <= window_records_ &&
+        (window_bytes_ == 0 || out_bytes + entry.frame.size() <= window_bytes_);
+    // Progress guarantee: a batch bigger than the whole window ships once
+    // nothing is outstanding — a shrunk (even zero) window stalls the
+    // stream, never deadlocks it.
+    if (!fits && out_records > 0) {
+      begin_stall();
+      return Status::ok();
+    }
+    if (!fits && window_records_ == 0) {
+      // Zero window with an empty pipe: the ISM asked for silence; wait for
+      // a replenishing grant rather than forcing the batch through.
+      begin_stall();
+      return Status::ok();
+    }
+    ByteBuffer copy;
+    copy.append(entry.frame.view());
+    const std::uint32_t seq = entry.batch_seq;
+    const std::uint32_t records = entry.record_count;
+    const std::size_t bytes = entry.frame.size();
+    if (seq < send_high_water_) ++batches_replayed_;
+    Status st = sink_(std::move(copy));
+    if (!st) return st;
+    out_records += records;
+    out_bytes += bytes;
+    next_unsent_seq_ = seq + 1;
+    if (send_high_water_ < next_unsent_seq_) send_high_water_ = next_unsent_seq_;
+    ++index;
+  }
+  if (index >= entries.size()) end_stall();
+  return Status::ok();
+}
+
+void ExsCore::apply_credit(const std::optional<tp::CreditGrant>& credit) {
+  if (!credit) return;
+  if (credit->incarnation != config_.incarnation) return;  // stale session's grant
+  ++credit_grants_received_;
+  if (!config_.pace || config_.replay_buffer_batches == 0) return;
+  credit_active_ = true;
+  window_records_ = credit->window_records;
+  window_bytes_ = credit->window_bytes;
+  // Window-aware flush: never build a batch the window cannot take whole
+  // (0 keeps the configured maximum — the progress guarantee covers the
+  // rare oversized leftover).
+  batcher_.set_record_cap(window_records_);
 }
 
 Status ExsCore::handle_frame(ByteSpan payload) {
@@ -130,6 +262,7 @@ Status ExsCore::handle_frame(ByteSpan payload) {
       auto ack = tp::decode_hello_ack(decoder);
       if (!ack) return ack.status();
       ++acks_received_;
+      apply_credit(ack.value().credit);
       if (config_.replay_buffer_batches == 0) return Status::ok();
       if (ack.value().incarnation != config_.incarnation) {
         // Ack for a previous session of this connection; a fresh one is on
@@ -146,6 +279,7 @@ Status ExsCore::handle_frame(ByteSpan payload) {
       auto ack = tp::decode_batch_ack(decoder);
       if (!ack) return ack.status();
       ++acks_received_;
+      apply_credit(ack.value().credit);
       if (config_.replay_buffer_batches == 0) return Status::ok();
       const std::uint32_t expected = ack.value().next_expected_seq;
       replay_.ack(expected);
@@ -160,6 +294,9 @@ Status ExsCore::handle_frame(ByteSpan payload) {
           replay_.entries().front().batch_seq == expected) {
         return resend_unacked();
       }
+      // Acked batches leave the outstanding set — the reopened window may
+      // have room for batches a closed window parked in the replay buffer.
+      if (credit_active_) return pump_sends();
       return Status::ok();
     }
     case tp::MsgType::heartbeat:
@@ -212,6 +349,9 @@ void ExsCore::on_disconnect() noexcept {
   link_ready_ = false;
   awaiting_ack_ = false;
   have_last_ack_ = false;
+  // Down-time is reconnect territory, not window pressure; don't let it
+  // inflate the stall clock.
+  end_stall();
 }
 
 Status ExsCore::on_reconnected() {
@@ -236,6 +376,13 @@ ExsStats ExsCore::stats() const noexcept {
   s.heartbeats_sent = heartbeats_sent_;
   s.acks_received = acks_received_;
   s.replay_pending = replay_.size();
+  s.credit_grants_received = credit_grants_received_;
+  s.paced_batches = paced_batches_;
+  s.credit_stalled_us = credit_stalled_us_;
+  if (credit_active_) {
+    s.credit_window_records = window_records_;
+    s.credit_window_bytes = window_bytes_;
+  }
   return s;
 }
 

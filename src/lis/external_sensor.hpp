@@ -20,6 +20,7 @@
 
 #include <functional>
 #include <memory>
+#include <optional>
 #include <random>
 
 #include "clock/clock.hpp"
@@ -32,6 +33,7 @@
 #include "net/poller.hpp"
 #include "net/socket.hpp"
 #include "shm/multi_ring.hpp"
+#include "tp/wire.hpp"
 
 namespace brisk::lis {
 
@@ -90,6 +92,13 @@ class ExsCore {
   [[nodiscard]] bool awaiting_ack() const noexcept { return awaiting_ack_; }
   [[nodiscard]] const ReplayBuffer& replay() const noexcept { return replay_; }
 
+  /// True once an ISM credit grant governs this session's sends (pacing on,
+  /// replay enabled, and a grant for this incarnation has arrived).
+  [[nodiscard]] bool pacing() const noexcept { return credit_active_; }
+  /// Sent-but-unacknowledged records/bytes charged against the window.
+  [[nodiscard]] std::uint64_t outstanding_records() const noexcept;
+  [[nodiscard]] std::uint64_t outstanding_bytes() const noexcept;
+
   [[nodiscard]] ExsStats stats() const noexcept;
   [[nodiscard]] metrics::MetricsRegistry& metrics() noexcept { return metrics_; }
   [[nodiscard]] const ExsConfig& config() const noexcept { return config_; }
@@ -99,6 +108,18 @@ class ExsCore {
   Status ship_batch(ByteBuffer payload);
   /// Re-sends every retained batch, oldest first (the ISM dedupes).
   Status resend_unacked();
+  /// Folds an ack's credit grant (if any) into the pacer window. Grants for
+  /// a foreign incarnation are ignored — never a session error.
+  void apply_credit(const std::optional<tp::CreditGrant>& credit);
+  /// The paced send path: ships retained batches in sequence order from
+  /// `next_unsent_seq_` while the granted window has room. A batch larger
+  /// than the whole window is sent once nothing is outstanding (progress
+  /// guarantee — a zero or shrunken window can never deadlock the stream).
+  Status pump_sends();
+  /// Marks everything unacked as unsent (go-back-N under pacing).
+  void rewind_unsent() noexcept;
+  void begin_stall() noexcept;
+  void end_stall() noexcept;
 
   ExsConfig config_;
   shm::MultiRing rings_;
@@ -120,6 +141,21 @@ class ExsCore {
   std::uint64_t batches_replayed_ = 0;
   std::uint64_t heartbeats_sent_ = 0;
   std::uint64_t acks_received_ = 0;
+  // --- credit-based flow control ---------------------------------------------
+  /// True once a grant for this incarnation arrived and pacing applies.
+  bool credit_active_ = false;
+  std::uint32_t window_records_ = 0;  // last granted record window
+  std::uint64_t window_bytes_ = 0;    // last granted byte window (0 = uncapped)
+  /// Replay entries with batch_seq below this have been handed to the sink
+  /// and are charged against the window; at or above are still queued.
+  std::uint32_t next_unsent_seq_ = 0;
+  /// Highest batch_seq ever handed to the sink (+1); re-sends below it
+  /// count as replays.
+  std::uint32_t send_high_water_ = 0;
+  std::uint64_t credit_grants_received_ = 0;
+  std::uint64_t paced_batches_ = 0;
+  TimeMicros credit_stalled_us_ = 0;
+  TimeMicros stall_started_at_ = 0;  // node-clock time, 0 = not stalled
   metrics::MetricsRegistry metrics_;
   SequenceNo metrics_sequence_ = 0;
   std::vector<std::uint8_t> drain_scratch_;

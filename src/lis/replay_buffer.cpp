@@ -3,7 +3,8 @@
 namespace brisk::lis {
 namespace {
 
-constexpr std::size_t kSeqOffset = 8;  // u32 type | u32 node | u32 batch_seq
+constexpr std::size_t kSeqOffset = 8;     // u32 type | u32 node | u32 batch_seq
+constexpr std::size_t kCountOffset = 12;  // ... | u32 record_count
 
 std::uint32_t read_be32(const std::uint8_t* p) noexcept {
   return (std::uint32_t{p[0]} << 24) | (std::uint32_t{p[1]} << 16) |
@@ -14,7 +15,7 @@ std::uint32_t read_be32(const std::uint8_t* p) noexcept {
 
 Status ReplayBuffer::retain(ByteSpan frame) {
   if (max_batches_ == 0) return Status::ok();  // replay disabled
-  if (frame.size() < kSeqOffset + 4) {
+  if (frame.size() < kCountOffset + 4) {
     return Status(Errc::invalid_argument, "frame too short for a batch header");
   }
   while (entries_.size() >= max_batches_) {
@@ -34,6 +35,7 @@ Status ReplayBuffer::retain(ByteSpan frame) {
   }
   Entry entry;
   entry.batch_seq = read_be32(frame.data() + kSeqOffset);
+  entry.record_count = read_be32(frame.data() + kCountOffset);
   entry.frame.append(frame);
   bytes_ += entry.frame.size();
   entries_.push_back(std::move(entry));

@@ -26,6 +26,9 @@ class ReplayBuffer {
  public:
   struct Entry {
     std::uint32_t batch_seq = 0;
+    /// Records in the batch (from the header); the pacer charges these
+    /// against the granted flow-control window.
+    std::uint32_t record_count = 0;
     ByteBuffer frame;  // full data_batch frame payload, ready to re-send
   };
 

@@ -441,9 +441,39 @@ Result<Hello> decode_hello(xdr::Decoder& decoder) {
   return msg;
 }
 
+namespace {
+
+void encode_credit(const CreditGrant& grant, xdr::Encoder& encoder) {
+  encoder.put_u64(grant.incarnation);
+  encoder.put_u32(grant.window_records);
+  encoder.put_u64(grant.window_bytes);
+}
+
+/// Decodes the optional trailing credit extension of an ack frame. An ack
+/// that ends after its base fields has no grant (v2 peer, or credits off);
+/// once any extension bytes are present the grant must be complete — a
+/// truncated grant is a malformed frame, not an absent one.
+Result<std::optional<CreditGrant>> decode_credit_tail(xdr::Decoder& decoder) {
+  if (decoder.exhausted()) return std::optional<CreditGrant>{};
+  CreditGrant grant;
+  auto incarnation = decoder.get_u64();
+  if (!incarnation) return Status(Errc::truncated, "credit grant incarnation");
+  auto records = decoder.get_u32();
+  if (!records) return Status(Errc::truncated, "credit grant record window");
+  auto bytes = decoder.get_u64();
+  if (!bytes) return Status(Errc::truncated, "credit grant byte window");
+  grant.incarnation = incarnation.value();
+  grant.window_records = records.value();
+  grant.window_bytes = bytes.value();
+  return std::optional<CreditGrant>{grant};
+}
+
+}  // namespace
+
 void encode_hello_ack(const HelloAck& msg, xdr::Encoder& encoder) {
   encoder.put_u64(msg.incarnation);
   encoder.put_u32(msg.next_expected_seq);
+  if (msg.credit) encode_credit(*msg.credit, encoder);
 }
 
 Result<HelloAck> decode_hello_ack(xdr::Decoder& decoder) {
@@ -454,17 +484,26 @@ Result<HelloAck> decode_hello_ack(xdr::Decoder& decoder) {
   if (!seq) return seq.status();
   msg.incarnation = incarnation.value();
   msg.next_expected_seq = seq.value();
+  auto credit = decode_credit_tail(decoder);
+  if (!credit) return credit.status();
+  msg.credit = credit.value();
   return msg;
 }
 
 void encode_batch_ack(const BatchAck& msg, xdr::Encoder& encoder) {
   encoder.put_u32(msg.next_expected_seq);
+  if (msg.credit) encode_credit(*msg.credit, encoder);
 }
 
 Result<BatchAck> decode_batch_ack(xdr::Decoder& decoder) {
+  BatchAck msg;
   auto seq = decoder.get_u32();
   if (!seq) return seq.status();
-  return BatchAck{seq.value()};
+  msg.next_expected_seq = seq.value();
+  auto credit = decode_credit_tail(decoder);
+  if (!credit) return credit.status();
+  msg.credit = credit.value();
+  return msg;
 }
 
 void encode_time_req(const TimeReq& msg, xdr::Encoder& encoder) {

@@ -20,9 +20,18 @@
 // BATCH_ACK carries the ISM's cumulative receive cursor so the EXS can trim
 // its replay buffer and re-send batches lost to a faulty link; HEARTBEAT
 // keeps idle sessions distinguishable from dead ones.
+//
+// Credit-based flow control (protocol v3) rides the same ack frames: a
+// HELLO_ACK or BATCH_ACK may carry a trailing CreditGrant naming how many
+// records and bytes the EXS may keep in flight (sent but unacknowledged)
+// beyond the ack's cursor. The extension is length-delimited by the frame:
+// a v2 ack simply ends after its base fields, so v2 peers interoperate
+// unchanged — the ISM only appends grants for peers that said hello with
+// version >= 3, and an EXS that never receives one paces nothing.
 #pragma once
 
 #include <cstdint>
+#include <optional>
 
 #include "common/error.hpp"
 #include "sensors/record.hpp"
@@ -31,7 +40,12 @@
 
 namespace brisk::tp {
 
-inline constexpr std::uint32_t kProtocolVersion = 2;
+inline constexpr std::uint32_t kProtocolVersion = 3;
+/// Oldest peer version the ISM still accepts (v2: resilience without
+/// credit-based flow control).
+inline constexpr std::uint32_t kMinProtocolVersion = 2;
+/// First version whose acks may carry a credit grant.
+inline constexpr std::uint32_t kCreditProtocolVersion = 3;
 
 enum class MsgType : std::uint32_t {
   hello = 1,       // EXS → ISM: node id, version, incarnation
@@ -56,15 +70,36 @@ struct Hello {
   std::uint64_t incarnation = 0;
 };
 
+/// Flow-control window granted by the ISM, piggybacked on ack frames.
+/// Semantics are a sliding window anchored at the ack's cursor: the EXS may
+/// hold at most `window_records` records / `window_bytes` frame bytes in
+/// sent-but-unacknowledged batches. Grants are not cumulative — each one
+/// replaces the previous window, so a lost ack costs nothing and a shrunk
+/// window takes effect on the next send decision.
+struct CreditGrant {
+  /// Session the grant belongs to; the EXS ignores grants for an
+  /// incarnation it is not running (stale acks across a restart).
+  std::uint64_t incarnation = 0;
+  /// Records the EXS may have in flight. 0 = window closed (send nothing
+  /// new until a replenishing grant arrives).
+  std::uint32_t window_records = 0;
+  /// Frame payload bytes the EXS may have in flight. 0 = no byte cap.
+  std::uint64_t window_bytes = 0;
+};
+
 struct HelloAck {
   std::uint64_t incarnation = 0;        // echo of the accepted HELLO
   std::uint32_t next_expected_seq = 0;  // first batch_seq the ISM wants
+  /// v3 flow control; absent from/for v2 peers and when credits are off.
+  std::optional<CreditGrant> credit;
 };
 
 struct BatchAck {
   /// All batches with batch_seq < next_expected_seq have been accepted;
   /// anything at or above it is still outstanding from the ISM's view.
   std::uint32_t next_expected_seq = 0;
+  /// v3 flow control; absent from/for v2 peers and when credits are off.
+  std::optional<CreditGrant> credit;
 };
 
 struct TimeReq {

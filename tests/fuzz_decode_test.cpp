@@ -5,10 +5,15 @@
 // full benefit), never loop forever.
 #include <gtest/gtest.h>
 
+#include <optional>
 #include <random>
+#include <vector>
 
+#include "clock/clock.hpp"
 #include "ism/output.hpp"
+#include "lis/external_sensor.hpp"
 #include "net/frame.hpp"
+#include "sensors/sensor.hpp"
 #include "picl/picl_record.hpp"
 #include "sensors/record_codec.hpp"
 #include "sim/fault_injector.hpp"
@@ -138,7 +143,7 @@ TEST_P(FuzzSeed, CorruptedNativeRecordPatchNeverCrashes) {
   }
 }
 
-// ---- session-resilience codecs (protocol v2) --------------------------------
+// ---- session-resilience codecs (protocol v2 shape, no credit tail) ----------
 
 TEST_P(FuzzSeed, ResilienceControlMessagesRoundTrip) {
   std::mt19937_64 rng(GetParam() * 97 + 11);
@@ -155,7 +160,7 @@ TEST_P(FuzzSeed, ResilienceControlMessagesRoundTrip) {
     EXPECT_EQ(hello_back.value().node, hello.node);
     EXPECT_EQ(hello_back.value().incarnation, hello.incarnation);
 
-    const tp::HelloAck ack{rng(), static_cast<std::uint32_t>(rng())};
+    const tp::HelloAck ack{rng(), static_cast<std::uint32_t>(rng()), {}};
     ByteBuffer ack_wire;
     xdr::Encoder ack_enc(ack_wire);
     tp::put_type(tp::MsgType::hello_ack, ack_enc);
@@ -166,8 +171,9 @@ TEST_P(FuzzSeed, ResilienceControlMessagesRoundTrip) {
     ASSERT_TRUE(ack_back.is_ok());
     EXPECT_EQ(ack_back.value().incarnation, ack.incarnation);
     EXPECT_EQ(ack_back.value().next_expected_seq, ack.next_expected_seq);
+    EXPECT_FALSE(ack_back.value().credit.has_value());
 
-    const tp::BatchAck batch_ack{static_cast<std::uint32_t>(rng())};
+    const tp::BatchAck batch_ack{static_cast<std::uint32_t>(rng()), {}};
     ByteBuffer batch_wire;
     xdr::Encoder batch_enc(batch_wire);
     tp::put_type(tp::MsgType::batch_ack, batch_enc);
@@ -177,6 +183,7 @@ TEST_P(FuzzSeed, ResilienceControlMessagesRoundTrip) {
     auto batch_back = tp::decode_batch_ack(batch_dec);
     ASSERT_TRUE(batch_back.is_ok());
     EXPECT_EQ(batch_back.value().next_expected_seq, batch_ack.next_expected_seq);
+    EXPECT_FALSE(batch_back.value().credit.has_value());
   }
 }
 
@@ -194,7 +201,7 @@ TEST_P(FuzzSeed, TruncatedResilienceControlMessagesAlwaysError) {
   ByteBuffer ack_wire;
   xdr::Encoder ack_enc(ack_wire);
   tp::put_type(tp::MsgType::hello_ack, ack_enc);
-  tp::encode_hello_ack({0x99aabbccddeeff00ull, 7}, ack_enc);
+  tp::encode_hello_ack({0x99aabbccddeeff00ull, 7, {}}, ack_enc);
   for (std::size_t cut = 0; cut < ack_wire.size(); ++cut) {
     xdr::Decoder dec(ack_wire.view().subspan(0, cut));
     if (!tp::peek_type(dec).is_ok()) continue;
@@ -204,12 +211,265 @@ TEST_P(FuzzSeed, TruncatedResilienceControlMessagesAlwaysError) {
   ByteBuffer batch_wire;
   xdr::Encoder batch_enc(batch_wire);
   tp::put_type(tp::MsgType::batch_ack, batch_enc);
-  tp::encode_batch_ack({12345}, batch_enc);
+  tp::encode_batch_ack({12345, {}}, batch_enc);
   for (std::size_t cut = 0; cut < batch_wire.size(); ++cut) {
     xdr::Decoder dec(batch_wire.view().subspan(0, cut));
     if (!tp::peek_type(dec).is_ok()) continue;
     EXPECT_FALSE(tp::decode_batch_ack(dec).is_ok()) << "batch_ack cut at " << cut;
   }
+}
+
+// ---- credit-grant ack extension (protocol v3) -------------------------------
+
+tp::CreditGrant random_grant(std::mt19937_64& rng) {
+  tp::CreditGrant grant;
+  grant.incarnation = rng();
+  grant.window_records = static_cast<std::uint32_t>(rng());
+  grant.window_bytes = rng();
+  return grant;
+}
+
+ByteBuffer encode_ack_frame(tp::MsgType type, std::uint64_t incarnation,
+                            std::uint32_t next_expected,
+                            const std::optional<tp::CreditGrant>& credit) {
+  ByteBuffer out;
+  xdr::Encoder enc(out);
+  tp::put_type(type, enc);
+  if (type == tp::MsgType::hello_ack) {
+    tp::HelloAck ack;
+    ack.incarnation = incarnation;
+    ack.next_expected_seq = next_expected;
+    ack.credit = credit;
+    tp::encode_hello_ack(ack, enc);
+  } else {
+    tp::BatchAck ack;
+    ack.next_expected_seq = next_expected;
+    ack.credit = credit;
+    tp::encode_batch_ack(ack, enc);
+  }
+  return out;
+}
+
+TEST_P(FuzzSeed, CreditGrantAcksRoundTrip) {
+  std::mt19937_64 rng(GetParam() * 193 + 29);
+  for (int i = 0; i < 500; ++i) {
+    const tp::CreditGrant grant = random_grant(rng);
+
+    const ByteBuffer hello_wire = encode_ack_frame(
+        tp::MsgType::hello_ack, rng(), static_cast<std::uint32_t>(rng()), grant);
+    xdr::Decoder hello_dec(hello_wire.view());
+    ASSERT_TRUE(tp::peek_type(hello_dec).is_ok());
+    auto hello_back = tp::decode_hello_ack(hello_dec);
+    ASSERT_TRUE(hello_back.is_ok());
+    ASSERT_TRUE(hello_back.value().credit.has_value());
+    EXPECT_EQ(hello_back.value().credit->incarnation, grant.incarnation);
+    EXPECT_EQ(hello_back.value().credit->window_records, grant.window_records);
+    EXPECT_EQ(hello_back.value().credit->window_bytes, grant.window_bytes);
+
+    const ByteBuffer batch_wire = encode_ack_frame(
+        tp::MsgType::batch_ack, 0, static_cast<std::uint32_t>(rng()), grant);
+    xdr::Decoder batch_dec(batch_wire.view());
+    ASSERT_TRUE(tp::peek_type(batch_dec).is_ok());
+    auto batch_back = tp::decode_batch_ack(batch_dec);
+    ASSERT_TRUE(batch_back.is_ok());
+    ASSERT_TRUE(batch_back.value().credit.has_value());
+    EXPECT_EQ(batch_back.value().credit->incarnation, grant.incarnation);
+    EXPECT_EQ(batch_back.value().credit->window_records, grant.window_records);
+    EXPECT_EQ(batch_back.value().credit->window_bytes, grant.window_bytes);
+  }
+}
+
+// A cut anywhere inside the credit tail must error — a partial grant never
+// silently decodes as "no grant". The one legal short read is the exact v2
+// boundary, where the decoder is cleanly exhausted and credit is nullopt.
+TEST_P(FuzzSeed, TruncatedCreditGrantsAlwaysErrorNeverVanish) {
+  std::mt19937_64 rng(GetParam() * 211 + 17);
+  const tp::CreditGrant grant = random_grant(rng);
+  const std::uint64_t incarnation = rng();
+  const std::uint32_t cursor = static_cast<std::uint32_t>(rng());
+
+  struct Case {
+    tp::MsgType type;
+    const char* name;
+  };
+  for (const Case& c : {Case{tp::MsgType::hello_ack, "hello_ack"},
+                        Case{tp::MsgType::batch_ack, "batch_ack"}}) {
+    const ByteBuffer base =
+        encode_ack_frame(c.type, incarnation, cursor, std::nullopt);
+    const ByteBuffer full = encode_ack_frame(c.type, incarnation, cursor, grant);
+    ASSERT_GT(full.size(), base.size());
+
+    for (std::size_t cut = 0; cut < full.size(); ++cut) {
+      xdr::Decoder dec(full.view().subspan(0, cut));
+      if (!tp::peek_type(dec).is_ok()) continue;
+      if (c.type == tp::MsgType::hello_ack) {
+        auto back = tp::decode_hello_ack(dec);
+        if (cut == base.size()) {
+          ASSERT_TRUE(back.is_ok()) << c.name << " cut at v2 boundary " << cut;
+          EXPECT_FALSE(back.value().credit.has_value());
+        } else {
+          EXPECT_FALSE(back.is_ok()) << c.name << " cut at " << cut;
+        }
+      } else {
+        auto back = tp::decode_batch_ack(dec);
+        if (cut == base.size()) {
+          ASSERT_TRUE(back.is_ok()) << c.name << " cut at v2 boundary " << cut;
+          EXPECT_FALSE(back.value().credit.has_value());
+        } else {
+          EXPECT_FALSE(back.is_ok()) << c.name << " cut at " << cut;
+        }
+      }
+    }
+  }
+}
+
+// ---- credit grants against a live ExsCore session ---------------------------
+//
+// The decoder rejecting malformed grants is half the story; the session must
+// also survive them. These drive a real ExsCore (rings → batcher → replay →
+// paced sends) and assert hostile grants neither crash it nor tear the
+// session: sends keep flowing afterwards.
+
+struct ExsSession {
+  explicit ExsSession(std::uint32_t batch_max_records = 4)
+      : memory(shm::MultiRing::region_size(1, 64 * 1024)), clock(1'000'000) {
+    auto rings = shm::MultiRing::init(memory.data(), 1, 64 * 1024);
+    EXPECT_TRUE(rings.is_ok());
+    lis::ExsConfig config;
+    config.node = 3;
+    config.incarnation = kIncarnation;
+    config.batch_max_age_us = 0;  // flush on demand
+    config.batch_max_records = batch_max_records;
+    config.replay_buffer_batches = 64;
+    core = std::make_unique<lis::ExsCore>(config, rings.value(), clock,
+                                          [this](ByteBuffer payload) {
+                                            sent.push_back(std::move(payload));
+                                            return Status::ok();
+                                          });
+    auto ring = rings.value().claim_slot();
+    EXPECT_TRUE(ring.is_ok());
+    sensor = std::make_unique<sensors::Sensor>(ring.value(), clock);
+  }
+
+  /// Produces `count` records and pushes them through drain → flush.
+  void produce(std::uint32_t count) {
+    for (std::uint32_t i = 0; i < count; ++i) {
+      EXPECT_TRUE(sensor->notice(1, sensors::x_i32(static_cast<std::int32_t>(i))));
+    }
+    EXPECT_TRUE(core->drain_rings().is_ok());
+    EXPECT_TRUE(core->flush());
+  }
+
+  [[nodiscard]] std::size_t data_frames_sent() const {
+    std::size_t n = 0;
+    for (const ByteBuffer& frame : sent) {
+      xdr::Decoder dec(frame.view());
+      auto type = tp::peek_type(dec);
+      if (type.is_ok() && type.value() == tp::MsgType::data_batch) ++n;
+    }
+    return n;
+  }
+
+  static constexpr std::uint64_t kIncarnation = 77;
+
+  std::vector<std::uint8_t> memory;
+  clk::ManualClock clock;
+  std::vector<ByteBuffer> sent;
+  std::unique_ptr<lis::ExsCore> core;
+  std::unique_ptr<sensors::Sensor> sensor;
+};
+
+TEST(CreditGrantSessionTest, UnknownIncarnationGrantIsIgnoredNotFatal) {
+  ExsSession s;
+  EXPECT_TRUE(s.core->send_hello());
+  // The ack itself names our incarnation (session resumes) but the grant
+  // inside it belongs to a dead one — apply nothing, tear nothing.
+  tp::CreditGrant foreign;
+  foreign.incarnation = ExsSession::kIncarnation + 1;
+  foreign.window_records = 1;
+  foreign.window_bytes = 16;
+  const ByteBuffer ack = encode_ack_frame(tp::MsgType::hello_ack,
+                                          ExsSession::kIncarnation, 0, foreign);
+  EXPECT_TRUE(s.core->handle_frame(ack.view()));
+  EXPECT_FALSE(s.core->pacing());
+  EXPECT_EQ(s.core->stats().credit_grants_received, 0u);
+
+  // The session still works: batches flow unpaced.
+  s.produce(4);
+  EXPECT_EQ(s.data_frames_sent(), 1u);
+}
+
+TEST(CreditGrantSessionTest, WindowShrinkingBelowInFlightParksNewSendsOnly) {
+  ExsSession s;
+  EXPECT_TRUE(s.core->send_hello());
+  tp::CreditGrant wide;
+  wide.incarnation = ExsSession::kIncarnation;
+  wide.window_records = 64;
+  const ByteBuffer open = encode_ack_frame(tp::MsgType::hello_ack,
+                                           ExsSession::kIncarnation, 0, wide);
+  ASSERT_TRUE(s.core->handle_frame(open.view()));
+  ASSERT_TRUE(s.core->pacing());
+
+  s.produce(8);  // two 4-record batches, both within the window
+  EXPECT_EQ(s.data_frames_sent(), 2u);
+  EXPECT_EQ(s.core->outstanding_records(), 8u);
+
+  // The ISM acks batch 0 but shrinks the window below what is still in
+  // flight. Nothing retroactive happens — in-flight stays in flight — but
+  // new batches park. (The ack cursor must advance: a repeated cursor is
+  // the stuck-ack signal and legitimately triggers a go-back-N resend.)
+  tp::CreditGrant narrow = wide;
+  narrow.window_records = 2;
+  const ByteBuffer shrink = encode_ack_frame(tp::MsgType::batch_ack,
+                                             ExsSession::kIncarnation, 1, narrow);
+  ASSERT_TRUE(s.core->handle_frame(shrink.view()));
+  EXPECT_EQ(s.core->stats().credit_window_records, 2u);
+  EXPECT_EQ(s.core->outstanding_records(), 4u);
+
+  s.produce(2);
+  EXPECT_EQ(s.data_frames_sent(), 2u) << "batch must park under a full window";
+  EXPECT_EQ(s.core->outstanding_records(), 4u);
+
+  // Ack the second batch and re-open the window: the parked batch pumps out.
+  tp::CreditGrant reopened = wide;
+  const ByteBuffer drain = encode_ack_frame(tp::MsgType::batch_ack,
+                                            ExsSession::kIncarnation, 2, reopened);
+  ASSERT_TRUE(s.core->handle_frame(drain.view()));
+  EXPECT_EQ(s.data_frames_sent(), 3u);
+  EXPECT_EQ(s.core->outstanding_records(), 2u);
+}
+
+TEST(CreditGrantSessionTest, TruncatedGrantFramesErrorWithoutTearingSession) {
+  ExsSession s;
+  EXPECT_TRUE(s.core->send_hello());
+  tp::CreditGrant grant;
+  grant.incarnation = ExsSession::kIncarnation;
+  grant.window_records = 16;
+  const ByteBuffer open = encode_ack_frame(tp::MsgType::hello_ack,
+                                           ExsSession::kIncarnation, 0, grant);
+  ASSERT_TRUE(s.core->handle_frame(open.view()));
+  ASSERT_TRUE(s.core->pacing());
+  s.produce(4);
+  ASSERT_EQ(s.data_frames_sent(), 1u);
+
+  // Every truncation of a grant-bearing batch_ack (other than the clean v2
+  // boundary) must surface an error status — and leave the session usable.
+  const ByteBuffer base = encode_ack_frame(tp::MsgType::batch_ack,
+                                           ExsSession::kIncarnation, 1,
+                                           std::nullopt);
+  const ByteBuffer full =
+      encode_ack_frame(tp::MsgType::batch_ack, ExsSession::kIncarnation, 1, grant);
+  for (std::size_t cut = 0; cut < full.size(); ++cut) {
+    if (cut == base.size()) continue;  // legal v2-shaped ack
+    const Status st = s.core->handle_frame(full.view().subspan(0, cut));
+    EXPECT_FALSE(st) << "cut at " << cut << " decoded as a valid frame";
+  }
+  EXPECT_TRUE(s.core->pacing()) << "pacing state must survive garbage frames";
+
+  // An intact ack afterwards still drives the session forward.
+  ASSERT_TRUE(s.core->handle_frame(full.view()));
+  s.produce(4);
+  EXPECT_GE(s.data_frames_sent(), 2u);
 }
 
 // ---- fault-injected frame streams -------------------------------------------
@@ -251,10 +511,17 @@ TEST_P(FuzzSeed, FaultInjectedFrameStreamNeverCrashesDecoders) {
                           static_cast<std::uint64_t>(i) * 31},
                          enc);
         break;
-      case 2:
+      case 2: {
         tp::put_type(tp::MsgType::batch_ack, enc);
-        tp::encode_batch_ack({static_cast<std::uint32_t>(i)}, enc);
+        tp::BatchAck ack;
+        ack.next_expected_seq = static_cast<std::uint32_t>(i);
+        if (i % 8 == 2) {  // half the acks carry a v3 credit tail
+          ack.credit = tp::CreditGrant{static_cast<std::uint64_t>(i) * 31,
+                                       static_cast<std::uint32_t>(i), 4096};
+        }
+        tp::encode_batch_ack(ack, enc);
         break;
+      }
       default:
         tp::put_type(tp::MsgType::heartbeat, enc);
         break;

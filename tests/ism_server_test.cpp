@@ -395,6 +395,130 @@ TEST(IsmIngestDeterminismTest, SortedOutputIdenticalAcrossConfigs) {
   }
 }
 
+// Acceptance (flow control): credit grants are control-plane only — they
+// ride ack frames and throttle the sender, so switching them on must not
+// perturb the sorted data stream in any reader/shard topology. Grid:
+// credits {off, window 8} × reader threads {1, 4} × ordering shards {1, 4},
+// all compared byte-for-byte against each other.
+TEST(IsmIngestDeterminismTest, CreditGrantsLeaveSortedOutputByteIdentical) {
+  struct CreditMode {
+    std::uint32_t credit_records = 0;
+    std::size_t readers = 1;
+    std::size_t shards = 1;
+  };
+  std::vector<CreditMode> modes;
+  for (std::uint32_t credits : {0u, 8u}) {
+    for (std::size_t readers : {std::size_t{1}, std::size_t{4}}) {
+      for (std::size_t shards : {std::size_t{1}, std::size_t{4}}) {
+        modes.push_back(CreditMode{credits, readers, shards});
+      }
+    }
+  }
+  constexpr int kNodes = 3;
+  constexpr int kRecordsPerNode = 32;
+  const TimeMicros base = clk::SystemClock::instance().now();
+
+  std::vector<std::vector<std::pair<TimeMicros, NodeId>>> outputs;
+  for (const CreditMode& mode : modes) {
+    IsmConfig config;
+    config.select_timeout_us = 2'000;
+    config.enable_sync = false;
+    config.sorter.adaptive = false;
+    config.sorter.initial_frame_us = 120'000'000;  // hold everything until drain
+    config.sorter.max_frame_us = 120'000'000;
+    config.reader_threads = mode.readers;
+    config.sorter_shards = mode.shards;
+    config.credit_window_records = mode.credit_records;
+    config.credit_replenish_us = 5'000;  // re-grant aggressively mid-run
+
+    auto order = std::make_shared<std::vector<std::pair<TimeMicros, NodeId>>>();
+    auto mutex = std::make_shared<std::mutex>();
+    auto sink = std::make_shared<CallbackSink>(
+        [order, mutex](const sensors::Record& r) {
+          std::lock_guard<std::mutex> lock(*mutex);
+          if (sensors::is_metrics_record(r)) return;
+          order->emplace_back(r.timestamp, r.node);
+        });
+    auto ism = Ism::start(config, clk::SystemClock::instance(), sink);
+    ASSERT_TRUE(ism.is_ok()) << ism.status().to_string();
+    std::thread server([&] { (void)ism.value()->run(); });
+
+    std::vector<net::TcpSocket> clients;
+    for (int n = 1; n <= kNodes; ++n) {
+      auto socket = net::TcpSocket::connect("127.0.0.1", ism.value()->port());
+      ASSERT_TRUE(socket.is_ok());
+      clients.push_back(std::move(socket).value());
+      net::TcpSocket& client = clients.back();
+      ByteBuffer hello;
+      xdr::Encoder hello_enc(hello);
+      tp::put_type(tp::MsgType::hello, hello_enc);
+      tp::encode_hello({NodeId(n), tp::kProtocolVersion}, hello_enc);
+      ASSERT_TRUE(net::write_frame(client, hello.view()));
+      ASSERT_TRUE(net::read_frame(client).is_ok()) << "hello_ack";
+    }
+    for (int n = 1; n <= kNodes; ++n) {
+      net::TcpSocket& client = clients[std::size_t(n) - 1];
+      tp::BatchBuilder builder{NodeId(n)};
+      for (int i = 0; i < kRecordsPerNode; ++i) {
+        sensors::Record record;
+        record.sensor = 1;
+        record.timestamp = base + TimeMicros(n) + TimeMicros(i) * kNodes;
+        record.fields = {sensors::Field::i32(i)};
+        ASSERT_TRUE(builder.add_record(record));
+      }
+      ByteBuffer payload = builder.finish();
+      ASSERT_TRUE(net::write_frame(client, payload.view()));
+      ByteBuffer bye;
+      xdr::Encoder bye_enc(bye);
+      tp::put_type(tp::MsgType::bye, bye_enc);
+      ASSERT_TRUE(net::write_frame(client, bye.view()));
+    }
+    for (net::TcpSocket& client : clients) {
+      const TimeMicros deadline = monotonic_micros() + 5'000'000;
+      (void)client.set_nonblocking(true);
+      bool closed = false;
+      std::uint8_t chunk[256];
+      while (!closed && monotonic_micros() < deadline) {
+        auto n = client.read_some(MutableByteSpan{chunk, sizeof chunk});
+        if (!n) {
+          if (n.status().code() == Errc::would_block) {
+            sleep_micros(2'000);
+            continue;
+          }
+          closed = true;
+        } else if (n.value() == 0) {
+          closed = true;
+        }
+      }
+      ASSERT_TRUE(closed) << "server must close the session after bye";
+    }
+    ism.value()->stop();
+    server.join();
+    ASSERT_TRUE(ism.value()->drain());
+
+    const IsmStats stats = ism.value()->stats();
+    if (mode.credit_records > 0) {
+      EXPECT_GT(stats.credit_grants_sent, 0u)
+          << "v3 peers must receive grants when credits are configured";
+    } else {
+      EXPECT_EQ(stats.credit_grants_sent, 0u)
+          << "credits off must keep acks v2-shaped";
+    }
+
+    std::lock_guard<std::mutex> lock(*mutex);
+    outputs.push_back(*order);
+  }
+
+  ASSERT_EQ(outputs[0].size(), std::size_t(kNodes) * kRecordsPerNode);
+  for (std::size_t i = 1; i < outputs[0].size(); ++i) {
+    EXPECT_LT(outputs[0][i - 1].first, outputs[0][i].first) << "output is timestamp-sorted";
+  }
+  for (std::size_t m = 1; m < outputs.size(); ++m) {
+    EXPECT_EQ(outputs[m], outputs[0])
+        << "credit/reader/shard config " << m << " produced a different record stream";
+  }
+}
+
 // Acceptance: tracing must be invisible to the data stream. The ISM strips
 // annotations at sink delivery, so the delivered data records — full
 // decoded form, not just the (timestamp, node) order — are identical with
