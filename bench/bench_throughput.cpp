@@ -11,12 +11,15 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <atomic>
 #include <cstring>
+#include <string>
 #include <thread>
 #include <vector>
 
 #include "bench_harness.hpp"
 #include "common/time_util.hpp"
+#include "consumers/gateway_client.hpp"
 #include "net/poller.hpp"
 #include "sim/workload.hpp"
 #include "tp/wire.hpp"
@@ -244,6 +247,128 @@ int flow_sweep(bool smoke) {
   return smoke_ok ? 0 : 1;
 }
 
+/// Consumer fan-out sweep: a saturated single-node transfer with N TCP
+/// gateway subscribers attached (mixed filters: full stream, 1-in-16
+/// sampled, sensor- and node-scoped, plus an aggregate subscriber per
+/// eight), against the 0-subscriber baseline. The number that matters is
+/// the ISM's delivered rate: the gateway's lane decouples TCP fan-out from
+/// the merge, so attaching subscribers must not tax the pipeline by more
+/// than the accept()-side copy. Acceptance: <= 15% delivered-throughput
+/// cost at 16 mixed-filter subscribers.
+int fanout_sweep(bool smoke) {
+  using namespace brisk;  // NOLINT
+  const TimeMicros duration = smoke ? 300'000 : 1'000'000;
+  bench::row("fan-out sweep: saturated single node, N TCP gateway subscribers "
+             "(mixed filters), batch_records=256");
+  bench::row("%12s %16s %12s %16s %12s %12s", "subscribers", "delivered(ev/s)",
+             "vs_baseline", "fanout(rec)", "sub_drops", "lane_drops");
+  double baseline = 0.0;
+  bool smoke_ok = true;
+  const std::vector<int> cells =
+      smoke ? std::vector<int>{0, 16} : std::vector<int>{0, 1, 4, 16};
+  for (int subs : cells) {
+    auto manager_config = bench::bench_manager_config();
+    manager_config.ism.sorter.max_pending = 1u << 22;
+    if (subs > 0) {
+      manager_config.gateway.tcp_enabled = true;
+      manager_config.gateway.consumer_port = 0;
+      manager_config.gateway.lane_records = 1u << 15;
+      manager_config.gateway.queue_records = 1u << 15;
+      manager_config.gateway.max_queue_records = 1u << 16;
+    }
+    auto manager = BriskManager::create(manager_config);
+    if (!manager) return 1;
+    auto node_config = bench::bench_node_config(1);
+    node_config.exs.batch_max_records = 256;
+    node_config.exs.batch_max_bytes = 1u << 20;
+    auto node = BriskNode::create(node_config);
+    if (!node) return 1;
+    auto sensor = node.value()->make_sensor();
+    if (!sensor) return 1;
+    auto exs = node.value()->connect_exs("127.0.0.1", manager.value()->port());
+    if (!exs) return 1;
+
+    // Subscribers attach before the workload starts (the listener is live
+    // from manager creation) and poll until the run is over.
+    std::atomic<bool> readers_stop{false};
+    std::atomic<std::uint64_t> fanout_records{0};
+    std::vector<std::thread> readers;
+    static const char* kFilters[4] = {"", "sample=16", "sensor=1-8", "node=1"};
+    for (int i = 0; i < subs; ++i) {
+      readers.emplace_back([&, i] {
+        consumers::GatewayClient::Options opt;
+        opt.name = "bench-" + std::to_string(i);
+        opt.filter = kFilters[i % 4];
+        opt.queue_records = 1u << 15;
+        const bool agg = (i % 8) == 7;  // one aggregate reader per eight
+        if (agg) {
+          opt.kind = tp::SubscriptionKind::aggregate;
+          opt.agg_window_us = 100'000;
+        }
+        auto client = consumers::GatewayClient::connect(
+            "127.0.0.1", manager.value()->consumer_port(), opt);
+        if (!client.is_ok()) return;
+        while (!readers_stop.load(std::memory_order_acquire)) {
+          bool got = false;
+          if (agg) {
+            auto polled = client.value().poll_agg();
+            if (!polled.is_ok()) break;
+            got = polled.value().has_value();
+          } else {
+            auto polled = client.value().poll();
+            if (!polled.is_ok()) break;
+            got = polled.value().has_value();
+          }
+          if (got) {
+            fanout_records.fetch_add(1, std::memory_order_relaxed);
+          } else {
+            sleep_micros(200);
+          }
+        }
+      });
+    }
+
+    std::thread ism_thread([&] { (void)manager.value()->run_for(duration + 500'000); });
+    std::thread app_thread([&] {
+      sim::WorkloadConfig config;
+      config.events_per_sec = 0.0;  // saturate
+      config.duration_us = duration;
+      (void)sim::run_looping_workload(sensor.value(), config);
+    });
+    const TimeMicros wall_before = monotonic_micros();
+    (void)exs.value()->run_for(duration + 300'000);
+    const double wall_s = static_cast<double>(monotonic_micros() - wall_before) / 1e6;
+    app_thread.join();
+    exs.value()->stop();
+    manager.value()->stop();
+    ism_thread.join();
+
+    std::uint64_t sub_drops = 0;
+    std::uint64_t lane_drops = 0;
+    if (subs > 0) {
+      for (const auto& s : manager.value()->gateway().subscriber_stats()) {
+        if (s.tcp) sub_drops += s.dropped;
+      }
+      lane_drops = manager.value()->gateway().stats().lane_drops;
+    }
+    readers_stop.store(true, std::memory_order_release);
+    for (std::thread& t : readers) t.join();
+
+    const auto& ism_stats = manager.value()->ism().stats();
+    const double rate = static_cast<double>(ism_stats.records_received) / wall_s;
+    if (subs == 0) baseline = rate;
+    const double ratio = baseline > 0 ? rate / baseline : 0.0;
+    bench::row("%12d %16.0f %11.0f%% %16llu %12llu %12llu", subs, rate, ratio * 100.0,
+               static_cast<unsigned long long>(fanout_records.load()),
+               static_cast<unsigned long long>(sub_drops),
+               static_cast<unsigned long long>(lane_drops));
+    if (smoke && subs > 0 && fanout_records.load() == 0) smoke_ok = false;
+  }
+  bench::row("acceptance: the 16-subscriber row stays >= 85%% of baseline "
+             "(lane-decoupled fan-out; the merge never waits on a consumer)");
+  return smoke_ok ? 0 : 1;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -257,7 +382,8 @@ int main(int argc, char** argv) {
                    "short saturated run, shards=2; pass = nonzero delivery");
     if (int rc = shard_sweep(2); rc != 0) return rc;
     if (int rc = trace_overhead(400'000); rc != 0) return rc;
-    return flow_sweep(true);
+    if (int rc = flow_sweep(true); rc != 0) return rc;
+    return fanout_sweep(true);
   }
 
   bench::heading("E3: max EXS->ISM throughput (saturated sender, loopback TCP)",
@@ -363,6 +489,8 @@ int main(int argc, char** argv) {
   if (int rc = trace_overhead(1'000'000); rc != 0) return rc;
 
   if (int rc = flow_sweep(false); rc != 0) return rc;
+
+  if (int rc = fanout_sweep(false); rc != 0) return rc;
 
   // Sorter-shard sweep: same saturated senders, epoll throughout, varying
   // the ordering-stage parallelism instead of the ingest parallelism.

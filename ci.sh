@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# CI gate for BRISK. Nine stages, any failure aborts the run:
+# CI gate for BRISK. Ten stages, any failure aborts the run:
 #   1. tier-1: release-ish build + the full ctest suite
 #   2. determinism: the ingest/ordering determinism grid run explicitly —
 #      one test body covering {select, epoll} x reader threads x sorter
@@ -25,13 +25,19 @@
 #      drop at the rings (must be nonzero); with --ism-credit-records on,
 #      the pacer parks batches in the replay buffer instead and ring drops
 #      must be exactly zero
-#   7. resilience: the crash/churn/fault-injection label on the same build
-#   8. sanitize: a separate ASan+UBSan tree running the resilience label
+#   7. fan-out smoke: ISM with --consumer-port on, one EXS (workload +
+#      tracing + metrics), three brisk_consume subscribers over TCP with
+#      disjoint pushdown filters (workload sensors / 0xFF01 metrics /
+#      0xFF02 spans) — each stream must be non-empty and contain only its
+#      own sensor ids (zero cross-contamination through the gateway)
+#   8. resilience: the crash/churn/fault-injection label on the same build
+#   9. sanitize: a separate ASan+UBSan tree running the resilience label
 #      (including the flow-control property suite), which is where lifetime
 #      and data-race-adjacent bugs actually surface
-#   9. tsan: a TSan tree over the threaded ingest/ordering/metrics/trace
-#      tests plus the flow-control property suite — the cross-thread stats
-#      counters and the credit drained-record cells must stay clean on the
+#  10. tsan: a TSan tree over the threaded ingest/ordering/metrics/trace
+#      tests plus the flow-control property suite and the consumer-gateway
+#      suite — the cross-thread stats counters, the credit drained-record
+#      cells, and the gateway's fan-out thread must stay clean on the
 #      whole grid
 #
 # Usage: ./ci.sh [--skip-sanitize]
@@ -48,19 +54,19 @@ done
 
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
-echo "==> [1/9] tier-1 build + full test suite"
+echo "==> [1/10] tier-1 build + full test suite"
 cmake -B build -S . >/dev/null
 cmake --build build -j"$JOBS"
 ctest --test-dir build --output-on-failure -j"$JOBS"
 
-echo "==> [2/9] determinism grid (select + epoll, shards 1/2/4, metrics on)"
+echo "==> [2/10] determinism grid (select + epoll, shards 1/2/4, metrics on)"
 ctest --test-dir build --output-on-failure --no-tests=error -R 'IsmIngestDeterminismTest'
 
-echo "==> [3/9] bench smoke: sharded ordering pipeline + traced delivery"
+echo "==> [3/10] bench smoke: sharded ordering pipeline + traced delivery"
 ./build/bench/bench_throughput --smoke
 ./build/bench/bench_latency --smoke
 
-echo "==> [4/9] metrics smoke: daemon pair + brisk_consume --metrics"
+echo "==> [4/10] metrics smoke: daemon pair + brisk_consume --metrics"
 METRICS_SHM_OUT="/brisk-ci-metrics-out-$$"
 METRICS_SHM_NODE="/brisk-ci-metrics-node-$$"
 ISM_PID=""
@@ -98,7 +104,7 @@ echo "$METRICS_OUT" | grep 'ism\.records_received' | head -1
 cleanup_metrics_smoke
 trap - EXIT
 
-echo "==> [5/9] latency smoke: traced daemon trio + brisk_consume --mode latency"
+echo "==> [5/10] latency smoke: traced daemon trio + brisk_consume --mode latency"
 LAT_SHM_OUT="/brisk-ci-lat-out-$$"
 LAT_SHM_NODE1="/brisk-ci-lat-node1-$$"
 LAT_SHM_NODE2="/brisk-ci-lat-node2-$$"
@@ -158,7 +164,7 @@ PYEOF
 cleanup_latency_smoke
 trap - EXIT
 
-echo "==> [6/9] flow-control smoke: overdriven EXS vs stalled ISM, credits off/on"
+echo "==> [6/10] flow-control smoke: overdriven EXS vs stalled ISM, credits off/on"
 FC_SHM_OUT="/brisk-ci-fc-out-$$"
 FC_SHM_NODE="/brisk-ci-fc-node-$$"
 ISM_PID=""
@@ -218,23 +224,82 @@ echo "flow smoke: credits off drops, credits on loses nothing at the rings"
 cleanup_fc_smoke
 trap - EXIT
 
-echo "==> [7/9] resilience label"
+echo "==> [7/10] fan-out smoke: gateway + 3 disjoint TCP subscribers"
+FAN_SHM_OUT="/brisk-ci-fan-out-$$"
+FAN_SHM_NODE="/brisk-ci-fan-node-$$"
+ISM_PID=""
+EXS_PID=""
+cleanup_fanout_smoke() {
+  [[ -n "$EXS_PID" ]] && kill "$EXS_PID" 2>/dev/null || true
+  [[ -n "$ISM_PID" ]] && kill "$ISM_PID" 2>/dev/null || true
+  wait 2>/dev/null || true
+  rm -f "/dev/shm${FAN_SHM_OUT}" "/dev/shm${FAN_SHM_NODE}" 2>/dev/null || true
+}
+trap cleanup_fanout_smoke EXIT
+ISM_LOG="$(mktemp)"
+./build/src/apps/brisk_ism --port 0 --shm "$FAN_SHM_OUT" --consumer-port 0 \
+  --metrics-interval 1 >"$ISM_LOG" 2>&1 &
+ISM_PID=$!
+ISM_PORT=""
+CONSUMER_PORT=""
+for _ in $(seq 1 50); do
+  ISM_PORT="$(sed -n 's/.*brisk_ism .* listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "$ISM_LOG" | head -1)"
+  CONSUMER_PORT="$(sed -n 's/.*consumer gateway listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "$ISM_LOG" | head -1)"
+  [[ -n "$ISM_PORT" && -n "$CONSUMER_PORT" ]] && break
+  sleep 0.1
+done
+[[ -n "$ISM_PORT" && -n "$CONSUMER_PORT" ]] \
+  || { echo "fan-out smoke: ISM never reported its ports" >&2; cat "$ISM_LOG" >&2; exit 1; }
+# One traced node emitting workload sensors (1..), 0xFF01 metrics, 0xFF02 spans.
+./build/src/apps/brisk_exs --node 1 --shm "$FAN_SHM_NODE" \
+  --ism-host 127.0.0.1 --ism-port "$ISM_PORT" \
+  --workload-rate 500 --trace-sample-rate 1.0 --metrics-interval 1 >/dev/null 2>&1 &
+EXS_PID=$!
+# Three subscribers, disjoint sensor filters: workload / metrics / spans.
+FAN_WK="$(mktemp)"; FAN_MX="$(mktemp)"; FAN_SP="$(mktemp)"
+timeout 6 ./build/src/apps/brisk_consume --connect "127.0.0.1:$CONSUMER_PORT" \
+  --filter 'sensor=0-99' --sub-name ci-workload --idle-exit-ms 0 >"$FAN_WK" 2>/dev/null &
+WK_PID=$!
+timeout 6 ./build/src/apps/brisk_consume --connect "127.0.0.1:$CONSUMER_PORT" \
+  --filter 'sensor=65281' --sub-name ci-metrics --idle-exit-ms 0 >"$FAN_MX" 2>/dev/null &
+MX_PID=$!
+timeout 6 ./build/src/apps/brisk_consume --connect "127.0.0.1:$CONSUMER_PORT" \
+  --filter 'sensor=65282' --sub-name ci-spans --idle-exit-ms 0 >"$FAN_SP" 2>/dev/null &
+SP_PID=$!
+wait "$WK_PID" "$MX_PID" "$SP_PID" 2>/dev/null || true
+cleanup_fanout_smoke
+trap - EXIT
+# Each stream must be non-empty, and PICL field 2 (the sensor/event id)
+# must never stray outside the subscriber's own filter.
+check_fanout_stream() {  # $1 = file, $2 = label, $3 = awk predicate over $2
+  [[ -s "$1" ]] || { echo "fan-out smoke: $2 stream is empty" >&2; exit 1; }
+  BAD="$(awk "!($3)" "$1" | head -3)"
+  [[ -z "$BAD" ]] \
+    || { echo "fan-out smoke: $2 stream contaminated:" >&2; echo "$BAD" >&2; exit 1; }
+}
+check_fanout_stream "$FAN_WK" workload '$2 >= 0 && $2 <= 99'
+check_fanout_stream "$FAN_MX" metrics '$2 == 65281'
+check_fanout_stream "$FAN_SP" spans '$2 == 65282'
+echo "fan-out smoke: $(wc -l <"$FAN_WK") workload / $(wc -l <"$FAN_MX") metrics / $(wc -l <"$FAN_SP") span lines, disjoint"
+rm -f "$FAN_WK" "$FAN_MX" "$FAN_SP"
+
+echo "==> [8/10] resilience label"
 ctest --test-dir build --output-on-failure -L resilience
 
 if [[ "$SKIP_SANITIZE" == 1 ]]; then
-  echo "==> [8/9] sanitizer stages skipped (--skip-sanitize)"
+  echo "==> [9/10] sanitizer stages skipped (--skip-sanitize)"
   exit 0
 fi
 
-echo "==> [8/9] ASan+UBSan build + resilience label"
+echo "==> [9/10] ASan+UBSan build + resilience label"
 cmake -B build-asan -S . -DBRISK_SANITIZE=address,undefined >/dev/null
 cmake --build build-asan -j"$JOBS"
 ctest --test-dir build-asan --output-on-failure -L resilience
 
-echo "==> [9/9] TSan build + ingest/ordering/metrics/trace tests"
+echo "==> [10/10] TSan build + ingest/ordering/metrics/trace/gateway tests"
 cmake -B build-tsan -S . -DBRISK_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j"$JOBS"
 ctest --test-dir build-tsan --output-on-failure --no-tests=error -j"$JOBS" \
-  -R 'IsmServerTest|IsmIngestDeterminismTest|OrderingPipelineTest|Metrics|Trace|FlowControl|CreditGrant'
+  -R 'IsmServerTest|IsmIngestDeterminismTest|OrderingPipelineTest|Metrics|Trace|FlowControl|CreditGrant|Gateway|SinkRegistry'
 
 echo "==> CI green"

@@ -97,8 +97,10 @@ int main() {
   auto rates_channel = vo::VoChannel::connect("127.0.0.1", registry.value()->port());
   auto log_channel = vo::VoChannel::connect("127.0.0.1", registry.value()->port());
   if (!rates_channel || !log_channel) return 1;
-  Status sink_ok = manager.value()->add_sink(std::make_shared<vo::VoSink>(
-      std::move(rates_channel).value(), std::vector<std::string>{"rates"}, picl_options));
+  Status sink_ok = vo::subscribe_visual_objects(
+      manager.value()->gateway(),
+      std::make_shared<vo::VoChannel>(std::move(rates_channel).value()), {"rates"},
+      picl_options);
   if (!sink_ok) return 1;
   auto log_sink = std::make_shared<vo::VoChannel>(std::move(log_channel).value());
   sink_ok = manager.value()->add_sink(

@@ -9,6 +9,14 @@
 //                 [--metrics] [--max-records N] [--idle-exit-ms 2000]
 //                 [--stale-ms 10000] [--trace-out chrome.json] [--picl-utc]
 //   brisk_consume --picl-file trace.picl --mode metrics
+//   brisk_consume --connect 127.0.0.1:7412 --filter node=1,sensor=100-199
+//   brisk_consume --connect 127.0.0.1:7412 --mode agg --agg-window-us 1000000
+//
+// --connect subscribes over the ISM's TCP consumer gateway instead of
+// attaching to shared memory; --filter pushes the predicate down to the ISM
+// (syntax: node=1,2,5-8,sensor=100-199,sample=16), so only matching records
+// cross the wire. All record modes work over either source; --mode agg
+// (gateway only) streams closed per-(node, sensor) aggregation windows.
 //
 // --metrics is shorthand for --mode metrics: a live tabulated view of the
 // named counters and gauges the daemons emit as reserved-sensor-id records
@@ -34,6 +42,7 @@
 #include "apps/flag_parser.hpp"
 #include "common/time_util.hpp"
 #include "clock/clock.hpp"
+#include "consumers/gateway_client.hpp"
 #include "consumers/shm_consumer.hpp"
 #include "consumers/trace_stats.hpp"
 #include "core/version.hpp"
@@ -52,7 +61,13 @@ brisk::apps::FlagRegistry make_registry() {
   brisk::apps::FlagRegistry flags("brisk_consume", "BRISK shared-memory trace consumer");
   flags.add_string("shm", "", "named shared-memory output ring to attach")
       .add_string("picl-file", "", "follow a PICL trace file instead of --shm")
-      .add_string("mode", "picl", "output mode: picl (stream lines), stats, metrics, or latency")
+      .add_string("connect", "", "subscribe to an ISM consumer gateway at host:port")
+      .add_string("filter", "", "pushdown filter spec (node=...,sensor=...,sample=N)")
+      .add_string("sub-name", "", "subscriber label for gateway metrics (empty = generated)")
+      .add_int("sub-queue-records", 0, "requested gateway queue depth (0 = gateway default)")
+      .add_int("agg-window-us", 0, "aggregation window for --mode agg (0 = gateway default)")
+      .add_string("mode", "picl",
+                  "output mode: picl (stream lines), stats, metrics, latency, or agg")
       .add_bool("metrics", false, "shorthand for --mode metrics")
       .add_string("trace-out", "", "write trace spans as Chrome trace_event JSON to this file")
       .add_int("max-records", 0, "exit after this many records (0 = unlimited)")
@@ -98,12 +113,21 @@ int main(int argc, char** argv) {
     picl_options.epoch_us = clk::SystemClock::instance().now();
   }
 
-  if (shm_name.empty() && picl_path.empty()) {
-    std::fprintf(stderr, "brisk_consume: --shm /name or --picl-file path is required\n");
+  const std::string connect_to = flags.str("connect");
+  if (shm_name.empty() && picl_path.empty() && connect_to.empty()) {
+    std::fprintf(stderr,
+                 "brisk_consume: --shm /name, --picl-file path, or --connect host:port "
+                 "is required\n");
     return 2;
   }
-  if (mode != "picl" && mode != "stats" && mode != "metrics" && mode != "latency") {
-    std::fprintf(stderr, "brisk_consume: --mode must be picl, stats, metrics, or latency\n");
+  if (mode != "picl" && mode != "stats" && mode != "metrics" && mode != "latency" &&
+      mode != "agg") {
+    std::fprintf(stderr,
+                 "brisk_consume: --mode must be picl, stats, metrics, latency, or agg\n");
+    return 2;
+  }
+  if (mode == "agg" && connect_to.empty()) {
+    std::fprintf(stderr, "brisk_consume: --mode agg requires --connect\n");
     return 2;
   }
 
@@ -113,7 +137,33 @@ int main(int argc, char** argv) {
   std::optional<shm::SharedRegion> region;
   std::optional<consumers::ShmConsumer> consumer;
   std::optional<picl::PiclReader> reader;
-  if (!picl_path.empty()) {
+  std::optional<consumers::GatewayClient> gateway;
+  if (!connect_to.empty()) {
+    const std::size_t colon = connect_to.rfind(':');
+    if (colon == std::string::npos || colon + 1 >= connect_to.size()) {
+      std::fprintf(stderr, "brisk_consume: --connect expects host:port\n");
+      return 2;
+    }
+    const std::string host = connect_to.substr(0, colon);
+    const int port = std::atoi(connect_to.c_str() + colon + 1);
+    if (port <= 0 || port > 65535) {
+      std::fprintf(stderr, "brisk_consume: bad --connect port\n");
+      return 2;
+    }
+    consumers::GatewayClient::Options options;
+    options.name = flags.str("sub-name");
+    options.filter = flags.str("filter");
+    options.kind = mode == "agg" ? tp::SubscriptionKind::aggregate : tp::SubscriptionKind::stream;
+    options.queue_records = static_cast<std::uint32_t>(flags.num("sub-queue-records"));
+    options.agg_window_us = static_cast<std::uint64_t>(flags.num("agg-window-us"));
+    auto connected =
+        consumers::GatewayClient::connect(host, static_cast<std::uint16_t>(port), options);
+    if (!connected) {
+      std::fprintf(stderr, "brisk_consume: %s\n", connected.status().to_string().c_str());
+      return 1;
+    }
+    gateway.emplace(std::move(connected).value());
+  } else if (!picl_path.empty()) {
     auto opened = picl::PiclReader::open(picl_path, picl_options);
     if (!opened) {
       std::fprintf(stderr, "brisk_consume: %s\n", opened.status().to_string().c_str());
@@ -137,6 +187,7 @@ int main(int argc, char** argv) {
   consumers::TraceStats stats;
 
   auto poll_record = [&]() -> Result<std::optional<sensors::Record>> {
+    if (gateway.has_value()) return gateway->poll();
     if (reader.has_value()) return reader->next();
     return consumer->poll();
   };
@@ -264,8 +315,47 @@ int main(int argc, char** argv) {
 
   std::signal(SIGINT, handle_signal);
   std::signal(SIGTERM, handle_signal);
+  const std::string source =
+      !connect_to.empty() ? connect_to : (picl_path.empty() ? shm_name : picl_path);
   std::fprintf(stderr, "brisk_consume %s attached to %s (%s mode)\n", version_string(),
-               picl_path.empty() ? shm_name.c_str() : picl_path.c_str(), mode.c_str());
+               source.c_str(), mode.c_str());
+
+  // Aggregation mode: stream closed windows instead of records.
+  if (mode == "agg") {
+    long long windows = 0;
+    TimeMicros last_window_at = monotonic_micros();
+    while (g_stop == 0) {
+      auto window = gateway->poll_agg();
+      if (!window) {
+        if (window.status().code() == Errc::closed) break;
+        std::fprintf(stderr, "brisk_consume: %s\n", window.status().to_string().c_str());
+        return 1;
+      }
+      const TimeMicros now = monotonic_micros();
+      if (!window.value().has_value()) {
+        if (idle_exit_ms > 0 && now - last_window_at > idle_exit_ms * 1'000) break;
+        sleep_micros(1'000);
+        continue;
+      }
+      last_window_at = now;
+      ++windows;
+      const tp::AggWindow& w = *window.value();
+      std::printf("=== window [%lld, %lld) us: %zu keys ===\n",
+                  static_cast<long long>(w.window_start), static_cast<long long>(w.window_end),
+                  w.keys.size());
+      for (const auto& key : w.keys) {
+        const std::uint64_t p50 = metrics::histogram_percentile(key.gap_buckets, 0.50);
+        const std::uint64_t p99 = metrics::histogram_percentile(key.gap_buckets, 0.99);
+        std::printf("node %10u sensor %10u  count %12llu  gap_p50 %8llu  gap_p99 %8llu\n",
+                    key.node, key.sensor, static_cast<unsigned long long>(key.count),
+                    static_cast<unsigned long long>(p50), static_cast<unsigned long long>(p99));
+      }
+      std::fflush(stdout);
+      if (max_records > 0 && windows >= max_records) break;
+    }
+    std::fprintf(stderr, "brisk_consume: %lld windows received\n", windows);
+    return 0;
+  }
 
   long long received = 0;
   TimeMicros last_record_at = monotonic_micros();
@@ -273,6 +363,7 @@ int main(int argc, char** argv) {
   while (g_stop == 0) {
     auto record = poll_record();
     if (!record) {
+      if (record.status().code() == Errc::closed) break;  // gateway hung up: summarize
       std::fprintf(stderr, "brisk_consume: %s\n", record.status().to_string().c_str());
       return 1;
     }

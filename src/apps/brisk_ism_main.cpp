@@ -56,6 +56,19 @@ brisk::apps::FlagRegistry make_registry() {
       .add_int("ism-credit-bytes", 0, "per-connection credit window in bytes (0 = uncapped)")
       .add_int("credit-replenish-us", 20'000,
                "ack cadence while a session's window is below the full grant")
+      .add_int("consumer-port", -1,
+               "TCP consumer gateway port (-1 = disabled, 0 = ephemeral)")
+      .add_int("consumer-queue-records", 1024,
+               "default per-subscriber gateway queue depth (records)")
+      .add_int("consumer-max-queue-records", 65536,
+               "cap on the per-subscriber queue depth a SUBSCRIBE may request")
+      .add_int("consumer-lane-records", 8192, "pipeline -> gateway fan-out lane depth")
+      .add_int("consumer-outbox-bytes", 1 << 20, "per-subscriber socket send buffer cap")
+      .add_int("consumer-overrun-grace-us", 2'000'000,
+               "evict a subscriber continuously overrunning its queue for this long")
+      .add_int("consumer-agg-window-us", 1'000'000,
+               "default aggregation-subscription window")
+      .add_int("consumer-max-subscribers", 64, "max concurrent gateway connections")
       .add_bool("sync", true, "run the clock synchronisation service")
       .add_int("sync-period-us", 5'000'000, "clock sync round period")
       .add_string("sync-algorithm", "brisk", "clock sync algorithm: brisk or cristian")
@@ -110,6 +123,18 @@ int main(int argc, char** argv) {
   const std::string algorithm = flags.str("sync-algorithm");
   config.ism.sync.algorithm =
       algorithm == "cristian" ? clk::SyncAlgorithm::cristian : clk::SyncAlgorithm::brisk;
+  const long long consumer_port = flags.num("consumer-port");
+  config.gateway.tcp_enabled = consumer_port >= 0;
+  config.gateway.consumer_port = static_cast<std::uint16_t>(consumer_port < 0 ? 0 : consumer_port);
+  config.gateway.poller = backend.value();
+  config.gateway.queue_records = static_cast<std::size_t>(flags.num("consumer-queue-records"));
+  config.gateway.max_queue_records =
+      static_cast<std::size_t>(flags.num("consumer-max-queue-records"));
+  config.gateway.lane_records = static_cast<std::size_t>(flags.num("consumer-lane-records"));
+  config.gateway.outbox_bytes = static_cast<std::size_t>(flags.num("consumer-outbox-bytes"));
+  config.gateway.overrun_grace_us = flags.num("consumer-overrun-grace-us");
+  config.gateway.agg_window_us = flags.num("consumer-agg-window-us");
+  config.gateway.max_subscribers = static_cast<std::size_t>(flags.num("consumer-max-subscribers"));
   config.output_ring_capacity = static_cast<std::uint32_t>(flags.num("output-ring-bytes"));
   config.output_shm_name = flags.str("shm");
   config.picl_trace_path = flags.str("picl");
@@ -155,6 +180,10 @@ int main(int argc, char** argv) {
 
   std::printf("brisk_ism %s listening on 127.0.0.1:%u\n", version_string(),
               manager.value()->port());
+  if (config.gateway.tcp_enabled) {
+    std::printf("consumer gateway listening on 127.0.0.1:%u\n",
+                manager.value()->consumer_port());
+  }
   std::printf("%s", describe(config).c_str());
   std::fflush(stdout);
 

@@ -1,0 +1,141 @@
+#include "consumers/gateway_client.hpp"
+
+#include "ism/output.hpp"
+#include "xdr/xdr_decoder.hpp"
+#include "xdr/xdr_encoder.hpp"
+
+namespace brisk::consumers {
+
+Result<GatewayClient> GatewayClient::connect(const std::string& host, std::uint16_t port,
+                                             const Options& options) {
+  auto socket = net::TcpSocket::connect(host, port);
+  if (!socket) return socket.status();
+  GatewayClient client;
+  client.socket_ = std::move(socket).value();
+  (void)client.socket_.set_nodelay(true);
+
+  tp::SubscribeRequest req;
+  req.name = options.name;
+  req.filter = options.filter;
+  req.kind = options.kind;
+  req.queue_records = options.queue_records;
+  req.agg_window_us = options.agg_window_us;
+  ByteBuffer frame;
+  xdr::Encoder enc(frame);
+  tp::put_type(tp::MsgType::subscribe, enc);
+  tp::encode_subscribe(req, enc);
+  Status sent = net::write_frame(client.socket_, frame.view());
+  if (!sent) return sent;
+
+  // Blocking ack read — the socket goes non-blocking only after this.
+  auto ack_frame = net::read_frame(client.socket_);
+  if (!ack_frame) return ack_frame.status();
+  xdr::Decoder dec(ack_frame.value().view());
+  auto type = tp::peek_type(dec);
+  if (!type) return type.status();
+  if (type.value() != tp::MsgType::subscribe_ack) {
+    return Status(Errc::malformed, "expected subscribe_ack");
+  }
+  auto ack = tp::decode_subscribe_ack(dec);
+  if (!ack) return ack.status();
+  if (!ack.value().accepted) {
+    return Status(Errc::invalid_argument, "subscription rejected: " + ack.value().message);
+  }
+  client.id_ = ack.value().subscription_id;
+
+  Status nb = client.socket_.set_nonblocking(true);
+  if (!nb) return nb;
+  return client;
+}
+
+Status GatewayClient::pump() {
+  if (closed_) return Status(Errc::closed, "gateway connection closed");
+  std::uint8_t chunk[16 << 10];
+  for (;;) {
+    auto got = socket_.read_some(MutableByteSpan(chunk, sizeof(chunk)));
+    if (!got) {
+      if (got.status().code() == Errc::would_block) break;
+      closed_ = true;
+      return got.status();
+    }
+    if (got.value() == 0) {
+      closed_ = true;
+      break;  // orderly close: drain what we buffered, then report closed
+    }
+    reader_.feed(ByteSpan(chunk, got.value()));
+    if (got.value() < sizeof(chunk)) break;
+  }
+  for (;;) {
+    auto frame = reader_.next();
+    if (!frame) return frame.status();
+    if (!frame.value().has_value()) break;
+    xdr::Decoder dec(frame.value()->view());
+    auto type = tp::peek_type(dec);
+    if (!type) return type.status();
+    switch (type.value()) {
+      case tp::MsgType::sub_data: {
+        auto payload = dec.get_opaque(net::kMaxFrameBytes);
+        if (!payload) return payload.status();
+        auto record = ism::decode_output_record(payload.value());
+        if (!record) return record.status();
+        records_.push_back(std::move(record).value());
+        break;
+      }
+      case tp::MsgType::sub_agg: {
+        auto window = tp::decode_agg_window(dec);
+        if (!window) return window.status();
+        windows_.push_back(std::move(window).value());
+        break;
+      }
+      default:
+        break;  // late ack from a re-subscribe, future frame kinds: skip
+    }
+  }
+  return Status::ok();
+}
+
+Result<std::optional<sensors::Record>> GatewayClient::poll() {
+  if (records_.empty()) {
+    Status st = pump();
+    if (!st && records_.empty()) return st;
+  }
+  if (records_.empty()) {
+    if (closed_ && reader_.buffered_bytes() == 0) {
+      return Status(Errc::closed, "gateway connection closed");
+    }
+    return std::optional<sensors::Record>{};
+  }
+  std::optional<sensors::Record> out = std::move(records_.front());
+  records_.pop_front();
+  consumed_++;
+  return out;
+}
+
+Result<std::optional<tp::AggWindow>> GatewayClient::poll_agg() {
+  if (windows_.empty()) {
+    Status st = pump();
+    if (!st && windows_.empty()) return st;
+  }
+  if (windows_.empty()) {
+    if (closed_ && reader_.buffered_bytes() == 0) {
+      return Status(Errc::closed, "gateway connection closed");
+    }
+    return std::optional<tp::AggWindow>{};
+  }
+  std::optional<tp::AggWindow> out = std::move(windows_.front());
+  windows_.pop_front();
+  consumed_++;
+  return out;
+}
+
+Status GatewayClient::unsubscribe() {
+  tp::Unsubscribe msg;
+  msg.subscription_id = id_;
+  ByteBuffer frame;
+  xdr::Encoder enc(frame);
+  tp::put_type(tp::MsgType::unsubscribe, enc);
+  tp::encode_unsubscribe(msg, enc);
+  return net::write_frame(socket_, frame.view());
+}
+
+}  // namespace brisk::consumers

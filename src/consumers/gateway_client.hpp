@@ -1,0 +1,76 @@
+// Consumer-tool side of the ISM's TCP subscription gateway: connect, send
+// one SUBSCRIBE (filter spec pushed down to the ISM), then poll sorted
+// records — the network twin of ShmConsumer::poll(), so tools like
+// brisk_consume treat "read the output ring" and "subscribe over TCP" as
+// interchangeable record sources.
+#pragma once
+
+#include <cstdint>
+#include <deque>
+#include <optional>
+#include <string>
+
+#include "net/frame.hpp"
+#include "net/socket.hpp"
+#include "sensors/record.hpp"
+#include "tp/wire.hpp"
+
+namespace brisk::consumers {
+
+class GatewayClient {
+ public:
+  struct Options {
+    /// Subscriber label for the ISM's per-subscriber metrics ("" = let the
+    /// gateway generate one).
+    std::string name;
+    /// Textual filter spec (see ism/filter.hpp); "" = every record.
+    std::string filter;
+    tp::SubscriptionKind kind = tp::SubscriptionKind::stream;
+    /// Per-subscriber gateway queue depth; 0 = gateway default.
+    std::uint32_t queue_records = 0;
+    /// Aggregation window (kind == aggregate); 0 = gateway default.
+    std::uint64_t agg_window_us = 0;
+  };
+
+  /// Connects, subscribes, and waits for the gateway's ack (blocking).
+  /// A rejected subscription surfaces as the ack's message. The socket is
+  /// left non-blocking for poll().
+  static Result<GatewayClient> connect(const std::string& host, std::uint16_t port,
+                                       const Options& options);
+
+  GatewayClient(GatewayClient&&) = default;
+  GatewayClient& operator=(GatewayClient&&) = default;
+
+  /// Next sorted record, or nullopt when nothing is currently available
+  /// (non-blocking). Errc::closed once the gateway hangs up.
+  Result<std::optional<sensors::Record>> poll();
+
+  /// Next closed aggregation window (kind == aggregate subscriptions).
+  Result<std::optional<tp::AggWindow>> poll_agg();
+
+  /// Sends UNSUBSCRIBE; the connection stays open (records already queued
+  /// by the gateway may still arrive and can be drained with poll()).
+  Status unsubscribe();
+
+  [[nodiscard]] std::uint32_t subscription_id() const noexcept { return id_; }
+  [[nodiscard]] std::uint64_t records_consumed() const noexcept { return consumed_; }
+  [[nodiscard]] bool valid() const noexcept { return socket_.valid(); }
+  void close() noexcept { socket_.close(); }
+
+ private:
+  GatewayClient() = default;
+
+  /// Non-blocking socket read; decoded frames land in the record/window
+  /// queues. Returns Errc::closed on peer hangup.
+  Status pump();
+
+  net::TcpSocket socket_;
+  net::FrameReader reader_;
+  std::deque<sensors::Record> records_;
+  std::deque<tp::AggWindow> windows_;
+  std::uint32_t id_ = 0;
+  std::uint64_t consumed_ = 0;
+  bool closed_ = false;
+};
+
+}  // namespace brisk::consumers

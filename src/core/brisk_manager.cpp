@@ -15,21 +15,25 @@ Result<std::unique_ptr<BriskManager>> BriskManager::create(const ManagerConfig& 
   auto ring = shm::RingBuffer::init(region.value().data(), config.output_ring_capacity);
   if (!ring) return ring.status();
 
-  auto sinks = std::make_shared<ism::SinkRegistry>();
-  Status st = sinks->add(std::make_shared<ism::ShmSink>(ring.value()));
+  auto gateway = ism::ConsumerGateway::create(config.gateway);
+  if (!gateway) return gateway.status();
+  // The classic output paths are built-in, unfiltered subscribers.
+  Status st = gateway.value()->subscribe("shm", std::make_shared<ism::ShmSink>(ring.value()));
   if (!st) return st;
   if (!config.picl_trace_path.empty()) {
     auto writer = picl::PiclWriter::open(config.picl_trace_path, config.picl_options);
     if (!writer) return writer.status();
-    st = sinks->add(std::make_shared<ism::PiclFileSink>(std::move(writer).value()));
+    st = gateway.value()->subscribe(
+        "picl", std::make_shared<ism::PiclFileSink>(std::move(writer).value()));
     if (!st) return st;
   }
 
-  auto manager = std::unique_ptr<BriskManager>(
-      new BriskManager(config, std::move(region).value(), ring.value(), sinks));
-  auto ism = ism::Ism::start(config.ism, clock, manager->sinks_);
+  auto manager = std::unique_ptr<BriskManager>(new BriskManager(
+      config, std::move(region).value(), ring.value(), std::move(gateway).value()));
+  auto ism = ism::Ism::start(config.ism, clock, manager->gateway_);
   if (!ism) return ism.status();
   manager->ism_ = std::move(ism).value();
+  manager->gateway_->register_metrics(manager->ism_->metrics());
   return manager;
 }
 

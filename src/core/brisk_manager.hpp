@@ -1,7 +1,8 @@
 // BriskManager: the manager-side facade of the public API.
 //
-// Owns the ISM, its shared-memory output ring, and the optional PICL trace
-// sink; hands out consumers attached to the output ring.
+// Owns the ISM, its consumer gateway, the shared-memory output ring, and
+// the optional PICL trace sink; hands out consumers attached to the output
+// ring or subscribed over the gateway's TCP port.
 //
 //   brisk::ManagerConfig cfg;
 //   auto manager = brisk::BriskManager::create(cfg);
@@ -14,6 +15,7 @@
 
 #include "consumers/shm_consumer.hpp"
 #include "core/knobs.hpp"
+#include "ism/gateway.hpp"
 #include "ism/ism.hpp"
 #include "shm/shared_region.hpp"
 
@@ -24,16 +26,27 @@ class BriskManager {
   static Result<std::unique_ptr<BriskManager>> create(
       const ManagerConfig& config, clk::Clock& clock = clk::SystemClock::instance());
 
-  /// Registers an extra output sink (e.g. a vo::VoSink) under its own
-  /// name() before records flow. Fails on a duplicate name.
-  Status add_sink(std::shared_ptr<ism::Sink> sink) { return sinks_->add(std::move(sink)); }
-  /// Registers under an explicit name (several sinks of one kind).
-  Status add_sink(std::string name, std::shared_ptr<ism::Sink> sink) {
-    return sinks_->add(std::move(name), std::move(sink));
+  /// Registers an extra output path as an unfiltered gateway subscriber
+  /// (e.g. a vo::VoSink) under its own name(). Fails on a duplicate name.
+  Status add_sink(std::shared_ptr<ism::Sink> sink) {
+    if (!sink) return Status(Errc::invalid_argument, "null sink");
+    std::string name = sink->name();
+    return gateway_->subscribe(std::move(name), std::move(sink));
   }
-  [[nodiscard]] ism::SinkRegistry& sinks() noexcept { return *sinks_; }
+  /// Registers under an explicit name, optionally with a filter.
+  Status add_sink(std::string name, std::shared_ptr<ism::Sink> sink,
+                  ism::SubscriptionOptions options = {}) {
+    return gateway_->subscribe(std::move(name), std::move(sink), std::move(options));
+  }
+  /// The subscription gateway: per-subscriber filters, aggregation
+  /// subscriptions, and (when enabled) the TCP consumer port.
+  [[nodiscard]] ism::ConsumerGateway& gateway() noexcept { return *gateway_; }
 
   [[nodiscard]] std::uint16_t port() const noexcept { return ism_->port(); }
+  /// TCP consumer port (0 when the gateway listener is disabled).
+  [[nodiscard]] std::uint16_t consumer_port() const noexcept {
+    return gateway_->consumer_port();
+  }
   [[nodiscard]] ism::Ism& ism() noexcept { return *ism_; }
 
   /// A consumer attached to the shared-memory output ring.
@@ -48,16 +61,16 @@ class BriskManager {
 
  private:
   BriskManager(ManagerConfig config, shm::SharedRegion output_region,
-               shm::RingBuffer output_ring, std::shared_ptr<ism::SinkRegistry> sinks)
+               shm::RingBuffer output_ring, std::shared_ptr<ism::ConsumerGateway> gateway)
       : config_(std::move(config)),
         output_region_(std::move(output_region)),
         output_ring_(output_ring),
-        sinks_(std::move(sinks)) {}
+        gateway_(std::move(gateway)) {}
 
   ManagerConfig config_;
   shm::SharedRegion output_region_;
   shm::RingBuffer output_ring_;
-  std::shared_ptr<ism::SinkRegistry> sinks_;
+  std::shared_ptr<ism::ConsumerGateway> gateway_;
   std::unique_ptr<ism::Ism> ism_;
 };
 

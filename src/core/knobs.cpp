@@ -73,6 +73,8 @@ Status ManagerConfig::validate() const {
   if (ism.stats_interval_us < 0) {
     return Status(Errc::invalid_argument, "negative ism.stats_interval_us");
   }
+  Status gw = gateway.validate();
+  if (!gw) return gw;
   return Status::ok();
 }
 
@@ -144,6 +146,21 @@ std::string describe(const ManagerConfig& config) {
   line(out, "output_ring_capacity", static_cast<long long>(config.output_ring_capacity));
   line(out, "output_shm_name", config.output_shm_name);
   line(out, "picl_trace_path", config.picl_trace_path);
+  line(out, "gateway.tcp_enabled", static_cast<long long>(config.gateway.tcp_enabled ? 1 : 0));
+  if (config.gateway.tcp_enabled) {
+    line(out, "gateway.consumer_port", static_cast<long long>(config.gateway.consumer_port));
+    line(out, "gateway.poller", std::string(net::to_string(config.gateway.poller)));
+    line(out, "gateway.lane_records", static_cast<long long>(config.gateway.lane_records));
+    line(out, "gateway.queue_records", static_cast<long long>(config.gateway.queue_records));
+    line(out, "gateway.max_queue_records",
+         static_cast<long long>(config.gateway.max_queue_records));
+    line(out, "gateway.outbox_bytes", static_cast<long long>(config.gateway.outbox_bytes));
+    line(out, "gateway.overrun_grace_us",
+         static_cast<long long>(config.gateway.overrun_grace_us));
+    line(out, "gateway.agg_window_us", static_cast<long long>(config.gateway.agg_window_us));
+    line(out, "gateway.max_subscribers",
+         static_cast<long long>(config.gateway.max_subscribers));
+  }
   return out;
 }
 

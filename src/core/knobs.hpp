@@ -9,6 +9,7 @@
 #include <string>
 
 #include "clock/sync_service.hpp"
+#include "ism/gateway.hpp"
 #include "ism/ism.hpp"
 #include "lis/exs_config.hpp"
 
@@ -41,6 +42,10 @@ struct ManagerConfig {
   /// Optional PICL ASCII trace file ("" = disabled).
   std::string picl_trace_path;
   picl::PiclOptions picl_options;
+  /// Consumer subscription gateway (tcp_enabled starts the TCP listener;
+  /// the in-process side is always on — the shm ring and PICL sink are
+  /// built-in subscribers).
+  ism::GatewayConfig gateway;
 
   [[nodiscard]] Status validate() const;
 };

@@ -1,0 +1,192 @@
+#include "ism/filter.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+namespace brisk::ism {
+
+namespace {
+
+// splitmix64 finalizer, same mixer family as the trace-id hash.
+std::uint64_t mix64(std::uint64_t x) noexcept {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+bool in_ranges(const std::vector<SubscriptionFilter::Range>& ranges,
+               std::uint64_t value) noexcept {
+  if (ranges.empty()) return true;
+  for (const auto& range : ranges) {
+    if (value >= range.lo && value <= range.hi) return true;
+  }
+  return false;
+}
+
+void append_ranges(std::string& out, std::string_view key,
+                   const std::vector<SubscriptionFilter::Range>& ranges) {
+  if (ranges.empty()) return;
+  if (!out.empty()) out.push_back(',');
+  out.append(key);
+  out.push_back('=');
+  for (std::size_t i = 0; i < ranges.size(); ++i) {
+    if (i > 0) out.push_back(',');
+    out.append(std::to_string(ranges[i].lo));
+    if (ranges[i].hi != ranges[i].lo) {
+      out.push_back('-');
+      out.append(std::to_string(ranges[i].hi));
+    }
+  }
+}
+
+Result<std::uint64_t> parse_u64(std::string_view text) {
+  if (text.empty()) return Status(Errc::invalid_argument, "empty number in filter");
+  std::uint64_t value = 0;
+  for (char c : text) {
+    if (c < '0' || c > '9') {
+      return Status(Errc::invalid_argument,
+                    "bad number '" + std::string(text) + "' in filter");
+    }
+    const std::uint64_t digit = static_cast<std::uint64_t>(c - '0');
+    if (value > (UINT64_MAX - digit) / 10) {
+      return Status(Errc::invalid_argument,
+                    "number '" + std::string(text) + "' out of range");
+    }
+    value = value * 10 + digit;
+  }
+  return value;
+}
+
+Result<SubscriptionFilter::Range> parse_range(std::string_view text,
+                                              std::uint64_t max_value) {
+  SubscriptionFilter::Range range;
+  const std::size_t dash = text.find('-');
+  if (dash == std::string_view::npos) {
+    auto value = parse_u64(text);
+    if (!value) return value.status();
+    range.lo = range.hi = value.value();
+  } else {
+    auto lo = parse_u64(text.substr(0, dash));
+    if (!lo) return lo.status();
+    auto hi = parse_u64(text.substr(dash + 1));
+    if (!hi) return hi.status();
+    range.lo = lo.value();
+    range.hi = hi.value();
+    if (range.hi < range.lo) {
+      return Status(Errc::invalid_argument,
+                    "inverted range '" + std::string(text) + "' in filter");
+    }
+  }
+  if (range.hi > max_value) {
+    return Status(Errc::invalid_argument,
+                  "id range '" + std::string(text) + "' exceeds the id space");
+  }
+  return range;
+}
+
+}  // namespace
+
+bool SubscriptionFilter::matches(const sensors::Record& record) const noexcept {
+  if (!in_ranges(nodes, record.node)) return false;
+  if (!in_ranges(sensors, record.sensor)) return false;
+  if (sample_every > 1) {
+    // The TP wire does not carry per-record sequence numbers, so every
+    // EXS-originated record reaches the ISM with sequence == 0 — a hash of
+    // (node, sensor, sequence) alone would keep or drop a whole stream.
+    // Folding the timestamp in keeps the decision a pure function of
+    // record content (identical runs sample identical records, every
+    // subscriber with the same N sees the same subset) while varying per
+    // record.
+    const std::uint64_t id =
+        mix64((static_cast<std::uint64_t>(record.node) << 32) ^
+              (static_cast<std::uint64_t>(record.sensor) << 48) ^
+              record.sequence ^
+              mix64(static_cast<std::uint64_t>(record.timestamp)));
+    return id % sample_every == 0;
+  }
+  return true;
+}
+
+std::string SubscriptionFilter::describe() const {
+  std::string out;
+  append_ranges(out, "node", nodes);
+  append_ranges(out, "sensor", sensors);
+  if (sample_every > 1) {
+    if (!out.empty()) out.push_back(',');
+    out.append("sample=");
+    out.append(std::to_string(sample_every));
+  }
+  return out;
+}
+
+Result<SubscriptionFilter> SubscriptionFilter::parse(std::string_view spec) {
+  SubscriptionFilter filter;
+  enum class Clause { none, node, sensor, sample };
+  Clause clause = Clause::none;
+  std::size_t pos = 0;
+  while (pos <= spec.size()) {
+    std::size_t comma = spec.find(',', pos);
+    if (comma == std::string_view::npos) comma = spec.size();
+    std::string_view token = spec.substr(pos, comma - pos);
+    pos = comma + 1;
+    // Trim surrounding spaces so "node=1, sensor=2" parses.
+    while (!token.empty() && token.front() == ' ') token.remove_prefix(1);
+    while (!token.empty() && token.back() == ' ') token.remove_suffix(1);
+    if (token.empty()) continue;
+    std::string_view value = token;
+    const std::size_t eq = token.find('=');
+    if (eq != std::string_view::npos) {
+      const std::string_view key = token.substr(0, eq);
+      value = token.substr(eq + 1);
+      if (key == "node") {
+        clause = Clause::node;
+      } else if (key == "sensor") {
+        clause = Clause::sensor;
+      } else if (key == "sample") {
+        clause = Clause::sample;
+      } else {
+        return Status(Errc::invalid_argument,
+                      "unknown filter key '" + std::string(key) + "'");
+      }
+    } else if (clause == Clause::none) {
+      return Status(Errc::invalid_argument,
+                    "filter clause '" + std::string(token) + "' has no key=");
+    }
+    switch (clause) {
+      case Clause::node: {
+        auto range = parse_range(value, UINT32_MAX);
+        if (!range) return range.status();
+        filter.nodes.push_back(range.value());
+        break;
+      }
+      case Clause::sensor: {
+        auto range = parse_range(value, UINT32_MAX);
+        if (!range) return range.status();
+        filter.sensors.push_back(range.value());
+        break;
+      }
+      case Clause::sample: {
+        auto every = parse_u64(value);
+        if (!every) return every.status();
+        if (every.value() == 0 || every.value() > UINT32_MAX) {
+          return Status(Errc::invalid_argument, "sample=N needs 1 <= N <= 2^32-1");
+        }
+        filter.sample_every = static_cast<std::uint32_t>(every.value());
+        break;
+      }
+      case Clause::none:
+        break;
+    }
+  }
+  auto sort_ranges = [](std::vector<Range>& ranges) {
+    std::sort(ranges.begin(), ranges.end(), [](const Range& a, const Range& b) {
+      return a.lo != b.lo ? a.lo < b.lo : a.hi < b.hi;
+    });
+  };
+  sort_ranges(filter.nodes);
+  sort_ranges(filter.sensors);
+  return filter;
+}
+
+}  // namespace brisk::ism

@@ -1,0 +1,62 @@
+// Subscription filter predicates: what a consumer-gateway subscriber asks
+// to see. Filters are pushed down to the ISM and evaluated *before* fan-out
+// (ACME-style query pushdown), so a subscriber interested in one node costs
+// the gateway one predicate test per record, not one delivered copy.
+//
+// A filter is the conjunction of three optional clauses:
+//   * a node-id set (expressed as inclusive ranges; empty = every node),
+//   * a sensor-id range set (empty = every sensor),
+//   * 1-in-N rate sampling (deterministic — hash-based on (node, sensor,
+//     sequence, timestamp); the timestamp matters because the TP wire
+//     carries no per-record sequence numbers, so EXS-originated records
+//     all arrive with sequence == 0. A sampled stream is reproducible
+//     across identical runs and identical on every same-N subscriber).
+//
+// The textual spec syntax (used by `brisk_consume --filter` and carried
+// verbatim in SUBSCRIBE frames) is comma-separated clauses; values after a
+// `key=` continue that clause until the next `key=`:
+//   node=1,2,5-8,sensor=100-199,sample=16
+#pragma once
+
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "common/error.hpp"
+#include "sensors/record.hpp"
+
+namespace brisk::ism {
+
+struct SubscriptionFilter {
+  /// Inclusive [lo, hi] id range; a single id is lo == hi.
+  struct Range {
+    std::uint64_t lo = 0;
+    std::uint64_t hi = 0;
+
+    bool operator==(const Range&) const noexcept = default;
+  };
+
+  /// Node-id ranges; empty = all nodes.
+  std::vector<Range> nodes;
+  /// Sensor-id ranges; empty = all sensors.
+  std::vector<Range> sensors;
+  /// Keep one record in N (deterministic hash sampling); 1 = keep all.
+  std::uint32_t sample_every = 1;
+
+  [[nodiscard]] bool matches(const sensors::Record& record) const noexcept;
+  /// True when every record matches (the gateway skips predicate tests).
+  [[nodiscard]] bool pass_all() const noexcept {
+    return nodes.empty() && sensors.empty() && sample_every <= 1;
+  }
+
+  /// Canonical spec string ("" for a pass-all filter). parse() of the
+  /// result reproduces the filter.
+  [[nodiscard]] std::string describe() const;
+
+  /// Parses the spec syntax above. An empty spec is the pass-all filter.
+  static Result<SubscriptionFilter> parse(std::string_view spec);
+
+  bool operator==(const SubscriptionFilter&) const noexcept = default;
+};
+
+}  // namespace brisk::ism

@@ -569,6 +569,9 @@ void Ism::idle_work() {
   // Sharded mode flushes from the merger thread (the pipeline's flush
   // hook); flushing here too would race it.
   if (!pipeline_->threaded()) (void)output_->flush();
+  // Time-windowed sinks (gateway aggregation subscriptions) close windows
+  // against the merge's release watermark during lulls.
+  output_->tick(pipeline_->release_watermark());
   maybe_log_stats();
 }
 
@@ -906,7 +909,9 @@ Status Ism::drain() {
   Status st = pipeline_->drain();
   if (!st) return st;
   stats_.records_drained_on_expiry.store(pipeline_->stats().oob_records, std::memory_order_relaxed);
-  return output_->flush();
+  // drain(), not flush(): sinks with deferred work (the consumer gateway's
+  // aggregation windows and TCP fan-out queues) complete it now.
+  return output_->drain();
 }
 
 // ---- SocketSyncTransport ----------------------------------------------------

@@ -44,35 +44,51 @@ Status SinkRegistry::add(std::shared_ptr<Sink> sink) {
 Status SinkRegistry::add(std::string name, std::shared_ptr<Sink> sink) {
   if (!sink) return Status(Errc::invalid_argument, "null sink");
   if (name.empty()) return Status(Errc::invalid_argument, "empty sink name");
-  for (const auto& entry : sinks_) {
+  std::lock_guard<std::mutex> lk(mutation_mutex_);
+  const auto current = snapshot();
+  for (const auto& entry : *current) {
     if (entry.name == name) {
       return Status(Errc::already_exists, "sink '" + name + "' already registered");
     }
   }
-  sinks_.push_back(Entry{std::move(name), std::move(sink)});
+  auto next = std::make_shared<EntryList>(*current);
+  next->push_back(Entry{std::move(name), std::move(sink)});
+  std::atomic_store_explicit(&sinks_, std::shared_ptr<const EntryList>(std::move(next)),
+                             std::memory_order_release);
   return Status::ok();
 }
 
 bool SinkRegistry::remove(const std::string& name) {
-  for (auto it = sinks_.begin(); it != sinks_.end(); ++it) {
-    if (it->name == name) {
-      sinks_.erase(it);
-      return true;
+  std::lock_guard<std::mutex> lk(mutation_mutex_);
+  const auto current = snapshot();
+  auto next = std::make_shared<EntryList>();
+  next->reserve(current->size());
+  bool removed = false;
+  for (const auto& entry : *current) {
+    if (!removed && entry.name == name) {
+      removed = true;
+      continue;
     }
+    next->push_back(entry);
   }
-  return false;
+  if (!removed) return false;
+  std::atomic_store_explicit(&sinks_, std::shared_ptr<const EntryList>(std::move(next)),
+                             std::memory_order_release);
+  return true;
 }
 
 std::shared_ptr<Sink> SinkRegistry::find(const std::string& name) const {
-  for (const auto& entry : sinks_) {
+  const auto current = snapshot();
+  for (const auto& entry : *current) {
     if (entry.name == name) return entry.sink;
   }
   return nullptr;
 }
 
 Status SinkRegistry::accept(const sensors::Record& record) {
+  const auto current = snapshot();
   Status first_error = Status::ok();
-  for (auto& entry : sinks_) {
+  for (const auto& entry : *current) {
     Status st = entry.sink->accept(record);
     if (!st && first_error.is_ok()) first_error = st;
   }
@@ -80,18 +96,37 @@ Status SinkRegistry::accept(const sensors::Record& record) {
 }
 
 Status SinkRegistry::flush() {
+  const auto current = snapshot();
   Status first_error = Status::ok();
-  for (auto& entry : sinks_) {
+  for (const auto& entry : *current) {
     Status st = entry.sink->flush();
     if (!st && first_error.is_ok()) first_error = st;
   }
   return first_error;
 }
 
+void SinkRegistry::tick(TimeMicros watermark) {
+  const auto current = snapshot();
+  for (const auto& entry : *current) entry.sink->tick(watermark);
+}
+
+Status SinkRegistry::drain() {
+  const auto current = snapshot();
+  Status first_error = Status::ok();
+  for (const auto& entry : *current) {
+    Status st = entry.sink->drain();
+    if (!st && first_error.is_ok()) first_error = st;
+  }
+  return first_error;
+}
+
+std::size_t SinkRegistry::sink_count() const { return snapshot()->size(); }
+
 std::vector<std::string> SinkRegistry::names() const {
+  const auto current = snapshot();
   std::vector<std::string> out;
-  out.reserve(sinks_.size());
-  for (const auto& entry : sinks_) out.push_back(entry.name);
+  out.reserve(current->size());
+  for (const auto& entry : *current) out.push_back(entry.name);
   return out;
 }
 

@@ -12,6 +12,7 @@
 #include <atomic>
 #include <functional>
 #include <memory>
+#include <mutex>
 #include <string>
 #include <vector>
 
@@ -29,6 +30,16 @@ class Sink {
   virtual ~Sink() = default;
   virtual Status accept(const sensors::Record& record) = 0;
   virtual Status flush() { return Status::ok(); }
+  /// Advance notice of the merge's release watermark (the timestamp below
+  /// which no further record will be delivered). Called from the ordering
+  /// thread on idle cycles; time-windowed sinks (the consumer gateway's
+  /// aggregation subscriptions) use it to close windows during lulls
+  /// without risking a late record landing behind a closed window.
+  virtual void tick(TimeMicros watermark) { (void)watermark; }
+  /// Shutdown path, called once after the pipeline has drained: complete
+  /// all deferred work (close aggregation windows, flush fan-out queues to
+  /// connected consumers) before the process exits. Defaults to flush().
+  virtual Status drain() { return flush(); }
   /// Stable identifier for diagnostics and registry lookups.
   [[nodiscard]] virtual const char* name() const noexcept = 0;
 };
@@ -93,6 +104,17 @@ class CallbackSink final : public Sink {
 /// The registered set of output paths. Itself a Sink, so the pipeline talks
 /// to exactly one object no matter how many outputs are attached. A failing
 /// sink is reported but does not stop delivery to the others.
+///
+/// Mutation is safe against concurrent delivery: add()/remove() swap in a
+/// new copy of the sink list under a mutex while accept()/flush()/tick()
+/// read an atomic snapshot — the merger thread never iterates a vector a
+/// remove() is erasing from. A removed sink may still receive the records
+/// of one in-flight accept() (delivery holds the old snapshot alive), so
+/// removal is "no new records", not a synchronous barrier.
+///
+/// New code should prefer the ConsumerGateway (ism/gateway.hpp), which
+/// layers per-subscriber filters, bounded queues, and TCP fan-out over the
+/// same contract; this registry remains for simple all-records fan-out.
 class SinkRegistry final : public Sink {
  public:
   /// Registers under the sink's own name(). Fails on a duplicate name.
@@ -105,9 +127,11 @@ class SinkRegistry final : public Sink {
 
   Status accept(const sensors::Record& record) override;
   Status flush() override;
+  void tick(TimeMicros watermark) override;
+  Status drain() override;
   [[nodiscard]] const char* name() const noexcept override { return "registry"; }
 
-  [[nodiscard]] std::size_t sink_count() const noexcept { return sinks_.size(); }
+  [[nodiscard]] std::size_t sink_count() const;
   [[nodiscard]] std::vector<std::string> names() const;
 
  private:
@@ -115,7 +139,15 @@ class SinkRegistry final : public Sink {
     std::string name;
     std::shared_ptr<Sink> sink;
   };
-  std::vector<Entry> sinks_;  // delivery order = registration order
+  using EntryList = std::vector<Entry>;  // delivery order = registration order
+
+  /// The delivery threads' view: lock-free atomic load of the current list.
+  [[nodiscard]] std::shared_ptr<const EntryList> snapshot() const {
+    return std::atomic_load_explicit(&sinks_, std::memory_order_acquire);
+  }
+
+  mutable std::mutex mutation_mutex_;  // serializes add()/remove()
+  std::shared_ptr<const EntryList> sinks_ = std::make_shared<EntryList>();
 };
 
 /// Encodes a record (with its node id prefix) as placed in the output ring.

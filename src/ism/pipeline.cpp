@@ -442,6 +442,12 @@ void OrderingPipeline::merge_tails(std::vector<std::vector<ShardOutput>>& tails)
 
 void OrderingPipeline::deliver(sensors::Record record) {
   merged_.fetch_add(1, std::memory_order_relaxed);
+  // Monotone max over the in-order release stream (single writer: whichever
+  // thread holds merger_mutex_). Out-of-band expiry drains skip this — a
+  // dead node's stale timestamps must not drag the watermark around.
+  if (record.timestamp > release_watermark_.load(std::memory_order_relaxed)) {
+    release_watermark_.store(record.timestamp, std::memory_order_release);
+  }
   if (record.trace) {
     record.trace->stamp(sensors::TraceStage::merge_release, clock_.now());
   }

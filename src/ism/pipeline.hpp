@@ -136,6 +136,16 @@ class OrderingPipeline {
   [[nodiscard]] std::vector<std::size_t> shard_depths() const;
   [[nodiscard]] std::vector<TimeMicros> shard_frames() const;
   [[nodiscard]] PipelineStats stats() const;
+  /// Timestamp of the last record released through the k-way merge — the
+  /// merge's release watermark. Monotone except for genuinely late records
+  /// (already counted as merge_inversions); readable from any thread. The
+  /// consumer gateway closes aggregation windows against this, so a window
+  /// only closes once the merge has released past its end — a wall-clock
+  /// close could seal a window while a delayed in-window record is still
+  /// waiting in a sorter shard. INT64_MIN until the first release.
+  [[nodiscard]] TimeMicros release_watermark() const noexcept {
+    return release_watermark_.load(std::memory_order_acquire);
+  }
   /// Snapshot of the CRE matcher's counters, safe from any thread while
   /// the pipeline runs (takes the merger mutex the owning thread holds
   /// during delivery).
@@ -203,6 +213,9 @@ class OrderingPipeline {
   std::vector<std::optional<ShardOutput>> heads_;
   TimeMicros last_merged_ts_ = 0;
   bool merged_any_ = false;
+  /// Atomic mirror of last_merged_ts_ for cross-thread readers (see
+  /// release_watermark()).
+  std::atomic<TimeMicros> release_watermark_{std::numeric_limits<TimeMicros>::min()};
   std::vector<sensors::Record> cre_scratch_;
   std::thread merger_thread_;
   std::mutex merger_cv_mutex_;

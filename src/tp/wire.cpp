@@ -540,10 +540,128 @@ Result<Adjust> decode_adjust(xdr::Decoder& decoder) {
   return Adjust{delta.value()};
 }
 
+void encode_subscribe(const SubscribeRequest& msg, xdr::Encoder& encoder) {
+  encoder.put_string(msg.name);
+  encoder.put_string(msg.filter);
+  encoder.put_u32(static_cast<std::uint32_t>(msg.kind));
+  encoder.put_u32(msg.queue_records);
+  encoder.put_u64(msg.agg_window_us);
+}
+
+Result<SubscribeRequest> decode_subscribe(xdr::Decoder& decoder) {
+  SubscribeRequest msg;
+  auto name = decoder.get_string(1 << 10);
+  if (!name) return name.status();
+  msg.name = std::move(name).value();
+  auto filter = decoder.get_string(1 << 16);
+  if (!filter) return filter.status();
+  msg.filter = std::move(filter).value();
+  auto kind = decoder.get_u32();
+  if (!kind) return kind.status();
+  if (kind.value() > static_cast<std::uint32_t>(SubscriptionKind::aggregate)) {
+    return Status(Errc::malformed, "unknown subscription kind");
+  }
+  msg.kind = static_cast<SubscriptionKind>(kind.value());
+  auto queue = decoder.get_u32();
+  if (!queue) return queue.status();
+  msg.queue_records = queue.value();
+  auto window = decoder.get_u64();
+  if (!window) return window.status();
+  msg.agg_window_us = window.value();
+  return msg;
+}
+
+void encode_subscribe_ack(const SubscribeAck& msg, xdr::Encoder& encoder) {
+  encoder.put_bool(msg.accepted);
+  encoder.put_u32(msg.subscription_id);
+  encoder.put_string(msg.message);
+}
+
+Result<SubscribeAck> decode_subscribe_ack(xdr::Decoder& decoder) {
+  SubscribeAck msg;
+  auto accepted = decoder.get_bool();
+  if (!accepted) return accepted.status();
+  msg.accepted = accepted.value();
+  auto id = decoder.get_u32();
+  if (!id) return id.status();
+  msg.subscription_id = id.value();
+  auto message = decoder.get_string(1 << 12);
+  if (!message) return message.status();
+  msg.message = std::move(message).value();
+  return msg;
+}
+
+void encode_unsubscribe(const Unsubscribe& msg, xdr::Encoder& encoder) {
+  encoder.put_u32(msg.subscription_id);
+}
+
+Result<Unsubscribe> decode_unsubscribe(xdr::Decoder& decoder) {
+  auto id = decoder.get_u32();
+  if (!id) return id.status();
+  return Unsubscribe{id.value()};
+}
+
+void encode_agg_window(const AggWindow& msg, xdr::Encoder& encoder) {
+  encoder.put_i64(msg.window_start);
+  encoder.put_i64(msg.window_end);
+  encoder.put_u32(static_cast<std::uint32_t>(msg.keys.size()));
+  for (const AggWindow::Key& key : msg.keys) {
+    encoder.put_u32(key.node);
+    encoder.put_u32(key.sensor);
+    encoder.put_u64(key.count);
+    encoder.put_u32(static_cast<std::uint32_t>(key.gap_buckets.size()));
+    for (const auto& [bound, count] : key.gap_buckets) {
+      encoder.put_u64(bound);
+      encoder.put_u64(count);
+    }
+  }
+}
+
+Result<AggWindow> decode_agg_window(xdr::Decoder& decoder) {
+  AggWindow msg;
+  auto start = decoder.get_i64();
+  if (!start) return start.status();
+  msg.window_start = start.value();
+  auto end = decoder.get_i64();
+  if (!end) return end.status();
+  msg.window_end = end.value();
+  auto key_count = decoder.get_u32();
+  if (!key_count) return key_count.status();
+  if (key_count.value() > 1u << 20) return Status(Errc::malformed, "agg key count");
+  msg.keys.reserve(key_count.value());
+  for (std::uint32_t i = 0; i < key_count.value(); ++i) {
+    AggWindow::Key key;
+    auto node = decoder.get_u32();
+    if (!node) return node.status();
+    key.node = node.value();
+    auto sensor = decoder.get_u32();
+    if (!sensor) return sensor.status();
+    key.sensor = sensor.value();
+    auto count = decoder.get_u64();
+    if (!count) return count.status();
+    key.count = count.value();
+    auto buckets = decoder.get_u32();
+    if (!buckets) return buckets.status();
+    if (buckets.value() > 1u << 12) return Status(Errc::malformed, "agg bucket count");
+    key.gap_buckets.reserve(buckets.value());
+    for (std::uint32_t b = 0; b < buckets.value(); ++b) {
+      auto bound = decoder.get_u64();
+      if (!bound) return bound.status();
+      auto bucket_count = decoder.get_u64();
+      if (!bucket_count) return bucket_count.status();
+      key.gap_buckets.emplace_back(bound.value(), bucket_count.value());
+    }
+    msg.keys.push_back(std::move(key));
+  }
+  return msg;
+}
+
 Result<MsgType> peek_type(xdr::Decoder& decoder) {
   auto raw = decoder.get_u32();
   if (!raw) return raw.status();
-  if (raw.value() < 1 || raw.value() > 9) return Status(Errc::malformed, "unknown message type");
+  if (raw.value() < 1 || raw.value() > 14) {
+    return Status(Errc::malformed, "unknown message type");
+  }
   return static_cast<MsgType>(raw.value());
 }
 

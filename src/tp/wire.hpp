@@ -32,6 +32,9 @@
 
 #include <cstdint>
 #include <optional>
+#include <string>
+#include <utility>
+#include <vector>
 
 #include "common/error.hpp"
 #include "sensors/record.hpp"
@@ -57,6 +60,12 @@ enum class MsgType : std::uint32_t {
   heartbeat = 7,   // either direction: liveness signal (empty body)
   hello_ack = 8,   // ISM → EXS: session accepted, resume cursor
   batch_ack = 9,   // ISM → EXS: cumulative receive cursor
+  // --- consumer-gateway protocol (brisk_ism --consumer-port) -----------------
+  subscribe = 10,      // consumer → ISM: filter spec, kind, queue depth
+  subscribe_ack = 11,  // ISM → consumer: accepted/rejected + subscription id
+  unsubscribe = 12,    // consumer → ISM: stop the stream, keep the connection
+  sub_data = 13,       // ISM → consumer: one sorted record (output encoding)
+  sub_agg = 14,        // ISM → consumer: one closed aggregation window
 };
 
 struct Hello {
@@ -100,6 +109,66 @@ struct BatchAck {
   std::uint32_t next_expected_seq = 0;
   /// v3 flow control; absent from/for v2 peers and when credits are off.
   std::optional<CreditGrant> credit;
+};
+
+// ---- consumer-gateway protocol ---------------------------------------------
+// The read path's mirror image of the EXS protocol: a consumer connects to
+// the ISM's --consumer-port, sends SUBSCRIBE naming a filter, and receives
+// SUB_DATA frames (each one output-encoded record that passed the filter)
+// or, for an aggregate subscription, SUB_AGG frames (one per closed
+// window). One subscription per connection; a second SUBSCRIBE replaces
+// the first. The filter travels as its textual spec (see ism/filter.hpp)
+// so the wire format never chases the predicate grammar.
+
+enum class SubscriptionKind : std::uint32_t {
+  stream = 0,     // every matching record, in sorted order
+  aggregate = 1,  // per-(node, sensor) count/rate/histogram windows
+};
+
+struct SubscribeRequest {
+  /// Subscriber label for per-subscriber gateway metrics ("" = generated).
+  std::string name;
+  /// Textual filter spec; "" = every record.
+  std::string filter;
+  SubscriptionKind kind = SubscriptionKind::stream;
+  /// Requested per-subscriber queue depth in records; 0 = gateway default.
+  /// The gateway clamps to its configured maximum.
+  std::uint32_t queue_records = 0;
+  /// Aggregation window in microseconds; 0 = gateway default.
+  std::uint64_t agg_window_us = 0;
+};
+
+struct SubscribeAck {
+  bool accepted = false;
+  std::uint32_t subscription_id = 0;  // valid when accepted
+  std::string message;                // rejection reason when !accepted
+};
+
+struct Unsubscribe {
+  std::uint32_t subscription_id = 0;
+};
+
+/// One closed aggregation window: per-(node, sensor) record counts plus a
+/// histogram of inter-arrival gaps (microseconds between consecutive
+/// matching records of that key, by sorted-stream timestamps). Keys are
+/// sorted by (node, sensor), so identical inputs produce identical frames.
+struct AggWindow {
+  struct Key {
+    NodeId node = 0;
+    SensorId sensor = 0;
+    std::uint64_t count = 0;
+    /// Non-empty buckets of the inter-arrival histogram as (inclusive
+    /// upper bound, count) pairs, ascending by bound.
+    std::vector<std::pair<std::uint64_t, std::uint64_t>> gap_buckets;
+
+    bool operator==(const Key&) const noexcept = default;
+  };
+
+  TimeMicros window_start = 0;  // inclusive
+  TimeMicros window_end = 0;    // exclusive
+  std::vector<Key> keys;
+
+  bool operator==(const AggWindow&) const noexcept = default;
 };
 
 struct TimeReq {
@@ -165,6 +234,18 @@ Result<HelloAck> decode_hello_ack(xdr::Decoder& decoder);
 
 void encode_batch_ack(const BatchAck& msg, xdr::Encoder& encoder);
 Result<BatchAck> decode_batch_ack(xdr::Decoder& decoder);
+
+void encode_subscribe(const SubscribeRequest& msg, xdr::Encoder& encoder);
+Result<SubscribeRequest> decode_subscribe(xdr::Decoder& decoder);
+
+void encode_subscribe_ack(const SubscribeAck& msg, xdr::Encoder& encoder);
+Result<SubscribeAck> decode_subscribe_ack(xdr::Decoder& decoder);
+
+void encode_unsubscribe(const Unsubscribe& msg, xdr::Encoder& encoder);
+Result<Unsubscribe> decode_unsubscribe(xdr::Decoder& decoder);
+
+void encode_agg_window(const AggWindow& msg, xdr::Encoder& encoder);
+Result<AggWindow> decode_agg_window(xdr::Decoder& decoder);
 
 /// Reads the leading message type of a frame payload.
 Result<MsgType> peek_type(xdr::Decoder& decoder);

@@ -48,13 +48,24 @@ Result<std::uint32_t> VoChannel::ping(std::uint32_t token) {
 }
 
 Status VoSink::accept(const sensors::Record& record) {
-  const std::string line = picl::to_picl_line(record, options_);
-  Status first_error = Status::ok();
-  for (const std::string& name : object_names_) {
-    Status st = channel_.render(name, line);
-    if (!st && first_error.is_ok()) first_error = st;
+  return channel_->render(object_name_, picl::to_picl_line(record, options_));
+}
+
+Status subscribe_visual_objects(ism::ConsumerGateway& gateway,
+                                std::shared_ptr<VoChannel> channel,
+                                const std::vector<std::string>& object_names,
+                                const picl::PiclOptions& options,
+                                const ism::SubscriptionFilter& filter) {
+  if (!channel) return Status(Errc::invalid_argument, "null vo channel");
+  for (const std::string& object : object_names) {
+    ism::SubscriptionOptions sub_options;
+    sub_options.filter = filter;
+    Status st = gateway.subscribe("vo:" + object,
+                                  std::make_shared<VoSink>(channel, object, options),
+                                  std::move(sub_options));
+    if (!st) return st;
   }
-  return first_error;
+  return Status::ok();
 }
 
 }  // namespace brisk::vo

@@ -3,9 +3,11 @@
 // (records → PICL strings → render() calls on a list of object names).
 #pragma once
 
+#include <memory>
 #include <string>
 #include <vector>
 
+#include "ism/gateway.hpp"
 #include "ism/output.hpp"
 #include "net/socket.hpp"
 #include "picl/picl_record.hpp"
@@ -33,24 +35,41 @@ class VoChannel {
   std::uint64_t calls_sent_ = 0;
 };
 
-/// ISM output sink that forwards every sorted record to a list of remote
-/// visual objects — "a list of CORBA-enabled visual objects" in the paper.
+/// ISM output sink that forwards each sorted record to ONE remote visual
+/// object. Fan-out across objects is the consumer gateway's job now — one
+/// VoSink per object, registered via subscribe_visual_objects(), replaced
+/// the old internal render() loop over a name list (which duplicated the
+/// gateway's fan-out and could not filter per object).
 class VoSink final : public ism::Sink {
  public:
-  VoSink(VoChannel channel, std::vector<std::string> object_names, picl::PiclOptions options)
+  /// `channel` may be shared by several VoSinks (one per object name); the
+  /// VO protocol is one-way render() calls, so interleaving is safe on the
+  /// single delivery thread.
+  VoSink(std::shared_ptr<VoChannel> channel, std::string object_name,
+         picl::PiclOptions options)
       : channel_(std::move(channel)),
-        object_names_(std::move(object_names)),
+        object_name_(std::move(object_name)),
         options_(options) {}
 
   Status accept(const sensors::Record& record) override;
   [[nodiscard]] const char* name() const noexcept override { return "vo"; }
 
-  [[nodiscard]] VoChannel& channel() noexcept { return channel_; }
+  [[nodiscard]] VoChannel& channel() noexcept { return *channel_; }
+  [[nodiscard]] const std::string& object_name() const noexcept { return object_name_; }
 
  private:
-  VoChannel channel_;
-  std::vector<std::string> object_names_;
+  std::shared_ptr<VoChannel> channel_;
+  std::string object_name_;
   picl::PiclOptions options_;
 };
+
+/// Registers one gateway subscriber per visual object, all sharing one
+/// channel: "vo:<object>" each carrying `filter` ("a list of CORBA-enabled
+/// visual objects", now with per-object pushdown filtering for free).
+Status subscribe_visual_objects(ism::ConsumerGateway& gateway,
+                                std::shared_ptr<VoChannel> channel,
+                                const std::vector<std::string>& object_names,
+                                const picl::PiclOptions& options,
+                                const ism::SubscriptionFilter& filter = {});
 
 }  // namespace brisk::vo

@@ -6,6 +6,7 @@
 
 #include "consumers/shm_consumer.hpp"
 #include "consumers/trace_stats.hpp"
+#include "ism/gateway.hpp"
 #include "ism/output.hpp"
 #include "vo/vo_channel.hpp"
 #include "vo/vo_registry.hpp"
@@ -199,7 +200,7 @@ TEST_F(VoTest, VoSinkDeliversRecordsAsPicl) {
   auto channel = vo::VoChannel::connect("127.0.0.1", registry_->port());
   ASSERT_TRUE(channel.is_ok());
   picl::PiclOptions options{picl::TimestampMode::utc_micros, 0};
-  vo::VoSink sink(std::move(channel).value(), {"gauge"}, options);
+  vo::VoSink sink(std::make_shared<vo::VoChannel>(std::move(channel).value()), "gauge", options);
   ASSERT_TRUE(sink.accept(make_record(4, 555, 8)));
   ASSERT_TRUE(sink.channel().ping(3).is_ok());
   auto lines = object_->lines();
@@ -219,16 +220,30 @@ TEST_F(VoTest, RemoveObject) {
   EXPECT_EQ(registry_->object_count(), 0u);
 }
 
-TEST_F(VoTest, MultipleObjectsFanOutViaSink) {
+TEST_F(VoTest, MultipleObjectsFanOutViaGateway) {
+  // The old VoSink looped over a name list itself; fan-out across objects
+  // is the consumer gateway's job now — one subscriber per object, with
+  // per-object pushdown filters.
   auto second = std::make_shared<RecordingObject>("log");
   ASSERT_TRUE(registry_->add_object(second));
   auto channel = vo::VoChannel::connect("127.0.0.1", registry_->port());
   ASSERT_TRUE(channel.is_ok());
   picl::PiclOptions options{picl::TimestampMode::utc_micros, 0};
-  vo::VoSink sink(std::move(channel).value(), {"gauge", "log"}, options);
-  ASSERT_TRUE(sink.accept(make_record(1, 1)));
-  ASSERT_TRUE(sink.channel().ping(4).is_ok());
-  EXPECT_EQ(object_->lines().size(), 1u);
+
+  ism::GatewayConfig config;
+  auto gateway = ism::ConsumerGateway::create(config);
+  ASSERT_TRUE(gateway.is_ok());
+  auto shared = std::make_shared<vo::VoChannel>(std::move(channel).value());
+  // "log" only wants node 1; "gauge" takes everything.
+  ism::SubscriptionFilter log_filter;
+  log_filter.nodes.push_back({1, 1});
+  ASSERT_TRUE(vo::subscribe_visual_objects(*gateway.value(), shared, {"gauge"}, options));
+  ASSERT_TRUE(
+      vo::subscribe_visual_objects(*gateway.value(), shared, {"log"}, options, log_filter));
+  ASSERT_TRUE(gateway.value()->accept(make_record(1, 1)));
+  ASSERT_TRUE(gateway.value()->accept(make_record(2, 2)));  // node 2: gauge only
+  ASSERT_TRUE(shared->ping(4).is_ok());
+  EXPECT_EQ(object_->lines().size(), 2u);
   EXPECT_EQ(second->lines().size(), 1u);
 }
 
