@@ -11,14 +11,18 @@
 #include <sys/wait.h>
 #include <unistd.h>
 
+#include <algorithm>
 #include <atomic>
 #include <cstring>
+#include <mutex>
 #include <string>
 #include <thread>
 #include <vector>
 
 #include "bench_harness.hpp"
+#include "clock/clock.hpp"
 #include "common/time_util.hpp"
+#include "ism/output.hpp"
 #include "consumers/gateway_client.hpp"
 #include "net/poller.hpp"
 #include "sim/workload.hpp"
@@ -371,6 +375,108 @@ int fanout_sweep(bool smoke) {
 
 }  // namespace
 
+/// Federation sweep (E9): the same saturated sender processes delivered
+/// through a flat ISM vs a 2-level relay tree (2 and 4 relays). Delivered
+/// rate is the root pipeline's merged count over the workload duration;
+/// end-to-end latency is sampled at the root sink as sink-arrival minus
+/// record timestamp (same host, sync off, so the timebases agree — the
+/// tree pays one extra batch+hop of latency for its fan-in relief).
+int federation_sweep(int senders) {
+  using namespace brisk;  // NOLINT
+  bench::row("federation sweep: %d saturated sender processes, epoll, "
+             "4 root readers / 2 shards; relays: 2 readers / 2 shards",
+             senders);
+  bench::row("%12s %8s %16s %13s %13s %14s", "topology", "relays", "delivered(ev/s)",
+             "e2e_p50(us)", "e2e_p99(us)", "egress_stalls");
+  struct Topo {
+    const char* name;
+    int relays;
+  };
+  for (const Topo& topo : {Topo{"flat", 0}, Topo{"tree", 2}, Topo{"tree", 4}}) {
+    auto root_config = bench::bench_manager_config();
+    root_config.ism.sorter.max_pending = 1u << 22;
+    root_config.ism.poller = net::PollerBackend::epoll;
+    root_config.ism.reader_threads = 4;
+    root_config.ism.sorter_shards = 2;
+    root_config.ism.shard_queue_records = 1u << 14;
+    auto root = BriskManager::create(root_config);
+    if (!root) return 1;
+
+    // Sample 1-in-64 deliveries; the mutex is uncontended at that rate.
+    std::mutex sample_mutex;
+    std::vector<TimeMicros> samples;
+    std::atomic<std::uint64_t> seen{0};
+    auto sink = std::make_shared<ism::CallbackSink>([&](const sensors::Record& r) {
+      if ((seen.fetch_add(1, std::memory_order_relaxed) & 63) != 0) return;
+      const TimeMicros delay = clk::SystemClock::instance().now() - r.timestamp;
+      std::lock_guard<std::mutex> lock(sample_mutex);
+      samples.push_back(delay);
+    });
+    if (!root.value()->add_sink("bench-e2e", sink).ok()) return 1;
+    std::thread root_thread([&] { (void)root.value()->run(); });
+
+    std::vector<std::unique_ptr<BriskManager>> relays;
+    std::vector<std::thread> relay_threads;
+    for (int r = 0; r < topo.relays; ++r) {
+      auto relay_config = bench::bench_manager_config();
+      relay_config.ism.sorter.max_pending = 1u << 22;
+      relay_config.ism.poller = net::PollerBackend::epoll;
+      relay_config.ism.reader_threads = 2;
+      relay_config.ism.sorter_shards = 2;
+      relay_config.ism.shard_queue_records = 1u << 14;
+      relay_config.relay_enabled = true;
+      relay_config.relay.parent_port = root.value()->port();
+      relay_config.relay.relay_node = static_cast<NodeId>(1000 + r);
+      relay_config.relay.batch_max_age_us = 2'000;
+      relay_config.relay.idle_watermark_period_us = 20'000;
+      auto relay = BriskManager::create(relay_config);
+      if (!relay) return 1;
+      relays.push_back(std::move(relay).value());
+      relay_threads.emplace_back([m = relays.back().get()] { (void)m->run(); });
+    }
+
+    std::vector<pid_t> children;
+    for (int n = 0; n < senders; ++n) {
+      const std::uint16_t port =
+          topo.relays == 0
+              ? root.value()->port()
+              : relays[static_cast<std::size_t>(n) % relays.size()]->port();
+      const pid_t pid = ::fork();
+      if (pid < 0) return 1;
+      if (pid == 0) run_sweep_node(static_cast<NodeId>(n + 1), port);
+      children.push_back(pid);
+    }
+    for (pid_t pid : children) {
+      int status = 0;
+      ::waitpid(pid, &status, 0);
+    }
+
+    std::uint64_t egress_stalls = 0;
+    for (std::size_t r = 0; r < relays.size(); ++r) {
+      relays[r]->stop();
+      relay_threads[r].join();
+      (void)relays[r]->drain();  // ships + waits for the root's acks
+      egress_stalls += relays[r]->relay()->stats().queue_stalls;
+    }
+    root.value()->stop();
+    root_thread.join();
+    (void)root.value()->drain();
+
+    const auto pipeline_stats = root.value()->ism().pipeline().stats();
+    const double rate = static_cast<double>(pipeline_stats.merged) /
+                        (static_cast<double>(g_sweep_duration) / 1e6);
+    std::sort(samples.begin(), samples.end());
+    const TimeMicros p50 = samples.empty() ? 0 : samples[samples.size() / 2];
+    const TimeMicros p99 = samples.empty() ? 0 : samples[samples.size() * 99 / 100];
+    bench::row("%12s %8d %16.0f %13lld %13lld %14llu", topo.name, topo.relays, rate,
+               static_cast<long long>(p50), static_cast<long long>(p99),
+               static_cast<unsigned long long>(egress_stalls));
+  }
+  bench::row("shape check: tree delivers the full workload; the extra hop adds "
+             "one batch-seal of latency");
+  return 0;
+}
+
 int main(int argc, char** argv) {
   using namespace brisk;  // NOLINT
   // --smoke (ci.sh): skip the minute-long sweeps, run one short sharded
@@ -494,5 +600,9 @@ int main(int argc, char** argv) {
 
   // Sorter-shard sweep: same saturated senders, epoll throughout, varying
   // the ordering-stage parallelism instead of the ingest parallelism.
-  return shard_sweep(4);
+  if (int rc = shard_sweep(4); rc != 0) return rc;
+
+  // Federation sweep: flat fan-in vs a 2-level relay tree for the same
+  // sender population.
+  return federation_sweep(16);
 }

@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# CI gate for BRISK. Ten stages, any failure aborts the run:
+# CI gate for BRISK. Eleven stages, any failure aborts the run:
 #   1. tier-1: release-ish build + the full ctest suite
 #   2. determinism: the ingest/ordering determinism grid run explicitly —
 #      one test body covering {select, epoll} x reader threads x sorter
@@ -30,15 +30,22 @@
 #      disjoint pushdown filters (workload sensors / 0xFF01 metrics /
 #      0xFF02 spans) — each stream must be non-empty and contain only its
 #      own sensor ids (zero cross-contamination through the gateway)
-#   8. resilience: the crash/churn/fault-injection label on the same build
-#   9. sanitize: a separate ASan+UBSan tree running the resilience label
+#   8. relay smoke: the same 4-node workload run flat (4 EXS → 1 ISM) and
+#      as a 2-level tree (4 EXS → 2 relay ISMs → root ISM) through the
+#      real binaries — both outputs must carry records from all 4 origin
+#      nodes and be globally timestamp-sorted, and the tree's node set
+#      must match the flat run's (byte-identity across the determinism
+#      grid is proven in-process by relay_federation_test in stage 1)
+#   9. resilience: the crash/churn/fault-injection label on the same build
+#  10. sanitize: a separate ASan+UBSan tree running the resilience label
 #      (including the flow-control property suite), which is where lifetime
 #      and data-race-adjacent bugs actually surface
-#  10. tsan: a TSan tree over the threaded ingest/ordering/metrics/trace
-#      tests plus the flow-control property suite and the consumer-gateway
-#      suite — the cross-thread stats counters, the credit drained-record
-#      cells, and the gateway's fan-out thread must stay clean on the
-#      whole grid
+#  11. tsan: a TSan tree over the threaded ingest/ordering/metrics/trace
+#      tests plus the flow-control property suite, the consumer-gateway
+#      suite, and the federation suite (relay lanes, reader migration,
+#      two-hop sync) — the cross-thread stats counters, the credit
+#      drained-record cells, the relay lane cells, and the gateway's
+#      fan-out thread must stay clean on the whole grid
 #
 # Usage: ./ci.sh [--skip-sanitize]
 set -euo pipefail
@@ -54,19 +61,19 @@ done
 
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
-echo "==> [1/10] tier-1 build + full test suite"
+echo "==> [1/11] tier-1 build + full test suite"
 cmake -B build -S . >/dev/null
 cmake --build build -j"$JOBS"
 ctest --test-dir build --output-on-failure -j"$JOBS"
 
-echo "==> [2/10] determinism grid (select + epoll, shards 1/2/4, metrics on)"
+echo "==> [2/11] determinism grid (select + epoll, shards 1/2/4, metrics on)"
 ctest --test-dir build --output-on-failure --no-tests=error -R 'IsmIngestDeterminismTest'
 
-echo "==> [3/10] bench smoke: sharded ordering pipeline + traced delivery"
+echo "==> [3/11] bench smoke: sharded ordering pipeline + traced delivery"
 ./build/bench/bench_throughput --smoke
 ./build/bench/bench_latency --smoke
 
-echo "==> [4/10] metrics smoke: daemon pair + brisk_consume --metrics"
+echo "==> [4/11] metrics smoke: daemon pair + brisk_consume --metrics"
 METRICS_SHM_OUT="/brisk-ci-metrics-out-$$"
 METRICS_SHM_NODE="/brisk-ci-metrics-node-$$"
 ISM_PID=""
@@ -104,7 +111,7 @@ echo "$METRICS_OUT" | grep 'ism\.records_received' | head -1
 cleanup_metrics_smoke
 trap - EXIT
 
-echo "==> [5/10] latency smoke: traced daemon trio + brisk_consume --mode latency"
+echo "==> [5/11] latency smoke: traced daemon trio + brisk_consume --mode latency"
 LAT_SHM_OUT="/brisk-ci-lat-out-$$"
 LAT_SHM_NODE1="/brisk-ci-lat-node1-$$"
 LAT_SHM_NODE2="/brisk-ci-lat-node2-$$"
@@ -164,7 +171,7 @@ PYEOF
 cleanup_latency_smoke
 trap - EXIT
 
-echo "==> [6/10] flow-control smoke: overdriven EXS vs stalled ISM, credits off/on"
+echo "==> [6/11] flow-control smoke: overdriven EXS vs stalled ISM, credits off/on"
 FC_SHM_OUT="/brisk-ci-fc-out-$$"
 FC_SHM_NODE="/brisk-ci-fc-node-$$"
 ISM_PID=""
@@ -224,7 +231,7 @@ echo "flow smoke: credits off drops, credits on loses nothing at the rings"
 cleanup_fc_smoke
 trap - EXIT
 
-echo "==> [7/10] fan-out smoke: gateway + 3 disjoint TCP subscribers"
+echo "==> [7/11] fan-out smoke: gateway + 3 disjoint TCP subscribers"
 FAN_SHM_OUT="/brisk-ci-fan-out-$$"
 FAN_SHM_NODE="/brisk-ci-fan-node-$$"
 ISM_PID=""
@@ -283,23 +290,125 @@ check_fanout_stream "$FAN_SP" spans '$2 == 65282'
 echo "fan-out smoke: $(wc -l <"$FAN_WK") workload / $(wc -l <"$FAN_MX") metrics / $(wc -l <"$FAN_SP") span lines, disjoint"
 rm -f "$FAN_WK" "$FAN_MX" "$FAN_SP"
 
-echo "==> [8/10] resilience label"
+echo "==> [8/11] relay smoke: flat vs 2-level relay tree through the real binaries"
+RELAY_DIR="$(mktemp -d)"
+RELAY_ISM_PIDS=()
+RELAY_EXS_PIDS=()
+RELAY_SHMS=()
+cleanup_relay_smoke() {
+  for pid in "${RELAY_EXS_PIDS[@]:-}" "${RELAY_ISM_PIDS[@]:-}"; do
+    kill "$pid" 2>/dev/null || true
+  done
+  wait 2>/dev/null || true
+  for shm in "${RELAY_SHMS[@]:-}"; do rm -f "/dev/shm${shm}" 2>/dev/null || true; done
+  rm -rf "$RELAY_DIR"
+}
+trap cleanup_relay_smoke EXIT
+# Every ISM holds a fixed 2 s sorter frame: the sorted-output claim below
+# is only sound for records the sorter could still see together, and a
+# live ramp-up (nodes connecting at different times) would otherwise let
+# early records release before late-connecting peers' older ones arrive.
+RELAY_FRAME_FLAGS="--frame-us 2000000 --min-frame-us 2000000 --adaptive=false"
+# Starts a brisk_ism ($1 = log file, rest = flags), waits for its port and
+# echoes it.
+start_ism() {
+  local log="$1"; shift
+  # shellcheck disable=SC2086  # frame flags deliberately word-split
+  ./build/src/apps/brisk_ism --port 0 $RELAY_FRAME_FLAGS "$@" >"$log" 2>&1 &
+  RELAY_ISM_PIDS+=("$!")
+  local port=""
+  for _ in $(seq 1 50); do
+    port="$(sed -n 's/.*brisk_ism .* listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "$log" | head -1)"
+    [[ -n "$port" ]] && break
+    sleep 0.1
+  done
+  [[ -n "$port" ]] || { echo "relay smoke: ISM never reported its port" >&2; cat "$log" >&2; exit 1; }
+  echo "$port"
+}
+# Runs the 4-node workload against topology $1 (flat|tree) and leaves the
+# root's PICL output in $RELAY_DIR/$1.picl.
+run_relay_topology() {
+  local topo="$1"
+  local root_shm="/brisk-ci-relay-${topo}-root-$$"
+  RELAY_SHMS+=("$root_shm")
+  local root_port
+  root_port="$(start_ism "$RELAY_DIR/$topo-root.log" --shm "$root_shm")"
+  local exs_ports=()
+  if [[ "$topo" == tree ]]; then
+    # Both relays are connected to the root (RelayEgress requires the
+    # initial connect to succeed before the port banner prints) before any
+    # EXS starts, so the root's merge is gated by both lanes from the
+    # first record on.
+    for r in 0 1; do
+      local relay_shm="/brisk-ci-relay-${topo}-r${r}-$$"
+      RELAY_SHMS+=("$relay_shm")
+      local relay_port
+      relay_port="$(start_ism "$RELAY_DIR/$topo-relay$r.log" --shm "$relay_shm" \
+        --relay-to "127.0.0.1:$root_port" --relay-node "$((1000 + r))" \
+        --relay-batch-age-us 2000 --relay-idle-wm-us 20000)"
+      exs_ports+=("$relay_port" "$relay_port")
+    done
+  else
+    exs_ports=("$root_port" "$root_port" "$root_port" "$root_port")
+  fi
+  for node in 1 2 3 4; do
+    local node_shm="/brisk-ci-relay-${topo}-node${node}-$$"
+    RELAY_SHMS+=("$node_shm")
+    ./build/src/apps/brisk_exs --node "$node" --shm "$node_shm" \
+      --ism-host 127.0.0.1 --ism-port "${exs_ports[$((node - 1))]}" \
+      --workload-rate 300 >/dev/null 2>&1 &
+    RELAY_EXS_PIDS+=("$!")
+  done
+  sleep 4
+  for pid in "${RELAY_EXS_PIDS[@]}"; do kill "$pid" 2>/dev/null || true; done
+  wait "${RELAY_EXS_PIDS[@]}" 2>/dev/null || true
+  RELAY_EXS_PIDS=()
+  sleep 3  # let the 2 s sorter frames flush the held records downstream
+  for pid in "${RELAY_ISM_PIDS[@]}"; do kill "$pid" 2>/dev/null || true; done
+  wait "${RELAY_ISM_PIDS[@]}" 2>/dev/null || true
+  RELAY_ISM_PIDS=()
+  timeout 6 ./build/src/apps/brisk_consume --shm "$root_shm" \
+    --idle-exit-ms 300 >"$RELAY_DIR/$topo.picl" 2>/dev/null || true
+  [[ -s "$RELAY_DIR/$topo.picl" ]] \
+    || { echo "relay smoke: $topo run delivered no output" >&2; exit 1; }
+  # Globally timestamp-sorted (PICL field 3), records from all 4 nodes
+  # (field 4) — the merge invariants, through the real daemons.
+  awk 'prev != "" && $3 + 0 < prev + 0 { print "unsorted at line " NR; exit 1 } { prev = $3 }' \
+    "$RELAY_DIR/$topo.picl" \
+    || { echo "relay smoke: $topo output is not timestamp-sorted" >&2; exit 1; }
+  for node in 1 2 3 4; do
+    awk -v n="$node" '$4 == n { found = 1 } END { exit !found }' "$RELAY_DIR/$topo.picl" \
+      || { echo "relay smoke: $topo output has no records from node $node" >&2; exit 1; }
+  done
+}
+run_relay_topology flat
+run_relay_topology tree
+# The tree must deliver the same set of origin nodes the flat run did.
+FLAT_NODES="$(awk '{ print $4 }' "$RELAY_DIR/flat.picl" | sort -un | tr '\n' ' ')"
+TREE_NODES="$(awk '{ print $4 }' "$RELAY_DIR/tree.picl" | sort -un | tr '\n' ' ')"
+[[ "$FLAT_NODES" == "$TREE_NODES" ]] \
+  || { echo "relay smoke: node sets differ (flat: $FLAT_NODES vs tree: $TREE_NODES)" >&2; exit 1; }
+echo "relay smoke: flat $(wc -l <"$RELAY_DIR/flat.picl") / tree $(wc -l <"$RELAY_DIR/tree.picl") sorted records, nodes $TREE_NODES"
+cleanup_relay_smoke
+trap - EXIT
+
+echo "==> [9/11] resilience label"
 ctest --test-dir build --output-on-failure -L resilience
 
 if [[ "$SKIP_SANITIZE" == 1 ]]; then
-  echo "==> [9/10] sanitizer stages skipped (--skip-sanitize)"
+  echo "==> [10/11] sanitizer stages skipped (--skip-sanitize)"
   exit 0
 fi
 
-echo "==> [9/10] ASan+UBSan build + resilience label"
+echo "==> [10/11] ASan+UBSan build + resilience label"
 cmake -B build-asan -S . -DBRISK_SANITIZE=address,undefined >/dev/null
 cmake --build build-asan -j"$JOBS"
 ctest --test-dir build-asan --output-on-failure -L resilience
 
-echo "==> [10/10] TSan build + ingest/ordering/metrics/trace/gateway tests"
+echo "==> [11/11] TSan build + ingest/ordering/metrics/trace/gateway/federation tests"
 cmake -B build-tsan -S . -DBRISK_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j"$JOBS"
 ctest --test-dir build-tsan --output-on-failure --no-tests=error -j"$JOBS" \
-  -R 'IsmServerTest|IsmIngestDeterminismTest|OrderingPipelineTest|Metrics|Trace|FlowControl|CreditGrant|Gateway|SinkRegistry'
+  -R 'IsmServerTest|IsmIngestDeterminismTest|OrderingPipelineTest|Metrics|Trace|FlowControl|CreditGrant|Gateway|SinkRegistry|RelayFederation|ReaderMigration|FederatedSync'
 
 echo "==> CI green"

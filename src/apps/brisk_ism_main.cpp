@@ -10,6 +10,8 @@
 // for the full knob list (generated from the flag registry).
 #include <csignal>
 #include <cstdio>
+#include <cstdlib>
+#include <string>
 
 #include "apps/flag_parser.hpp"
 #include "common/logging.hpp"
@@ -69,6 +71,15 @@ brisk::apps::FlagRegistry make_registry() {
       .add_int("consumer-agg-window-us", 1'000'000,
                "default aggregation-subscription window")
       .add_int("consumer-max-subscribers", 64, "max concurrent gateway connections")
+      .add_string("relay-to", "",
+                  "run as a relay tier: forward the ordered output to a parent ISM "
+                  "at host:port (empty = standalone root)")
+      .add_int("relay-node", 0, "this relay's node identity toward its parent")
+      .add_int("relay-queue-records", 8192, "pipeline -> relay egress queue depth")
+      .add_int("relay-batch-records", 512, "relay batch seal threshold (records)")
+      .add_int("relay-batch-age-us", 5'000, "relay batch seal threshold (age)")
+      .add_int("relay-idle-wm-us", 50'000,
+               "idle RELAY_WATERMARK cadence toward the parent (0 = off)")
       .add_bool("sync", true, "run the clock synchronisation service")
       .add_int("sync-period-us", 5'000'000, "clock sync round period")
       .add_string("sync-algorithm", "brisk", "clock sync algorithm: brisk or cristian")
@@ -118,6 +129,25 @@ int main(int argc, char** argv) {
   config.ism.credit_window_records = static_cast<std::uint32_t>(flags.num("ism-credit-records"));
   config.ism.credit_window_bytes = static_cast<std::uint64_t>(flags.num("ism-credit-bytes"));
   config.ism.credit_replenish_us = flags.num("credit-replenish-us");
+  const std::string relay_to = flags.str("relay-to");
+  if (!relay_to.empty()) {
+    const auto colon = relay_to.rfind(':');
+    const unsigned long parent_port =
+        colon == std::string::npos ? 0 : std::strtoul(relay_to.c_str() + colon + 1, nullptr, 10);
+    if (colon == std::string::npos || colon == 0 || parent_port == 0 || parent_port > 65535) {
+      std::fprintf(stderr, "brisk_ism: --relay-to expects host:port, got '%s'\n",
+                   relay_to.c_str());
+      return 2;
+    }
+    config.relay_enabled = true;
+    config.relay.parent_host = relay_to.substr(0, colon);
+    config.relay.parent_port = static_cast<std::uint16_t>(parent_port);
+    config.relay.relay_node = static_cast<NodeId>(flags.num("relay-node"));
+    config.relay.queue_records = static_cast<std::size_t>(flags.num("relay-queue-records"));
+    config.relay.batch_max_records = static_cast<std::size_t>(flags.num("relay-batch-records"));
+    config.relay.batch_max_age_us = flags.num("relay-batch-age-us");
+    config.relay.idle_watermark_period_us = flags.num("relay-idle-wm-us");
+  }
   config.ism.enable_sync = flags.flag("sync");
   config.ism.sync.period_us = flags.num("sync-period-us");
   const std::string algorithm = flags.str("sync-algorithm");
@@ -183,6 +213,11 @@ int main(int argc, char** argv) {
   if (config.gateway.tcp_enabled) {
     std::printf("consumer gateway listening on 127.0.0.1:%u\n",
                 manager.value()->consumer_port());
+  }
+  if (config.relay_enabled) {
+    std::printf("relaying ordered output to %s:%u as node %u\n",
+                config.relay.parent_host.c_str(), config.relay.parent_port,
+                static_cast<unsigned>(config.relay.relay_node));
   }
   std::printf("%s", describe(config).c_str());
   std::fflush(stdout);

@@ -6,22 +6,30 @@ Result<std::unique_ptr<BriskManager>> BriskManager::create(const ManagerConfig& 
                                                            clk::Clock& clock) {
   Status valid = config.validate();
   if (!valid) return valid;
+  ManagerConfig effective = config;
+  if (effective.relay_enabled) {
+    // A relay tier must not match CRE pairs locally: a consequence whose
+    // reason lives behind a sibling relay would time out unrepaired and the
+    // root's output would diverge from a flat deployment. Matching runs
+    // exactly once, at the root.
+    effective.ism.cre.forward_only = true;
+  }
 
-  const std::size_t bytes = shm::RingBuffer::region_size(config.output_ring_capacity);
-  auto region = config.output_shm_name.empty()
+  const std::size_t bytes = shm::RingBuffer::region_size(effective.output_ring_capacity);
+  auto region = effective.output_shm_name.empty()
                     ? shm::SharedRegion::create_anonymous(bytes)
-                    : shm::SharedRegion::create_named(config.output_shm_name, bytes);
+                    : shm::SharedRegion::create_named(effective.output_shm_name, bytes);
   if (!region) return region.status();
-  auto ring = shm::RingBuffer::init(region.value().data(), config.output_ring_capacity);
+  auto ring = shm::RingBuffer::init(region.value().data(), effective.output_ring_capacity);
   if (!ring) return ring.status();
 
-  auto gateway = ism::ConsumerGateway::create(config.gateway);
+  auto gateway = ism::ConsumerGateway::create(effective.gateway);
   if (!gateway) return gateway.status();
   // The classic output paths are built-in, unfiltered subscribers.
   Status st = gateway.value()->subscribe("shm", std::make_shared<ism::ShmSink>(ring.value()));
   if (!st) return st;
-  if (!config.picl_trace_path.empty()) {
-    auto writer = picl::PiclWriter::open(config.picl_trace_path, config.picl_options);
+  if (!effective.picl_trace_path.empty()) {
+    auto writer = picl::PiclWriter::open(effective.picl_trace_path, effective.picl_options);
     if (!writer) return writer.status();
     st = gateway.value()->subscribe(
         "picl", std::make_shared<ism::PiclFileSink>(std::move(writer).value()));
@@ -29,8 +37,18 @@ Result<std::unique_ptr<BriskManager>> BriskManager::create(const ManagerConfig& 
   }
 
   auto manager = std::unique_ptr<BriskManager>(new BriskManager(
-      config, std::move(region).value(), ring.value(), std::move(gateway).value()));
-  auto ism = ism::Ism::start(config.ism, clock, manager->gateway_);
+      effective, std::move(region).value(), ring.value(), std::move(gateway).value()));
+  if (effective.relay_enabled) {
+    // Upstream egress rides the gateway like any other sink: it sees the
+    // same post-merge, post-CRE ordered stream the shm ring sees, plus the
+    // gateway's tick/drain propagation.
+    auto relay = ism::RelayEgress::connect(effective.relay, clock);
+    if (!relay) return relay.status();
+    manager->relay_ = std::move(relay).value();
+    st = manager->gateway_->subscribe("relay", manager->relay_);
+    if (!st) return st;
+  }
+  auto ism = ism::Ism::start(effective.ism, clock, manager->gateway_);
   if (!ism) return ism.status();
   manager->ism_ = std::move(ism).value();
   manager->gateway_->register_metrics(manager->ism_->metrics());

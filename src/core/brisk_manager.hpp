@@ -48,6 +48,11 @@ class BriskManager {
     return gateway_->consumer_port();
   }
   [[nodiscard]] ism::Ism& ism() noexcept { return *ism_; }
+  /// The upstream relay egress when this manager runs as a relay tier
+  /// (config.relay_enabled); null otherwise.
+  [[nodiscard]] const std::shared_ptr<ism::RelayEgress>& relay() const noexcept {
+    return relay_;
+  }
 
   /// A consumer attached to the shared-memory output ring.
   Result<consumers::ShmConsumer> make_consumer();
@@ -71,6 +76,7 @@ class BriskManager {
   shm::SharedRegion output_region_;
   shm::RingBuffer output_ring_;
   std::shared_ptr<ism::ConsumerGateway> gateway_;
+  std::shared_ptr<ism::RelayEgress> relay_;
   std::unique_ptr<ism::Ism> ism_;
 };
 

@@ -75,6 +75,17 @@ Status ManagerConfig::validate() const {
   }
   Status gw = gateway.validate();
   if (!gw) return gw;
+  if (relay_enabled) {
+    if (relay.parent_port == 0) {
+      return Status(Errc::invalid_argument, "relay.parent_port == 0");
+    }
+    if (relay.relay_node == 0) {
+      return Status(Errc::invalid_argument, "relay.relay_node == 0");
+    }
+    if (relay.queue_records < 2 || relay.batch_max_records == 0) {
+      return Status(Errc::invalid_argument, "relay queue/batch sizes too small");
+    }
+  }
   return Status::ok();
 }
 
@@ -146,6 +157,19 @@ std::string describe(const ManagerConfig& config) {
   line(out, "output_ring_capacity", static_cast<long long>(config.output_ring_capacity));
   line(out, "output_shm_name", config.output_shm_name);
   line(out, "picl_trace_path", config.picl_trace_path);
+  line(out, "relay.enabled", static_cast<long long>(config.relay_enabled ? 1 : 0));
+  if (config.relay_enabled) {
+    line(out, "relay.parent", config.relay.parent_host + ":" +
+                                  std::to_string(config.relay.parent_port));
+    line(out, "relay.node", static_cast<long long>(config.relay.relay_node));
+    line(out, "relay.queue_records", static_cast<long long>(config.relay.queue_records));
+    line(out, "relay.batch_max_records",
+         static_cast<long long>(config.relay.batch_max_records));
+    line(out, "relay.batch_max_age_us",
+         static_cast<long long>(config.relay.batch_max_age_us));
+    line(out, "relay.idle_watermark_period_us",
+         static_cast<long long>(config.relay.idle_watermark_period_us));
+  }
   line(out, "gateway.tcp_enabled", static_cast<long long>(config.gateway.tcp_enabled ? 1 : 0));
   if (config.gateway.tcp_enabled) {
     line(out, "gateway.consumer_port", static_cast<long long>(config.gateway.consumer_port));

@@ -11,6 +11,7 @@
 #include "clock/sync_service.hpp"
 #include "ism/gateway.hpp"
 #include "ism/ism.hpp"
+#include "ism/relay.hpp"
 #include "lis/exs_config.hpp"
 
 namespace brisk {
@@ -46,6 +47,12 @@ struct ManagerConfig {
   /// the in-process side is always on — the shm ring and PICL sink are
   /// built-in subscribers).
   ism::GatewayConfig gateway;
+  /// Federation: when enabled this ISM is a *relay* — its post-merge,
+  /// post-CRE ordered output is re-batched onto an upstream link to the
+  /// parent ISM (relay.parent_host:parent_port), and local CRE matching is
+  /// switched to forward-only so matching happens exactly once, at the root.
+  bool relay_enabled = false;
+  ism::RelayConfig relay;
 
   [[nodiscard]] Status validate() const;
 };

@@ -16,6 +16,10 @@ void CreMatcher::repair(sensors::Record& conseq, TimeMicros reason_ts) {
 }
 
 void CreMatcher::process(sensors::Record record, std::vector<sensors::Record>& out) {
+  if (config_.forward_only) {
+    out.push_back(std::move(record));
+    return;
+  }
   const auto reason_id = record.reason_id();
   const auto conseq_id = record.conseq_id();
 

@@ -31,6 +31,13 @@ struct CreConfig {
   TimeMicros hold_timeout_us = 1'000'000;
   /// Timestamp override: conseq.ts = reason.ts + this margin.
   TimeMicros repair_margin_us = 1;
+  /// Federation: a relay ISM must not match locally — a consequence whose
+  /// reason lives behind a *different* relay would be held for the full
+  /// timeout and released unrepaired, and the root (which sees both) would
+  /// then disagree with a flat deployment. With forward_only set the
+  /// matcher passes causally-marked records straight through, still
+  /// timestamp-sorted, and matching happens exactly once, at the root.
+  bool forward_only = false;
 };
 
 struct CreStats {

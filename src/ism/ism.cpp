@@ -91,6 +91,7 @@ void Ism::register_metrics() {
     b.counter("ism.heartbeats_received", s.heartbeats_received);
     b.counter("ism.credit_grants_sent", s.credit_grants_sent);
     b.counter("ism.zero_window_grants", s.zero_window_grants);
+    b.counter("ism.reader_migrations", s.reader_migrations);
 
     const PipelineStats p = pipeline_->stats();
     b.counter("ism.pipeline.submitted", p.submitted);
@@ -157,6 +158,7 @@ IsmStats Ism::stats() const noexcept {
   out.heartbeats_received = stats_.heartbeats_received.load(std::memory_order_relaxed);
   out.credit_grants_sent = stats_.credit_grants_sent.load(std::memory_order_relaxed);
   out.zero_window_grants = stats_.zero_window_grants.load(std::memory_order_relaxed);
+  out.reader_migrations = stats_.reader_migrations.load(std::memory_order_relaxed);
   return out;
 }
 
@@ -344,6 +346,7 @@ void Ism::process_ingest_event(int fd, IngestEvent event) {
       if (conn.reader_index < reader_rates_.size()) {
         reader_rates_[conn.reader_index] +=
             static_cast<double>(event.batch.records.size());
+        conn.drained_rate += static_cast<double>(event.batch.records.size());
       }
       handle_batch(conn, std::move(event.batch));
       return;
@@ -357,6 +360,30 @@ void Ism::process_ingest_event(int fd, IngestEvent event) {
         }
         close_connection(fd);
       }
+      return;
+    }
+    case IngestEvent::Kind::released: {
+      // The old reader is finished with the fd and everything it produced
+      // has been consumed; complete the migration (or the close, if the
+      // connection was torn down while the move was in flight).
+      if (conn.closing) {
+        conn.reader_done = true;
+        conn.migrate_target = -1;
+        finish_close(fd);
+        return;
+      }
+      if (conn.migrate_target < 0) return;
+      const auto to = static_cast<std::size_t>(conn.migrate_target);
+      conn.migrate_target = -1;
+      if (reader_loads_[conn.reader_index] > 0) --reader_loads_[conn.reader_index];
+      // Carry the connection's decayed rate across so the imbalance signal
+      // reflects the move now, not a decay period later.
+      reader_rates_[conn.reader_index] -= conn.drained_rate;
+      if (reader_rates_[conn.reader_index] < 0.0) reader_rates_[conn.reader_index] = 0.0;
+      conn.reader_index = to;
+      ++reader_loads_[to];
+      reader_rates_[to] += conn.drained_rate;
+      readers_[to]->add_connection(fd, conn.lane);
       return;
     }
   }
@@ -373,6 +400,14 @@ Status Ism::dispatch_frame(Connection& conn, ByteSpan payload) {
       if (hello.value().version < tp::kMinProtocolVersion ||
           hello.value().version > tp::kProtocolVersion) {
         return Status(Errc::unsupported, "protocol version mismatch");
+      }
+      const bool ordered_stream =
+          (hello.value().capabilities & tp::kCapabilityOrderedStream) != 0;
+      if (ordered_stream && hello.value().version < tp::kCreditProtocolVersion) {
+        // The ordered-stream fast path leans on the credit window for
+        // boundedness; a relay that cannot pace has no business bypassing
+        // the sorter shards.
+        return Status(Errc::unsupported, "ordered-stream capability requires v3");
       }
       if (nodes_.count(hello.value().node) != 0) {
         // A live connection already owns this node id. Dead-but-unclosed
@@ -407,7 +442,23 @@ Status Ism::dispatch_frame(Connection& conn, ByteSpan payload) {
       session.connected = true;
       session.disconnected_at = 0;
       session.hole_since = 0;
-      if (credits_enabled() && !session.records_drained) {
+      if (ordered_stream) {
+        // Relay session: its drained cell is bumped by the merge as it
+        // releases lane records (forwarded records carry *origin* node ids,
+        // so the per-node COW map would never find this session). Do not
+        // publish it there.
+        conn.relay = true;
+        if (!session.has_relay_lane) {
+          session.records_drained = std::make_shared<std::atomic<std::uint64_t>>(0);
+          session.relay_lane = pipeline_->add_relay_lane(session.records_drained);
+          session.has_relay_lane = true;
+        } else {
+          pipeline_->resume_relay_lane(session.relay_lane);
+        }
+        conn.relay_lane = session.relay_lane;
+        BRISK_LOG_INFO << "node " << conn.node << " is a relay (ordered-ingress lane "
+                       << session.relay_lane << ")";
+      } else if (credits_enabled() && !session.records_drained) {
         // Fresh session (or an incarnation reset wiped the old one): give it
         // a drained cell and publish it for the pipeline-sink hook.
         session.records_drained = std::make_shared<std::atomic<std::uint64_t>>(0);
@@ -422,6 +473,25 @@ Status Ism::dispatch_frame(Connection& conn, ByteSpan payload) {
       auto batch = tp::decode_batch(decoder);
       if (!batch) return batch.status();
       handle_batch(conn, std::move(batch).value());
+      return Status::ok();
+    }
+    case tp::MsgType::relay_batch: {
+      if (!conn.hello_seen) return Status(Errc::malformed, "relay batch before hello");
+      if (!conn.relay) {
+        return Status(Errc::malformed, "relay batch from non-relay peer");
+      }
+      auto batch = tp::decode_relay_batch(decoder);
+      if (!batch) return batch.status();
+      handle_relay_batch(conn, std::move(batch).value());
+      return Status::ok();
+    }
+    case tp::MsgType::relay_watermark: {
+      if (!conn.hello_seen || !conn.relay) {
+        return Status(Errc::malformed, "relay watermark from non-relay peer");
+      }
+      auto wm = tp::decode_relay_watermark(decoder);
+      if (!wm) return wm.status();
+      pipeline_->advance_relay_watermark(conn.relay_lane, wm.value().watermark);
       return Status::ok();
     }
     case tp::MsgType::time_resp: {
@@ -522,6 +592,34 @@ void Ism::handle_batch(Connection& conn, tp::Batch batch) {
       record.trace->stamp(sensors::TraceStage::ism_ingest, clock_.now());
     }
     route_record(std::move(record));
+  }
+}
+
+void Ism::handle_relay_batch(Connection& conn, tp::RelayBatch batch) {
+  bump(stats_.batches_received);
+  NodeSession& session = sessions_[conn.node];
+  if (!admit_batch_seq(conn, session, batch.header.batch_seq)) return;
+  bump(stats_.records_received, batch.records.size());
+  // No token bucket and no per-record rerouting: the relay already paced
+  // (its own credit window) and each record keeps the origin node id the
+  // decoder restored. Dropping or reordering here would break the lane's
+  // sorted-stream invariant.
+  session.records_admitted += batch.records.size();
+  // Relay batches reach here as raw frame events, so the reader drained-rate
+  // accounting in process_ingest_event never saw them; credit them here.
+  if (conn.reader_index < reader_rates_.size()) {
+    reader_rates_[conn.reader_index] += static_cast<double>(batch.records.size());
+    conn.drained_rate += static_cast<double>(batch.records.size());
+  }
+  for (sensors::Record& record : batch.records) {
+    if (record.trace) {
+      record.trace->stamp(sensors::TraceStage::ism_ingest, clock_.now());
+    }
+  }
+  Status st = pipeline_->submit_relay(conn.relay_lane, std::move(batch.records),
+                                      batch.header.watermark);
+  if (!st) {
+    BRISK_LOG_WARN << "relay lane submit failed: " << st.to_string();
   }
 }
 
@@ -796,7 +894,10 @@ void Ism::session_sweep() {
       last_reader_decay_us_ = now;
     } else if (now - last_reader_decay_us_ >= kReaderRateDecayPeriod) {
       last_reader_decay_us_ = now;
+      // Evaluate on pre-decay rates: a full period's traffic, not half.
+      maybe_migrate_connection(now);
       for (double& rate : reader_rates_) rate *= 0.5;
+      for (auto& [fd, conn] : connections_) conn.drained_rate *= 0.5;
     }
   }
 
@@ -809,6 +910,43 @@ void Ism::session_sweep() {
     }
   }
   for (NodeId node : expired) expire_session(node);
+}
+
+void Ism::maybe_migrate_connection(TimeMicros now) {
+  if (readers_.size() < 2) return;
+  constexpr std::size_t kSustainedImbalancePeriods = 3;
+  const ReaderImbalance plan =
+      plan_reader_migration(reader_rates_, reader_loads_, /*ratio=*/2.0, /*min_rate=*/1.0);
+  if (!plan.imbalanced) {
+    imbalance_streak_ = 0;
+    return;
+  }
+  if (++imbalance_streak_ < kSustainedImbalancePeriods) return;
+  if (config_.ack_period_us > 0 && last_migration_us_ != 0 &&
+      now - last_migration_us_ < config_.ack_period_us) {
+    return;
+  }
+  std::vector<std::pair<int, double>> candidates;
+  for (const auto& [fd, conn] : connections_) {
+    if (conn.reader_index != plan.from || !conn.lane || conn.closing ||
+        conn.migrate_target >= 0) {
+      continue;
+    }
+    candidates.emplace_back(fd, conn.drained_rate);
+  }
+  if (candidates.size() < 2) return;  // never strip a reader's last connection
+  const int fd = pick_connection_to_move(
+      candidates, reader_rates_[plan.from] - reader_rates_[plan.to]);
+  if (fd < 0) return;
+  auto it = connections_.find(fd);
+  if (it == connections_.end()) return;
+  it->second.migrate_target = static_cast<int>(plan.to);
+  readers_[plan.from]->remove_connection(fd);
+  last_migration_us_ = now;
+  imbalance_streak_ = 0;
+  bump(stats_.reader_migrations);
+  BRISK_LOG_INFO << "migrating fd " << fd << " (node " << it->second.node
+                 << ") from reader " << plan.from << " to reader " << plan.to;
 }
 
 void Ism::expire_session(NodeId node) {
@@ -833,6 +971,12 @@ void Ism::close_connection(int fd) {
 
   if (!conn.closing) {
     conn.closing = true;
+    if (conn.relay) {
+      // A dead relay's last watermark must not gate the merge forever:
+      // flush the lane so its queued records drain as the other lanes'
+      // watermarks advance. A rejoin resumes it.
+      pipeline_->flush_relay_lane(conn.relay_lane);
+    }
     if (conn.hello_seen) {
       nodes_.erase(conn.node);
       auto sit = sessions_.find(conn.node);

@@ -145,6 +145,8 @@ struct IsmStats {
   // --- credit-based flow control ---------------------------------------------
   std::uint64_t credit_grants_sent = 0;        // acks that carried a grant
   std::uint64_t zero_window_grants = 0;        // grants that closed the window
+  // --- reader-pool rebalancing -----------------------------------------------
+  std::uint64_t reader_migrations = 0;         // connections moved between readers
 };
 
 class Ism {
@@ -221,6 +223,20 @@ class Ism {
     bool closing = false;
     /// The reader emitted its `closed` event; the fd is safe to close.
     bool reader_done = false;
+    // --- federation ----------------------------------------------------------
+    /// Peer declared kCapabilityOrderedStream in its hello: it is a relay
+    /// whose batches are already (timestamp, node)-sorted and watermarked.
+    bool relay = false;
+    std::size_t relay_lane = 0;  // valid only when relay
+    // --- reader-pool rebalancing ---------------------------------------------
+    /// Decayed per-connection drained-record rate (ordering thread only);
+    /// halved in session_sweep alongside the per-reader rates. This is what
+    /// pick_connection_to_move ranks.
+    double drained_rate = 0.0;
+    /// Destination reader of an in-flight migration, or -1. Set when the
+    /// `remove` command goes to the old reader; consumed by the `released`
+    /// event, which re-adds the fd at the target.
+    int migrate_target = -1;
   };
 
   /// Per-node state that must survive the TCP connection: the batch_seq
@@ -242,6 +258,13 @@ class Ism {
     /// the node's in-pipeline backlog, which shrinks its next grant.
     std::shared_ptr<std::atomic<std::uint64_t>> records_drained;
     std::uint32_t last_granted_records = 0;  // most recent grant's window
+    // --- federation ----------------------------------------------------------
+    /// Ordered-ingress lane in the pipeline (relay sessions only). Lanes are
+    /// append-only in the pipeline, so the index stays valid across
+    /// reconnects of the same incarnation; an incarnation reset allocates a
+    /// fresh lane (the old one was flushed at disconnect and stays empty).
+    bool has_relay_lane = false;
+    std::size_t relay_lane = 0;
   };
 
   /// The master side of clock sync over the live connections.
@@ -265,6 +288,10 @@ class Ism {
   void on_connection_readable(int fd);
   Status dispatch_frame(Connection& conn, ByteSpan payload);
   void handle_batch(Connection& conn, tp::Batch batch);
+  /// Ordered-ingress: a relay's pre-sorted batch goes through the same
+  /// batch_seq dedupe cursor, then straight into its pipeline lane —
+  /// bypassing the sorter shards. Origin node ids are preserved.
+  void handle_relay_batch(Connection& conn, tp::RelayBatch batch);
   /// Applies the dedupe/hole policy to a batch sequence number. Returns
   /// true when the batch's records should be admitted into the pipeline.
   bool admit_batch_seq(const Connection& conn, NodeSession& session, std::uint32_t seq);
@@ -276,6 +303,11 @@ class Ism {
   void idle_work();
   /// Idle reaping, quarantine expiry, and periodic BATCH_ACKs.
   void session_sweep();
+  /// Reader-pool rebalancing: once the decayed drained-rate imbalance has
+  /// been sustained for kSustainedImbalancePeriods decay periods, moves one
+  /// connection (at most one per ack period) from the busiest reader to the
+  /// idlest. Called from the decay tick with pre-decay rates.
+  void maybe_migrate_connection(TimeMicros now);
   void expire_session(NodeId node);
   Status send_ack(Connection& conn, tp::MsgType type);
   Status send_frame(Connection& conn, ByteSpan payload);
@@ -334,6 +366,10 @@ class Ism {
   /// idle connections weigh less than one firehose.
   std::vector<double> reader_rates_;
   TimeMicros last_reader_decay_us_ = 0;  // monotonic
+  /// Consecutive decay periods the pool evaluated as imbalanced; a
+  /// migration needs kSustainedImbalancePeriods of them in a row.
+  std::size_t imbalance_streak_ = 0;
+  TimeMicros last_migration_us_ = 0;  // monotonic; rate-limits to 1/ack period
   std::map<int, Connection> connections_;
   std::map<NodeId, int> nodes_;  // node id → fd (live connections only)
   std::map<NodeId, NodeSession> sessions_;
@@ -376,6 +412,7 @@ class Ism {
     std::atomic<std::uint64_t> heartbeats_received{0};
     std::atomic<std::uint64_t> credit_grants_sent{0};
     std::atomic<std::uint64_t> zero_window_grants{0};
+    std::atomic<std::uint64_t> reader_migrations{0};
   };
   Counters stats_;
   /// node → drained-record cell, for the pipeline-sink counting hook. Read

@@ -54,6 +54,11 @@ struct OrderingPipeline::Shard {
   /// Emissions that found the output lane full during shutdown; recovered
   /// by drain() after the lane contents (emission order is preserved).
   std::vector<ShardOutput> spill;
+  /// Inline federated mode only (no worker threads + relay lanes present):
+  /// sorter emissions stage here — guarded by merger_mutex_ — instead of
+  /// being delivered directly, so the ordering thread's merge_step can
+  /// interleave them with the relay lanes. Always empty when threaded.
+  std::deque<ShardOutput> inline_lane;
 
   std::mutex cmd_mutex;
   std::vector<NodeId> removals;  // session-expiry commands, ordering → shard
@@ -165,6 +170,9 @@ Status OrderingPipeline::submit(sensors::Record record) {
 
 void OrderingPipeline::service() {
   if (threads_running_.load(std::memory_order_acquire)) return;
+  // relay_lanes_ is only ever mutated on this thread, so the unlocked
+  // emptiness probe is race-free; the merge itself runs under the mutex.
+  const bool federated = !relay_lanes_.empty();
   for (auto& shard : shards_) {
     std::lock_guard<std::mutex> lk(shard->state_mutex);
     sensors::Record record;
@@ -175,8 +183,18 @@ void OrderingPipeline::service() {
       }
     }
     shard->sorter->service();
+    if (federated) {
+      // Inline shards normally never publish a watermark (emissions deliver
+      // directly); once relay lanes gate the merge they must make the same
+      // promise the threaded shard_cycle makes.
+      const TimeMicros wm = clock_.now() - shard->sorter->current_frame();
+      if (wm > shard->watermark.load(std::memory_order_relaxed)) {
+        shard->watermark.store(wm, std::memory_order_release);
+      }
+    }
   }
   std::lock_guard<std::mutex> lk(merger_mutex_);
+  if (federated) merge_step();
   cre_service();
 }
 
@@ -199,7 +217,7 @@ std::size_t OrderingPipeline::remove_node(NodeId node) {
 
 Status OrderingPipeline::drain() {
   stop_threads();
-  std::vector<std::vector<ShardOutput>> tails(shards_.size());
+  std::vector<std::vector<ShardOutput>> tails(shards_.size() + relay_lanes_.size());
   {
     // Recover heads the live merge had popped but not yet released. The
     // threads are joined, so lock order versus state_mutex is moot here.
@@ -214,10 +232,16 @@ Status OrderingPipeline::drain() {
   for (std::size_t i = 0; i < shards_.size(); ++i) {
     Shard& shard = *shards_[i];
     std::lock_guard<std::mutex> lk(shard.state_mutex);
-    // Emission order within a shard: lane contents, then spill (emitted
-    // when the lane was already full), then whatever the flush releases.
+    // Emission order within a shard: lane contents, then inline stagings,
+    // then spill (emitted when the lane was already full), then whatever
+    // the flush releases.
     ShardOutput out;
     while (shard.output.try_pop(out)) tails[i].push_back(std::move(out));
+    {
+      std::lock_guard<std::mutex> mk(merger_mutex_);
+      for (ShardOutput& staged : shard.inline_lane) tails[i].push_back(std::move(staged));
+      shard.inline_lane.clear();
+    }
     for (ShardOutput& spilled : shard.spill) tails[i].push_back(std::move(spilled));
     shard.spill.clear();
     sensors::Record record;
@@ -231,9 +255,75 @@ Status OrderingPipeline::drain() {
     shard.flushed.store(true, std::memory_order_release);
   }
   std::lock_guard<std::mutex> lk(merger_mutex_);
+  // Relay lanes are already ordered streams: their leftovers become tails
+  // verbatim and stop gating (the relay's stream is over for this run).
+  for (std::size_t j = 0; j < relay_lanes_.size(); ++j) {
+    RelayLane& lane = *relay_lanes_[j];
+    std::vector<ShardOutput>& tail = tails[shards_.size() + j];
+    for (sensors::Record& queued : lane.queue) {
+      if (lane.drained) lane.drained->fetch_add(1, std::memory_order_relaxed);
+      tail.push_back(ShardOutput{std::move(queued), false});
+    }
+    lane.queue.clear();
+    lane.flushed.store(true, std::memory_order_release);
+  }
   merge_tails(tails);
   cre_service();
   return Status::ok();
+}
+
+// ---- ordered ingress (relay lanes) ------------------------------------------
+
+std::size_t OrderingPipeline::add_relay_lane(
+    std::shared_ptr<std::atomic<std::uint64_t>> drained) {
+  std::lock_guard<std::mutex> lk(merger_mutex_);
+  auto lane = std::make_unique<RelayLane>();
+  lane->drained = std::move(drained);
+  relay_lanes_.push_back(std::move(lane));
+  return relay_lanes_.size() - 1;
+}
+
+Status OrderingPipeline::submit_relay(std::size_t lane_index,
+                                      std::vector<sensors::Record> records,
+                                      TimeMicros watermark) {
+  if (lane_index >= relay_lanes_.size()) {
+    return Status(Errc::invalid_argument, "unknown relay lane");
+  }
+  RelayLane& lane = *relay_lanes_[lane_index];
+  submitted_.fetch_add(records.size(), std::memory_order_relaxed);
+  {
+    std::lock_guard<std::mutex> lk(merger_mutex_);
+    for (sensors::Record& record : records) lane.queue.push_back(std::move(record));
+  }
+  // Watermark strictly after the records it covers are visible; a merge
+  // interleaving between the two blocks under-releases, never over-releases.
+  advance_relay_watermark(lane_index, watermark);
+  if (threads_running_.load(std::memory_order_acquire)) signal_merger();
+  return Status::ok();
+}
+
+void OrderingPipeline::advance_relay_watermark(std::size_t lane_index, TimeMicros watermark) {
+  if (lane_index >= relay_lanes_.size()) return;
+  RelayLane& lane = *relay_lanes_[lane_index];
+  if (watermark > lane.watermark.load(std::memory_order_relaxed)) {
+    lane.watermark.store(watermark, std::memory_order_release);
+  }
+  if (threads_running_.load(std::memory_order_acquire)) signal_merger();
+}
+
+void OrderingPipeline::flush_relay_lane(std::size_t lane_index) {
+  if (lane_index >= relay_lanes_.size()) return;
+  relay_lanes_[lane_index]->flushed.store(true, std::memory_order_release);
+  if (threads_running_.load(std::memory_order_acquire)) signal_merger();
+}
+
+void OrderingPipeline::resume_relay_lane(std::size_t lane_index) {
+  if (lane_index >= relay_lanes_.size()) return;
+  relay_lanes_[lane_index]->flushed.store(false, std::memory_order_release);
+}
+
+std::size_t OrderingPipeline::relay_lane_count() const {
+  return relay_lanes_.size();
 }
 
 // ---- shard side -------------------------------------------------------------
@@ -250,10 +340,15 @@ void OrderingPipeline::shard_emit(Shard& shard, sensors::Record record) {
     push_output(shard, ShardOutput{std::move(record), shard.oob_mode});
     return;
   }
-  // Inline (shards == 1) or post-drain degraded mode: deliver directly.
+  // Inline (shards == 1) or post-drain degraded mode: deliver directly —
+  // unless relay lanes exist, in which case local emissions must stage and
+  // interleave with the relay streams through merge_step (a direct delivery
+  // here would overtake relay records with smaller timestamps).
   std::lock_guard<std::mutex> lk(merger_mutex_);
   if (shard.oob_mode) {
     deliver_oob(std::move(record));
+  } else if (!relay_lanes_.empty()) {
+    shard.inline_lane.push_back(ShardOutput{std::move(record), false});
   } else {
     deliver(std::move(record));
   }
@@ -344,7 +439,15 @@ void OrderingPipeline::merger_loop() {
 void OrderingPipeline::refill_head(std::size_t lane) {
   while (!heads_[lane]) {
     ShardOutput out;
-    if (!shards_[lane]->output.try_pop(out)) return;
+    if (!shards_[lane]->output.try_pop(out)) {
+      // Inline federated mode stages emissions in inline_lane instead of
+      // the SPSC; only one of the two is ever active, so draining the SPSC
+      // first preserves emission order across a mode transition.
+      std::deque<ShardOutput>& staged = shards_[lane]->inline_lane;
+      if (staged.empty()) return;
+      out = std::move(staged.front());
+      staged.pop_front();
+    }
     if (out.out_of_band) {
       // Expiry drains leave the merge immediately — a dead node's leftovers
       // must not gate it.
@@ -357,6 +460,8 @@ void OrderingPipeline::refill_head(std::size_t lane) {
 
 void OrderingPipeline::merge_step() {
   const std::size_t n = shards_.size();
+  const std::size_t m = relay_lanes_.size();
+  const std::size_t total = n + m;
   for (;;) {
     for (std::size_t i = 0; i < n; ++i) refill_head(i);
     // The watermark barrier, computed once per release run instead of once
@@ -366,30 +471,63 @@ void OrderingPipeline::merge_step() {
     // itself in the k-way pick; flushed lanes are complete and never gate.
     // Watermarks are monotone, so this snapshot can only under-release —
     // the next pass picks up whatever it left behind. Idle shards keep
-    // publishing wall-clock watermarks, so an empty lane stalls the merge
-    // by at most one poll cycle + T.
+    // publishing wall-clock watermarks, so an empty shard lane stalls the
+    // merge by at most one poll cycle + T. Relay lanes gate through the
+    // watermark their relay last promised (batch header or idle frame) —
+    // an empty relay lane stalls the merge until its next promise.
     TimeMicros bound = std::numeric_limits<TimeMicros>::max();
     for (std::size_t i = 0; i < n; ++i) {
       if (heads_[i] || shards_[i]->flushed.load(std::memory_order_acquire)) continue;
       const TimeMicros wm = shards_[i]->watermark.load(std::memory_order_acquire);
       if (wm < bound) bound = wm;
     }
+    for (std::size_t j = 0; j < m; ++j) {
+      RelayLane& lane = *relay_lanes_[j];
+      if (!lane.queue.empty() || lane.flushed.load(std::memory_order_acquire)) continue;
+      const TimeMicros wm = lane.watermark.load(std::memory_order_acquire);
+      if (wm < bound) bound = wm;
+    }
     bool progressed = false;
     for (;;) {
-      std::size_t best = n;
-      for (std::size_t i = 0; i < n; ++i) {
-        if (!heads_[i]) continue;
-        if (best == n || key_less(heads_[i]->record, heads_[best]->record)) best = i;
+      // K-way pick over shard heads and relay lane fronts (lane index space:
+      // [0, n) shards, [n, total) relay lanes).
+      std::size_t best = total;
+      const sensors::Record* best_record = nullptr;
+      for (std::size_t i = 0; i < total; ++i) {
+        const sensors::Record* candidate = nullptr;
+        if (i < n) {
+          if (heads_[i]) candidate = &heads_[i]->record;
+        } else {
+          const std::deque<sensors::Record>& q = relay_lanes_[i - n]->queue;
+          if (!q.empty()) candidate = &q.front();
+        }
+        if (candidate == nullptr) continue;
+        if (best_record == nullptr || key_less(*candidate, *best_record)) {
+          best = i;
+          best_record = candidate;
+        }
       }
-      if (best == n || heads_[best]->record.timestamp > bound) break;
-      sensors::Record record = std::move(heads_[best]->record);
-      heads_[best].reset();
-      refill_head(best);
-      if (!heads_[best] && !shards_[best]->flushed.load(std::memory_order_acquire)) {
-        // The popped lane went empty mid-run: it re-enters the barrier with
-        // its current watermark, tightening the bound if needed.
-        const TimeMicros wm = shards_[best]->watermark.load(std::memory_order_acquire);
-        if (wm < bound) bound = wm;
+      if (best == total || best_record->timestamp > bound) break;
+      sensors::Record record;
+      if (best < n) {
+        record = std::move(heads_[best]->record);
+        heads_[best].reset();
+        refill_head(best);
+        if (!heads_[best] && !shards_[best]->flushed.load(std::memory_order_acquire)) {
+          // The popped lane went empty mid-run: it re-enters the barrier
+          // with its current watermark, tightening the bound if needed.
+          const TimeMicros wm = shards_[best]->watermark.load(std::memory_order_acquire);
+          if (wm < bound) bound = wm;
+        }
+      } else {
+        RelayLane& lane = *relay_lanes_[best - n];
+        record = std::move(lane.queue.front());
+        lane.queue.pop_front();
+        if (lane.drained) lane.drained->fetch_add(1, std::memory_order_relaxed);
+        if (lane.queue.empty() && !lane.flushed.load(std::memory_order_acquire)) {
+          const TimeMicros wm = lane.watermark.load(std::memory_order_acquire);
+          if (wm < bound) bound = wm;
+        }
       }
       if (merged_any_ && record.timestamp < last_merged_ts_) {
         merge_inversions_.fetch_add(1, std::memory_order_relaxed);

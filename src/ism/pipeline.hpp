@@ -38,6 +38,7 @@
 #include <atomic>
 #include <condition_variable>
 #include <cstdint>
+#include <deque>
 #include <functional>
 #include <limits>
 #include <memory>
@@ -125,6 +126,33 @@ class OrderingPipeline {
   /// in degraded inline form (per-shard, merge-free) for late stragglers.
   Status drain();
 
+  // ---- ordered ingress (federation relay lanes) ------------------------------
+  // A relay connection's stream is already (timestamp, node)-sorted and
+  // carries watermarks, so it bypasses the sorter shards entirely and
+  // enters the k-way merge as its own lane: the relay's batch/idle
+  // watermarks replace the shard's wall-clock promise. Lanes are unbounded
+  // deques guarded by merger_mutex_ — boundedness comes from the credit
+  // window the ISM grants the relay session (admitted − drained), which is
+  // exactly what the per-lane drained cell feeds.
+
+  /// Registers an ordered-ingress lane (ordering thread). `drained` — may
+  /// be null — is bumped once per record the merge releases from this lane,
+  /// so credit grants track pipeline progress. Returns the lane id.
+  std::size_t add_relay_lane(std::shared_ptr<std::atomic<std::uint64_t>> drained);
+  /// Appends one relay batch's records — already sorted, already in this
+  /// ISM's timebase — and then advances the lane watermark (ordering thread).
+  Status submit_relay(std::size_t lane, std::vector<sensors::Record> records,
+                      TimeMicros watermark);
+  /// Watermark-only advance from an idle relay (ordering thread).
+  void advance_relay_watermark(std::size_t lane, TimeMicros watermark);
+  /// The relay disconnected: queued records still merge, but the lane stops
+  /// gating (its watermark promise would otherwise freeze the merge).
+  void flush_relay_lane(std::size_t lane);
+  /// Re-arms a flushed lane when its relay session resumes (same lane keeps
+  /// the dedupe cursor upstream; watermarks continue monotonically).
+  void resume_relay_lane(std::size_t lane);
+  [[nodiscard]] std::size_t relay_lane_count() const;
+
   [[nodiscard]] std::size_t shard_count() const noexcept { return shards_.size(); }
   [[nodiscard]] bool threaded() const noexcept {
     return threads_running_.load(std::memory_order_acquire);
@@ -167,6 +195,16 @@ class OrderingPipeline {
   };
   struct Shard;
 
+  /// One ordered-ingress lane. The queue is guarded by merger_mutex_; the
+  /// watermark and flushed flag are atomics so the merge can read them
+  /// without extra synchronization points.
+  struct RelayLane {
+    std::deque<sensors::Record> queue;
+    std::atomic<TimeMicros> watermark{std::numeric_limits<TimeMicros>::min()};
+    std::atomic<bool> flushed{false};
+    std::shared_ptr<std::atomic<std::uint64_t>> drained;  // may be null
+  };
+
   void start_threads();
   void stop_threads();
   void shard_loop(Shard& shard);
@@ -203,6 +241,9 @@ class OrderingPipeline {
   CreMatcher cre_;
 
   std::vector<std::unique_ptr<Shard>> shards_;
+  /// Ordered-ingress lanes. Appended (never removed) by the ordering thread
+  /// under merger_mutex_; the merge reads it under the same mutex.
+  std::vector<std::unique_ptr<RelayLane>> relay_lanes_;
   std::atomic<bool> threads_running_{false};
   std::atomic<bool> stop_{false};
 

@@ -13,16 +13,33 @@
 
 namespace brisk::lis {
 
+tp::LinkConfig ExsCore::make_link_config(const ExsConfig& config) {
+  tp::LinkConfig link;
+  link.node = config.node;
+  link.incarnation = config.incarnation;
+  link.replay_batches = config.replay_buffer_batches;
+  link.replay_bytes = config.replay_buffer_bytes;
+  link.pace = config.pace;
+  return link;
+}
+
 ExsCore::ExsCore(const ExsConfig& config, shm::MultiRing rings, clk::Clock& clock,
                  FrameSink sink)
     : config_(config),
       rings_(rings),
       clock_(clock),
-      sink_(std::move(sink)),
+      sink_(sink),
       batcher_(config, clock,
-               [this](ByteBuffer payload) { return ship_batch(std::move(payload)); }),
-      replay_(config.replay_buffer_batches, config.replay_buffer_bytes) {
+               [this](ByteBuffer payload) { return link_.ship_batch(std::move(payload)); }),
+      link_(make_link_config(config), clock, std::move(sink)) {
   drain_scratch_.reserve(sensors::kMaxNativeRecordBytes);
+  // Window-aware flush: never build a batch the granted window cannot take
+  // whole (0 keeps the configured maximum — the link's progress guarantee
+  // covers the rare oversized leftover).
+  link_.set_window_observer(
+      [this](std::uint32_t window_records, std::uint64_t) {
+        batcher_.set_record_cap(window_records);
+      });
   // Bridge the existing stats counters into the registry; the collector
   // runs on whatever thread snapshots (the EXS loop thread in daemons).
   metrics_.add_collector([this](metrics::SnapshotBuilder& out) {
@@ -84,158 +101,6 @@ Result<std::size_t> ExsCore::drain_rings() {
   return drained;
 }
 
-Status ExsCore::ship_batch(ByteBuffer payload) {
-  if (config_.replay_buffer_batches > 0) {
-    Status st = replay_.retain(payload.view());
-    if (!st) return st;
-    if (credit_active_) {
-      // Paced mode: every send goes through the window gate, in sequence
-      // order. A batch the window cannot take right now simply waits in the
-      // replay buffer — the next replenishing grant pumps it out.
-      const std::uint32_t seq = replay_.entries().back().batch_seq;
-      st = pump_sends();
-      if (!st) return st;
-      if (link_ready_ && !awaiting_ack_ && next_unsent_seq_ <= seq) ++paced_batches_;
-      return Status::ok();
-    }
-    // Link down or session not yet acknowledged: the batch stays in the
-    // replay buffer and goes out — in sequence order — on the next
-    // HELLO_ACK. Sending it now would let a fresh batch overtake older
-    // unacked ones and the ISM would discard the replays as duplicates.
-    if (!link_ready_ || awaiting_ack_) return Status::ok();
-    if (!replay_.empty()) {
-      const ReplayBuffer::Entry& newest = replay_.entries().back();
-      next_unsent_seq_ = newest.batch_seq + 1;
-      if (send_high_water_ < next_unsent_seq_) send_high_water_ = next_unsent_seq_;
-    }
-  } else if (!link_ready_) {
-    return Status::ok();  // replay disabled: the batch is simply lost
-  }
-  return sink_(std::move(payload));
-}
-
-Status ExsCore::resend_unacked() {
-  if (credit_active_) {
-    // Go-back-N under pacing: everything unacked becomes unsent again and
-    // re-ships through the window gate — the replay respects whatever
-    // window the reopened session granted, not the pre-loss one.
-    rewind_unsent();
-    return pump_sends();
-  }
-  for (const auto& entry : replay_.entries()) {
-    ByteBuffer copy;
-    copy.append(entry.frame.view());
-    Status st = sink_(std::move(copy));
-    if (!st) return st;
-    ++batches_replayed_;
-  }
-  if (!replay_.empty()) {
-    next_unsent_seq_ = replay_.entries().back().batch_seq + 1;
-    if (send_high_water_ < next_unsent_seq_) send_high_water_ = next_unsent_seq_;
-  }
-  return Status::ok();
-}
-
-std::uint64_t ExsCore::outstanding_records() const noexcept {
-  std::uint64_t records = 0;
-  for (const auto& entry : replay_.entries()) {
-    if (entry.batch_seq >= next_unsent_seq_) break;
-    records += entry.record_count;
-  }
-  return records;
-}
-
-std::uint64_t ExsCore::outstanding_bytes() const noexcept {
-  std::uint64_t bytes = 0;
-  for (const auto& entry : replay_.entries()) {
-    if (entry.batch_seq >= next_unsent_seq_) break;
-    bytes += entry.frame.size();
-  }
-  return bytes;
-}
-
-void ExsCore::rewind_unsent() noexcept {
-  next_unsent_seq_ = replay_.empty() ? next_unsent_seq_ : replay_.entries().front().batch_seq;
-}
-
-void ExsCore::begin_stall() noexcept {
-  if (stall_started_at_ == 0) stall_started_at_ = clock_.now();
-}
-
-void ExsCore::end_stall() noexcept {
-  if (stall_started_at_ != 0) {
-    const TimeMicros now = clock_.now();
-    if (now > stall_started_at_) credit_stalled_us_ += now - stall_started_at_;
-    stall_started_at_ = 0;
-  }
-}
-
-Status ExsCore::pump_sends() {
-  if (!link_ready_ || awaiting_ack_) return Status::ok();
-  const auto& entries = replay_.entries();
-  if (entries.empty()) {
-    end_stall();
-    return Status::ok();
-  }
-  // Evictions may have removed unsent entries from the front; the oldest
-  // batch still buffered is the oldest that can ever be sent.
-  if (next_unsent_seq_ < entries.front().batch_seq) {
-    next_unsent_seq_ = entries.front().batch_seq;
-  }
-  std::uint64_t out_records = outstanding_records();
-  std::uint64_t out_bytes = outstanding_bytes();
-  std::size_t index = 0;
-  while (index < entries.size() && entries[index].batch_seq < next_unsent_seq_) ++index;
-  while (index < entries.size() && link_ready_) {
-    const ReplayBuffer::Entry& entry = entries[index];
-    const bool fits =
-        out_records + entry.record_count <= window_records_ &&
-        (window_bytes_ == 0 || out_bytes + entry.frame.size() <= window_bytes_);
-    // Progress guarantee: a batch bigger than the whole window ships once
-    // nothing is outstanding — a shrunk (even zero) window stalls the
-    // stream, never deadlocks it.
-    if (!fits && out_records > 0) {
-      begin_stall();
-      return Status::ok();
-    }
-    if (!fits && window_records_ == 0) {
-      // Zero window with an empty pipe: the ISM asked for silence; wait for
-      // a replenishing grant rather than forcing the batch through.
-      begin_stall();
-      return Status::ok();
-    }
-    ByteBuffer copy;
-    copy.append(entry.frame.view());
-    const std::uint32_t seq = entry.batch_seq;
-    const std::uint32_t records = entry.record_count;
-    const std::size_t bytes = entry.frame.size();
-    if (seq < send_high_water_) ++batches_replayed_;
-    Status st = sink_(std::move(copy));
-    if (!st) return st;
-    out_records += records;
-    out_bytes += bytes;
-    next_unsent_seq_ = seq + 1;
-    if (send_high_water_ < next_unsent_seq_) send_high_water_ = next_unsent_seq_;
-    ++index;
-  }
-  if (index >= entries.size()) end_stall();
-  return Status::ok();
-}
-
-void ExsCore::apply_credit(const std::optional<tp::CreditGrant>& credit) {
-  if (!credit) return;
-  if (credit->incarnation != config_.incarnation) return;  // stale session's grant
-  ++credit_grants_received_;
-  if (!config_.pace || config_.replay_buffer_batches == 0) return;
-  credit_active_ = true;
-  window_records_ = credit->window_records;
-  window_bytes_ = credit->window_bytes;
-  // Window-aware flush: never build a batch the window cannot take whole
-  // (0 keeps the configured maximum — the progress guarantee covers the
-  // rare oversized leftover).
-  batcher_.set_record_cap(window_records_);
-}
-
 Status ExsCore::handle_frame(ByteSpan payload) {
   xdr::Decoder decoder(payload);
   auto type = tp::peek_type(decoder);
@@ -258,64 +123,12 @@ Status ExsCore::handle_frame(ByteSpan payload) {
       ++sync_adjustments_;
       return Status::ok();
     }
-    case tp::MsgType::hello_ack: {
-      auto ack = tp::decode_hello_ack(decoder);
-      if (!ack) return ack.status();
-      ++acks_received_;
-      apply_credit(ack.value().credit);
-      if (config_.replay_buffer_batches == 0) return Status::ok();
-      if (ack.value().incarnation != config_.incarnation) {
-        // Ack for a previous session of this connection; a fresh one is on
-        // its way.
-        return Status::ok();
-      }
-      replay_.ack(ack.value().next_expected_seq);
-      awaiting_ack_ = false;
-      have_last_ack_ = true;
-      last_batch_ack_expected_ = ack.value().next_expected_seq;
-      return resend_unacked();
-    }
-    case tp::MsgType::batch_ack: {
-      auto ack = tp::decode_batch_ack(decoder);
-      if (!ack) return ack.status();
-      ++acks_received_;
-      apply_credit(ack.value().credit);
-      if (config_.replay_buffer_batches == 0) return Status::ok();
-      const std::uint32_t expected = ack.value().next_expected_seq;
-      replay_.ack(expected);
-      // Two consecutive acks naming the same cursor while we hold that very
-      // batch means the ISM lost it in flight (not merely lagging): go-back-N
-      // resend from the cursor. A single stale ack is not enough — acks race
-      // with batches legitimately in flight.
-      const bool stuck = have_last_ack_ && expected == last_batch_ack_expected_;
-      have_last_ack_ = true;
-      last_batch_ack_expected_ = expected;
-      if (stuck && !awaiting_ack_ && !replay_.empty() &&
-          replay_.entries().front().batch_seq == expected) {
-        return resend_unacked();
-      }
-      // Acked batches leave the outstanding set — the reopened window may
-      // have room for batches a closed window parked in the replay buffer.
-      if (credit_active_) return pump_sends();
-      return Status::ok();
-    }
-    case tp::MsgType::heartbeat:
-      return Status::ok();  // liveness only; reception already refreshed rx time
-    case tp::MsgType::bye:
-      saw_bye_ = true;
-      return Status(Errc::closed, "ISM said bye");
     default:
+      if (tp::UpstreamLink::owns_frame(type.value())) {
+        return link_.handle_frame(type.value(), decoder);
+      }
       return Status(Errc::malformed, "unexpected message type at EXS");
   }
-}
-
-Status ExsCore::send_hello() {
-  if (config_.replay_buffer_batches > 0) awaiting_ack_ = true;
-  ByteBuffer out;
-  xdr::Encoder enc(out);
-  tp::put_type(tp::MsgType::hello, enc);
-  tp::encode_hello({config_.node, tp::kProtocolVersion, config_.incarnation}, enc);
-  return sink_(std::move(out));
 }
 
 Status ExsCore::emit_metrics() {
@@ -337,30 +150,8 @@ Status ExsCore::emit_metrics() {
   return Status::ok();
 }
 
-Status ExsCore::send_heartbeat() {
-  ByteBuffer out;
-  xdr::Encoder enc(out);
-  tp::put_type(tp::MsgType::heartbeat, enc);
-  ++heartbeats_sent_;
-  return sink_(std::move(out));
-}
-
-void ExsCore::on_disconnect() noexcept {
-  link_ready_ = false;
-  awaiting_ack_ = false;
-  have_last_ack_ = false;
-  // Down-time is reconnect territory, not window pressure; don't let it
-  // inflate the stall clock.
-  end_stall();
-}
-
-Status ExsCore::on_reconnected() {
-  link_ready_ = true;
-  ++reconnects_;
-  return send_hello();
-}
-
 ExsStats ExsCore::stats() const noexcept {
+  const tp::LinkStats link = link_.stats();
   ExsStats s;
   s.records_forwarded = records_forwarded_;
   s.batches_sent = batcher_.batches_sent();
@@ -370,29 +161,40 @@ ExsStats ExsCore::stats() const noexcept {
   s.sync_polls_answered = sync_polls_answered_;
   s.sync_adjustments = sync_adjustments_;
   s.correction_us = correction_;
-  s.reconnects = reconnects_;
-  s.batches_replayed = batches_replayed_;
-  s.replay_evictions = replay_.evictions();
-  s.heartbeats_sent = heartbeats_sent_;
-  s.acks_received = acks_received_;
-  s.replay_pending = replay_.size();
-  s.credit_grants_received = credit_grants_received_;
-  s.paced_batches = paced_batches_;
-  s.credit_stalled_us = credit_stalled_us_;
-  if (credit_active_) {
-    s.credit_window_records = window_records_;
-    s.credit_window_bytes = window_bytes_;
-  }
+  s.reconnects = link.reconnects;
+  s.batches_replayed = link.batches_replayed;
+  s.replay_evictions = link.replay_evictions;
+  s.heartbeats_sent = link.heartbeats_sent;
+  s.acks_received = link.acks_received;
+  s.replay_pending = link.replay_pending;
+  s.credit_grants_received = link.credit_grants_received;
+  s.paced_batches = link.paced_batches;
+  s.credit_stalled_us = link.credit_stalled_us;
+  s.credit_window_records = link.credit_window_records;
+  s.credit_window_bytes = link.credit_window_bytes;
   return s;
 }
 
 // ---- ExternalSensor ---------------------------------------------------------
 
+namespace {
+
+tp::ReconnectConfig make_reconnect_config(const ExsConfig& config) {
+  tp::ReconnectConfig reconnect;
+  reconnect.backoff_base_us = config.reconnect_backoff_base_us;
+  reconnect.backoff_cap_us = config.reconnect_backoff_cap_us;
+  reconnect.jitter = config.reconnect_jitter;
+  reconnect.max_attempts = config.max_reconnect_attempts;
+  return reconnect;
+}
+
+}  // namespace
+
 ExternalSensor::ExternalSensor(const ExsConfig& config, net::TcpSocket socket)
     : config_(config),
       socket_(std::move(socket)),
       loop_(net::make_poller(config.poller)),
-      jitter_rng_(config.node ^ config.incarnation ^ 0x9e3779b97f4a7c15ull) {}
+      reconnect_(make_reconnect_config(config), config.node ^ config.incarnation) {}
 
 Result<std::unique_ptr<ExternalSensor>> ExternalSensor::connect(
     const ExsConfig& config, shm::MultiRing rings, clk::Clock& clock,
@@ -500,28 +302,13 @@ void ExternalSensor::handle_disconnect() {
   }
   frame_reader_ = net::FrameReader{};
   core_->on_disconnect();
-  failed_attempts_ = 0;
-  next_attempt_at_ = monotonic_micros();  // first retry on the next cycle
+  reconnect_.arm(monotonic_micros());  // first retry on the next cycle
   BRISK_LOG_WARN << "EXS node " << config_.node
                  << ": lost ISM connection, entering reconnect";
 }
 
-TimeMicros ExternalSensor::backoff_delay() {
-  TimeMicros delay = config_.reconnect_backoff_base_us;
-  for (std::uint32_t i = 1;
-       i < failed_attempts_ && delay < config_.reconnect_backoff_cap_us; ++i) {
-    delay *= 2;
-  }
-  delay = std::min(delay, config_.reconnect_backoff_cap_us);
-  if (config_.reconnect_jitter > 0.0) {
-    std::uniform_real_distribution<double> jitter(0.0, config_.reconnect_jitter);
-    delay += static_cast<TimeMicros>(static_cast<double>(delay) * jitter(jitter_rng_));
-  }
-  return delay;
-}
-
 void ExternalSensor::maybe_reconnect() {
-  if (monotonic_micros() < next_attempt_at_) return;
+  if (!reconnect_.due(monotonic_micros())) return;
   auto socket = net::TcpSocket::connect(ism_host_, ism_port_);
   if (socket) {
     net::TcpSocket fresh = std::move(socket).value();
@@ -532,7 +319,7 @@ void ExternalSensor::maybe_reconnect() {
       st = watch_socket();
       if (st) {
         connected_ = true;
-        failed_attempts_ = 0;
+        reconnect_.record_success();
         last_rx_us_ = monotonic_micros();
         ++reconnects_;
         BRISK_LOG_INFO << "EXS node " << config_.node << ": reconnected to ISM";
@@ -544,15 +331,11 @@ void ExternalSensor::maybe_reconnect() {
       socket_.close();
     }
   }
-  ++failed_attempts_;
-  if (config_.max_reconnect_attempts > 0 &&
-      failed_attempts_ >= config_.max_reconnect_attempts) {
+  if (!reconnect_.record_failure(monotonic_micros())) {
     BRISK_LOG_ERROR << "EXS node " << config_.node << ": giving up after "
-                    << failed_attempts_ << " reconnect attempts";
+                    << reconnect_.failed_attempts() << " reconnect attempts";
     loop_->stop();
-    return;
   }
-  next_attempt_at_ = monotonic_micros() + backoff_delay();
 }
 
 Status ExternalSensor::cycle() {

@@ -6,33 +6,33 @@
 // data to the ISM."
 //
 // Split in two layers:
-//  * ExsCore — all protocol logic, deterministic and socket-free: drains
-//    rings, applies the clock correction, batches, answers sync polls,
-//    folds ADJUST deltas into the correction value, retains unacknowledged
-//    batches for replay, and handles the session-resilience handshake
-//    (HELLO/HELLO_ACK/BATCH_ACK). Tests drive it directly.
+//  * ExsCore — the node-side protocol logic, deterministic and socket-free:
+//    drains rings, applies the clock correction, batches, answers sync
+//    polls, and folds ADJUST deltas into the correction value. The session
+//    machinery (HELLO/HELLO_ACK/BATCH_ACK, go-back-N replay, credit
+//    pacing) lives in the shared tp::UpstreamLink — the same link a relay
+//    ISM uses toward its parent. Tests drive the core directly.
 //  * ExternalSensor — binds ExsCore to a real TCP connection and the
 //    select() loop, and owns connection survival: when the link to the ISM
-//    dies it reconnects with exponential backoff + jitter while the core
-//    keeps draining rings into the bounded replay buffer. This is what the
-//    brisk_exs executable runs.
+//    dies it reconnects on a tp::ReconnectSchedule (exponential backoff +
+//    jitter) while the core keeps draining rings into the bounded replay
+//    buffer. This is what the brisk_exs executable runs.
 #pragma once
 
 #include <functional>
 #include <memory>
 #include <optional>
-#include <random>
 
 #include "clock/clock.hpp"
 #include "lis/batcher.hpp"
 #include "metrics/metrics.hpp"
 #include "lis/exs_config.hpp"
-#include "lis/replay_buffer.hpp"
 #include "net/faulty_socket.hpp"
 #include "net/frame.hpp"
 #include "net/poller.hpp"
 #include "net/socket.hpp"
 #include "shm/multi_ring.hpp"
+#include "tp/upstream_link.hpp"
 #include "tp/wire.hpp"
 
 namespace brisk::lis {
@@ -58,25 +58,20 @@ class ExsCore {
   /// BATCH_ACK, HEARTBEAT, BYE). Returns Errc::closed for BYE.
   Status handle_frame(ByteSpan payload);
 
-  /// Sends the HELLO that opens (or re-opens) the session. With replay
-  /// enabled, outbound batches are deferred into the replay buffer until
-  /// the ISM's HELLO_ACK names the resume cursor — this keeps the batch
-  /// sequence the ISM observes contiguous across a reconnect.
-  Status send_hello();
+  /// Opens (or re-opens) the session; see tp::UpstreamLink::send_hello.
+  Status send_hello() { return link_.send_hello(); }
 
   /// Sends a liveness heartbeat (empty body).
-  Status send_heartbeat();
+  Status send_heartbeat() { return link_.send_heartbeat(); }
 
   /// Snapshots the metrics registry into reserved-sensor-id records and
   /// feeds them through the batcher — metrics ship in-band, exactly like
   /// sensor records (batched, replayed, deduped).
   Status emit_metrics();
 
-  /// Transport notifications from the daemon layer: while the link is
-  /// down, data batches accumulate in the replay buffer instead of being
-  /// handed to the sink; re-establishing it replays everything unacked.
-  void on_disconnect() noexcept;
-  Status on_reconnected();
+  /// Transport notifications from the daemon layer; see tp::UpstreamLink.
+  void on_disconnect() noexcept { link_.on_disconnect(); }
+  Status on_reconnected() { return link_.on_reconnected(); }
 
   /// The clock correction the sync protocol has accumulated; added to every
   /// record timestamp on its way out ("the raw local time ... is added to a
@@ -87,75 +82,42 @@ class ExsCore {
   [[nodiscard]] TimeMicros corrected_now() noexcept { return clock_.now() + correction_; }
 
   /// True once the ISM sent BYE (clean shutdown, not a link failure).
-  [[nodiscard]] bool saw_bye() const noexcept { return saw_bye_; }
+  [[nodiscard]] bool saw_bye() const noexcept { return link_.saw_bye(); }
   /// True while batches are gated on a pending HELLO_ACK.
-  [[nodiscard]] bool awaiting_ack() const noexcept { return awaiting_ack_; }
-  [[nodiscard]] const ReplayBuffer& replay() const noexcept { return replay_; }
+  [[nodiscard]] bool awaiting_ack() const noexcept { return link_.awaiting_ack(); }
+  [[nodiscard]] const tp::ReplayBuffer& replay() const noexcept { return link_.replay(); }
 
   /// True once an ISM credit grant governs this session's sends (pacing on,
   /// replay enabled, and a grant for this incarnation has arrived).
-  [[nodiscard]] bool pacing() const noexcept { return credit_active_; }
+  [[nodiscard]] bool pacing() const noexcept { return link_.pacing(); }
   /// Sent-but-unacknowledged records/bytes charged against the window.
-  [[nodiscard]] std::uint64_t outstanding_records() const noexcept;
-  [[nodiscard]] std::uint64_t outstanding_bytes() const noexcept;
+  [[nodiscard]] std::uint64_t outstanding_records() const noexcept {
+    return link_.outstanding_records();
+  }
+  [[nodiscard]] std::uint64_t outstanding_bytes() const noexcept {
+    return link_.outstanding_bytes();
+  }
 
   [[nodiscard]] ExsStats stats() const noexcept;
   [[nodiscard]] metrics::MetricsRegistry& metrics() noexcept { return metrics_; }
   [[nodiscard]] const ExsConfig& config() const noexcept { return config_; }
   [[nodiscard]] shm::MultiRing& rings() noexcept { return rings_; }
+  [[nodiscard]] tp::UpstreamLink& link() noexcept { return link_; }
 
  private:
-  Status ship_batch(ByteBuffer payload);
-  /// Re-sends every retained batch, oldest first (the ISM dedupes).
-  Status resend_unacked();
-  /// Folds an ack's credit grant (if any) into the pacer window. Grants for
-  /// a foreign incarnation are ignored — never a session error.
-  void apply_credit(const std::optional<tp::CreditGrant>& credit);
-  /// The paced send path: ships retained batches in sequence order from
-  /// `next_unsent_seq_` while the granted window has room. A batch larger
-  /// than the whole window is sent once nothing is outstanding (progress
-  /// guarantee — a zero or shrunken window can never deadlock the stream).
-  Status pump_sends();
-  /// Marks everything unacked as unsent (go-back-N under pacing).
-  void rewind_unsent() noexcept;
-  void begin_stall() noexcept;
-  void end_stall() noexcept;
+  static tp::LinkConfig make_link_config(const ExsConfig& config);
 
   ExsConfig config_;
   shm::MultiRing rings_;
   clk::Clock& clock_;
   FrameSink sink_;
   Batcher batcher_;
-  ReplayBuffer replay_;
+  tp::UpstreamLink link_;
   TimeMicros correction_ = 0;
-  bool link_ready_ = true;
-  bool awaiting_ack_ = false;
-  bool saw_bye_ = false;
-  bool have_last_ack_ = false;
-  std::uint32_t last_batch_ack_expected_ = 0;
   std::uint64_t records_forwarded_ = 0;
   std::uint64_t transcode_errors_ = 0;
   std::uint64_t sync_polls_answered_ = 0;
   std::uint64_t sync_adjustments_ = 0;
-  std::uint64_t reconnects_ = 0;
-  std::uint64_t batches_replayed_ = 0;
-  std::uint64_t heartbeats_sent_ = 0;
-  std::uint64_t acks_received_ = 0;
-  // --- credit-based flow control ---------------------------------------------
-  /// True once a grant for this incarnation arrived and pacing applies.
-  bool credit_active_ = false;
-  std::uint32_t window_records_ = 0;  // last granted record window
-  std::uint64_t window_bytes_ = 0;    // last granted byte window (0 = uncapped)
-  /// Replay entries with batch_seq below this have been handed to the sink
-  /// and are charged against the window; at or above are still queued.
-  std::uint32_t next_unsent_seq_ = 0;
-  /// Highest batch_seq ever handed to the sink (+1); re-sends below it
-  /// count as replays.
-  std::uint32_t send_high_water_ = 0;
-  std::uint64_t credit_grants_received_ = 0;
-  std::uint64_t paced_batches_ = 0;
-  TimeMicros credit_stalled_us_ = 0;
-  TimeMicros stall_started_at_ = 0;  // node-clock time, 0 = not stalled
   metrics::MetricsRegistry metrics_;
   SequenceNo metrics_sequence_ = 0;
   std::vector<std::uint8_t> drain_scratch_;
@@ -199,7 +161,6 @@ class ExternalSensor {
   Status write_out(ByteSpan frame);
   void handle_disconnect();
   void maybe_reconnect();
-  TimeMicros backoff_delay();
 
   ExsConfig config_;
   net::TcpSocket socket_;
@@ -211,13 +172,11 @@ class ExternalSensor {
   std::uint16_t ism_port_ = 0;
   bool connected_ = false;
   bool peer_closed_ = false;  // BYE received: clean shutdown, no reconnect
-  std::uint32_t failed_attempts_ = 0;
-  TimeMicros next_attempt_at_ = 0;  // monotonic
+  tp::ReconnectSchedule reconnect_;
   TimeMicros last_rx_us_ = 0;       // monotonic, any inbound bytes
   TimeMicros last_tx_us_ = 0;       // monotonic, any outbound frame
   TimeMicros last_metrics_us_ = 0;  // monotonic, last metrics snapshot
   std::uint64_t reconnects_ = 0;
-  std::mt19937_64 jitter_rng_;
 };
 
 }  // namespace brisk::lis

@@ -24,6 +24,17 @@ std::optional<CausalId> Record::conseq_id() const noexcept {
   return f->as_causal_id();
 }
 
+void apply_time_delta(Record& record, TimeMicros delta) {
+  if (delta == 0) return;
+  record.timestamp += delta;
+  for (Field& f : record.fields) {
+    if (f.type() == FieldType::x_ts) f = Field::ts(f.as_timestamp() + delta);
+  }
+  if (record.trace) {
+    for (TraceStamp& stamp : record.trace->stamps) stamp.at += delta;
+  }
+}
+
 std::string Record::to_string() const {
   char head[96];
   std::snprintf(head, sizeof head, "%u:%u#%" PRIu64 " @%" PRId64 " [", node, sensor,

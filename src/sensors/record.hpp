@@ -40,4 +40,11 @@ struct Record {
   bool operator==(const Record& other) const noexcept = default;
 };
 
+/// Shifts every timebase-carrying part of a record by `delta`: the record
+/// timestamp, every X_TS field, and every trace stamp. A relay ISM applies
+/// its parent-relative clock correction this way before forwarding, so
+/// corrections compose hop by hop through a federation tree and records
+/// arrive at the root in the root's timebase. No-op for delta == 0.
+void apply_time_delta(Record& record, TimeMicros delta);
+
 }  // namespace brisk::sensors

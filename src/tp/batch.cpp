@@ -3,8 +3,9 @@
 namespace brisk::tp {
 namespace {
 
-constexpr std::size_t kCountOffset = 12;    // record_count u32
-constexpr std::size_t kDroppedOffset = 16;  // ring_dropped u64
+constexpr std::size_t kCountOffset = 12;      // record_count u32
+constexpr std::size_t kDroppedOffset = 16;    // data_batch: ring_dropped u64
+constexpr std::size_t kWatermarkOffset = 16;  // relay_batch: watermark i64
 
 void put_be32_at(ByteBuffer& buf, std::size_t offset, std::uint32_t value) {
   const std::uint8_t bytes[4] = {
@@ -96,6 +97,69 @@ Result<Batch> decode_batch(xdr::Decoder& decoder) {
   batch.records.reserve(count.value());
   for (std::uint32_t i = 0; i < count.value(); ++i) {
     auto record = decode_record(decoder, batch.header.node);
+    if (!record) return record.status();
+    batch.records.push_back(std::move(record).value());
+  }
+  if (!decoder.exhausted()) return Status(Errc::malformed, "trailing bytes after batch");
+  return batch;
+}
+
+// ---- relay batches ----------------------------------------------------------
+
+void RelayBatchBuilder::reset_payload() {
+  payload_.clear();
+  record_count_ = 0;
+  watermark_ = 0;
+  xdr::Encoder enc(payload_);
+  put_type(MsgType::relay_batch, enc);
+  enc.put_u32(relay_node_);
+  enc.put_u32(next_batch_seq_);
+  enc.put_u32(0);  // record_count, patched in finish()
+  enc.put_i64(0);  // watermark, patched in finish()
+}
+
+Status RelayBatchBuilder::add_record(const sensors::Record& record) {
+  xdr::Encoder enc(payload_);
+  enc.put_u32(record.node);
+  Status st = encode_record(record, enc);
+  if (st) ++record_count_;
+  return st;
+}
+
+ByteBuffer RelayBatchBuilder::finish() {
+  put_be32_at(payload_, kCountOffset, record_count_);
+  put_be64_at(payload_, kWatermarkOffset, static_cast<std::uint64_t>(watermark_));
+  ByteBuffer out = std::move(payload_);
+  ++next_batch_seq_;
+  reset_payload();
+  return out;
+}
+
+Result<RelayBatch> decode_relay_batch(xdr::Decoder& decoder) {
+  RelayBatch batch;
+  auto node = decoder.get_u32();
+  if (!node) return node.status();
+  auto seq = decoder.get_u32();
+  if (!seq) return seq.status();
+  auto count = decoder.get_u32();
+  if (!count) return count.status();
+  auto watermark = decoder.get_i64();
+  if (!watermark) return watermark.status();
+
+  batch.header.relay_node = node.value();
+  batch.header.batch_seq = seq.value();
+  batch.header.record_count = count.value();
+  batch.header.watermark = watermark.value();
+
+  // Origin-node prefix (4) + minimum record (16); reject absurd counts early.
+  if (std::size_t{count.value()} * 20 > decoder.remaining() + 20) {
+    return Status(Errc::malformed, "record count exceeds payload");
+  }
+  batch.records.reserve(count.value());
+  for (std::uint32_t i = 0; i < count.value(); ++i) {
+    auto origin = decoder.get_u32();
+    if (!origin) return origin.status();
+    auto record = decode_record(decoder, origin.value());
     if (!record) return record.status();
     batch.records.push_back(std::move(record).value());
   }

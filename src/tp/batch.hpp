@@ -75,4 +75,62 @@ class BatchBuilder {
 /// been consumed by peek_type).
 Result<Batch> decode_batch(xdr::Decoder& decoder);
 
+// ---- relay batches (federation) --------------------------------------------
+// The unit a relay ISM ships to its parent:
+//     u32 type=relay_batch | u32 relay_node | u32 batch_seq |
+//     u32 record_count | i64 watermark | (u32 origin_node | record)...
+// The first four words match the data_batch layout on purpose — the shared
+// replay/ack machinery in tp::UpstreamLink reads batch_seq and record_count
+// at fixed offsets and never looks past them. The watermark replaces
+// ring_dropped_total: it is the relay's merge-release watermark (already
+// shifted into the parent's timebase), promising every record the relay
+// will ever send is >= it. Records carry an origin-node prefix because one
+// relay connection multiplexes all the nodes behind it.
+
+struct RelayBatchHeader {
+  NodeId relay_node = 0;
+  std::uint32_t batch_seq = 0;
+  std::uint32_t record_count = 0;
+  TimeMicros watermark = 0;
+};
+
+struct RelayBatch {
+  RelayBatchHeader header;
+  /// Records in relay release order, each stamped with its origin node.
+  std::vector<sensors::Record> records;
+};
+
+/// Incremental relay-batch builder; mirrors BatchBuilder but takes decoded
+/// records (the relay re-encodes its pipeline's post-merge output) and
+/// patches the watermark instead of the ring-drop counter.
+class RelayBatchBuilder {
+ public:
+  explicit RelayBatchBuilder(NodeId relay_node) : relay_node_(relay_node) { reset_payload(); }
+
+  /// Appends one ordered record; `record.node` is the origin node.
+  Status add_record(const sensors::Record& record);
+
+  void set_watermark(TimeMicros watermark) noexcept { watermark_ = watermark; }
+
+  [[nodiscard]] std::uint32_t record_count() const noexcept { return record_count_; }
+  [[nodiscard]] bool empty() const noexcept { return record_count_ == 0; }
+  [[nodiscard]] std::size_t payload_bytes() const noexcept { return payload_.size(); }
+
+  /// Finishes the batch: back-patches count + watermark and returns the
+  /// frame payload. The builder resets and batch_seq advances.
+  ByteBuffer finish();
+
+ private:
+  void reset_payload();
+
+  NodeId relay_node_;
+  std::uint32_t next_batch_seq_ = 0;
+  std::uint32_t record_count_ = 0;
+  TimeMicros watermark_ = 0;
+  ByteBuffer payload_;
+};
+
+/// Parses a full relay-batch frame payload (type word already consumed).
+Result<RelayBatch> decode_relay_batch(xdr::Decoder& decoder);
+
 }  // namespace brisk::tp

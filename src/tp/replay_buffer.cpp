@@ -1,6 +1,6 @@
-#include "lis/replay_buffer.hpp"
+#include "tp/replay_buffer.hpp"
 
-namespace brisk::lis {
+namespace brisk::tp {
 namespace {
 
 constexpr std::size_t kSeqOffset = 8;     // u32 type | u32 node | u32 batch_seq
@@ -49,4 +49,4 @@ void ReplayBuffer::ack(std::uint32_t next_expected) {
   }
 }
 
-}  // namespace brisk::lis
+}  // namespace brisk::tp

@@ -1,8 +1,10 @@
-// Bounded in-flight batch replay buffer (EXS side of session resilience).
+// Bounded in-flight batch replay buffer (client side of session
+// resilience; owned by tp::UpstreamLink on behalf of both the EXS and a
+// relay ISM's egress).
 //
-// Every data-batch frame the EXS ships is retained here until the ISM's
+// Every batch frame the sender ships is retained here until the receiver's
 // cumulative BATCH_ACK cursor passes its sequence number. On reconnect the
-// EXS replays everything the ISM has not acknowledged (the ISM dedupes by
+// sender replays everything not yet acknowledged (the receiver dedupes by
 // batch_seq, so an ack lost in the crash cannot duplicate records). The
 // buffer is bounded two ways — by batch count (`max_batches`) and
 // optionally by total payload bytes (`max_bytes`): when either cap is hit,
@@ -20,7 +22,7 @@
 #include "common/byte_buffer.hpp"
 #include "common/error.hpp"
 
-namespace brisk::lis {
+namespace brisk::tp {
 
 class ReplayBuffer {
  public:
@@ -62,4 +64,4 @@ class ReplayBuffer {
   std::uint64_t evictions_ = 0;
 };
 
-}  // namespace brisk::lis
+}  // namespace brisk::tp

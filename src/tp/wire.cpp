@@ -425,6 +425,10 @@ void encode_hello(const Hello& msg, xdr::Encoder& encoder) {
   encoder.put_u32(msg.node);
   encoder.put_u32(msg.version);
   encoder.put_u64(msg.incarnation);
+  // The capability word is a length-delimited trailing extension, like the
+  // ack credit tail: a capability-free HELLO ends after the incarnation and
+  // stays byte-identical to the pre-federation form.
+  if (msg.capabilities != 0) encoder.put_u32(msg.capabilities);
 }
 
 Result<Hello> decode_hello(xdr::Decoder& decoder) {
@@ -438,6 +442,16 @@ Result<Hello> decode_hello(xdr::Decoder& decoder) {
   msg.node = node.value();
   msg.version = version.value();
   msg.incarnation = incarnation.value();
+  if (!decoder.exhausted()) {
+    auto capabilities = decoder.get_u32();
+    if (!capabilities) return Status(Errc::truncated, "hello capability word");
+    if ((capabilities.value() & ~kKnownCapabilities) != 0) {
+      // Unknown bits change how the stream must be treated; a peer that
+      // silently ignored them would mis-handle the stream.
+      return Status(Errc::malformed, "unknown hello capability bits");
+    }
+    msg.capabilities = capabilities.value();
+  }
   return msg;
 }
 
@@ -656,10 +670,26 @@ Result<AggWindow> decode_agg_window(xdr::Decoder& decoder) {
   return msg;
 }
 
+void encode_relay_watermark(const RelayWatermark& msg, xdr::Encoder& encoder) {
+  encoder.put_u32(msg.relay_node);
+  encoder.put_i64(msg.watermark);
+}
+
+Result<RelayWatermark> decode_relay_watermark(xdr::Decoder& decoder) {
+  RelayWatermark msg;
+  auto node = decoder.get_u32();
+  if (!node) return node.status();
+  auto watermark = decoder.get_i64();
+  if (!watermark) return watermark.status();
+  msg.relay_node = node.value();
+  msg.watermark = watermark.value();
+  return msg;
+}
+
 Result<MsgType> peek_type(xdr::Decoder& decoder) {
   auto raw = decoder.get_u32();
   if (!raw) return raw.status();
-  if (raw.value() < 1 || raw.value() > 14) {
+  if (raw.value() < 1 || raw.value() > 16) {
     return Status(Errc::malformed, "unknown message type");
   }
   return static_cast<MsgType>(raw.value());

@@ -28,6 +28,15 @@
 // a v2 ack simply ends after its base fields, so v2 peers interoperate
 // unchanged — the ISM only appends grants for peers that said hello with
 // version >= 3, and an EXS that never receives one paces nothing.
+//
+// Federation (relay tier): a relay ISM presents itself to its parent as an
+// EXS-shaped peer whose HELLO carries a trailing capability word with the
+// ordered-stream bit set. Its data travels as RELAY_BATCH frames — the
+// same header shape as DATA_BATCH (so replay/ack machinery is shared) but
+// with a release watermark instead of the ring-drop counter and a per-record
+// origin-node prefix, since one relay connection multiplexes many origin
+// nodes. RELAY_WATERMARK frames advance the watermark while the relay is
+// idle so an empty relay never stalls the parent's merge.
 #pragma once
 
 #include <cstdint>
@@ -66,7 +75,20 @@ enum class MsgType : std::uint32_t {
   unsubscribe = 12,    // consumer → ISM: stop the stream, keep the connection
   sub_data = 13,       // ISM → consumer: one sorted record (output encoding)
   sub_agg = 14,        // ISM → consumer: one closed aggregation window
+  // --- federation (relay → parent ISM) ----------------------------------------
+  relay_batch = 15,      // relay → parent: ordered multi-node batch + watermark
+  relay_watermark = 16,  // relay → parent: idle watermark advance
 };
+
+/// HELLO capability bits (the trailing capability word). The stream behind
+/// this connection is already ordered — records arrive in (timestamp, node)
+/// order and carry watermarks, so the receiver may bypass its sorter shards
+/// and feed the k-way merge directly.
+inline constexpr std::uint32_t kCapabilityOrderedStream = 1u << 0;
+/// Every capability bit this build understands. A HELLO carrying unknown
+/// bits is malformed: capabilities change how the peer must treat the
+/// stream, so they cannot be ignored safely.
+inline constexpr std::uint32_t kKnownCapabilities = kCapabilityOrderedStream;
 
 struct Hello {
   NodeId node = 0;
@@ -77,6 +99,10 @@ struct Hello {
   /// resets). 0 is legal but defeats crash detection; daemons derive a
   /// unique value at startup.
   std::uint64_t incarnation = 0;
+  /// Optional trailing capability word. Encoded only when non-zero, so a
+  /// capability-free HELLO is byte-identical to the v2/v3 form; absent on
+  /// the wire decodes as 0.
+  std::uint32_t capabilities = 0;
 };
 
 /// Flow-control window granted by the ISM, piggybacked on ack frames.
@@ -184,6 +210,15 @@ struct Adjust {
   TimeMicros delta = 0;
 };
 
+/// Standalone watermark advance from an idle relay: "everything I will ever
+/// send is >= watermark". Data-carrying RELAY_BATCH frames carry the same
+/// promise in their header; this frame exists so an idle relay keeps the
+/// parent's merge moving.
+struct RelayWatermark {
+  NodeId relay_node = 0;
+  TimeMicros watermark = 0;
+};
+
 // ---- record codec ----------------------------------------------------------
 
 /// XDR wire size of a record, given its decoded form.
@@ -246,6 +281,9 @@ Result<Unsubscribe> decode_unsubscribe(xdr::Decoder& decoder);
 
 void encode_agg_window(const AggWindow& msg, xdr::Encoder& encoder);
 Result<AggWindow> decode_agg_window(xdr::Decoder& decoder);
+
+void encode_relay_watermark(const RelayWatermark& msg, xdr::Encoder& encoder);
+Result<RelayWatermark> decode_relay_watermark(xdr::Decoder& decoder);
 
 /// Reads the leading message type of a frame payload.
 Result<MsgType> peek_type(xdr::Decoder& decoder);

@@ -13,6 +13,8 @@
 #include "clock/sim_clock.hpp"
 #include "clock/skew_estimator.hpp"
 #include "clock/sync_service.hpp"
+#include "sensors/field.hpp"
+#include "sensors/record.hpp"
 #include "sim/channel.hpp"
 
 namespace brisk::clk {
@@ -411,6 +413,83 @@ TEST_P(AsymmetrySweep, EnsembleDispersionBoundedByAsymmetry) {
 }
 
 INSTANTIATE_TEST_SUITE_P(Asymmetries, AsymmetrySweep, ::testing::Values(0, 100, 500, 2'000));
+
+// ---- federated (two-hop) clock composition ------------------------------------------------
+//
+// In a relay tree each hop estimates skew against its parent independently
+// and records are shifted once per hop (relay applies its parent-relative
+// correction before forwarding). Cristian's bound says each estimate is
+// within rtt/2 of truth, so a two-hop composition must land within the SUM
+// of the per-hop bounds — that is the invariant that makes per-hop
+// corrections safe to stack instead of requiring every leaf to sync
+// directly with the root.
+
+TEST(FederatedSyncTest, TwoHopSkewEstimatesComposeWithinSummedBounds) {
+  ManualClock reference{1'000'000};  // the root's timebase is true time here
+  sim::LatencyModel model({.base_us = 100, .jitter_us = 20, .seed = 7});
+  SimClock relay(reference,
+                 SimClockConfig{.initial_offset_us = 3'000, .drift_ppm = 0.0, .seed = 1});
+  SimClock leaf(reference,
+                SimClockConfig{.initial_offset_us = 5'000, .drift_ppm = 0.0, .seed = 2});
+
+  // Hop 1: the relay polls its leaf EXS (true leaf-vs-relay skew: 2000).
+  sim::SimSyncTransport hop1(reference, relay, model);
+  hop1.add_slave(&leaf);
+  auto est1 = estimate_skew(hop1, 0, 8);
+  ASSERT_TRUE(est1.is_ok());
+  const TimeMicros bound1 = est1.value().best_rtt / 2;
+  EXPECT_LE(std::llabs(est1.value().skew - 2'000), bound1);
+
+  // Hop 2: the root polls the relay (true relay-vs-root skew: 3000).
+  sim::SimSyncTransport hop2(reference, reference, model);
+  hop2.add_slave(&relay);
+  auto est2 = estimate_skew(hop2, 0, 8);
+  ASSERT_TRUE(est2.is_ok());
+  const TimeMicros bound2 = est2.value().best_rtt / 2;
+  EXPECT_LE(std::llabs(est2.value().skew - 3'000), bound2);
+
+  // Composed leaf-vs-root estimate: within the sum of per-hop bounds.
+  EXPECT_LE(std::llabs((est1.value().skew + est2.value().skew) - 5'000), bound1 + bound2);
+
+  // A record stamped by the leaf, shifted hop by hop exactly the way the
+  // relay tier does it (apply_time_delta at each hop), lands within the
+  // summed bound of its true root-time.
+  sensors::Record record;
+  record.node = 4;
+  record.sensor = 1;
+  record.timestamp = leaf.now();
+  const TimeMicros true_root_time = record.timestamp - 5'000;
+  sensors::apply_time_delta(record, -est1.value().skew);  // leaf → relay timebase
+  sensors::apply_time_delta(record, -est2.value().skew);  // relay → root timebase
+  EXPECT_LE(std::llabs(record.timestamp - true_root_time), bound1 + bound2);
+}
+
+TEST(FederatedSyncTest, SequentialTimeDeltasEqualTheirSum) {
+  sensors::Record base;
+  base.node = 7;
+  base.sensor = 2;
+  base.sequence = 11;
+  base.timestamp = 10'000;
+  base.fields = {sensors::Field::u64(99), sensors::Field::ts(4'000),
+                 sensors::Field::reason(5)};
+
+  sensors::Record hops = base;
+  sensors::apply_time_delta(hops, 250);     // first hop's correction
+  sensors::apply_time_delta(hops, -1'750);  // second hop's correction
+  sensors::Record flat = base;
+  sensors::apply_time_delta(flat, 250 - 1'750);
+  EXPECT_EQ(hops, flat) << "per-hop deltas must compose additively";
+
+  // Embedded timestamps shift with the record; everything else is untouched.
+  EXPECT_EQ(hops.timestamp, 10'000 + 250 - 1'750);
+  EXPECT_EQ(hops.fields[1].as_timestamp(), 4'000 + 250 - 1'750);
+  EXPECT_EQ(hops.fields[0].as_unsigned(), 99u);
+  EXPECT_EQ(hops.reason_id(), std::optional<CausalId>{5});
+
+  sensors::Record zero = base;
+  sensors::apply_time_delta(zero, 0);
+  EXPECT_EQ(zero, base) << "zero delta is the identity";
+}
 
 }  // namespace
 }  // namespace brisk::clk

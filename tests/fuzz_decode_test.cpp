@@ -622,6 +622,238 @@ TEST_P(FuzzSeed, FaultInjectorIsDeterministicPerSeed) {
   }
 }
 
+// ---- federation wire (ordered-stream hello, relay frames) -------------------
+
+ByteBuffer valid_relay_batch_payload() {
+  tp::RelayBatchBuilder builder(1000);
+  sensors::Record record;
+  record.node = 3;  // origin node travels per record on a relay stream
+  record.sensor = 9;
+  record.timestamp = 5'000;
+  record.fields = {sensors::Field::i32(1), sensors::Field::str("abc"),
+                   sensors::Field::conseq(4)};
+  EXPECT_TRUE(builder.add_record(record));
+  record.node = 4;
+  record.timestamp = 5'001;
+  EXPECT_TRUE(builder.add_record(record));
+  builder.set_watermark(5'001);
+  return builder.finish();
+}
+
+ByteBuffer valid_relay_watermark_payload() {
+  ByteBuffer out;
+  xdr::Encoder enc(out);
+  tp::put_type(tp::MsgType::relay_watermark, enc);
+  tp::encode_relay_watermark({1000, 123'456}, enc);
+  return out;
+}
+
+// A cut anywhere inside the capability tail must error — a torn capability
+// word never silently decodes as "no capabilities" (the parent would then
+// treat an ordered relay stream as an unsorted EXS stream and break the
+// merge's watermark contract). The one legal short read is the exact
+// capability-free boundary.
+TEST(FederationWireTest, HelloCapabilityTailTruncationNeverVanishes) {
+  ByteBuffer base_wire;
+  xdr::Encoder base_enc(base_wire);
+  tp::put_type(tp::MsgType::hello, base_enc);
+  tp::encode_hello({1000, tp::kProtocolVersion, 77, 0}, base_enc);
+
+  ByteBuffer full_wire;
+  xdr::Encoder full_enc(full_wire);
+  tp::put_type(tp::MsgType::hello, full_enc);
+  tp::encode_hello({1000, tp::kProtocolVersion, 77, tp::kCapabilityOrderedStream},
+                   full_enc);
+  ASSERT_GT(full_wire.size(), base_wire.size());
+
+  for (std::size_t cut = 0; cut <= full_wire.size(); ++cut) {
+    xdr::Decoder dec(full_wire.view().subspan(0, cut));
+    if (!tp::peek_type(dec).is_ok()) continue;
+    auto back = tp::decode_hello(dec);
+    if (cut == base_wire.size()) {
+      ASSERT_TRUE(back.is_ok()) << "capability-free boundary at " << cut;
+      EXPECT_EQ(back.value().capabilities, 0u);
+    } else if (cut == full_wire.size()) {
+      ASSERT_TRUE(back.is_ok());
+      EXPECT_EQ(back.value().capabilities, tp::kCapabilityOrderedStream);
+    } else {
+      EXPECT_FALSE(back.is_ok()) << "hello cut at " << cut;
+    }
+  }
+}
+
+TEST(FederationWireTest, UnknownHelloCapabilityBitsAreRejected) {
+  for (const std::uint32_t capabilities :
+       {std::uint32_t{1} << 1, std::uint32_t{1} << 31,
+        tp::kCapabilityOrderedStream | (std::uint32_t{1} << 5), ~std::uint32_t{0}}) {
+    ByteBuffer wire;
+    xdr::Encoder enc(wire);
+    tp::put_type(tp::MsgType::hello, enc);
+    tp::encode_hello({1000, tp::kProtocolVersion, 77, capabilities}, enc);
+    xdr::Decoder dec(wire.view());
+    ASSERT_TRUE(tp::peek_type(dec).is_ok());
+    auto back = tp::decode_hello(dec);
+    ASSERT_FALSE(back.is_ok()) << "capabilities 0x" << std::hex << capabilities;
+    EXPECT_EQ(back.status().code(), Errc::malformed);
+  }
+}
+
+TEST(FederationWireTest, RelayBatchTruncationsAlwaysError) {
+  const ByteBuffer payload = valid_relay_batch_payload();
+  for (std::size_t cut = 0; cut < payload.size(); ++cut) {
+    xdr::Decoder dec(payload.view().subspan(0, cut));
+    if (!tp::peek_type(dec).is_ok()) continue;
+    EXPECT_FALSE(tp::decode_relay_batch(dec).is_ok())
+        << "relay_batch cut at " << cut << " decoded successfully";
+  }
+  xdr::Decoder dec(payload.view());
+  ASSERT_TRUE(tp::peek_type(dec).is_ok());
+  auto batch = tp::decode_relay_batch(dec);
+  ASSERT_TRUE(batch.is_ok());
+  EXPECT_EQ(batch.value().header.relay_node, 1000u);
+  EXPECT_EQ(batch.value().header.watermark, 5'001);
+  ASSERT_EQ(batch.value().records.size(), 2u);
+  EXPECT_EQ(batch.value().records[0].node, 3u);
+  EXPECT_EQ(batch.value().records[1].node, 4u);
+}
+
+TEST(FederationWireTest, RelayWatermarkTruncationsAlwaysError) {
+  const ByteBuffer payload = valid_relay_watermark_payload();
+  for (std::size_t cut = 0; cut < payload.size(); ++cut) {
+    xdr::Decoder dec(payload.view().subspan(0, cut));
+    if (!tp::peek_type(dec).is_ok()) continue;
+    EXPECT_FALSE(tp::decode_relay_watermark(dec).is_ok())
+        << "relay_watermark cut at " << cut << " decoded successfully";
+  }
+  xdr::Decoder dec(payload.view());
+  ASSERT_TRUE(tp::peek_type(dec).is_ok());
+  auto wm = tp::decode_relay_watermark(dec);
+  ASSERT_TRUE(wm.is_ok());
+  EXPECT_EQ(wm.value().relay_node, 1000u);
+  EXPECT_EQ(wm.value().watermark, 123'456);
+}
+
+TEST_P(FuzzSeed, RelayFramesSurviveSingleByteCorruption) {
+  std::mt19937_64 rng(GetParam() * 41 + 13);
+  for (const ByteBuffer& payload :
+       {valid_relay_batch_payload(), valid_relay_watermark_payload()}) {
+    std::vector<std::uint8_t> bytes(payload.view().begin(), payload.view().end());
+    std::uniform_int_distribution<std::size_t> pos_dist(0, bytes.size() - 1);
+    std::uniform_int_distribution<int> byte_dist(0, 255);
+    for (int i = 0; i < 500; ++i) {
+      auto mutated = bytes;
+      mutated[pos_dist(rng)] = static_cast<std::uint8_t>(byte_dist(rng));
+      xdr::Decoder dec(ByteSpan{mutated.data(), mutated.size()});
+      auto type = tp::peek_type(dec);
+      if (!type.is_ok()) continue;
+      if (type.value() == tp::MsgType::relay_batch) {
+        auto batch = tp::decode_relay_batch(dec);  // may fail; must not crash
+        if (batch.is_ok()) {
+          EXPECT_LE(batch.value().records.size(), 2u)
+              << "corruption cannot invent records beyond the declared count";
+        }
+      } else if (type.value() == tp::MsgType::relay_watermark) {
+        (void)tp::decode_relay_watermark(dec);
+      }
+    }
+  }
+}
+
+// Relay-forwarded frames mixed into a torn byte stream: frames that survive
+// the fault injector decode or error cleanly, and a lying length prefix
+// poisons only the framing layer — never the decoders.
+TEST_P(FuzzSeed, TornRelayFrameStreamNeverCrashesDecoders) {
+  sim::FaultPlan plan;
+  plan.seed = GetParam() * 53 + 9;
+  plan.drop_probability = 0.2;
+  plan.duplicate_probability = 0.2;
+  plan.truncate_probability = 0.25;
+  plan.spare_control_frames = false;
+  ASSERT_TRUE(plan.validate().is_ok());
+  sim::FaultInjector injector(plan);
+
+  std::vector<ByteBuffer> frames;
+  for (int i = 0; i < 120; ++i) {
+    ByteBuffer payload;
+    xdr::Encoder enc(payload);
+    switch (i % 3) {
+      case 0:
+        payload = valid_relay_batch_payload();
+        break;
+      case 1:
+        tp::put_type(tp::MsgType::relay_watermark, enc);
+        tp::encode_relay_watermark({1000, static_cast<TimeMicros>(i) * 997}, enc);
+        break;
+      default:
+        tp::put_type(tp::MsgType::hello, enc);
+        tp::encode_hello({static_cast<NodeId>(1000 + i), tp::kProtocolVersion,
+                          static_cast<std::uint64_t>(i) * 31,
+                          tp::kCapabilityOrderedStream},
+                         enc);
+        break;
+    }
+    frames.push_back(std::move(payload));
+  }
+
+  std::vector<std::uint8_t> stream;
+  for (std::size_t i = 0; i < frames.size(); ++i) {
+    const ByteSpan payload = frames[i].view();
+    const net::FaultDecision decision = injector.decide(i, payload);
+    switch (decision.action) {
+      case net::FaultAction::drop:
+        break;
+      case net::FaultAction::duplicate:
+        append_framed(stream, payload, payload.size());
+        append_framed(stream, payload, payload.size());
+        break;
+      case net::FaultAction::truncate:
+        append_framed(stream, payload,
+                      decision.truncate_to < payload.size() ? decision.truncate_to
+                                                            : payload.size());
+        break;
+      case net::FaultAction::pass:
+      case net::FaultAction::stall:
+        append_framed(stream, payload, payload.size());
+        break;
+    }
+  }
+
+  std::mt19937_64 rng(GetParam() * 19 + 3);
+  std::uniform_int_distribution<std::size_t> chunk_dist(1, 400);
+  net::FrameReader reader;
+  std::size_t offset = 0;
+  bool stream_poisoned = false;
+  while (offset < stream.size() && !stream_poisoned) {
+    const std::size_t n = std::min(chunk_dist(rng), stream.size() - offset);
+    reader.feed(ByteSpan{stream.data() + offset, n});
+    offset += n;
+    for (;;) {
+      auto frame = reader.next();
+      if (!frame.is_ok()) {
+        stream_poisoned = true;
+        break;
+      }
+      if (!frame.value().has_value()) break;
+      xdr::Decoder dec(frame.value()->view());
+      auto type = tp::peek_type(dec);
+      if (!type.is_ok()) continue;
+      switch (type.value()) {
+        case tp::MsgType::relay_batch:
+          (void)tp::decode_relay_batch(dec);
+          break;
+        case tp::MsgType::relay_watermark:
+          (void)tp::decode_relay_watermark(dec);
+          break;
+        case tp::MsgType::hello:
+          (void)tp::decode_hello(dec);
+          break;
+        default:
+          break;
+      }
+    }
+  }
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, FuzzSeed, ::testing::Values(1, 2, 3, 42, 1337));
 
 }  // namespace

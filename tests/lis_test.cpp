@@ -8,7 +8,7 @@
 #include "clock/clock.hpp"
 #include "lis/batcher.hpp"
 #include "lis/external_sensor.hpp"
-#include "lis/replay_buffer.hpp"
+#include "tp/replay_buffer.hpp"
 #include "sensors/sensor.hpp"
 #include "tp/batch.hpp"
 #include "xdr/xdr_decoder.hpp"
@@ -19,6 +19,7 @@ namespace {
 
 using sensors::Field;
 using sensors::Record;
+using tp::ReplayBuffer;
 
 Record test_record(TimeMicros ts) {
   Record record;

@@ -1,0 +1,352 @@
+// Hierarchical ISM federation tests.
+//
+// The load-bearing property: a 2-level relay tree must produce output
+// byte-identical to a flat deployment of the same nodes — the relay tier
+// re-batches its post-merge ordered stream onto an upstream link, the root
+// merges relay lanes with its own sorter shards, and CRE matching happens
+// exactly once, at the root. The determinism grid runs the same workload
+// through both topologies across root ingest configurations (inline and
+// threaded readers x 1 and 4 sorter shards) and compares encoded records
+// byte for byte, including a cross-relay tachyon the root must repair.
+#include <gtest/gtest.h>
+
+#include <map>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "clock/clock.hpp"
+#include "common/time_util.hpp"
+#include "ism/ism.hpp"
+#include "ism/output.hpp"
+#include "ism/relay.hpp"
+#include "net/frame.hpp"
+#include "net/socket.hpp"
+#include "sensors/field.hpp"
+#include "tp/batch.hpp"
+#include "tp/wire.hpp"
+#include "xdr/xdr_encoder.hpp"
+
+namespace brisk::ism {
+namespace {
+
+constexpr CausalId kCausalPair = 42;
+
+struct GridMode {
+  std::size_t reader_threads = 0;
+  std::size_t sorter_shards = 1;
+};
+
+std::string grid_mode_name(const ::testing::TestParamInfo<GridMode>& info) {
+  return (info.param.reader_threads == 0 ? std::string("inline") : std::string("threaded")) +
+         "_shards" + std::to_string(info.param.sorter_shards);
+}
+
+/// A sorter frame far larger than the test runtime: nothing is released
+/// until drain(), so the output is the fully sorted stream regardless of
+/// scheduling — the comparison isolates topology, not timing.
+IsmConfig make_ism_config(std::size_t reader_threads, std::size_t sorter_shards) {
+  IsmConfig config;
+  config.select_timeout_us = 2'000;
+  config.enable_sync = false;
+  config.sorter.initial_frame_us = 120'000'000;
+  config.sorter.min_frame_us = 120'000'000;
+  config.sorter.max_frame_us = 120'000'000;
+  config.sorter.adaptive = false;
+  config.reader_threads = reader_threads;
+  config.sorter_shards = sorter_shards;
+  return config;
+}
+
+struct DeliveredLog {
+  std::mutex mutex;
+  std::vector<sensors::Record> records;
+  void add(const sensors::Record& r) {
+    std::lock_guard<std::mutex> lock(mutex);
+    records.push_back(r);
+  }
+  std::vector<sensors::Record> snapshot() {
+    std::lock_guard<std::mutex> lock(mutex);
+    return records;
+  }
+};
+
+/// The workload: four nodes, globally unique timestamps (so the sorted
+/// order is total and any divergence is a real ordering difference), plus
+/// one causal pair whose reason and consequence live on nodes that land
+/// behind *different* relays in the tree runs — and whose consequence is a
+/// tachyon the root's CRE matcher must repair.
+std::map<NodeId, std::vector<sensors::Record>> make_workload(TimeMicros base) {
+  std::map<NodeId, std::vector<sensors::Record>> by_node;
+  const NodeId nodes[] = {1, 2, 3, 4};
+  std::uint64_t seq = 0;
+  for (std::size_t n = 0; n < 4; ++n) {
+    for (std::size_t i = 0; i < 25; ++i) {
+      sensors::Record record;
+      record.node = nodes[n];
+      record.sensor = 7;
+      record.sequence = seq;
+      // (seq * 733) mod 1009 is a permutation (733 and 1009 coprime), so
+      // all 100 offsets are distinct; x100 spreads them over ~100ms.
+      record.timestamp = base + static_cast<TimeMicros>((seq * 733) % 1009) * 100;
+      record.fields.push_back(sensors::Field::u64(seq));
+      by_node[nodes[n]].push_back(std::move(record));
+      ++seq;
+    }
+  }
+  // Reason on node 1, tachyonic consequence on node 3 (different relay).
+  sensors::Record& reason = by_node[1][5];
+  reason.fields.push_back(sensors::Field::reason(kCausalPair));
+  sensors::Record& conseq = by_node[3][7];
+  conseq.fields.push_back(sensors::Field::conseq(kCausalPair));
+  conseq.timestamp = reason.timestamp - 1;  // unique: all others are x100
+  return by_node;
+}
+
+Status send_hello(net::TcpSocket& socket, NodeId node) {
+  ByteBuffer out;
+  xdr::Encoder enc(out);
+  tp::put_type(tp::MsgType::hello, enc);
+  tp::encode_hello({node, tp::kProtocolVersion, 1, 0}, enc);
+  return net::write_frame(socket, out.view());
+}
+
+Status send_bye(net::TcpSocket& socket) {
+  ByteBuffer out;
+  xdr::Encoder enc(out);
+  tp::put_type(tp::MsgType::bye, enc);
+  return net::write_frame(socket, out.view());
+}
+
+/// Plays one node's records at the given ISM port: hello, one data batch,
+/// bye, then drains the socket until the server closes it. The server
+/// processes frames in order and closes on BYE, so EOF proves every record
+/// was admitted — and the drain consumes the hello_ack/acks the server
+/// sent, so our close is a clean FIN rather than an RST that could destroy
+/// the batch still queued in the server's receive buffer.
+void play_node(std::uint16_t port, NodeId node,
+               const std::vector<sensors::Record>& records) {
+  auto socket = net::TcpSocket::connect("127.0.0.1", port);
+  ASSERT_TRUE(socket.is_ok()) << socket.status().to_string();
+  ASSERT_TRUE(send_hello(socket.value(), node).ok());
+  tp::BatchBuilder builder(node);
+  for (const sensors::Record& record : records) {
+    ASSERT_TRUE(builder.add_record(record).ok());
+  }
+  ByteBuffer payload = builder.finish();
+  ASSERT_TRUE(net::write_frame(socket.value(), payload.view()).ok());
+  ASSERT_TRUE(send_bye(socket.value()).ok());
+  ASSERT_TRUE(socket.value().set_nonblocking(true).ok());
+  const TimeMicros deadline = monotonic_micros() + 5'000'000;
+  std::uint8_t chunk[512];
+  while (monotonic_micros() < deadline) {
+    auto n = socket.value().read_some(MutableByteSpan{chunk, sizeof chunk});
+    if (!n) {
+      if (n.status().code() != Errc::would_block) return;  // reset == closed
+      sleep_micros(2'000);
+      continue;
+    }
+    if (n.value() == 0) return;  // orderly EOF
+  }
+  FAIL() << "server did not close node " << node << "'s connection after BYE";
+}
+
+bool wait_for_received(const Ism& ism, std::uint64_t count,
+                       TimeMicros timeout = 5'000'000) {
+  const TimeMicros deadline = monotonic_micros() + timeout;
+  while (monotonic_micros() < deadline) {
+    if (ism.stats().records_received >= count) return true;
+    sleep_micros(2'000);
+  }
+  return false;
+}
+
+std::vector<std::string> encode_all(const std::vector<sensors::Record>& records) {
+  std::vector<std::string> out;
+  out.reserve(records.size());
+  for (const sensors::Record& record : records) {
+    auto bytes = encode_output_record(record);
+    EXPECT_TRUE(bytes.is_ok()) << bytes.status().to_string();
+    if (!bytes) continue;
+    out.emplace_back(reinterpret_cast<const char*>(bytes.value().data()),
+                     bytes.value().size());
+  }
+  return out;
+}
+
+/// Flat deployment: every node connects straight to one ISM.
+std::vector<sensors::Record> run_flat(
+    const GridMode& mode, const std::map<NodeId, std::vector<sensors::Record>>& workload,
+    std::size_t total) {
+  auto log = std::make_shared<DeliveredLog>();
+  auto sink = std::make_shared<CallbackSink>(
+      [log](const sensors::Record& r) { log->add(r); });
+  auto ism = Ism::start(make_ism_config(mode.reader_threads, mode.sorter_shards),
+                        clk::SystemClock::instance(), sink);
+  EXPECT_TRUE(ism.is_ok()) << ism.status().to_string();
+  if (!ism) return {};
+  std::thread server([&] { (void)ism.value()->run(); });
+  for (const auto& [node, records] : workload) {
+    play_node(ism.value()->port(), node, records);
+  }
+  EXPECT_TRUE(wait_for_received(*ism.value(), total));
+  ism.value()->stop();
+  server.join();
+  EXPECT_TRUE(ism.value()->drain().ok());
+  return log->snapshot();
+}
+
+/// 2-level tree: nodes split across `relay_count` relay ISMs, each of which
+/// forwards its ordered output to the root over a RelayEgress.
+std::vector<sensors::Record> run_tree(
+    const GridMode& mode, const std::map<NodeId, std::vector<sensors::Record>>& workload,
+    std::size_t total, std::size_t relay_count) {
+  auto log = std::make_shared<DeliveredLog>();
+  auto sink = std::make_shared<CallbackSink>(
+      [log](const sensors::Record& r) { log->add(r); });
+  auto root = Ism::start(make_ism_config(mode.reader_threads, mode.sorter_shards),
+                         clk::SystemClock::instance(), sink);
+  EXPECT_TRUE(root.is_ok()) << root.status().to_string();
+  if (!root) return {};
+  std::thread root_thread([&] { (void)root.value()->run(); });
+
+  struct RelayNode {
+    std::shared_ptr<RelayEgress> egress;
+    std::unique_ptr<Ism> ism;
+    std::thread thread;
+    std::uint64_t expected = 0;
+  };
+  std::vector<RelayNode> relays(relay_count);
+  for (std::size_t r = 0; r < relay_count; ++r) {
+    RelayConfig relay_config;
+    relay_config.parent_port = root.value()->port();
+    relay_config.relay_node = static_cast<NodeId>(1000 + r);
+    relay_config.idle_watermark_period_us = 20'000;
+    auto egress = RelayEgress::connect(relay_config, clk::SystemClock::instance());
+    EXPECT_TRUE(egress.is_ok()) << egress.status().to_string();
+    if (!egress) return {};
+    relays[r].egress = std::move(egress).value();
+    IsmConfig relay_ism = make_ism_config(0, 1);
+    relay_ism.cre.forward_only = true;  // matching happens once, at the root
+    auto ism = Ism::start(relay_ism, clk::SystemClock::instance(), relays[r].egress);
+    EXPECT_TRUE(ism.is_ok()) << ism.status().to_string();
+    if (!ism) return {};
+    relays[r].ism = std::move(ism).value();
+    relays[r].thread = std::thread([ism = relays[r].ism.get()] { (void)ism->run(); });
+  }
+
+  std::size_t index = 0;
+  for (const auto& [node, records] : workload) {
+    RelayNode& relay = relays[index++ % relay_count];
+    relay.expected += records.size();
+    play_node(relay.ism->port(), node, records);
+  }
+  for (RelayNode& relay : relays) {
+    EXPECT_TRUE(wait_for_received(*relay.ism, relay.expected));
+    relay.ism->stop();
+    relay.thread.join();
+    // Drains the relay pipeline into the egress, ships the batches, waits
+    // for the root's acks, and says BYE.
+    EXPECT_TRUE(relay.ism->drain().ok());
+    EXPECT_EQ(relay.egress->stats().records_forwarded, relay.expected);
+  }
+  EXPECT_TRUE(wait_for_received(*root.value(), total));
+  root.value()->stop();
+  root_thread.join();
+  EXPECT_TRUE(root.value()->drain().ok());
+  return log->snapshot();
+}
+
+class RelayFederationTest : public ::testing::TestWithParam<GridMode> {};
+
+TEST_P(RelayFederationTest, TreeOutputByteIdenticalToFlat) {
+  const TimeMicros base = clk::SystemClock::instance().now();
+  const auto workload = make_workload(base);
+  std::size_t total = 0;
+  for (const auto& [node, records] : workload) total += records.size();
+
+  const std::vector<sensors::Record> flat = run_flat(GetParam(), workload, total);
+  ASSERT_EQ(flat.size(), total);
+  for (std::size_t relay_count : {std::size_t{2}, std::size_t{4}}) {
+    SCOPED_TRACE("relay_count=" + std::to_string(relay_count));
+    const std::vector<sensors::Record> tree =
+        run_tree(GetParam(), workload, total, relay_count);
+    ASSERT_EQ(tree.size(), total);
+    const std::vector<std::string> flat_bytes = encode_all(flat);
+    const std::vector<std::string> tree_bytes = encode_all(tree);
+    ASSERT_EQ(flat_bytes.size(), tree_bytes.size());
+    for (std::size_t i = 0; i < flat_bytes.size(); ++i) {
+      ASSERT_EQ(flat_bytes[i], tree_bytes[i])
+          << "first divergence at record " << i << ":\n  flat: " << flat[i].to_string()
+          << "\n  tree: " << tree[i].to_string();
+    }
+  }
+}
+
+TEST_P(RelayFederationTest, CrossRelayTachyonRepairedAtRoot) {
+  const TimeMicros base = clk::SystemClock::instance().now();
+  const auto workload = make_workload(base);
+  std::size_t total = 0;
+  for (const auto& [node, records] : workload) total += records.size();
+
+  const std::vector<sensors::Record> tree = run_tree(GetParam(), workload, total, 2);
+  ASSERT_EQ(tree.size(), total);
+  std::size_t reason_index = total;
+  std::size_t conseq_index = total;
+  for (std::size_t i = 0; i < tree.size(); ++i) {
+    if (tree[i].reason_id() == std::optional<CausalId>{kCausalPair}) reason_index = i;
+    if (tree[i].conseq_id() == std::optional<CausalId>{kCausalPair}) conseq_index = i;
+  }
+  ASSERT_LT(reason_index, total);
+  ASSERT_LT(conseq_index, total);
+  // Reason precedes its consequence at the root even though the tachyonic
+  // consequence's original timestamp was smaller, and the repair bumped the
+  // consequence past the reason.
+  EXPECT_LT(reason_index, conseq_index);
+  EXPECT_GT(tree[conseq_index].timestamp, tree[reason_index].timestamp);
+}
+
+INSTANTIATE_TEST_SUITE_P(Grid, RelayFederationTest,
+                         ::testing::Values(GridMode{0, 1}, GridMode{0, 4}, GridMode{2, 1},
+                                           GridMode{2, 4}),
+                         grid_mode_name);
+
+// ---- reader-pool rebalancing decision ---------------------------------------
+
+TEST(ReaderMigrationTest, NoMigrationWhenBalanced) {
+  const auto plan = plan_reader_migration({100.0, 90.0}, {3, 3}, 2.0, 1.0);
+  EXPECT_FALSE(plan.imbalanced);
+}
+
+TEST(ReaderMigrationTest, DetectsSustainedImbalanceSourceAndTarget) {
+  const auto plan = plan_reader_migration({10.0, 500.0, 40.0}, {2, 4, 3}, 2.0, 1.0);
+  ASSERT_TRUE(plan.imbalanced);
+  EXPECT_EQ(plan.from, 1u);
+  EXPECT_EQ(plan.to, 0u);
+}
+
+TEST(ReaderMigrationTest, NearZeroTrafficNeverTriggers) {
+  // 0.4 vs 0.01 is a >2x ratio but under the min-rate floor: noise.
+  const auto plan = plan_reader_migration({0.4, 0.01}, {4, 4}, 2.0, 1.0);
+  EXPECT_FALSE(plan.imbalanced);
+}
+
+TEST(ReaderMigrationTest, SingleConnectionReaderIsNotStripped) {
+  // Moving the busiest reader's only connection just relocates the hot spot.
+  const auto plan = plan_reader_migration({500.0, 10.0}, {1, 4}, 2.0, 1.0);
+  EXPECT_FALSE(plan.imbalanced);
+}
+
+TEST(ReaderMigrationTest, PicksConnectionClosestToHalfTheGap) {
+  // Gap 400 → target 200: the 180-rate connection levels the pool best.
+  const int fd = pick_connection_to_move({{7, 390.0}, {8, 180.0}, {9, 30.0}}, 400.0);
+  EXPECT_EQ(fd, 8);
+}
+
+TEST(ReaderMigrationTest, IdleConnectionsAreNeverMoved) {
+  EXPECT_EQ(pick_connection_to_move({{7, 0.0}, {8, 0.0}}, 400.0), -1);
+  EXPECT_EQ(pick_connection_to_move({}, 400.0), -1);
+}
+
+}  // namespace
+}  // namespace brisk::ism
