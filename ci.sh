@@ -1,11 +1,13 @@
 #!/usr/bin/env bash
 # CI gate for BRISK. Eleven stages, any failure aborts the run:
 #   1. tier-1: release-ish build + the full ctest suite
-#   2. determinism: the ingest/ordering determinism grid run explicitly —
-#      one test body covering {select, epoll} x reader threads x sorter
-#      shards {1,2,4}, asserting byte-identical sorted output with
-#      self-instrumentation enabled (the full suite runs it too; this
-#      stage keeps it visible and un-trimmable)
+#   2. determinism + poller parity: the ingest/ordering determinism grid
+#      run explicitly — one test body covering {select, epoll, and uring
+#      when the kernel has io_uring} x reader threads x sorter shards
+#      {1,2,4}, asserting byte-identical sorted output with
+#      self-instrumentation enabled — plus the poller parity suite across
+#      the same backends. io_uring support is detected at runtime; without
+#      it the stage prints an explicit skip line and covers select + epoll
 #   3. bench smoke: a short saturated bench_throughput run with the sharded
 #      ordering pipeline (shards=2) plus the tracing-overhead check, and a
 #      bench_latency --smoke pass proving annotated records deliver —
@@ -42,8 +44,9 @@
 #      and data-race-adjacent bugs actually surface
 #  11. tsan: a TSan tree over the threaded ingest/ordering/metrics/trace
 #      tests plus the flow-control property suite, the consumer-gateway
-#      suite, and the federation suite (relay lanes, reader migration,
-#      two-hop sync) — the cross-thread stats counters, the credit
+#      suite, the federation suite (relay lanes, reader migration,
+#      two-hop sync), and the io_uring poller suite — the cross-thread
+#      stats counters, the credit
 #      drained-record cells, the relay lane cells, and the gateway's
 #      fan-out thread must stay clean on the whole grid
 #
@@ -66,8 +69,17 @@ cmake -B build -S . >/dev/null
 cmake --build build -j"$JOBS"
 ctest --test-dir build --output-on-failure -j"$JOBS"
 
-echo "==> [2/11] determinism grid (select + epoll, shards 1/2/4, metrics on)"
-ctest --test-dir build --output-on-failure --no-tests=error -R 'IsmIngestDeterminismTest'
+echo "==> [2/11] determinism grid + poller parity (all backends, shards 1/2/4, metrics on)"
+# The parity and determinism suites instantiate their uring cases at runtime
+# (net::uring_available()); probe the same detection here so the log says
+# explicitly which grid actually ran.
+if ./build/tests/poller_test --gtest_list_tests 2>/dev/null | grep -q 'uring'; then
+  echo "io_uring detected: parity + determinism grids include --poller uring"
+else
+  echo "skipped: no io_uring on this kernel (grids cover select + epoll only)"
+fi
+ctest --test-dir build --output-on-failure --no-tests=error \
+  -R 'IsmIngestDeterminismTest|PollerTest'
 
 echo "==> [3/11] bench smoke: sharded ordering pipeline + traced delivery"
 ./build/bench/bench_throughput --smoke
@@ -409,6 +421,6 @@ echo "==> [11/11] TSan build + ingest/ordering/metrics/trace/gateway/federation 
 cmake -B build-tsan -S . -DBRISK_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j"$JOBS"
 ctest --test-dir build-tsan --output-on-failure --no-tests=error -j"$JOBS" \
-  -R 'IsmServerTest|IsmIngestDeterminismTest|OrderingPipelineTest|Metrics|Trace|FlowControl|CreditGrant|Gateway|SinkRegistry|RelayFederation|ReaderMigration|FederatedSync'
+  -R 'IsmServerTest|IsmIngestDeterminismTest|OrderingPipelineTest|Metrics|Trace|FlowControl|CreditGrant|Gateway|SinkRegistry|RelayFederation|ReaderMigration|FederatedSync|UringPoller'
 
 echo "==> CI green"

@@ -34,7 +34,12 @@ brisk::apps::FlagRegistry make_registry() {
       .add_int("output-ring-bytes", 1 << 20, "output ring capacity in bytes")
       .add_string("picl", "", "write a PICL trace file to this path")
       .add_bool("picl-utc", false, "stamp PICL lines with UTC micros")
-      .add_string("poller", "select", "readiness backend: select or epoll")
+      .add_string("poller", "select",
+                  "readiness backend: select, epoll, or uring (falls back to "
+                  "epoll without io_uring)")
+      .add_bool("readiness-pump", true,
+                "pump connection outboxes on writable readiness instead of "
+                "walking every connection each cycle")
       .add_int("ism-reader-threads", 0, "ingest reader threads (0 = single-threaded)")
       .add_int("ingest-queue-frames", 1024, "per-connection ingest queue depth (frames)")
       .add_int("ism-sorter-shards", 1, "ordering shards with a k-way merge (1 = inline)")
@@ -110,6 +115,7 @@ int main(int argc, char** argv) {
     return 2;
   }
   config.ism.poller = backend.value();
+  config.ism.readiness_pump = flags.flag("readiness-pump");
   config.ism.reader_threads = static_cast<std::size_t>(flags.num("ism-reader-threads"));
   config.ism.ingest_queue_frames = static_cast<std::size_t>(flags.num("ingest-queue-frames"));
   config.ism.sorter_shards = static_cast<std::size_t>(flags.num("ism-sorter-shards"));
@@ -143,6 +149,7 @@ int main(int argc, char** argv) {
     config.relay.parent_host = relay_to.substr(0, colon);
     config.relay.parent_port = static_cast<std::uint16_t>(parent_port);
     config.relay.relay_node = static_cast<NodeId>(flags.num("relay-node"));
+    config.relay.poller = backend.value();
     config.relay.queue_records = static_cast<std::size_t>(flags.num("relay-queue-records"));
     config.relay.batch_max_records = static_cast<std::size_t>(flags.num("relay-batch-records"));
     config.relay.batch_max_age_us = flags.num("relay-batch-age-us");

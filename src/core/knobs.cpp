@@ -124,6 +124,9 @@ std::string describe(const ManagerConfig& config) {
   line(out, "ism.port", static_cast<long long>(config.ism.port));
   line(out, "ism.select_timeout_us", static_cast<long long>(config.ism.select_timeout_us));
   line(out, "ism.poller", std::string(net::to_string(config.ism.poller)));
+  line(out, "ism.readiness_pump", static_cast<long long>(config.ism.readiness_pump ? 1 : 0));
+  line(out, "ism.outbox_stall_timeout_us",
+       static_cast<long long>(config.ism.outbox_stall_timeout_us));
   line(out, "ism.reader_threads", static_cast<long long>(config.ism.reader_threads));
   line(out, "ism.ingest_queue_frames",
        static_cast<long long>(config.ism.ingest_queue_frames));

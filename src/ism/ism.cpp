@@ -217,10 +217,15 @@ void Ism::on_listener_readable() {
     }
     net::TcpSocket socket = std::move(client).value();
     (void)socket.set_nodelay(true);
+    if (config_.sndbuf_bytes > 0) {
+      (void)::setsockopt(socket.fd(), SOL_SOCKET, SO_SNDBUF, &config_.sndbuf_bytes,
+                         sizeof(config_.sndbuf_bytes));
+    }
     if (!socket.set_nonblocking(true)) continue;
     const int fd = socket.fd();
     Connection conn;
     conn.socket = std::move(socket);
+    conn.outbox = net::FrameSendBuffer(config_.outbox_bytes);
     conn.last_rx_us = monotonic_micros();
     if (threaded()) {
       conn.lane = std::make_shared<IngestLane>(config_.ingest_queue_frames);
@@ -232,9 +237,7 @@ void Ism::on_listener_readable() {
       ++reader_loads_[it->second.reader_index];
       readers_[it->second.reader_index]->add_connection(fd, it->second.lane);
     } else {
-      Status st = loop_->watch(fd, [this](int ready_fd, net::Readiness) {
-        on_connection_readable(ready_fd);
-      });
+      Status st = watch_connection(fd);
       if (!st) {
         connections_.erase(fd);
         continue;
@@ -243,6 +246,69 @@ void Ism::on_listener_readable() {
     bump(stats_.connections_accepted);
     stats_.active_connections.store(connections_.size(), std::memory_order_relaxed);
   }
+}
+
+Status Ism::watch_connection(int fd) {
+  // One combined callback serves both interests; only the interest mask
+  // changes as want_writable toggles, so re-watching is a cheap upsert.
+  auto it = connections_.find(fd);
+  const bool want_writable = it != connections_.end() && it->second.want_writable;
+  net::Readiness interest = net::Readiness::readable;
+  if (want_writable) interest = interest | net::Readiness::writable;
+  return loop_->watch(fd, interest, [this](int ready_fd, net::Readiness ready) {
+    // Pump first: it is cheap, and the read side may close the connection.
+    if (any(ready & net::Readiness::writable)) on_connection_writable(ready_fd);
+    if (any(ready & net::Readiness::readable)) on_connection_readable(ready_fd);
+  });
+}
+
+void Ism::on_connection_writable(int fd) {
+  auto it = connections_.find(fd);
+  if (it == connections_.end()) return;
+  Connection& conn = it->second;
+  if (conn.closing) return;
+  Status st = conn.outbox.pump(conn.socket);
+  if (!st && send_failure_is_fatal(conn, st)) {
+    BRISK_LOG_WARN << "outbox to node " << conn.node << " failed: " << st.to_string();
+    close_connection(fd);
+    return;
+  }
+  if (conn.outbox.empty()) conn.outbox_full_since = 0;
+  update_write_interest(fd, conn);
+}
+
+void Ism::update_write_interest(int fd, Connection& conn) {
+  if (!config_.readiness_pump) return;  // legacy: idle-cycle walk pumps
+  const bool want = !conn.outbox.empty() && !conn.closing;
+  if (want == conn.want_writable) return;
+  conn.want_writable = want;
+  if (threaded()) {
+    // Readable lives on a reader thread's poller; the ordering thread's
+    // loop only ever holds a writable-only watch, and only while the
+    // outbox has deferred bytes.
+    if (want) {
+      Status st = loop_->watch(fd, net::Readiness::writable,
+                               [this](int ready_fd, net::Readiness) {
+                                 on_connection_writable(ready_fd);
+                               });
+      if (!st) conn.want_writable = false;  // idle pump is the fallback
+    } else {
+      (void)loop_->unwatch(fd);
+    }
+  } else {
+    Status st = watch_connection(fd);
+    if (!st && want) conn.want_writable = false;
+  }
+}
+
+bool Ism::send_failure_is_fatal(Connection& conn, const Status& st) {
+  if (st.code() != Errc::buffer_full) return true;  // genuine socket error
+  // The outbox is at its cap: the peer is not reading fast enough, but the
+  // socket is alive. Give it the stall grace period before reaping.
+  const TimeMicros now = monotonic_micros();
+  if (conn.outbox_full_since == 0) conn.outbox_full_since = now;
+  if (config_.outbox_stall_timeout_us == 0) return true;  // legacy: reap now
+  return now - conn.outbox_full_since >= config_.outbox_stall_timeout_us;
 }
 
 void Ism::on_connection_readable(int fd) {
@@ -736,23 +802,33 @@ void Ism::emit_metrics_snapshot() {
 }
 
 void Ism::pump_outboxes() {
+  // Readiness-driven mode: connections with deferred bytes hold a writable
+  // subscription and pump from on_connection_writable, so the idle cycle
+  // has no per-connection outbox work at all — this walk only exists for
+  // the legacy mode (and the bench comparison against it).
+  if (config_.readiness_pump) return;
   std::vector<int> failed;
   for (auto& [fd, conn] : connections_) {
     if (conn.outbox.empty() || conn.closing) continue;
     Status st = conn.outbox.pump(conn.socket);
-    if (!st) {
+    if (!st && send_failure_is_fatal(conn, st)) {
       BRISK_LOG_WARN << "outbox to node " << conn.node << " failed: " << st.to_string();
       failed.push_back(fd);
+      continue;
     }
+    if (conn.outbox.empty()) conn.outbox_full_since = 0;
   }
   for (int fd : failed) close_connection(fd);
 }
 
 Status Ism::send_frame(Connection& conn, ByteSpan payload) {
   // Through the per-connection outbox: a full kernel send buffer leaves the
-  // unwritten tail queued (pumped on later cycles) instead of tearing the
-  // frame mid-write and desynchronizing the peer's stream.
-  return fault_.write_frame(conn.socket, conn.outbox, payload);
+  // unwritten tail queued (pumped on writable readiness) instead of tearing
+  // the frame mid-write and desynchronizing the peer's stream.
+  Status st = fault_.write_frame(conn.socket, conn.outbox, payload);
+  if (st) conn.outbox_full_since = 0;  // the cap admitted the frame
+  update_write_interest(conn.socket.fd(), conn);
+  return st;
 }
 
 tp::CreditGrant Ism::build_credit_grant(NodeSession& session) const noexcept {
@@ -874,10 +950,13 @@ void Ism::session_sweep() {
       }
       if (now - conn.last_ack_sent_us < period) continue;
       Status st = send_ack(conn, tp::MsgType::batch_ack);
-      if (!st) {
-        // The outbox overflowed (peer stopped reading) or the socket
-        // errored. Keeping the connection would desynchronize the stream;
-        // drop it and let the EXS's reconnect + replay recover cleanly.
+      if (!st && send_failure_is_fatal(conn, st)) {
+        // A genuine socket error, or the outbox has been wedged at its cap
+        // past the stall grace period. Acks are cumulative, so a transient
+        // buffer_full just skips this ack — the next sweep retries against
+        // an outbox the writable pump has meanwhile drained. Only a peer
+        // that stays wedged (or a dead socket) is dropped; the EXS's
+        // reconnect + replay recovers cleanly.
         BRISK_LOG_WARN << "batch_ack to node " << conn.node
                        << " failed: " << st.to_string();
         failed.push_back(fd);
@@ -1001,7 +1080,13 @@ void Ism::close_connection(int fd) {
   if (threaded() && conn.lane && !conn.reader_done) {
     // A reader still polls this fd; closing it now would race. Shut the
     // socket down instead — the reader observes EOF, emits its `closed`
-    // event, and the drain path re-enters here with reader_done set.
+    // event, and the drain path re-enters here with reader_done set. The
+    // ordering thread's writable-only watch (if any) goes now: a closing
+    // connection's outbox is abandoned, not flushed.
+    if (conn.want_writable) {
+      (void)loop_->unwatch(fd);
+      conn.want_writable = false;
+    }
     ::shutdown(fd, SHUT_RDWR);
     return;
   }
@@ -1011,7 +1096,12 @@ void Ism::close_connection(int fd) {
 void Ism::finish_close(int fd) {
   auto it = connections_.find(fd);
   if (it == connections_.end()) return;
-  if (!threaded()) (void)loop_->unwatch(fd);
+  if (!threaded()) {
+    (void)loop_->unwatch(fd);
+  } else if (it->second.want_writable) {
+    // Threaded mode only registers this fd here for write readiness.
+    (void)loop_->unwatch(fd);
+  }
   if (it->second.lane && reader_loads_[it->second.reader_index] > 0) {
     --reader_loads_[it->second.reader_index];
   }
@@ -1107,6 +1197,9 @@ Result<clk::PollSample> Ism::SocketSyncTransport::poll(std::size_t index) {
           wait_status = pump_st;
           break;
         }
+        // This manual pump may have emptied the outbox; reconcile the
+        // writable subscription so no spurious wake lingers.
+        ism_.update_write_interest(fd, waiting_conn);
         if (!waiting_conn.outbox.empty() && remaining > 10'000) remaining = 10'000;
       }
     }

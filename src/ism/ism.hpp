@@ -46,6 +46,25 @@ struct IsmConfig {
   TimeMicros select_timeout_us = 40'000;
   /// Poller backend for the main loop and any reader threads.
   net::PollerBackend poller = net::PollerBackend::select;
+  /// Readiness-driven outbox pumping: a connection subscribes to
+  /// Readiness::writable only while its outbox holds deferred bytes (the
+  /// same want-writable toggling the consumer gateway does), so idle cycles
+  /// do no per-connection outbox work at all. false restores the legacy
+  /// walk-every-connection pump on every idle cycle (bench comparison).
+  bool readiness_pump = true;
+  /// How long a connection may sit with its outbox at the cap
+  /// (Errc::buffer_full on sends) before it is reaped. An overloaded but
+  /// alive peer that starts reading again within the grace period keeps its
+  /// connection; only a peer that stays wedged past it is torn down.
+  /// 0 = reap on the first buffer_full (the old behaviour).
+  TimeMicros outbox_stall_timeout_us = 2'000'000;
+  /// Per-connection outbound frame buffer cap (acks/sync frames deferred by
+  /// a full kernel send buffer). Tests shrink it to exercise the stall path
+  /// without megabytes of traffic.
+  std::size_t outbox_bytes = net::kDefaultSendBufferBytes;
+  /// SO_SNDBUF for accepted connections; 0 keeps the kernel default. Tiny
+  /// values force the kernel buffer to fill quickly (stall-path tests).
+  int sndbuf_bytes = 0;
   /// Reader threads for ingest. 0 = inline single-threaded mode.
   std::size_t reader_threads = 0;
   /// Per-connection SPSC lane depth (events) in threaded mode.
@@ -206,6 +225,14 @@ class Ism {
     /// frame instead of tearing it mid-write (the EXS-side equivalent is
     /// the replay buffer + reconnect).
     net::FrameSendBuffer outbox;
+    /// Whether this connection currently subscribes to Readiness::writable
+    /// (readiness_pump mode): toggled on when the outbox defers bytes,
+    /// off once it drains — same pattern as the gateway's subscriptions.
+    bool want_writable = false;
+    /// Monotonic time the outbox first rejected a frame (Errc::buffer_full);
+    /// 0 while the peer keeps up. A stall past outbox_stall_timeout_us is
+    /// what reaps the connection, not the first rejection.
+    TimeMicros outbox_full_since = 0;
     NodeId node = 0;
     /// Negotiated protocol version from the peer's HELLO; grants are only
     /// appended to acks for peers that understand them (v3+).
@@ -286,6 +313,21 @@ class Ism {
 
   void on_listener_readable();
   void on_connection_readable(int fd);
+  /// Writable-readiness event: drains the connection's outbox and drops the
+  /// writable subscription once it is empty.
+  void on_connection_writable(int fd);
+  /// Installs the poller registration for an inline-mode connection with
+  /// the interest matching its current want_writable state.
+  Status watch_connection(int fd);
+  /// Reconciles the connection's poller subscription with its outbox state
+  /// (readiness_pump mode; no-op otherwise). Inline mode upserts the
+  /// combined readable[|writable] interest on the main loop; threaded mode
+  /// adds/removes a writable-only watch (the reader threads own readable).
+  void update_write_interest(int fd, Connection& conn);
+  /// Classifies a failed send/pump: true for genuine socket errors and for
+  /// buffer_full stalls that have outlived the grace period; false for a
+  /// buffer_full blip on an otherwise-alive peer.
+  [[nodiscard]] bool send_failure_is_fatal(Connection& conn, const Status& st);
   Status dispatch_frame(Connection& conn, ByteSpan payload);
   void handle_batch(Connection& conn, tp::Batch batch);
   /// Ordered-ingress: a relay's pre-sorted batch goes through the same

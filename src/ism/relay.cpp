@@ -55,17 +55,14 @@ RelayEgress::RelayEgress(const RelayConfig& config, clk::Clock& clock, net::TcpS
     : config_(config),
       clock_(clock),
       socket_(std::move(socket)),
+      outbox_(config.outbox_bytes),
       queue_(config.queue_records),
       link_(make_link_config(config), clock,
             [this](ByteBuffer payload) {
               // Egress thread only. Transport loss is survived by the
               // reconnect schedule; the link must not see it as fatal.
-              Status st = net::write_frame(socket_, payload.view());
-              if (st) {
-                last_tx_us_ = monotonic_micros();
-              } else {
-                handle_disconnect();
-              }
+              Status st = send_frame(payload.view());
+              if (!st) handle_disconnect();
               return Status::ok();
             }),
       builder_(config.relay_node),
@@ -124,6 +121,12 @@ RelayEgressStats RelayEgress::stats() const {
 }
 
 void RelayEgress::run() {
+  // The poller is the egress thread's wait primitive: readable wakes it for
+  // parent acks/sync polls, writable (subscribed only while the outbox has
+  // deferred bytes) wakes it the moment the kernel buffer drains. A
+  // backend that fails to construct degrades to plain fixed-interval naps.
+  poller_ = net::make_poller(config_.poller);
+  watch_socket();
   while (!stop_.load(std::memory_order_relaxed)) {
     {
       std::lock_guard<std::mutex> lk(link_mutex_);
@@ -137,14 +140,75 @@ void RelayEgress::run() {
         handle_disconnect();
       }
     }
-    std::this_thread::sleep_for(std::chrono::microseconds(config_.poll_timeout_us));
+    if (poller_ && watched_fd_ >= 0) {
+      (void)poller_->poll_once(config_.poll_timeout_us);
+    } else {
+      std::this_thread::sleep_for(std::chrono::microseconds(config_.poll_timeout_us));
+    }
   }
+}
+
+Status RelayEgress::send_frame(ByteSpan payload) {
+  Status st = outbox_.enqueue_frame(payload);
+  if (st.code() == Errc::buffer_full) {
+    // The outbox cap is the relay's backpressure boundary: block here (the
+    // egress thread only — the pipeline keeps filling the SPSC queue) until
+    // the parent drains enough or the stall window closes the link.
+    const TimeMicros deadline = monotonic_micros() + config_.send_stall_timeout_us;
+    for (;;) {
+      Status pump_st = outbox_.pump(socket_);
+      if (!pump_st) return pump_st;
+      st = outbox_.enqueue_frame(payload);
+      if (st.code() != Errc::buffer_full) break;
+      if (monotonic_micros() >= deadline) {
+        return Status(Errc::timeout, "relay outbox wedged past send stall timeout");
+      }
+      sleep_micros(1'000);
+    }
+  }
+  if (!st) return st;
+  Status pump_st = outbox_.pump(socket_);
+  if (pump_st) last_tx_us_ = monotonic_micros();
+  update_write_interest();
+  return pump_st;
+}
+
+void RelayEgress::watch_socket() {
+  if (!poller_) return;
+  if (watched_fd_ >= 0 && watched_fd_ != socket_.fd()) unwatch_socket();
+  if (!socket_.valid() || !connected_.load(std::memory_order_relaxed)) return;
+  net::Readiness interest = net::Readiness::readable;
+  if (want_writable_) interest = interest | net::Readiness::writable;
+  // Wake-only callback: the cycle that follows poll_once() does all the
+  // actual socket work under link_mutex_.
+  Status st = poller_->watch(socket_.fd(), interest, [](int, net::Readiness) {});
+  watched_fd_ = st ? socket_.fd() : -1;
+}
+
+void RelayEgress::unwatch_socket() {
+  if (poller_ && watched_fd_ >= 0) (void)poller_->unwatch(watched_fd_);
+  watched_fd_ = -1;
+}
+
+void RelayEgress::update_write_interest() {
+  const bool want = !outbox_.empty();
+  if (want == want_writable_) return;
+  want_writable_ = want;
+  watch_socket();
 }
 
 Status RelayEgress::cycle() {
   if (!connected_.load(std::memory_order_relaxed)) {
     maybe_reconnect();
     if (!connected_.load(std::memory_order_relaxed)) return Status::ok();
+  }
+  if (!outbox_.empty()) {
+    // The poller woke us because the kernel buffer drained (or the nap
+    // expired); flush deferred frames before generating new ones.
+    Status st = outbox_.pump(socket_);
+    if (!st) return st;
+    if (outbox_.empty()) last_tx_us_ = monotonic_micros();
+    update_write_interest();
   }
   Status st = pump_socket();
   if (!st) return st;
@@ -170,14 +234,16 @@ Status RelayEgress::cycle() {
     if (!st) return st;
   }
   if (draining && !drained_.load(std::memory_order_relaxed) && queue_.empty() &&
-      builder_.empty() && link_.replay().empty() && !link_.awaiting_ack()) {
-    // Everything shipped and acked: say goodbye. The parent flushes this
-    // relay's merge lane on the BYE, releasing records the watermark still
-    // gated.
+      builder_.empty() && outbox_.empty() && link_.replay().empty() &&
+      !link_.awaiting_ack()) {
+    // Everything shipped and acked (outbox included — a deferred frame must
+    // not be overtaken by the goodbye): say goodbye. The parent flushes
+    // this relay's merge lane on the BYE, releasing records the watermark
+    // still gated.
     ByteBuffer out;
     xdr::Encoder enc(out);
     tp::put_type(tp::MsgType::bye, enc);
-    st = net::write_frame(socket_, out.view());
+    st = send_frame(out.view());
     if (!st) return st;
     drained_.store(true, std::memory_order_relaxed);
   }
@@ -223,9 +289,7 @@ Status RelayEgress::handle_frame(ByteSpan payload) {
            clock_.now() + correction_.load(std::memory_order_relaxed)},
           enc);
       sync_polls_answered_.fetch_add(1, std::memory_order_relaxed);
-      Status st = net::write_frame(socket_, out.view());
-      if (st) last_tx_us_ = monotonic_micros();
-      return st;
+      return send_frame(out.view());
     }
     case tp::MsgType::adjust: {
       auto adj = tp::decode_adjust(decoder);
@@ -300,19 +364,21 @@ Status RelayEgress::send_idle_watermark(TimeMicros tick_wm) {
   xdr::Encoder enc(out);
   tp::put_type(tp::MsgType::relay_watermark, enc);
   tp::encode_relay_watermark({config_.relay_node, wm_out_}, enc);
-  Status st = net::write_frame(socket_, out.view());
-  if (st) {
-    last_tx_us_ = monotonic_micros();
-    last_wm_tx_us_ = last_tx_us_;
-  }
+  Status st = send_frame(out.view());
+  if (st) last_wm_tx_us_ = monotonic_micros();
   return st;
 }
 
 void RelayEgress::handle_disconnect() {
   if (!connected_.load(std::memory_order_relaxed)) return;
   connected_.store(false, std::memory_order_relaxed);
+  unwatch_socket();
   socket_.close();
   frame_reader_ = net::FrameReader{};
+  // Deferred frames die with the connection; the replay buffer re-ships
+  // everything that matters after the reconnect handshake.
+  outbox_ = net::FrameSendBuffer(config_.outbox_bytes);
+  want_writable_ = false;
   link_.on_disconnect();
   reconnect_.arm(monotonic_micros());
   BRISK_LOG_WARN << "relay " << config_.relay_node
@@ -329,6 +395,7 @@ void RelayEgress::maybe_reconnect() {
     if (st) {
       socket_ = std::move(fresh);
       connected_.store(true, std::memory_order_relaxed);
+      watch_socket();
       reconnect_.record_success();
       reconnects_.fetch_add(1, std::memory_order_relaxed);
       // Watermarks are cumulative promises; after replay the parent's lane

@@ -15,9 +15,20 @@
 // pipeline's delivery thread (merger thread when sharded, ordering thread
 // inline) and only touch a bounded SPSC queue plus an atomic watermark
 // cell; a dedicated egress thread owns the socket, the frame reader, the
-// UpstreamLink, and the batch builder. The pipeline is never blocked by a
+// UpstreamLink, the batch builder, and a net::Poller it sleeps on between
+// cycles — it wakes early when the parent sends acks or (while the outbox
+// holds deferred bytes) when the socket drains, instead of always paying
+// the fixed poll_timeout_us nap. The pipeline is never blocked by a
 // slow or dead parent link for long — backpressure is absorbed by the
 // queue (spin + stall counter) and the bounded replay buffer.
+//
+// Outbound frames go through a FrameSendBuffer: a full kernel send buffer
+// defers whole frames instead of blocking the egress thread mid-write, and
+// the socket's poller subscription carries Readiness::writable only while
+// that outbox is non-empty (the same want-writable toggling the ISM's
+// control plane and the consumer gateway use). Only when the outbox itself
+// hits its cap does the egress thread fall back to a bounded blocking
+// flush — that is the backpressure that ultimately slows the relay down.
 //
 // Watermark discipline: the relay's output stream is (timestamp, node)
 // sorted, so a sealed batch's watermark is the timestamp of its *last*
@@ -38,6 +49,7 @@
 #include "common/spsc_queue.hpp"
 #include "ism/output.hpp"
 #include "net/frame.hpp"
+#include "net/poller.hpp"
 #include "net/socket.hpp"
 #include "tp/batch.hpp"
 #include "tp/upstream_link.hpp"
@@ -65,8 +77,15 @@ struct RelayConfig {
   /// an idle relay never stalls the parent's merge. 0 disables them.
   TimeMicros idle_watermark_period_us = 50'000;
   TimeMicros heartbeat_period_us = 1'000'000;
-  /// Egress-thread sleep granularity while idle.
+  /// Egress-thread readiness-wait bound while idle (the poller wakes the
+  /// thread earlier on parent acks or outbox drainage).
   TimeMicros poll_timeout_us = 2'000;
+  /// Poller backend the egress thread sleeps on.
+  net::PollerBackend poller = net::PollerBackend::select;
+  /// Cap on deferred outbound bytes; past it sends fall back to a bounded
+  /// blocking flush (send_stall_timeout_us) before the link counts as lost.
+  std::size_t outbox_bytes = net::kDefaultSendBufferBytes;
+  TimeMicros send_stall_timeout_us = 2'000'000;
   /// Replay depth toward the parent; see tp::LinkConfig.
   std::size_t replay_batches = 256;
   std::size_t replay_bytes = 0;
@@ -128,11 +147,21 @@ class RelayEgress final : public Sink {
   Status send_idle_watermark(TimeMicros tick_wm);
   void handle_disconnect();
   void maybe_reconnect();
+  /// Enqueues one frame into the outbox and pumps; on Errc::buffer_full
+  /// falls back to a bounded blocking flush (the relay's backpressure).
+  Status send_frame(ByteSpan payload);
+  /// (Re)subscribes the current socket fd with readable[|writable per the
+  /// outbox state]; drops any watch on a previous fd.
+  void watch_socket();
+  void unwatch_socket();
+  /// Toggles the writable half of the subscription to match the outbox.
+  void update_write_interest();
 
   RelayConfig config_;
   clk::Clock& clock_;
   net::TcpSocket socket_;
   net::FrameReader frame_reader_;
+  net::FrameSendBuffer outbox_;
   SpscQueue<sensors::Record> queue_;
   tp::UpstreamLink link_;
   tp::RelayBatchBuilder builder_;
@@ -148,6 +177,11 @@ class RelayEgress final : public Sink {
   std::atomic<TimeMicros> tick_watermark_{INT64_MIN};
 
   // --- egress-thread state ----------------------------------------------------
+  /// Readiness wait for the egress thread (created on that thread in run();
+  /// connect()-time sends happen before it exists and just skip the watch).
+  std::unique_ptr<net::Poller> poller_;
+  int watched_fd_ = -1;         // fd currently registered with poller_
+  bool want_writable_ = false;  // writable half of the subscription
   /// Monotone high-water of every watermark sent (parent timebase).
   TimeMicros wm_out_ = INT64_MIN;
   /// Timestamp (parent timebase) of the last record added to the builder.

@@ -193,6 +193,7 @@ tp::ReconnectConfig make_reconnect_config(const ExsConfig& config) {
 ExternalSensor::ExternalSensor(const ExsConfig& config, net::TcpSocket socket)
     : config_(config),
       socket_(std::move(socket)),
+      outbox_(config.outbox_bytes),
       loop_(net::make_poller(config.poller)),
       reconnect_(make_reconnect_config(config), config.node ^ config.incarnation) {}
 
@@ -251,7 +252,23 @@ Result<std::unique_ptr<ExternalSensor>> ExternalSensor::connect(
 }
 
 Status ExternalSensor::watch_socket() {
-  return loop_->watch(socket_.fd(), [this](int, net::Readiness) {
+  net::Readiness interest = net::Readiness::readable;
+  if (want_writable_) interest = interest | net::Readiness::writable;
+  return loop_->watch(socket_.fd(), interest, [this](int, net::Readiness ready) {
+    if (any(ready & net::Readiness::writable)) {
+      // The kernel buffer drained: flush deferred frames, then drop the
+      // writable subscription once the outbox is empty again.
+      Status flushed = outbox_.pump(socket_);
+      if (!flushed) {
+        BRISK_LOG_WARN << "EXS node " << config_.node
+                       << ": outbox flush failed: " << flushed.to_string();
+        handle_disconnect();
+        return;
+      }
+      if (outbox_.empty()) last_tx_us_ = monotonic_micros();
+      update_write_interest();
+    }
+    if (!any(ready & net::Readiness::readable)) return;
     Status pump = pump_socket();
     if (!pump && pump.code() != Errc::would_block) {
       if (core_->saw_bye()) {
@@ -267,9 +284,42 @@ Status ExternalSensor::watch_socket() {
 }
 
 Status ExternalSensor::write_out(ByteSpan frame) {
-  Status st = fault_.write_frame(socket_, frame);
+  Status st = fault_.write_frame(socket_, outbox_, frame);
+  if (st.code() == Errc::buffer_full) {
+    // The outbox itself is at its cap: the ISM has stopped reading well
+    // past one kernel buffer of data. Block here — bounded — so ring
+    // backpressure (and, with credits off, the stage-6 stall semantics)
+    // is preserved; past the deadline the link counts as lost.
+    const TimeMicros deadline = monotonic_micros() + config_.send_stall_timeout_us;
+    for (;;) {
+      Status pumped = outbox_.pump(socket_);
+      if (!pumped) {
+        update_write_interest();
+        return pumped;
+      }
+      // The fault decision for this frame already ran above; the retry
+      // enqueues the surviving payload directly.
+      st = outbox_.enqueue_frame(frame);
+      if (st.code() != Errc::buffer_full) break;
+      if (monotonic_micros() >= deadline) {
+        update_write_interest();
+        return Status(Errc::timeout, "EXS outbox wedged past send stall timeout");
+      }
+      sleep_micros(1'000);
+    }
+    if (st) st = outbox_.pump(socket_);
+  }
   if (st) last_tx_us_ = monotonic_micros();
+  update_write_interest();
   return st;
+}
+
+void ExternalSensor::update_write_interest() {
+  const bool want = !outbox_.empty();
+  if (want == want_writable_ || !connected_ || !socket_.valid()) return;
+  want_writable_ = want;
+  Status st = watch_socket();  // upsert with the new interest mask
+  if (!st && want) want_writable_ = false;  // cycle()'s flush is the fallback
 }
 
 Status ExternalSensor::pump_socket() {
@@ -301,6 +351,9 @@ void ExternalSensor::handle_disconnect() {
     socket_.close();
   }
   frame_reader_ = net::FrameReader{};
+  // Deferred frames die with the connection; replay re-ships what matters.
+  outbox_ = net::FrameSendBuffer(config_.outbox_bytes);
+  want_writable_ = false;
   core_->on_disconnect();
   reconnect_.arm(monotonic_micros());  // first retry on the next cycle
   BRISK_LOG_WARN << "EXS node " << config_.node

@@ -159,6 +159,9 @@ class ExternalSensor {
   Status pump_socket();
   Status watch_socket();
   Status write_out(ByteSpan frame);
+  /// Reconciles the socket's poller subscription with the outbox: writable
+  /// interest only while deferred bytes remain (want-writable toggling).
+  void update_write_interest();
   void handle_disconnect();
   void maybe_reconnect();
 
@@ -166,6 +169,10 @@ class ExternalSensor {
   net::TcpSocket socket_;
   net::FaultySocket fault_;
   net::FrameReader frame_reader_;
+  /// Outbound frames deferred by a full kernel send buffer; drained on
+  /// writable readiness so a slow ISM never blocks the daemon mid-frame.
+  net::FrameSendBuffer outbox_;
+  bool want_writable_ = false;
   std::unique_ptr<net::Poller> loop_;
   std::unique_ptr<ExsCore> core_;
   std::string ism_host_;

@@ -7,6 +7,9 @@
 #include <cerrno>
 #include <cstring>
 
+#include "common/logging.hpp"
+#include "common/time_util.hpp"
+
 namespace brisk::net {
 
 Status Poller::run(TimeMicros cycle_timeout) {
@@ -25,7 +28,7 @@ Status SelectPoller::watch(int fd, Readiness interest, Callback callback) {
   if (fd < 0 || fd >= FD_SETSIZE) return Status(Errc::invalid_argument, "fd out of select range");
   if (!callback) return Status(Errc::invalid_argument, "null callback");
   if (!any(interest)) return Status(Errc::invalid_argument, "empty readiness interest");
-  entries_[fd] = Entry{interest, std::move(callback)};
+  entries_[fd] = Entry{interest, std::make_shared<Callback>(std::move(callback))};
   return Status::ok();
 }
 
@@ -35,26 +38,35 @@ Status SelectPoller::unwatch(int fd) {
 }
 
 Result<int> SelectPoller::poll_once(TimeMicros timeout) {
+  if (timeout < 0) timeout = 0;
+  const TimeMicros deadline = monotonic_micros() + timeout;
   fd_set read_set;
   fd_set write_set;
-  FD_ZERO(&read_set);
-  FD_ZERO(&write_set);
-  int max_fd = -1;
-  for (const auto& [fd, entry] : entries_) {
-    if (any(entry.interest & Readiness::readable)) FD_SET(fd, &read_set);
-    if (any(entry.interest & Readiness::writable)) FD_SET(fd, &write_set);
-    if (fd > max_fd) max_fd = fd;
-  }
-
-  timeval tv{};
-  if (timeout < 0) timeout = 0;
-  tv.tv_sec = timeout / 1'000'000;
-  tv.tv_usec = timeout % 1'000'000;
-
-  int ready = ::select(max_fd + 1, &read_set, &write_set, nullptr, &tv);
-  if (ready < 0) {
-    if (errno == EINTR) ready = 0;
-    else return Status(Errc::io_error, std::string("select: ") + std::strerror(errno));
+  int ready;
+  for (;;) {
+    // Rebuilt every attempt: select leaves the sets undefined on failure.
+    FD_ZERO(&read_set);
+    FD_ZERO(&write_set);
+    int max_fd = -1;
+    for (const auto& [fd, entry] : entries_) {
+      if (any(entry.interest & Readiness::readable)) FD_SET(fd, &read_set);
+      if (any(entry.interest & Readiness::writable)) FD_SET(fd, &write_set);
+      if (fd > max_fd) max_fd = fd;
+    }
+    timeval tv{};
+    tv.tv_sec = timeout / 1'000'000;
+    tv.tv_usec = timeout % 1'000'000;
+    ready = ::select(max_fd + 1, &read_set, &write_set, nullptr, &tv);
+    if (ready >= 0) break;
+    if (errno != EINTR)
+      return Status(Errc::io_error, std::string("select: ") + std::strerror(errno));
+    // A stray signal must not turn a timed wait into an early return:
+    // re-wait for whatever slice of the timeout remains.
+    timeout = deadline - monotonic_micros();
+    if (timeout <= 0) {
+      ready = 0;
+      break;
+    }
   }
 
   int handled = 0;
@@ -71,10 +83,11 @@ Result<int> SelectPoller::poll_once(TimeMicros timeout) {
     for (const auto& [fd, mask] : ready_fds) {
       auto it = entries_.find(fd);
       if (it == entries_.end()) continue;  // unwatched by a prior callback
-      // Invoke a copy: the callback may unwatch its own fd (e.g. on a lost
-      // connection), which would otherwise destroy it mid-call.
-      Callback cb = it->second.callback;
-      cb(fd, mask);
+      // Pin the shared handle: the callback may unwatch its own fd (e.g. on
+      // a lost connection), which would otherwise destroy it mid-call. The
+      // refcount bump replaces the old per-dispatch std::function copy.
+      auto cb = it->second.callback;
+      (*cb)(fd, mask);
       ++handled;
     }
   }
@@ -125,18 +138,22 @@ Status EpollPoller::watch(int fd, Readiness interest, Callback callback) {
   if (::epoll_ctl(epoll_fd_, op, fd, &event) != 0) {
     return Status(Errc::io_error, std::string("epoll_ctl: ") + std::strerror(errno));
   }
-  entries_[fd] = Entry{interest, std::move(callback)};
+  entries_[fd] = Entry{interest, std::make_shared<Callback>(std::move(callback))};
   return Status::ok();
 }
 
 Status EpollPoller::unwatch(int fd) {
-  if (entries_.erase(fd) == 0) return Status(Errc::not_found, "fd not watched");
-  // The fd may already be closed (kernel auto-deregisters); only report
-  // genuinely unexpected failures.
+  auto it = entries_.find(fd);
+  if (it == entries_.end()) return Status(Errc::not_found, "fd not watched");
+  // Kernel first, bookkeeping second: a genuine ctl failure must leave the
+  // entry registered so our view and the kernel's stay consistent. The fd
+  // may already be closed (kernel auto-deregisters); EBADF/ENOENT are the
+  // expected shapes of that and still count as a successful unwatch.
   if (::epoll_ctl(epoll_fd_, EPOLL_CTL_DEL, fd, nullptr) != 0 && errno != EBADF &&
       errno != ENOENT) {
     return Status(Errc::io_error, std::string("epoll_ctl del: ") + std::strerror(errno));
   }
+  entries_.erase(it);
   return Status::ok();
 }
 
@@ -148,11 +165,22 @@ Result<int> EpollPoller::poll_once(TimeMicros timeout) {
   int timeout_ms = static_cast<int>(timeout / 1'000);
   if (timeout > 0 && timeout_ms == 0) timeout_ms = 1;
 
+  const TimeMicros deadline = monotonic_micros() + timeout;
   epoll_event events[256];
-  int ready = ::epoll_wait(epoll_fd_, events, 256, timeout_ms);
-  if (ready < 0) {
-    if (errno == EINTR) ready = 0;
-    else return Status(Errc::io_error, std::string("epoll_wait: ") + std::strerror(errno));
+  int ready;
+  for (;;) {
+    ready = ::epoll_wait(epoll_fd_, events, 256, timeout_ms);
+    if (ready >= 0) break;
+    if (errno != EINTR)
+      return Status(Errc::io_error, std::string("epoll_wait: ") + std::strerror(errno));
+    // Same EINTR discipline as SelectPoller: re-wait for the remainder.
+    const TimeMicros remaining = deadline - monotonic_micros();
+    if (remaining <= 0) {
+      ready = 0;
+      break;
+    }
+    timeout_ms = static_cast<int>(remaining / 1'000);
+    if (timeout_ms == 0) timeout_ms = 1;
   }
 
   int handled = 0;
@@ -162,9 +190,9 @@ Result<int> EpollPoller::poll_once(TimeMicros timeout) {
     if (it == entries_.end()) continue;  // unwatched by a prior callback
     const Readiness mask = from_epoll_events(events[i].events, it->second.interest);
     if (!any(mask)) continue;
-    // Same copy-then-call discipline as SelectPoller (see above).
-    Callback cb = it->second.callback;
-    cb(fd, mask);
+    // Same pin-then-call discipline as SelectPoller (see above).
+    auto cb = it->second.callback;
+    (*cb)(fd, mask);
     ++handled;
   }
   if (idle_) idle_();
@@ -176,15 +204,35 @@ Result<int> EpollPoller::poll_once(TimeMicros timeout) {
 Result<PollerBackend> parse_poller_backend(std::string_view name) {
   if (name == "select") return PollerBackend::select;
   if (name == "epoll") return PollerBackend::epoll;
-  return Status(Errc::invalid_argument,
-                "unknown poller backend '" + std::string(name) + "' (select|epoll)");
+  if (name == "uring") return PollerBackend::uring;
+  return Status(Errc::invalid_argument, "unknown poller backend '" + std::string(name) +
+                                            "' (select|epoll|uring)");
 }
 
 const char* to_string(PollerBackend backend) noexcept {
-  return backend == PollerBackend::epoll ? "epoll" : "select";
+  switch (backend) {
+    case PollerBackend::epoll: return "epoll";
+    case PollerBackend::uring: return "uring";
+    case PollerBackend::select: break;
+  }
+  return "select";
 }
 
 std::unique_ptr<Poller> make_poller(PollerBackend backend) {
+  if (backend == PollerBackend::uring) {
+    // Graceful degradation: requesting uring on a kernel without it (or
+    // under a seccomp policy that denies the syscalls) silently runs epoll
+    // instead, so one deployment config works across mixed fleets. Logged
+    // once so operators can tell which backend actually serves.
+    if (auto poller = make_uring_poller()) return poller;
+    static const bool logged = [] {
+      BRISK_LOG(warn) << "io_uring unavailable (ENOSYS/EPERM or missing features); "
+                         "--poller uring falling back to epoll";
+      return true;
+    }();
+    (void)logged;
+    return std::make_unique<EpollPoller>();
+  }
   if (backend == PollerBackend::epoll) return std::make_unique<EpollPoller>();
   return std::make_unique<SelectPoller>();
 }

@@ -10,9 +10,14 @@
 //    latency experiments model.
 //  * EpollPoller — a level-triggered epoll(7) backend with no fd cap and
 //    O(ready) dispatch, the backend for "hundreds of EXS nodes" at one ISM.
-// Both dispatch the same way (snapshot ready fds, invoke copies of the
-// callbacks so a callback may unwatch any fd, including its own), so the
-// daemons behave identically regardless of backend.
+//  * UringPoller — an io_uring backend (raw syscalls, no liburing) that
+//    batches all pending registrations into one submit+wait syscall per
+//    cycle and uses multishot poll so quiet fds cost nothing to re-arm.
+//    Falls back to epoll at make_poller() time on kernels without io_uring.
+// All backends dispatch the same way (snapshot ready fds, invoke the
+// callbacks through a stable shared handle so a callback may unwatch any
+// fd, including its own), so the daemons behave identically regardless of
+// backend.
 #pragma once
 
 #include <atomic>
@@ -103,7 +108,9 @@ class SelectPoller final : public Poller {
  private:
   struct Entry {
     Readiness interest = Readiness::readable;
-    Callback callback;
+    // Held behind a shared handle so dispatch can pin the callback alive
+    // across a self-unwatch without copying the std::function per event.
+    std::shared_ptr<Callback> callback;
   };
   std::map<int, Entry> entries_;
 };
@@ -128,17 +135,27 @@ class EpollPoller final : public Poller {
  private:
   struct Entry {
     Readiness interest = Readiness::readable;
-    Callback callback;
+    std::shared_ptr<Callback> callback;  // stable dispatch handle (see SelectPoller)
   };
   int epoll_fd_ = -1;
   std::map<int, Entry> entries_;
 };
 
-enum class PollerBackend { select, epoll };
+enum class PollerBackend { select, epoll, uring };
 
-/// Parses a --poller / knob value ("select" or "epoll").
+/// Parses a --poller / knob value ("select", "epoll", or "uring").
 Result<PollerBackend> parse_poller_backend(std::string_view name);
 const char* to_string(PollerBackend backend) noexcept;
+
+/// True when this kernel can create an io_uring instance with the features
+/// the UringPoller needs (probed once, cached). Used by tests and ci.sh to
+/// decide whether `--poller uring` runs natively or falls back.
+bool uring_available() noexcept;
+
+/// Constructs the io_uring backend directly; returns nullptr when the kernel
+/// lacks io_uring (ENOSYS), seccomp denies it (EPERM), or required features
+/// are missing. Most callers want make_poller(), which falls back to epoll.
+std::unique_ptr<Poller> make_uring_poller();
 
 std::unique_ptr<Poller> make_poller(PollerBackend backend);
 

@@ -1,0 +1,454 @@
+// io_uring Poller backend, implemented over raw syscalls.
+//
+// The container toolchain has the kernel uapi header (<linux/io_uring.h>)
+// but no liburing, so the ring management lives here: io_uring_setup(2),
+// the two ring mmaps, SQE/CQE index arithmetic with acquire/release fences,
+// and io_uring_enter(2) for combined submit+wait.
+//
+// Design notes, mapped to the Poller contract:
+//  * watch() does not touch the kernel directly — it queues an
+//    IORING_OP_POLL_ADD SQE and the next poll_once() submits every pending
+//    registration in ONE io_uring_enter call alongside the wait. A cycle
+//    that (re)watches N fds costs one syscall, not N epoll_ctl calls.
+//  * Registrations are single-shot with a batched re-arm, NOT
+//    IORING_POLL_ADD_MULTI. Multishot poll only completes on fresh
+//    waitqueue wakeups — effectively edge-triggered — so a callback that
+//    leaves data unread would never be re-notified, breaking parity with
+//    the level-triggered select/epoll backends. Re-arming instead re-runs
+//    vfs_poll at submission, which reports still-pending readiness
+//    immediately; the re-arm SQEs ride the next cycle's enter, so the
+//    syscall count per cycle stays at one either way. (Multishot
+//    accept/recv are completion ops, not readiness ops, and don't fit the
+//    Poller contract.) Kernels that retire a registration early are handled
+//    the same way: any CQE without IORING_CQE_F_MORE marks the entry
+//    un-armed and dispatch re-queues the POLL_ADD.
+//  * user_data carries (generation << 32) | fd. unwatch()/re-watch() bump
+//    the generation, so CQEs from a cancelled registration are recognised
+//    as stale and dropped — the poller never dispatches to a callback the
+//    caller already replaced. Cancellations ride on IORING_OP_POLL_REMOVE
+//    SQEs tagged with a high bit so their completions are discarded.
+//  * Timed waits use IORING_ENTER_EXT_ARG + io_uring_getevents_arg, the
+//    same mechanism liburing uses; the constructor requires
+//    IORING_FEAT_EXT_ARG and make_uring_poller() returns nullptr without
+//    it (make_poller then falls back to epoll).
+//  * Readiness mapping mirrors EpollPoller: POLLHUP/POLLERR are reported
+//    through the interest the caller declared, so a write-only watcher
+//    still wakes on hangup.
+
+#include "net/poller.hpp"
+
+#if defined(__linux__) && __has_include(<linux/io_uring.h>)
+#define BRISK_URING_SUPPORTED 1
+#endif
+
+#ifdef BRISK_URING_SUPPORTED
+
+#include <linux/io_uring.h>
+#include <linux/time_types.h>
+#include <poll.h>
+#include <sys/mman.h>
+#include <sys/syscall.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cerrno>
+#include <cstring>
+
+#include "common/time_util.hpp"
+
+namespace brisk::net {
+
+namespace {
+
+int sys_io_uring_setup(unsigned entries, io_uring_params* params) {
+  return static_cast<int>(::syscall(__NR_io_uring_setup, entries, params));
+}
+
+int sys_io_uring_enter(int ring_fd, unsigned to_submit, unsigned min_complete, unsigned flags,
+                       const void* arg, std::size_t arg_size) {
+  return static_cast<int>(
+      ::syscall(__NR_io_uring_enter, ring_fd, to_submit, min_complete, flags, arg, arg_size));
+}
+
+std::uint32_t to_poll_events(Readiness interest) noexcept {
+  std::uint32_t events = 0;
+  if (any(interest & Readiness::readable)) events |= POLLIN;
+  if (any(interest & Readiness::writable)) events |= POLLOUT;
+  return events;
+}
+
+Readiness from_poll_events(std::uint32_t events, Readiness interest) noexcept {
+  Readiness mask = Readiness::none;
+  if ((events & (POLLIN | POLLHUP | POLLERR)) != 0) mask = mask | Readiness::readable;
+  if ((events & POLLOUT) != 0) mask = mask | Readiness::writable;
+  // Like epoll: HUP/ERR fire regardless of interest; route them through the
+  // side the caller subscribed to so a write-only watcher still wakes.
+  if (!any(mask & interest)) mask = interest;
+  return mask & interest;
+}
+
+// user_data layout: bit 63 tags internal ops (poll-remove) whose completions
+// carry no readiness; bits 32..62 are the registration generation; low 32
+// bits are the fd.
+constexpr std::uint64_t kInternalTag = 1ull << 63;
+
+constexpr std::uint64_t make_user_data(int fd, std::uint32_t generation) noexcept {
+  return (static_cast<std::uint64_t>(generation) << 32) |
+         static_cast<std::uint32_t>(fd);
+}
+
+class UringPoller final : public Poller {
+ public:
+  UringPoller() = default;
+  ~UringPoller() override {
+    if (sq_ring_ != MAP_FAILED) ::munmap(sq_ring_, sq_ring_bytes_);
+    if (cq_ring_ != MAP_FAILED && cq_ring_ != sq_ring_) ::munmap(cq_ring_, cq_ring_bytes_);
+    if (sqes_ != MAP_FAILED) ::munmap(sqes_, sqe_bytes_);
+    if (ring_fd_ >= 0) ::close(ring_fd_);
+  }
+  UringPoller(const UringPoller&) = delete;
+  UringPoller& operator=(const UringPoller&) = delete;
+
+  /// Sets up the ring; false means the kernel can't serve this backend and
+  /// the caller should fall back (never partially-constructed: the
+  /// destructor cleans whatever did get mapped).
+  bool init() {
+    io_uring_params params{};
+    // Registration churn produces two CQEs per watch/unwatch pair (the
+    // cancel ack plus the -ECANCELED poll completion), so the CQ ring is
+    // sized well above the SQ ring to keep overflow a rare path rather
+    // than a steady-state one.
+    params.flags = IORING_SETUP_CQSIZE;
+    params.cq_entries = kCqEntries;
+    ring_fd_ = sys_io_uring_setup(kRingEntries, &params);
+    if (ring_fd_ < 0) return false;
+    if ((params.features & IORING_FEAT_EXT_ARG) == 0) return false;
+
+    sq_ring_bytes_ = params.sq_off.array + params.sq_entries * sizeof(std::uint32_t);
+    cq_ring_bytes_ = params.cq_off.cqes + params.cq_entries * sizeof(io_uring_cqe);
+    const bool single_mmap = (params.features & IORING_FEAT_SINGLE_MMAP) != 0;
+    if (single_mmap && cq_ring_bytes_ > sq_ring_bytes_) sq_ring_bytes_ = cq_ring_bytes_;
+
+    sq_ring_ = ::mmap(nullptr, sq_ring_bytes_, PROT_READ | PROT_WRITE, MAP_SHARED | MAP_POPULATE,
+                      ring_fd_, IORING_OFF_SQ_RING);
+    if (sq_ring_ == MAP_FAILED) return false;
+    if (single_mmap) {
+      cq_ring_ = sq_ring_;
+      cq_ring_bytes_ = sq_ring_bytes_;
+    } else {
+      cq_ring_ = ::mmap(nullptr, cq_ring_bytes_, PROT_READ | PROT_WRITE,
+                        MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_CQ_RING);
+      if (cq_ring_ == MAP_FAILED) return false;
+    }
+    sqe_bytes_ = params.sq_entries * sizeof(io_uring_sqe);
+    void* sqe_map = ::mmap(nullptr, sqe_bytes_, PROT_READ | PROT_WRITE,
+                           MAP_SHARED | MAP_POPULATE, ring_fd_, IORING_OFF_SQES);
+    if (sqe_map == MAP_FAILED) return false;
+    sqes_ = static_cast<io_uring_sqe*>(sqe_map);
+
+    auto* sq = static_cast<std::uint8_t*>(sq_ring_);
+    sq_head_ = reinterpret_cast<std::atomic<std::uint32_t>*>(sq + params.sq_off.head);
+    sq_tail_ = reinterpret_cast<std::atomic<std::uint32_t>*>(sq + params.sq_off.tail);
+    sq_mask_ = *reinterpret_cast<std::uint32_t*>(sq + params.sq_off.ring_mask);
+    sq_entries_ = *reinterpret_cast<std::uint32_t*>(sq + params.sq_off.ring_entries);
+    sq_flags_ = reinterpret_cast<std::atomic<std::uint32_t>*>(sq + params.sq_off.flags);
+    sq_array_ = reinterpret_cast<std::uint32_t*>(sq + params.sq_off.array);
+
+    auto* cq = static_cast<std::uint8_t*>(cq_ring_);
+    cq_head_ = reinterpret_cast<std::atomic<std::uint32_t>*>(cq + params.cq_off.head);
+    cq_tail_ = reinterpret_cast<std::atomic<std::uint32_t>*>(cq + params.cq_off.tail);
+    cq_mask_ = *reinterpret_cast<std::uint32_t*>(cq + params.cq_off.ring_mask);
+    cqes_ = reinterpret_cast<io_uring_cqe*>(cq + params.cq_off.cqes);
+
+    sq_tail_local_ = sq_tail_->load(std::memory_order_relaxed);
+    return true;
+  }
+
+  using Poller::watch;
+
+  Status watch(int fd, Readiness interest, Callback callback) override {
+    if (fd < 0) return Status(Errc::invalid_argument, "negative fd");
+    if (!callback) return Status(Errc::invalid_argument, "null callback");
+    if (!any(interest)) return Status(Errc::invalid_argument, "empty readiness interest");
+
+    auto it = entries_.find(fd);
+    if (it != entries_.end()) {
+      // Upsert: cancel the old registration; its generation goes stale so
+      // any CQE already in flight for it is dropped at dispatch.
+      queue_poll_remove(make_user_data(fd, it->second.generation));
+    }
+    const std::uint32_t generation = next_generation_;
+    // 31-bit wrap keeps the generation clear of the kInternalTag bit.
+    next_generation_ = (next_generation_ + 1) & 0x7fffffffu;
+    if (next_generation_ == 0) next_generation_ = 1;
+    entries_[fd] =
+        Entry{interest, std::make_shared<Callback>(std::move(callback)), generation};
+    queue_poll_add(fd, interest, generation);
+    return Status::ok();
+  }
+
+  Status unwatch(int fd) override {
+    auto it = entries_.find(fd);
+    if (it == entries_.end()) return Status(Errc::not_found, "fd not watched");
+    queue_poll_remove(make_user_data(fd, it->second.generation));
+    entries_.erase(it);
+    return Status::ok();
+  }
+
+  Result<int> poll_once(TimeMicros timeout) override {
+    if (timeout < 0) timeout = 0;
+
+    // One syscall submits every registration queued since the last cycle
+    // AND waits for completions. Skip the wait when completions are already
+    // sitting in the CQ ring.
+    const TimeMicros deadline = monotonic_micros() + timeout;
+    TimeMicros remaining = timeout;
+    for (;;) {
+      const unsigned to_submit = pending_submit_;
+      const bool cq_empty = cq_head_->load(std::memory_order_acquire) ==
+                            cq_tail_->load(std::memory_order_acquire);
+      if (to_submit == 0 && !cq_empty) break;
+      __kernel_timespec ts{};
+      ts.tv_sec = remaining / 1'000'000;
+      ts.tv_nsec = (remaining % 1'000'000) * 1'000;
+      io_uring_getevents_arg arg{};
+      arg.ts = reinterpret_cast<std::uint64_t>(&ts);
+      unsigned flags = 0;
+      unsigned min_complete = 0;
+      const void* argp = nullptr;
+      std::size_t argsz = 0;
+      if (cq_empty) {
+        // EXT_ARG is only interpreted while waiting, so it rides with
+        // GETEVENTS; a submit-only enter passes no arg.
+        flags = IORING_ENTER_GETEVENTS | IORING_ENTER_EXT_ARG;
+        min_complete = 1;
+        argp = &arg;
+        argsz = sizeof(arg);
+      }
+      int rc = sys_io_uring_enter(ring_fd_, to_submit, min_complete, flags, argp, argsz);
+      if (rc >= 0) {
+        pending_submit_ -= std::min(static_cast<unsigned>(rc), pending_submit_);
+        break;
+      }
+      if (errno == EINTR) {
+        // Same EINTR discipline as the other backends: a stray signal must
+        // not turn a timed wait into an early return. Nothing was consumed
+        // from the SQ, so the retry re-submits and waits the remainder.
+        remaining = deadline - monotonic_micros();
+        if (remaining <= 0) break;
+        continue;
+      }
+      if (errno != ETIME && errno != EBUSY) {
+        return Status(Errc::io_error, std::string("io_uring_enter: ") + std::strerror(errno));
+      }
+      break;
+      // On ETIME nothing was consumed from the SQ (the kernel reports the
+      // submitted count instead when it took SQEs), so pending_submit_
+      // stays and the next cycle retries. EBUSY means the CQ overflowed and
+      // the kernel wants it drained before accepting submissions — the
+      // harvest below makes room and the overflow loop retries.
+    }
+
+    int handled = 0;
+    harvest_cq();
+    dispatch_completions(handled);
+    // CQ overflow: the kernel stashed completions in a backlog because the
+    // ring was full. Drain in rounds — each GETEVENTS enter flushes as much
+    // backlog as fits in the space the previous harvest made.
+    while ((sq_flags_->load(std::memory_order_acquire) & IORING_SQ_CQ_OVERFLOW) != 0) {
+      int rc = sys_io_uring_enter(ring_fd_, 0, 0, IORING_ENTER_GETEVENTS, nullptr, 0);
+      if (rc < 0 && errno != EINTR && errno != EBUSY && errno != ETIME) break;
+      harvest_cq();
+      if (completions_.empty()) break;  // no progress; avoid spinning
+      dispatch_completions(handled);
+    }
+    if (idle_) idle_();
+    return handled;
+  }
+
+  [[nodiscard]] std::size_t watched_count() const noexcept override { return entries_.size(); }
+  [[nodiscard]] const char* backend_name() const noexcept override { return "uring"; }
+
+ private:
+  struct Entry {
+    Readiness interest = Readiness::readable;
+    std::shared_ptr<Callback> callback;
+    std::uint32_t generation = 0;
+    bool armed = true;
+  };
+  struct Completion {
+    std::uint64_t user_data;
+    std::int32_t res;
+    std::uint32_t flags;
+  };
+
+  static constexpr unsigned kRingEntries = 256;
+  static constexpr unsigned kCqEntries = 4096;
+
+  /// Copies every pending CQE into completions_ and releases the ring
+  /// slots. Separated from dispatch so SQ-pressure paths (acquire_sqe) can
+  /// free CQ space without re-entering user callbacks.
+  void harvest_cq() {
+    std::uint32_t head = cq_head_->load(std::memory_order_relaxed);
+    const std::uint32_t tail = cq_tail_->load(std::memory_order_acquire);
+    for (; head != tail; ++head) {
+      const io_uring_cqe& cqe = cqes_[head & cq_mask_];
+      completions_.push_back(Completion{cqe.user_data, cqe.res, cqe.flags});
+    }
+    cq_head_->store(head, std::memory_order_release);
+  }
+
+  void dispatch_completions(int& handled) {
+    // Swap out the batch: callbacks may watch/unwatch, and acquire_sqe may
+    // harvest MORE completions mid-dispatch; those belong to the next round.
+    std::vector<Completion> batch;
+    batch.swap(completions_);
+    for (const Completion& c : batch) {
+      if ((c.user_data & kInternalTag) != 0) continue;  // poll-remove ack
+      const int fd = static_cast<int>(c.user_data & 0xffffffffu);
+      const auto generation = static_cast<std::uint32_t>(c.user_data >> 32);
+      auto it = entries_.find(fd);
+      if (it == entries_.end() || it->second.generation != generation) {
+        // Stale registration. If the kernel still holds it armed (a remove
+        // raced ahead of its add), cancel it so it stops generating CQEs.
+        if ((c.flags & IORING_CQE_F_MORE) != 0) {
+          queue_poll_remove(make_user_data(fd, generation));
+        }
+        continue;
+      }
+
+      if ((c.flags & IORING_CQE_F_MORE) == 0) it->second.armed = false;
+      if (c.res == -ECANCELED) continue;  // raced with our own remove
+
+      Readiness mask;
+      if (c.res < 0) {
+        // Poll errors surface like epoll's EPOLLERR: wake the watcher on
+        // its declared interest and let the read/write path see the errno.
+        mask = it->second.interest;
+      } else {
+        mask = from_poll_events(static_cast<std::uint32_t>(c.res), it->second.interest);
+      }
+      if (!any(mask)) continue;
+      auto cb = it->second.callback;  // pin across self-unwatch
+      (*cb)(fd, mask);
+      ++handled;
+
+      // Re-arm if the registration survived the callback un-armed (the
+      // callback may have unwatched, or re-watched with a new generation —
+      // both make this lookup miss or mismatch).
+      auto again = entries_.find(fd);
+      if (again != entries_.end() && again->second.generation == generation &&
+          !again->second.armed) {
+        queue_poll_add(fd, again->second.interest, generation);
+        again->second.armed = true;
+      }
+    }
+  }
+
+  io_uring_sqe* acquire_sqe() {
+    // SQ full: flush what's queued so far with a submit-only enter. If the
+    // kernel refuses because the CQ overflowed (EBUSY), harvest to make
+    // room (dispatch stays deferred to poll_once), flush the backlog with a
+    // GETEVENTS enter, and retry.
+    int rounds = 0;
+    while (sq_tail_local_ - sq_head_->load(std::memory_order_acquire) >= sq_entries_) {
+      flush_submissions();
+      if (sq_tail_local_ - sq_head_->load(std::memory_order_acquire) < sq_entries_) break;
+      harvest_cq();
+      (void)sys_io_uring_enter(ring_fd_, 0, 0, IORING_ENTER_GETEVENTS, nullptr, 0);
+      if (++rounds > 64) break;  // pathological; overwriting is the lesser evil
+    }
+    const std::uint32_t index = sq_tail_local_ & sq_mask_;
+    io_uring_sqe* sqe = &sqes_[index];
+    std::memset(sqe, 0, sizeof(*sqe));
+    sq_array_[index] = index;
+    ++sq_tail_local_;
+    sq_tail_->store(sq_tail_local_, std::memory_order_release);
+    ++pending_submit_;
+    return sqe;
+  }
+
+  void flush_submissions() {
+    while (pending_submit_ > 0) {
+      int rc = sys_io_uring_enter(ring_fd_, pending_submit_, 0, 0, nullptr, 0);
+      if (rc < 0) {
+        if (errno == EINTR) continue;
+        return;  // poll_once surfaces persistent enter failures
+      }
+      if (rc == 0) return;
+      pending_submit_ -= std::min(static_cast<unsigned>(rc), pending_submit_);
+    }
+  }
+
+  void queue_poll_add(int fd, Readiness interest, std::uint32_t generation) {
+    io_uring_sqe* sqe = acquire_sqe();
+    sqe->opcode = IORING_OP_POLL_ADD;
+    sqe->fd = fd;
+    sqe->poll32_events = to_poll_events(interest);
+    sqe->user_data = make_user_data(fd, generation);
+  }
+
+  void queue_poll_remove(std::uint64_t target_user_data) {
+    io_uring_sqe* sqe = acquire_sqe();
+    sqe->opcode = IORING_OP_POLL_REMOVE;
+    sqe->fd = -1;
+    sqe->addr = target_user_data;
+    sqe->user_data = kInternalTag | target_user_data;
+  }
+
+  int ring_fd_ = -1;
+  void* sq_ring_ = MAP_FAILED;
+  void* cq_ring_ = MAP_FAILED;
+  io_uring_sqe* sqes_ = static_cast<io_uring_sqe*>(MAP_FAILED);
+  std::size_t sq_ring_bytes_ = 0;
+  std::size_t cq_ring_bytes_ = 0;
+  std::size_t sqe_bytes_ = 0;
+
+  std::atomic<std::uint32_t>* sq_head_ = nullptr;
+  std::atomic<std::uint32_t>* sq_tail_ = nullptr;
+  std::uint32_t sq_mask_ = 0;
+  std::uint32_t sq_entries_ = 0;
+  std::atomic<std::uint32_t>* sq_flags_ = nullptr;
+  std::uint32_t* sq_array_ = nullptr;
+  std::uint32_t sq_tail_local_ = 0;
+  unsigned pending_submit_ = 0;
+
+  std::atomic<std::uint32_t>* cq_head_ = nullptr;
+  std::atomic<std::uint32_t>* cq_tail_ = nullptr;
+  std::uint32_t cq_mask_ = 0;
+  io_uring_cqe* cqes_ = nullptr;
+  std::vector<Completion> completions_;  // harvested, not yet dispatched
+
+  std::map<int, Entry> entries_;
+  std::uint32_t next_generation_ = 1;
+};
+
+}  // namespace
+
+std::unique_ptr<Poller> make_uring_poller() {
+  auto poller = std::make_unique<UringPoller>();
+  if (!poller->init()) return nullptr;
+  return poller;
+}
+
+bool uring_available() noexcept {
+  static const bool available = [] {
+    auto probe = make_uring_poller();
+    return probe != nullptr;
+  }();
+  return available;
+}
+
+}  // namespace brisk::net
+
+#else  // !BRISK_URING_SUPPORTED
+
+namespace brisk::net {
+
+std::unique_ptr<Poller> make_uring_poller() { return nullptr; }
+bool uring_available() noexcept { return false; }
+
+}  // namespace brisk::net
+
+#endif

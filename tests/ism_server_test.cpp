@@ -9,17 +9,25 @@
 // identical whichever configuration ran it.
 #include <gtest/gtest.h>
 
+#include <arpa/inet.h>
+#include <netinet/in.h>
+#include <sys/socket.h>
+
 #include <thread>
+#include <vector>
 
 #include "clock/clock.hpp"
 #include "common/time_util.hpp"
 #include "ism/ism.hpp"
 #include "net/frame.hpp"
+#include "net/poller.hpp"
 #include "net/socket.hpp"
 #include "sensors/metrics_record.hpp"
 #include "sensors/trace.hpp"
 #include "sensors/trace_record.hpp"
 #include "tp/batch.hpp"
+#include "tp/wire.hpp"
+#include "xdr/xdr_decoder.hpp"
 #include "xdr/xdr_encoder.hpp"
 
 namespace brisk::ism {
@@ -31,6 +39,7 @@ struct IngestMode {
   net::PollerBackend poller = net::PollerBackend::select;
   std::size_t reader_threads = 0;
   std::size_t sorter_shards = 1;
+  bool readiness_pump = true;
 };
 
 std::string ingest_mode_name(const ::testing::TestParamInfo<IngestMode>& info) {
@@ -39,7 +48,35 @@ std::string ingest_mode_name(const ::testing::TestParamInfo<IngestMode>& info) {
   if (info.param.sorter_shards > 1) {
     name += "_shards" + std::to_string(info.param.sorter_shards);
   }
+  if (!info.param.readiness_pump) name += "_legacypump";
   return name;
+}
+
+/// Backends every parameterized suite runs against; io_uring joins only when
+/// the running kernel actually supports it (the factory otherwise falls back
+/// to epoll, which the grid already covers).
+std::vector<net::PollerBackend> ingest_backends() {
+  std::vector<net::PollerBackend> backends{net::PollerBackend::select,
+                                           net::PollerBackend::epoll};
+  if (net::uring_available()) backends.push_back(net::PollerBackend::uring);
+  return backends;
+}
+
+std::vector<IngestMode> ingest_modes() {
+  std::vector<IngestMode> modes{
+      IngestMode{net::PollerBackend::select, 0},
+      IngestMode{net::PollerBackend::select, 2},
+      IngestMode{net::PollerBackend::epoll, 0},
+      IngestMode{net::PollerBackend::epoll, 2},
+      IngestMode{net::PollerBackend::select, 2, 2},
+      IngestMode{net::PollerBackend::epoll, 0, 2},
+      IngestMode{net::PollerBackend::epoll, 0, 1, false},
+  };
+  if (net::uring_available()) {
+    modes.push_back(IngestMode{net::PollerBackend::uring, 0});
+    modes.push_back(IngestMode{net::PollerBackend::uring, 2, 2});
+  }
+  return modes;
 }
 
 class IsmServerTest : public ::testing::TestWithParam<IngestMode> {
@@ -54,6 +91,7 @@ class IsmServerTest : public ::testing::TestWithParam<IngestMode> {
     config.poller = GetParam().poller;
     config.reader_threads = GetParam().reader_threads;
     config.sorter_shards = GetParam().sorter_shards;
+    config.readiness_pump = GetParam().readiness_pump;
     delivered_ = std::make_shared<DeliveredLog>();
     auto delivered = delivered_;
     auto sink = std::make_shared<CallbackSink>(
@@ -245,14 +283,125 @@ TEST_P(IsmServerTest, EmptyFrameDropsConnection) {
   EXPECT_TRUE(connection_closed(socket));
 }
 
-INSTANTIATE_TEST_SUITE_P(IngestModes, IsmServerTest,
-                         ::testing::Values(IngestMode{net::PollerBackend::select, 0},
-                                           IngestMode{net::PollerBackend::select, 2},
-                                           IngestMode{net::PollerBackend::epoll, 0},
-                                           IngestMode{net::PollerBackend::epoll, 2},
-                                           IngestMode{net::PollerBackend::select, 2, 2},
-                                           IngestMode{net::PollerBackend::epoll, 0, 2}),
+INSTANTIATE_TEST_SUITE_P(IngestModes, IsmServerTest, ::testing::ValuesIn(ingest_modes()),
                          ingest_mode_name);
+
+// ---- outbox stall classification -------------------------------------------------------
+//
+// Regression for the pump-error handling bug where *any* failed outbox send
+// closed the connection: Errc::buffer_full is a transient overload signal
+// (the peer stopped reading and both the kernel buffer and the outbox cap
+// filled), not a dead socket. An overloaded-but-alive peer must keep its
+// connection through the stall grace period and, once it resumes reading,
+// receive every deferred ack as an intact frame. Only
+// outbox_stall_timeout_us = 0 restores the legacy reap-on-first-rejection
+// behaviour — the companion test below proves the same traffic shape really
+// does wedge the outbox (so the survival test is not vacuously green).
+
+/// Client socket whose receive buffer is clamped to the kernel minimum
+/// *before* connect, so the server-side kernel send buffer + outbox fill
+/// after a few hundred acks instead of megabytes.
+net::TcpSocket connect_tiny_rcvbuf(std::uint16_t port) {
+  int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  EXPECT_GE(fd, 0);
+  int tiny = 1;  // clamped up to the kernel's floor — still a few KiB
+  EXPECT_EQ(::setsockopt(fd, SOL_SOCKET, SO_RCVBUF, &tiny, sizeof tiny), 0);
+  sockaddr_in addr{};
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  EXPECT_EQ(::connect(fd, reinterpret_cast<const sockaddr*>(&addr), sizeof addr), 0);
+  return net::TcpSocket{net::FdHandle{fd}};
+}
+
+/// ISM tuned so a non-reading peer wedges its outbox within ~1 s: tiny
+/// server-side SO_SNDBUF, tiny outbox cap, acks every millisecond.
+IsmConfig stall_config(TimeMicros stall_timeout_us) {
+  IsmConfig config;
+  config.select_timeout_us = 1'000;
+  config.enable_sync = false;
+  config.sorter.initial_frame_us = 0;
+  config.sorter.min_frame_us = 0;
+  config.sorter.adaptive = false;
+  config.ack_period_us = 1'000;
+  config.sndbuf_bytes = 4'096;  // kernel clamps up to its floor
+  config.outbox_bytes = 512;
+  config.outbox_stall_timeout_us = stall_timeout_us;
+  return config;
+}
+
+TEST(IsmOutboxStallTest, OverloadedPeerSurvivesGracePeriodAndFramesNeverTear) {
+  auto sink = std::make_shared<CallbackSink>([](const sensors::Record&) {});
+  auto ism = Ism::start(stall_config(/*stall_timeout_us=*/60'000'000),
+                        clk::SystemClock::instance(), sink);
+  ASSERT_TRUE(ism.is_ok()) << ism.status().to_string();
+  std::thread server([&] { (void)ism.value()->run(); });
+
+  net::TcpSocket client = connect_tiny_rcvbuf(ism.value()->port());
+  ASSERT_TRUE(client.valid());
+  ByteBuffer hello;
+  xdr::Encoder enc(hello);
+  tp::put_type(tp::MsgType::hello, enc);
+  tp::encode_hello({NodeId(7), tp::kProtocolVersion}, enc);
+  ASSERT_TRUE(net::write_frame(client, hello.view()));
+  ASSERT_TRUE(net::read_frame(client).is_ok()) << "hello_ack";
+
+  // Stop reading: millisecond acks fill the kernel buffers, then the 512-byte
+  // outbox, and every further sweep sees Errc::buffer_full. Within the 60 s
+  // grace the server must classify that as transient and keep the session.
+  sleep_micros(2'000'000);
+  EXPECT_EQ(ism.value()->connected_nodes(), 1u)
+      << "buffer_full during the grace period must not reap the connection";
+
+  // Resume reading: each deferred ack must arrive as one intact frame (a
+  // torn frame would desync the length-prefixed stream and fail the parse).
+  int intact_acks = 0;
+  for (int i = 0; i < 40; ++i) {
+    auto frame = net::read_frame(client);
+    ASSERT_TRUE(frame.is_ok()) << "torn or corrupt frame after stall: "
+                               << frame.status().to_string();
+    xdr::Decoder dec(frame.value().view());
+    auto type = tp::peek_type(dec);
+    ASSERT_TRUE(type.is_ok());
+    ASSERT_EQ(type.value(), tp::MsgType::batch_ack);
+    ++intact_acks;
+  }
+  EXPECT_EQ(intact_acks, 40);
+  EXPECT_EQ(ism.value()->connected_nodes(), 1u);
+
+  ism.value()->stop();
+  server.join();
+}
+
+TEST(IsmOutboxStallTest, ZeroGraceReapsWedgedPeer) {
+  // Same traffic shape, legacy classification: the first buffer_full is
+  // fatal. This closing proves the survival test above really stalled.
+  auto sink = std::make_shared<CallbackSink>([](const sensors::Record&) {});
+  auto ism = Ism::start(stall_config(/*stall_timeout_us=*/0),
+                        clk::SystemClock::instance(), sink);
+  ASSERT_TRUE(ism.is_ok()) << ism.status().to_string();
+  std::thread server([&] { (void)ism.value()->run(); });
+
+  net::TcpSocket client = connect_tiny_rcvbuf(ism.value()->port());
+  ASSERT_TRUE(client.valid());
+  ByteBuffer hello;
+  xdr::Encoder enc(hello);
+  tp::put_type(tp::MsgType::hello, enc);
+  tp::encode_hello({NodeId(9), tp::kProtocolVersion}, enc);
+  ASSERT_TRUE(net::write_frame(client, hello.view()));
+  ASSERT_TRUE(net::read_frame(client).is_ok()) << "hello_ack";
+
+  // Never read again; the wedged outbox must reap the session promptly.
+  const TimeMicros deadline = monotonic_micros() + 8'000'000;
+  while (ism.value()->connected_nodes() > 0 && monotonic_micros() < deadline) {
+    sleep_micros(10'000);
+  }
+  EXPECT_EQ(ism.value()->connected_nodes(), 0u)
+      << "outbox_stall_timeout_us=0 must reap on the first buffer_full";
+
+  ism.value()->stop();
+  server.join();
+}
 
 // Acceptance: the sorted + CRE-ordered output stream must be byte-identical
 // whichever poller backend, reader-thread count, and ordering-shard count
@@ -267,13 +416,15 @@ INSTANTIATE_TEST_SUITE_P(IngestModes, IsmServerTest,
 // sorted data order.
 TEST(IsmIngestDeterminismTest, SortedOutputIdenticalAcrossConfigs) {
   std::vector<IngestMode> modes;
-  for (net::PollerBackend poller : {net::PollerBackend::select, net::PollerBackend::epoll}) {
+  for (net::PollerBackend poller : ingest_backends()) {
     for (std::size_t readers : {std::size_t{0}, std::size_t{2}}) {
       for (std::size_t shards : {std::size_t{1}, std::size_t{2}, std::size_t{4}}) {
         modes.push_back(IngestMode{poller, readers, shards});
       }
     }
   }
+  // The legacy periodic-walk pump must order identically to readiness mode.
+  modes.push_back(IngestMode{net::PollerBackend::epoll, 2, 2, false});
   constexpr int kNodes = 3;
   constexpr int kRecordsPerNode = 40;
   // Timestamps sit near the current wall clock: the sorter releases a
@@ -293,6 +444,7 @@ TEST(IsmIngestDeterminismTest, SortedOutputIdenticalAcrossConfigs) {
     config.poller = mode.poller;
     config.reader_threads = mode.reader_threads;
     config.sorter_shards = mode.sorter_shards;
+    config.readiness_pump = mode.readiness_pump;
     config.metrics_interval_us = 5'000;  // self-instrumentation on
 
     auto order = std::make_shared<std::vector<std::pair<TimeMicros, NodeId>>>();

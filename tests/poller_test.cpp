@@ -1,14 +1,21 @@
 // Poller backend parity suite: every readiness-dispatch scenario runs
-// against both SelectPoller and EpollPoller so backends cannot drift apart.
-// Includes the >FD_SETSIZE smoke test that motivates epoll: select() cannot
-// watch descriptors at or beyond FD_SETSIZE, epoll dispatches them fine.
+// against SelectPoller, EpollPoller, and (when the kernel provides it)
+// UringPoller so backends cannot drift apart. Includes the >FD_SETSIZE
+// smoke test that motivates the non-select backends: select() cannot watch
+// descriptors at or beyond FD_SETSIZE, epoll and io_uring dispatch them
+// fine. On kernels without io_uring the uring parameter is simply not
+// generated and the uring-specific tests skip.
 #include <gtest/gtest.h>
 
 #include <fcntl.h>
 #include <sys/resource.h>
+#include <sys/socket.h>
 #include <unistd.h>
 
+#include <cstdlib>
 #include <memory>
+#include <utility>
+#include <vector>
 
 #include "common/time_util.hpp"
 #include "net/poller.hpp"
@@ -248,8 +255,150 @@ TEST_P(PollerTest, DescriptorBeyondSelectRange) {
   ::close(high_fd);
 }
 
-INSTANTIATE_TEST_SUITE_P(Backends, PollerTest,
-                         ::testing::Values(PollerBackend::select, PollerBackend::epoll),
+// Rapid watch/unwatch cycles must leave no stale dispatch behind: only the
+// registration alive at poll time may fire. For the uring backend this also
+// exercises SQ-ring overflow (the churn queues far more than one ring's
+// worth of registrations between polls, forcing mid-cycle flushes).
+TEST_P(PollerTest, WatchUnwatchChurnDispatchesLatestOnly) {
+  auto pair = socket_pair();
+  ASSERT_TRUE(pair.is_ok());
+  auto loop = make();
+  const int fd = pair.value().second.fd();
+  int stale = 0;
+  for (int i = 0; i < 400; ++i) {
+    ASSERT_TRUE(loop->watch(fd, [&](int, Readiness) { ++stale; }));
+    ASSERT_TRUE(loop->unwatch(fd));
+  }
+  int fresh = 0;
+  ASSERT_TRUE(loop->watch(fd, [&](int, Readiness) { ++fresh; }));
+  EXPECT_EQ(loop->watched_count(), 1u);
+  const std::uint8_t byte = 1;
+  ASSERT_TRUE(pair.value().first.write_all(ByteSpan{&byte, 1}));
+  ASSERT_TRUE(loop->poll_once(100'000).is_ok());
+  EXPECT_EQ(stale, 0) << "an unwatched registration must never dispatch";
+  EXPECT_EQ(fresh, 1);
+  // A second churn burst with polls interleaved: still only the live
+  // registration dispatches.
+  for (int i = 0; i < 50; ++i) {
+    ASSERT_TRUE(loop->watch(fd, [&](int, Readiness) { ++stale; }));
+    ASSERT_TRUE(loop->poll_once(0).is_ok());
+    ASSERT_TRUE(loop->unwatch(fd));
+    ASSERT_TRUE(loop->poll_once(0).is_ok());
+  }
+  ASSERT_TRUE(loop->watch(fd, [&](int, Readiness) { ++fresh; }));
+  ASSERT_TRUE(pair.value().first.write_all(ByteSpan{&byte, 1}));
+  ASSERT_TRUE(loop->poll_once(100'000).is_ok());
+  EXPECT_EQ(fresh, 2);
+}
+
+// Combined interest reports both sides in one callback, and downgrading the
+// interest stops the dropped side from firing. Also checks level-triggered
+// parity: unread data must keep reporting readable on subsequent polls.
+TEST_P(PollerTest, ReadableWritableInterplay) {
+  auto pair = socket_pair();
+  ASSERT_TRUE(pair.is_ok());
+  auto loop = make();
+  const int fd = pair.value().second.fd();
+  Readiness seen = Readiness::none;
+  ASSERT_TRUE(loop->watch(fd, Readiness::readable | Readiness::writable,
+                          [&](int, Readiness ready) { seen = ready; }));
+  // Idle socket: writable only.
+  ASSERT_TRUE(loop->poll_once(100'000).is_ok());
+  EXPECT_TRUE(any(seen & Readiness::writable));
+  EXPECT_FALSE(any(seen & Readiness::readable));
+  // With a byte pending both sides are ready; one dispatch carries both.
+  const std::uint8_t byte = 1;
+  ASSERT_TRUE(pair.value().first.write_all(ByteSpan{&byte, 1}));
+  seen = Readiness::none;
+  auto handled = loop->poll_once(100'000);
+  ASSERT_TRUE(handled.is_ok());
+  EXPECT_EQ(handled.value(), 1);
+  EXPECT_TRUE(any(seen & Readiness::readable));
+  EXPECT_TRUE(any(seen & Readiness::writable));
+  // Downgrade to readable-only; the byte is still unread, so the backend
+  // must keep reporting readable (level-triggered), never writable.
+  ASSERT_TRUE(loop->watch(fd, Readiness::readable, [&](int, Readiness ready) { seen = ready; }));
+  seen = Readiness::none;
+  ASSERT_TRUE(loop->poll_once(100'000).is_ok());
+  EXPECT_TRUE(any(seen & Readiness::readable));
+  EXPECT_FALSE(any(seen & Readiness::writable));
+  // Drain the byte: quiet again.
+  std::uint8_t sink = 0;
+  ASSERT_TRUE(pair.value().second.read_some(MutableByteSpan{&sink, 1}).is_ok());
+  handled = loop->poll_once(1'000);
+  ASSERT_TRUE(handled.is_ok());
+  EXPECT_EQ(handled.value(), 0);
+}
+
+// A peer hangup must wake a watcher that subscribed to writable only —
+// the shape of the readiness-driven outbox pump, where a connection with a
+// full send buffer watches writable and the peer dies. All backends route
+// HUP/ERR through the declared interest.
+TEST_P(PollerTest, HupWakesWriteOnlyWatcher) {
+  auto pair = socket_pair();
+  ASSERT_TRUE(pair.is_ok());
+  auto loop = make();
+  TcpSocket writer = std::move(pair.value().second);
+  ASSERT_TRUE(writer.set_nonblocking(true));
+  // Shrink the send buffer and fill it so the socket is NOT writable.
+  const int small = 4096;
+  ASSERT_EQ(::setsockopt(writer.fd(), SOL_SOCKET, SO_SNDBUF, &small, sizeof(small)), 0);
+  std::vector<std::uint8_t> chunk(64 * 1024, 0xab);
+  while (true) {
+    auto wrote = writer.write_some(ByteSpan{chunk.data(), chunk.size()});
+    if (!wrote.is_ok() || wrote.value() == 0) break;
+  }
+  int fired = 0;
+  ASSERT_TRUE(loop->watch(writer.fd(), Readiness::writable, [&](int, Readiness ready) {
+    ++fired;
+    EXPECT_TRUE(any(ready & Readiness::writable));
+  }));
+  // Buffer full, peer alive: no writable event.
+  auto handled = loop->poll_once(20'000);
+  ASSERT_TRUE(handled.is_ok());
+  EXPECT_EQ(fired, 0) << "socket with a full send buffer must not report writable";
+  // Peer closes with unread data: the kernel raises HUP/ERR and the
+  // write-only watcher must wake so the owner can reap the connection.
+  pair.value().first.close();
+  handled = loop->poll_once(1'000'000);
+  ASSERT_TRUE(handled.is_ok());
+  EXPECT_EQ(fired, 1) << "hangup must wake a write-only watcher";
+}
+
+// The fixed dispatch path pins the callback through a stable handle, so a
+// callback replacing ITSELF mid-dispatch (re-watch with new interest) must
+// not die with the registration it came from.
+TEST_P(PollerTest, CallbackMayRewatchSelf) {
+  auto pair = socket_pair();
+  ASSERT_TRUE(pair.is_ok());
+  auto loop = make();
+  const int fd = pair.value().second.fd();
+  int old_fired = 0;
+  int new_fired = 0;
+  ASSERT_TRUE(loop->watch(fd, [&, fd](int, Readiness) {
+    ++old_fired;
+    // Replaces this very callback while it runs.
+    ASSERT_TRUE(loop->watch(fd, [&](int, Readiness) { ++new_fired; }));
+  }));
+  const std::uint8_t byte = 1;
+  ASSERT_TRUE(pair.value().first.write_all(ByteSpan{&byte, 1}));
+  ASSERT_TRUE(loop->poll_once(100'000).is_ok());
+  EXPECT_EQ(old_fired, 1);
+  // The byte is still unread: the replacement callback fires now.
+  ASSERT_TRUE(loop->poll_once(100'000).is_ok());
+  EXPECT_EQ(old_fired, 1);
+  EXPECT_EQ(new_fired, 1);
+}
+
+std::vector<PollerBackend> parity_backends() {
+  std::vector<PollerBackend> backends{PollerBackend::select, PollerBackend::epoll};
+  // Generated at test-registration time: on kernels without io_uring the
+  // uring parameter simply does not exist (ci.sh keys off this).
+  if (uring_available()) backends.push_back(PollerBackend::uring);
+  return backends;
+}
+
+INSTANTIATE_TEST_SUITE_P(Backends, PollerTest, ::testing::ValuesIn(parity_backends()),
                          [](const ::testing::TestParamInfo<PollerBackend>& info) {
                            return std::string(to_string(info.param));
                          });
@@ -261,7 +410,121 @@ TEST(PollerFactoryTest, ParseBackendNames) {
   auto epoll_backend = parse_poller_backend("epoll");
   ASSERT_TRUE(epoll_backend.is_ok());
   EXPECT_EQ(epoll_backend.value(), PollerBackend::epoll);
+  auto uring_backend = parse_poller_backend("uring");
+  ASSERT_TRUE(uring_backend.is_ok());
+  EXPECT_EQ(uring_backend.value(), PollerBackend::uring);
   EXPECT_EQ(parse_poller_backend("kqueue").status().code(), Errc::invalid_argument);
+}
+
+// Regression for the unwatch ordering bug: EPOLL_CTL_DEL used to run AFTER
+// the bookkeeping erase, so a genuine ctl failure returned an error with
+// entries_ already mutated and the kernel still watching. Reproduce a real
+// ctl failure by closing the watched socket and re-pointing its fd number
+// at a regular file: epoll_ctl rejects regular files with EPERM (checked
+// before the not-registered lookup), which is not in the tolerated
+// EBADF/ENOENT set.
+TEST(EpollPollerTest, UnwatchFailureLeavesEntryRegistered) {
+  auto pair = socket_pair();
+  ASSERT_TRUE(pair.is_ok());
+  EpollPoller loop;
+  const int fd = pair.value().second.fd();
+  ASSERT_TRUE(loop.watch(fd, [](int, Readiness) {}));
+  ASSERT_EQ(loop.watched_count(), 1u);
+
+  const int file_fd = ::open("/dev/null", O_RDONLY);
+  // /dev/null polls fine; use an actual regular file.
+  ::close(file_fd);
+  char tmpl[] = "/tmp/brisk_poller_unwatch_XXXXXX";
+  const int reg_fd = ::mkstemp(tmpl);
+  ASSERT_GE(reg_fd, 0);
+  ::unlink(tmpl);
+  // Close the socket out from under the poller and land the regular file on
+  // the same descriptor number.
+  pair.value().second.close();
+  ASSERT_EQ(::dup2(reg_fd, fd), fd);
+  ::close(reg_fd);
+
+  Status st = loop.unwatch(fd);
+  EXPECT_EQ(st.code(), Errc::io_error) << st.to_string();
+  EXPECT_EQ(loop.watched_count(), 1u)
+      << "failed unwatch must leave the poller's bookkeeping untouched";
+
+  // Once the offending fd is gone the same unwatch succeeds (EBADF is a
+  // tolerated shape of "already deregistered") and the entry goes with it.
+  ::close(fd);
+  EXPECT_TRUE(loop.unwatch(fd));
+  EXPECT_EQ(loop.watched_count(), 0u);
+}
+
+// --- io_uring-specific coverage (names matter: ci.sh's TSan stage matches
+// on "UringPoller"). Each test skips cleanly when the kernel lacks io_uring.
+
+TEST(UringPollerTest, FactoryFallsBackWhenUnavailable) {
+  auto loop = make_poller(PollerBackend::uring);
+  ASSERT_NE(loop, nullptr) << "make_poller(uring) must always construct something";
+  if (uring_available()) {
+    EXPECT_STREQ(loop->backend_name(), "uring");
+  } else {
+    EXPECT_STREQ(loop->backend_name(), "epoll") << "fallback must land on epoll";
+  }
+}
+
+TEST(UringPollerTest, BatchedRegistrationsDispatchInOneCycle) {
+  if (!uring_available()) GTEST_SKIP() << "no io_uring on this kernel";
+  auto loop = make_uring_poller();
+  ASSERT_NE(loop, nullptr);
+  // All registrations queue as SQEs and submit with the first poll's single
+  // io_uring_enter; every ready fd must dispatch in that same cycle.
+  constexpr int kPairs = 32;
+  std::vector<Result<std::pair<TcpSocket, TcpSocket>>> pairs;
+  int fired = 0;
+  for (int i = 0; i < kPairs; ++i) {
+    pairs.push_back(socket_pair());
+    ASSERT_TRUE(pairs.back().is_ok());
+    ASSERT_TRUE(loop->watch(pairs.back().value().second.fd(), [&](int, Readiness) { ++fired; }));
+  }
+  const std::uint8_t byte = 1;
+  for (auto& p : pairs) ASSERT_TRUE(p.value().first.write_all(ByteSpan{&byte, 1}));
+  auto handled = loop->poll_once(100'000);
+  ASSERT_TRUE(handled.is_ok());
+  EXPECT_EQ(handled.value(), kPairs);
+  EXPECT_EQ(fired, kPairs);
+}
+
+TEST(UringPollerTest, StaleCompletionAfterRewatchIsDropped) {
+  if (!uring_available()) GTEST_SKIP() << "no io_uring on this kernel";
+  auto loop = make_uring_poller();
+  ASSERT_NE(loop, nullptr);
+  auto pair = socket_pair();
+  ASSERT_TRUE(pair.is_ok());
+  const int fd = pair.value().second.fd();
+  // Make the fd ready, poll so the kernel has completed the first
+  // registration, then re-watch before dispatching again: the completion
+  // belonging to the first generation must not reach the second callback
+  // twice or the first callback at all after replacement.
+  const std::uint8_t byte = 1;
+  ASSERT_TRUE(pair.value().first.write_all(ByteSpan{&byte, 1}));
+  int first_cb = 0;
+  ASSERT_TRUE(loop->watch(fd, [&](int, Readiness) { ++first_cb; }));
+  ASSERT_TRUE(loop->poll_once(100'000).is_ok());
+  EXPECT_EQ(first_cb, 1);
+  int second_cb = 0;
+  ASSERT_TRUE(loop->watch(fd, [&](int, Readiness) { ++second_cb; }));
+  ASSERT_TRUE(loop->poll_once(100'000).is_ok());
+  EXPECT_EQ(first_cb, 1) << "replaced callback must not fire again";
+  EXPECT_EQ(second_cb, 1);
+}
+
+TEST(UringPollerTest, AvailabilityProbeIsStable) {
+  // Whatever the kernel supports, the probe must agree with itself and with
+  // the factory across calls (it is consulted by tests and ci.sh).
+  const bool first = uring_available();
+  EXPECT_EQ(first, uring_available());
+  if (first) {
+    EXPECT_NE(make_uring_poller(), nullptr);
+  } else {
+    EXPECT_EQ(make_uring_poller(), nullptr);
+  }
 }
 
 }  // namespace
