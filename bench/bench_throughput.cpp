@@ -25,6 +25,8 @@
 #include "ism/output.hpp"
 #include "consumers/gateway_client.hpp"
 #include "net/poller.hpp"
+#include "sensors/event_record.hpp"
+#include "sensors/metrics_record.hpp"
 #include "sim/workload.hpp"
 #include "tp/wire.hpp"
 
@@ -49,6 +51,33 @@ brisk::TimeMicros g_sweep_duration = 1'000'000;
   std::thread app([&] {
     sim::WorkloadConfig config;
     config.events_per_sec = 0.0;  // saturate
+    config.duration_us = g_sweep_duration;
+    (void)sim::run_looping_workload(sensor.value(), config);
+  });
+  (void)exs.value()->run_for(g_sweep_duration + 200'000);
+  app.join();
+  _exit(0);
+}
+
+/// Child process body for the metrics-heavy federation cell: a *paced*
+/// sender whose interesting traffic is its own 0xFF01 self-instrumentation
+/// at a 50 ms interval — the aggregation win is measured on those records,
+/// so the data plane must not be the bottleneck.
+[[noreturn]] void run_metrics_node(brisk::NodeId node_id, std::uint16_t ism_port) {
+  using namespace brisk;  // NOLINT
+  auto node_config = bench::bench_node_config(node_id);
+  node_config.exs.batch_max_records = 256;
+  node_config.exs.batch_max_bytes = 1u << 20;
+  node_config.exs.metrics_interval_us = 50'000;
+  auto node = BriskNode::create(node_config);
+  if (!node) _exit(10);
+  auto sensor = node.value()->make_sensor();
+  if (!sensor) _exit(11);
+  auto exs = node.value()->connect_exs("127.0.0.1", ism_port);
+  if (!exs) _exit(12);
+  std::thread app([&] {
+    sim::WorkloadConfig config;
+    config.events_per_sec = 2'000;
     config.duration_us = g_sweep_duration;
     (void)sim::run_looping_workload(sensor.value(), config);
   });
@@ -477,11 +506,122 @@ int federation_sweep(int senders) {
   return 0;
 }
 
+/// Metrics-heavy federation cell: the same 2-level tree, but the traffic
+/// that matters is self-instrumentation — paced senders emitting 0xFF01
+/// snapshots every 50 ms behind 2 relays, with --relay-aggregate-metrics
+/// off vs on. The root sink counts reserved records by sensor id; with
+/// aggregation on, per-node subtree snapshots collapse into one aggregated
+/// snapshot per relay per flush period, while 0xFF03 events pass through
+/// unmerged in both cells. Acceptance: >= 2x fewer 0xFF01 records at the
+/// root with aggregation on.
+int metrics_aggregation_sweep(int senders) {
+  using namespace brisk;  // NOLINT
+  bench::row("metrics-heavy federation: %d paced senders (2k ev/s, metrics every 50ms), "
+             "2 relays, flush period 50ms",
+             senders);
+  bench::row("%12s %16s %12s %12s %14s", "aggregate", "delivered(ev/s)", "ff01@root",
+             "ff03@root", "egress_stalls");
+  std::uint64_t ff01_counts[2] = {0, 0};
+  int pass = 0;
+  for (bool aggregate : {false, true}) {
+    auto root_config = bench::bench_manager_config();
+    root_config.ism.sorter.max_pending = 1u << 22;
+    root_config.ism.poller = net::PollerBackend::epoll;
+    root_config.ism.reader_threads = 4;
+    root_config.ism.sorter_shards = 2;
+    root_config.ism.shard_queue_records = 1u << 14;
+    auto root = BriskManager::create(root_config);
+    if (!root) return 1;
+
+    std::atomic<std::uint64_t> ff01{0};
+    std::atomic<std::uint64_t> ff03{0};
+    auto sink = std::make_shared<ism::CallbackSink>([&](const sensors::Record& r) {
+      if (r.sensor == sensors::kMetricsSensorId) {
+        ff01.fetch_add(1, std::memory_order_relaxed);
+      } else if (r.sensor == sensors::kEventSensorId) {
+        ff03.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+    if (!root.value()->add_sink("bench-ff01", sink).ok()) return 1;
+    std::thread root_thread([&] { (void)root.value()->run(); });
+
+    std::vector<std::unique_ptr<BriskManager>> relays;
+    std::vector<std::thread> relay_threads;
+    for (int r = 0; r < 2; ++r) {
+      auto relay_config = bench::bench_manager_config();
+      relay_config.ism.sorter.max_pending = 1u << 22;
+      relay_config.ism.poller = net::PollerBackend::epoll;
+      relay_config.ism.reader_threads = 2;
+      relay_config.ism.sorter_shards = 2;
+      relay_config.ism.shard_queue_records = 1u << 14;
+      relay_config.relay_enabled = true;
+      relay_config.relay.parent_port = root.value()->port();
+      relay_config.relay.relay_node = static_cast<NodeId>(1000 + r);
+      relay_config.relay.batch_max_age_us = 2'000;
+      relay_config.relay.idle_watermark_period_us = 20'000;
+      relay_config.relay.aggregate_metrics = aggregate;
+      relay_config.relay.metrics_flush_period_us = 50'000;
+      auto relay = BriskManager::create(relay_config);
+      if (!relay) return 1;
+      relays.push_back(std::move(relay).value());
+      relay_threads.emplace_back([m = relays.back().get()] { (void)m->run(); });
+    }
+
+    std::vector<pid_t> children;
+    for (int n = 0; n < senders; ++n) {
+      const std::uint16_t port = relays[static_cast<std::size_t>(n) % 2]->port();
+      const pid_t pid = ::fork();
+      if (pid < 0) return 1;
+      if (pid == 0) run_metrics_node(static_cast<NodeId>(n + 1), port);
+      children.push_back(pid);
+    }
+    for (pid_t pid : children) {
+      int status = 0;
+      ::waitpid(pid, &status, 0);
+    }
+
+    std::uint64_t egress_stalls = 0;
+    for (std::size_t r = 0; r < relays.size(); ++r) {
+      relays[r]->stop();
+      relay_threads[r].join();
+      (void)relays[r]->drain();  // forces the final aggregated flush upstream
+      egress_stalls += relays[r]->relay()->stats().queue_stalls;
+    }
+    root.value()->stop();
+    root_thread.join();
+    (void)root.value()->drain();
+
+    const auto pipeline_stats = root.value()->ism().pipeline().stats();
+    const double rate = static_cast<double>(pipeline_stats.merged) /
+                        (static_cast<double>(g_sweep_duration) / 1e6);
+    bench::row("%12s %16.0f %12llu %12llu %14llu", aggregate ? "on" : "off", rate,
+               static_cast<unsigned long long>(ff01.load()),
+               static_cast<unsigned long long>(ff03.load()),
+               static_cast<unsigned long long>(egress_stalls));
+    ff01_counts[pass++] = ff01.load();
+  }
+  const double reduction =
+      ff01_counts[1] > 0
+          ? static_cast<double>(ff01_counts[0]) / static_cast<double>(ff01_counts[1])
+          : 0.0;
+  bench::row("0xFF01 reduction at root: %.1fx (acceptance: >= 2x with aggregation on)",
+             reduction);
+  return reduction >= 2.0 ? 0 : 1;
+}
+
 int main(int argc, char** argv) {
   using namespace brisk;  // NOLINT
   // --smoke (ci.sh): skip the minute-long sweeps, run one short sharded
   // config end-to-end to catch ordering-pipeline regressions cheaply.
   const bool smoke = argc > 1 && std::strcmp(argv[1], "--smoke") == 0;
+  // --metrics-agg: just the metrics-heavy federation cell (agg off vs on),
+  // exits nonzero if the 0xFF01 reduction at the root falls under 2x.
+  if (argc > 1 && std::strcmp(argv[1], "--metrics-agg") == 0) {
+    g_sweep_duration = 2'000'000;
+    bench::heading("E-obs: in-tree metrics aggregation at the relay tier",
+                   "16 metrics-heavy senders, 2 relays; pass = >= 2x fewer 0xFF01 at root");
+    return metrics_aggregation_sweep(16);
+  }
   if (smoke) {
     g_sweep_duration = 200'000;
     bench::heading("E3 (smoke): sharded ordering pipeline end-to-end",
@@ -614,5 +754,8 @@ int main(int argc, char** argv) {
 
   // Federation sweep: flat fan-in vs a 2-level relay tree for the same
   // sender population.
-  return federation_sweep(16);
+  if (int rc = federation_sweep(16); rc != 0) return rc;
+
+  // Metrics-heavy federation cell: relay-tier 0xFF01 aggregation off vs on.
+  return metrics_aggregation_sweep(16);
 }

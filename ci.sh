@@ -1,5 +1,5 @@
 #!/usr/bin/env bash
-# CI gate for BRISK. Eleven stages, any failure aborts the run:
+# CI gate for BRISK. Twelve stages, any failure aborts the run:
 #   1. tier-1: release-ish build + the full ctest suite
 #   2. determinism + poller parity: the ingest/ordering determinism grid
 #      run explicitly — one test body covering {select, epoll, and uring
@@ -38,17 +38,23 @@
 #      nodes and be globally timestamp-sorted, and the tree's node set
 #      must match the flat run's (byte-identity across the determinism
 #      grid is proven in-process by relay_federation_test in stage 1)
-#   9. resilience: the crash/churn/fault-injection label on the same build
-#  10. sanitize: a separate ASan+UBSan tree running the resilience label
+#   9. health smoke: an aggregating 2-relay tree (4 EXS → 2 relay ISMs
+#      with --relay-aggregate-metrics → root ISM), one EXS killed -9
+#      mid-run — brisk_consume --mode health --json at the root must
+#      report the dead node stale/departed (its aggregate watermark
+#      freezes while the fleet frontier advances) and every survivor live
+#  10. resilience: the crash/churn/fault-injection label on the same build
+#  11. sanitize: a separate ASan+UBSan tree running the resilience label
 #      (including the flow-control property suite), which is where lifetime
 #      and data-race-adjacent bugs actually surface
-#  11. tsan: a TSan tree over the threaded ingest/ordering/metrics/trace
+#  12. tsan: a TSan tree over the threaded ingest/ordering/metrics/trace
 #      tests plus the flow-control property suite, the consumer-gateway
 #      suite, the federation suite (relay lanes, reader migration,
-#      two-hop sync), and the io_uring poller suite — the cross-thread
-#      stats counters, the credit
-#      drained-record cells, the relay lane cells, and the gateway's
-#      fan-out thread must stay clean on the whole grid
+#      two-hop sync, metrics aggregation), the flight-recorder and
+#      health-rollup suites, and the io_uring poller suite — the
+#      cross-thread stats counters, the credit drained-record cells, the
+#      relay lane cells, and the gateway's fan-out thread must stay clean
+#      on the whole grid
 #
 # Usage: ./ci.sh [--skip-sanitize]
 set -euo pipefail
@@ -64,12 +70,12 @@ done
 
 JOBS="$(nproc 2>/dev/null || echo 4)"
 
-echo "==> [1/11] tier-1 build + full test suite"
+echo "==> [1/12] tier-1 build + full test suite"
 cmake -B build -S . >/dev/null
 cmake --build build -j"$JOBS"
 ctest --test-dir build --output-on-failure -j"$JOBS"
 
-echo "==> [2/11] determinism grid + poller parity (all backends, shards 1/2/4, metrics on)"
+echo "==> [2/12] determinism grid + poller parity (all backends, shards 1/2/4, metrics on)"
 # The parity and determinism suites instantiate their uring cases at runtime
 # (net::uring_available()); probe the same detection here so the log says
 # explicitly which grid actually ran.
@@ -81,11 +87,11 @@ fi
 ctest --test-dir build --output-on-failure --no-tests=error \
   -R 'IsmIngestDeterminismTest|PollerTest'
 
-echo "==> [3/11] bench smoke: sharded ordering pipeline + traced delivery"
+echo "==> [3/12] bench smoke: sharded ordering pipeline + traced delivery"
 ./build/bench/bench_throughput --smoke
 ./build/bench/bench_latency --smoke
 
-echo "==> [4/11] metrics smoke: daemon pair + brisk_consume --metrics"
+echo "==> [4/12] metrics smoke: daemon pair + brisk_consume --metrics"
 METRICS_SHM_OUT="/brisk-ci-metrics-out-$$"
 METRICS_SHM_NODE="/brisk-ci-metrics-node-$$"
 ISM_PID=""
@@ -123,7 +129,7 @@ echo "$METRICS_OUT" | grep 'ism\.records_received' | head -1
 cleanup_metrics_smoke
 trap - EXIT
 
-echo "==> [5/11] latency smoke: traced daemon trio + brisk_consume --mode latency"
+echo "==> [5/12] latency smoke: traced daemon trio + brisk_consume --mode latency"
 LAT_SHM_OUT="/brisk-ci-lat-out-$$"
 LAT_SHM_NODE1="/brisk-ci-lat-node1-$$"
 LAT_SHM_NODE2="/brisk-ci-lat-node2-$$"
@@ -183,7 +189,7 @@ PYEOF
 cleanup_latency_smoke
 trap - EXIT
 
-echo "==> [6/11] flow-control smoke: overdriven EXS vs stalled ISM, credits off/on"
+echo "==> [6/12] flow-control smoke: overdriven EXS vs stalled ISM, credits off/on"
 FC_SHM_OUT="/brisk-ci-fc-out-$$"
 FC_SHM_NODE="/brisk-ci-fc-node-$$"
 ISM_PID=""
@@ -243,7 +249,7 @@ echo "flow smoke: credits off drops, credits on loses nothing at the rings"
 cleanup_fc_smoke
 trap - EXIT
 
-echo "==> [7/11] fan-out smoke: gateway + 3 disjoint TCP subscribers"
+echo "==> [7/12] fan-out smoke: gateway + 3 disjoint TCP subscribers"
 FAN_SHM_OUT="/brisk-ci-fan-out-$$"
 FAN_SHM_NODE="/brisk-ci-fan-node-$$"
 ISM_PID=""
@@ -302,7 +308,7 @@ check_fanout_stream "$FAN_SP" spans '$2 == 65282'
 echo "fan-out smoke: $(wc -l <"$FAN_WK") workload / $(wc -l <"$FAN_MX") metrics / $(wc -l <"$FAN_SP") span lines, disjoint"
 rm -f "$FAN_WK" "$FAN_MX" "$FAN_SP"
 
-echo "==> [8/11] relay smoke: flat vs 2-level relay tree through the real binaries"
+echo "==> [8/12] relay smoke: flat vs 2-level relay tree through the real binaries"
 RELAY_DIR="$(mktemp -d)"
 RELAY_ISM_PIDS=()
 RELAY_EXS_PIDS=()
@@ -322,20 +328,22 @@ trap cleanup_relay_smoke EXIT
 # early records release before late-connecting peers' older ones arrive.
 RELAY_FRAME_FLAGS="--frame-us 2000000 --min-frame-us 2000000 --adaptive=false"
 # Starts a brisk_ism ($1 = log file, rest = flags), waits for its port and
-# echoes it.
+# leaves it in RELAY_PORT. NOT safe to call via $(...): the pid bookkeeping
+# must happen in this shell, or the kill loops iterate an empty array and
+# every ISM leaks past the stage.
 start_ism() {
   local log="$1"; shift
   # shellcheck disable=SC2086  # frame flags deliberately word-split
   ./build/src/apps/brisk_ism --port 0 $RELAY_FRAME_FLAGS "$@" >"$log" 2>&1 &
   RELAY_ISM_PIDS+=("$!")
-  local port=""
+  RELAY_PORT=""
   for _ in $(seq 1 50); do
-    port="$(sed -n 's/.*brisk_ism .* listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "$log" | head -1)"
-    [[ -n "$port" ]] && break
+    RELAY_PORT="$(sed -n 's/.*brisk_ism .* listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "$log" | head -1)"
+    [[ -n "$RELAY_PORT" ]] && break
     sleep 0.1
   done
-  [[ -n "$port" ]] || { echo "relay smoke: ISM never reported its port" >&2; cat "$log" >&2; exit 1; }
-  echo "$port"
+  [[ -n "$RELAY_PORT" ]] \
+    || { echo "relay smoke: ISM never reported its port" >&2; cat "$log" >&2; exit 1; }
 }
 # Runs the 4-node workload against topology $1 (flat|tree) and leaves the
 # root's PICL output in $RELAY_DIR/$1.picl.
@@ -344,7 +352,8 @@ run_relay_topology() {
   local root_shm="/brisk-ci-relay-${topo}-root-$$"
   RELAY_SHMS+=("$root_shm")
   local root_port
-  root_port="$(start_ism "$RELAY_DIR/$topo-root.log" --shm "$root_shm")"
+  start_ism "$RELAY_DIR/$topo-root.log" --shm "$root_shm"
+  root_port="$RELAY_PORT"
   local exs_ports=()
   if [[ "$topo" == tree ]]; then
     # Both relays are connected to the root (RelayEgress requires the
@@ -355,9 +364,10 @@ run_relay_topology() {
       local relay_shm="/brisk-ci-relay-${topo}-r${r}-$$"
       RELAY_SHMS+=("$relay_shm")
       local relay_port
-      relay_port="$(start_ism "$RELAY_DIR/$topo-relay$r.log" --shm "$relay_shm" \
+      start_ism "$RELAY_DIR/$topo-relay$r.log" --shm "$relay_shm" \
         --relay-to "127.0.0.1:$root_port" --relay-node "$((1000 + r))" \
-        --relay-batch-age-us 2000 --relay-idle-wm-us 20000)"
+        --relay-batch-age-us 2000 --relay-idle-wm-us 20000
+      relay_port="$RELAY_PORT"
       exs_ports+=("$relay_port" "$relay_port")
     done
   else
@@ -404,23 +414,106 @@ echo "relay smoke: flat $(wc -l <"$RELAY_DIR/flat.picl") / tree $(wc -l <"$RELAY
 cleanup_relay_smoke
 trap - EXIT
 
-echo "==> [9/11] resilience label"
+echo "==> [9/12] health smoke: aggregating relay tree, one EXS killed mid-run"
+HEALTH_DIR="$(mktemp -d)"
+HEALTH_ISM_PIDS=()
+HEALTH_EXS_PIDS=()
+HEALTH_SHMS=()
+cleanup_health_smoke() {
+  for pid in "${HEALTH_EXS_PIDS[@]:-}" "${HEALTH_ISM_PIDS[@]:-}"; do
+    kill "$pid" 2>/dev/null || true
+  done
+  wait 2>/dev/null || true
+  for shm in "${HEALTH_SHMS[@]:-}"; do rm -f "/dev/shm${shm}" 2>/dev/null || true; done
+  rm -rf "$HEALTH_DIR"
+}
+trap cleanup_health_smoke EXIT
+# Starts a brisk_ism ($1 = log file, rest = flags), waits for its port and
+# leaves it in HEALTH_PORT. NOT safe to call via $(...): the pid bookkeeping
+# must happen in this shell or cleanup never sees the daemon.
+health_start_ism() {
+  local log="$1"; shift
+  ./build/src/apps/brisk_ism --port 0 "$@" >"$log" 2>&1 &
+  HEALTH_ISM_PIDS+=("$!")
+  HEALTH_PORT=""
+  for _ in $(seq 1 50); do
+    HEALTH_PORT="$(sed -n 's/.*brisk_ism .* listening on 127\.0\.0\.1:\([0-9]*\).*/\1/p' "$log" | head -1)"
+    [[ -n "$HEALTH_PORT" ]] && break
+    sleep 0.1
+  done
+  [[ -n "$HEALTH_PORT" ]] \
+    || { echo "health smoke: ISM never reported its port" >&2; cat "$log" >&2; exit 1; }
+}
+HEALTH_ROOT_SHM="/brisk-ci-health-root-$$"
+HEALTH_SHMS+=("$HEALTH_ROOT_SHM")
+health_start_ism "$HEALTH_DIR/root.log" --shm "$HEALTH_ROOT_SHM" --metrics-interval 1
+HEALTH_ROOT_PORT="$HEALTH_PORT"
+# Two aggregating relays: per-node 0xFF01 snapshots are absorbed below the
+# root, so the dead node is only observable through its agg.node.<id>
+# watermark gauge — exactly the path the health rollup must handle. A short
+# quarantine makes the relay's 0xFF03 session_expired land inside the run.
+HEALTH_RELAY_PORTS=()
+for r in 0 1; do
+  relay_shm="/brisk-ci-health-r${r}-$$"
+  HEALTH_SHMS+=("$relay_shm")
+  health_start_ism "$HEALTH_DIR/relay$r.log" --shm "$relay_shm" \
+    --relay-to "127.0.0.1:$HEALTH_ROOT_PORT" --relay-node "$((1000 + r))" \
+    --relay-aggregate-metrics --relay-batch-age-us 2000 --relay-idle-wm-us 20000 \
+    --metrics-interval 1 --quarantine-us 1000000
+  HEALTH_RELAY_PORTS+=("$HEALTH_PORT")
+done
+# Nodes 1,2 behind relay 0; nodes 3,4 behind relay 1. Node 3 is the victim.
+VICTIM_PID=""
+for node in 1 2 3 4; do
+  node_shm="/brisk-ci-health-node${node}-$$"
+  HEALTH_SHMS+=("$node_shm")
+  ./build/src/apps/brisk_exs --node "$node" --shm "$node_shm" \
+    --ism-host 127.0.0.1 --ism-port "${HEALTH_RELAY_PORTS[$(((node - 1) / 2))]}" \
+    --workload-rate 200 --metrics-interval 1 >/dev/null 2>&1 &
+  if [[ "$node" == 3 ]]; then VICTIM_PID=$!; else HEALTH_EXS_PIDS+=("$!"); fi
+done
+sleep 4
+kill -9 "$VICTIM_PID" 2>/dev/null || true
+wait "$VICTIM_PID" 2>/dev/null || true
+sleep 5  # let node 3's evidence age past the 3x departed threshold
+timeout 8 ./build/src/apps/brisk_consume --shm "$HEALTH_ROOT_SHM" \
+  --mode health --json --health-stale-ms 1000 --idle-exit-ms 0 \
+  >"$HEALTH_DIR/health.json" 2>/dev/null || true
+[[ -s "$HEALTH_DIR/health.json" ]] \
+  || { echo "health smoke: no health output" >&2; exit 1; }
+python3 - "$HEALTH_DIR/health.json" <<'PYEOF'
+import json, sys
+with open(sys.argv[1]) as f:
+    lines = [line for line in f if line.strip()]
+doc = json.loads(lines[-1])
+states = {n["node"]: n["state"] for n in doc["nodes"]}
+dead = states.get(3)
+assert dead in ("stale", "departed"), f"dead node 3 reported {dead!r} in {states}"
+for node in (1, 2, 4):
+    assert states.get(node) == "live", f"survivor {node} reported {states.get(node)!r} in {states}"
+print(f"health smoke: node 3 {dead}, survivors live "
+      f"({doc['metric_records']} metric records, {doc['event_records']} events)")
+PYEOF
+cleanup_health_smoke
+trap - EXIT
+
+echo "==> [10/12] resilience label"
 ctest --test-dir build --output-on-failure -L resilience
 
 if [[ "$SKIP_SANITIZE" == 1 ]]; then
-  echo "==> [10/11] sanitizer stages skipped (--skip-sanitize)"
+  echo "==> [11/12] sanitizer stages skipped (--skip-sanitize)"
   exit 0
 fi
 
-echo "==> [10/11] ASan+UBSan build + resilience label"
+echo "==> [11/12] ASan+UBSan build + resilience label"
 cmake -B build-asan -S . -DBRISK_SANITIZE=address,undefined >/dev/null
 cmake --build build-asan -j"$JOBS"
 ctest --test-dir build-asan --output-on-failure -L resilience
 
-echo "==> [11/11] TSan build + ingest/ordering/metrics/trace/gateway/federation tests"
+echo "==> [12/12] TSan build + ingest/ordering/metrics/trace/gateway/federation tests"
 cmake -B build-tsan -S . -DBRISK_SANITIZE=thread >/dev/null
 cmake --build build-tsan -j"$JOBS"
 ctest --test-dir build-tsan --output-on-failure --no-tests=error -j"$JOBS" \
-  -R 'IsmServerTest|IsmIngestDeterminismTest|OrderingPipelineTest|Metrics|Trace|FlowControl|CreditGrant|Gateway|SinkRegistry|RelayFederation|ReaderMigration|FederatedSync|UringPoller'
+  -R 'IsmServerTest|IsmIngestDeterminismTest|OrderingPipelineTest|Metrics|Trace|FlowControl|CreditGrant|Gateway|SinkRegistry|RelayFederation|ReaderMigration|FederatedSync|UringPoller|FlightRecorder|HealthRollup|RelayAggregation'
 
 echo "==> CI green"

@@ -29,6 +29,12 @@
 // it in chrome://tracing or Perfetto. Table rows from a node that stopped
 // reporting are evicted after --stale-ms (0 = keep forever).
 //
+// --mode health folds the 0xFF01 metrics and 0xFF03 flight-recorder event
+// streams into a per-node live/stale/departed table with pressure columns
+// (drops, stalls, zero-window grants, reconnects); --health-stale-ms sets
+// the staleness threshold (departed at 3x). --json switches the metrics,
+// latency, and health tables to one JSON object per refresh on stdout.
+//
 // Exits after --max-records records, or when no record arrived for
 // --idle-exit-ms (0 = run until SIGINT).
 #include <csignal>
@@ -43,6 +49,7 @@
 #include "common/time_util.hpp"
 #include "clock/clock.hpp"
 #include "consumers/gateway_client.hpp"
+#include "consumers/health.hpp"
 #include "consumers/shm_consumer.hpp"
 #include "consumers/trace_stats.hpp"
 #include "core/version.hpp"
@@ -67,8 +74,12 @@ brisk::apps::FlagRegistry make_registry() {
       .add_int("sub-queue-records", 0, "requested gateway queue depth (0 = gateway default)")
       .add_int("agg-window-us", 0, "aggregation window for --mode agg (0 = gateway default)")
       .add_string("mode", "picl",
-                  "output mode: picl (stream lines), stats, metrics, latency, or agg")
+                  "output mode: picl (stream lines), stats, metrics, latency, health, or agg")
       .add_bool("metrics", false, "shorthand for --mode metrics")
+      .add_bool("json", false,
+                "emit the metrics/latency/health tables as one JSON object per refresh")
+      .add_int("health-stale-ms", 3'000,
+               "health mode: nodes silent this long are stale, 3x departed (0 = never)")
       .add_string("trace-out", "", "write trace spans as Chrome trace_event JSON to this file")
       .add_int("max-records", 0, "exit after this many records (0 = unlimited)")
       .add_int("idle-exit-ms", 2'000, "exit after this long with no records (0 = never)")
@@ -105,6 +116,8 @@ int main(int argc, char** argv) {
   const long long max_records = flags.num("max-records");
   const long long idle_exit_ms = flags.num("idle-exit-ms");
   const long long stale_ms = flags.num("stale-ms");
+  const bool json = flags.flag("json");
+  const long long health_stale_ms = flags.num("health-stale-ms");
   picl::PiclOptions picl_options;
   if (flags.flag("picl-utc")) {
     picl_options.mode = picl::TimestampMode::utc_micros;
@@ -121,9 +134,10 @@ int main(int argc, char** argv) {
     return 2;
   }
   if (mode != "picl" && mode != "stats" && mode != "metrics" && mode != "latency" &&
-      mode != "agg") {
+      mode != "health" && mode != "agg") {
     std::fprintf(stderr,
-                 "brisk_consume: --mode must be picl, stats, metrics, latency, or agg\n");
+                 "brisk_consume: --mode must be picl, stats, metrics, latency, health, "
+                 "or agg\n");
     return 2;
   }
   if (mode == "agg" && connect_to.empty()) {
@@ -212,6 +226,11 @@ int main(int argc, char** argv) {
   };
   std::map<std::pair<NodeId, std::string>, LatencyRow> latency_table;
 
+  consumers::HealthRollup::Options health_options;
+  health_options.stale_after_us = static_cast<TimeMicros>(health_stale_ms) * 1'000;
+  health_options.departed_after_us = health_options.stale_after_us * 3;
+  consumers::HealthRollup health(health_options);
+
   auto evict_stale = [&](TimeMicros now) {
     if (stale_ms <= 0) return;
     const TimeMicros horizon = static_cast<TimeMicros>(stale_ms) * 1'000;
@@ -261,6 +280,44 @@ int main(int argc, char** argv) {
                   static_cast<unsigned long long>(p50), static_cast<unsigned long long>(p90),
                   static_cast<unsigned long long>(p99), static_cast<unsigned long long>(max));
     }
+    std::fflush(stdout);
+  };
+
+  auto print_metrics_json = [&] {
+    std::printf("{\"mode\":\"metrics\",\"records\":%llu,\"series\":[",
+                static_cast<unsigned long long>(metric_records));
+    bool first = true;
+    for (const auto& [key, row] : metric_table) {
+      std::printf("%s{\"node\":%u,\"name\":\"%s\",\"kind\":\"%s\",\"value\":%llu}",
+                  first ? "" : ",", key.first, json_escape(key.second).c_str(),
+                  row.kind == sensors::MetricKind::gauge ? "gauge" : "counter",
+                  static_cast<unsigned long long>(row.value));
+      first = false;
+    }
+    std::printf("]}\n");
+    std::fflush(stdout);
+  };
+
+  auto print_latency_json = [&] {
+    std::printf("{\"mode\":\"latency\",\"rows\":[");
+    bool first = true;
+    for (const auto& [key, row] : latency_table) {
+      std::vector<std::pair<std::uint64_t, std::uint64_t>> buckets(row.buckets.begin(),
+                                                                   row.buckets.end());
+      std::uint64_t total = 0;
+      for (const auto& [bound, count] : buckets) total += count;
+      if (total == 0) continue;
+      std::printf("%s{\"node\":%u,\"name\":\"%s\",\"count\":%llu,\"p50\":%llu,"
+                  "\"p90\":%llu,\"p99\":%llu,\"max\":%llu}",
+                  first ? "" : ",", key.first, json_escape(key.second).c_str(),
+                  static_cast<unsigned long long>(total),
+                  static_cast<unsigned long long>(metrics::histogram_percentile(buckets, 0.50)),
+                  static_cast<unsigned long long>(metrics::histogram_percentile(buckets, 0.90)),
+                  static_cast<unsigned long long>(metrics::histogram_percentile(buckets, 0.99)),
+                  static_cast<unsigned long long>(metrics::histogram_percentile(buckets, 1.00)));
+      first = false;
+    }
+    std::printf("]}\n");
     std::fflush(stdout);
   };
 
@@ -371,8 +428,17 @@ int main(int argc, char** argv) {
     if (now - last_table_at >= 1'000'000) {
       last_table_at = now;
       evict_stale(now);
-      if (mode == "metrics" && !metric_table.empty()) print_metrics();
-      if (mode == "latency" && !latency_table.empty()) print_latency();
+      if (mode == "metrics" && !metric_table.empty()) {
+        json ? print_metrics_json() : print_metrics();
+      }
+      if (mode == "latency" && !latency_table.empty()) {
+        json ? print_latency_json() : print_latency();
+      }
+      // Health refreshes unconditionally: a silent fleet going stale IS the
+      // signal this table exists for.
+      if (mode == "health") {
+        json ? health.print_json(stdout, now) : health.print_table(stdout, now);
+      }
     }
     if (!record.value().has_value()) {
       if (idle_exit_ms > 0 && now - last_record_at > idle_exit_ms * 1'000) break;
@@ -383,6 +449,7 @@ int main(int argc, char** argv) {
     ++received;
     const sensors::Record& rec = *record.value();
     if (!trace_out.empty() && sensors::is_trace_record(rec)) collect_trace(rec);
+    if (mode == "health") health.observe(rec, now);
     if (mode == "picl") {
       std::printf("%s\n", picl::to_picl_line(rec, picl_options).c_str());
     } else if ((mode == "metrics" || mode == "latency") && sensors::is_metrics_record(rec)) {
@@ -407,8 +474,12 @@ int main(int argc, char** argv) {
     if (max_records > 0 && received >= max_records) break;
   }
 
-  if (mode == "metrics") print_metrics();
-  if (mode == "latency") print_latency();
+  if (mode == "metrics") json ? print_metrics_json() : print_metrics();
+  if (mode == "latency") json ? print_latency_json() : print_latency();
+  if (mode == "health") {
+    const TimeMicros now = monotonic_micros();
+    json ? health.print_json(stdout, now) : health.print_table(stdout, now);
+  }
   if (!trace_out.empty()) {
     std::FILE* out = std::fopen(trace_out.c_str(), "w");
     if (out == nullptr) {

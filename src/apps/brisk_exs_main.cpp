@@ -26,6 +26,7 @@
 #include "common/logging.hpp"
 #include "core/brisk_node.hpp"
 #include "core/version.hpp"
+#include "metrics/flight_recorder.hpp"
 #include "sim/fault_injector.hpp"
 
 namespace {
@@ -34,6 +35,10 @@ brisk::lis::ExternalSensor* g_exs = nullptr;
 
 void handle_signal(int) {
   if (g_exs != nullptr) g_exs->stop();
+}
+
+void handle_dump_signal(int) {
+  brisk::metrics::request_flight_dump();  // drained on the next loop cycle
 }
 
 brisk::apps::FlagRegistry make_registry() {
@@ -163,6 +168,7 @@ int main(int argc, char** argv) {
   g_exs = exs.value().get();
   std::signal(SIGINT, handle_signal);
   std::signal(SIGTERM, handle_signal);
+  std::signal(SIGUSR1, handle_dump_signal);
 
   // Synthetic workload: one claimed sensor slot, paced at --workload-rate
   // records/second, so a smoke pipeline is self-contained.
@@ -212,6 +218,7 @@ int main(int argc, char** argv) {
   (void)exs.value()->core().flush();
   if (!st && st.code() != Errc::closed) {
     std::fprintf(stderr, "brisk_exs: %s\n", st.to_string().c_str());
+    metrics::dump_flight_recorders(stderr);
     return 1;
   }
   const auto stats = exs.value()->core().stats();

@@ -17,6 +17,7 @@
 #include "common/logging.hpp"
 #include "core/brisk_manager.hpp"
 #include "core/version.hpp"
+#include "metrics/flight_recorder.hpp"
 #include "sim/fault_injector.hpp"
 
 namespace {
@@ -26,6 +27,8 @@ brisk::BriskManager* g_manager = nullptr;
 void handle_signal(int) {
   if (g_manager != nullptr) g_manager->stop();
 }
+
+void handle_dump_signal(int) { brisk::metrics::request_flight_dump(); }
 
 brisk::apps::FlagRegistry make_registry() {
   brisk::apps::FlagRegistry flags("brisk_ism", "BRISK instrumentation system manager");
@@ -85,6 +88,9 @@ brisk::apps::FlagRegistry make_registry() {
       .add_int("relay-batch-age-us", 5'000, "relay batch seal threshold (age)")
       .add_int("relay-idle-wm-us", 50'000,
                "idle RELAY_WATERMARK cadence toward the parent (0 = off)")
+      .add_bool("relay-aggregate-metrics", false,
+                "merge the subtree's metrics snapshots at this relay and forward "
+                "one agg.* snapshot per --metrics-interval instead of every record")
       .add_bool("sync", true, "run the clock synchronisation service")
       .add_int("sync-period-us", 5'000'000, "clock sync round period")
       .add_string("sync-algorithm", "brisk", "clock sync algorithm: brisk or cristian")
@@ -154,6 +160,10 @@ int main(int argc, char** argv) {
     config.relay.batch_max_records = static_cast<std::size_t>(flags.num("relay-batch-records"));
     config.relay.batch_max_age_us = flags.num("relay-batch-age-us");
     config.relay.idle_watermark_period_us = flags.num("relay-idle-wm-us");
+    config.relay.aggregate_metrics = flags.flag("relay-aggregate-metrics");
+    if (flags.num("metrics-interval") > 0) {
+      config.relay.metrics_flush_period_us = flags.num("metrics-interval") * 1'000'000;
+    }
   }
   config.ism.enable_sync = flags.flag("sync");
   config.ism.sync.period_us = flags.num("sync-period-us");
@@ -214,6 +224,7 @@ int main(int argc, char** argv) {
   g_manager = manager.value().get();
   std::signal(SIGINT, handle_signal);
   std::signal(SIGTERM, handle_signal);
+  std::signal(SIGUSR1, handle_dump_signal);
 
   std::printf("brisk_ism %s listening on 127.0.0.1:%u\n", version_string(),
               manager.value()->port());
@@ -232,11 +243,13 @@ int main(int argc, char** argv) {
   Status st = manager.value()->run();
   if (!st) {
     std::fprintf(stderr, "brisk_ism: %s\n", st.to_string().c_str());
+    metrics::dump_flight_recorders(stderr);
     return 1;
   }
   st = manager.value()->drain();
   if (!st) {
     std::fprintf(stderr, "brisk_ism: drain: %s\n", st.to_string().c_str());
+    metrics::dump_flight_recorders(stderr);
     return 1;
   }
   const auto& stats = manager.value()->ism().stats();

@@ -1,0 +1,113 @@
+// Fleet health rollup: folds the self-instrumentation streams — metrics
+// snapshots (0xFF01) and flight-recorder events (0xFF03) — into a per-node
+// liveness and pressure table.
+//
+// Evidence, per node:
+//  * any record from the node refreshes its last-seen age and advances its
+//    record-timestamp watermark;
+//  * with relay aggregation on, the relay's agg.node.<id>.watermark_us
+//    gauges stand in for the (absorbed) per-node snapshots, so subtree
+//    nodes stay observable behind an aggregating relay;
+//  * 0xFF03 events add the state transitions metrics cannot express:
+//    session_expired / session_reaped mark a node departed, a rejoin
+//    clears it, zero-window grants / stalls / drops / reconnects count as
+//    pressure against the node they are about.
+//
+// State model: live while evidence is younger than the stale threshold,
+// stale beyond it, departed on explicit 0xFF03 evidence or past the
+// departed threshold (default 3x stale). For aggregate-vouched nodes the
+// staleness clock is max(evidence age, watermark lag): the relay keeps
+// re-flushing its cumulative gauges after a node dies, so only the gauge
+// *value* advancing — not its arrival — proves the node alive.
+#pragma once
+
+#include <cstdint>
+#include <cstdio>
+#include <limits>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "sensors/event_record.hpp"
+#include "sensors/metrics_record.hpp"
+#include "sensors/record.hpp"
+
+namespace brisk::consumers {
+
+enum class NodeHealth { live, stale, departed };
+
+/// Short stable token ("live", "stale", "departed") for tables and JSON.
+[[nodiscard]] const char* node_health_token(NodeHealth state) noexcept;
+
+/// One rendered row of the health table.
+struct HealthRow {
+  NodeId node = 0;
+  NodeHealth state = NodeHealth::live;
+  /// Time since the last evidence for this node (monotonic micros).
+  TimeMicros age_us = 0;
+  /// How far this node's record watermark trails the fleet frontier.
+  TimeMicros watermark_lag_us = 0;
+  std::uint64_t drops = 0;        // drop-series totals + drop events
+  std::uint64_t stalls = 0;       // watermark_stall events
+  std::uint64_t zero_windows = 0; // zero_window_grant events
+  std::uint64_t reconnects = 0;   // reconnect events
+  std::uint64_t events = 0;       // all 0xFF03 events about this node
+  /// Liveness inferred from a relay's agg.node.<id>.watermark_us gauge
+  /// rather than the node's own records.
+  bool via_aggregate = false;
+};
+
+class HealthRollup {
+ public:
+  struct Options {
+    /// Evidence older than this marks a node stale (0 = never).
+    TimeMicros stale_after_us = 3'000'000;
+    /// Evidence older than this marks a node departed even without an
+    /// explicit 0xFF03 expiry (0 = only explicit evidence departs a node).
+    TimeMicros departed_after_us = 9'000'000;
+  };
+
+  HealthRollup() = default;
+  explicit HealthRollup(Options options) : options_(options) {}
+
+  /// Feeds one record; non-reserved records only refresh liveness.
+  /// `now_monotonic` is the observation clock the age computation uses.
+  void observe(const sensors::Record& record, TimeMicros now_monotonic);
+
+  /// Renders the current table, sorted by node id.
+  [[nodiscard]] std::vector<HealthRow> rows(TimeMicros now_monotonic) const;
+
+  [[nodiscard]] std::uint64_t metric_records() const noexcept { return metric_records_; }
+  [[nodiscard]] std::uint64_t event_records() const noexcept { return event_records_; }
+
+  /// Text table / JSON object renderings (one call = one refresh).
+  void print_table(std::FILE* out, TimeMicros now_monotonic) const;
+  void print_json(std::FILE* out, TimeMicros now_monotonic) const;
+
+ private:
+  struct NodeState {
+    TimeMicros last_seen = 0;  // monotonic observation time
+    TimeMicros watermark = std::numeric_limits<TimeMicros>::min();
+    bool seen = false;
+    bool departed = false;      // explicit 0xFF03 evidence
+    bool via_aggregate = false;
+    std::map<std::string, std::uint64_t> drop_series;  // latest value per series
+    std::uint64_t event_drops = 0;
+    std::uint64_t stalls = 0;
+    std::uint64_t zero_windows = 0;
+    std::uint64_t reconnects = 0;
+    std::uint64_t events = 0;
+  };
+
+  NodeState& touch(NodeId node, TimeMicros now_monotonic);
+  void observe_metrics(const sensors::Record& record, TimeMicros now_monotonic);
+  void observe_event(const sensors::Record& record, TimeMicros now_monotonic);
+
+  Options options_{};
+  std::map<NodeId, NodeState> nodes_;
+  TimeMicros frontier_ = std::numeric_limits<TimeMicros>::min();
+  std::uint64_t metric_records_ = 0;
+  std::uint64_t event_records_ = 0;
+};
+
+}  // namespace brisk::consumers

@@ -52,6 +52,12 @@ Result<std::unique_ptr<BriskManager>> BriskManager::create(const ManagerConfig& 
   if (!ism) return ism.status();
   manager->ism_ = std::move(ism).value();
   manager->gateway_->register_metrics(manager->ism_->metrics());
+  // One ring per daemon: gateway and relay events land in the ISM's flight
+  // recorder so a single SIGUSR1 dump (or 0xFF03 drain) covers the process.
+  manager->gateway_->set_flight_recorder(&manager->ism_->flight());
+  if (manager->relay_) {
+    manager->relay_->set_flight_recorder(&manager->ism_->flight());
+  }
   return manager;
 }
 

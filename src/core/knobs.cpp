@@ -172,6 +172,12 @@ std::string describe(const ManagerConfig& config) {
          static_cast<long long>(config.relay.batch_max_age_us));
     line(out, "relay.idle_watermark_period_us",
          static_cast<long long>(config.relay.idle_watermark_period_us));
+    line(out, "relay.aggregate_metrics",
+         static_cast<long long>(config.relay.aggregate_metrics ? 1 : 0));
+    if (config.relay.aggregate_metrics) {
+      line(out, "relay.metrics_flush_period_us",
+           static_cast<long long>(config.relay.metrics_flush_period_us));
+    }
   }
   line(out, "gateway.tcp_enabled", static_cast<long long>(config.gateway.tcp_enabled ? 1 : 0));
   if (config.gateway.tcp_enabled) {

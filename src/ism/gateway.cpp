@@ -4,6 +4,7 @@
 #include <chrono>
 #include <cstring>
 
+#include "clock/clock.hpp"
 #include "common/logging.hpp"
 #include "common/time_util.hpp"
 #include "xdr/xdr_decoder.hpp"
@@ -110,7 +111,11 @@ Status ConsumerGateway::accept(const sensors::Record& record) {
     const bool was_empty = lane_->empty();
     sensors::Record copy = record;
     if (!lane_->try_push(std::move(copy))) {
-      lane_drops_.fetch_add(1, std::memory_order_relaxed);
+      const std::uint64_t total = lane_drops_.fetch_add(1, std::memory_order_relaxed) + 1;
+      if (auto* flight = flight_.load(std::memory_order_acquire)) {
+        flight->record(sensors::EventKind::lane_drop, 0, total,
+                       clk::SystemClock::instance().now());
+      }
     } else if (was_empty) {
       wakeup_.signal();
     }
@@ -620,6 +625,10 @@ void ConsumerGateway::enqueue_frame(TcpSub& sub, std::shared_ptr<const ByteBuffe
     // tell from its dropped counter (0xFF01 stream) that a gap exists.
     sub.queue.pop_front();
     sub.counters->dropped.fetch_add(1, std::memory_order_relaxed);
+    if (auto* flight = flight_.load(std::memory_order_acquire)) {
+      flight->record(sensors::EventKind::queue_drop, sub.id, sub.queue_cap,
+                     clk::SystemClock::instance().now());
+    }
     if (sub.overrun_since == 0) sub.overrun_since = monotonic_micros();
   }
   sub.queue.push_back(std::move(frame));
@@ -655,6 +664,11 @@ void ConsumerGateway::service_sub(int fd, TcpSub& sub) {
       sub.overrun_since = 0;
     } else if (monotonic_micros() - sub.overrun_since >= config_.overrun_grace_us) {
       tcp_evicted_.fetch_add(1, std::memory_order_relaxed);
+      if (auto* flight = flight_.load(std::memory_order_acquire)) {
+        flight->record(sensors::EventKind::subscriber_evicted, sub.id,
+                       sub.counters->dropped.load(std::memory_order_relaxed),
+                       clk::SystemClock::instance().now());
+      }
       BRISK_LOG_WARN << "gateway evicting slow consumer '" << sub.name << "' (dropped "
                      << sub.counters->dropped.load(std::memory_order_relaxed) << " frames)";
       disconnect(fd, "slow consumer");

@@ -52,6 +52,7 @@
 #include "common/spsc_queue.hpp"
 #include "ism/filter.hpp"
 #include "ism/output.hpp"
+#include "metrics/flight_recorder.hpp"
 #include "metrics/metrics.hpp"
 #include "net/frame.hpp"
 #include "net/poller.hpp"
@@ -170,6 +171,12 @@ class ConsumerGateway final : public Sink {
   /// ism.gateway.sub.<name>.{matched,delivered,dropped,queued} counters into
   /// the 0xFF01 metrics stream.
   void register_metrics(metrics::MetricsRegistry& registry);
+  /// Shares the ISM's flight recorder so fan-out pressure events (lane and
+  /// queue drops, slow-consumer evictions) land in the same ring. May be
+  /// called from any thread; null detaches.
+  void set_flight_recorder(metrics::FlightRecorder* flight) noexcept {
+    flight_.store(flight, std::memory_order_release);
+  }
 
  private:
   // Counters shared between a live subscriber and its stats entry (the
@@ -305,6 +312,9 @@ class ConsumerGateway final : public Sink {
   std::condition_variable drain_cv_;
   std::atomic<bool> drain_requested_{false};
   bool drain_done_ = false;  // guarded by drain_mutex_
+
+  /// Shared flight recorder (the ISM's ring); null until wired.
+  std::atomic<metrics::FlightRecorder*> flight_{nullptr};
 
   // ---- stats ---------------------------------------------------------------
   std::atomic<std::uint64_t> records_in_{0};

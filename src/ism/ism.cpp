@@ -113,6 +113,27 @@ void Ism::register_metrics() {
       b.gauge("ism.sorter.shard" + std::to_string(i) + ".depth", depths[i]);
     }
 
+    // The disorder substrate for adaptive delay-window policies: how far
+    // behind the emitted frontier late records land, and how many there
+    // were. Zero buckets are skipped — bucket samples are self-describing.
+    b.counter("sort.late_drops", so.late_drops);
+    auto emit_disorder = [&b](const std::string& base, const metrics::Histogram& h) {
+      for (std::size_t i = 0; i < metrics::Histogram::kBucketCount; ++i) {
+        const std::uint64_t count = h.bucket_count_at(i);
+        if (count != 0) b.histogram_bucket(base, metrics::Histogram::bucket_bound(i), count);
+      }
+    };
+    metrics::Histogram disorder;
+    pipeline_->merge_disorder(disorder);
+    emit_disorder("sort.disorder_us", disorder);
+    if (pipeline_->shard_count() > 1) {
+      for (std::size_t i = 0; i < pipeline_->shard_count(); ++i) {
+        metrics::Histogram shard_disorder;
+        pipeline_->merge_shard_disorder(i, shard_disorder);
+        emit_disorder("sort.shard" + std::to_string(i) + ".disorder_us", shard_disorder);
+      }
+    }
+
     const CreStats c = pipeline_->cre_stats();
     b.counter("ism.cre.reasons_seen", c.reasons_seen);
     b.counter("ism.cre.conseqs_seen", c.conseqs_seen);
@@ -502,6 +523,8 @@ Status Ism::dispatch_frame(Connection& conn, ByteSpan payload) {
                        << hello.value().incarnation << ")";
       } else {
         bump(stats_.rejoins);
+        flight_.record(sensors::EventKind::session_rejoined, conn.node,
+                       session.next_batch_seq, clock_.now());
         BRISK_LOG_INFO << "node " << conn.node << " rejoined at batch seq "
                        << session.next_batch_seq;
       }
@@ -621,6 +644,8 @@ bool Ism::admit_batch_seq(const Connection& conn, NodeSession& session, std::uin
     // replay buffer (declared loss). Jump the cursor to the lowest batch
     // still on offer so the stream can make progress again.
     bump(stats_.batch_seq_gaps);
+    flight_.record(sensors::EventKind::batch_gap, conn.node,
+                   session.lowest_pending_seq - session.next_batch_seq, clock_.now());
     BRISK_LOG_WARN << "node " << conn.node << " declaring batch gap: "
                    << session.next_batch_seq << ".." << session.lowest_pending_seq - 1;
     session.next_batch_seq = session.lowest_pending_seq;
@@ -719,6 +744,7 @@ void Ism::deliver_traced(const sensors::Record& record) {
 
 void Ism::idle_work() {
   drain_ingest();
+  if (metrics::consume_flight_dump_request()) metrics::dump_flight_recorders(stderr);
   maybe_emit_metrics();
   pipeline_->service();
   session_sweep();
@@ -798,6 +824,14 @@ void Ism::emit_metrics_snapshot() {
   for (sensors::Record& record : metrics::snapshot_to_records(
            samples, sensors::kIsmMetricsNodeId, timestamp, metrics_sequence_)) {
     route_record(std::move(record));
+  }
+  // Flight-recorder events sealed since the last snapshot follow as 0xFF03
+  // records, stamped with the snapshot time (their event time rides in the
+  // at_us field) so they merge cleanly with the stream they describe.
+  for (const metrics::FlightEvent& event : flight_.drain_new(flight_cursor_)) {
+    route_record(sensors::make_event_record(sensors::kIsmMetricsNodeId, metrics_sequence_++,
+                                            timestamp, event.kind, event.subject,
+                                            event.value, event.at));
   }
 }
 
@@ -887,7 +921,11 @@ Status Ism::send_ack(Connection& conn, tp::MsgType type) {
     credit = build_credit_grant(session);
     session.last_granted_records = credit->window_records;
     bump(stats_.credit_grants_sent);
-    if (credit->window_records == 0) bump(stats_.zero_window_grants);
+    if (credit->window_records == 0) {
+      bump(stats_.zero_window_grants);
+      flight_.record(sensors::EventKind::zero_window_grant, conn.node,
+                     config_.credit_window_records, clock_.now());
+    }
   }
   ByteBuffer out;
   xdr::Encoder enc(out);
@@ -923,6 +961,10 @@ void Ism::session_sweep() {
     for (int fd : idle_fds) {
       BRISK_LOG_WARN << "reaping idle peer on fd " << fd;
       bump(stats_.idle_disconnects);
+      const auto cit = connections_.find(fd);
+      flight_.record(sensors::EventKind::session_reaped,
+                     cit != connections_.end() ? cit->second.node : 0,
+                     static_cast<std::uint64_t>(fd), clock_.now());
       close_connection(fd);
     }
   }
@@ -1024,6 +1066,8 @@ void Ism::maybe_migrate_connection(TimeMicros now) {
   last_migration_us_ = now;
   imbalance_streak_ = 0;
   bump(stats_.reader_migrations);
+  flight_.record(sensors::EventKind::reader_migration, it->second.node, plan.to,
+                 clock_.now());
   BRISK_LOG_INFO << "migrating fd " << fd << " (node " << it->second.node
                  << ") from reader " << plan.from << " to reader " << plan.to;
 }
@@ -1031,6 +1075,7 @@ void Ism::maybe_migrate_connection(TimeMicros now) {
 void Ism::expire_session(NodeId node) {
   const std::size_t drained = pipeline_->remove_node(node);
   bump(stats_.sessions_expired);
+  flight_.record(sensors::EventKind::session_expired, node, drained, clock_.now());
   sessions_.erase(node);
   retire_drained_counter(node);
   stats_.records_drained_on_expiry.store(pipeline_->stats().oob_records, std::memory_order_relaxed);
@@ -1072,6 +1117,8 @@ void Ism::close_connection(int fd) {
           sit->second.connected = false;
           sit->second.disconnected_at = monotonic_micros();
           sit->second.hole_since = 0;
+          flight_.record(sensors::EventKind::session_quarantined, conn.node, 0,
+                         clock_.now());
         }
       }
     }

@@ -28,6 +28,7 @@
 #include "ism/ingest.hpp"
 #include "ism/output.hpp"
 #include "ism/pipeline.hpp"
+#include "metrics/flight_recorder.hpp"
 #include "metrics/latency.hpp"
 #include "metrics/metrics.hpp"
 #include "net/faulty_socket.hpp"
@@ -205,6 +206,11 @@ class Ism {
   /// registered before records flow; snapshots are taken on the ordering
   /// thread.
   [[nodiscard]] metrics::MetricsRegistry& metrics() noexcept { return metrics_; }
+  /// The diagnostic flight recorder: session lifecycle, flow-control
+  /// pressure, drops, and migrations land here, are dumped on SIGUSR1 /
+  /// fatal exit, and ship as 0xFF03 records with each metrics snapshot.
+  /// The gateway and relay egress share this ring (BriskManager wires it).
+  [[nodiscard]] metrics::FlightRecorder& flight() noexcept { return flight_; }
   [[nodiscard]] OrderingPipeline& pipeline() noexcept { return *pipeline_; }
   [[nodiscard]] const OrderingPipeline& pipeline() const noexcept { return *pipeline_; }
   /// Sorter counters aggregated over all ordering shards.
@@ -422,6 +428,9 @@ class Ism {
   TimeMicros last_stats_log_us_ = 0;     // monotonic
   TimeMicros last_metrics_emit_us_ = 0;  // monotonic
   SequenceNo metrics_sequence_ = 0;      // running seq of emitted metrics records
+  metrics::FlightRecorder flight_{"ism"};
+  /// How far emit_metrics_snapshot has drained flight_ into 0xFF03 records.
+  std::uint64_t flight_cursor_ = 0;
   /// Running seq of emitted trace records. Atomic: sink delivery happens on
   /// the merger thread in sharded mode and the ordering thread otherwise
   /// (and on the ordering thread again during drain()).

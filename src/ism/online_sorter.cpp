@@ -30,6 +30,12 @@ Status OnlineSorter::push(sensors::Record record) {
     }
     handle_overflow();
   }
+  if (emitted_any_ && record.timestamp < last_emitted_ts_) {
+    // Already behind the emitted frontier: no delay window can reorder this
+    // record any more, so it is a late arrival the current T failed to
+    // absorb (it still gets emitted, just out of order).
+    ++stats_.late_drops;
+  }
   const NodeId node = record.node;
   it->second->push(std::move(record), clock_.now());
   heap_.notify_pushed(node);
@@ -56,6 +62,7 @@ void OnlineSorter::emit(QueuedRecord queued, bool respect_order_check) {
       // observed lateness.
       const TimeMicros lateness = last_emitted_ts_ - record.timestamp;
       ++stats_.out_of_order_emissions;
+      disorder_.record(static_cast<std::uint64_t>(lateness));
       if (lateness > stats_.max_lateness_us) stats_.max_lateness_us = lateness;
       if (config_.adaptive && static_cast<double>(lateness) > frame_us_) {
         frame_us_ = static_cast<double>(

@@ -22,6 +22,7 @@
 
 #include "clock/clock.hpp"
 #include "ism/merge_heap.hpp"
+#include "metrics/metrics.hpp"
 
 namespace brisk::ism {
 
@@ -57,6 +58,11 @@ struct SorterStats {
   /// Sum over emitted records of (emission clock time − record timestamp):
   /// the added latency side of the ordering/latency trade-off.
   std::uint64_t total_delay_us = 0;
+  /// Records that arrived already behind the emitted frontier — the delay
+  /// window T was too small to reorder them, so they left (or will leave)
+  /// the sorter out of order. This is the reordering-loss rate an adaptive
+  /// buffer-sizing policy trades against latency.
+  std::uint64_t late_drops = 0;
 };
 
 class OnlineSorter {
@@ -90,6 +96,11 @@ class OnlineSorter {
   [[nodiscard]] const SorterStats& stats() const noexcept { return stats_; }
   [[nodiscard]] const SorterConfig& config() const noexcept { return config_; }
 
+  /// Distribution of out-of-order emission lateness (microseconds behind the
+  /// emitted frontier). Mergeable across shards; feeds disorder-driven
+  /// delay-window policies.
+  [[nodiscard]] const metrics::Histogram& disorder() const noexcept { return disorder_; }
+
   /// Time until the earliest pending record becomes due (for event-loop
   /// timeout computation); negative when something is already due.
   [[nodiscard]] TimeMicros next_due_in();
@@ -109,6 +120,7 @@ class OnlineSorter {
   bool emitted_any_ = false;
   TimeMicros last_decay_at_ = 0;
   SorterStats stats_;
+  metrics::Histogram disorder_;
 };
 
 }  // namespace brisk::ism

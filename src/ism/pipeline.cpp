@@ -635,6 +635,7 @@ SorterStats OrderingPipeline::sorter_stats() const {
     total.overflow_drops += s.overflow_drops;
     if (s.max_lateness_us > total.max_lateness_us) total.max_lateness_us = s.max_lateness_us;
     total.total_delay_us += s.total_delay_us;
+    total.late_drops += s.late_drops;
   }
   return total;
 }
@@ -642,6 +643,17 @@ SorterStats OrderingPipeline::sorter_stats() const {
 SorterStats OrderingPipeline::shard_sorter_stats(std::size_t shard) const {
   std::lock_guard<std::mutex> lk(shards_[shard]->state_mutex);
   return shards_[shard]->sorter->stats();
+}
+
+void OrderingPipeline::merge_disorder(metrics::Histogram& out) const {
+  for (std::size_t i = 0; i < shards_.size(); ++i) {
+    merge_shard_disorder(i, out);
+  }
+}
+
+void OrderingPipeline::merge_shard_disorder(std::size_t shard, metrics::Histogram& out) const {
+  std::lock_guard<std::mutex> lk(shards_[shard]->state_mutex);
+  out.merge_from(shards_[shard]->sorter->disorder());
 }
 
 std::vector<std::size_t> OrderingPipeline::shard_depths() const {

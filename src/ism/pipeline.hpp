@@ -160,6 +160,10 @@ class OrderingPipeline {
   /// Aggregated over all shards (max_lateness_us reports the maximum).
   [[nodiscard]] SorterStats sorter_stats() const;
   [[nodiscard]] SorterStats shard_sorter_stats(std::size_t shard) const;
+  /// Bucket-wise merges every shard's (or one shard's) out-of-order lateness
+  /// distribution into `out` — the disorder signal behind sort.disorder_us.
+  void merge_disorder(metrics::Histogram& out) const;
+  void merge_shard_disorder(std::size_t shard, metrics::Histogram& out) const;
   /// Records pending per shard (for the periodic stats line).
   [[nodiscard]] std::vector<std::size_t> shard_depths() const;
   [[nodiscard]] std::vector<TimeMicros> shard_frames() const;

@@ -67,7 +67,8 @@ RelayEgress::RelayEgress(const RelayConfig& config, clk::Clock& clock, net::TcpS
             }),
       builder_(config.relay_node),
       reconnect_(config.reconnect,
-                 static_cast<std::uint64_t>(config.relay_node) ^ config.incarnation) {}
+                 static_cast<std::uint64_t>(config.relay_node) ^ config.incarnation),
+      aggregator_(config.relay_node, config.metrics_flush_period_us) {}
 
 RelayEgress::~RelayEgress() {
   stop_.store(true, std::memory_order_relaxed);
@@ -116,6 +117,8 @@ RelayEgressStats RelayEgress::stats() const {
   s.sync_adjustments = sync_adjustments_.load(std::memory_order_relaxed);
   s.reconnects = reconnects_.load(std::memory_order_relaxed);
   std::lock_guard<std::mutex> lk(link_mutex_);
+  s.metrics_absorbed = aggregator_.absorbed();
+  s.aggregated_flushes = aggregator_.flushes();
   s.link = link_.stats();
   return s;
 }
@@ -155,6 +158,10 @@ Status RelayEgress::send_frame(ByteSpan payload) {
     // egress thread only — the pipeline keeps filling the SPSC queue) until
     // the parent drains enough or the stall window closes the link.
     const TimeMicros deadline = monotonic_micros() + config_.send_stall_timeout_us;
+    if (metrics::FlightRecorder* flight = flight_.load(std::memory_order_acquire)) {
+      flight->record(sensors::EventKind::watermark_stall, config_.relay_node,
+                     outbox_.pending_bytes(), clock_.now());
+    }
     for (;;) {
       Status pump_st = outbox_.pump(socket_);
       if (!pump_st) return pump_st;
@@ -221,6 +228,8 @@ Status RelayEgress::cycle() {
   st = service_queue();
   if (!st) return st;
   const bool draining = drain_requested_.load(std::memory_order_relaxed);
+  st = flush_aggregates(draining && queue_.empty());
+  if (!st) return st;
   st = maybe_seal(draining && queue_.empty());
   if (!st) return st;
   const TimeMicros now = monotonic_micros();
@@ -312,8 +321,43 @@ Status RelayEgress::service_queue() {
     // Relay-originated self-instrumentation carries the reserved metrics
     // node id; stamp it with the relay's identity so snapshots from
     // different relays stay distinguishable at the root.
+    if (config_.aggregate_metrics && record.node != sensors::kIsmMetricsNodeId &&
+        sensors::is_metrics_record(record)) {
+      // In-tree aggregation: subtree 0xFF01 records are absorbed here and
+      // leave as one merged "agg." snapshot per flush period. The relay's
+      // own snapshot (reserved node id, re-stamped below) and 0xFF02/0xFF03
+      // records always pass through.
+      sensors::apply_time_delta(record, correction_.load(std::memory_order_relaxed));
+      aggregator_.absorb(record);
+      continue;
+    }
     if (record.node == sensors::kIsmMetricsNodeId) record.node = config_.relay_node;
     sensors::apply_time_delta(record, correction_.load(std::memory_order_relaxed));
+    if (builder_.empty()) batch_started_at_ = monotonic_micros();
+    last_record_ts_ = std::max(last_record_ts_, record.timestamp);
+    Status st = builder_.add_record(record);
+    if (!st) return st;
+    records_forwarded_.fetch_add(1, std::memory_order_relaxed);
+    if (builder_.record_count() >= config_.batch_max_records ||
+        builder_.payload_bytes() >= config_.batch_max_bytes) {
+      st = maybe_seal(true);
+      if (!st) return st;
+    }
+  }
+  return Status::ok();
+}
+
+Status RelayEgress::flush_aggregates(bool force) {
+  if (!config_.aggregate_metrics) return Status::ok();
+  const TimeMicros now = monotonic_micros();
+  if (force ? !aggregator_.pending() : !aggregator_.due(now)) return Status::ok();
+  // The flush rides the sorted stream, so its timestamp must sit at or
+  // above everything already promised or shipped — and above every absorbed
+  // subtree record, whose values it carries.
+  const TimeMicros flush_ts =
+      std::max({last_record_ts_, wm_out_, aggregator_.max_absorbed_ts()});
+  std::vector<sensors::Record> records = aggregator_.flush(flush_ts, now);
+  for (sensors::Record& record : records) {
     if (builder_.empty()) batch_started_at_ = monotonic_micros();
     last_record_ts_ = std::max(last_record_ts_, record.timestamp);
     Status st = builder_.add_record(record);
@@ -398,6 +442,10 @@ void RelayEgress::maybe_reconnect() {
       watch_socket();
       reconnect_.record_success();
       reconnects_.fetch_add(1, std::memory_order_relaxed);
+      if (metrics::FlightRecorder* flight = flight_.load(std::memory_order_acquire)) {
+        flight->record(sensors::EventKind::reconnect, config_.relay_node,
+                       reconnects_.load(std::memory_order_relaxed), clock_.now());
+      }
       // Watermarks are cumulative promises; after replay the parent's lane
       // watermark catches back up with the next batch or idle frame.
       BRISK_LOG_INFO << "relay " << config_.relay_node << ": reconnected to parent ISM";

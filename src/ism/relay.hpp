@@ -48,6 +48,8 @@
 #include "clock/clock.hpp"
 #include "common/spsc_queue.hpp"
 #include "ism/output.hpp"
+#include "ism/relay_aggregator.hpp"
+#include "metrics/flight_recorder.hpp"
 #include "net/frame.hpp"
 #include "net/poller.hpp"
 #include "net/socket.hpp"
@@ -93,6 +95,14 @@ struct RelayConfig {
   tp::ReconnectConfig reconnect;
   /// How long drain() waits for the queue + replay buffer to empty.
   TimeMicros drain_timeout_us = 2'000'000;
+  /// In-tree metrics aggregation (--relay-aggregate-metrics): absorb the
+  /// subtree's 0xFF01 records and forward one merged "agg."-prefixed
+  /// snapshot per metrics_flush_period_us instead of every record.
+  /// Relay-local snapshots (reserved metrics node re-stamped to relay_node)
+  /// pass through either way. Off = byte-exact pass-through (the
+  /// compatibility default).
+  bool aggregate_metrics = false;
+  TimeMicros metrics_flush_period_us = 1'000'000;
 };
 
 struct RelayEgressStats {
@@ -102,6 +112,10 @@ struct RelayEgressStats {
   std::uint64_t sync_polls_answered = 0;
   std::uint64_t sync_adjustments = 0;
   std::uint64_t reconnects = 0;
+  /// Subtree 0xFF01 records absorbed / aggregated snapshots flushed (zero
+  /// unless aggregate_metrics is on).
+  std::uint64_t metrics_absorbed = 0;
+  std::uint64_t aggregated_flushes = 0;
   tp::LinkStats link;
 };
 
@@ -133,6 +147,13 @@ class RelayEgress final : public Sink {
   }
   [[nodiscard]] RelayEgressStats stats() const;
 
+  /// Shares the co-located ISM's flight recorder so relay-side events
+  /// (reconnects, outbox stalls) land in the same ring. May be called from
+  /// any thread; null detaches.
+  void set_flight_recorder(metrics::FlightRecorder* flight) noexcept {
+    flight_.store(flight, std::memory_order_release);
+  }
+
  private:
   RelayEgress(const RelayConfig& config, clk::Clock& clock, net::TcpSocket socket);
 
@@ -141,6 +162,9 @@ class RelayEgress final : public Sink {
   Status pump_socket();           // read + dispatch parent frames
   Status handle_frame(ByteSpan payload);
   Status service_queue();         // move queued records into the builder
+  /// Ships the aggregator's merged snapshot into the builder when its flush
+  /// period elapses (`force` also flushes pending state — the drain path).
+  Status flush_aggregates(bool force);
   Status maybe_seal(bool force);  // seal/ship the pending batch
   /// `tick_wm` must have been read *before* the cycle's service_queue()
   /// pass — see cycle() for why promising a later value would be unsound.
@@ -166,6 +190,9 @@ class RelayEgress final : public Sink {
   tp::UpstreamLink link_;
   tp::RelayBatchBuilder builder_;
   tp::ReconnectSchedule reconnect_;
+  /// Egress-thread state (mutated under link_mutex_; stats() reads it there).
+  RelayAggregator aggregator_;
+  std::atomic<metrics::FlightRecorder*> flight_{nullptr};
 
   std::thread thread_;
   std::atomic<bool> stop_{false};

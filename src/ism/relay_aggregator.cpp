@@ -1,0 +1,55 @@
+#include "ism/relay_aggregator.hpp"
+
+#include <algorithm>
+
+namespace brisk::ism {
+
+RelayAggregator::RelayAggregator(NodeId node, TimeMicros flush_period_us)
+    : node_(node), flush_period_us_(flush_period_us) {}
+
+void RelayAggregator::absorb(const sensors::Record& record) {
+  auto point = sensors::decode_metrics_record(record);
+  if (!point) {
+    ++malformed_;
+    return;
+  }
+  Series& series = series_[point.value().name];
+  series.kind = point.value().kind;
+  series.latest[record.node] = point.value().value;
+  TimeMicros& node_wm = nodes_[record.node];
+  node_wm = std::max(node_wm, record.timestamp);
+  max_absorbed_ts_ = std::max(max_absorbed_ts_, record.timestamp);
+  ++absorbed_;
+  absorbed_since_flush_ = true;
+}
+
+bool RelayAggregator::due(TimeMicros now_monotonic) const noexcept {
+  if (!absorbed_since_flush_ || flush_period_us_ <= 0) return false;
+  return now_monotonic - last_flush_monotonic_ >= flush_period_us_;
+}
+
+std::vector<sensors::Record> RelayAggregator::flush(TimeMicros flush_ts,
+                                                    TimeMicros now_monotonic) {
+  last_flush_monotonic_ = now_monotonic;
+  absorbed_since_flush_ = false;
+  std::vector<sensors::Record> out;
+  if (nodes_.empty()) return out;
+  out.reserve(series_.size() + nodes_.size() + 1);
+  out.push_back(sensors::make_metrics_record(node_, sequence_++, flush_ts, "agg.nodes",
+                                             nodes_.size(), sensors::MetricKind::gauge));
+  for (const auto& [node, watermark] : nodes_) {
+    out.push_back(sensors::make_metrics_record(
+        node_, sequence_++, flush_ts, "agg.node." + std::to_string(node) + ".watermark_us",
+        static_cast<std::uint64_t>(watermark), sensors::MetricKind::gauge));
+  }
+  for (const auto& [name, series] : series_) {
+    std::uint64_t sum = 0;
+    for (const auto& [node, value] : series.latest) sum += value;
+    out.push_back(sensors::make_metrics_record(node_, sequence_++, flush_ts, "agg." + name,
+                                               sum, series.kind));
+  }
+  ++flushes_;
+  return out;
+}
+
+}  // namespace brisk::ism

@@ -1,0 +1,100 @@
+// In-tree metrics aggregation for the relay tier (--relay-aggregate-metrics).
+//
+// With a fleet of relays, every EXS and every lower-tier ISM ships its full
+// 0xFF01 metrics snapshot upstream each interval, and the root ingests the
+// whole fleet's self-instrumentation record by record. The aggregator lets a
+// relay absorb the 0xFF01 records of its *subtree* and forward one merged
+// snapshot per flush period instead, shrinking root ingest for
+// observability-heavy fleets.
+//
+// Merge semantics are uniform per (series, node): absorb() keeps the latest
+// value per emitting node, and a flush emits the sum of those latest values
+// per series. Because snapshots carry cumulative state, this yields exactly
+// the per-kind semantics the snapshot model implies:
+//  * counters — cumulative per node, so sum-of-latest is the subtree total;
+//  * gauges   — last value per node, summed into a subtree level (a
+//    per-node breakdown would re-inflate the record count the feature
+//    exists to remove);
+//  * histogram buckets — each ".le_<bound>" bucket sample is its own
+//    series, so sum-of-latest merges subtree histograms bucket-wise, which
+//    is the mergeable representation metrics::Histogram defines.
+//
+// Aggregated series carry the "agg." prefix so they can never collide with
+// the relay's *own* snapshot identity (relay-local records use the reserved
+// metrics node re-stamped to the relay node id — those pass through
+// untouched, and both appear at the root). Each flush is tagged with the
+// subtree population ("agg.nodes") and a per-node staleness watermark
+// ("agg.node.<id>.watermark_us", the newest record timestamp absorbed from
+// that node), so a consumer can tell a quiet node from a dead one without
+// seeing its raw records.
+//
+// Single-threaded: owned and driven by the relay egress thread.
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/types.hpp"
+#include "sensors/metrics_record.hpp"
+
+namespace brisk::ism {
+
+class RelayAggregator {
+ public:
+  /// `node` stamps the flushed records (the relay's identity toward its
+  /// parent); `flush_period_us` is the forwarding cadence (<= 0 means only
+  /// explicit/drain flushes).
+  RelayAggregator(NodeId node, TimeMicros flush_period_us);
+
+  /// Absorbs one subtree metrics record into the aggregation state.
+  /// `record.timestamp` must already be in the upstream timebase. Malformed
+  /// metrics records are counted and dropped.
+  void absorb(const sensors::Record& record);
+
+  /// True once a flush period has elapsed (monotonic clock) with absorbed
+  /// state to show for it.
+  [[nodiscard]] bool due(TimeMicros now_monotonic) const noexcept;
+
+  /// Emits the merged subtree snapshot as 0xFF01 records stamped
+  /// `flush_ts`. State is cumulative — per-node latest values survive the
+  /// flush, so counters stay monotone across snapshots. Returns an empty
+  /// vector when nothing was ever absorbed.
+  [[nodiscard]] std::vector<sensors::Record> flush(TimeMicros flush_ts,
+                                                   TimeMicros now_monotonic);
+
+  /// Newest record timestamp absorbed so far (upstream timebase); INT64_MIN
+  /// before the first absorb. A flush timestamp must be >= this to keep the
+  /// relay's sorted-stream promise.
+  [[nodiscard]] TimeMicros max_absorbed_ts() const noexcept { return max_absorbed_ts_; }
+
+  [[nodiscard]] bool empty() const noexcept { return nodes_.empty(); }
+  /// True while records absorbed since the last flush are waiting to ship.
+  [[nodiscard]] bool pending() const noexcept { return absorbed_since_flush_; }
+  [[nodiscard]] std::uint64_t absorbed() const noexcept { return absorbed_; }
+  [[nodiscard]] std::uint64_t malformed() const noexcept { return malformed_; }
+  [[nodiscard]] std::uint64_t flushes() const noexcept { return flushes_; }
+
+ private:
+  struct Series {
+    sensors::MetricKind kind = sensors::MetricKind::counter;
+    /// Latest cumulative value per emitting node.
+    std::map<NodeId, std::uint64_t> latest;
+  };
+
+  NodeId node_;
+  TimeMicros flush_period_us_;
+  std::map<std::string, Series> series_;
+  /// Newest absorbed record timestamp per node — the staleness watermark.
+  std::map<NodeId, TimeMicros> nodes_;
+  TimeMicros max_absorbed_ts_ = INT64_MIN;
+  TimeMicros last_flush_monotonic_ = 0;
+  bool absorbed_since_flush_ = false;
+  SequenceNo sequence_ = 0;
+  std::uint64_t absorbed_ = 0;
+  std::uint64_t malformed_ = 0;
+  std::uint64_t flushes_ = 0;
+};
+
+}  // namespace brisk::ism

@@ -31,7 +31,8 @@ ExsCore::ExsCore(const ExsConfig& config, shm::MultiRing rings, clk::Clock& cloc
       sink_(sink),
       batcher_(config, clock,
                [this](ByteBuffer payload) { return link_.ship_batch(std::move(payload)); }),
-      link_(make_link_config(config), clock, std::move(sink)) {
+      link_(make_link_config(config), clock, std::move(sink)),
+      flight_("exs-" + std::to_string(config.node)) {
   drain_scratch_.reserve(sensors::kMaxNativeRecordBytes);
   // Window-aware flush: never build a batch the granted window cannot take
   // whole (0 keeps the configured maximum — the link's progress guarantee
@@ -143,6 +144,20 @@ Status ExsCore::emit_metrics() {
     }
     // Through the batcher like any drained ring record: same correction,
     // same batching, same replay coverage across reconnects.
+    Status st = batcher_.add_native_record(native.value().view(), correction_);
+    if (!st) return st;
+    ++records_forwarded_;
+  }
+  // Flight events ride out with the snapshot, stamped with the snapshot
+  // time (the at_us field keeps the true event time).
+  for (const metrics::FlightEvent& event : flight_.drain_new(flight_cursor_)) {
+    auto record = sensors::make_event_record(config_.node, metrics_sequence_++, clock_.now(),
+                                             event.kind, event.subject, event.value, event.at);
+    auto native = sensors::encode_native(record);
+    if (!native) {
+      ++transcode_errors_;
+      continue;
+    }
     Status st = batcher_.add_native_record(native.value().view(), correction_);
     if (!st) return st;
     ++records_forwarded_;
@@ -291,6 +306,8 @@ Status ExternalSensor::write_out(ByteSpan frame) {
     // backpressure (and, with credits off, the stage-6 stall semantics)
     // is preserved; past the deadline the link counts as lost.
     const TimeMicros deadline = monotonic_micros() + config_.send_stall_timeout_us;
+    core_->flight().record(sensors::EventKind::watermark_stall, config_.node,
+                           outbox_.pending_bytes(), core_->corrected_now());
     for (;;) {
       Status pumped = outbox_.pump(socket_);
       if (!pumped) {
@@ -375,6 +392,8 @@ void ExternalSensor::maybe_reconnect() {
         reconnect_.record_success();
         last_rx_us_ = monotonic_micros();
         ++reconnects_;
+        core_->flight().record(sensors::EventKind::reconnect, config_.node, reconnects_,
+                               core_->corrected_now());
         BRISK_LOG_INFO << "EXS node " << config_.node << ": reconnected to ISM";
         // Re-hello; the HELLO_ACK cursor triggers replay of unacked batches.
         (void)core_->on_reconnected();
@@ -392,6 +411,7 @@ void ExternalSensor::maybe_reconnect() {
 }
 
 Status ExternalSensor::cycle() {
+  if (metrics::consume_flight_dump_request()) metrics::dump_flight_recorders(stderr);
   if (!connected_ && !loop_->stopped()) maybe_reconnect();
   // Rings keep draining while the link is down: records flow into batches
   // and batches into the bounded replay buffer, whose evictions (if any)

@@ -25,6 +25,7 @@
 
 #include "clock/clock.hpp"
 #include "lis/batcher.hpp"
+#include "metrics/flight_recorder.hpp"
 #include "metrics/metrics.hpp"
 #include "lis/exs_config.hpp"
 #include "net/faulty_socket.hpp"
@@ -100,6 +101,9 @@ class ExsCore {
 
   [[nodiscard]] ExsStats stats() const noexcept;
   [[nodiscard]] metrics::MetricsRegistry& metrics() noexcept { return metrics_; }
+  /// The node's flight recorder; events drain into the 0xFF03 stream with
+  /// each metrics snapshot (batched and replayed like any record).
+  [[nodiscard]] metrics::FlightRecorder& flight() noexcept { return flight_; }
   [[nodiscard]] const ExsConfig& config() const noexcept { return config_; }
   [[nodiscard]] shm::MultiRing& rings() noexcept { return rings_; }
   [[nodiscard]] tp::UpstreamLink& link() noexcept { return link_; }
@@ -120,6 +124,8 @@ class ExsCore {
   std::uint64_t sync_adjustments_ = 0;
   metrics::MetricsRegistry metrics_;
   SequenceNo metrics_sequence_ = 0;
+  metrics::FlightRecorder flight_;
+  std::uint64_t flight_cursor_ = 0;
   std::vector<std::uint8_t> drain_scratch_;
 };
 

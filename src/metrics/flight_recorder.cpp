@@ -1,0 +1,132 @@
+#include "metrics/flight_recorder.hpp"
+
+#include <algorithm>
+#include <cinttypes>
+#include <mutex>
+
+namespace brisk::metrics {
+
+namespace {
+
+// Process-wide recorder registry for SIGUSR1 / fatal-exit dumps. The mutex
+// guards registration only — record() never touches it.
+std::mutex g_registry_mutex;
+std::vector<FlightRecorder*>& registry() {
+  static std::vector<FlightRecorder*> instances;
+  return instances;
+}
+
+std::atomic<bool> g_dump_requested{false};
+
+}  // namespace
+
+FlightRecorder::FlightRecorder(std::string name, std::size_t capacity)
+    : name_(std::move(name)), slots_(std::max<std::size_t>(capacity, 1)) {
+  std::lock_guard<std::mutex> lock(g_registry_mutex);
+  registry().push_back(this);
+}
+
+FlightRecorder::~FlightRecorder() {
+  std::lock_guard<std::mutex> lock(g_registry_mutex);
+  auto& instances = registry();
+  instances.erase(std::remove(instances.begin(), instances.end(), this),
+                  instances.end());
+}
+
+void FlightRecorder::record(sensors::EventKind kind, std::uint64_t subject,
+                            std::uint64_t value, TimeMicros at) noexcept {
+  const std::uint64_t index = head_.fetch_add(1, std::memory_order_relaxed);
+  Slot& slot = slots_[index % slots_.size()];
+  // Invalidate the slot first so a concurrent reader can't stitch the old
+  // stamp onto the new payload, then publish payload before the new stamp.
+  slot.stamp.store(0, std::memory_order_release);
+  slot.kind.store(static_cast<std::uint8_t>(kind), std::memory_order_relaxed);
+  slot.subject.store(subject, std::memory_order_relaxed);
+  slot.value.store(value, std::memory_order_relaxed);
+  slot.at.store(at, std::memory_order_relaxed);
+  slot.stamp.store(index + 1, std::memory_order_release);
+}
+
+bool FlightRecorder::read_slot(std::uint64_t expect, FlightEvent& out) const {
+  const Slot& slot = slots_[expect % slots_.size()];
+  if (slot.stamp.load(std::memory_order_acquire) != expect + 1) {
+    return false;
+  }
+  FlightEvent event;
+  event.kind = static_cast<sensors::EventKind>(
+      slot.kind.load(std::memory_order_relaxed));
+  event.subject = slot.subject.load(std::memory_order_relaxed);
+  event.value = slot.value.load(std::memory_order_relaxed);
+  event.at = slot.at.load(std::memory_order_relaxed);
+  // Re-check: a writer lapping the ring mid-read would have cleared the
+  // stamp before touching the payload.
+  if (slot.stamp.load(std::memory_order_acquire) != expect + 1) {
+    return false;
+  }
+  out = event;
+  return true;
+}
+
+std::vector<FlightEvent> FlightRecorder::snapshot() const {
+  const std::uint64_t head = head_.load(std::memory_order_acquire);
+  const std::uint64_t window = std::min<std::uint64_t>(head, slots_.size());
+  std::vector<FlightEvent> events;
+  events.reserve(window);
+  for (std::uint64_t index = head - window; index < head; ++index) {
+    FlightEvent event;
+    if (read_slot(index, event)) {
+      events.push_back(event);
+    }
+  }
+  return events;
+}
+
+std::vector<FlightEvent> FlightRecorder::drain_new(std::uint64_t& cursor) const {
+  const std::uint64_t head = head_.load(std::memory_order_acquire);
+  std::uint64_t start = cursor;
+  if (head - start > slots_.size()) {
+    start = head - slots_.size();  // older events were overwritten
+  }
+  std::vector<FlightEvent> events;
+  events.reserve(head - start);
+  for (std::uint64_t index = start; index < head; ++index) {
+    FlightEvent event;
+    if (read_slot(index, event)) {
+      events.push_back(event);
+    }
+  }
+  cursor = head;
+  return events;
+}
+
+void FlightRecorder::dump(std::FILE* out) const {
+  const std::uint64_t total = total_recorded();
+  const std::vector<FlightEvent> events = snapshot();
+  std::fprintf(out, "flight[%s]: %" PRIu64 " events recorded, %zu retained\n",
+               name_.c_str(), total, events.size());
+  for (const FlightEvent& event : events) {
+    std::fprintf(out,
+                 "  %12lld  %-10s subject=%" PRIu64 " value=%" PRIu64 "\n",
+                 static_cast<long long>(event.at),
+                 sensors::event_kind_token(event.kind), event.subject,
+                 event.value);
+  }
+}
+
+void request_flight_dump() noexcept {
+  g_dump_requested.store(true, std::memory_order_release);
+}
+
+bool consume_flight_dump_request() noexcept {
+  return g_dump_requested.exchange(false, std::memory_order_acq_rel);
+}
+
+void dump_flight_recorders(std::FILE* out) {
+  std::lock_guard<std::mutex> lock(g_registry_mutex);
+  for (FlightRecorder* recorder : registry()) {
+    recorder->dump(out);
+  }
+  std::fflush(out);
+}
+
+}  // namespace brisk::metrics

@@ -1,0 +1,65 @@
+#include "sensors/event_record.hpp"
+
+namespace brisk::sensors {
+
+const char* event_kind_token(EventKind kind) noexcept {
+  switch (kind) {
+    case EventKind::session_reaped: return "reap";
+    case EventKind::session_quarantined: return "quarantine";
+    case EventKind::session_rejoined: return "rejoin";
+    case EventKind::session_expired: return "expire";
+    case EventKind::zero_window_grant: return "zero_window";
+    case EventKind::lane_drop: return "lane_drop";
+    case EventKind::queue_drop: return "queue_drop";
+    case EventKind::subscriber_evicted: return "sub_evict";
+    case EventKind::reader_migration: return "migrate";
+    case EventKind::watermark_stall: return "wm_stall";
+    case EventKind::reconnect: return "reconnect";
+    case EventKind::batch_gap: return "batch_gap";
+  }
+  return "unknown";
+}
+
+bool is_event_record(const Record& record) noexcept {
+  return record.sensor == kEventSensorId;
+}
+
+Record make_event_record(NodeId node, SequenceNo sequence, TimeMicros timestamp,
+                         EventKind kind, std::uint64_t subject, std::uint64_t value,
+                         TimeMicros at) {
+  Record record;
+  record.node = node;
+  record.sensor = kEventSensorId;
+  record.sequence = sequence;
+  record.timestamp = timestamp;
+  record.fields.reserve(4);
+  record.fields.push_back(Field::u8(static_cast<std::uint8_t>(kind)));
+  record.fields.push_back(Field::u64(subject));
+  record.fields.push_back(Field::u64(value));
+  record.fields.push_back(Field::u64(static_cast<std::uint64_t>(at)));
+  return record;
+}
+
+Result<EventPoint> decode_event_record(const Record& record) {
+  if (!is_event_record(record)) {
+    return Status(Errc::malformed, "not an event record");
+  }
+  if (record.fields.size() != 4 || record.fields[0].type() != FieldType::x_u8 ||
+      record.fields[1].type() != FieldType::x_u64 ||
+      record.fields[2].type() != FieldType::x_u64 ||
+      record.fields[3].type() != FieldType::x_u64) {
+    return Status(Errc::malformed, "bad event record schema");
+  }
+  const std::uint8_t raw_kind = static_cast<std::uint8_t>(record.fields[0].as_unsigned());
+  if (raw_kind > kMaxEventKind) {
+    return Status(Errc::malformed, "bad event kind");
+  }
+  EventPoint point;
+  point.kind = static_cast<EventKind>(raw_kind);
+  point.subject = record.fields[1].as_unsigned();
+  point.value = record.fields[2].as_unsigned();
+  point.at = static_cast<TimeMicros>(record.fields[3].as_unsigned());
+  return point;
+}
+
+}  // namespace brisk::sensors

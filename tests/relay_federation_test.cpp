@@ -22,7 +22,9 @@
 #include "ism/relay.hpp"
 #include "net/frame.hpp"
 #include "net/socket.hpp"
+#include "sensors/event_record.hpp"
 #include "sensors/field.hpp"
+#include "sensors/metrics_record.hpp"
 #include "tp/batch.hpp"
 #include "tp/wire.hpp"
 #include "xdr/xdr_encoder.hpp"
@@ -255,6 +257,192 @@ std::vector<sensors::Record> run_tree(
   root_thread.join();
   EXPECT_TRUE(root.value()->drain().ok());
   return log->snapshot();
+}
+
+// ---- relay metrics aggregation ----------------------------------------------
+
+struct TreeMetricsOptions {
+  bool aggregate_metrics = false;
+  /// Relay-ISM self-snapshot cadence (0 = the relays emit no local metrics).
+  TimeMicros relay_metrics_interval_us = 0;
+};
+
+/// The determinism workload plus reserved-sensor traffic per node: two
+/// 0xFF01 snapshot records and one 0xFF03 event, all timestamped past the
+/// data records so the reserved stream rides the same sorted tail in every
+/// run.
+std::map<NodeId, std::vector<sensors::Record>> make_observability_workload(TimeMicros base) {
+  auto by_node = make_workload(base);
+  std::uint64_t seq = 5'000;
+  for (auto& [node, records] : by_node) {
+    const TimeMicros ts = base + 200'000 + static_cast<TimeMicros>(node) * 10;
+    records.push_back(sensors::make_metrics_record(node, seq++, ts, "exs.records_forwarded",
+                                                   100 + node, sensors::MetricKind::counter));
+    records.push_back(sensors::make_metrics_record(node, seq++, ts + 1, "exs.replay_pending",
+                                                   node, sensors::MetricKind::gauge));
+    records.push_back(sensors::make_event_record(node, seq++, ts + 2,
+                                                 sensors::EventKind::reconnect, node, 1, ts));
+  }
+  return by_node;
+}
+
+/// run_tree minus the forwarded-count invariant (aggregation absorbs subtree
+/// 0xFF01 records, so forwarded != played), plus the aggregation knobs. The
+/// relay flush period is an hour: the only aggregated snapshot is the one the
+/// drain forces, which keeps the output deterministic.
+std::vector<sensors::Record> run_metrics_tree(
+    const std::map<NodeId, std::vector<sensors::Record>>& workload, std::size_t relay_count,
+    const TreeMetricsOptions& options) {
+  auto log = std::make_shared<DeliveredLog>();
+  auto sink = std::make_shared<CallbackSink>(
+      [log](const sensors::Record& r) { log->add(r); });
+  auto root = Ism::start(make_ism_config(0, 1), clk::SystemClock::instance(), sink);
+  EXPECT_TRUE(root.is_ok()) << root.status().to_string();
+  if (!root) return {};
+  std::thread root_thread([&] { (void)root.value()->run(); });
+
+  struct RelayNode {
+    std::shared_ptr<RelayEgress> egress;
+    std::unique_ptr<Ism> ism;
+    std::thread thread;
+    std::uint64_t expected = 0;
+  };
+  std::vector<RelayNode> relays(relay_count);
+  for (std::size_t r = 0; r < relay_count; ++r) {
+    RelayConfig relay_config;
+    relay_config.parent_port = root.value()->port();
+    relay_config.relay_node = static_cast<NodeId>(1000 + r);
+    relay_config.idle_watermark_period_us = 20'000;
+    relay_config.aggregate_metrics = options.aggregate_metrics;
+    relay_config.metrics_flush_period_us = 3'600'000'000;
+    auto egress = RelayEgress::connect(relay_config, clk::SystemClock::instance());
+    EXPECT_TRUE(egress.is_ok()) << egress.status().to_string();
+    if (!egress) return {};
+    relays[r].egress = std::move(egress).value();
+    IsmConfig relay_ism = make_ism_config(0, 1);
+    relay_ism.cre.forward_only = true;
+    relay_ism.metrics_interval_us = options.relay_metrics_interval_us;
+    auto ism = Ism::start(relay_ism, clk::SystemClock::instance(), relays[r].egress);
+    EXPECT_TRUE(ism.is_ok()) << ism.status().to_string();
+    if (!ism) return {};
+    relays[r].ism = std::move(ism).value();
+    relays[r].thread = std::thread([ism = relays[r].ism.get()] { (void)ism->run(); });
+  }
+
+  std::size_t index = 0;
+  for (const auto& [node, records] : workload) {
+    RelayNode& relay = relays[index++ % relay_count];
+    relay.expected += records.size();
+    play_node(relay.ism->port(), node, records);
+  }
+  for (RelayNode& relay : relays) {
+    EXPECT_TRUE(wait_for_received(*relay.ism, relay.expected));
+    relay.ism->stop();
+    relay.thread.join();
+    // The drain forces the aggregator's final flush and waits for the
+    // root's acks, so everything shipped is admitted before we stop the
+    // root.
+    EXPECT_TRUE(relay.ism->drain().ok());
+  }
+  root.value()->stop();
+  root_thread.join();
+  EXPECT_TRUE(root.value()->drain().ok());
+  return log->snapshot();
+}
+
+std::vector<sensors::Record> non_reserved(const std::vector<sensors::Record>& records) {
+  std::vector<sensors::Record> out;
+  for (const sensors::Record& record : records) {
+    if (record.sensor < sensors::kReservedSensorIdBase) out.push_back(record);
+  }
+  return out;
+}
+
+TEST(RelayFederationAggregationTest, NonReservedOutputByteIdenticalWithAggregationOnAndOff) {
+  const TimeMicros base = clk::SystemClock::instance().now();
+  const auto workload = make_observability_workload(base);
+
+  const auto passthrough = run_metrics_tree(workload, 2, {false, 0});
+  const auto aggregated = run_metrics_tree(workload, 2, {true, 0});
+
+  // The knob must be invisible to ordinary sensor output.
+  const auto flat_bytes = encode_all(non_reserved(passthrough));
+  const auto tree_bytes = encode_all(non_reserved(aggregated));
+  ASSERT_EQ(flat_bytes.size(), tree_bytes.size());
+  for (std::size_t i = 0; i < flat_bytes.size(); ++i) {
+    ASSERT_EQ(flat_bytes[i], tree_bytes[i]) << "first divergence at record " << i;
+  }
+
+  // Pass-through ships every subtree snapshot record; aggregation absorbs
+  // them all and forwards agg.* rows instead.
+  std::size_t off_child_metrics = 0;
+  for (const sensors::Record& record : passthrough) {
+    if (sensors::is_metrics_record(record) && record.node <= 4) ++off_child_metrics;
+  }
+  EXPECT_EQ(off_child_metrics, 8u);  // 2 snapshot records x 4 nodes
+
+  std::size_t on_child_metrics = 0;
+  std::map<NodeId, std::uint64_t> agg_forwarded;
+  for (const sensors::Record& record : aggregated) {
+    if (!sensors::is_metrics_record(record)) continue;
+    if (record.node <= 4) {
+      ++on_child_metrics;
+      continue;
+    }
+    auto point = sensors::decode_metrics_record(record);
+    ASSERT_TRUE(point.is_ok());
+    if (point.value().name == "agg.exs.records_forwarded") {
+      agg_forwarded[record.node] = point.value().value;
+    }
+  }
+  EXPECT_EQ(on_child_metrics, 0u);
+  // Workload assignment alternates: relay 1000 gets nodes 1 and 3, relay
+  // 1001 gets 2 and 4; the counters are 100+node, so the subtree sums pin
+  // the merge.
+  ASSERT_TRUE(agg_forwarded.count(1000));
+  ASSERT_TRUE(agg_forwarded.count(1001));
+  EXPECT_EQ(agg_forwarded[1000], 204u);
+  EXPECT_EQ(agg_forwarded[1001], 206u);
+
+  // 0xFF03 events are never absorbed: the sealed drain batch delivers them
+  // in both modes.
+  for (const auto* run : {&passthrough, &aggregated}) {
+    std::size_t events = 0;
+    for (const sensors::Record& record : *run) {
+      if (sensors::is_event_record(record) && record.node <= 4) ++events;
+    }
+    EXPECT_EQ(events, 4u);
+  }
+}
+
+TEST(RelayFederationAggregationTest, RootSeesRelayLocalAndAggregatedRows) {
+  const TimeMicros base = clk::SystemClock::instance().now();
+  const auto workload = make_observability_workload(base);
+  // Fast relay self-snapshots: the relays' own 0xFF01 records (re-stamped to
+  // the relay node id) must pass through the aggregator untouched and land
+  // next to the subtree's agg.* rows.
+  const auto output = run_metrics_tree(workload, 2, {true, 50'000});
+
+  std::map<NodeId, std::size_t> local_rows;
+  std::map<NodeId, std::size_t> agg_rows;
+  std::map<NodeId, std::uint64_t> agg_nodes;
+  for (const sensors::Record& record : output) {
+    if (!sensors::is_metrics_record(record) || record.node < 1000) continue;
+    auto point = sensors::decode_metrics_record(record);
+    ASSERT_TRUE(point.is_ok());
+    if (point.value().name.rfind("agg.", 0) == 0) {
+      ++agg_rows[record.node];
+      if (point.value().name == "agg.nodes") agg_nodes[record.node] = point.value().value;
+    } else {
+      ++local_rows[record.node];
+    }
+  }
+  for (NodeId relay : {NodeId{1000}, NodeId{1001}}) {
+    SCOPED_TRACE("relay " + std::to_string(relay));
+    EXPECT_GT(local_rows[relay], 0u) << "relay-local snapshot rows missing";
+    EXPECT_GT(agg_rows[relay], 0u) << "aggregated subtree rows missing";
+    EXPECT_EQ(agg_nodes[relay], 2u);  // two children behind each relay
+  }
 }
 
 class RelayFederationTest : public ::testing::TestWithParam<GridMode> {};
